@@ -1,0 +1,95 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * Minkowski order p ∈ {1, 2, 3} (the paper picks p = 3);
+//! * number of execution environments K (accuracy/cost trade-off of
+//!   §III-C's averaging);
+//! * fuzzing effort (rounds) for environment generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use patchecko_core::similarity;
+use vm::env::ExecEnv;
+use vm::exec::VmConfig;
+use vm::fuzz::{self, FuzzConfig};
+use vm::loader::LoadedBinary;
+use vm::DynFeatures;
+
+fn flagship_reference() -> LoadedBinary {
+    let db = corpus::build_vulndb(0, 1);
+    let entry = db.get("CVE-2018-9412").unwrap();
+    LoadedBinary::load(entry.vulnerable_bin.clone()).unwrap()
+}
+
+fn bench_minkowski_order(c: &mut Criterion) {
+    // Synthetic profiles with realistic magnitudes.
+    let mk = |bias: f64| -> Vec<DynFeatures> {
+        (0..5)
+            .map(|k| {
+                let mut f = [0.0; vm::NUM_DYN_FEATURES];
+                for (i, v) in f.iter_mut().enumerate() {
+                    *v = (i as f64 * 3.7 + k as f64 * 11.0 + bias) % 97.0;
+                }
+                DynFeatures(f)
+            })
+            .collect()
+    };
+    let reference = mk(0.0);
+    let candidates: Vec<(usize, Vec<DynFeatures>)> =
+        (0..64).map(|i| (i, mk(i as f64))).collect();
+    let mut group = c.benchmark_group("ablation/minkowski_order");
+    for p in [1.0f64, 2.0, 3.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| black_box(similarity::rank(&reference, &candidates, p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_env_count(c: &mut Criterion) {
+    let reference = flagship_reference();
+    let vm_cfg = VmConfig::default();
+    let envs: Vec<ExecEnv> = fuzz::fuzz_function(
+        &reference,
+        0,
+        &FuzzConfig { num_envs: 9, ..FuzzConfig::default() },
+        &vm_cfg,
+    );
+    let mut group = c.benchmark_group("ablation/env_count");
+    for k in [1usize, 3, 5, 9] {
+        let subset: Vec<ExecEnv> = envs.iter().take(k).cloned().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &subset, |b, subset| {
+            b.iter(|| {
+                for env in subset {
+                    black_box(reference.run_any(0, env, &vm_cfg));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fuzz_effort(c: &mut Criterion) {
+    let reference = flagship_reference();
+    let vm_cfg = VmConfig::default();
+    let mut group = c.benchmark_group("ablation/fuzz_rounds");
+    for rounds in [50usize, 200, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                black_box(fuzz::fuzz_function(
+                    &reference,
+                    0,
+                    &FuzzConfig { rounds, ..FuzzConfig::default() },
+                    &vm_cfg,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_minkowski_order, bench_env_count, bench_fuzz_effort
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Substrate health benchmarks: the compiler across architectures and
+//! optimization levels, the disassembler/CFG builder, the neural forward
+//! pass, and the baseline similarity engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use fwbin::isa::{Arch, OptLevel};
+use fwlang::gen::Generator;
+use neural::matrix::Matrix;
+use neural::net::Mlp;
+use patchecko_core::baseline;
+
+fn bench_compiler(c: &mut Criterion) {
+    let lib = Generator::new(42).library_sized("libbench", 15);
+    let mut group = c.benchmark_group("compiler/compile_library_15fn");
+    for arch in Arch::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
+            b.iter(|| black_box(fwbin::compile_library(&lib, arch, OptLevel::O2).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("compiler/opt_levels_arm64");
+    for opt in OptLevel::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(opt), &opt, |b, &opt| {
+            b.iter(|| black_box(fwbin::compile_library(&lib, Arch::Arm64, opt).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_disasm(c: &mut Criterion) {
+    let lib = Generator::new(42).library_sized("libbench", 15);
+    let bin = fwbin::compile_library(&lib, Arch::Arm32, OptLevel::O2).unwrap();
+    c.bench_function("disasm/disassemble_all_15fn", |b| {
+        b.iter(|| black_box(disasm::disassemble_all(&bin).unwrap()))
+    });
+    let dis = disasm::disassemble(&bin, 0).unwrap();
+    c.bench_function("disasm/betweenness_centrality", |b| {
+        b.iter(|| black_box(disasm::graph::betweenness_centrality(&dis.cfg)))
+    });
+}
+
+fn bench_neural(c: &mut Criterion) {
+    let net = Mlp::new(&patchecko_core::detector::MODEL_DIMS, 1);
+    let x = Matrix::from_fn(256, 96, |r, col| ((r * 31 + col * 7) % 17) as f32 / 17.0 - 0.5);
+    c.bench_function("neural/forward_batch256", |b| b.iter(|| black_box(net.predict(&x))));
+    let mut train_net = Mlp::new(&patchecko_core::detector::MODEL_DIMS, 1);
+    let y: Vec<f32> = (0..256).map(|i| (i % 2) as f32).collect();
+    c.bench_function("neural/train_batch256", |b| {
+        b.iter(|| black_box(train_net.train_batch(&x, &y, 1e-3)))
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let lib = Generator::new(42).library_sized("libbench", 10);
+    let a = fwbin::compile_library(&lib, Arch::X86, OptLevel::O1).unwrap();
+    let bdis = disasm::disassemble_all(&fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O3).unwrap()).unwrap();
+    let adis = disasm::disassemble_all(&a).unwrap();
+    c.bench_function("baseline/bipartite_pair", |b| {
+        b.iter(|| black_box(baseline::bipartite_similarity(&adis[0], &bdis[0])))
+    });
+    let emb = neural::GraphEmbedder::new(baseline::BLOCK_FEATURES, 32, 3, 5);
+    let ga = baseline::graph_sample(&adis[0]);
+    let gb = baseline::graph_sample(&bdis[0]);
+    c.bench_function("baseline/structure2vec_pair", |b| {
+        b.iter(|| {
+            let ea = emb.embed(&ga);
+            let eb = emb.embed(&gb);
+            black_box(neural::cosine(&ea, &eb))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compiler, bench_disasm, bench_neural, bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Related-work comparison (§VI / §I): PATCHECKO's deep-learning detector
+//! against the static baselines the paper positions itself against —
+//! the Gemini-style graph embedding of Xu et al. \[41\] ("detection accuracy
+//! of over 80%") and BinDiff-style bipartite CFG matching \[44\] — plus a
+//! no-learning raw-feature nearest-neighbour strawman.
+//!
+//! All four are scored on the same held-out cross-platform pair set:
+//! given (reference variant, candidate), predict "compiled from the same
+//! source function".
+//!
+//! ```text
+//! cargo run --release -p patchecko-bench --bin baseline_comparison
+//! ```
+
+use patchecko_bench::{build, write_json, HarnessOpts, Table};
+use patchecko_core::baseline::{self, GeminiConfig, GeminiDetector};
+use patchecko_core::features::{self, Normalizer};
+use corpus::dataset1::Dataset1Config;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A labeled evaluation pair: indices into the flattened function list.
+struct EvalPair {
+    a: usize,
+    b: usize,
+    label: bool,
+}
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    // The detector comes from the shared harness build (trained on the
+    // train split of Dataset I with seed 1).
+    let ev = build(&opts);
+
+    // A *fresh* generation seed produces held-out libraries none of the
+    // approaches saw during training.
+    eprintln!("[baseline] building held-out evaluation corpus...");
+    let held_out = corpus::build_dataset1(&Dataset1Config {
+        num_libraries: 8,
+        min_functions: 8,
+        max_functions: 12,
+        seed: 777,
+        include_catalog: false,
+    });
+
+    // Flatten all functions with identities and pre-computed views.
+    let mut disasms = Vec::new();
+    let mut feats = Vec::new();
+    let mut ids = Vec::new();
+    for v in &held_out.variants {
+        for fi in 0..v.binary.function_count() {
+            let d = disasm::disassemble(&v.binary, fi).unwrap();
+            feats.push(features::extract(&d, &v.binary.functions[fi]));
+            disasms.push(d);
+            ids.push((v.library, v.binary.functions[fi].name.clone().unwrap()));
+        }
+    }
+    // Balanced pair sample.
+    let mut rng = SmallRng::seed_from_u64(4242);
+    let mut pairs = Vec::new();
+    let n = ids.len();
+    while pairs.len() < 1200 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let label = ids[a] == ids[b];
+        // Balance: keep all positives, subsample negatives.
+        if label || pairs.len() % 2 == 0 {
+            pairs.push(EvalPair { a, b, label });
+        }
+    }
+    let n_pos = pairs.iter().filter(|p| p.label).count();
+    eprintln!("[baseline] {} pairs ({} positive)", pairs.len(), n_pos);
+
+    // Train the Gemini baseline on the same training corpus scale.
+    eprintln!("[baseline] training structure2vec baseline...");
+    let train_ds = corpus::build_dataset1(&Dataset1Config {
+        num_libraries: opts.libs.min(30),
+        min_functions: 8,
+        max_functions: 12,
+        seed: 1,
+        include_catalog: true,
+    });
+    let gemini = GeminiDetector::train(&train_ds, &GeminiConfig::default());
+    let gem_norm = Normalizer::fit(&feats);
+
+    // Score all approaches: (name, higher-is-more-similar scores).
+    let nn_scores: Vec<f64> =
+        pairs.iter().map(|p| ev.patchecko.detector.similarity(&feats[p.a], &feats[p.b]) as f64).collect();
+    let gemini_scores: Vec<f64> =
+        pairs.iter().map(|p| gemini.similarity(&disasms[p.a], &disasms[p.b]) as f64).collect();
+    let bipartite_scores: Vec<f64> = pairs
+        .iter()
+        .map(|p| -baseline::bipartite_similarity(&disasms[p.a], &disasms[p.b]))
+        .collect();
+    let raw_scores: Vec<f64> = pairs
+        .iter()
+        .map(|p| -baseline::raw_feature_distance(&gem_norm, &feats[p.a], &feats[p.b]))
+        .collect();
+
+    let labels: Vec<f32> = pairs.iter().map(|p| p.label as u8 as f32).collect();
+    let evaluate = |scores: &[f64]| -> (f64, f64) {
+        let s32: Vec<f32> = scores.iter().map(|v| *v as f32).collect();
+        let auc = neural::auc(&s32, &labels);
+        // Best-threshold accuracy (threshold-free comparison).
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&i, &j| scores[i].partial_cmp(&scores[j]).unwrap());
+        let total_pos = labels.iter().filter(|l| **l > 0.5).count();
+        let mut best_acc = 0.0f64;
+        let mut pos_below = 0usize;
+        for (k, &i) in order.iter().enumerate() {
+            if labels[i] > 0.5 {
+                pos_below += 1;
+            }
+            // Threshold after position k: below = negative prediction.
+            let neg_below = (k + 1) - pos_below;
+            let correct = neg_below + (total_pos - pos_below);
+            best_acc = best_acc.max(correct as f64 / labels.len() as f64);
+        }
+        (best_acc, auc)
+    };
+
+    println!("\nRelated-work comparison (held-out cross-platform pairs)\n");
+    let table = Table::new(&[("approach", 34), ("accuracy", 9), ("AUC", 7)]);
+    let mut artifact = Vec::new();
+    for (name, scores, paper_note) in [
+        ("PATCHECKO deep-learning (this work)", &nn_scores, "paper: >93%"),
+        ("structure2vec / Gemini [41]", &gemini_scores, "paper: ~80%, AUC 0.971"),
+        ("BinDiff-style bipartite matching [44]", &bipartite_scores, "paper: heuristic baseline"),
+        ("raw 48-feature nearest neighbour", &raw_scores, "no-learning strawman"),
+    ] {
+        let (acc, auc) = evaluate(scores);
+        table.row(&[name.to_string(), format!("{:.1}%", acc * 100.0), format!("{auc:.3}")]);
+        println!("    ({paper_note})");
+        artifact.push(serde_json::json!({
+            "approach": name, "accuracy": acc, "auc": auc,
+        }));
+    }
+    println!(
+        "\npaper reference: the deep-learning stage outperforms the graph-embedding \
+         baseline (93%+ vs ~80%) and both dominate classical matching."
+    );
+    write_json(&opts.out, "baseline_comparison.json", &artifact);
+}

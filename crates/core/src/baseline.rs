@@ -1,0 +1,296 @@
+//! Related-work baselines the paper compares against:
+//!
+//! * [`bipartite_similarity`] — BinDiff-style \[44\] greedy bipartite
+//!   matching of basic blocks on per-block features;
+//! * [`GeminiDetector`] — the graph-embedding approach of Xu et al. \[41\]:
+//!   structure2vec over per-block features with siamese cosine training,
+//!   the "static-only, ~80 % accuracy, large candidate sets" baseline the
+//!   hybrid pipeline improves on.
+
+use crate::features;
+use corpus::dataset1::Dataset1;
+use disasm::FunctionDisasm;
+use fwbin::isa::Inst;
+use neural::graph::{GraphEmbedder, GraphSample};
+use neural::matrix::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-block feature dimension for graph baselines.
+pub const BLOCK_FEATURES: usize = 8;
+
+/// Per-block feature vector: instruction count, byte size, calls, arith,
+/// FP arith, constants, out-degree, in-degree.
+pub fn block_features(dis: &FunctionDisasm, b: usize) -> [f64; BLOCK_FEATURES] {
+    let blk = &dis.cfg.blocks[b];
+    let insts = dis.block_insts(b);
+    let calls = insts.iter().filter(|(i, _)| matches!(i, Inst::Call { .. })).count() as f64;
+    let arith = insts.iter().filter(|(i, _)| i.is_arith()).count() as f64;
+    let fp = insts.iter().filter(|(i, _)| i.is_arith_fp()).count() as f64;
+    let consts = insts
+        .iter()
+        .filter(|(i, _)| matches!(i, Inst::MovImm { .. } | Inst::BinImm { .. }))
+        .count() as f64;
+    [
+        blk.len() as f64,
+        blk.byte_size as f64,
+        calls,
+        arith,
+        fp,
+        consts,
+        blk.succs.len() as f64,
+        blk.preds.len() as f64,
+    ]
+}
+
+/// BinDiff-style similarity: greedily match blocks of `a` against blocks of
+/// `b` by minimal feature distance; the score is the mean matched distance
+/// plus a penalty per unmatched block. Lower = more similar (a distance).
+pub fn bipartite_similarity(a: &FunctionDisasm, b: &FunctionDisasm) -> f64 {
+    let na = a.cfg.blocks.len();
+    let nb = b.cfg.blocks.len();
+    if na == 0 || nb == 0 {
+        return if na == nb { 0.0 } else { f64::INFINITY };
+    }
+    let fa: Vec<_> = (0..na).map(|i| block_features(a, i)).collect();
+    let fb: Vec<_> = (0..nb).map(|i| block_features(b, i)).collect();
+    let cost = |x: &[f64; BLOCK_FEATURES], y: &[f64; BLOCK_FEATURES]| -> f64 {
+        x.iter().zip(y).map(|(p, q)| (p - q).abs() / (1.0 + p.abs().max(q.abs()))).sum()
+    };
+    // Greedy global matching: repeatedly take the cheapest unmatched pair.
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(na * nb);
+    for (i, x) in fa.iter().enumerate() {
+        for (j, y) in fb.iter().enumerate() {
+            pairs.push((cost(x, y), i, j));
+        }
+    }
+    pairs.sort_by(|p, q| p.0.partial_cmp(&q.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut used_a = vec![false; na];
+    let mut used_b = vec![false; nb];
+    let mut total = 0.0;
+    let mut matched = 0usize;
+    for (c, i, j) in pairs {
+        if !used_a[i] && !used_b[j] {
+            used_a[i] = true;
+            used_b[j] = true;
+            total += c;
+            matched += 1;
+            if matched == na.min(nb) {
+                break;
+            }
+        }
+    }
+    let unmatched = (na.max(nb) - matched) as f64;
+    total / matched.max(1) as f64 + unmatched * 2.0
+}
+
+/// Build the structure2vec input for a disassembled function (symmetric
+/// adjacency over CFG successors ∪ predecessors).
+pub fn graph_sample(dis: &FunctionDisasm) -> GraphSample {
+    let n = dis.cfg.blocks.len();
+    let mut adj = vec![Vec::new(); n];
+    for (v, blk) in dis.cfg.blocks.iter().enumerate() {
+        for &s in &blk.succs {
+            if !adj[v].contains(&(s as usize)) {
+                adj[v].push(s as usize);
+            }
+            if !adj[s as usize].contains(&v) {
+                adj[s as usize].push(v);
+            }
+        }
+    }
+    let feats = Matrix::from_fn(n, BLOCK_FEATURES, |r, c| {
+        let f = block_features(dis, r)[c];
+        // Log-squash for scale robustness.
+        (1.0 + f).ln() as f32
+    });
+    GraphSample { adj, feats }
+}
+
+/// The Gemini-style static baseline detector.
+pub struct GeminiDetector {
+    /// The trained graph embedder.
+    pub embedder: GraphEmbedder,
+    /// Cosine-similarity acceptance threshold.
+    pub threshold: f32,
+}
+
+/// Training settings for the graph baseline.
+#[derive(Debug, Clone)]
+pub struct GeminiConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Aggregation rounds.
+    pub rounds: usize,
+    /// Training pair count.
+    pub pairs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+    /// Acceptance threshold.
+    pub threshold: f32,
+}
+
+impl Default for GeminiConfig {
+    fn default() -> GeminiConfig {
+        GeminiConfig { dim: 32, rounds: 3, pairs: 2000, lr: 5e-3, seed: 17, threshold: 0.5 }
+    }
+}
+
+impl GeminiDetector {
+    /// Train on Dataset I with siamese cosine pairs (+1 same source,
+    /// -1 different).
+    pub fn train(ds: &Dataset1, cfg: &GeminiConfig) -> GeminiDetector {
+        // Disassemble everything once.
+        let mut samples: Vec<GraphSample> = Vec::new();
+        let mut identity: Vec<(usize, String)> = Vec::new();
+        for v in &ds.variants {
+            for (fi, rec) in v.binary.functions.iter().enumerate() {
+                let dis = disasm::disassemble(&v.binary, fi).expect("dataset decodes");
+                samples.push(graph_sample(&dis));
+                identity.push((v.library, rec.name.clone().expect("unstripped")));
+            }
+        }
+        // Group indices by identity.
+        use std::collections::HashMap;
+        let mut groups: HashMap<&(usize, String), Vec<usize>> = HashMap::new();
+        for (i, id) in identity.iter().enumerate() {
+            groups.entry(id).or_default().push(i);
+        }
+        let mut keys: Vec<_> = groups.keys().copied().collect();
+        keys.sort();
+        let groups: Vec<&Vec<usize>> = keys.iter().map(|k| &groups[k]).collect();
+
+        let mut emb = GraphEmbedder::new(BLOCK_FEATURES, cfg.dim, cfg.rounds, cfg.seed);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xBEEF);
+        for _ in 0..cfg.pairs {
+            let g = groups[rng.gen_range(0..groups.len())];
+            if g.len() >= 2 {
+                let a = g[rng.gen_range(0..g.len())];
+                let b = g[rng.gen_range(0..g.len())];
+                if a != b {
+                    emb.train_pair(&samples[a], &samples[b], 1.0, cfg.lr);
+                }
+            }
+            let a = g[rng.gen_range(0..g.len())];
+            let c = rng.gen_range(0..samples.len());
+            if identity[c] != identity[a] {
+                emb.train_pair(&samples[a], &samples[c], -1.0, cfg.lr);
+            }
+        }
+        GeminiDetector { embedder: emb, threshold: cfg.threshold }
+    }
+
+    /// Cosine similarity of two functions in [-1, 1].
+    pub fn similarity(&self, a: &FunctionDisasm, b: &FunctionDisasm) -> f32 {
+        self.embedder.similarity(&graph_sample(a), &graph_sample(b))
+    }
+
+    /// Scan a binary: cosine similarity of every function against a
+    /// reference embedding.
+    pub fn scan(&self, bin: &fwbin::Binary, reference: &FunctionDisasm) -> Vec<f32> {
+        let ref_emb = self.embedder.embed(&graph_sample(reference));
+        (0..bin.function_count())
+            .map(|i| {
+                let dis = disasm::disassemble(bin, i).expect("target decodes");
+                neural::cosine(&ref_emb, &self.embedder.embed(&graph_sample(&dis)))
+            })
+            .collect()
+    }
+}
+
+/// Static-feature nearest-neighbour distance (used by ablation benches):
+/// plain normalized L2 over the 48 Table I features — the "no learning"
+/// strawman.
+pub fn raw_feature_distance(
+    norm: &features::Normalizer,
+    a: &features::StaticFeatures,
+    b: &features::StaticFeatures,
+) -> f64 {
+    norm.apply(a)
+        .iter()
+        .zip(norm.apply(b))
+        .map(|(x, y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::dataset1::Dataset1Config;
+    use fwbin::isa::{Arch, OptLevel};
+    use fwlang::gen::Generator;
+
+    fn disasms(seed: u64, arch: Arch, opt: OptLevel) -> Vec<FunctionDisasm> {
+        let lib = Generator::new(seed).library_sized("libb", 8);
+        let bin = fwbin::compile_library(&lib, arch, opt).unwrap();
+        disasm::disassemble_all(&bin).unwrap()
+    }
+
+    #[test]
+    fn bipartite_zero_for_identical() {
+        let ds = disasms(1, Arch::Arm64, OptLevel::O2);
+        for d in &ds {
+            assert_eq!(bipartite_similarity(d, d), 0.0);
+        }
+    }
+
+    #[test]
+    fn bipartite_ranks_same_source_closer_on_average() {
+        let a = disasms(2, Arch::X86, OptLevel::O1);
+        let b = disasms(2, Arch::Arm64, OptLevel::O2);
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        let mut n_cross = 0.0;
+        for i in 0..a.len() {
+            same += bipartite_similarity(&a[i], &b[i]);
+            for j in 0..b.len() {
+                if i != j {
+                    cross += bipartite_similarity(&a[i], &b[j]);
+                    n_cross += 1.0;
+                }
+            }
+        }
+        assert!((same / a.len() as f64) < cross / n_cross);
+    }
+
+    #[test]
+    fn graph_sample_is_symmetric() {
+        let ds = disasms(3, Arch::Arm32, OptLevel::O2);
+        for d in &ds {
+            let g = graph_sample(d);
+            assert!(g.check());
+            for (v, ns) in g.adj.iter().enumerate() {
+                for &u in ns {
+                    assert!(g.adj[u].contains(&v), "edge {v}->{u} not symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemini_trains_and_separates() {
+        let ds = corpus::build_dataset1(&Dataset1Config {
+            num_libraries: 3,
+            min_functions: 5,
+            max_functions: 6,
+            seed: 5,
+                include_catalog: false,
+        });
+        let cfg = GeminiConfig { pairs: 600, ..GeminiConfig::default() };
+        let det = GeminiDetector::train(&ds, &cfg);
+        // Same function across platforms embeds closer than different ones.
+        let v0 = &ds.variants[0].binary;
+        let v1 = &ds.variants_of(0).nth(4).unwrap().binary;
+        let d00 = disasm::disassemble(v0, 0).unwrap();
+        let d10 = disasm::disassemble(v1, 0).unwrap();
+        let d13 = disasm::disassemble(v1, 3).unwrap();
+        let same = det.similarity(&d00, &d10);
+        let diff = det.similarity(&d00, &d13);
+        assert!(same > diff, "same {same} vs diff {diff}");
+        let probs = det.scan(v1, &d00);
+        assert_eq!(probs.len(), v1.function_count());
+    }
+}

@@ -1,0 +1,316 @@
+//! The deep-learning vulnerability detector (§III-A): pair-sampled
+//! training over Dataset I and the trained pair classifier.
+//!
+//! Two functions are labeled *similar* when they were compiled from the
+//! same source function (possibly for different architectures or
+//! optimization levels), *dissimilar* otherwise. The classifier is the
+//! 6-layer sequential model of Figure 4, over 96 inputs (two 48-feature
+//! vectors).
+
+use crate::features::{self, Normalizer, StaticFeatures};
+use corpus::dataset1::Dataset1;
+use neural::matrix::Matrix;
+use neural::net::{self, Mlp, TrainConfig, TrainHistory};
+use neural::metrics;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Layer widths of the paper's 6-layer model (input shape 96).
+pub const MODEL_DIMS: [usize; 7] = [96, 128, 64, 32, 16, 8, 1];
+
+/// Detector training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Positive (and negative) pairs sampled per source function.
+    pub pairs_per_function: usize,
+    /// Training hyperparameters.
+    pub train: TrainConfig,
+    /// Similarity threshold for candidate selection.
+    pub threshold: f32,
+    /// Pair-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> DetectorConfig {
+        DetectorConfig {
+            pairs_per_function: 8,
+            train: TrainConfig { epochs: 15, batch: 256, lr: 1e-3, seed: 7, ..Default::default() },
+            threshold: 0.5,
+            seed: 1234,
+        }
+    }
+}
+
+/// Held-out test metrics (the paper reports accuracy 96 % and AUC 0.971 for
+/// the baseline \[41\]; Figure 8 shows the curves).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TestMetrics {
+    /// Accuracy at threshold 0.5 on the held-out test split.
+    pub accuracy: f32,
+    /// Area under the ROC curve on the test split.
+    pub auc: f64,
+    /// Test pair count.
+    pub pairs: usize,
+}
+
+/// The trained detector: model + the normalizer its inputs require.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Detector {
+    /// The pair classifier.
+    pub net: Mlp,
+    /// Input normalization fitted on the training corpus.
+    pub norm: Normalizer,
+    /// Candidate-selection threshold.
+    pub threshold: f32,
+}
+
+/// A labeled feature-pair dataset (flattened inputs + labels).
+pub struct PairDataset {
+    /// `(pairs, 96)` input matrix.
+    pub x: Matrix,
+    /// Labels (1 = similar).
+    pub y: Vec<f32>,
+}
+
+/// Extracted per-variant features with source identity for pair sampling.
+struct Extracted {
+    /// `features[v][f]` = features of function `f` in variant `v`.
+    features: Vec<Vec<StaticFeatures>>,
+    /// Source identity per variant function: (library, function name).
+    identity: Vec<Vec<(usize, String)>>,
+}
+
+fn extract_dataset(ds: &Dataset1) -> Extracted {
+    let mut features = Vec::with_capacity(ds.variants.len());
+    let mut identity = Vec::with_capacity(ds.variants.len());
+    for v in &ds.variants {
+        let fs = features::extract_all(&v.binary).expect("dataset binaries decode");
+        let ids = v
+            .binary
+            .functions
+            .iter()
+            .map(|f| (v.library, f.name.clone().expect("dataset I is unstripped")))
+            .collect();
+        features.push(fs);
+        identity.push(ids);
+    }
+    Extracted { features, identity }
+}
+
+/// Sample a balanced pair dataset from Dataset I. Positive pairs are two
+/// variants of the same source function; negatives pair it with a random
+/// different function.
+pub fn sample_pairs(ds: &Dataset1, cfg: &DetectorConfig, norm: &Normalizer) -> PairDataset {
+    let ex = extract_dataset(ds);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Index variants by source identity.
+    use std::collections::HashMap;
+    let mut groups: HashMap<(usize, &str), Vec<(usize, usize)>> = HashMap::new();
+    for (vi, ids) in ex.identity.iter().enumerate() {
+        for (fi, (lib, name)) in ids.iter().enumerate() {
+            groups.entry((*lib, name.as_str())).or_default().push((vi, fi));
+        }
+    }
+    let group_list: Vec<&Vec<(usize, usize)>> = {
+        let mut keys: Vec<_> = groups.keys().copied().collect();
+        keys.sort(); // determinism
+        keys.iter().map(|k| &groups[k]).collect()
+    };
+
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut y: Vec<f32> = Vec::new();
+    let total_variants = ex.features.len();
+    for (gi, members) in group_list.iter().enumerate() {
+        if members.len() < 2 {
+            continue;
+        }
+        for _ in 0..cfg.pairs_per_function {
+            // Positive pair: two distinct variants of this function.
+            let a = members[rng.gen_range(0..members.len())];
+            let mut b = members[rng.gen_range(0..members.len())];
+            let mut guard = 0;
+            while b == a && guard < 8 {
+                b = members[rng.gen_range(0..members.len())];
+                guard += 1;
+            }
+            if a == b {
+                continue;
+            }
+            rows.push(norm.pair_input(&ex.features[a.0][a.1], &ex.features[b.0][b.1]));
+            y.push(1.0);
+            // Negative pair: this function against a random other one.
+            let mut ov = rng.gen_range(0..total_variants);
+            let mut of = rng.gen_range(0..ex.features[ov].len());
+            let mut guard = 0;
+            while ex.identity[ov][of] == ex.identity[a.0][a.1] && guard < 8 {
+                ov = rng.gen_range(0..total_variants);
+                of = rng.gen_range(0..ex.features[ov].len());
+                guard += 1;
+            }
+            rows.push(norm.pair_input(&ex.features[a.0][a.1], &ex.features[ov][of]));
+            y.push(0.0);
+        }
+        let _ = gi;
+    }
+
+    let cols = rows.first().map(|r| r.len()).unwrap_or(96);
+    let mut x = Matrix::zeros(rows.len(), cols);
+    for (r, row) in rows.iter().enumerate() {
+        x.row_mut(r).copy_from_slice(row);
+    }
+    PairDataset { x, y }
+}
+
+/// Train the detector on Dataset I, splitting pairs 60/20/20 into
+/// train/validation/test as the paper does (1,222,663 / 407,554 / 407,555).
+/// Returns the detector, the Figure-8 history, and the test metrics.
+pub fn train(ds: &Dataset1, cfg: &DetectorConfig) -> (Detector, TrainHistory, TestMetrics) {
+    // Fit the normalizer on every function of every variant.
+    let mut corpus = Vec::new();
+    for v in &ds.variants {
+        corpus.extend(features::extract_all(&v.binary).expect("dataset binaries decode"));
+    }
+    let norm = Normalizer::fit(&corpus);
+    drop(corpus);
+
+    let pairs = sample_pairs(ds, cfg, &norm);
+    let n = pairs.x.rows();
+    // Shuffled split.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5151);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let n_train = n * 6 / 10;
+    let n_val = n * 2 / 10;
+    let take = |idx: &[usize]| -> (Matrix, Vec<f32>) {
+        (pairs.x.gather_rows(idx), idx.iter().map(|&i| pairs.y[i]).collect())
+    };
+    let (tx, ty) = take(&order[..n_train]);
+    let (vx, vy) = take(&order[n_train..n_train + n_val]);
+    let (sx, sy) = take(&order[n_train + n_val..]);
+
+    let mut net = Mlp::new(&MODEL_DIMS, cfg.seed ^ 0x77);
+    let history = net::train(&mut net, &tx, &ty, &vx, &vy, &cfg.train);
+
+    let test_probs = net.predict(&sx);
+    let metrics = TestMetrics {
+        accuracy: metrics::accuracy(&test_probs, &sy, 0.5),
+        auc: metrics::auc(&test_probs, &sy),
+        pairs: sy.len(),
+    };
+    (Detector { net, norm, threshold: cfg.threshold }, history, metrics)
+}
+
+impl Detector {
+    /// Similarity probability of one pair.
+    pub fn similarity(&self, a: &StaticFeatures, b: &StaticFeatures) -> f32 {
+        let input = self.norm.pair_input(a, b);
+        let x = Matrix::from_vec(1, input.len(), input);
+        self.net.predict(&x)[0]
+    }
+
+    /// Similarity of a reference against many targets (batched forward
+    /// pass — the "seconds per library" static stage).
+    pub fn batch_similarity(&self, reference: &StaticFeatures, targets: &[StaticFeatures]) -> Vec<f32> {
+        if targets.is_empty() {
+            return Vec::new();
+        }
+        let ref_norm = self.norm.apply(reference);
+        let mut x = Matrix::zeros(targets.len(), ref_norm.len() * 2);
+        for (r, t) in targets.iter().enumerate() {
+            let row = x.row_mut(r);
+            row[..ref_norm.len()].copy_from_slice(&ref_norm);
+            row[ref_norm.len()..].copy_from_slice(&self.norm.apply(t));
+        }
+        self.net.predict(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::dataset1::Dataset1Config;
+
+    fn tiny_dataset() -> Dataset1 {
+        corpus::build_dataset1(&Dataset1Config {
+            num_libraries: 4,
+            min_functions: 5,
+            max_functions: 7,
+            seed: 21,
+                include_catalog: false,
+        })
+    }
+
+    #[test]
+    fn pair_sampling_is_balanced() {
+        let ds = tiny_dataset();
+        let cfg = DetectorConfig { pairs_per_function: 2, ..DetectorConfig::default() };
+        let mut corpus = Vec::new();
+        for v in &ds.variants {
+            corpus.extend(crate::features::extract_all(&v.binary).unwrap());
+        }
+        let norm = Normalizer::fit(&corpus);
+        let pairs = sample_pairs(&ds, &cfg, &norm);
+        let pos = pairs.y.iter().filter(|y| **y == 1.0).count();
+        let neg = pairs.y.len() - pos;
+        assert_eq!(pos, neg, "balanced pos/neg");
+        assert!(pairs.y.len() > 50);
+        assert_eq!(pairs.x.cols(), 96);
+    }
+
+    #[test]
+    fn training_learns_cross_platform_similarity() {
+        let ds = tiny_dataset();
+        let cfg = DetectorConfig {
+            pairs_per_function: 6,
+            train: TrainConfig { epochs: 20, batch: 64, lr: 2e-3, seed: 3, ..Default::default() },
+            ..DetectorConfig::default()
+        };
+        let (det, history, metrics) = train(&ds, &cfg);
+        assert_eq!(history.epochs.len(), 20);
+        assert!(
+            metrics.accuracy > 0.8,
+            "even a tiny corpus should separate reasonably, got {}",
+            metrics.accuracy
+        );
+        assert!(metrics.auc > 0.85, "AUC {}", metrics.auc);
+
+        // Spot check: variant pair of the same function scores high.
+        let v0 = &ds.variants[0];
+        let v1 = ds.variants_of(0).nth(3).unwrap();
+        let f0 = crate::features::extract_all(&v0.binary).unwrap();
+        let f1 = crate::features::extract_all(&v1.binary).unwrap();
+        let same = det.similarity(&f0[0], &f1[0]);
+        let diff = det.similarity(&f0[0], &f1[3]);
+        assert!(same > diff, "same-source {same} vs different {diff}");
+    }
+
+    #[test]
+    fn batch_similarity_matches_single() {
+        let ds = tiny_dataset();
+        let cfg = DetectorConfig {
+            pairs_per_function: 2,
+            train: TrainConfig { epochs: 2, batch: 64, lr: 1e-3, seed: 3, ..Default::default() },
+            ..DetectorConfig::default()
+        };
+        let (det, _, _) = train(&ds, &cfg);
+        let fs = crate::features::extract_all(&ds.variants[0].binary).unwrap();
+        let batch = det.batch_similarity(&fs[0], &fs[1..4]);
+        for (i, b) in batch.iter().enumerate() {
+            let single = det.similarity(&fs[0], &fs[1 + i]);
+            assert!((b - single).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn model_has_six_layers_and_96_inputs() {
+        let net = Mlp::new(&MODEL_DIMS, 0);
+        assert_eq!(net.num_layers(), 6);
+        assert_eq!(net.input_dim(), 96);
+    }
+}

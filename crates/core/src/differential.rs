@@ -1,0 +1,465 @@
+//! The differential engine (§III-D): given the vulnerable reference `f_v`,
+//! the patched reference `f_p`, and the located target `f_t`, decide
+//! whether the target carries the patch.
+//!
+//! Three evidence channels, as in the paper:
+//!
+//! 1. **static features** — the 48 Table I features of all three versions;
+//! 2. **dynamic semantic similarity** — `sim(f_v, f_t)` vs `sim(f_p, f_t)`
+//!    on shared execution environments;
+//! 3. **differential signatures** — CFG topology plus semantic information
+//!    (library-call sets, string references, parameters, local sizes; the
+//!    paper's `j___aeabi_memmove` / "if condition" examples).
+//!
+//! When every channel is inconclusive (|margin| below the tie threshold)
+//! the verdict defaults to *patched* — this documented tie-break is what
+//! reproduces the paper's single Table VIII miss, CVE-2018-9470, whose
+//! patch changes one integer constant and is invisible to all three
+//! channels.
+
+use crate::features::{self, StaticFeatures};
+use crate::pipeline::Patchecko;
+use crate::similarity;
+use corpus::vulndb::DbEntry;
+use fwbin::format::Binary;
+use fwbin::isa::Inst;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use vm::loader::LoadedBinary;
+
+/// Differential-engine tuning.
+#[derive(Debug, Clone)]
+pub struct DifferentialConfig {
+    /// Margin below which the evidence is considered inconclusive.
+    pub tie_epsilon: f64,
+    /// Enable the exploit channel: replay the catalog entry's
+    /// proof-of-concept input (when one is public) against all three
+    /// functions and vote on behavioural match. Off by default — the
+    /// paper's evaluation does not use exploits; its §V-D limitations
+    /// discussion proposes exactly this to close the CVE-2018-9470 gap
+    /// ("a solution would be to add more fine-grained features from known
+    /// vulnerability exploits"). See the `ablation_exploit_channel`
+    /// binary.
+    pub use_exploit_channel: bool,
+}
+
+impl Default for DifferentialConfig {
+    fn default() -> DifferentialConfig {
+        DifferentialConfig { tie_epsilon: 0.02, use_exploit_channel: false }
+    }
+}
+
+/// The signature comparison detail (for reports).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SignatureDiff {
+    /// Library routines called by the vulnerable reference.
+    pub vuln_imports: Vec<String>,
+    /// Library routines called by the patched reference.
+    pub patched_imports: Vec<String>,
+    /// Library routines called by the target.
+    pub target_imports: Vec<String>,
+    /// Signature components that matched the vulnerable side.
+    pub votes_vulnerable: u32,
+    /// Signature components that matched the patched side.
+    pub votes_patched: u32,
+}
+
+/// The engine's decision with its full evidence trail.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatchVerdict {
+    /// CVE under test.
+    pub cve: String,
+    /// Final decision: `true` = the target carries the patch.
+    pub patched: bool,
+    /// Dynamic similarity distance to the vulnerable reference
+    /// (Equation 2; the paper's case study reports 34.7 here).
+    pub dyn_dist_vulnerable: f64,
+    /// Dynamic distance to the patched reference (the case study's 65.6).
+    pub dyn_dist_patched: f64,
+    /// Static (normalized L2) distance to the vulnerable reference.
+    pub static_dist_vulnerable: f64,
+    /// Static distance to the patched reference.
+    pub static_dist_patched: f64,
+    /// Signature comparison.
+    pub signature: SignatureDiff,
+    /// Combined decision margin in [-1, 1]; positive favors patched.
+    pub margin: f64,
+    /// Whether the tie-break rule decided (inconclusive evidence).
+    pub tie_break: bool,
+    /// Exploit-channel vote, when the channel ran: +1 the target behaves
+    /// like the patched build on the PoC, -1 like the vulnerable build,
+    /// 0 inconclusive.
+    pub exploit_vote: Option<i32>,
+}
+
+/// Names of imported routines called by function `idx` of `bin`.
+pub fn import_call_names(bin: &Binary, idx: usize) -> BTreeSet<String> {
+    let Ok(code) = bin.decode_function(idx) else {
+        return BTreeSet::new();
+    };
+    code.iter()
+        .filter_map(|i| match i {
+            Inst::Call { sym } if sym.is_import() => {
+                bin.imports.get(sym.index() as usize).cloned()
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn static_distance(norm: &crate::features::Normalizer, a: &StaticFeatures, b: &StaticFeatures) -> f64 {
+    norm.apply(a)
+        .iter()
+        .zip(norm.apply(b))
+        .map(|(x, y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Ratio in [0, 1]: 0 when all weight sits on `a`, 1 when on `b`, 0.5 when
+/// equal or both zero.
+fn share(a: f64, b: f64) -> f64 {
+    if a + b < 1e-12 {
+        0.5
+    } else {
+        a / (a + b)
+    }
+}
+
+/// Run the differential engine for one located target function.
+///
+/// `target_idx` is the function (from the pipeline's ranking) inside
+/// `target_bin`. Environments are generated from both references and
+/// filtered to those all three functions survive, so the three dynamic
+/// profiles are comparable.
+pub fn detect_patch(
+    patchecko: &Patchecko,
+    entry: &DbEntry,
+    target_bin: &Binary,
+    target_idx: usize,
+    cfg: &DifferentialConfig,
+) -> PatchVerdict {
+    let vm_cfg = &patchecko.config.vm;
+
+    // --- static channel ---
+    let fv = Patchecko::reference_features(entry, crate::pipeline::Basis::Vulnerable);
+    let fp = Patchecko::reference_features(entry, crate::pipeline::Basis::Patched);
+    let dt = disasm::disassemble(target_bin, target_idx).expect("target decodes");
+    let ft = features::extract(&dt, &target_bin.functions[target_idx]);
+    let norm = &patchecko.detector.norm;
+    let sv = static_distance(norm, &fv, &ft);
+    let sp = static_distance(norm, &fp, &ft);
+
+    // --- dynamic channel (references compiled for the target's platform,
+    // as both run on-device in the paper's setup) ---
+    let vref = LoadedBinary::load(entry.reference_for(target_bin.arch, false))
+        .expect("reference loads");
+    let pref = LoadedBinary::load(entry.reference_for(target_bin.arch, true))
+        .expect("reference loads");
+    let target = LoadedBinary::load(target_bin.clone()).expect("target loads");
+    let mut envs = patchecko.make_environments(&vref);
+    envs.extend(patchecko.make_environments(&pref));
+    envs.retain(|e| {
+        vref.run_any(0, e, vm_cfg).outcome.is_ok()
+            && pref.run_any(0, e, vm_cfg).outcome.is_ok()
+            && target.run_any(target_idx, e, vm_cfg).outcome.is_ok()
+    });
+    let profile = |lb: &LoadedBinary, f: usize| -> Vec<vm::DynFeatures> {
+        envs.iter().map(|e| lb.run_any(f, e, vm_cfg).features).collect()
+    };
+    let prof_v = profile(&vref, 0);
+    let prof_p = profile(&pref, 0);
+    let prof_t = profile(&target, target_idx);
+    let p = patchecko.config.minkowski_p;
+    let dv = similarity::sim_over_envs(&prof_v, &prof_t, p);
+    let dp = similarity::sim_over_envs(&prof_p, &prof_t, p);
+
+    // --- signature channel ---
+    let vuln_imports = import_call_names(&entry.vulnerable_bin, 0);
+    let patched_imports = import_call_names(&entry.patched_bin, 0);
+    let target_imports = import_call_names(target_bin, target_idx);
+    let mut votes_v = 0u32;
+    let mut votes_p = 0u32;
+    let mut vote = |d_v: f64, d_p: f64| {
+        if d_v < d_p {
+            votes_v += 1;
+        } else if d_p < d_v {
+            votes_p += 1;
+        }
+    };
+    // Library-call set (the paper's memmove example) — counted only when
+    // the references actually disagree.
+    if vuln_imports != patched_imports {
+        let jac = |a: &BTreeSet<String>, b: &BTreeSet<String>| -> f64 {
+            let inter = a.intersection(b).count() as f64;
+            let uni = a.union(b).count() as f64;
+            if uni == 0.0 {
+                0.0
+            } else {
+                1.0 - inter / uni
+            }
+        };
+        vote(jac(&vuln_imports, &target_imports), jac(&patched_imports, &target_imports));
+    }
+    // CFG topology: block and edge counts.
+    for name in ["num_bb", "num_edge", "cyclomatic_complexity"] {
+        let v = fv.by_name(name).unwrap();
+        let pch = fp.by_name(name).unwrap();
+        let t = ft.by_name(name).unwrap();
+        if v != pch {
+            vote((v - t).abs(), (pch - t).abs());
+        }
+    }
+    // Semantic info: string refs, constants, locals, calls.
+    for name in ["num_string", "num_constant", "size_local", "num_cx"] {
+        let v = fv.by_name(name).unwrap();
+        let pch = fp.by_name(name).unwrap();
+        let t = ft.by_name(name).unwrap();
+        if v != pch {
+            vote((v - t).abs(), (pch - t).abs());
+        }
+    }
+
+    // --- optional exploit channel (§V-D future work) ---
+    let exploit_vote = if cfg.use_exploit_channel {
+        entry.entry.poc.as_ref().map(|poc| {
+            let env = vm::ExecEnv::for_buffer(poc.clone(), &[]);
+            let run = |lb: &LoadedBinary, f: usize| lb.run_any(f, &env, vm_cfg);
+            let rv = run(&vref, 0);
+            let rp = run(&pref, 0);
+            let rt = run(&target, target_idx);
+            exploit_behaviour_vote(&rv, &rp, &rt)
+        })
+    } else {
+        None
+    };
+
+    // --- combine: channel-majority vote ---
+    // Each channel casts +1 (patched), -1 (vulnerable) or abstains when
+    // its ratio sits inside the tie band. All three ratios share one
+    // orientation: > 0.5 means the target sits far from the vulnerable
+    // reference (looks patched). Channel votes rather than a blended mean
+    // keep a decisive signature (the paper's `j___aeabi_memmove` example)
+    // from being drowned out by noisy dynamic instruction counts.
+    let r_dyn = share(dv, dp);
+    let r_static = share(sv, sp);
+    let r_sig = share(votes_p as f64, votes_v as f64);
+    let channel = |r: f64| -> i32 {
+        if (r - 0.5).abs() <= cfg.tie_epsilon {
+            0
+        } else if r > 0.5 {
+            1
+        } else {
+            -1
+        }
+    };
+    let mut votes = channel(r_dyn) + channel(r_static) + channel(r_sig);
+    let mut n_channels = 3;
+    if let Some(ev) = exploit_vote {
+        // Exploit behaviour is the most direct evidence: it observes the
+        // vulnerability itself, so it carries double weight.
+        votes += 2 * ev;
+        n_channels += 2;
+    }
+    let margin = votes as f64 / n_channels as f64;
+    let tie_break = votes == 0;
+    let patched = if tie_break { true } else { votes > 0 };
+
+    PatchVerdict {
+        cve: entry.entry.cve.clone(),
+        patched,
+        dyn_dist_vulnerable: dv,
+        dyn_dist_patched: dp,
+        static_dist_vulnerable: sv,
+        static_dist_patched: sp,
+        signature: SignatureDiff {
+            vuln_imports: vuln_imports.into_iter().collect(),
+            patched_imports: patched_imports.into_iter().collect(),
+            target_imports: target_imports.into_iter().collect(),
+            votes_vulnerable: votes_v,
+            votes_patched: votes_p,
+        },
+        margin,
+        tie_break,
+        exploit_vote,
+    }
+}
+
+/// Compare the target's behaviour on the PoC input against both reference
+/// builds: -1 when it behaves like the vulnerable build, +1 like the
+/// patched build, 0 when indistinguishable.
+///
+/// Behaviour is compared hierarchically, most to least decisive: outcome
+/// class (return vs crash), returned value, then the Minkowski distance of
+/// the dynamic feature vectors of the PoC run.
+fn exploit_behaviour_vote(
+    vuln: &vm::RunResult,
+    patched: &vm::RunResult,
+    target: &vm::RunResult,
+) -> i32 {
+    use vm::Outcome;
+    let class = |o: &Outcome| matches!(o, Outcome::Returned(_));
+    let (cv, cp, ct) = (class(&vuln.outcome), class(&patched.outcome), class(&target.outcome));
+    if cv != cp {
+        // The PoC separates the builds by outcome class (e.g. the
+        // vulnerable build crashes): the target's class decides.
+        return if ct == cp { 1 } else { -1 };
+    }
+    if let (Outcome::Returned(v), Outcome::Returned(p), Outcome::Returned(t)) =
+        (&vuln.outcome, &patched.outcome, &target.outcome)
+    {
+        if v.as_int() != p.as_int() {
+            if t.as_int() == p.as_int() {
+                return 1;
+            }
+            if t.as_int() == v.as_int() {
+                return -1;
+            }
+        }
+    }
+    // Fall back to dynamic-profile proximity on the PoC run (the
+    // flagship's quadratic-memmove signature shows up here).
+    let dv = crate::similarity::minkowski(
+        vuln.features.as_slice(),
+        target.features.as_slice(),
+        crate::similarity::PAPER_P,
+    );
+    let dp = crate::similarity::minkowski(
+        patched.features.as_slice(),
+        target.features.as_slice(),
+        crate::similarity::PAPER_P,
+    );
+    if (dv - dp).abs() < 1e-9 {
+        0
+    } else if dp < dv {
+        1
+    } else {
+        -1
+    }
+}
+
+/// Run the differential engine on several candidate target functions and
+/// keep the verdict of the candidate most likely to *be* the target: the
+/// one closest to either reference version (`min(dv, dp)`). A false
+/// positive sits far from both the vulnerable and the patched build of the
+/// CVE function; the true target is near one of them. Ties (including the
+/// all-zero distances of feature-invisible patches) break toward the more
+/// decisive margin.
+///
+/// Returns `None` if `candidates` is empty.
+pub fn detect_patch_best(
+    patchecko: &Patchecko,
+    entry: &DbEntry,
+    target_bin: &Binary,
+    candidates: &[usize],
+    cfg: &DifferentialConfig,
+) -> Option<(usize, PatchVerdict)> {
+    let mut best: Option<(usize, PatchVerdict, f64)> = None;
+    for &c in candidates {
+        let v = detect_patch(patchecko, entry, target_bin, c, cfg);
+        let proximity = v.dyn_dist_vulnerable.min(v.dyn_dist_patched)
+            + v.static_dist_vulnerable.min(v.static_dist_patched);
+        let better = match &best {
+            Some((_, b, d)) => {
+                proximity < *d - 1e-9
+                    || ((proximity - *d).abs() <= 1e-9 && v.margin.abs() > b.margin.abs())
+            }
+            None => true,
+        };
+        if better {
+            best = Some((c, v, proximity));
+        }
+    }
+    best.map(|(c, v, _)| (c, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use crate::testutil::shared_detector;
+
+    fn quick_patchecko() -> Patchecko {
+        Patchecko::new(shared_detector().clone(), PipelineConfig::default())
+    }
+
+    /// Compile a target carrying the requested version of a CVE entry's
+    /// function at index 0 (standalone; enough for engine tests).
+    fn target_with(entry: &corpus::vulndb::DbEntry, patched: bool) -> Binary {
+        let lib = corpus::catalog::reference_library(&entry.entry, patched);
+        // Device-style compilation: different arch/opt from the reference.
+        let mut bin =
+            fwbin::compile_library(&lib, fwbin::Arch::Arm32, fwbin::OptLevel::O2).unwrap();
+        bin.strip();
+        bin
+    }
+
+    #[test]
+    fn flagship_vulnerable_target_detected_vulnerable() {
+        let patchecko = quick_patchecko();
+        let db = corpus::build_vulndb(0, 1);
+        let entry = db.get("CVE-2018-9412").unwrap();
+        let target = target_with(entry, false);
+        let v = detect_patch(&patchecko, entry, &target, 0, &DifferentialConfig::default());
+        assert!(!v.patched, "margin {}, dv {} dp {}", v.margin, v.dyn_dist_vulnerable, v.dyn_dist_patched);
+        // The paper's case-study signal: memmove in the vulnerable import
+        // set, absent from the patched one, present in the target.
+        assert!(v.signature.vuln_imports.contains(&"memmove".to_string()));
+        assert!(!v.signature.patched_imports.contains(&"memmove".to_string()));
+        assert!(v.signature.target_imports.contains(&"memmove".to_string()));
+    }
+
+    #[test]
+    fn flagship_patched_target_detected_patched() {
+        let patchecko = quick_patchecko();
+        let db = corpus::build_vulndb(0, 1);
+        let entry = db.get("CVE-2018-9412").unwrap();
+        let target = target_with(entry, true);
+        let v = detect_patch(&patchecko, entry, &target, 0, &DifferentialConfig::default());
+        assert!(v.patched, "margin {}", v.margin);
+    }
+
+    #[test]
+    fn exploit_channel_resolves_tiny_patch() {
+        // §V-D: with the PoC available, the one-integer patch becomes
+        // behaviourally observable and the tie-break never fires.
+        let patchecko = quick_patchecko();
+        let db = corpus::build_vulndb(0, 1);
+        let entry = db.get("CVE-2018-9470").unwrap();
+        assert!(entry.entry.poc.is_some(), "9470 carries a PoC");
+        let cfg = DifferentialConfig { use_exploit_channel: true, ..Default::default() };
+        let v = detect_patch(&patchecko, entry, &target_with(entry, false), 0, &cfg);
+        assert_eq!(v.exploit_vote, Some(-1), "target behaves like the vulnerable build");
+        assert!(!v.patched, "exploit evidence overrides the tie");
+        let v = detect_patch(&patchecko, entry, &target_with(entry, true), 0, &cfg);
+        assert_eq!(v.exploit_vote, Some(1));
+        assert!(v.patched);
+    }
+
+    #[test]
+    fn exploit_channel_flagship_profile_match() {
+        // The flagship PoC (ff 00 stuffing) separates the builds by
+        // dynamic profile (quadratic memmove), not by return value.
+        let patchecko = quick_patchecko();
+        let db = corpus::build_vulndb(0, 1);
+        let entry = db.get("CVE-2018-9412").unwrap();
+        let cfg = DifferentialConfig { use_exploit_channel: true, ..Default::default() };
+        let v = detect_patch(&patchecko, entry, &target_with(entry, false), 0, &cfg);
+        assert_eq!(v.exploit_vote, Some(-1));
+        assert!(!v.patched);
+    }
+
+    #[test]
+    fn tiny_patch_falls_to_tie_break() {
+        // CVE-2018-9470: one-constant patch; all channels inconclusive.
+        let patchecko = quick_patchecko();
+        let db = corpus::build_vulndb(0, 1);
+        let entry = db.get("CVE-2018-9470").unwrap();
+        let target = target_with(entry, false); // actually vulnerable
+        let v = detect_patch(&patchecko, entry, &target, 0, &DifferentialConfig::default());
+        // The engine cannot tell and defaults to "patched" — the paper's
+        // one Table VIII miss.
+        assert!(v.tie_break, "expected inconclusive evidence, margin {}", v.margin);
+        assert!(v.patched);
+    }
+}

@@ -1,0 +1,186 @@
+//! Structured audit reports: the deployment-facing output of PATCHECKO
+//! ("PATCHECKO outputs the vulnerable points (functions) within the target
+//! firmware image and the corresponding CVE numbers"). One [`AuditReport`]
+//! summarizes a whole-image scan against the vulnerability database, is
+//! serializable for machine consumption, and renders to Markdown for
+//! humans.
+
+use crate::differential::PatchVerdict;
+use serde::{Deserialize, Serialize};
+
+/// The verdict class for one CVE on one image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditStatus {
+    /// The vulnerable version is present.
+    Vulnerable,
+    /// The patched version is present.
+    Patched,
+    /// No function in the image matched either version.
+    NotFound,
+}
+
+/// One CVE's audit outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditFinding {
+    /// CVE identifier.
+    pub cve: String,
+    /// Host library the CVE is known to live in.
+    pub expected_library: String,
+    /// Severity string.
+    pub severity: String,
+    /// Verdict.
+    pub status: AuditStatus,
+    /// Where the target was located (`library:function_index`).
+    pub located: Option<String>,
+    /// The differential engine's full evidence, when the target was found.
+    pub verdict: Option<PatchVerdict>,
+}
+
+/// A whole-image audit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Device/image name.
+    pub device: String,
+    /// Image patch-level string.
+    pub patch_level: String,
+    /// Libraries in the image.
+    pub libraries: usize,
+    /// Total function count.
+    pub functions: usize,
+    /// Per-CVE findings, database order.
+    pub findings: Vec<AuditFinding>,
+}
+
+impl AuditReport {
+    /// CVEs the image is exposed to.
+    pub fn exposed(&self) -> impl Iterator<Item = &AuditFinding> {
+        self.findings.iter().filter(|f| f.status == AuditStatus::Vulnerable)
+    }
+
+    /// Count by status.
+    pub fn count(&self, status: AuditStatus) -> usize {
+        self.findings.iter().filter(|f| f.status == status).count()
+    }
+
+    /// Render as a Markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# PATCHECKO audit — {}\n\n", self.device));
+        out.push_str(&format!(
+            "{} libraries, {} functions, patch level {}\n\n",
+            self.libraries, self.functions, self.patch_level
+        ));
+        out.push_str("| CVE | severity | located | verdict |\n|---|---|---|---|\n");
+        for f in &self.findings {
+            let verdict = match f.status {
+                AuditStatus::Vulnerable => "**VULNERABLE**",
+                AuditStatus::Patched => "patched",
+                AuditStatus::NotFound => "not found",
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                f.cve,
+                f.severity,
+                f.located.as_deref().unwrap_or("—"),
+                verdict
+            ));
+        }
+        let exposed = self.count(AuditStatus::Vulnerable);
+        out.push_str(&format!(
+            "\n**Exposed to {exposed} of {} known CVEs** ({} patched, {} not found).\n",
+            self.findings.len(),
+            self.count(AuditStatus::Patched),
+            self.count(AuditStatus::NotFound)
+        ));
+        if exposed > 0 {
+            out.push_str("\n## Action items\n\n");
+            for f in self.exposed() {
+                out.push_str(&format!(
+                    "- `{}` in `{}`: apply the upstream fix ({})\n",
+                    f.cve,
+                    f.expected_library,
+                    f.verdict
+                        .as_ref()
+                        .map(|v| format!(
+                            "dynamic distance {:.1} to vulnerable vs {:.1} to patched build",
+                            v.dyn_dist_vulnerable, v.dyn_dist_patched
+                        ))
+                        .unwrap_or_default()
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditReport {
+        AuditReport {
+            device: "android_things_1.0".into(),
+            patch_level: "2018-05".into(),
+            libraries: 16,
+            functions: 300,
+            findings: vec![
+                AuditFinding {
+                    cve: "CVE-2018-9412".into(),
+                    expected_library: "libstagefright".into(),
+                    severity: "high".into(),
+                    status: AuditStatus::Vulnerable,
+                    located: Some("libstagefright:46".into()),
+                    verdict: None,
+                },
+                AuditFinding {
+                    cve: "CVE-2017-13232".into(),
+                    expected_library: "libaudioflinger".into(),
+                    severity: "high".into(),
+                    status: AuditStatus::Patched,
+                    located: Some("libaudioflinger:11".into()),
+                    verdict: None,
+                },
+                AuditFinding {
+                    cve: "CVE-0000-0000".into(),
+                    expected_library: "libmissing".into(),
+                    severity: "high".into(),
+                    status: AuditStatus::NotFound,
+                    located: None,
+                    verdict: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_by_status() {
+        let r = sample();
+        assert_eq!(r.count(AuditStatus::Vulnerable), 1);
+        assert_eq!(r.count(AuditStatus::Patched), 1);
+        assert_eq!(r.count(AuditStatus::NotFound), 1);
+        assert_eq!(r.exposed().count(), 1);
+    }
+
+    #[test]
+    fn markdown_contains_all_findings() {
+        let md = sample().to_markdown();
+        assert!(md.contains("# PATCHECKO audit — android_things_1.0"));
+        assert!(md.contains("| CVE-2018-9412 |"));
+        assert!(md.contains("**VULNERABLE**"));
+        assert!(md.contains("| CVE-2017-13232 |"));
+        assert!(md.contains("not found"));
+        assert!(md.contains("Exposed to 1 of 3"));
+        assert!(md.contains("## Action items"));
+        assert!(md.contains("apply the upstream fix"));
+    }
+
+    #[test]
+    fn report_serde_roundtrips() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.findings.len(), 3);
+        assert_eq!(back.device, r.device);
+        assert_eq!(back.count(AuditStatus::Vulnerable), 1);
+    }
+}

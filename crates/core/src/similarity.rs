@@ -1,0 +1,128 @@
+//! Function semantic similarity (§III-C): Minkowski distance over dynamic
+//! feature vectors, averaged across execution environments (Equations 1
+//! and 2 of the paper, with p = 3).
+
+use serde::{Deserialize, Serialize};
+use vm::DynFeatures;
+
+/// The paper's Minkowski exponent ("In our case, we set p=3").
+pub const PAPER_P: f64 = 3.0;
+
+/// Minkowski distance of order `p` between two equal-length vectors
+/// (Equation 1). `p = 1` is Manhattan, `p = 2` Euclidean.
+///
+/// # Panics
+/// Panics if lengths differ or `p <= 0`.
+pub fn minkowski(x: &[f64], y: &[f64], p: f64) -> f64 {
+    assert_eq!(x.len(), y.len(), "feature vectors must have equal length");
+    assert!(p > 0.0, "Minkowski order must be positive");
+    let sum: f64 = x.iter().zip(y).map(|(a, b)| (a - b).abs().powf(p)).sum();
+    sum.powf(1.0 / p)
+}
+
+/// Equation 2: mean Minkowski distance over K execution environments.
+/// Lower is more similar. Environments where either side is missing are
+/// skipped; returns `f64::INFINITY` when no environment is comparable.
+pub fn sim_over_envs(f: &[DynFeatures], g: &[DynFeatures], p: f64) -> f64 {
+    let k = f.len().min(g.len());
+    if k == 0 {
+        return f64::INFINITY;
+    }
+    let mut total = 0.0;
+    for i in 0..k {
+        total += minkowski(f[i].as_slice(), g[i].as_slice(), p);
+    }
+    total / k as f64
+}
+
+/// One ranked candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedCandidate {
+    /// Candidate's function-table index in the target binary.
+    pub function_index: usize,
+    /// Averaged similarity distance (Equation 2; lower = more similar).
+    pub distance: f64,
+}
+
+/// Rank candidates by averaged distance to the reference (ascending —
+/// "if this distance is small, there will be a high degree of similarity").
+pub fn rank(
+    reference: &[DynFeatures],
+    candidates: &[(usize, Vec<DynFeatures>)],
+    p: f64,
+) -> Vec<RankedCandidate> {
+    let mut out: Vec<RankedCandidate> = candidates
+        .iter()
+        .map(|(idx, envs)| RankedCandidate {
+            function_index: *idx,
+            distance: sim_over_envs(reference, envs, p),
+        })
+        .collect();
+    out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// Position (1-based) of `function_index` in a ranking, if present.
+pub fn rank_of(ranking: &[RankedCandidate], function_index: usize) -> Option<usize> {
+    ranking.iter().position(|r| r.function_index == function_index).map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dyn_feats(v: f64) -> DynFeatures {
+        DynFeatures([v; vm::NUM_DYN_FEATURES])
+    }
+
+    #[test]
+    fn minkowski_reduces_to_known_metrics() {
+        let x = [0.0, 0.0];
+        let y = [3.0, 4.0];
+        assert_eq!(minkowski(&x, &y, 1.0), 7.0);
+        assert_eq!(minkowski(&x, &y, 2.0), 5.0);
+        // p = 3: (27 + 64)^(1/3)
+        assert!((minkowski(&x, &y, 3.0) - 91.0f64.powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_metric_axioms() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 0.0, 1.0];
+        let c = [2.0, 2.0, 2.0];
+        for p in [1.0, 2.0, 3.0] {
+            assert_eq!(minkowski(&a, &a, p), 0.0);
+            assert_eq!(minkowski(&a, &b, p), minkowski(&b, &a, p));
+            assert!(minkowski(&a, &b, p) <= minkowski(&a, &c, p) + minkowski(&c, &b, p) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sim_over_envs_averages() {
+        let f = vec![dyn_feats(0.0), dyn_feats(0.0)];
+        let g = vec![dyn_feats(1.0), dyn_feats(3.0)];
+        // Per-env distance with p=1: 21*1 = 21 and 21*3 = 63; mean = 42.
+        assert_eq!(sim_over_envs(&f, &g, 1.0), 42.0);
+    }
+
+    #[test]
+    fn empty_envs_are_infinitely_far() {
+        assert_eq!(sim_over_envs(&[], &[dyn_feats(0.0)], 3.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ranking_sorts_ascending_and_finds_target() {
+        let reference = vec![dyn_feats(5.0)];
+        let candidates = vec![
+            (10, vec![dyn_feats(9.0)]),
+            (29, vec![dyn_feats(5.1)]),
+            (42, vec![dyn_feats(7.0)]),
+        ];
+        let ranking = rank(&reference, &candidates, PAPER_P);
+        assert_eq!(ranking[0].function_index, 29);
+        assert_eq!(rank_of(&ranking, 29), Some(1));
+        assert_eq!(rank_of(&ranking, 42), Some(2));
+        assert_eq!(rank_of(&ranking, 999), None);
+        assert!(ranking[0].distance <= ranking[1].distance);
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared test fixtures: a medium-scale detector trained once per test
+//! process (training is deterministic, so every test sees the same model).
+
+#![cfg(test)]
+
+use crate::detector::{self, Detector, DetectorConfig};
+use corpus::dataset1::Dataset1Config;
+use neural::net::TrainConfig;
+use std::sync::OnceLock;
+
+/// A detector trained on a 20-library Dataset I — large enough for
+/// realistic end-to-end behaviour (≈93 % held-out accuracy), small enough
+/// to train once in the test profile.
+pub fn shared_detector() -> &'static Detector {
+    static DET: OnceLock<Detector> = OnceLock::new();
+    DET.get_or_init(|| {
+        let ds = corpus::build_dataset1(&Dataset1Config {
+            num_libraries: 20,
+            min_functions: 8,
+            max_functions: 14,
+            seed: 1,
+                include_catalog: true,
+        });
+        let cfg = DetectorConfig {
+            pairs_per_function: 8,
+            train: TrainConfig { epochs: 25, batch: 256, lr: 1e-3, seed: 7, ..Default::default() },
+            ..DetectorConfig::default()
+        };
+        detector::train(&ds, &cfg).0
+    })
+}

@@ -1,0 +1,961 @@
+//! The 25-CVE catalog (Dataset II's featured entries).
+//!
+//! Each entry models one of the 25 Android Security Bulletin CVEs the paper
+//! evaluates (Tables VI–VIII), keeping the paper's CVE identifiers and the
+//! *shape* of each fix:
+//!
+//! * **CVE-2018-9412** — the §IV case study: the
+//!   `ID3::removeUnsynchronization` analog, a quadratic-`memmove` DoS whose
+//!   patch rewrites the loop into a single read/write-offset pass
+//!   (Figure 6 of the paper, reproduced in AST form here);
+//! * **CVE-2018-9470** — a patch that changes a *single integer constant*,
+//!   which the differential engine genuinely cannot distinguish (the one
+//!   Table VIII miss);
+//! * **CVE-2017-13209 / CVE-2018-9345** — heavy restructuring patches that
+//!   make the pre-/post-patch functions dissimilar even to the deep
+//!   learning model (the Table VI vulnerable-basis miss);
+//! * the rest — bounds guards, value-check guards, and call-replacement
+//!   patches, the common fix shapes.
+
+use fwlang::ast::{BinOp, CmpOp, Expr, Function, Library, Param, Stmt, Ty};
+use fwlang::patch::Patch;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Severity classes from the Android Security Bulletins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// High-severity issue.
+    High,
+    /// Critical-severity issue.
+    Critical,
+}
+
+/// How big the source-level patch is — determines whether static features
+/// can distinguish vulnerable from patched builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatchMagnitude {
+    /// One constant changed; feature-invisible.
+    Tiny,
+    /// A few statements added/removed (the common case).
+    Standard,
+    /// Function restructured; pre/post versions dissimilar.
+    Heavy,
+}
+
+/// One catalog entry: a known CVE with its vulnerable and patched source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CveEntry {
+    /// The CVE identifier, e.g. `CVE-2018-9412`.
+    pub cve: String,
+    /// Host library name, e.g. `libstagefright`.
+    pub library: String,
+    /// Vulnerable function name (ground truth; stripped in firmware).
+    pub function: String,
+    /// Severity class.
+    pub severity: Severity,
+    /// Patch size class.
+    pub magnitude: PatchMagnitude,
+    /// One-line description.
+    pub description: String,
+    /// The vulnerable function.
+    pub vulnerable: Function,
+    /// The patched function.
+    pub patched: Function,
+    /// The source-level patch that maps vulnerable → patched.
+    pub patch: Patch,
+    /// Number of functions in the host library (scaled 10× down from the
+    /// paper's Table VI "Total" column).
+    pub library_functions: usize,
+    /// Proof-of-concept trigger input, when an exploit is public. §V-D of
+    /// the paper proposes "add\[ing\] more fine-grained features from known
+    /// vulnerability exploits" to close the CVE-2018-9470-style gap — the
+    /// optional exploit channel of the differential engine replays this
+    /// input and compares behaviour.
+    pub poc: Option<Vec<u8>>,
+}
+
+/// The flagship CVE-2018-9412 analog: `removeUnsynchronization`.
+///
+/// Vulnerable version (paper Figure 6, left): scans for `ff 00` byte pairs
+/// and `memmove`s the tail left for each match — quadratic work and the
+/// DoS. Patched version (Figure 6, right): single pass with separate
+/// read/write offsets, no `memmove`, plus one extra `if` for value
+/// checking.
+pub fn remove_unsynchronization() -> (Function, Function, Patch) {
+    // --- vulnerable ---
+    let mut v = Function {
+        name: "removeUnsynchronization".into(),
+        params: vec![
+            Param { name: "data".into(), ty: Ty::Buf },
+            Param { name: "len".into(), ty: Ty::Int },
+        ],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![],
+        exported: false,
+    };
+    let i = v.add_local("i", Ty::Int);
+    let size = v.add_local("size", Ty::Int);
+    let match_cond = Expr::bin(
+        BinOp::And,
+        Expr::cmp(CmpOp::Eq, Expr::load(Expr::Param(0), Expr::Local(i)), Expr::ConstInt(0xff)),
+        Expr::cmp(
+            CmpOp::Eq,
+            Expr::load(Expr::Param(0), Expr::bin(BinOp::Add, Expr::Local(i), Expr::ConstInt(1))),
+            Expr::ConstInt(0x00),
+        ),
+    );
+    v.body = vec![
+        Stmt::Let { local: size, value: Expr::Param(1) },
+        Stmt::Let { local: i, value: Expr::ConstInt(0) },
+        Stmt::While {
+            cond: Expr::cmp(
+                CmpOp::Lt,
+                Expr::bin(BinOp::Add, Expr::Local(i), Expr::ConstInt(1)),
+                Expr::Local(size),
+            ),
+            body: vec![
+                Stmt::If {
+                    cond: match_cond,
+                    then_body: vec![
+                        // memmove(&data[i+1], &data[i+2], size - i - 2);
+                        Stmt::Expr(Expr::Call {
+                            callee: "memmove".into(),
+                            args: vec![
+                                Expr::bin(
+                                    BinOp::Add,
+                                    Expr::Param(0),
+                                    Expr::bin(BinOp::Add, Expr::Local(i), Expr::ConstInt(1)),
+                                ),
+                                Expr::bin(
+                                    BinOp::Add,
+                                    Expr::Param(0),
+                                    Expr::bin(BinOp::Add, Expr::Local(i), Expr::ConstInt(2)),
+                                ),
+                                Expr::bin(
+                                    BinOp::Sub,
+                                    Expr::bin(BinOp::Sub, Expr::Local(size), Expr::Local(i)),
+                                    Expr::ConstInt(2),
+                                ),
+                            ],
+                        }),
+                        // --size;
+                        Stmt::Let {
+                            local: size,
+                            value: Expr::bin(BinOp::Sub, Expr::Local(size), Expr::ConstInt(1)),
+                        },
+                    ],
+                    else_body: vec![],
+                },
+                Stmt::Let {
+                    local: i,
+                    value: Expr::bin(BinOp::Add, Expr::Local(i), Expr::ConstInt(1)),
+                },
+            ],
+        },
+        Stmt::Return(Some(Expr::Local(size))),
+    ];
+
+    // --- patched ---
+    let mut p = Function {
+        name: "removeUnsynchronization".into(),
+        params: v.params.clone(),
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![],
+        exported: false,
+    };
+    let size = p.add_local("size", Ty::Int);
+    let wo = p.add_local("writeOffset", Ty::Int);
+    let ro = p.add_local("readOffset", Ty::Int);
+    let match_cond = Expr::bin(
+        BinOp::And,
+        Expr::cmp(
+            CmpOp::Eq,
+            Expr::load(Expr::Param(0), Expr::bin(BinOp::Sub, Expr::Local(ro), Expr::ConstInt(1))),
+            Expr::ConstInt(0xff),
+        ),
+        Expr::cmp(CmpOp::Eq, Expr::load(Expr::Param(0), Expr::Local(ro)), Expr::ConstInt(0x00)),
+    );
+    p.body = vec![
+        Stmt::Let { local: size, value: Expr::Param(1) },
+        Stmt::Let { local: wo, value: Expr::ConstInt(1) },
+        Stmt::Let { local: ro, value: Expr::ConstInt(1) },
+        Stmt::While {
+            cond: Expr::cmp(CmpOp::Lt, Expr::Local(ro), Expr::Local(size)),
+            body: vec![
+                Stmt::If {
+                    cond: match_cond,
+                    then_body: vec![
+                        Stmt::Let {
+                            local: ro,
+                            value: Expr::bin(BinOp::Add, Expr::Local(ro), Expr::ConstInt(1)),
+                        },
+                        Stmt::Continue,
+                    ],
+                    else_body: vec![],
+                },
+                // data[writeOffset++] = data[readOffset];
+                Stmt::StoreByte {
+                    base: Expr::Param(0),
+                    index: Expr::Local(wo),
+                    value: Expr::load(Expr::Param(0), Expr::Local(ro)),
+                },
+                Stmt::Let {
+                    local: wo,
+                    value: Expr::bin(BinOp::Add, Expr::Local(wo), Expr::ConstInt(1)),
+                },
+                Stmt::Let {
+                    local: ro,
+                    value: Expr::bin(BinOp::Add, Expr::Local(ro), Expr::ConstInt(1)),
+                },
+            ],
+        },
+        // The extra value-check `if` the patch adds.
+        Stmt::If {
+            cond: Expr::cmp(CmpOp::Lt, Expr::Local(wo), Expr::Local(size)),
+            then_body: vec![Stmt::Let { local: size, value: Expr::Local(wo) }],
+            else_body: vec![],
+        },
+        Stmt::Return(Some(Expr::Local(size))),
+    ];
+
+    // The abstract patch description (for reports): remove the memmove,
+    // rewrite the loop.
+    let patch = Patch::Seq(vec![Patch::ReplaceCall {
+        callee: "memmove".into(),
+        replacement: vec![],
+    }]);
+    (v, p, patch)
+}
+
+/// Builder: loop that copies/shifts with an unchecked `memmove` tail; the
+/// patch drops the `memmove` and adds a value guard.
+fn vuln_overflow_copy(seed: u64, name: &str) -> (Function, Patch, Option<Vec<u8>>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sentinel = rng.gen_range(1..255i64);
+    let mut f = Function {
+        name: name.into(),
+        params: vec![
+            Param { name: "data".into(), ty: Ty::Buf },
+            Param { name: "len".into(), ty: Ty::Int },
+        ],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![],
+        exported: false,
+    };
+    let i = f.add_local("i", Ty::Int);
+    let hits = f.add_local("hits", Ty::Int);
+    f.body = vec![
+        Stmt::Let { local: hits, value: Expr::ConstInt(0) },
+        Stmt::For {
+            var: i,
+            start: Expr::ConstInt(0),
+            end: Expr::bin(BinOp::Sub, Expr::Param(1), Expr::ConstInt(1)),
+            step: Expr::ConstInt(1),
+            body: vec![Stmt::If {
+                cond: Expr::cmp(
+                    CmpOp::Eq,
+                    Expr::load(Expr::Param(0), Expr::Local(i)),
+                    Expr::ConstInt(sentinel),
+                ),
+                then_body: vec![
+                    Stmt::Expr(Expr::Call {
+                        callee: "memmove".into(),
+                        args: vec![
+                            Expr::bin(BinOp::Add, Expr::Param(0), Expr::Local(i)),
+                            Expr::bin(
+                                BinOp::Add,
+                                Expr::Param(0),
+                                Expr::bin(BinOp::Add, Expr::Local(i), Expr::ConstInt(1)),
+                            ),
+                            Expr::bin(
+                                BinOp::Sub,
+                                Expr::bin(BinOp::Sub, Expr::Param(1), Expr::Local(i)),
+                                Expr::ConstInt(1),
+                            ),
+                        ],
+                    }),
+                    Stmt::Let {
+                        local: hits,
+                        value: Expr::bin(BinOp::Add, Expr::Local(hits), Expr::ConstInt(1)),
+                    },
+                ],
+                else_body: vec![],
+            }],
+        },
+        Stmt::Return(Some(Expr::Local(hits))),
+    ];
+    let patch = Patch::Seq(vec![
+        Patch::ReplaceCall {
+            callee: "memmove".into(),
+            replacement: vec![Stmt::StoreByte {
+                base: Expr::Param(0),
+                index: Expr::Local(i),
+                value: Expr::ConstInt(0),
+            }],
+        },
+        Patch::BoundsGuard { len_param: 1, min_len: 2, reject: Some(0) },
+    ]);
+    // PoC: a run of sentinel bytes makes the vulnerable build memmove once
+    // per hit while the patched build never calls it.
+    let poc = vec![sentinel as u8; 10];
+    (f, patch, Some(poc))
+}
+
+/// Builder: header parser with unchecked fixed-offset reads; the patch is
+/// the classic bounds guard.
+fn vuln_unchecked_parse(seed: u64, name: &str) -> (Function, Patch, Option<Vec<u8>>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let magic = rng.gen_range(0..256i64);
+    let hdr = rng.gen_range(3..9i64);
+    let mut f = Function {
+        name: name.into(),
+        params: vec![
+            Param { name: "data".into(), ty: Ty::Buf },
+            Param { name: "len".into(), ty: Ty::Int },
+        ],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![],
+        exported: false,
+    };
+    let v0 = f.add_local("magic", Ty::Int);
+    let v1 = f.add_local("field", Ty::Int);
+    f.body = vec![
+        // Unchecked header reads: fault on short input (the vulnerability).
+        Stmt::Let { local: v0, value: Expr::load(Expr::Param(0), Expr::ConstInt(0)) },
+        Stmt::Let { local: v1, value: Expr::load(Expr::Param(0), Expr::ConstInt(hdr - 1)) },
+        Stmt::If {
+            cond: Expr::cmp(CmpOp::Ne, Expr::Local(v0), Expr::ConstInt(magic)),
+            then_body: vec![Stmt::Return(Some(Expr::ConstInt(-1)))],
+            else_body: vec![],
+        },
+        Stmt::Return(Some(Expr::bin(
+            BinOp::Or,
+            Expr::bin(BinOp::Shl, Expr::Local(v0), Expr::ConstInt(8)),
+            Expr::Local(v1),
+        ))),
+    ];
+    let patch = Patch::BoundsGuard { len_param: 1, min_len: hdr, reject: Some(-1) };
+    // PoC: a one-byte header crashes the vulnerable build (unchecked read
+    // at offset hdr-1) and is rejected gracefully by the patched one.
+    let poc = vec![magic as u8];
+    (f, patch, Some(poc))
+}
+
+/// Builder: scan loop missing an output limit; the patch guards the
+/// accumulation statement.
+fn vuln_missing_limit(seed: u64, name: &str) -> (Function, Patch, Option<Vec<u8>>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let trig = rng.gen_range(0..256i64);
+    let limit = rng.gen_range(8..32i64);
+    let mut f = Function {
+        name: name.into(),
+        params: vec![
+            Param { name: "data".into(), ty: Ty::Buf },
+            Param { name: "len".into(), ty: Ty::Int },
+        ],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![],
+        exported: false,
+    };
+    let i = f.add_local("i", Ty::Int);
+    let acc = f.add_local("acc", Ty::Int);
+    f.body = vec![
+        Stmt::Let { local: acc, value: Expr::ConstInt(0) },
+        Stmt::For {
+            var: i,
+            start: Expr::ConstInt(0),
+            end: Expr::Param(1),
+            step: Expr::ConstInt(1),
+            body: vec![Stmt::If {
+                cond: Expr::cmp(
+                    CmpOp::Eq,
+                    Expr::load(Expr::Param(0), Expr::Local(i)),
+                    Expr::ConstInt(trig),
+                ),
+                then_body: vec![Stmt::Let {
+                    local: acc,
+                    value: Expr::bin(
+                        BinOp::Add,
+                        Expr::Local(acc),
+                        Expr::bin(BinOp::Mul, Expr::Local(i), Expr::ConstInt(3)),
+                    ),
+                }],
+                else_body: vec![],
+            }],
+        },
+        Stmt::Return(Some(Expr::Local(acc))),
+    ];
+    // Guard the loop (statement #1) behind a validity check.
+    let patch = Patch::GuardStmt {
+        occurrence: 1,
+        cond: Expr::cmp(CmpOp::Le, Expr::Param(1), Expr::ConstInt(limit * 16)),
+    };
+    // PoC: an over-limit input makes the vulnerable build accumulate while
+    // the patched build skips the loop entirely (different return values).
+    let n = (limit * 16 + 8) as usize;
+    let poc = vec![trig as u8; n];
+    (f, patch, Some(poc))
+}
+
+/// Builder: arithmetic validation using a wrong constant; the patch changes
+/// only that constant (the CVE-2018-9470 shape — feature-invisible).
+fn vuln_wrong_constant(seed: u64, name: &str) -> (Function, Patch, Option<Vec<u8>>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let threshold = rng.gen_range(32..96i64);
+    let mut f = Function {
+        name: name.into(),
+        params: vec![
+            Param { name: "data".into(), ty: Ty::Buf },
+            Param { name: "len".into(), ty: Ty::Int },
+        ],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![],
+        exported: false,
+    };
+    let i = f.add_local("i", Ty::Int);
+    let acc = f.add_local("acc", Ty::Int);
+    f.body = vec![
+        Stmt::Let { local: acc, value: Expr::ConstInt(0) },
+        Stmt::For {
+            var: i,
+            start: Expr::ConstInt(0),
+            end: Expr::Param(1),
+            step: Expr::ConstInt(1),
+            body: vec![Stmt::If {
+                // The wrong threshold: off by one (<= instead of <,
+                // expressed as threshold vs threshold-1).
+                cond: Expr::cmp(
+                    CmpOp::Lt,
+                    Expr::load(Expr::Param(0), Expr::Local(i)),
+                    Expr::ConstInt(threshold),
+                ),
+                then_body: vec![Stmt::Let {
+                    local: acc,
+                    value: Expr::bin(
+                        BinOp::Xor,
+                        Expr::Local(acc),
+                        Expr::load(Expr::Param(0), Expr::Local(i)),
+                    ),
+                }],
+                else_body: vec![],
+            }],
+        },
+        Stmt::Return(Some(Expr::Local(acc))),
+    ];
+    // Pre-order constants: 0 (acc init), 0 (for start), 1 (step),
+    // threshold. Fix the threshold by -1.
+    let patch = Patch::ChangeConstant { occurrence: 3, delta: -1 };
+    // PoC: bytes equal to threshold-1 sit exactly on the off-by-one — the
+    // vulnerable build XORs them into the accumulator, the patched build
+    // excludes them, so the return values differ. This is the exploit
+    // knowledge the paper's §V-D "limitations" discussion says would close
+    // the CVE-2018-9470 gap.
+    let poc = vec![(threshold - 1) as u8; 5];
+    (f, patch, Some(poc))
+}
+
+/// Pad a CVE core function with deterministic filler logic, mirroring the
+/// reality that a security patch touches a small fraction of a real
+/// function (the paper's functions average hundreds of instructions; a
+/// bounds guard barely moves the 48 features). The same `seed` produces the
+/// same padding, so vulnerable and patched versions share their filler
+/// exactly and differ only in the patched core.
+///
+/// Padding reads only parameters and its own fresh locals (never the core's
+/// locals), performs fault-free arithmetic, and guards every buffer access
+/// behind a length check, so it cannot change the core's behaviour or crash
+/// profile.
+pub fn pad_function(f: &Function, seed: u64, n_stmts: usize) -> Function {
+    let mut out = f.clone();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let int_params: Vec<u32> = f
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.ty == Ty::Int)
+        .map(|(i, _)| i as u32)
+        .collect();
+    let buf = f.buffer_param();
+
+    // Per-seed "style": each CVE function gets its own mix of filler
+    // statement kinds, so padded functions are distinguishable from one
+    // another (real functions differ in texture, not just size).
+    let mut style = [0u32; 8];
+    for w in style.iter_mut() {
+        *w = rng.gen_range(1..12);
+    }
+    let style_total: u32 = style.iter().sum();
+    let n_pads = rng.gen_range(3..7usize);
+    let mut pads: Vec<u32> = Vec::new();
+    for k in 0..n_pads {
+        pads.push(out.add_local(format!("pad{k}"), Ty::Int));
+    }
+    let mut stmts: Vec<Stmt> = Vec::new();
+    for (k, &p) in pads.iter().enumerate() {
+        let init = if int_params.is_empty() {
+            Expr::ConstInt(rng.gen_range(1..64))
+        } else {
+            Expr::bin(
+                BinOp::Add,
+                Expr::Param(int_params[k % int_params.len()]),
+                Expr::ConstInt(rng.gen_range(1..64)),
+            )
+        };
+        stmts.push(Stmt::Let { local: p, value: init });
+    }
+    while stmts.len() < n_stmts {
+        let dst = pads[rng.gen_range(0..pads.len())];
+        let src = pads[rng.gen_range(0..pads.len())];
+        let mut pick = rng.gen_range(0..style_total);
+        let mut kind = 0usize;
+        for (k, w) in style.iter().enumerate() {
+            if pick < *w {
+                kind = k;
+                break;
+            }
+            pick -= w;
+        }
+        match kind {
+            0 | 1 => {
+                let op = [BinOp::Add, BinOp::Xor, BinOp::Mul, BinOp::Sub][rng.gen_range(0..4)];
+                stmts.push(Stmt::Let {
+                    local: dst,
+                    value: Expr::bin(
+                        op,
+                        Expr::Local(src),
+                        Expr::ConstInt(rng.gen_range(1..256)),
+                    ),
+                });
+            }
+            2 => {
+                stmts.push(Stmt::Let {
+                    local: dst,
+                    value: Expr::bin(
+                        [BinOp::And, BinOp::Or, BinOp::Shr][rng.gen_range(0..3)],
+                        Expr::Local(src),
+                        Expr::ConstInt(rng.gen_range(1..8)),
+                    ),
+                });
+            }
+            3 => {
+                // Small constant-trip accumulation loop.
+                let i = out.add_local(format!("pad_i{}", stmts.len()), Ty::Int);
+                stmts.push(Stmt::For {
+                    var: i,
+                    start: Expr::ConstInt(0),
+                    end: Expr::ConstInt(rng.gen_range(2..6)),
+                    step: Expr::ConstInt(1),
+                    body: vec![Stmt::Let {
+                        local: dst,
+                        value: Expr::bin(BinOp::Add, Expr::Local(dst), Expr::Local(i)),
+                    }],
+                });
+            }
+            4 => {
+                stmts.push(Stmt::If {
+                    cond: Expr::cmp(
+                        [CmpOp::Gt, CmpOp::Lt, CmpOp::Ne][rng.gen_range(0..3)],
+                        Expr::Local(src),
+                        Expr::ConstInt(rng.gen_range(0..128)),
+                    ),
+                    then_body: vec![Stmt::Let {
+                        local: dst,
+                        value: Expr::bin(BinOp::Xor, Expr::Local(dst), Expr::Local(src)),
+                    }],
+                    else_body: vec![],
+                });
+            }
+            5 | 6 => {
+                // Library-routine calls: real functions call many imports,
+                // so a patch that removes one call changes the call profile
+                // only marginally.
+                let call = match rng.gen_range(0..3) {
+                    0 => Expr::Call { callee: "abs".into(), args: vec![Expr::Local(src)] },
+                    1 => Expr::Call {
+                        callee: "min".into(),
+                        args: vec![Expr::Local(src), Expr::ConstInt(rng.gen_range(16..512))],
+                    },
+                    _ => Expr::Call {
+                        callee: "max".into(),
+                        args: vec![Expr::Local(src), Expr::ConstInt(rng.gen_range(0..16))],
+                    },
+                };
+                stmts.push(Stmt::Let { local: dst, value: call });
+            }
+            _ => {
+                // Guarded buffer peek (safe: index < len implies in bounds).
+                if let Some((bp, lp)) = buf {
+                    let off = rng.gen_range(0..16i64);
+                    stmts.push(Stmt::If {
+                        cond: Expr::cmp(CmpOp::Gt, Expr::Param(lp), Expr::ConstInt(off)),
+                        then_body: vec![Stmt::Let {
+                            local: dst,
+                            value: Expr::bin(
+                                BinOp::Add,
+                                Expr::Local(dst),
+                                Expr::load(Expr::Param(bp), Expr::ConstInt(off)),
+                            ),
+                        }],
+                        else_body: vec![],
+                    });
+                }
+            }
+        }
+    }
+
+    // First half before the core, second half just before the trailing
+    // return (core statements keep their relative order).
+    let split = stmts.len() / 2;
+    let tail: Vec<Stmt> = stmts.split_off(split);
+    let mut body = stmts;
+    body.extend(out.body.clone());
+    let ret_pos = body
+        .iter()
+        .rposition(|s| matches!(s, Stmt::Return(_)))
+        .unwrap_or(body.len());
+    for (k, s) in tail.into_iter().enumerate() {
+        body.insert(ret_pos + k, s);
+    }
+    out.body = body;
+    out
+}
+
+/// Patch-shape selector per CVE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Flagship,
+    OverflowCopy,
+    UncheckedParse,
+    MissingLimit,
+    WrongConstant,
+}
+
+/// The full 25-entry catalog, in Table VI row order.
+pub fn full_catalog() -> Vec<CveEntry> {
+    // (cve, library, total-fns (scaled /10, min 12), severity, shape, heavy)
+    #[allow(clippy::type_complexity)]
+    let rows: [(&str, &str, usize, Severity, Shape, bool); 25] = [
+        ("CVE-2018-9451", "libmediaplayer", 118, Severity::High, Shape::UncheckedParse, false),
+        ("CVE-2018-9340", "libmediaplayer", 118, Severity::High, Shape::OverflowCopy, false),
+        ("CVE-2017-13232", "libaudioflinger", 99, Severity::High, Shape::MissingLimit, false),
+        ("CVE-2018-9345", "libdrmserver", 36, Severity::High, Shape::UncheckedParse, true),
+        ("CVE-2018-9420", "libmtp", 12, Severity::High, Shape::UncheckedParse, false),
+        ("CVE-2017-13210", "libmtp", 12, Severity::High, Shape::MissingLimit, false),
+        ("CVE-2018-9470", "libexif", 143, Severity::High, Shape::WrongConstant, false),
+        ("CVE-2017-13209", "libnfc", 102, Severity::High, Shape::OverflowCopy, true),
+        ("CVE-2018-9411", "libnfc", 102, Severity::Critical, Shape::OverflowCopy, false),
+        ("CVE-2017-13252", "libmediaextractor", 62, Severity::High, Shape::MissingLimit, false),
+        ("CVE-2017-13253", "libmediaextractor", 62, Severity::High, Shape::UncheckedParse, false),
+        ("CVE-2018-9499", "libmediaextractor", 62, Severity::Critical, Shape::OverflowCopy, false),
+        ("CVE-2018-9424", "libmediaextractor", 62, Severity::High, Shape::MissingLimit, false),
+        ("CVE-2018-9491", "libsoundpool", 47, Severity::High, Shape::UncheckedParse, false),
+        ("CVE-2017-13278", "libbluetooth", 254, Severity::Critical, Shape::MissingLimit, false),
+        ("CVE-2018-9410", "libskia", 65, Severity::High, Shape::UncheckedParse, false),
+        ("CVE-2017-13208", "libminikin", 18, Severity::High, Shape::MissingLimit, false),
+        ("CVE-2018-9498", "libwebviewchromium", 1373, Severity::Critical, Shape::UncheckedParse, false),
+        ("CVE-2017-13279", "libhevc", 74, Severity::High, Shape::MissingLimit, false),
+        ("CVE-2018-9440", "libhevc", 74, Severity::High, Shape::UncheckedParse, false),
+        ("CVE-2018-9427", "libmpeg2", 118, Severity::Critical, Shape::OverflowCopy, false),
+        ("CVE-2017-13178", "libavc", 59, Severity::High, Shape::MissingLimit, false),
+        ("CVE-2017-13180", "libavc", 59, Severity::High, Shape::UncheckedParse, false),
+        ("CVE-2018-9412", "libstagefright", 565, Severity::High, Shape::Flagship, false),
+        ("CVE-2017-13182", "libstagefright", 565, Severity::High, Shape::UncheckedParse, false),
+    ];
+
+    rows.iter()
+        .enumerate()
+        .map(|(idx, &(cve, library, total, severity, shape, heavy))| {
+            let seed = 0xC0FFEE ^ (idx as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            let pad_seed = seed ^ 0xFADED;
+            let pad_n = 26 + (idx % 8) * 3; // 26..47 filler statements
+            let fn_name = format!("{}_{}", library.trim_start_matches("lib"), cve.replace('-', "_"));
+            if shape == Shape::Flagship {
+                let (v, p, patch) = remove_unsynchronization();
+                return CveEntry {
+                    cve: cve.to_string(),
+                    library: library.to_string(),
+                    function: v.name.clone(),
+                    severity,
+                    magnitude: PatchMagnitude::Standard,
+                    description: "ID3 unsynchronization removal DoS in libstagefright".to_string(),
+                    vulnerable: pad_function(&v, pad_seed, pad_n),
+                    patched: pad_function(&p, pad_seed, pad_n),
+                    patch,
+                    library_functions: total,
+                    // The public DoS trigger: unsynchronization byte
+                    // stuffing, one memmove per ff 00 pair.
+                    poc: Some([0xff, 0x00].repeat(16)),
+                };
+            }
+            let (core, mut patch, poc) = match shape {
+                Shape::OverflowCopy => vuln_overflow_copy(seed, &fn_name),
+                Shape::UncheckedParse => vuln_unchecked_parse(seed, &fn_name),
+                Shape::MissingLimit => vuln_missing_limit(seed, &fn_name),
+                Shape::WrongConstant => vuln_wrong_constant(seed, &fn_name),
+                Shape::Flagship => unreachable!(),
+            };
+            // The patch edits the small core; vulnerable and patched share
+            // their (identically seeded) padding. Heavy patches additionally
+            // restructure the *whole padded* function, which is what makes
+            // pre- and post-patch versions dissimilar even to the deep
+            // model.
+            let patched_core = patch.apply(&core);
+            let vulnerable = pad_function(&core, pad_seed, pad_n);
+            let patched = if heavy {
+                // A heavy patch is a wholesale rewrite: the patched build
+                // shares only the core fix with the vulnerable one (fresh
+                // filler, restructured control flow). This is what makes
+                // the pre-/post-patch pair dissimilar even to the deep
+                // model (the paper's CVE-2017-13209 discussion).
+                let restructure = Patch::Restructure { min_len: 2 };
+                let p = restructure.apply(&pad_function(&patched_core, pad_seed ^ 0x5EED, pad_n + 9));
+                patch = Patch::Seq(vec![patch, restructure]);
+                p
+            } else {
+                pad_function(&patched_core, pad_seed, pad_n)
+            };
+            let magnitude = if heavy {
+                PatchMagnitude::Heavy
+            } else if shape == Shape::WrongConstant {
+                PatchMagnitude::Tiny
+            } else {
+                PatchMagnitude::Standard
+            };
+            CveEntry {
+                cve: cve.to_string(),
+                library: library.to_string(),
+                function: vulnerable.name.clone(),
+                severity,
+                magnitude,
+                description: format!("{} vulnerability in {library}", match shape {
+                    Shape::OverflowCopy => "buffer shift overflow",
+                    Shape::UncheckedParse => "unchecked header parse",
+                    Shape::MissingLimit => "missing input limit",
+                    Shape::WrongConstant => "off-by-one bounds constant",
+                    Shape::Flagship => unreachable!(),
+                }),
+                vulnerable,
+                patched,
+                patch,
+                library_functions: total,
+                poc,
+            }
+        })
+        .collect()
+}
+
+/// Wrap a CVE function (vulnerable or patched) into a standalone
+/// single-function reference library for compiling the Dataset II baseline
+/// binaries.
+pub fn reference_library(entry: &CveEntry, patched: bool) -> Library {
+    let mut lib = Library::new(format!(
+        "{}_{}_ref",
+        entry.library,
+        if patched { "patched" } else { "vuln" }
+    ));
+    let mut f = if patched { entry.patched.clone() } else { entry.vulnerable.clone() };
+    f.exported = true; // references are compiled with exports for direct runs
+    lib.functions.push(f);
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fwbin::isa::{Arch, OptLevel};
+    use vmtest::*;
+
+    /// Minimal helpers to execute catalog functions in tests.
+    mod vmtest {
+        pub use vm::env::ExecEnv;
+        pub use vm::exec::VmConfig;
+        pub use vm::loader::LoadedBinary;
+        pub use vm::value::Value;
+        pub use vm::Outcome;
+    }
+
+    fn run_fn(
+        f: &Function,
+        input: Vec<u8>,
+    ) -> (vmtest::Outcome, vm::DynFeatures) {
+        let mut lib = Library::new("libtest");
+        let mut f = f.clone();
+        f.exported = true;
+        lib.functions.push(f);
+        let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O1).unwrap();
+        let lb = LoadedBinary::load(bin).unwrap();
+        let env = ExecEnv::for_buffer(input, &[]);
+        let r = lb.run_any(0, &env, &VmConfig::default());
+        (r.outcome, r.features)
+    }
+
+    #[test]
+    fn catalog_has_25_unique_cves() {
+        let cat = full_catalog();
+        assert_eq!(cat.len(), 25);
+        let mut ids: Vec<&str> = cat.iter().map(|e| e.cve.as_str()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 25);
+    }
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let a = full_catalog();
+        let b = full_catalog();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.vulnerable, y.vulnerable);
+            assert_eq!(x.patched, y.patched);
+        }
+    }
+
+    #[test]
+    fn vulnerable_and_patched_differ_for_all_entries() {
+        for e in full_catalog() {
+            assert_ne!(e.vulnerable.body, e.patched.body, "{} versions must differ", e.cve);
+        }
+    }
+
+    #[test]
+    fn flagship_vulnerable_and_patched_agree_on_unsync_removal() {
+        // Both versions implement "remove 00 after ff": on an input with
+        // unsync byte stuffing both return the same reduced size.
+        let (v, p, _) = remove_unsynchronization();
+        let input = vec![0x10, 0xff, 0x00, 0x22, 0xff, 0x00, 0x33];
+        let (ov, _) = run_fn(&v, input.clone());
+        let (op, _) = run_fn(&p, input);
+        assert_eq!(ov, vmtest::Outcome::Returned(Value::Int(5)), "vulnerable removes 2 bytes");
+        assert_eq!(op, vmtest::Outcome::Returned(Value::Int(5)), "patched removes 2 bytes");
+    }
+
+    #[test]
+    fn flagship_vulnerable_does_quadratic_memmove_work() {
+        let (v, p, _) = remove_unsynchronization();
+        // Adversarial input: many ff 00 pairs.
+        let mut adversarial = Vec::new();
+        for _ in 0..12 {
+            adversarial.extend_from_slice(&[0xff, 0x00]);
+        }
+        let (_, fv) = run_fn(&v, adversarial.clone());
+        let (_, fp) = run_fn(&p, adversarial);
+        // F20 = library calls: vulnerable memmoves once per match, patched
+        // never calls memmove.
+        assert!(fv.feature(20) >= 10.0, "vulnerable makes many memmove calls: {}", fv.feature(20));
+        assert_eq!(fp.feature(20), 0.0, "patched makes none");
+        // The paper's Table III signal: anon-region traffic explodes in the
+        // vulnerable version.
+        assert!(fv.feature(18) > fp.feature(18) * 2.0);
+    }
+
+    #[test]
+    fn unchecked_parse_crashes_short_input_until_patched() {
+        let cat = full_catalog();
+        let e = cat.iter().find(|e| e.cve == "CVE-2018-9451").unwrap();
+        let (ov, _) = run_fn(&e.vulnerable, vec![0x01]);
+        assert!(matches!(ov, vmtest::Outcome::Fault(_)), "vulnerable parse faults on short input");
+        let (op, _) = run_fn(&e.patched, vec![0x01]);
+        assert!(op.is_ok(), "patched parse rejects gracefully: {op:?}");
+    }
+
+    #[test]
+    fn tiny_patch_changes_exactly_one_constant() {
+        let cat = full_catalog();
+        let e = cat.iter().find(|e| e.cve == "CVE-2018-9470").unwrap();
+        assert_eq!(e.magnitude, PatchMagnitude::Tiny);
+        let cv = fwlang::visit::int_constants(&e.vulnerable);
+        let cp = fwlang::visit::int_constants(&e.patched);
+        assert_eq!(cv.len(), cp.len());
+        let diffs = cv.iter().zip(&cp).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1, "exactly one constant differs");
+    }
+
+    #[test]
+    fn heavy_patches_change_shape_substantially() {
+        let cat = full_catalog();
+        for id in ["CVE-2017-13209", "CVE-2018-9345"] {
+            let e = cat.iter().find(|e| e.cve == id).unwrap();
+            assert_eq!(e.magnitude, PatchMagnitude::Heavy);
+            let sv = fwlang::visit::stmt_count(&e.vulnerable);
+            let sp = fwlang::visit::stmt_count(&e.patched);
+            assert!(sp > sv + 2, "{id}: {sv} -> {sp} statements");
+        }
+    }
+
+    #[test]
+    fn all_entries_compile_and_run_on_benign_input() {
+        // Every vulnerable and patched function must compile on every
+        // platform and terminate (possibly with a fault) on a benign input.
+        let cat = full_catalog();
+        for e in &cat {
+            for patched in [false, true] {
+                let lib = reference_library(e, patched);
+                for arch in [Arch::X86, Arch::Arm64] {
+                    let bin = fwbin::compile_library(&lib, arch, OptLevel::O1)
+                        .unwrap_or_else(|err| panic!("{} compile failed: {err}", e.cve));
+                    let lb = LoadedBinary::load(bin).unwrap();
+                    let env = ExecEnv::for_buffer((0..32u8).collect(), &[]);
+                    let r = lb.run_any(0, &env, &VmConfig::default());
+                    assert!(
+                        !matches!(r.outcome, vmtest::Outcome::Timeout),
+                        "{} ({patched}) timed out",
+                        e.cve
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pocs_distinguish_vulnerable_from_patched() {
+        // Every catalog PoC must separate the two builds behaviourally:
+        // different outcome class, different return value, or a markedly
+        // different dynamic profile — otherwise the exploit channel could
+        // not vote.
+        for e in full_catalog() {
+            let Some(poc) = &e.poc else { continue };
+            let run = |f: &Function| run_fn(f, poc.clone());
+            let (ov, fv) = run(&e.vulnerable);
+            let (op, fp) = run(&e.patched);
+            let outcome_differs = ov.is_ok() != op.is_ok()
+                || match (&ov, &op) {
+                    (vmtest::Outcome::Returned(a), vmtest::Outcome::Returned(b)) => {
+                        a.as_int() != b.as_int()
+                    }
+                    _ => false,
+                };
+            let profile_differs = fv
+                .as_slice()
+                .iter()
+                .zip(fp.as_slice())
+                .any(|(a, b)| (a - b).abs() > 3.0);
+            assert!(
+                outcome_differs || profile_differs,
+                "{}: PoC does not separate the builds ({ov:?} vs {op:?})",
+                e.cve
+            );
+        }
+    }
+
+    #[test]
+    fn all_featured_cves_carry_pocs() {
+        for e in full_catalog() {
+            assert!(e.poc.is_some(), "{} missing PoC", e.cve);
+        }
+    }
+
+    #[test]
+    fn reference_library_marks_function_exported() {
+        let cat = full_catalog();
+        let lib = reference_library(&cat[0], false);
+        assert!(lib.functions[0].exported);
+        assert_eq!(lib.functions.len(), 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Dataset III: device firmware images with ground truth.
+//!
+//! Builds the two evaluation targets of §V — an Android Things 1.0 analog
+//! (05/2018 security patch level) and a Google Pixel 2 XL analog (Android
+//! 8.0, 07/2017 patch level) — by embedding each catalog CVE function, in
+//! the vulnerable or patched version dictated by the device's patch state,
+//! inside its host library among generated filler functions, compiling for
+//! the device platform, and stripping. Table VIII's ground-truth column is
+//! encoded in [`android_things_spec`].
+
+use crate::catalog::CveEntry;
+use fwbin::format::FirmwareImage;
+use fwbin::isa::{Arch, OptLevel};
+use fwlang::gen::{GenConfig, Generator};
+use fwlang::Library;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A device build specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Device name.
+    pub name: String,
+    /// Security patch level string.
+    pub patch_level: String,
+    /// Device CPU architecture.
+    pub arch: Arch,
+    /// Firmware build optimization level.
+    pub opt: OptLevel,
+    /// CVEs whose patch has been applied on this device.
+    pub patched_cves: Vec<String>,
+    /// Build seed (filler functions, placement shuffle).
+    pub seed: u64,
+}
+
+/// Ground truth for one CVE on one device (never visible to PATCHECKO; used
+/// only to score the evaluation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CveGroundTruth {
+    /// CVE id.
+    pub cve: String,
+    /// Host library name.
+    pub library: String,
+    /// Function-table index of the CVE function inside the host binary.
+    pub function_index: usize,
+    /// Whether this device carries the patched version.
+    pub patched: bool,
+}
+
+/// A built device image plus its (held-out) ground truth.
+pub struct DeviceBuild {
+    /// The stripped firmware image PATCHECKO scans.
+    pub image: FirmwareImage,
+    /// Evaluation ground truth.
+    pub truth: Vec<CveGroundTruth>,
+    /// Pre-strip function names per library (held-out debug info used only
+    /// to label report rows, like the "Ground truth" column of the paper's
+    /// Tables IV and V).
+    pub names: BTreeMap<String, Vec<String>>,
+}
+
+/// The Android Things 1.0 analog. The `patched_cves` list is exactly the
+/// ✓-rows of the paper's Table VIII ground-truth column.
+pub fn android_things_spec() -> DeviceSpec {
+    DeviceSpec {
+        name: "android_things_1.0".into(),
+        patch_level: "2018-05".into(),
+        arch: Arch::Arm32,
+        // Vendors build embedded firmware for size.
+        opt: OptLevel::Oz,
+        patched_cves: [
+            "CVE-2017-13232",
+            "CVE-2017-13210",
+            "CVE-2017-13209",
+            "CVE-2017-13252",
+            "CVE-2017-13253",
+            "CVE-2017-13278",
+            "CVE-2017-13208",
+            "CVE-2017-13279",
+            "CVE-2017-13180",
+            "CVE-2017-13182",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        seed: 0xA11D201805,
+    }
+}
+
+/// The Google Pixel 2 XL analog (Android 8.0, 07/2017 patch level): only
+/// the mid-2017 bulletin fixes are present.
+pub fn pixel2xl_spec() -> DeviceSpec {
+    DeviceSpec {
+        name: "pixel2xl_8.0".into(),
+        patch_level: "2017-07".into(),
+        arch: Arch::Arm64,
+        // Flagship phone builds favour speed.
+        opt: OptLevel::O3,
+        patched_cves: [
+            "CVE-2017-13178",
+            "CVE-2017-13180",
+            "CVE-2017-13182",
+            "CVE-2017-13208",
+            "CVE-2017-13209",
+            "CVE-2017-13210",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        seed: 0x509AE12017,
+    }
+}
+
+/// Build a device image. `scale` multiplies the catalog's library function
+/// counts (1.0 = the paper-derived sizes; tests use smaller values). Each
+/// host library gets at least `cves + 4` functions.
+pub fn build_device(spec: &DeviceSpec, catalog: &[CveEntry], scale: f64) -> DeviceBuild {
+    // Group catalog entries by host library, preserving catalog order.
+    let mut by_lib: BTreeMap<&str, Vec<&CveEntry>> = BTreeMap::new();
+    for e in catalog {
+        by_lib.entry(e.library.as_str()).or_default().push(e);
+    }
+
+    let mut image = FirmwareImage::new(spec.name.clone(), spec.patch_level.clone());
+    let mut truth = Vec::new();
+    let mut names: BTreeMap<String, Vec<String>> = BTreeMap::new();
+
+    for (lib_name, entries) in by_lib {
+        let total = entries[0].library_functions;
+        let scaled = ((total as f64 * scale) as usize).max(entries.len() + 4);
+        let filler = scaled - entries.len();
+
+        // Generate the filler corpus for this library.
+        let lib_seed = spec
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(lib_name.bytes().map(|b| b as u64).sum());
+        let gen_cfg = GenConfig { min_functions: 1, max_functions: 1, export_ratio: 0.5 };
+        let mut g = Generator::with_config(lib_seed, gen_cfg);
+        let mut lib = Library::new(lib_name);
+        for k in 0..filler {
+            let f = g.any_function(&mut lib, format!("{lib_name}_fn_{k}"));
+            lib.functions.push(f);
+        }
+
+        // Insert CVE functions at deterministic spread positions.
+        let mut cve_indices = Vec::new();
+        for (j, e) in entries.iter().enumerate() {
+            let patched = spec.patched_cves.iter().any(|c| c == &e.cve);
+            let f = if patched { e.patched.clone() } else { e.vulnerable.clone() };
+            let pos = ((j + 1) * lib.functions.len() / (entries.len() + 1)).min(lib.functions.len());
+            lib.functions.insert(pos, f);
+            cve_indices.push((e.cve.clone(), pos, patched));
+            // Adjust earlier recorded positions shifted by this insert.
+            for (_, p, _) in cve_indices.iter_mut().rev().skip(1) {
+                if *p >= pos {
+                    *p += 1;
+                }
+            }
+        }
+
+        names.insert(
+            lib_name.to_string(),
+            lib.functions.iter().map(|f| f.name.clone()).collect(),
+        );
+        let mut bin = fwbin::compile_library(&lib, spec.arch, spec.opt)
+            .expect("device libraries always compile");
+        bin.strip();
+        for (cve, pos, patched) in cve_indices {
+            truth.push(CveGroundTruth {
+                cve,
+                library: lib_name.to_string(),
+                function_index: pos,
+                patched,
+            });
+        }
+        image.binaries.push(bin);
+    }
+
+    DeviceBuild { image, truth, names }
+}
+
+impl DeviceBuild {
+    /// Ground truth for one CVE.
+    pub fn truth_for(&self, cve: &str) -> Option<&CveGroundTruth> {
+        self.truth.iter().find(|t| t.cve == cve)
+    }
+
+    /// Held-out ground-truth name of a function (report labeling only).
+    pub fn ground_truth_name(&self, library: &str, function_index: usize) -> Option<&str> {
+        self.names.get(library)?.get(function_index).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::full_catalog;
+
+    #[test]
+    fn android_things_truth_matches_table8() {
+        let spec = android_things_spec();
+        assert_eq!(spec.patched_cves.len(), 10);
+        // Spot-check the paper's rows: 9412 not patched, 13182 patched.
+        assert!(!spec.patched_cves.contains(&"CVE-2018-9412".to_string()));
+        assert!(spec.patched_cves.contains(&"CVE-2017-13182".to_string()));
+        assert!(!spec.patched_cves.contains(&"CVE-2018-9470".to_string()));
+    }
+
+    #[test]
+    fn device_build_embeds_all_cves_with_correct_versions() {
+        let cat = full_catalog();
+        let build = build_device(&android_things_spec(), &cat, 0.1);
+        assert_eq!(build.truth.len(), 25);
+        for t in &build.truth {
+            let bin = build.image.binary(&t.library).expect("library present");
+            // Ground-truth index is in range and the function exists.
+            assert!(t.function_index < bin.function_count());
+            // Stripped: the CVE function has no name (it was not exported).
+            assert_eq!(bin.functions[t.function_index].name, None);
+            // Verify the embedded code equals the right version compiled in
+            // the same library context: decode must succeed at minimum.
+            assert!(bin.decode_function(t.function_index).is_ok());
+        }
+        // Table VIII spot checks.
+        assert!(!build.truth_for("CVE-2018-9412").unwrap().patched);
+        assert!(build.truth_for("CVE-2017-13209").unwrap().patched);
+    }
+
+    #[test]
+    fn image_is_stripped() {
+        let cat = full_catalog();
+        let build = build_device(&pixel2xl_spec(), &cat, 0.08);
+        for bin in &build.image.binaries {
+            assert!(bin.is_stripped());
+        }
+    }
+
+    #[test]
+    fn devices_differ_in_arch_and_patch_state() {
+        let at = android_things_spec();
+        let px = pixel2xl_spec();
+        assert_ne!(at.arch, px.arch);
+        // 13252 patched on AT but not on Pixel (patched later than 07/2017).
+        assert!(at.patched_cves.contains(&"CVE-2017-13252".to_string()));
+        assert!(!px.patched_cves.contains(&"CVE-2017-13252".to_string()));
+    }
+
+    #[test]
+    fn scaled_build_respects_library_sizes() {
+        let cat = full_catalog();
+        let build = build_device(&android_things_spec(), &cat, 0.1);
+        let stagefright = build.image.binary("libstagefright").unwrap();
+        // 565 * 0.1 = 56 functions.
+        assert!((50..=60).contains(&stagefright.function_count()));
+        let mtp = build.image.binary("libmtp").unwrap();
+        assert!(mtp.function_count() >= 6, "minimum floor applies");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let cat = full_catalog();
+        let a = build_device(&android_things_spec(), &cat, 0.05);
+        let b = build_device(&android_things_spec(), &cat, 0.05);
+        assert_eq!(a.image, b.image);
+    }
+}

@@ -1,0 +1,40 @@
+//! # corpus — evaluation datasets
+//!
+//! Builders for the three datasets of §V-A:
+//!
+//! * [`dataset1`] — **Dataset I**, the cross-platform training corpus:
+//!   generated libraries compiled for 4 ISAs × 6 optimization levels with
+//!   the paper's ≈12 % unsupported-combination attrition, unstripped so
+//!   symbol names give pair ground truth;
+//! * [`vulndb`] — **Dataset II**, the vulnerability database: the
+//!   25 featured CVEs of [`catalog`] plus bulk entries, each with compiled
+//!   vulnerable/patched reference binaries;
+//! * [`device`] — **Dataset III**, the Android Things 1.0 and Pixel 2 XL
+//!   firmware analogs with Table VIII's per-CVE patch ground truth.
+//!
+//! ## Example
+//!
+//! ```
+//! use corpus::catalog::full_catalog;
+//! use corpus::device::{android_things_spec, build_device};
+//!
+//! let catalog = full_catalog();
+//! assert_eq!(catalog.len(), 25);
+//! // A 5%-scale Android Things image for quick experiments.
+//! let build = build_device(&android_things_spec(), &catalog, 0.05);
+//! assert_eq!(build.truth.len(), 25);
+//! assert!(!build.truth_for("CVE-2018-9412").unwrap().patched);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod dataset1;
+pub mod device;
+pub mod vulndb;
+
+pub use catalog::{full_catalog, CveEntry, PatchMagnitude, Severity};
+pub use dataset1::{build as build_dataset1, Dataset1, Dataset1Config};
+pub use device::{android_things_spec, build_device, pixel2xl_spec, DeviceBuild, DeviceSpec};
+pub use vulndb::{build as build_vulndb, DbEntry, VulnDb};

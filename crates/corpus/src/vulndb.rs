@@ -1,0 +1,178 @@
+//! Dataset II: the vulnerability database.
+//!
+//! The paper's database holds 2,076 Android Security Bulletin
+//! vulnerabilities (1,351 high + 381 critical among them, collected
+//! 07/2016–11/2018), of which 25 are evaluated end-to-end. Ours holds the
+//! 25 featured catalog entries plus a configurable number of bulk entries
+//! generated from the same vulnerable-function builders, each with
+//! pre-compiled vulnerable and patched reference binaries (the paper
+//! compiles its references with Clang `-O0`).
+
+use crate::catalog::{self, CveEntry};
+use fwbin::format::Binary;
+use fwbin::isa::{Arch, OptLevel};
+use fwlang::gen::Generator;
+use fwlang::patch::Patch;
+use fwlang::Library;
+
+/// A database entry with compiled references.
+pub struct DbEntry {
+    /// Catalog metadata and vulnerable/patched source.
+    pub entry: CveEntry,
+    /// Compiled vulnerable reference (one-function library).
+    pub vulnerable_bin: Binary,
+    /// Compiled patched reference.
+    pub patched_bin: Binary,
+}
+
+/// The vulnerability database.
+pub struct VulnDb {
+    /// All entries; the first 25 are the featured catalog.
+    pub entries: Vec<DbEntry>,
+}
+
+/// Reference compilation architecture. The paper compiles its case-study
+/// references at `-O0` "to simplify the case study"; the database default
+/// here is `O2`, the common production level, which keeps reference
+/// features closest to shipped firmware builds.
+pub const REFERENCE_ARCH: Arch = Arch::Arm64;
+/// Reference optimization level.
+pub const REFERENCE_OPT: OptLevel = OptLevel::O2;
+
+impl DbEntry {
+    /// Compile the entry's reference for a specific target architecture.
+    ///
+    /// The paper's dynamic stage runs the CVE reference function and the
+    /// target function "within the corresponding mobile/IoT embedded
+    /// system platform" — i.e. both execute on the device, so the dynamic
+    /// reference must be the device-architecture build (otherwise raw
+    /// Minkowski distances are dominated by cross-ISA instruction-count
+    /// inflation). The pre-compiled `vulnerable_bin`/`patched_bin`
+    /// (always [`REFERENCE_ARCH`]) serve the *static* stage, which is
+    /// cross-platform by construction.
+    pub fn reference_for(&self, arch: Arch, patched: bool) -> Binary {
+        let lib = catalog::reference_library(&self.entry, patched);
+        fwbin::compile_library(&lib, arch, REFERENCE_OPT)
+            .expect("reference libraries always compile")
+    }
+
+    /// The multi-platform reference set for the *static* stage. §II-A of
+    /// the paper: "we can generate one vulnerable function binary for
+    /// different hardware architectures (e.g., x86 and ARM) and software
+    /// platforms" — the database carries one compiled reference per
+    /// representative (architecture, optimization) pair and the scan
+    /// scores each target against all of them.
+    pub fn reference_variants(&self, patched: bool) -> Vec<Binary> {
+        let lib = catalog::reference_library(&self.entry, patched);
+        [
+            (Arch::Arm64, OptLevel::O2),
+            (Arch::Arm32, OptLevel::Oz),
+            (Arch::Amd64, OptLevel::O3),
+            (Arch::X86, OptLevel::O0),
+        ]
+        .into_iter()
+        .map(|(arch, opt)| {
+            fwbin::compile_library(&lib, arch, opt).expect("reference libraries always compile")
+        })
+        .collect()
+    }
+}
+
+fn compile_entry(entry: CveEntry) -> DbEntry {
+    let vlib = catalog::reference_library(&entry, false);
+    let plib = catalog::reference_library(&entry, true);
+    let vulnerable_bin = fwbin::compile_library(&vlib, REFERENCE_ARCH, REFERENCE_OPT)
+        .expect("reference libraries always compile");
+    let patched_bin = fwbin::compile_library(&plib, REFERENCE_ARCH, REFERENCE_OPT)
+        .expect("reference libraries always compile");
+    DbEntry { entry, vulnerable_bin, patched_bin }
+}
+
+/// Build the database: the 25 featured CVEs plus `bulk` generated entries.
+pub fn build(bulk: usize, seed: u64) -> VulnDb {
+    let mut entries: Vec<DbEntry> = catalog::full_catalog().into_iter().map(compile_entry).collect();
+    // Bulk entries: generated functions patched with a bounds guard, named
+    // after synthetic bulletin ids.
+    let mut g = Generator::new(seed);
+    let mut scratch = Library::new("libbulk");
+    let mut made = 0usize;
+    let mut attempt = 0usize;
+    while made < bulk {
+        attempt += 1;
+        let name = format!("bulk_fn_{attempt}");
+        let f = g.any_function(&mut scratch, name);
+        // Only (buf, len)-shaped functions are useful database entries.
+        if f.buffer_param() != Some((0, 1)) {
+            continue;
+        }
+        let patch = Patch::BoundsGuard { len_param: 1, min_len: 4, reject: Some(-1) };
+        let patched = patch.apply(&f);
+        let entry = CveEntry {
+            cve: format!("CVE-BULK-{made:04}"),
+            library: "libbulk".into(),
+            function: f.name.clone(),
+            severity: catalog::Severity::High,
+            magnitude: catalog::PatchMagnitude::Standard,
+            description: "bulk database entry".into(),
+            vulnerable: f,
+            patched,
+            patch,
+            library_functions: 0,
+            poc: None,
+        };
+        entries.push(compile_entry(entry));
+        made += 1;
+    }
+    VulnDb { entries }
+}
+
+impl VulnDb {
+    /// Look up an entry by CVE id.
+    pub fn get(&self, cve: &str) -> Option<&DbEntry> {
+        self.entries.iter().find(|e| e.entry.cve == cve)
+    }
+
+    /// The 25 featured entries (Table VI order).
+    pub fn featured(&self) -> &[DbEntry] {
+        &self.entries[..25.min(self.entries.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_contains_featured_and_bulk() {
+        let db = build(10, 42);
+        assert_eq!(db.entries.len(), 35);
+        assert_eq!(db.featured().len(), 25);
+        assert!(db.get("CVE-2018-9412").is_some());
+        assert!(db.get("CVE-BULK-0003").is_some());
+        assert!(db.get("CVE-1999-0001").is_none());
+    }
+
+    #[test]
+    fn references_are_compiled_at_reference_settings() {
+        let db = build(0, 1);
+        for e in &db.entries {
+            assert_eq!(e.vulnerable_bin.arch, REFERENCE_ARCH);
+            assert_eq!(e.vulnerable_bin.opt, REFERENCE_OPT);
+            assert_eq!(e.vulnerable_bin.function_count(), 1);
+            assert_eq!(e.patched_bin.function_count(), 1);
+            assert_ne!(
+                e.vulnerable_bin.functions[0].code, e.patched_bin.functions[0].code,
+                "{}: compiled references must differ",
+                e.entry.cve
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_entries_take_buffer_args() {
+        let db = build(8, 7);
+        for e in &db.entries[25..] {
+            assert_eq!(e.entry.vulnerable.buffer_param(), Some((0, 1)));
+        }
+    }
+}

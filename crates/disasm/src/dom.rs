@@ -1,0 +1,321 @@
+//! Dominator analysis and natural-loop detection.
+//!
+//! Implements the Cooper–Harvey–Kennedy iterative dominator algorithm and
+//! back-edge-based natural-loop discovery. These power the loop-aware
+//! extended features (loop count, maximum loop depth) and give downstream
+//! users the standard decompiler-grade CFG toolkit.
+
+use crate::cfg::Cfg;
+
+/// Immediate dominators of every block, as block indices. The entry block
+/// dominates itself; unreachable blocks get `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    idom: Vec<Option<u32>>,
+    /// Reverse-postorder rank per block (used internally; exposed for
+    /// tests and ordering-sensitive passes).
+    rpo_rank: Vec<usize>,
+}
+
+impl Dominators {
+    /// Compute dominators for `cfg` (entry = block 0).
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.blocks.len();
+        if n == 0 {
+            return Dominators { idom: Vec::new(), rpo_rank: Vec::new() };
+        }
+        // Reverse postorder via iterative DFS.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        visited[0] = true;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            let succs = &cfg.blocks[v].succs;
+            if *next < succs.len() {
+                let s = succs[*next] as usize;
+                *next += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(v);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = postorder.iter().rev().copied().collect();
+        let mut rpo_rank = vec![usize::MAX; n];
+        for (rank, &b) in rpo.iter().enumerate() {
+            rpo_rank[b] = rank;
+        }
+
+        let mut idom: Vec<Option<u32>> = vec![None; n];
+        idom[0] = Some(0);
+        let intersect = |idom: &[Option<u32>], rank: &[usize], mut a: u32, mut b: u32| -> u32 {
+            while a != b {
+                while rank[a as usize] > rank[b as usize] {
+                    a = idom[a as usize].expect("processed block has idom");
+                }
+                while rank[b as usize] > rank[a as usize] {
+                    b = idom[b as usize].expect("processed block has idom");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<u32> = None;
+                for &p in &cfg.blocks[b].preds {
+                    if idom[p as usize].is_none() {
+                        continue; // unreachable or unprocessed predecessor
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_rank, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b] != Some(ni) {
+                        idom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo_rank }
+    }
+
+    /// Immediate dominator of `b` (the entry's is itself); `None` for
+    /// unreachable blocks.
+    pub fn idom(&self, b: u32) -> Option<u32> {
+        self.idom.get(b as usize).copied().flatten()
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: u32, b: u32) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn reachable(&self, b: u32) -> bool {
+        self.idom(b).is_some()
+    }
+}
+
+/// A natural loop: a back edge `tail -> header` where the header dominates
+/// the tail, plus the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header block.
+    pub header: u32,
+    /// The back-edge source.
+    pub tail: u32,
+    /// All blocks in the loop body (header included), sorted.
+    pub body: Vec<u32>,
+}
+
+impl NaturalLoop {
+    /// Whether the loop contains block `b`.
+    pub fn contains(&self, b: u32) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+}
+
+/// Find all natural loops of `cfg`. Multiple back edges to one header
+/// yield one loop per back edge (callers may merge by header if desired).
+pub fn natural_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
+    let dom = Dominators::compute(cfg);
+    let mut loops = Vec::new();
+    for (tail, blk) in cfg.blocks.iter().enumerate() {
+        let tail = tail as u32;
+        if !dom.reachable(tail) {
+            continue;
+        }
+        for &header in &blk.succs {
+            if dom.dominates(header, tail) {
+                // Collect the body: header plus everything that reaches
+                // the tail without passing through the header.
+                let mut body = vec![header];
+                let mut stack = vec![tail];
+                while let Some(b) = stack.pop() {
+                    if body.contains(&b) {
+                        continue;
+                    }
+                    body.push(b);
+                    for &p in &cfg.blocks[b as usize].preds {
+                        stack.push(p);
+                    }
+                }
+                body.sort_unstable();
+                loops.push(NaturalLoop { header, tail, body });
+            }
+        }
+    }
+    loops.sort_by_key(|l| (l.header, l.tail));
+    loops
+}
+
+/// Maximum loop-nesting depth of the function (0 = loop-free): for each
+/// block, the number of distinct loop headers whose loop contains it.
+pub fn max_loop_depth(cfg: &Cfg) -> u32 {
+    let loops = natural_loops(cfg);
+    if loops.is_empty() {
+        return 0;
+    }
+    // Merge loops sharing a header so nesting counts headers, not edges.
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut by_header: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for l in &loops {
+        by_header.entry(l.header).or_default().extend(l.body.iter().copied());
+    }
+    let n = cfg.blocks.len();
+    let mut depth = vec![0u32; n];
+    for body in by_header.values() {
+        for &b in body {
+            depth[b as usize] += 1;
+        }
+    }
+    depth.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{BasicBlock, BlockKind};
+
+    /// Build a CFG from an adjacency list (block 0 = entry).
+    fn cfg_from(adj: &[&[u32]]) -> Cfg {
+        let n = adj.len();
+        let mut blocks: Vec<BasicBlock> = (0..n)
+            .map(|i| BasicBlock {
+                start: i as u32,
+                end: i as u32 + 1,
+                byte_size: 4,
+                kind: if adj[i].is_empty() { BlockKind::Ret } else { BlockKind::Normal },
+                succs: adj[i].to_vec(),
+                preds: vec![],
+            })
+            .collect();
+        let mut edges = 0;
+        for i in 0..n {
+            for &s in adj[i] {
+                blocks[s as usize].preds.push(i as u32);
+                edges += 1;
+            }
+        }
+        Cfg { blocks, num_edges: edges }
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> {1,2} -> 3
+        let cfg = cfg_from(&[&[1, 2], &[3], &[3], &[]]);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(0), Some(0));
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(0));
+        assert_eq!(dom.idom(3), Some(0), "join dominated by the fork, not a branch");
+        assert!(dom.dominates(0, 3));
+        assert!(!dom.dominates(1, 3));
+        assert!(dom.dominates(3, 3));
+    }
+
+    #[test]
+    fn chain_dominators() {
+        let cfg = cfg_from(&[&[1], &[2], &[]]);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(1));
+        assert!(dom.dominates(0, 2));
+        assert!(dom.dominates(1, 2));
+    }
+
+    #[test]
+    fn unreachable_block_has_no_idom() {
+        // Block 2 unreachable.
+        let cfg = cfg_from(&[&[1], &[], &[1]]);
+        let dom = Dominators::compute(&cfg);
+        assert!(dom.reachable(1));
+        assert!(!dom.reachable(2));
+        assert_eq!(dom.idom(2), None);
+    }
+
+    #[test]
+    fn simple_loop_detected() {
+        // 0 -> 1 (header) -> 2 -> 1, 1 -> 3 (exit)
+        let cfg = cfg_from(&[&[1], &[2, 3], &[1], &[]]);
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, 1);
+        assert_eq!(loops[0].tail, 2);
+        assert_eq!(loops[0].body, vec![1, 2]);
+        assert!(loops[0].contains(2));
+        assert!(!loops[0].contains(3));
+        assert_eq!(max_loop_depth(&cfg), 1);
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        // outer: 1..4 ; inner: 2..3
+        // 0 -> 1 -> 2 -> 3 -> 2 (inner back), 3 -> 4 -> 1 (outer back), 4 -> 5
+        let cfg = cfg_from(&[&[1], &[2], &[3], &[2, 4], &[1, 5], &[]]);
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 2);
+        assert_eq!(max_loop_depth(&cfg), 2);
+    }
+
+    #[test]
+    fn loop_free_depth_zero() {
+        let cfg = cfg_from(&[&[1, 2], &[3], &[3], &[]]);
+        assert!(natural_loops(&cfg).is_empty());
+        assert_eq!(max_loop_depth(&cfg), 0);
+    }
+
+    #[test]
+    fn compiled_loops_are_found() {
+        // A generated scan function (with a For loop) must expose at least
+        // one natural loop at every optimization level.
+        use fwbin::isa::{Arch, OptLevel};
+        let mut lib = fwlang::Library::new("lib");
+        let mut g = fwlang::gen::Generator::new(31);
+        // Find a function with a loop.
+        let mut found = false;
+        for k in 0..10 {
+            let f = g.any_function(&mut lib, format!("f{k}"));
+            let loopy = fwlang::visit::loop_count(&f) > 0;
+            lib.functions.push(f);
+            if loopy {
+                found = true;
+            }
+        }
+        assert!(found, "expected loopy functions");
+        for opt in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
+            let bin = fwbin::compile_library(&lib, Arch::Arm64, opt).unwrap();
+            let mut any = 0;
+            for i in 0..bin.function_count() {
+                let dis = crate::disassemble(&bin, i).unwrap();
+                any += natural_loops(&dis.cfg).len();
+            }
+            assert!(any > 0, "no loops recovered at {opt}");
+        }
+    }
+
+    #[test]
+    fn empty_cfg_is_fine() {
+        let cfg = Cfg { blocks: vec![], num_edges: 0 };
+        assert_eq!(Dominators::compute(&cfg).idom.len(), 0);
+        assert!(natural_loops(&cfg).is_empty());
+        assert_eq!(max_loop_depth(&cfg), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Human-readable assembly listings — the disassembler view an analyst
+//! sees in IDA (used by the CLI's `inspect --asm` and by examples).
+
+use crate::FunctionDisasm;
+use fwbin::format::Binary;
+use fwbin::isa::{BinOp, Cond, Inst};
+
+fn binop_mnemonic(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Mod => "mod",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+fn cond_suffix(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "eq",
+        Cond::Ne => "ne",
+        Cond::Lt => "lt",
+        Cond::Le => "le",
+        Cond::Gt => "gt",
+        Cond::Ge => "ge",
+    }
+}
+
+/// Render one instruction as assembly text. `bin` resolves call symbols
+/// and string ids when provided.
+pub fn format_inst(inst: &Inst, bin: Option<&Binary>) -> String {
+    match *inst {
+        Inst::Label(l) => format!(".L{l}:"),
+        Inst::MovImm { rd, imm } => format!("mov     {rd}, #{imm}"),
+        Inst::FMovImm { rd, imm } => format!("fmov    {rd}, #{imm}"),
+        Inst::Mov { rd, rs } => format!("mov     {rd}, {rs}"),
+        Inst::LoadStr { rd, sid } => {
+            let s = bin
+                .and_then(|b| b.strings.get(sid as usize))
+                .map(|s| format!(" ; \"{s}\""))
+                .unwrap_or_default();
+            format!("lea     {rd}, str_{sid}{s}")
+        }
+        Inst::LoadGlobal { rd, gid } => format!("ldr     {rd}, [global_{gid}]"),
+        Inst::StoreGlobal { gid, rs } => format!("str     {rs}, [global_{gid}]"),
+        Inst::Bin { op, rd, rs1, rs2 } => {
+            format!("{:<7} {rd}, {rs1}, {rs2}", binop_mnemonic(op))
+        }
+        Inst::BinImm { op, rd, rs, imm } => {
+            format!("{:<7} {rd}, {rs}, #{imm}", binop_mnemonic(op))
+        }
+        Inst::FBin { op, rd, rs1, rs2 } => {
+            format!("f{:<6} {rd}, {rs1}, {rs2}", binop_mnemonic(op))
+        }
+        Inst::FMulAdd { rd, rs1, rs2, rs3 } => format!("fmadd   {rd}, {rs1}, {rs2}, {rs3}"),
+        Inst::Neg { rd, rs } => format!("neg     {rd}, {rs}"),
+        Inst::Not { rd, rs } => format!("not     {rd}, {rs}"),
+        Inst::Cmp { rs1, rs2 } => format!("cmp     {rs1}, {rs2}"),
+        Inst::SetCc { cond, rd } => format!("set{}   {rd}", cond_suffix(cond)),
+        Inst::CmpSet { cond, rd, rs1, rs2 } => {
+            format!("cset.{} {rd}, {rs1}, {rs2}", cond_suffix(cond))
+        }
+        Inst::LoadB { rd, base, idx } => format!("ldrb    {rd}, [{base}, {idx}]"),
+        Inst::StoreB { rs, base, idx } => format!("strb    {rs}, [{base}, {idx}]"),
+        Inst::LoadSlot { rd, slot } => format!("ldr     {rd}, [sp, #{}]", slot * 8),
+        Inst::StoreSlot { rs, slot } => format!("str     {rs}, [sp, #{}]", slot * 8),
+        Inst::Jmp { target } => format!("b       .I{target}"),
+        Inst::JCc { cond, target } => format!("b.{}    .I{target}", cond_suffix(cond)),
+        Inst::CBr { cond, rs1, rs2, target } => {
+            format!("cbr.{}  {rs1}, {rs2}, .I{target}", cond_suffix(cond))
+        }
+        Inst::JmpInd { rs } => format!("br      {rs}"),
+        Inst::SetArg { idx, rs } => format!("arg     #{idx}, {rs}"),
+        Inst::LoadArg { rd, idx } => format!("ldarg   {rd}, #{idx}"),
+        Inst::Call { sym } => {
+            let name = bin.map(|b| {
+                if sym.is_import() {
+                    b.imports
+                        .get(sym.index() as usize)
+                        .cloned()
+                        .unwrap_or_else(|| format!("import_{}", sym.index()))
+                } else {
+                    b.functions
+                        .get(sym.index() as usize)
+                        .and_then(|f| f.name.clone())
+                        .unwrap_or_else(|| format!("sub_{}", sym.index()))
+                }
+            });
+            match name {
+                Some(n) => format!("call    {n}"),
+                None if sym.is_import() => format!("call    import_{}", sym.index()),
+                None => format!("call    sub_{}", sym.index()),
+            }
+        }
+        Inst::GetRet { rd } => format!("mov     {rd}, ret"),
+        Inst::SetRet { rs } => format!("mov     ret, {rs}"),
+        Inst::Ret => "ret".to_string(),
+        Inst::Push { rs } => format!("push    {rs}"),
+        Inst::Pop { rd } => format!("pop     {rd}"),
+        Inst::Syscall { num } => format!("svc     #{num}"),
+        Inst::Halt => "udf     ; trap".to_string(),
+        Inst::Nop => "nop".to_string(),
+    }
+}
+
+/// Render a whole disassembled function with basic-block headers, the way
+/// a disassembler presents it.
+pub fn format_function(dis: &FunctionDisasm, bin: Option<&Binary>, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{name}: ; {} instructions, {} bytes, {} blocks, cc={}\n",
+        dis.inst_count(),
+        dis.byte_size(),
+        dis.cfg.num_blocks(),
+        dis.cfg.cyclomatic_complexity()
+    ));
+    for (bi, blk) in dis.cfg.blocks.iter().enumerate() {
+        let succs: Vec<String> = blk.succs.iter().map(|s| format!("bb{s}")).collect();
+        out.push_str(&format!(
+            "bb{bi}: ; {:?}{}\n",
+            blk.kind,
+            if succs.is_empty() { String::new() } else { format!(" -> {}", succs.join(", ")) }
+        ));
+        for i in blk.start..blk.end {
+            let (inst, _) = &dis.insts[i as usize];
+            out.push_str(&format!("  .I{i:<4} {}\n", format_inst(inst, bin)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fwbin::isa::{Arch, OptLevel, Reg, Sym};
+
+    #[test]
+    fn formats_core_instructions() {
+        let r = |i| Reg::phys(i);
+        assert_eq!(format_inst(&Inst::MovImm { rd: r(0), imm: 5 }, None), "mov     r0, #5");
+        assert_eq!(
+            format_inst(&Inst::Bin { op: BinOp::Add, rd: r(0), rs1: r(1), rs2: r(2) }, None),
+            "add     r0, r1, r2"
+        );
+        assert_eq!(format_inst(&Inst::Ret, None), "ret");
+        assert_eq!(
+            format_inst(&Inst::JCc { cond: Cond::Lt, target: 7 }, None),
+            "b.lt    .I7"
+        );
+        assert!(format_inst(&Inst::Call { sym: Sym::import(3) }, None).contains("import_3"));
+    }
+
+    #[test]
+    fn resolves_symbols_through_binary() {
+        let mut lib = fwlang::Library::new("libf");
+        let sid = lib.intern_string("hi");
+        let mut g = fwlang::gen::Generator::new(1);
+        let f = g.any_function(&mut lib, "target_fn");
+        lib.functions.push(f);
+        let _ = sid;
+        let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O1).unwrap();
+        let dis = crate::disassemble(&bin, 0).unwrap();
+        let listing = format_function(&dis, Some(&bin), "target_fn");
+        assert!(listing.contains("target_fn:"));
+        assert!(listing.contains("bb0:"));
+        assert!(listing.contains("ldarg"));
+        assert!(listing.contains("ret"));
+    }
+
+    #[test]
+    fn listing_covers_every_instruction() {
+        let lib = fwlang::gen::Generator::new(7).library_sized("libf", 5);
+        let bin = fwbin::compile_library(&lib, Arch::X86, OptLevel::O2).unwrap();
+        for i in 0..bin.function_count() {
+            let dis = crate::disassemble(&bin, i).unwrap();
+            let listing = format_function(&dis, Some(&bin), "f");
+            let body_lines = listing.lines().filter(|l| l.trim_start().starts_with(".I")).count();
+            assert_eq!(body_lines as u32, dis.inst_count());
+        }
+    }
+}

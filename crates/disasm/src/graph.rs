@@ -1,0 +1,155 @@
+//! Graph analyses over CFGs: Brandes betweenness centrality.
+//!
+//! Five of the paper's 48 static features are betweenness-centrality
+//! statistics over the function's CFG nodes (`min/max/avg/std
+//! betweeness_cent` and `betweeness_cent_zero`).
+
+use crate::cfg::Cfg;
+use std::collections::VecDeque;
+
+/// Betweenness centrality of every block, via Brandes' algorithm on the
+/// directed, unweighted CFG. Runs in `O(V * E)`.
+///
+/// Returns one value per block (empty for empty CFGs).
+pub fn betweenness_centrality(cfg: &Cfg) -> Vec<f64> {
+    let n = cfg.blocks.len();
+    let mut cb = vec![0.0f64; n];
+    if n == 0 {
+        return cb;
+    }
+    let adj: Vec<&[u32]> = cfg.blocks.iter().map(|b| b.succs.as_slice()).collect();
+
+    for s in 0..n {
+        // Single-source shortest paths (BFS).
+        let mut stack: Vec<usize> = Vec::with_capacity(n);
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![-1i64; n];
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in adj[v] {
+                let w = w as usize;
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        // Accumulation.
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w]);
+            }
+            if w != s {
+                cb[w] += delta[w];
+            }
+        }
+    }
+    cb
+}
+
+/// Summary statistics over a slice: `(min, max, mean, std)`. Returns zeros
+/// for empty input. Uses population standard deviation, matching the
+/// paper's block-statistics features.
+pub fn stats(values: &[f64]) -> (f64, f64, f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+    }
+    let mean = sum / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (min, max, mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{BasicBlock, BlockKind};
+
+    fn chain_cfg(n: usize) -> Cfg {
+        // 0 -> 1 -> 2 -> ... -> n-1
+        let blocks = (0..n)
+            .map(|i| BasicBlock {
+                start: i as u32,
+                end: i as u32 + 1,
+                byte_size: 4,
+                kind: if i == n - 1 { BlockKind::Ret } else { BlockKind::Normal },
+                succs: if i + 1 < n { vec![(i + 1) as u32] } else { vec![] },
+                preds: if i > 0 { vec![(i - 1) as u32] } else { vec![] },
+            })
+            .collect::<Vec<_>>();
+        Cfg { num_edges: (n.saturating_sub(1)) as u32, blocks }
+    }
+
+    #[test]
+    fn chain_centrality_is_known() {
+        // On a directed path of 4 nodes, inner node i lies on paths
+        // (s, t) with s < i < t: node1 -> 2 paths (0->2, 0->3)... node1: pairs (0,2),(0,3) = 2; node2: (0,3),(1,3) = 2.
+        let cfg = chain_cfg(4);
+        let cb = betweenness_centrality(&cfg);
+        assert_eq!(cb[0], 0.0);
+        assert_eq!(cb[3], 0.0);
+        assert_eq!(cb[1], 2.0);
+        assert_eq!(cb[2], 2.0);
+    }
+
+    #[test]
+    fn diamond_splits_centrality() {
+        // 0 -> {1, 2} -> 3
+        let blocks = vec![
+            BasicBlock { start: 0, end: 1, byte_size: 4, kind: BlockKind::Normal, succs: vec![1, 2], preds: vec![] },
+            BasicBlock { start: 1, end: 2, byte_size: 4, kind: BlockKind::Normal, succs: vec![3], preds: vec![0] },
+            BasicBlock { start: 2, end: 3, byte_size: 4, kind: BlockKind::Normal, succs: vec![3], preds: vec![0] },
+            BasicBlock { start: 3, end: 4, byte_size: 4, kind: BlockKind::Ret, succs: vec![], preds: vec![1, 2] },
+        ];
+        let cfg = Cfg { blocks, num_edges: 4 };
+        let cb = betweenness_centrality(&cfg);
+        // The single dependent pair (0 -> 3) splits evenly over 1 and 2.
+        assert!((cb[1] - 0.5).abs() < 1e-12);
+        assert!((cb[2] - 0.5).abs() < 1e-12);
+        assert_eq!(cb[0], 0.0);
+        assert_eq!(cb[3], 0.0);
+    }
+
+    #[test]
+    fn single_node_zero() {
+        let cfg = chain_cfg(1);
+        assert_eq!(betweenness_centrality(&cfg), vec![0.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let cfg = Cfg { blocks: vec![], num_edges: 0 };
+        assert!(betweenness_centrality(&cfg).is_empty());
+    }
+
+    #[test]
+    fn stats_basic() {
+        let (min, max, mean, std) = stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(min, 1.0);
+        assert_eq!(max, 4.0);
+        assert_eq!(mean, 2.5);
+        assert!((std - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty_is_zeros() {
+        assert_eq!(stats(&[]), (0.0, 0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for CFG recovery: structural invariants hold for every
+//! compiled function of randomly generated libraries on every platform.
+
+use disasm::BlockKind;
+use fwbin::isa::{Arch, OptLevel};
+use fwlang::gen::Generator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// Blocks tile the instruction stream exactly; edges are consistent
+    /// with predecessor lists; terminator blocks have no successors.
+    #[test]
+    fn cfg_structural_invariants(
+        seed in 0u64..5000,
+        arch_idx in 0usize..4,
+        opt_idx in 0usize..6,
+    ) {
+        let arch = Arch::ALL[arch_idx];
+        let opt = OptLevel::ALL[opt_idx];
+        let lib = Generator::new(seed).library_sized("libp", 4);
+        let bin = fwbin::compile_library(&lib, arch, opt).unwrap();
+        for i in 0..bin.function_count() {
+            let dis = disasm::disassemble(&bin, i).unwrap();
+            let cfg = &dis.cfg;
+
+            // 1. Tiling.
+            let mut covered = 0u32;
+            for b in &cfg.blocks {
+                prop_assert_eq!(b.start, covered);
+                prop_assert!(b.end > b.start);
+                covered = b.end;
+            }
+            prop_assert_eq!(covered, dis.inst_count());
+
+            // 2. Edge consistency: succs/preds mirror each other; totals
+            //    match num_edges.
+            let total: usize = cfg.blocks.iter().map(|b| b.succs.len()).sum();
+            prop_assert_eq!(total as u32, cfg.num_edges);
+            for (v, b) in cfg.blocks.iter().enumerate() {
+                for &s in &b.succs {
+                    prop_assert!((s as usize) < cfg.blocks.len());
+                    prop_assert!(
+                        cfg.blocks[s as usize].preds.contains(&(v as u32)),
+                        "edge {}->{} missing pred",
+                        v,
+                        s
+                    );
+                }
+            }
+
+            // 3. Return/trap blocks have no successors.
+            for b in &cfg.blocks {
+                if matches!(b.kind, BlockKind::Ret | BlockKind::NoRet | BlockKind::ExternNoRet) {
+                    prop_assert!(b.succs.is_empty(), "{:?} block with successors", b.kind);
+                }
+            }
+
+            // 4. Byte sizes: block byte sizes sum to the function size.
+            let byte_total: u32 = cfg.blocks.iter().map(|b| b.byte_size).sum();
+            prop_assert_eq!(byte_total, dis.byte_size());
+
+            // 5. Compiled functions always end in a terminator, so no
+            //    Error blocks.
+            prop_assert_eq!(cfg.count_kind(BlockKind::Error), 0);
+        }
+    }
+
+    /// Betweenness centrality is non-negative, zero at the entry of a
+    /// straight-line function, and stable across repeated computation.
+    #[test]
+    fn centrality_invariants(seed in 0u64..2000) {
+        let lib = Generator::new(seed).library_sized("libp", 3);
+        let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O1).unwrap();
+        for i in 0..bin.function_count() {
+            let dis = disasm::disassemble(&bin, i).unwrap();
+            let a = disasm::graph::betweenness_centrality(&dis.cfg);
+            let b = disasm::graph::betweenness_centrality(&dis.cfg);
+            prop_assert_eq!(&a, &b, "deterministic");
+            for v in &a {
+                prop_assert!(*v >= 0.0);
+            }
+            // Entry has no predecessors on any path, so it mediates no
+            // shortest path and has zero centrality... unless a loop makes
+            // it internal; allow either but assert finiteness.
+            for v in &a {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+}

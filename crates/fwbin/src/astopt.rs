@@ -1,0 +1,622 @@
+//! AST-level optimization passes: constant folding, inlining of small
+//! callees, and loop unrolling. These run before lowering, so higher
+//! optimization levels produce genuinely different instruction streams for
+//! the same source — the cross-platform variation PATCHECKO's deep-learning
+//! stage must be robust to.
+
+use fwlang::ast::{BinOp, CmpOp, Expr, Function, Library, LocalId, Stmt};
+use fwlang::visit;
+
+/// Wrapping integer semantics shared with the VM: these MUST match
+/// `vm::exec` so that optimization is behaviour-preserving.
+pub fn eval_int_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None; // would fault; leave to runtime
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+    })
+}
+
+/// Comparison semantics shared with the VM.
+pub fn eval_cmp(op: CmpOp, a: i64, b: i64) -> i64 {
+    let r = match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    };
+    r as i64
+}
+
+/// Float binary-op semantics shared with the VM.
+pub fn eval_float_binop(op: BinOp, a: f64, b: f64) -> Option<f64> {
+    Some(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        _ => return None,
+    })
+}
+
+/// Fold constant sub-expressions in place. Returns the folded expression.
+pub fn fold_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Bin(op, a, b) => {
+            let fa = fold_expr(a);
+            let fb = fold_expr(b);
+            if let (Expr::ConstInt(x), Expr::ConstInt(y)) = (&fa, &fb) {
+                if let Some(v) = eval_int_binop(*op, *x, *y) {
+                    return Expr::ConstInt(v);
+                }
+            }
+            // Algebraic identities: x+0, x-0, x*1, x*0, x|0, x^0, x<<0.
+            if let Expr::ConstInt(y) = fb {
+                match (op, y) {
+                    (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr, 0) => {
+                        return fa
+                    }
+                    (BinOp::Mul | BinOp::Div, 1) => return fa,
+                    (BinOp::Mul | BinOp::And, 0) => return Expr::ConstInt(0),
+                    _ => {}
+                }
+            }
+            Expr::Bin(*op, Box::new(fa), Box::new(fb))
+        }
+        Expr::FBin(op, a, b) => {
+            let fa = fold_expr(a);
+            let fb = fold_expr(b);
+            if let (Expr::ConstFloat(x), Expr::ConstFloat(y)) = (&fa, &fb) {
+                if let Some(v) = eval_float_binop(*op, *x, *y) {
+                    return Expr::ConstFloat(v);
+                }
+            }
+            Expr::FBin(*op, Box::new(fa), Box::new(fb))
+        }
+        Expr::Cmp(op, a, b) => {
+            let fa = fold_expr(a);
+            let fb = fold_expr(b);
+            if let (Expr::ConstInt(x), Expr::ConstInt(y)) = (&fa, &fb) {
+                return Expr::ConstInt(eval_cmp(*op, *x, *y));
+            }
+            Expr::Cmp(*op, Box::new(fa), Box::new(fb))
+        }
+        Expr::Not(a) => {
+            let fa = fold_expr(a);
+            if let Expr::ConstInt(x) = fa {
+                return Expr::ConstInt((x == 0) as i64);
+            }
+            Expr::Not(Box::new(fa))
+        }
+        Expr::Neg(a) => {
+            let fa = fold_expr(a);
+            if let Expr::ConstInt(x) = fa {
+                return Expr::ConstInt(x.wrapping_neg());
+            }
+            Expr::Neg(Box::new(fa))
+        }
+        Expr::LoadByte { base, index } => Expr::LoadByte {
+            base: Box::new(fold_expr(base)),
+            index: Box::new(fold_expr(index)),
+        },
+        Expr::Call { callee, args } => Expr::Call {
+            callee: callee.clone(),
+            args: args.iter().map(fold_expr).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn fold_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Let { local, value } => {
+                out.push(Stmt::Let { local: *local, value: fold_expr(value) })
+            }
+            Stmt::SetGlobal { global, value } => {
+                out.push(Stmt::SetGlobal { global: *global, value: fold_expr(value) })
+            }
+            Stmt::StoreByte { base, index, value } => out.push(Stmt::StoreByte {
+                base: fold_expr(base),
+                index: fold_expr(index),
+                value: fold_expr(value),
+            }),
+            Stmt::If { cond, then_body, else_body } => {
+                let fc = fold_expr(cond);
+                // Statically decided conditionals become one arm.
+                if let Expr::ConstInt(v) = fc {
+                    let arm = if v != 0 { then_body } else { else_body };
+                    out.extend(fold_stmts(arm));
+                } else {
+                    out.push(Stmt::If {
+                        cond: fc,
+                        then_body: fold_stmts(then_body),
+                        else_body: fold_stmts(else_body),
+                    });
+                }
+            }
+            Stmt::While { cond, body } => {
+                let fc = fold_expr(cond);
+                if matches!(fc, Expr::ConstInt(0)) {
+                    continue; // dead loop
+                }
+                out.push(Stmt::While { cond: fc, body: fold_stmts(body) });
+            }
+            Stmt::For { var, start, end, step, body } => out.push(Stmt::For {
+                var: *var,
+                start: fold_expr(start),
+                end: fold_expr(end),
+                step: fold_expr(step),
+                body: fold_stmts(body),
+            }),
+            Stmt::Expr(e) => out.push(Stmt::Expr(fold_expr(e))),
+            Stmt::Return(Some(e)) => out.push(Stmt::Return(Some(fold_expr(e)))),
+            Stmt::Syscall { num, args } => out.push(Stmt::Syscall {
+                num: *num,
+                args: args.iter().map(fold_expr).collect(),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Constant-fold a whole function.
+pub fn constant_fold(func: &Function) -> Function {
+    let mut out = func.clone();
+    out.body = fold_stmts(&func.body);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Inlining
+// ---------------------------------------------------------------------------
+
+/// Maximum statement count for an inlinable callee.
+const INLINE_STMT_LIMIT: usize = 6;
+
+/// Whether `callee` is simple enough to inline: small, loop-free, and with a
+/// single trailing `Return` (no early exits, so splicing is a pure
+/// substitution).
+fn inlinable(callee: &Function) -> bool {
+    if visit::stmt_count(callee) > INLINE_STMT_LIMIT || visit::loop_count(callee) > 0 {
+        return false;
+    }
+    let mut returns = 0usize;
+    visit::walk_stmts(&callee.body, &mut |s| {
+        if matches!(s, Stmt::Return(_)) {
+            returns += 1;
+        }
+    });
+    returns == 1 && matches!(callee.body.last(), Some(Stmt::Return(_)))
+}
+
+fn substitute_expr(e: &Expr, param_map: &[Expr], local_off: LocalId) -> Expr {
+    match e {
+        Expr::Param(p) => param_map.get(*p as usize).cloned().unwrap_or(Expr::ConstInt(0)),
+        Expr::Local(l) => Expr::Local(l + local_off),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(substitute_expr(a, param_map, local_off)),
+            Box::new(substitute_expr(b, param_map, local_off)),
+        ),
+        Expr::FBin(op, a, b) => Expr::FBin(
+            *op,
+            Box::new(substitute_expr(a, param_map, local_off)),
+            Box::new(substitute_expr(b, param_map, local_off)),
+        ),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(substitute_expr(a, param_map, local_off)),
+            Box::new(substitute_expr(b, param_map, local_off)),
+        ),
+        Expr::Not(a) => Expr::Not(Box::new(substitute_expr(a, param_map, local_off))),
+        Expr::Neg(a) => Expr::Neg(Box::new(substitute_expr(a, param_map, local_off))),
+        Expr::LoadByte { base, index } => Expr::LoadByte {
+            base: Box::new(substitute_expr(base, param_map, local_off)),
+            index: Box::new(substitute_expr(index, param_map, local_off)),
+        },
+        Expr::Call { callee, args } => Expr::Call {
+            callee: callee.clone(),
+            args: args.iter().map(|a| substitute_expr(a, param_map, local_off)).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn substitute_stmts(
+    stmts: &[Stmt],
+    param_map: &[Expr],
+    local_off: LocalId,
+    ret_local: Option<LocalId>,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Let { local, value } => out.push(Stmt::Let {
+                local: local + local_off,
+                value: substitute_expr(value, param_map, local_off),
+            }),
+            Stmt::SetGlobal { global, value } => out.push(Stmt::SetGlobal {
+                global: *global,
+                value: substitute_expr(value, param_map, local_off),
+            }),
+            Stmt::StoreByte { base, index, value } => out.push(Stmt::StoreByte {
+                base: substitute_expr(base, param_map, local_off),
+                index: substitute_expr(index, param_map, local_off),
+                value: substitute_expr(value, param_map, local_off),
+            }),
+            Stmt::If { cond, then_body, else_body } => out.push(Stmt::If {
+                cond: substitute_expr(cond, param_map, local_off),
+                then_body: substitute_stmts(then_body, param_map, local_off, ret_local),
+                else_body: substitute_stmts(else_body, param_map, local_off, ret_local),
+            }),
+            Stmt::Expr(e) => out.push(Stmt::Expr(substitute_expr(e, param_map, local_off))),
+            Stmt::Return(v) => {
+                // Only reachable as the trailing return of an inlinable
+                // callee (checked by `inlinable`).
+                if let (Some(rl), Some(e)) = (ret_local, v.as_ref()) {
+                    out.push(Stmt::Let {
+                        local: rl,
+                        value: substitute_expr(e, param_map, local_off),
+                    });
+                }
+            }
+            Stmt::Syscall { num, args } => out.push(Stmt::Syscall {
+                num: *num,
+                args: args.iter().map(|a| substitute_expr(a, param_map, local_off)).collect(),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Inline small intra-library callees at statement-level call sites
+/// (`x = callee(...)` and bare `callee(...);`). One inlining round only —
+/// enough to change the O3 instruction stream substantially without risking
+/// growth blowups.
+pub fn inline_small_calls(lib: &Library, func: &Function) -> Function {
+    let mut out = func.clone();
+    let mut new_body = Vec::with_capacity(out.body.len());
+    for s in out.body.iter() {
+        match s {
+            Stmt::Let { local, value: Expr::Call { callee, args } } => {
+                if let Some(target) = lib.function(callee).filter(|t| inlinable(t)) {
+                    let local_off = out.locals.len() as LocalId;
+                    let mut tmp = out.clone();
+                    for l in &target.locals {
+                        tmp.locals.push(l.clone());
+                    }
+                    out.locals = tmp.locals;
+                    let body = substitute_stmts(&target.body, args, local_off, Some(*local));
+                    new_body.extend(body);
+                    continue;
+                }
+                new_body.push(s.clone());
+            }
+            Stmt::Expr(Expr::Call { callee, args }) => {
+                if let Some(target) = lib.function(callee).filter(|t| inlinable(t)) {
+                    let local_off = out.locals.len() as LocalId;
+                    let mut tmp = out.clone();
+                    for l in &target.locals {
+                        tmp.locals.push(l.clone());
+                    }
+                    out.locals = tmp.locals;
+                    let body = substitute_stmts(&target.body, args, local_off, None);
+                    new_body.extend(body);
+                    continue;
+                }
+                new_body.push(s.clone());
+            }
+            other => new_body.push(other.clone()),
+        }
+    }
+    out.body = new_body;
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Loop unrolling
+// ---------------------------------------------------------------------------
+
+fn body_safe_to_unroll(body: &[Stmt], var: LocalId) -> bool {
+    let mut ok = true;
+    visit::walk_stmts(body, &mut |s| match s {
+        Stmt::Break | Stmt::Continue | Stmt::Return(_) | Stmt::Abort => ok = false,
+        Stmt::Let { local, .. } if *local == var => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+/// Unroll `For` loops by a factor of 2 (body duplicated with an explicit
+/// induction step between the copies, plus a remainder loop). Only loops
+/// whose bodies neither exit early nor write the induction variable are
+/// unrolled.
+pub fn unroll_loops(func: &Function) -> Function {
+    let mut out = func.clone();
+    out.body = unroll_stmts(&out.body);
+    out
+}
+
+fn unroll_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::For { var, start, end, step, body }
+                if matches!(step, Expr::ConstInt(k) if *k > 0)
+                    && body_safe_to_unroll(body, *var) =>
+            {
+                let k = match step {
+                    Expr::ConstInt(k) => *k,
+                    _ => unreachable!(),
+                };
+                let body = unroll_stmts(body);
+                // i = start;
+                out.push(Stmt::Let { local: *var, value: start.clone() });
+                // while (i + k < end) { body; i += k; body; i += k; }
+                let bump = Stmt::Let {
+                    local: *var,
+                    value: Expr::bin(BinOp::Add, Expr::Local(*var), Expr::ConstInt(k)),
+                };
+                let mut unrolled = body.clone();
+                unrolled.push(bump.clone());
+                unrolled.extend(body.clone());
+                unrolled.push(bump.clone());
+                out.push(Stmt::While {
+                    cond: Expr::cmp(
+                        CmpOp::Lt,
+                        Expr::bin(BinOp::Add, Expr::Local(*var), Expr::ConstInt(k)),
+                        end.clone(),
+                    ),
+                    body: unrolled,
+                });
+                // remainder: while (i < end) { body; i += k; }
+                let mut rem = body.clone();
+                rem.push(bump);
+                out.push(Stmt::While {
+                    cond: Expr::cmp(CmpOp::Lt, Expr::Local(*var), end.clone()),
+                    body: rem,
+                });
+            }
+            Stmt::For { var, start, end, step, body } => out.push(Stmt::For {
+                var: *var,
+                start: start.clone(),
+                end: end.clone(),
+                step: step.clone(),
+                body: unroll_stmts(body),
+            }),
+            Stmt::If { cond, then_body, else_body } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_body: unroll_stmts(then_body),
+                else_body: unroll_stmts(else_body),
+            }),
+            Stmt::While { cond, body } => {
+                out.push(Stmt::While { cond: cond.clone(), body: unroll_stmts(body) })
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// `Ofast` float relaxation: rewrites `(a *f b) +f c` into a fused
+/// multiply-add marker call recognized by the lowerer. Implemented as an
+/// expression annotation: the shape survives as-is; the lowerer pattern
+/// matches it when compiling at `Ofast`.
+pub fn has_fmuladd_shape(e: &Expr) -> Option<(&Expr, &Expr, &Expr)> {
+    if let Expr::FBin(BinOp::Add, l, r) = e {
+        if let Expr::FBin(BinOp::Mul, a, b) = l.as_ref() {
+            return Some((a, b, r));
+        }
+        if let Expr::FBin(BinOp::Mul, a, b) = r.as_ref() {
+            return Some((a, b, l));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fwlang::ast::{Local, Param, Ty};
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let e = Expr::bin(BinOp::Add, Expr::ConstInt(2), Expr::bin(BinOp::Mul, Expr::ConstInt(3), Expr::ConstInt(4)));
+        assert_eq!(fold_expr(&e), Expr::ConstInt(14));
+    }
+
+    #[test]
+    fn fold_preserves_div_by_zero() {
+        let e = Expr::bin(BinOp::Div, Expr::ConstInt(1), Expr::ConstInt(0));
+        assert!(matches!(fold_expr(&e), Expr::Bin(BinOp::Div, _, _)));
+    }
+
+    #[test]
+    fn fold_applies_identities() {
+        let e = Expr::bin(BinOp::Add, Expr::Param(0), Expr::ConstInt(0));
+        assert_eq!(fold_expr(&e), Expr::Param(0));
+        let e = Expr::bin(BinOp::Mul, Expr::Param(0), Expr::ConstInt(0));
+        assert_eq!(fold_expr(&e), Expr::ConstInt(0));
+    }
+
+    #[test]
+    fn fold_eliminates_dead_if_arm() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![],
+            locals: vec![Local { name: "x".into(), ty: Ty::Int }],
+            ret: None,
+            body: vec![Stmt::If {
+                cond: Expr::cmp(CmpOp::Lt, Expr::ConstInt(1), Expr::ConstInt(2)),
+                then_body: vec![Stmt::Let { local: 0, value: Expr::ConstInt(1) }],
+                else_body: vec![Stmt::Let { local: 0, value: Expr::ConstInt(2) }],
+            }],
+            exported: true,
+        };
+        let g = constant_fold(&f);
+        assert_eq!(g.body, vec![Stmt::Let { local: 0, value: Expr::ConstInt(1) }]);
+    }
+
+    #[test]
+    fn unroll_duplicates_body() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![
+                Local { name: "i".into(), ty: Ty::Int },
+                Local { name: "acc".into(), ty: Ty::Int },
+            ],
+            ret: None,
+            body: vec![Stmt::For {
+                var: 0,
+                start: Expr::ConstInt(0),
+                end: Expr::Param(1),
+                step: Expr::ConstInt(1),
+                body: vec![Stmt::Let {
+                    local: 1,
+                    value: Expr::bin(BinOp::Add, Expr::Local(1), Expr::Local(0)),
+                }],
+            }],
+            exported: true,
+        };
+        let g = unroll_loops(&f);
+        // For is replaced by init + two While loops.
+        assert_eq!(g.body.len(), 3);
+        assert!(matches!(&g.body[1], Stmt::While { body, .. } if body.len() == 4));
+    }
+
+    #[test]
+    fn unroll_skips_loops_with_breaks() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![Param { name: "len".into(), ty: Ty::Int }],
+            locals: vec![Local { name: "i".into(), ty: Ty::Int }],
+            ret: None,
+            body: vec![Stmt::For {
+                var: 0,
+                start: Expr::ConstInt(0),
+                end: Expr::Param(0),
+                step: Expr::ConstInt(1),
+                body: vec![Stmt::Break],
+            }],
+            exported: true,
+        };
+        let g = unroll_loops(&f);
+        assert!(matches!(&g.body[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn inline_substitutes_small_callee() {
+        let mut lib = Library::new("lib");
+        lib.functions.push(Function {
+            name: "helper".into(),
+            params: vec![Param { name: "a".into(), ty: Ty::Int }],
+            locals: vec![],
+            ret: Some(Ty::Int),
+            body: vec![Stmt::Return(Some(Expr::bin(
+                BinOp::Mul,
+                Expr::Param(0),
+                Expr::ConstInt(3),
+            )))],
+            exported: false,
+        });
+        let caller = Function {
+            name: "caller".into(),
+            params: vec![Param { name: "x".into(), ty: Ty::Int }],
+            locals: vec![Local { name: "r".into(), ty: Ty::Int }],
+            ret: Some(Ty::Int),
+            body: vec![
+                Stmt::Let {
+                    local: 0,
+                    value: Expr::Call { callee: "helper".into(), args: vec![Expr::Param(0)] },
+                },
+                Stmt::Return(Some(Expr::Local(0))),
+            ],
+            exported: true,
+        };
+        let inlined = inline_small_calls(&lib, &caller);
+        assert!(visit::callee_names(&inlined).is_empty(), "call should be gone");
+        assert!(matches!(
+            &inlined.body[0],
+            Stmt::Let { local: 0, value: Expr::Bin(BinOp::Mul, _, _) }
+        ));
+    }
+
+    #[test]
+    fn inline_keeps_loopy_callee() {
+        let mut lib = Library::new("lib");
+        lib.functions.push(Function {
+            name: "loopy".into(),
+            params: vec![Param { name: "n".into(), ty: Ty::Int }],
+            locals: vec![Local { name: "i".into(), ty: Ty::Int }],
+            ret: Some(Ty::Int),
+            body: vec![
+                Stmt::For {
+                    var: 0,
+                    start: Expr::ConstInt(0),
+                    end: Expr::Param(0),
+                    step: Expr::ConstInt(1),
+                    body: vec![],
+                },
+                Stmt::Return(Some(Expr::Local(0))),
+            ],
+            exported: false,
+        });
+        let caller = Function {
+            name: "caller".into(),
+            params: vec![],
+            locals: vec![Local { name: "r".into(), ty: Ty::Int }],
+            ret: Some(Ty::Int),
+            body: vec![
+                Stmt::Let {
+                    local: 0,
+                    value: Expr::Call { callee: "loopy".into(), args: vec![Expr::ConstInt(5)] },
+                },
+                Stmt::Return(Some(Expr::Local(0))),
+            ],
+            exported: true,
+        };
+        let inlined = inline_small_calls(&lib, &caller);
+        assert_eq!(visit::callee_names(&inlined), vec!["loopy".to_string()]);
+    }
+
+    #[test]
+    fn fmuladd_shape_detection() {
+        let e = Expr::FBin(
+            BinOp::Add,
+            Box::new(Expr::FBin(BinOp::Mul, Box::new(Expr::Param(0)), Box::new(Expr::Param(1)))),
+            Box::new(Expr::Param(2)),
+        );
+        assert!(has_fmuladd_shape(&e).is_some());
+        let e2 = Expr::FBin(BinOp::Sub, Box::new(Expr::Param(0)), Box::new(Expr::Param(1)));
+        assert!(has_fmuladd_shape(&e2).is_none());
+    }
+
+    use fwlang::ast::Library;
+}

@@ -1,0 +1,200 @@
+//! The compiler driver: source library → FWB binary for one
+//! (architecture, optimization level) pair.
+//!
+//! Pipeline per function:
+//!
+//! 1. AST passes (per level): constant folding (`O1+`), inlining (`O3`,
+//!    `Ofast`), loop unrolling (`O3`, `Ofast`);
+//! 2. lowering to virtual-register IR (locals in stack slots at `O0`);
+//! 3. IR passes (`O2+`): peephole, DCE, branch threading, jump removal,
+//!    return merging (`Oz`);
+//! 4. linear-scan register allocation;
+//! 5. architecture legalization;
+//! 6. encoding.
+
+use crate::isa::{Arch, Inst, OptLevel};
+use crate::{astopt, encode, format, legalize, lower, opt, regalloc};
+use fwlang::ast::{Function, Library};
+use std::collections::HashMap;
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// An internal invariant was violated; carries the legalizer's report.
+    Invariant(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Invariant(msg) => write!(f, "compiler invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiled artifacts for one function before packing.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// Final legalized machine code.
+    pub code: Vec<Inst>,
+    /// Frame size in slots (locals + spills).
+    pub frame_slots: u32,
+}
+
+/// Compile one function in the context of its library.
+///
+/// `imports` accumulates the library-routine import table shared by the
+/// whole binary; `fn_index` maps sibling function names to their function
+/// table indices.
+///
+/// # Errors
+/// Returns [`CompileError::Invariant`] if the produced code violates the
+/// target's encoding rules (a compiler bug, surfaced rather than encoded).
+pub fn compile_function(
+    lib: &Library,
+    func: &Function,
+    arch: Arch,
+    level: OptLevel,
+    imports: &mut Vec<String>,
+    fn_index: &HashMap<String, u32>,
+) -> Result<CompiledFunction, CompileError> {
+    // 1. AST passes.
+    let mut f = func.clone();
+    if level >= OptLevel::O1 {
+        f = astopt::constant_fold(&f);
+    }
+    if matches!(level, OptLevel::O3 | OptLevel::Ofast) {
+        f = astopt::inline_small_calls(lib, &f);
+        f = astopt::unroll_loops(&f);
+        // Folding again cleans up constants exposed by inlining.
+        f = astopt::constant_fold(&f);
+    }
+
+    // 2. Lowering.
+    let lowered = lower::lower_function(lib, &f, level, imports, fn_index);
+    let mut code = lowered.code;
+
+    // 3. IR passes.
+    if level >= OptLevel::O2 {
+        code = opt::optimize(code, level == OptLevel::Oz);
+    }
+
+    // 4. Register allocation.
+    let alloc = regalloc::allocate(code, arch, lowered.frame_slots);
+
+    // 5. Legalization.
+    let legal = legalize::legalize(&alloc.code, arch);
+    legalize::check(&legal, arch).map_err(CompileError::Invariant)?;
+
+    Ok(CompiledFunction { code: legal, frame_slots: alloc.total_slots })
+}
+
+/// Compile a whole library to an FWB binary (unstripped: all symbol names
+/// retained; call [`format::Binary::strip`] for the COTS form).
+///
+/// # Errors
+/// Propagates the first function-level [`CompileError`].
+pub fn compile_library(
+    lib: &Library,
+    arch: Arch,
+    level: OptLevel,
+) -> Result<format::Binary, CompileError> {
+    let fn_index: HashMap<String, u32> =
+        lib.functions.iter().enumerate().map(|(i, f)| (f.name.clone(), i as u32)).collect();
+    let mut imports = Vec::new();
+    let mut functions = Vec::with_capacity(lib.functions.len());
+    for func in &lib.functions {
+        let compiled = compile_function(lib, func, arch, level, &mut imports, &fn_index)?;
+        functions.push(format::FuncRecord {
+            name: Some(func.name.clone()),
+            exported: func.exported,
+            code: encode::encode(&compiled.code, arch),
+            n_params: func.params.len() as u8,
+            frame_slots: compiled.frame_slots,
+        });
+    }
+    Ok(format::Binary {
+        lib_name: lib.name.clone(),
+        arch,
+        opt: level,
+        functions,
+        strings: lib.strings.clone(),
+        globals: lib.globals.iter().map(|g| g.init).collect(),
+        imports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fwlang::gen::Generator;
+
+    #[test]
+    fn compiles_generated_library_on_all_platforms() {
+        let lib = Generator::new(2024).library_sized("libtest", 15);
+        for arch in Arch::ALL {
+            for level in OptLevel::ALL {
+                let bin = compile_library(&lib, arch, level)
+                    .unwrap_or_else(|e| panic!("{arch}/{level}: {e}"));
+                assert_eq!(bin.function_count(), 15);
+                // Every function decodes back.
+                for i in 0..bin.function_count() {
+                    let insts = bin.decode_function(i).unwrap();
+                    assert!(matches!(insts.last(), Some(Inst::Ret)));
+                    legalize::check(&insts, arch).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimization_reduces_code_size() {
+        let lib = Generator::new(7).library_sized("libtest", 10);
+        let o0 = compile_library(&lib, Arch::Arm64, OptLevel::O0).unwrap();
+        let o2 = compile_library(&lib, Arch::Arm64, OptLevel::O2).unwrap();
+        let size = |b: &format::Binary| -> usize { b.functions.iter().map(|f| f.code.len()).sum() };
+        assert!(
+            size(&o2) < size(&o0),
+            "O2 ({}) should be smaller than O0 ({})",
+            size(&o2),
+            size(&o0)
+        );
+    }
+
+    #[test]
+    fn oz_not_larger_than_o3() {
+        let lib = Generator::new(7).library_sized("libtest", 10);
+        let o3 = compile_library(&lib, Arch::Amd64, OptLevel::O3).unwrap();
+        let oz = compile_library(&lib, Arch::Amd64, OptLevel::Oz).unwrap();
+        let size = |b: &format::Binary| -> usize { b.functions.iter().map(|f| f.code.len()).sum() };
+        assert!(size(&oz) <= size(&o3), "Oz ({}) vs O3 ({})", size(&oz), size(&o3));
+    }
+
+    #[test]
+    fn architectures_produce_different_code() {
+        let lib = Generator::new(7).library_sized("libtest", 5);
+        let a = compile_library(&lib, Arch::X86, OptLevel::O2).unwrap();
+        let b = compile_library(&lib, Arch::Arm64, OptLevel::O2).unwrap();
+        assert_ne!(a.functions[0].code, b.functions[0].code);
+    }
+
+    #[test]
+    fn import_table_is_shared_and_deduplicated() {
+        let lib = Generator::new(7).library_sized("libtest", 25);
+        let bin = compile_library(&lib, Arch::Arm32, OptLevel::O1).unwrap();
+        let mut sorted = bin.imports.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), bin.imports.len(), "no duplicate imports");
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let lib = Generator::new(55).library_sized("libtest", 8);
+        let a = compile_library(&lib, Arch::Amd64, OptLevel::O3).unwrap();
+        let b = compile_library(&lib, Arch::Amd64, OptLevel::O3).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,845 @@
+//! Byte encoding and decoding of instruction streams.
+//!
+//! Two encoding families mirror the real-world split the paper's feature
+//! tables are sensitive to (basic-block *sizes in bytes* are four of the 48
+//! static features):
+//!
+//! * **Variable-width** (x86, amd64): one opcode byte, one byte per
+//!   register, and width-tagged immediates (1/2/4/8 bytes). The amd64
+//!   profile additionally spends a REX-like `0x66` prefix byte on every
+//!   ALU instruction.
+//! * **Fixed-width** (arm32, arm64): a 4-byte unit per instruction plus
+//!   fixed-size extension words for immediates (8 bytes) and branch
+//!   targets (4 bytes).
+//!
+//! Branch targets are stored as instruction indices (synthetic ISA
+//! liberty); everything else is bit-faithful, and
+//! `decode(encode(code)) == code` for all legal code (property-tested).
+
+use crate::isa::{Arch, BinOp, Cond, Inst, Reg, Sym};
+
+/// Error decoding a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended mid-instruction.
+    UnexpectedEof,
+    /// Unknown opcode byte at the given offset.
+    BadOpcode(u8, usize),
+    /// A field held an out-of-range value.
+    BadField(&'static str, usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of code stream"),
+            DecodeError::BadOpcode(op, off) => write!(f, "unknown opcode {op:#04x} at offset {off}"),
+            DecodeError::BadField(name, off) => write!(f, "bad {name} field at offset {off}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_MOVIMM: u8 = 0x01;
+const OP_FMOVIMM: u8 = 0x02;
+const OP_MOV: u8 = 0x03;
+const OP_LOADSTR: u8 = 0x04;
+const OP_LOADGLOBAL: u8 = 0x05;
+const OP_STOREGLOBAL: u8 = 0x06;
+const OP_BIN: u8 = 0x07;
+const OP_BINIMM: u8 = 0x08;
+const OP_FBIN: u8 = 0x09;
+const OP_FMULADD: u8 = 0x0a;
+const OP_NEG: u8 = 0x0b;
+const OP_NOT: u8 = 0x0c;
+const OP_CMP: u8 = 0x0d;
+const OP_SETCC: u8 = 0x0e;
+const OP_CMPSET: u8 = 0x0f;
+const OP_LOADB: u8 = 0x10;
+const OP_STOREB: u8 = 0x11;
+const OP_LOADSLOT: u8 = 0x12;
+const OP_STORESLOT: u8 = 0x13;
+const OP_JMP: u8 = 0x14;
+const OP_JCC: u8 = 0x15;
+const OP_CBR: u8 = 0x16;
+const OP_JMPIND: u8 = 0x17;
+const OP_SETARG: u8 = 0x18;
+const OP_LOADARG: u8 = 0x19;
+const OP_CALL: u8 = 0x1a;
+const OP_GETRET: u8 = 0x1b;
+const OP_SETRET: u8 = 0x1c;
+const OP_RET: u8 = 0x1d;
+const OP_PUSH: u8 = 0x1e;
+const OP_POP: u8 = 0x1f;
+const OP_SYSCALL: u8 = 0x20;
+const OP_HALT: u8 = 0x21;
+const OP_NOP: u8 = 0x22;
+
+/// amd64 ALU prefix byte (REX analog).
+const PREFIX_ALU64: u8 = 0x66;
+
+fn opcode(inst: &Inst) -> u8 {
+    match inst {
+        Inst::Label(_) => panic!("cannot encode Label pseudo-instruction"),
+        Inst::MovImm { .. } => OP_MOVIMM,
+        Inst::FMovImm { .. } => OP_FMOVIMM,
+        Inst::Mov { .. } => OP_MOV,
+        Inst::LoadStr { .. } => OP_LOADSTR,
+        Inst::LoadGlobal { .. } => OP_LOADGLOBAL,
+        Inst::StoreGlobal { .. } => OP_STOREGLOBAL,
+        Inst::Bin { .. } => OP_BIN,
+        Inst::BinImm { .. } => OP_BINIMM,
+        Inst::FBin { .. } => OP_FBIN,
+        Inst::FMulAdd { .. } => OP_FMULADD,
+        Inst::Neg { .. } => OP_NEG,
+        Inst::Not { .. } => OP_NOT,
+        Inst::Cmp { .. } => OP_CMP,
+        Inst::SetCc { .. } => OP_SETCC,
+        Inst::CmpSet { .. } => OP_CMPSET,
+        Inst::LoadB { .. } => OP_LOADB,
+        Inst::StoreB { .. } => OP_STOREB,
+        Inst::LoadSlot { .. } => OP_LOADSLOT,
+        Inst::StoreSlot { .. } => OP_STORESLOT,
+        Inst::Jmp { .. } => OP_JMP,
+        Inst::JCc { .. } => OP_JCC,
+        Inst::CBr { .. } => OP_CBR,
+        Inst::JmpInd { .. } => OP_JMPIND,
+        Inst::SetArg { .. } => OP_SETARG,
+        Inst::LoadArg { .. } => OP_LOADARG,
+        Inst::Call { .. } => OP_CALL,
+        Inst::GetRet { .. } => OP_GETRET,
+        Inst::SetRet { .. } => OP_SETRET,
+        Inst::Ret => OP_RET,
+        Inst::Push { .. } => OP_PUSH,
+        Inst::Pop { .. } => OP_POP,
+        Inst::Syscall { .. } => OP_SYSCALL,
+        Inst::Halt => OP_HALT,
+        Inst::Nop => OP_NOP,
+    }
+}
+
+fn binop_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+    }
+}
+
+fn binop_from(code: u8, off: usize) -> Result<BinOp, DecodeError> {
+    Ok(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::And,
+        6 => BinOp::Or,
+        7 => BinOp::Xor,
+        8 => BinOp::Shl,
+        9 => BinOp::Shr,
+        _ => return Err(DecodeError::BadField("binop", off)),
+    })
+}
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Le => 3,
+        Cond::Gt => 4,
+        Cond::Ge => 5,
+    }
+}
+
+fn cond_from(code: u8, off: usize) -> Result<Cond, DecodeError> {
+    Ok(match code {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Le,
+        4 => Cond::Gt,
+        5 => Cond::Ge,
+        _ => return Err(DecodeError::BadField("cond", off)),
+    })
+}
+
+fn is_alu(op: u8) -> bool {
+    matches!(
+        op,
+        OP_BIN | OP_BINIMM | OP_FBIN | OP_FMULADD | OP_NEG | OP_NOT | OP_CMP | OP_SETCC | OP_CMPSET
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Writer / reader
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+    fixed: bool,
+}
+
+impl Writer {
+    fn reg(&mut self, r: Reg) {
+        debug_assert!(!r.is_virtual(), "virtual register in encoder");
+        self.buf.push(r.0 as u8);
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// 32-bit field: fixed archs always spend 4 bytes; variable archs use a
+    /// width tag.
+    fn u32f(&mut self, v: u32) {
+        if self.fixed {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        } else if v <= u8::MAX as u32 {
+            self.buf.push(0);
+            self.buf.push(v as u8);
+        } else if v <= u16::MAX as u32 {
+            self.buf.push(1);
+            self.buf.extend_from_slice(&(v as u16).to_le_bytes());
+        } else {
+            self.buf.push(2);
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// 64-bit immediate: fixed archs always spend 8 bytes; variable archs
+    /// use a width tag.
+    fn i64f(&mut self, v: i64) {
+        if self.fixed {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        } else if let Ok(b) = i8::try_from(v) {
+            self.buf.push(0);
+            self.buf.push(b as u8);
+        } else if let Ok(h) = i16::try_from(v) {
+            self.buf.push(1);
+            self.buf.extend_from_slice(&h.to_le_bytes());
+        } else if let Ok(w) = i32::try_from(v) {
+            self.buf.push(2);
+            self.buf.extend_from_slice(&w.to_le_bytes());
+        } else {
+            self.buf.push(3);
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn f64f(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Pad a fixed-width instruction header to the next 4-byte unit
+    /// boundary (wide forms such as three-register ALU ops occupy two
+    /// units, like a real fixed-width ISA would split them).
+    fn pad_header(&mut self, start: usize) {
+        if self.fixed {
+            while self.buf.len() - start < 4 || (self.buf.len() - start) % 4 != 0 {
+                self.buf.push(0);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    fixed: bool,
+}
+
+impl<'a> Reader<'a> {
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        Ok(Reg(self.byte()? as u16))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32f(&mut self) -> Result<u32, DecodeError> {
+        if self.fixed {
+            let b = self.take(4)?;
+            Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        } else {
+            match self.byte()? {
+                0 => Ok(self.byte()? as u32),
+                1 => {
+                    let b = self.take(2)?;
+                    Ok(u16::from_le_bytes([b[0], b[1]]) as u32)
+                }
+                2 => {
+                    let b = self.take(4)?;
+                    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                }
+                _ => Err(DecodeError::BadField("u32 tag", self.pos - 1)),
+            }
+        }
+    }
+
+    fn i64f(&mut self) -> Result<i64, DecodeError> {
+        if self.fixed {
+            let b = self.take(8)?;
+            Ok(i64::from_le_bytes(b.try_into().unwrap()))
+        } else {
+            match self.byte()? {
+                0 => Ok(self.byte()? as i8 as i64),
+                1 => {
+                    let b = self.take(2)?;
+                    Ok(i16::from_le_bytes([b[0], b[1]]) as i64)
+                }
+                2 => {
+                    let b = self.take(4)?;
+                    Ok(i32::from_le_bytes(b.try_into().unwrap()) as i64)
+                }
+                3 => {
+                    let b = self.take(8)?;
+                    Ok(i64::from_le_bytes(b.try_into().unwrap()))
+                }
+                _ => Err(DecodeError::BadField("i64 tag", self.pos - 1)),
+            }
+        }
+    }
+
+    fn f64f(&mut self) -> Result<f64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+    }
+
+    fn skip_header_pad(&mut self, start: usize) -> Result<(), DecodeError> {
+        if self.fixed {
+            while self.pos - start < 4 || (self.pos - start) % 4 != 0 {
+                self.byte()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Encode one instruction, appending to the writer.
+fn encode_inst(w: &mut Writer, inst: &Inst, arch: Arch) {
+    let op = opcode(inst);
+    if arch == Arch::Amd64 && is_alu(op) {
+        w.byte(PREFIX_ALU64);
+    }
+    let start = w.buf.len();
+    w.byte(op);
+    match *inst {
+        Inst::Label(_) => unreachable!(),
+        Inst::MovImm { rd, imm } => {
+            w.reg(rd);
+            w.pad_header(start);
+            w.i64f(imm);
+        }
+        Inst::FMovImm { rd, imm } => {
+            w.reg(rd);
+            w.pad_header(start);
+            w.f64f(imm);
+        }
+        Inst::Mov { rd, rs } => {
+            w.reg(rd);
+            w.reg(rs);
+            w.pad_header(start);
+        }
+        Inst::LoadStr { rd, sid } => {
+            w.reg(rd);
+            w.pad_header(start);
+            w.u32f(sid);
+        }
+        Inst::LoadGlobal { rd, gid } => {
+            w.reg(rd);
+            w.pad_header(start);
+            w.u32f(gid);
+        }
+        Inst::StoreGlobal { gid, rs } => {
+            w.reg(rs);
+            w.pad_header(start);
+            w.u32f(gid);
+        }
+        Inst::Bin { op, rd, rs1, rs2 } => {
+            w.byte(binop_code(op));
+            w.reg(rd);
+            w.reg(rs1);
+            // Fixed: rs2 spills into an extension byte slot; the header is
+            // already full (op + 3 bytes). Both families just append it.
+            w.reg(rs2);
+            w.pad_header(start);
+        }
+        Inst::BinImm { op, rd, rs, imm } => {
+            w.byte(binop_code(op));
+            w.reg(rd);
+            w.reg(rs);
+            w.pad_header(start);
+            w.i64f(imm);
+        }
+        Inst::FBin { op, rd, rs1, rs2 } => {
+            w.byte(binop_code(op));
+            w.reg(rd);
+            w.reg(rs1);
+            w.reg(rs2);
+            w.pad_header(start);
+        }
+        Inst::FMulAdd { rd, rs1, rs2, rs3 } => {
+            w.reg(rd);
+            w.reg(rs1);
+            w.reg(rs2);
+            w.reg(rs3);
+            w.pad_header(start);
+        }
+        Inst::Neg { rd, rs } | Inst::Not { rd, rs } => {
+            w.reg(rd);
+            w.reg(rs);
+            w.pad_header(start);
+        }
+        Inst::Cmp { rs1, rs2 } => {
+            w.reg(rs1);
+            w.reg(rs2);
+            w.pad_header(start);
+        }
+        Inst::SetCc { cond, rd } => {
+            w.byte(cond_code(cond));
+            w.reg(rd);
+            w.pad_header(start);
+        }
+        Inst::CmpSet { cond, rd, rs1, rs2 } => {
+            w.byte(cond_code(cond));
+            w.reg(rd);
+            w.reg(rs1);
+            w.reg(rs2);
+            w.pad_header(start);
+        }
+        Inst::LoadB { rd, base, idx } => {
+            w.reg(rd);
+            w.reg(base);
+            w.reg(idx);
+            w.pad_header(start);
+        }
+        Inst::StoreB { rs, base, idx } => {
+            w.reg(rs);
+            w.reg(base);
+            w.reg(idx);
+            w.pad_header(start);
+        }
+        Inst::LoadSlot { rd, slot } => {
+            w.reg(rd);
+            w.pad_header(start);
+            w.u32f(slot);
+        }
+        Inst::StoreSlot { rs, slot } => {
+            w.reg(rs);
+            w.pad_header(start);
+            w.u32f(slot);
+        }
+        Inst::Jmp { target } => {
+            w.pad_header(start);
+            w.u32f(target);
+        }
+        Inst::JCc { cond, target } => {
+            w.byte(cond_code(cond));
+            w.pad_header(start);
+            w.u32f(target);
+        }
+        Inst::CBr { cond, rs1, rs2, target } => {
+            w.byte(cond_code(cond));
+            w.reg(rs1);
+            w.reg(rs2);
+            w.pad_header(start);
+            w.u32f(target);
+        }
+        Inst::JmpInd { rs } => {
+            w.reg(rs);
+            w.pad_header(start);
+        }
+        Inst::SetArg { idx, rs } => {
+            w.byte(idx);
+            w.reg(rs);
+            w.pad_header(start);
+        }
+        Inst::LoadArg { rd, idx } => {
+            w.byte(idx);
+            w.reg(rd);
+            w.pad_header(start);
+        }
+        Inst::Call { sym } => {
+            w.pad_header(start);
+            w.u32f(sym.0);
+        }
+        Inst::GetRet { rd } => {
+            w.reg(rd);
+            w.pad_header(start);
+        }
+        Inst::SetRet { rs } => {
+            w.reg(rs);
+            w.pad_header(start);
+        }
+        Inst::Ret | Inst::Halt | Inst::Nop => {
+            w.pad_header(start);
+        }
+        Inst::Push { rs } => {
+            w.reg(rs);
+            w.pad_header(start);
+        }
+        Inst::Pop { rd } => {
+            w.reg(rd);
+            w.pad_header(start);
+        }
+        Inst::Syscall { num } => {
+            w.pad_header(start);
+            w.u32f(num);
+        }
+    }
+}
+
+fn decode_inst(r: &mut Reader<'_>, arch: Arch) -> Result<Inst, DecodeError> {
+    let mut op = r.byte()?;
+    if arch == Arch::Amd64 && op == PREFIX_ALU64 {
+        op = r.byte()?;
+        if !is_alu(op) {
+            return Err(DecodeError::BadField("ALU prefix", r.pos - 1));
+        }
+    }
+    let start = r.pos - 1;
+    let inst = match op {
+        OP_MOVIMM => {
+            let rd = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::MovImm { rd, imm: r.i64f()? }
+        }
+        OP_FMOVIMM => {
+            let rd = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::FMovImm { rd, imm: r.f64f()? }
+        }
+        OP_MOV => {
+            let rd = r.reg()?;
+            let rs = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::Mov { rd, rs }
+        }
+        OP_LOADSTR => {
+            let rd = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::LoadStr { rd, sid: r.u32f()? }
+        }
+        OP_LOADGLOBAL => {
+            let rd = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::LoadGlobal { rd, gid: r.u32f()? }
+        }
+        OP_STOREGLOBAL => {
+            let rs = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::StoreGlobal { gid: r.u32f()?, rs }
+        }
+        OP_BIN => {
+            let bop = binop_from(r.byte()?, r.pos - 1)?;
+            let rd = r.reg()?;
+            let rs1 = r.reg()?;
+            let rs2 = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::Bin { op: bop, rd, rs1, rs2 }
+        }
+        OP_BINIMM => {
+            let bop = binop_from(r.byte()?, r.pos - 1)?;
+            let rd = r.reg()?;
+            let rs = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::BinImm { op: bop, rd, rs, imm: r.i64f()? }
+        }
+        OP_FBIN => {
+            let bop = binop_from(r.byte()?, r.pos - 1)?;
+            let rd = r.reg()?;
+            let rs1 = r.reg()?;
+            let rs2 = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::FBin { op: bop, rd, rs1, rs2 }
+        }
+        OP_FMULADD => {
+            let rd = r.reg()?;
+            let rs1 = r.reg()?;
+            let rs2 = r.reg()?;
+            let rs3 = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::FMulAdd { rd, rs1, rs2, rs3 }
+        }
+        OP_NEG => {
+            let rd = r.reg()?;
+            let rs = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::Neg { rd, rs }
+        }
+        OP_NOT => {
+            let rd = r.reg()?;
+            let rs = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::Not { rd, rs }
+        }
+        OP_CMP => {
+            let rs1 = r.reg()?;
+            let rs2 = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::Cmp { rs1, rs2 }
+        }
+        OP_SETCC => {
+            let cond = cond_from(r.byte()?, r.pos - 1)?;
+            let rd = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::SetCc { cond, rd }
+        }
+        OP_CMPSET => {
+            let cond = cond_from(r.byte()?, r.pos - 1)?;
+            let rd = r.reg()?;
+            let rs1 = r.reg()?;
+            let rs2 = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::CmpSet { cond, rd, rs1, rs2 }
+        }
+        OP_LOADB => {
+            let rd = r.reg()?;
+            let base = r.reg()?;
+            let idx = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::LoadB { rd, base, idx }
+        }
+        OP_STOREB => {
+            let rs = r.reg()?;
+            let base = r.reg()?;
+            let idx = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::StoreB { rs, base, idx }
+        }
+        OP_LOADSLOT => {
+            let rd = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::LoadSlot { rd, slot: r.u32f()? }
+        }
+        OP_STORESLOT => {
+            let rs = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::StoreSlot { rs, slot: r.u32f()? }
+        }
+        OP_JMP => {
+            r.skip_header_pad(start)?;
+            Inst::Jmp { target: r.u32f()? }
+        }
+        OP_JCC => {
+            let cond = cond_from(r.byte()?, r.pos - 1)?;
+            r.skip_header_pad(start)?;
+            Inst::JCc { cond, target: r.u32f()? }
+        }
+        OP_CBR => {
+            let cond = cond_from(r.byte()?, r.pos - 1)?;
+            let rs1 = r.reg()?;
+            let rs2 = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::CBr { cond, rs1, rs2, target: r.u32f()? }
+        }
+        OP_JMPIND => {
+            let rs = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::JmpInd { rs }
+        }
+        OP_SETARG => {
+            let idx = r.byte()?;
+            let rs = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::SetArg { idx, rs }
+        }
+        OP_LOADARG => {
+            let idx = r.byte()?;
+            let rd = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::LoadArg { rd, idx }
+        }
+        OP_CALL => {
+            r.skip_header_pad(start)?;
+            Inst::Call { sym: Sym(r.u32f()?) }
+        }
+        OP_GETRET => {
+            let rd = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::GetRet { rd }
+        }
+        OP_SETRET => {
+            let rs = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::SetRet { rs }
+        }
+        OP_RET => {
+            r.skip_header_pad(start)?;
+            Inst::Ret
+        }
+        OP_PUSH => {
+            let rs = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::Push { rs }
+        }
+        OP_POP => {
+            let rd = r.reg()?;
+            r.skip_header_pad(start)?;
+            Inst::Pop { rd }
+        }
+        OP_SYSCALL => {
+            r.skip_header_pad(start)?;
+            Inst::Syscall { num: r.u32f()? }
+        }
+        OP_HALT => {
+            r.skip_header_pad(start)?;
+            Inst::Halt
+        }
+        OP_NOP => {
+            r.skip_header_pad(start)?;
+            Inst::Nop
+        }
+        other => return Err(DecodeError::BadOpcode(other, start)),
+    };
+    Ok(inst)
+}
+
+/// Encode a function's instruction stream for `arch`.
+///
+/// # Panics
+/// Panics if the code contains `Label` pseudo-instructions or virtual
+/// registers (compile-pipeline bugs).
+pub fn encode(code: &[Inst], arch: Arch) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::with_capacity(code.len() * 6), fixed: arch.fixed_width() };
+    for inst in code {
+        encode_inst(&mut w, inst, arch);
+    }
+    w.buf
+}
+
+/// Decode a function's byte stream, returning each instruction with its
+/// byte size (used by the disassembler for basic-block size features).
+pub fn decode_with_sizes(bytes: &[u8], arch: Arch) -> Result<Vec<(Inst, u32)>, DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0, fixed: arch.fixed_width() };
+    let mut out = Vec::new();
+    while r.pos < bytes.len() {
+        let start = r.pos;
+        let inst = decode_inst(&mut r, arch)?;
+        out.push((inst, (r.pos - start) as u32));
+    }
+    Ok(out)
+}
+
+/// Decode a function's byte stream.
+pub fn decode(bytes: &[u8], arch: Arch) -> Result<Vec<Inst>, DecodeError> {
+    Ok(decode_with_sizes(bytes, arch)?.into_iter().map(|(i, _)| i).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> Reg {
+        Reg::phys(i)
+    }
+
+    fn sample_code() -> Vec<Inst> {
+        vec![
+            Inst::LoadArg { rd: r(0), idx: 0 },
+            Inst::LoadArg { rd: r(1), idx: 1 },
+            Inst::MovImm { rd: r(2), imm: 0 },
+            Inst::MovImm { rd: r(3), imm: 123456789012345 },
+            Inst::FMovImm { rd: r(4), imm: 2.5 },
+            Inst::Cmp { rs1: r(2), rs2: r(1) },
+            Inst::JCc { cond: Cond::Ge, target: 12 },
+            Inst::LoadB { rd: r(3), base: r(0), idx: r(2) },
+            Inst::Bin { op: BinOp::Add, rd: r(3), rs1: r(3), rs2: r(2) },
+            Inst::BinImm { op: BinOp::Add, rd: r(2), rs: r(2), imm: 1 },
+            Inst::StoreB { rs: r(3), base: r(0), idx: r(2) },
+            Inst::Jmp { target: 5 },
+            Inst::SetArg { idx: 0, rs: r(0) },
+            Inst::Call { sym: Sym::import(2) },
+            Inst::GetRet { rd: r(2) },
+            Inst::Syscall { num: 1 },
+            Inst::SetRet { rs: r(2) },
+            Inst::Ret,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_archs() {
+        for arch in Arch::ALL {
+            let code = sample_code();
+            let bytes = encode(&code, arch);
+            let back = decode(&bytes, arch).unwrap();
+            assert_eq!(code, back, "roundtrip failed for {arch}");
+        }
+    }
+
+    #[test]
+    fn fixed_width_is_multiple_of_four_header() {
+        let code = vec![Inst::Ret, Inst::Nop, Inst::Halt];
+        let bytes = encode(&code, Arch::Arm32);
+        assert_eq!(bytes.len(), 12);
+    }
+
+    #[test]
+    fn variable_width_is_compact_for_small_imms() {
+        let code = vec![Inst::MovImm { rd: r(0), imm: 7 }];
+        let x86 = encode(&code, Arch::X86);
+        let arm = encode(&code, Arch::Arm32);
+        assert!(x86.len() < arm.len(), "x86 {} vs arm32 {}", x86.len(), arm.len());
+    }
+
+    #[test]
+    fn amd64_alu_prefix_costs_a_byte() {
+        let code = vec![Inst::Bin { op: BinOp::Add, rd: r(0), rs1: r(0), rs2: r(1) }];
+        let x86 = encode(&code, Arch::X86);
+        let amd = encode(&code, Arch::Amd64);
+        assert_eq!(amd.len(), x86.len() + 1);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_stream() {
+        let code = vec![Inst::MovImm { rd: r(0), imm: 123456789 }];
+        let mut bytes = encode(&code, Arch::Amd64);
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(decode(&bytes, Arch::Amd64), Err(DecodeError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        let bytes = vec![0xEE, 0, 0, 0];
+        assert!(matches!(decode(&bytes, Arch::X86), Err(DecodeError::BadOpcode(0xEE, 0))));
+    }
+
+    #[test]
+    fn sizes_sum_to_total() {
+        for arch in Arch::ALL {
+            let code = sample_code();
+            let bytes = encode(&code, arch);
+            let sized = decode_with_sizes(&bytes, arch).unwrap();
+            let total: u32 = sized.iter().map(|(_, s)| s).sum();
+            assert_eq!(total as usize, bytes.len());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn encoding_label_panics() {
+        let _ = encode(&[Inst::Label(0)], Arch::X86);
+    }
+}

@@ -1,0 +1,393 @@
+//! The FWB binary container and firmware images.
+//!
+//! An FWB binary is the compiled form of one [`fwlang::Library`] for one
+//! (architecture, optimization level) pair — the analog of an ELF `.so`.
+//! It carries:
+//!
+//! * a **function table** (code bytes, parameter count, frame size, export
+//!   flag) — the paper assumes the disassembler knows function boundaries,
+//!   and this table is how our substrate provides them;
+//! * a **string pool** (`.rodata`) and **global initializers** (`.data`);
+//! * an **import table** naming the library routines the code calls;
+//! * an optional **symbol table**: debug builds keep every function name
+//!   (Dataset I ground truth); [`Binary::strip`] removes the names of
+//!   non-exported functions, producing the stripped COTS binaries
+//!   PATCHECKO targets. Exported names survive stripping, as in real ELF
+//!   dynamic-symbol tables.
+//!
+//! Serialization uses a small length-prefixed format over `bytes`.
+
+use crate::encode;
+use crate::isa::{Arch, Inst, OptLevel};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Magic bytes identifying an FWB container.
+pub const FWB_MAGIC: [u8; 4] = *b"FWB1";
+
+/// One function in a binary's function table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncRecord {
+    /// Symbol name; `None` after stripping a non-exported function.
+    pub name: Option<String>,
+    /// Whether the function is in the dynamic export table.
+    pub exported: bool,
+    /// Encoded instruction bytes.
+    pub code: Vec<u8>,
+    /// Number of declared parameters.
+    pub n_params: u8,
+    /// Frame size in 8-byte slots (locals + spills).
+    pub frame_slots: u32,
+}
+
+/// A compiled library binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Binary {
+    /// Source library name (container metadata, like an ELF soname).
+    pub lib_name: String,
+    /// Target architecture.
+    pub arch: Arch,
+    /// Optimization level used.
+    pub opt: OptLevel,
+    /// Function table.
+    pub functions: Vec<FuncRecord>,
+    /// Read-only string pool.
+    pub strings: Vec<String>,
+    /// Global variable initial values.
+    pub globals: Vec<i64>,
+    /// Imported library routine names, indexed by `Sym::import`.
+    pub imports: Vec<String>,
+}
+
+impl Binary {
+    /// Total number of functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Decode the `idx`-th function's instruction stream.
+    ///
+    /// # Errors
+    /// Returns a decode error if the code bytes are corrupt.
+    pub fn decode_function(&self, idx: usize) -> Result<Vec<Inst>, encode::DecodeError> {
+        encode::decode(&self.functions[idx].code, self.arch)
+    }
+
+    /// Find a function index by symbol name (`dlsym` analog: only works for
+    /// functions whose name survived stripping).
+    pub fn find_symbol(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name.as_deref() == Some(name))
+    }
+
+    /// Strip the symbol table: non-exported functions lose their names.
+    /// Exported names are retained (the dynamic loader needs them).
+    pub fn strip(&mut self) {
+        for f in &mut self.functions {
+            if !f.exported {
+                f.name = None;
+            }
+        }
+    }
+
+    /// Whether any non-exported function still carries a name.
+    pub fn is_stripped(&self) -> bool {
+        self.functions.iter().all(|f| f.exported || f.name.is_none())
+    }
+
+    /// Serialize to the FWB wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_slice(&FWB_MAGIC);
+        b.put_u8(match self.arch {
+            Arch::X86 => 0,
+            Arch::Amd64 => 1,
+            Arch::Arm32 => 2,
+            Arch::Arm64 => 3,
+        });
+        b.put_u8(match self.opt {
+            OptLevel::O0 => 0,
+            OptLevel::O1 => 1,
+            OptLevel::O2 => 2,
+            OptLevel::O3 => 3,
+            OptLevel::Oz => 4,
+            OptLevel::Ofast => 5,
+        });
+        put_str(&mut b, &self.lib_name);
+        b.put_u32_le(self.functions.len() as u32);
+        for f in &self.functions {
+            match &f.name {
+                Some(n) => {
+                    b.put_u8(1);
+                    put_str(&mut b, n);
+                }
+                None => b.put_u8(0),
+            }
+            b.put_u8(f.exported as u8);
+            b.put_u8(f.n_params);
+            b.put_u32_le(f.frame_slots);
+            b.put_u32_le(f.code.len() as u32);
+            b.put_slice(&f.code);
+        }
+        b.put_u32_le(self.strings.len() as u32);
+        for s in &self.strings {
+            put_str(&mut b, s);
+        }
+        b.put_u32_le(self.globals.len() as u32);
+        for g in &self.globals {
+            b.put_i64_le(*g);
+        }
+        b.put_u32_le(self.imports.len() as u32);
+        for i in &self.imports {
+            put_str(&mut b, i);
+        }
+        b.freeze()
+    }
+
+    /// Deserialize from the FWB wire format.
+    ///
+    /// # Errors
+    /// Returns a descriptive error on malformed input.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Binary, FormatError> {
+        let b = &mut data;
+        let magic = get_bytes(b, 4)?;
+        if magic != FWB_MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let arch = match get_u8(b)? {
+            0 => Arch::X86,
+            1 => Arch::Amd64,
+            2 => Arch::Arm32,
+            3 => Arch::Arm64,
+            v => return Err(FormatError::BadEnum("arch", v)),
+        };
+        let opt = match get_u8(b)? {
+            0 => OptLevel::O0,
+            1 => OptLevel::O1,
+            2 => OptLevel::O2,
+            3 => OptLevel::O3,
+            4 => OptLevel::Oz,
+            5 => OptLevel::Ofast,
+            v => return Err(FormatError::BadEnum("opt", v)),
+        };
+        let lib_name = get_str(b)?;
+        let nf = get_u32(b)? as usize;
+        let mut functions = Vec::with_capacity(nf.min(1 << 20));
+        for _ in 0..nf {
+            let name = if get_u8(b)? == 1 { Some(get_str(b)?) } else { None };
+            let exported = get_u8(b)? != 0;
+            let n_params = get_u8(b)?;
+            let frame_slots = get_u32(b)?;
+            let code_len = get_u32(b)? as usize;
+            let code = get_bytes(b, code_len)?.to_vec();
+            functions.push(FuncRecord { name, exported, code, n_params, frame_slots });
+        }
+        let ns = get_u32(b)? as usize;
+        let mut strings = Vec::with_capacity(ns.min(1 << 20));
+        for _ in 0..ns {
+            strings.push(get_str(b)?);
+        }
+        let ng = get_u32(b)? as usize;
+        let mut globals = Vec::with_capacity(ng.min(1 << 20));
+        for _ in 0..ng {
+            globals.push(get_i64(b)?);
+        }
+        let ni = get_u32(b)? as usize;
+        let mut imports = Vec::with_capacity(ni.min(1 << 20));
+        for _ in 0..ni {
+            imports.push(get_str(b)?);
+        }
+        Ok(Binary { lib_name, arch, opt, functions, strings, globals, imports })
+    }
+}
+
+/// Error reading the FWB wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Stream ended early.
+    Truncated,
+    /// Invalid enum discriminant.
+    BadEnum(&'static str, u8),
+    /// String field was not UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not an FWB container (bad magic)"),
+            FormatError::Truncated => write!(f, "truncated FWB container"),
+            FormatError::BadEnum(field, v) => write!(f, "invalid {field} value {v}"),
+            FormatError::BadString => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    b.put_u32_le(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_u8(b: &mut &[u8]) -> Result<u8, FormatError> {
+    if b.remaining() < 1 {
+        return Err(FormatError::Truncated);
+    }
+    Ok(b.get_u8())
+}
+
+fn get_u32(b: &mut &[u8]) -> Result<u32, FormatError> {
+    if b.remaining() < 4 {
+        return Err(FormatError::Truncated);
+    }
+    Ok(b.get_u32_le())
+}
+
+fn get_i64(b: &mut &[u8]) -> Result<i64, FormatError> {
+    if b.remaining() < 8 {
+        return Err(FormatError::Truncated);
+    }
+    Ok(b.get_i64_le())
+}
+
+fn get_bytes<'a>(b: &mut &'a [u8], n: usize) -> Result<&'a [u8], FormatError> {
+    if b.remaining() < n {
+        return Err(FormatError::Truncated);
+    }
+    let (head, tail) = b.split_at(n);
+    *b = tail;
+    Ok(head)
+}
+
+fn get_str(b: &mut &[u8]) -> Result<String, FormatError> {
+    let n = get_u32(b)? as usize;
+    let raw = get_bytes(b, n)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| FormatError::BadString)
+}
+
+/// A device firmware image: a named set of library binaries, the unit
+/// PATCHECKO scans (the paper's Android Things 1.0 / Pixel 2 XL images).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FirmwareImage {
+    /// Device name, e.g. `android_things_1.0`.
+    pub device: String,
+    /// Security-patch-level string, e.g. `2018-05`.
+    pub patch_level: String,
+    /// The image's library binaries.
+    pub binaries: Vec<Binary>,
+}
+
+impl FirmwareImage {
+    /// Create an empty image.
+    pub fn new(device: impl Into<String>, patch_level: impl Into<String>) -> FirmwareImage {
+        FirmwareImage { device: device.into(), patch_level: patch_level.into(), binaries: Vec::new() }
+    }
+
+    /// Total function count across all binaries (the paper reports 440,532
+    /// for Android Things 1.0).
+    pub fn total_functions(&self) -> usize {
+        self.binaries.iter().map(Binary::function_count).sum()
+    }
+
+    /// Find a binary by library name.
+    pub fn binary(&self, lib_name: &str) -> Option<&Binary> {
+        self.binaries.iter().find(|b| b.lib_name == lib_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    fn sample_binary() -> Binary {
+        let code = encode::encode(
+            &[
+                Inst::LoadArg { rd: Reg::phys(0), idx: 0 },
+                Inst::SetRet { rs: Reg::phys(0) },
+                Inst::Ret,
+            ],
+            Arch::Arm64,
+        );
+        Binary {
+            lib_name: "libdemo".into(),
+            arch: Arch::Arm64,
+            opt: OptLevel::O2,
+            functions: vec![
+                FuncRecord {
+                    name: Some("exported_fn".into()),
+                    exported: true,
+                    code: code.clone(),
+                    n_params: 1,
+                    frame_slots: 0,
+                },
+                FuncRecord {
+                    name: Some("internal_fn".into()),
+                    exported: false,
+                    code,
+                    n_params: 1,
+                    frame_slots: 2,
+                },
+            ],
+            strings: vec!["hello".into()],
+            globals: vec![42, -7],
+            imports: vec!["memmove".into()],
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let bin = sample_binary();
+        let bytes = bin.to_bytes();
+        let back = Binary::from_bytes(&bytes).unwrap();
+        assert_eq!(bin, back);
+    }
+
+    #[test]
+    fn strip_removes_internal_names_only() {
+        let mut bin = sample_binary();
+        assert!(!bin.is_stripped());
+        bin.strip();
+        assert!(bin.is_stripped());
+        assert_eq!(bin.functions[0].name.as_deref(), Some("exported_fn"));
+        assert_eq!(bin.functions[1].name, None);
+        assert_eq!(bin.find_symbol("internal_fn"), None);
+        assert_eq!(bin.find_symbol("exported_fn"), Some(0));
+    }
+
+    #[test]
+    fn stripped_binary_roundtrips() {
+        let mut bin = sample_binary();
+        bin.strip();
+        let back = Binary::from_bytes(&bin.to_bytes()).unwrap();
+        assert_eq!(bin, back);
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert_eq!(Binary::from_bytes(b"nope"), Err(FormatError::BadMagic));
+        assert_eq!(Binary::from_bytes(b"FW"), Err(FormatError::Truncated));
+        let mut bytes = sample_binary().to_bytes().to_vec();
+        bytes.truncate(bytes.len() / 2);
+        assert!(Binary::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_function_works() {
+        let bin = sample_binary();
+        let insts = bin.decode_function(0).unwrap();
+        assert_eq!(insts.len(), 3);
+        assert!(matches!(insts.last(), Some(Inst::Ret)));
+    }
+
+    #[test]
+    fn firmware_image_lookup() {
+        let mut img = FirmwareImage::new("android_things_1.0", "2018-05");
+        img.binaries.push(sample_binary());
+        assert_eq!(img.total_functions(), 2);
+        assert!(img.binary("libdemo").is_some());
+        assert!(img.binary("libmissing").is_none());
+    }
+}

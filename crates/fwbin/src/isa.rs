@@ -1,0 +1,594 @@
+//! The synthetic instruction set architecture (ISA).
+//!
+//! One instruction enum serves all four target architectures; the
+//! architectures differ in register-file size, operand form (two-operand
+//! CISC style vs three-operand RISC style), compare/branch style (separate
+//! `Cmp` + `JCc` vs fused `CBr`), and byte encoding (variable-width vs
+//! fixed-width). The legalizer (`crate::legalize`) enforces each
+//! architecture's constraints before encoding.
+//!
+//! Registers are a flat `Reg(u16)` space: indices below
+//! [`Reg::FIRST_VIRTUAL`] are physical machine registers; higher indices are
+//! compiler-internal virtual registers that must be eliminated by register
+//! allocation before encoding.
+
+pub use fwlang::ast::BinOp;
+use serde::{Deserialize, Serialize};
+
+/// A target architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// 32-bit x86-like: 8 registers, two-operand, `Cmp`+`JCc`, variable
+    /// width encoding.
+    X86,
+    /// 64-bit x86-like: 16 registers, two-operand, `Cmp`+`JCc`, variable
+    /// width encoding.
+    Amd64,
+    /// 32-bit ARM-like: 16 registers, three-operand, `Cmp`+`JCc`, fixed
+    /// width encoding.
+    Arm32,
+    /// 64-bit ARM-like: 31 registers, three-operand, fused compare-branch,
+    /// fixed width encoding.
+    Arm64,
+}
+
+impl Arch {
+    /// All architectures, in the paper's enumeration order.
+    pub const ALL: [Arch; 4] = [Arch::X86, Arch::Amd64, Arch::Arm32, Arch::Arm64];
+
+    /// Number of allocatable general-purpose registers.
+    pub fn num_regs(self) -> u16 {
+        match self {
+            Arch::X86 => 6,
+            Arch::Amd64 => 14,
+            Arch::Arm32 => 12,
+            Arch::Arm64 => 28,
+        }
+    }
+
+    /// Whether ALU instructions are two-operand (`rd == rs1` required).
+    pub fn two_operand(self) -> bool {
+        matches!(self, Arch::X86 | Arch::Amd64)
+    }
+
+    /// Whether conditional branches fuse the comparison (`CBr`) rather than
+    /// consuming flags set by a separate `Cmp`.
+    pub fn fused_compare_branch(self) -> bool {
+        matches!(self, Arch::Arm64)
+    }
+
+    /// Whether the encoding is fixed-width (4-byte units) rather than
+    /// variable-width.
+    pub fn fixed_width(self) -> bool {
+        matches!(self, Arch::Arm32 | Arch::Arm64)
+    }
+
+    /// Short lowercase name (used in binary metadata and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::X86 => "x86",
+            Arch::Amd64 => "amd64",
+            Arch::Arm32 => "arm32",
+            Arch::Arm64 => "arm64",
+        }
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Optimization level, mirroring the paper's Clang invocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// No optimization; locals live in stack slots.
+    O0,
+    /// Register allocation + constant folding.
+    O1,
+    /// O1 + dead-code elimination, peephole, branch threading.
+    O2,
+    /// O2 + loop unrolling and inlining of small callees.
+    O3,
+    /// Optimize for size: O2 passes, compact prologue, merged returns,
+    /// no unrolling.
+    Oz,
+    /// O3 + floating-point contraction (fused multiply-add).
+    Ofast,
+}
+
+impl OptLevel {
+    /// All levels, in the paper's enumeration order.
+    pub const ALL: [OptLevel; 6] =
+        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Oz, OptLevel::Ofast];
+
+    /// Short name used in binary metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O2",
+            OptLevel::O3 => "O3",
+            OptLevel::Oz => "Oz",
+            OptLevel::Ofast => "Ofast",
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A register operand. Indices `< FIRST_VIRTUAL` are physical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// First virtual register index.
+    pub const FIRST_VIRTUAL: u16 = 64;
+
+    /// Construct a physical register.
+    ///
+    /// # Panics
+    /// Panics if `i >= FIRST_VIRTUAL`.
+    pub fn phys(i: u16) -> Reg {
+        assert!(i < Reg::FIRST_VIRTUAL, "physical register index out of range");
+        Reg(i)
+    }
+
+    /// Construct the `i`-th virtual register.
+    pub fn virt(i: u16) -> Reg {
+        Reg(Reg::FIRST_VIRTUAL + i)
+    }
+
+    /// Whether this is a virtual (pre-register-allocation) register.
+    pub fn is_virtual(self) -> bool {
+        self.0 >= Reg::FIRST_VIRTUAL
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_virtual() {
+            write!(f, "v{}", self.0 - Reg::FIRST_VIRTUAL)
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// Branch/compare condition codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (signed).
+    Lt,
+    /// Less than or equal (signed).
+    Le,
+    /// Greater than (signed).
+    Gt,
+    /// Greater than or equal (signed).
+    Ge,
+}
+
+impl Cond {
+    /// Negated condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+impl From<fwlang::ast::CmpOp> for Cond {
+    fn from(op: fwlang::ast::CmpOp) -> Cond {
+        use fwlang::ast::CmpOp;
+        match op {
+            CmpOp::Eq => Cond::Eq,
+            CmpOp::Ne => Cond::Ne,
+            CmpOp::Lt => Cond::Lt,
+            CmpOp::Le => Cond::Le,
+            CmpOp::Gt => Cond::Gt,
+            CmpOp::Ge => Cond::Ge,
+        }
+    }
+}
+
+/// A call target: either a function defined in the same binary (resolved by
+/// function-table index) or an imported library routine (resolved by
+/// import-table index). Packed into a `u32` with the high bit marking
+/// imports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    const IMPORT_BIT: u32 = 1 << 31;
+
+    /// A call to the `i`-th function of the same binary.
+    pub fn local(i: u32) -> Sym {
+        assert!(i < Sym::IMPORT_BIT);
+        Sym(i)
+    }
+
+    /// A call to the `i`-th entry of the import table.
+    pub fn import(i: u32) -> Sym {
+        assert!(i < Sym::IMPORT_BIT);
+        Sym(i | Sym::IMPORT_BIT)
+    }
+
+    /// Whether this is an import-table reference.
+    pub fn is_import(self) -> bool {
+        self.0 & Sym::IMPORT_BIT != 0
+    }
+
+    /// The table index (local function index or import index).
+    pub fn index(self) -> u32 {
+        self.0 & !Sym::IMPORT_BIT
+    }
+}
+
+/// One machine instruction.
+///
+/// Branch targets are *instruction indices* within the containing function
+/// (the synthetic encodings store them directly; see `crate::encode`).
+/// `Label` is a compiler-internal pseudo-instruction that must not survive
+/// into encoded code.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum Inst {
+    /// Pseudo-instruction marking a branch target during lowering. Removed
+    /// by `crate::lower::resolve_labels`.
+    Label(u32),
+    /// `rd = imm`.
+    MovImm { rd: Reg, imm: i64 },
+    /// `rd = imm` (floating point).
+    FMovImm { rd: Reg, imm: f64 },
+    /// `rd = rs`.
+    Mov { rd: Reg, rs: Reg },
+    /// `rd = &strings[sid]` (address of a read-only string).
+    LoadStr { rd: Reg, sid: u32 },
+    /// `rd = globals[gid]`.
+    LoadGlobal { rd: Reg, gid: u32 },
+    /// `globals[gid] = rs`.
+    StoreGlobal { gid: u32, rs: Reg },
+    /// `rd = rs1 op rs2` (integer; wrapping semantics).
+    Bin { op: BinOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs op imm` (integer; wrapping semantics).
+    BinImm { op: BinOp, rd: Reg, rs: Reg, imm: i64 },
+    /// `rd = rs1 op rs2` (floating point).
+    FBin { op: BinOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 * rs2 + rs3` (fused multiply-add, emitted at `Ofast`).
+    FMulAdd { rd: Reg, rs1: Reg, rs2: Reg, rs3: Reg },
+    /// `rd = -rs`.
+    Neg { rd: Reg, rs: Reg },
+    /// `rd = (rs == 0) ? 1 : 0`.
+    Not { rd: Reg, rs: Reg },
+    /// Compare `rs1` and `rs2`, setting flags (two-operand architectures).
+    Cmp { rs1: Reg, rs2: Reg },
+    /// `rd = flags satisfy cond ? 1 : 0` (consumes flags from `Cmp`).
+    SetCc { cond: Cond, rd: Reg },
+    /// `rd = (rs1 cond rs2) ? 1 : 0` (fused form; legalized to `Cmp`+`SetCc`
+    /// on flag architectures).
+    CmpSet { cond: Cond, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = zero_extend(byte at rs_base[rs_idx])`.
+    LoadB { rd: Reg, base: Reg, idx: Reg },
+    /// `rs_base[rs_idx] = low_byte(rs)`.
+    StoreB { rs: Reg, base: Reg, idx: Reg },
+    /// `rd = frame_slot[slot]` (64-bit).
+    LoadSlot { rd: Reg, slot: u32 },
+    /// `frame_slot[slot] = rs` (64-bit).
+    StoreSlot { rs: Reg, slot: u32 },
+    /// Unconditional branch to instruction index `target`.
+    Jmp { target: u32 },
+    /// Conditional branch consuming flags (two-operand architectures).
+    JCc { cond: Cond, target: u32 },
+    /// Fused compare-and-branch (`Arm64`); legalized to `Cmp`+`JCc`
+    /// elsewhere.
+    CBr { cond: Cond, rs1: Reg, rs2: Reg, target: u32 },
+    /// Indirect jump through a register (jump tables).
+    JmpInd { rs: Reg },
+    /// `outgoing_args[idx] = rs`.
+    SetArg { idx: u8, rs: Reg },
+    /// `rd = incoming_args[idx]`.
+    LoadArg { rd: Reg, idx: u8 },
+    /// Call a function or import.
+    Call { sym: Sym },
+    /// `rd = return value of the last call`.
+    GetRet { rd: Reg },
+    /// Set this function's return value.
+    SetRet { rs: Reg },
+    /// Return to caller.
+    Ret,
+    /// Push `rs` onto the machine stack.
+    Push { rs: Reg },
+    /// Pop the machine stack into `rd`.
+    Pop { rd: Reg },
+    /// Invoke operating-system service `num` (arguments via `SetArg`).
+    Syscall { num: u32 },
+    /// Abort execution (no-return trap).
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// Registers read by this instruction.
+    pub fn uses(&self) -> Vec<Reg> {
+        match *self {
+            Inst::Mov { rs, .. }
+            | Inst::StoreGlobal { rs, .. }
+            | Inst::Neg { rs, .. }
+            | Inst::Not { rs, .. }
+            | Inst::StoreSlot { rs, .. }
+            | Inst::SetArg { rs, .. }
+            | Inst::SetRet { rs }
+            | Inst::Push { rs }
+            | Inst::JmpInd { rs } => vec![rs],
+            Inst::Bin { rs1, rs2, .. }
+            | Inst::FBin { rs1, rs2, .. }
+            | Inst::Cmp { rs1, rs2 }
+            | Inst::CmpSet { rs1, rs2, .. }
+            | Inst::CBr { rs1, rs2, .. } => vec![rs1, rs2],
+            Inst::FMulAdd { rs1, rs2, rs3, .. } => vec![rs1, rs2, rs3],
+            Inst::BinImm { rs, .. } => vec![rs],
+            Inst::LoadB { base, idx, .. } => vec![base, idx],
+            Inst::StoreB { rs, base, idx } => vec![rs, base, idx],
+            _ => vec![],
+        }
+    }
+
+    /// Register written by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Inst::MovImm { rd, .. }
+            | Inst::FMovImm { rd, .. }
+            | Inst::Mov { rd, .. }
+            | Inst::LoadStr { rd, .. }
+            | Inst::LoadGlobal { rd, .. }
+            | Inst::Bin { rd, .. }
+            | Inst::BinImm { rd, .. }
+            | Inst::FBin { rd, .. }
+            | Inst::FMulAdd { rd, .. }
+            | Inst::Neg { rd, .. }
+            | Inst::Not { rd, .. }
+            | Inst::SetCc { rd, .. }
+            | Inst::CmpSet { rd, .. }
+            | Inst::LoadB { rd, .. }
+            | Inst::LoadSlot { rd, .. }
+            | Inst::LoadArg { rd, .. }
+            | Inst::GetRet { rd }
+            | Inst::Pop { rd } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// Replace every register operand through `f`.
+    pub fn map_regs(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        match self {
+            Inst::MovImm { rd, .. }
+            | Inst::FMovImm { rd, .. }
+            | Inst::LoadStr { rd, .. }
+            | Inst::LoadGlobal { rd, .. }
+            | Inst::SetCc { rd, .. }
+            | Inst::LoadSlot { rd, .. }
+            | Inst::LoadArg { rd, .. }
+            | Inst::GetRet { rd }
+            | Inst::Pop { rd } => *rd = f(*rd),
+            Inst::Mov { rd, rs } | Inst::Neg { rd, rs } | Inst::Not { rd, rs } => {
+                *rd = f(*rd);
+                *rs = f(*rs);
+            }
+            Inst::StoreGlobal { rs, .. }
+            | Inst::StoreSlot { rs, .. }
+            | Inst::SetArg { rs, .. }
+            | Inst::SetRet { rs }
+            | Inst::Push { rs }
+            | Inst::JmpInd { rs } => *rs = f(*rs),
+            Inst::Bin { rd, rs1, rs2, .. } | Inst::FBin { rd, rs1, rs2, .. } => {
+                *rd = f(*rd);
+                *rs1 = f(*rs1);
+                *rs2 = f(*rs2);
+            }
+            Inst::FMulAdd { rd, rs1, rs2, rs3 } => {
+                *rd = f(*rd);
+                *rs1 = f(*rs1);
+                *rs2 = f(*rs2);
+                *rs3 = f(*rs3);
+            }
+            Inst::BinImm { rd, rs, .. } => {
+                *rd = f(*rd);
+                *rs = f(*rs);
+            }
+            Inst::Cmp { rs1, rs2 } => {
+                *rs1 = f(*rs1);
+                *rs2 = f(*rs2);
+            }
+            Inst::CmpSet { rd, rs1, rs2, .. } => {
+                *rd = f(*rd);
+                *rs1 = f(*rs1);
+                *rs2 = f(*rs2);
+            }
+            Inst::CBr { rs1, rs2, .. } => {
+                *rs1 = f(*rs1);
+                *rs2 = f(*rs2);
+            }
+            Inst::LoadB { rd, base, idx } => {
+                *rd = f(*rd);
+                *base = f(*base);
+                *idx = f(*idx);
+            }
+            Inst::StoreB { rs, base, idx } => {
+                *rs = f(*rs);
+                *base = f(*base);
+                *idx = f(*idx);
+            }
+            Inst::Label(_)
+            | Inst::Jmp { .. }
+            | Inst::JCc { .. }
+            | Inst::Call { .. }
+            | Inst::Ret
+            | Inst::Syscall { .. }
+            | Inst::Halt
+            | Inst::Nop => {}
+        }
+    }
+
+    /// Branch target, if this is a direct branch.
+    pub fn target(&self) -> Option<u32> {
+        match *self {
+            Inst::Jmp { target } | Inst::JCc { target, .. } | Inst::CBr { target, .. } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Replace the branch target, if this is a direct branch.
+    pub fn set_target(&mut self, t: u32) {
+        match self {
+            Inst::Jmp { target } | Inst::JCc { target, .. } | Inst::CBr { target, .. } => {
+                *target = t
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether control never falls through to the next instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Jmp { .. } | Inst::JmpInd { .. } | Inst::Ret | Inst::Halt)
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::JCc { .. } | Inst::CBr { .. })
+    }
+
+    /// Whether this instruction has side effects beyond its register def
+    /// (so dead-code elimination must keep it even if the def is unused).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            Inst::StoreGlobal { .. }
+                | Inst::StoreB { .. }
+                | Inst::StoreSlot { .. }
+                | Inst::Jmp { .. }
+                | Inst::JCc { .. }
+                | Inst::CBr { .. }
+                | Inst::JmpInd { .. }
+                | Inst::SetArg { .. }
+                | Inst::Call { .. }
+                | Inst::GetRet { .. } // pairs with a Call; keep
+                | Inst::SetRet { .. }
+                | Inst::Ret
+                | Inst::Push { .. }
+                | Inst::Pop { .. }
+                | Inst::Syscall { .. }
+                | Inst::Halt
+                | Inst::Label(_)
+                | Inst::Cmp { .. } // sets flags consumed by a later JCc
+                | Inst::SetCc { .. }
+        )
+    }
+
+    /// Whether this is an integer or floating-point arithmetic instruction
+    /// (the classification used by the paper's feature tables).
+    pub fn is_arith(&self) -> bool {
+        matches!(
+            self,
+            Inst::Bin { .. }
+                | Inst::BinImm { .. }
+                | Inst::Neg { .. }
+                | Inst::Not { .. }
+                | Inst::FBin { .. }
+                | Inst::FMulAdd { .. }
+        )
+    }
+
+    /// Whether this is a floating-point arithmetic instruction.
+    pub fn is_arith_fp(&self) -> bool {
+        matches!(self, Inst::FBin { .. } | Inst::FMulAdd { .. } | Inst::FMovImm { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_virtual_split() {
+        assert!(!Reg::phys(0).is_virtual());
+        assert!(!Reg::phys(63).is_virtual());
+        assert!(Reg::virt(0).is_virtual());
+        assert_eq!(Reg::virt(3).0, Reg::FIRST_VIRTUAL + 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reg_phys_rejects_virtual_range() {
+        let _ = Reg::phys(64);
+    }
+
+    #[test]
+    fn sym_packing_roundtrips() {
+        let l = Sym::local(17);
+        assert!(!l.is_import());
+        assert_eq!(l.index(), 17);
+        let i = Sym::import(3);
+        assert!(i.is_import());
+        assert_eq!(i.index(), 3);
+    }
+
+    #[test]
+    fn cond_negate_involution() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn uses_and_defs_are_consistent() {
+        let i = Inst::Bin { op: BinOp::Add, rd: Reg::virt(0), rs1: Reg::virt(1), rs2: Reg::virt(2) };
+        assert_eq!(i.def(), Some(Reg::virt(0)));
+        assert_eq!(i.uses(), vec![Reg::virt(1), Reg::virt(2)]);
+    }
+
+    #[test]
+    fn map_regs_renames_everything() {
+        let mut i =
+            Inst::FMulAdd { rd: Reg::virt(0), rs1: Reg::virt(1), rs2: Reg::virt(2), rs3: Reg::virt(3) };
+        i.map_regs(|r| Reg(r.0 + 1));
+        assert_eq!(i.def(), Some(Reg(Reg::FIRST_VIRTUAL + 1)));
+        assert_eq!(i.uses().len(), 3);
+    }
+
+    #[test]
+    fn arch_profiles_differ() {
+        assert!(Arch::X86.two_operand());
+        assert!(!Arch::Arm64.two_operand());
+        assert!(Arch::Arm64.fused_compare_branch());
+        assert!(!Arch::Arm32.fused_compare_branch());
+        assert!(Arch::Arm32.fixed_width());
+        assert!(!Arch::Amd64.fixed_width());
+        assert!(Arch::Arm64.num_regs() > Arch::X86.num_regs());
+    }
+
+    #[test]
+    fn terminators_and_branches_classified() {
+        assert!(Inst::Ret.is_terminator());
+        assert!(Inst::Halt.is_terminator());
+        assert!(Inst::Jmp { target: 0 }.is_terminator());
+        assert!(!Inst::JCc { cond: Cond::Eq, target: 0 }.is_terminator());
+        assert!(Inst::JCc { cond: Cond::Eq, target: 0 }.is_cond_branch());
+    }
+}

@@ -1,0 +1,199 @@
+//! Architecture legalization: rewrites the generic IR into the forms each
+//! target actually supports.
+//!
+//! * Two-operand architectures (x86, amd64): ALU results must overwrite the
+//!   first source (`rd == rs1`), unary ops must be in-place, and fused
+//!   compare instructions split into `Cmp` + `JCc`/`SetCc`.
+//! * `Arm32`: three-operand ALU, but flag-based compare/branch, so fused
+//!   `CBr`/`CmpSet` still split.
+//! * `Arm64`: fully fused forms are kept.
+//!
+//! Runs after register allocation, so all registers are physical; the
+//! third reserved scratch register is free for the rare non-commutative
+//! `rd == rs2` case.
+
+use crate::isa::{Arch, BinOp, Inst, Reg};
+use crate::opt::rewrite_with_expansion;
+
+fn commutative(op: BinOp) -> bool {
+    matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+}
+
+/// Legalize `code` for `arch`.
+pub fn legalize(code: &[Inst], arch: Arch) -> Vec<Inst> {
+    let scratch2 = Reg::phys(arch.num_regs().saturating_sub(1).max(2));
+    rewrite_with_expansion(code, |inst, buf| {
+        match *inst {
+            Inst::CBr { cond, rs1, rs2, target } if !arch.fused_compare_branch() => {
+                buf.push(Inst::Cmp { rs1, rs2 });
+                buf.push(Inst::JCc { cond, target });
+            }
+            Inst::CmpSet { cond, rd, rs1, rs2 } if !arch.fused_compare_branch() => {
+                buf.push(Inst::Cmp { rs1, rs2 });
+                buf.push(Inst::SetCc { cond, rd });
+            }
+            Inst::Bin { op, rd, rs1, rs2 } if arch.two_operand() && rd != rs1 => {
+                if rd == rs2 {
+                    if commutative(op) {
+                        buf.push(Inst::Bin { op, rd, rs1: rs2, rs2: rs1 });
+                    } else {
+                        // rd aliases the second source of a non-commutative
+                        // op: stage rs2 in scratch.
+                        buf.push(Inst::Mov { rd: scratch2, rs: rs2 });
+                        buf.push(Inst::Mov { rd, rs: rs1 });
+                        buf.push(Inst::Bin { op, rd, rs1: rd, rs2: scratch2 });
+                    }
+                } else {
+                    buf.push(Inst::Mov { rd, rs: rs1 });
+                    buf.push(Inst::Bin { op, rd, rs1: rd, rs2 });
+                }
+            }
+            Inst::FBin { op, rd, rs1, rs2 } if arch.two_operand() && rd != rs1 => {
+                if rd == rs2 {
+                    if commutative(op) {
+                        buf.push(Inst::FBin { op, rd, rs1: rs2, rs2: rs1 });
+                    } else {
+                        buf.push(Inst::Mov { rd: scratch2, rs: rs2 });
+                        buf.push(Inst::Mov { rd, rs: rs1 });
+                        buf.push(Inst::FBin { op, rd, rs1: rd, rs2: scratch2 });
+                    }
+                } else {
+                    buf.push(Inst::Mov { rd, rs: rs1 });
+                    buf.push(Inst::FBin { op, rd, rs1: rd, rs2 });
+                }
+            }
+            Inst::BinImm { op, rd, rs, imm } if arch.two_operand() && rd != rs => {
+                buf.push(Inst::Mov { rd, rs });
+                buf.push(Inst::BinImm { op, rd, rs: rd, imm });
+            }
+            Inst::Neg { rd, rs } if arch.two_operand() && rd != rs => {
+                buf.push(Inst::Mov { rd, rs });
+                buf.push(Inst::Neg { rd, rs: rd });
+            }
+            Inst::Not { rd, rs } if arch.two_operand() && rd != rs => {
+                buf.push(Inst::Mov { rd, rs });
+                buf.push(Inst::Not { rd, rs: rd });
+            }
+            other => buf.push(other),
+        }
+    })
+}
+
+/// Verify the architecture invariants hold (used by tests and debug
+/// assertions in the compiler driver). Returns the first violation found.
+pub fn check(code: &[Inst], arch: Arch) -> Result<(), String> {
+    for (i, inst) in code.iter().enumerate() {
+        if let Some(d) = inst.def() {
+            if d.is_virtual() {
+                return Err(format!("virtual register survives at {i}: {inst:?}"));
+            }
+        }
+        for u in inst.uses() {
+            if u.is_virtual() {
+                return Err(format!("virtual register survives at {i}: {inst:?}"));
+            }
+            if u.0 >= arch.num_regs() {
+                return Err(format!("register {u} out of range for {arch} at {i}"));
+            }
+        }
+        if !arch.fused_compare_branch() && matches!(inst, Inst::CBr { .. } | Inst::CmpSet { .. }) {
+            return Err(format!("fused compare form on {arch} at {i}: {inst:?}"));
+        }
+        if arch.two_operand() {
+            match *inst {
+                Inst::Bin { rd, rs1, .. } | Inst::FBin { rd, rs1, .. } if rd != rs1 => {
+                    return Err(format!("three-operand ALU on {arch} at {i}: {inst:?}"));
+                }
+                Inst::BinImm { rd, rs, .. } if rd != rs => {
+                    return Err(format!("three-operand ALU-imm on {arch} at {i}: {inst:?}"));
+                }
+                _ => {}
+            }
+        }
+        if matches!(inst, Inst::Label(_)) {
+            return Err(format!("label pseudo-instruction survives at {i}"));
+        }
+        if let Some(t) = inst.target() {
+            if t as usize >= code.len() {
+                return Err(format!("branch target {t} out of range at {i}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Cond;
+
+    fn r(i: u16) -> Reg {
+        Reg::phys(i)
+    }
+
+    #[test]
+    fn splits_cbr_on_flag_archs() {
+        let code = vec![
+            Inst::CBr { cond: Cond::Lt, rs1: r(0), rs2: r(1), target: 1 },
+            Inst::Ret,
+        ];
+        for arch in [Arch::X86, Arch::Amd64, Arch::Arm32] {
+            let out = legalize(&code, arch);
+            assert!(matches!(out[0], Inst::Cmp { .. }));
+            assert!(matches!(out[1], Inst::JCc { .. }));
+            assert_eq!(out[1].target(), Some(2));
+            check(&out, arch).unwrap();
+        }
+        let out = legalize(&code, Arch::Arm64);
+        assert!(matches!(out[0], Inst::CBr { .. }));
+        check(&out, Arch::Arm64).unwrap();
+    }
+
+    #[test]
+    fn two_operand_bin_rewrite() {
+        let code = vec![
+            Inst::Bin { op: BinOp::Add, rd: r(2), rs1: r(0), rs2: r(1) },
+            Inst::Ret,
+        ];
+        let out = legalize(&code, Arch::X86);
+        assert!(matches!(out[0], Inst::Mov { .. }));
+        assert!(matches!(out[1], Inst::Bin { rd, rs1, .. } if rd == rs1));
+        check(&out, Arch::X86).unwrap();
+        // arm32/arm64 keep the three-operand form.
+        let out = legalize(&code, Arch::Arm32);
+        assert_eq!(out.len(), 2);
+        check(&out, Arch::Arm32).unwrap();
+    }
+
+    #[test]
+    fn two_operand_aliased_rs2_commutative_swaps() {
+        let code = vec![
+            Inst::Bin { op: BinOp::Add, rd: r(1), rs1: r(0), rs2: r(1) },
+            Inst::Ret,
+        ];
+        let out = legalize(&code, Arch::Amd64);
+        assert!(matches!(out[0], Inst::Bin { rd, rs1, .. } if rd == rs1));
+        assert_eq!(out.len(), 2);
+        check(&out, Arch::Amd64).unwrap();
+    }
+
+    #[test]
+    fn two_operand_aliased_rs2_noncommutative_uses_scratch() {
+        let code = vec![
+            Inst::Bin { op: BinOp::Sub, rd: r(1), rs1: r(0), rs2: r(1) },
+            Inst::Ret,
+        ];
+        let out = legalize(&code, Arch::Amd64);
+        assert_eq!(out.len(), 4);
+        check(&out, Arch::Amd64).unwrap();
+    }
+
+    #[test]
+    fn check_rejects_bad_forms() {
+        let bad = vec![Inst::Bin { op: BinOp::Add, rd: r(2), rs1: r(0), rs2: r(1) }, Inst::Ret];
+        assert!(check(&bad, Arch::X86).is_err());
+        assert!(check(&bad, Arch::Arm64).is_ok());
+        let virt = vec![Inst::MovImm { rd: Reg::virt(0), imm: 1 }, Inst::Ret];
+        assert!(check(&virt, Arch::Arm64).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # fwbin — synthetic firmware compiler and binary container
+//!
+//! Compiles [`fwlang`] libraries to four synthetic ISAs (x86, amd64, arm32,
+//! arm64) at six optimization levels (`O0`..`Ofast`), producing the
+//! cross-platform binary variants PATCHECKO's analyses operate on, packed
+//! into FWB containers (the ELF `.so` analog) and [`format::FirmwareImage`]
+//! device images.
+//!
+//! Pipeline: [`astopt`] (fold/inline/unroll) → [`lower`] → [`opt`] (DCE,
+//! peephole, threading) → [`regalloc`] (linear scan) → [`legalize`]
+//! (per-arch forms) → [`encode`] (per-arch byte formats).
+//!
+//! ## Example
+//!
+//! ```
+//! use fwbin::{compile_library, Arch, OptLevel};
+//! use fwlang::gen::Generator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = Generator::new(1).library("libdemo");
+//! let mut bin = compile_library(&lib, Arch::Arm64, OptLevel::O2)?;
+//! bin.strip(); // drop internal symbol names, like a release firmware
+//! assert_eq!(bin.function_count(), lib.functions.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod astopt;
+pub mod compile;
+pub mod encode;
+pub mod format;
+pub mod isa;
+pub mod legalize;
+pub mod lower;
+pub mod opt;
+pub mod regalloc;
+
+pub use compile::{compile_function, compile_library, CompileError};
+pub use format::{Binary, FirmwareImage, FuncRecord};
+pub use isa::{Arch, Cond, Inst, OptLevel, Reg, Sym};

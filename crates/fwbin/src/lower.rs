@@ -1,0 +1,637 @@
+//! Lowering from the `fwlang` AST to the linear instruction IR.
+//!
+//! Lowering produces virtual-register code with `Label` pseudo-instructions;
+//! [`resolve_labels`] then rewrites branch targets to instruction indices.
+//! At `O0` locals live in stack slots (every read is a `LoadSlot`, every
+//! write a `StoreSlot`), reproducing the bloated unoptimized code real
+//! compilers emit; at `O1+` locals live in dedicated virtual registers and
+//! the register allocator decides what spills.
+
+use crate::astopt;
+use crate::isa::{Cond, Inst, OptLevel, Reg, Sym};
+use fwlang::ast::{is_library_routine, Expr, Function, Library, Stmt};
+use std::collections::HashMap;
+
+/// Metadata produced alongside the lowered code.
+#[derive(Debug, Clone)]
+pub struct LowerOutput {
+    /// Lowered instructions (virtual registers, labels resolved).
+    pub code: Vec<Inst>,
+    /// Number of 8-byte stack slots the frame needs (locals at `O0` plus
+    /// any spills added later by register allocation).
+    pub frame_slots: u32,
+    /// Number of virtual registers used.
+    pub vreg_count: u16,
+}
+
+/// Storage assigned to a source local.
+#[derive(Debug, Clone, Copy)]
+enum LocalPlace {
+    Slot(u32),
+    Vreg(Reg),
+}
+
+struct Lowerer<'a> {
+    lib: &'a Library,
+    opt: OptLevel,
+    imports: &'a mut Vec<String>,
+    fn_index: &'a HashMap<String, u32>,
+    code: Vec<Inst>,
+    next_vreg: u16,
+    next_label: u32,
+    locals: Vec<LocalPlace>,
+    params: Vec<Reg>,
+    frame_slots: u32,
+    /// (continue_label, break_label) stack.
+    loops: Vec<(u32, u32)>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn vreg(&mut self) -> Reg {
+        let r = Reg::virt(self.next_vreg);
+        self.next_vreg += 1;
+        r
+    }
+
+    fn label(&mut self) -> u32 {
+        let l = self.next_label;
+        self.next_label += 1;
+        l
+    }
+
+    fn emit(&mut self, i: Inst) {
+        self.code.push(i);
+    }
+
+    fn sym_for(&mut self, callee: &str) -> Sym {
+        if let Some(&idx) = self.fn_index.get(callee) {
+            return Sym::local(idx);
+        }
+        debug_assert!(
+            is_library_routine(callee),
+            "unknown callee {callee}: not in library and not a library routine"
+        );
+        if let Some(i) = self.imports.iter().position(|n| n == callee) {
+            Sym::import(i as u32)
+        } else {
+            self.imports.push(callee.to_string());
+            Sym::import((self.imports.len() - 1) as u32)
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn lower_expr(&mut self, e: &Expr) -> Reg {
+        match e {
+            Expr::ConstInt(v) => {
+                let rd = self.vreg();
+                self.emit(Inst::MovImm { rd, imm: *v });
+                rd
+            }
+            Expr::ConstFloat(v) => {
+                let rd = self.vreg();
+                self.emit(Inst::FMovImm { rd, imm: *v });
+                rd
+            }
+            Expr::Str(sid) => {
+                let rd = self.vreg();
+                self.emit(Inst::LoadStr { rd, sid: *sid });
+                rd
+            }
+            Expr::Local(l) => match self.locals[*l as usize] {
+                LocalPlace::Slot(slot) => {
+                    let rd = self.vreg();
+                    self.emit(Inst::LoadSlot { rd, slot });
+                    rd
+                }
+                LocalPlace::Vreg(r) => r,
+            },
+            Expr::Param(p) => self.params[*p as usize],
+            Expr::Global(g) => {
+                let rd = self.vreg();
+                self.emit(Inst::LoadGlobal { rd, gid: *g });
+                rd
+            }
+            Expr::Bin(op, a, b) => {
+                // Immediate-form when the rhs is a constant (cheaper
+                // encodings; the peephole pass also creates these at O2).
+                if let Expr::ConstInt(imm) = b.as_ref() {
+                    let rs = self.lower_expr(a);
+                    let rd = self.vreg();
+                    self.emit(Inst::BinImm { op: *op, rd, rs, imm: *imm });
+                    return rd;
+                }
+                let rs1 = self.lower_expr(a);
+                let rs2 = self.lower_expr(b);
+                let rd = self.vreg();
+                self.emit(Inst::Bin { op: *op, rd, rs1, rs2 });
+                rd
+            }
+            Expr::FBin(..) => self.lower_float(e),
+            Expr::Cmp(op, a, b) => {
+                let rs1 = self.lower_expr(a);
+                let rs2 = self.lower_expr(b);
+                let rd = self.vreg();
+                self.emit(Inst::CmpSet { cond: Cond::from(*op), rd, rs1, rs2 });
+                rd
+            }
+            Expr::Not(a) => {
+                let rs = self.lower_expr(a);
+                let rd = self.vreg();
+                self.emit(Inst::Not { rd, rs });
+                rd
+            }
+            Expr::Neg(a) => {
+                let rs = self.lower_expr(a);
+                let rd = self.vreg();
+                self.emit(Inst::Neg { rd, rs });
+                rd
+            }
+            Expr::LoadByte { base, index } => {
+                let b = self.lower_expr(base);
+                let i = self.lower_expr(index);
+                let rd = self.vreg();
+                self.emit(Inst::LoadB { rd, base: b, idx: i });
+                rd
+            }
+            Expr::Call { callee, args } => {
+                let mut arg_regs = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_regs.push(self.lower_expr(a));
+                }
+                for (i, r) in arg_regs.into_iter().enumerate() {
+                    self.emit(Inst::SetArg { idx: i as u8, rs: r });
+                }
+                let sym = self.sym_for(callee);
+                self.emit(Inst::Call { sym });
+                let rd = self.vreg();
+                self.emit(Inst::GetRet { rd });
+                rd
+            }
+        }
+    }
+
+    fn lower_float(&mut self, e: &Expr) -> Reg {
+        // Ofast: contract (a *f b) +f c into a fused multiply-add.
+        if self.opt == OptLevel::Ofast {
+            if let Some((a, b, c)) = astopt::has_fmuladd_shape(e) {
+                let ra = self.lower_expr(a);
+                let rb = self.lower_expr(b);
+                let rc = self.lower_expr(c);
+                let rd = self.vreg();
+                self.emit(Inst::FMulAdd { rd, rs1: ra, rs2: rb, rs3: rc });
+                return rd;
+            }
+        }
+        match e {
+            Expr::FBin(op, a, b) => {
+                let rs1 = self.lower_expr(a);
+                let rs2 = self.lower_expr(b);
+                let rd = self.vreg();
+                self.emit(Inst::FBin { op: *op, rd, rs1, rs2 });
+                rd
+            }
+            _ => unreachable!("lower_float called on non-float expr"),
+        }
+    }
+
+    /// Branch to `target` when `cond` evaluates truthy (`branch_if=true`)
+    /// or falsy (`branch_if=false`). Emits fused `CBr`; the legalizer
+    /// splits it into `Cmp`+`JCc` on flag architectures.
+    fn lower_cond_branch(&mut self, cond: &Expr, target: u32, branch_if: bool) {
+        if let Expr::Cmp(op, a, b) = cond {
+            let rs1 = self.lower_expr(a);
+            let rs2 = self.lower_expr(b);
+            let mut c = Cond::from(*op);
+            if !branch_if {
+                c = c.negate();
+            }
+            self.emit(Inst::CBr { cond: c, rs1, rs2, target });
+            return;
+        }
+        let v = self.lower_expr(cond);
+        let z = self.vreg();
+        self.emit(Inst::MovImm { rd: z, imm: 0 });
+        let c = if branch_if { Cond::Ne } else { Cond::Eq };
+        self.emit(Inst::CBr { cond: c, rs1: v, rs2: z, target });
+    }
+
+    fn write_local(&mut self, local: u32, value: Reg) {
+        match self.locals[local as usize] {
+            LocalPlace::Slot(slot) => self.emit(Inst::StoreSlot { rs: value, slot }),
+            LocalPlace::Vreg(r) => {
+                if r != value {
+                    self.emit(Inst::Mov { rd: r, rs: value });
+                }
+            }
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.lower_stmt(s);
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Let { local, value } => {
+                let v = self.lower_expr(value);
+                self.write_local(*local, v);
+            }
+            Stmt::SetGlobal { global, value } => {
+                let v = self.lower_expr(value);
+                self.emit(Inst::StoreGlobal { gid: *global, rs: v });
+            }
+            Stmt::StoreByte { base, index, value } => {
+                let b = self.lower_expr(base);
+                let i = self.lower_expr(index);
+                let v = self.lower_expr(value);
+                self.emit(Inst::StoreB { rs: v, base: b, idx: i });
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                if else_body.is_empty() {
+                    let end = self.label();
+                    self.lower_cond_branch(cond, end, false);
+                    self.lower_stmts(then_body);
+                    self.emit(Inst::Label(end));
+                } else {
+                    let els = self.label();
+                    let end = self.label();
+                    self.lower_cond_branch(cond, els, false);
+                    self.lower_stmts(then_body);
+                    self.emit(Inst::Jmp { target: end });
+                    self.emit(Inst::Label(els));
+                    self.lower_stmts(else_body);
+                    self.emit(Inst::Label(end));
+                }
+            }
+            Stmt::While { cond, body } => {
+                let head = self.label();
+                let exit = self.label();
+                self.emit(Inst::Label(head));
+                self.lower_cond_branch(cond, exit, false);
+                self.loops.push((head, exit));
+                self.lower_stmts(body);
+                self.loops.pop();
+                self.emit(Inst::Jmp { target: head });
+                self.emit(Inst::Label(exit));
+            }
+            Stmt::For { var, start, end, step, body } => {
+                let head = self.label();
+                let inc = self.label();
+                let exit = self.label();
+                let sv = self.lower_expr(start);
+                self.write_local(*var, sv);
+                self.emit(Inst::Label(head));
+                let cond = Expr::Cmp(
+                    fwlang::ast::CmpOp::Lt,
+                    Box::new(Expr::Local(*var)),
+                    Box::new(end.clone()),
+                );
+                self.lower_cond_branch(&cond, exit, false);
+                self.loops.push((inc, exit));
+                self.lower_stmts(body);
+                self.loops.pop();
+                self.emit(Inst::Label(inc));
+                let bumped = Expr::Bin(
+                    fwlang::ast::BinOp::Add,
+                    Box::new(Expr::Local(*var)),
+                    Box::new(step.clone()),
+                );
+                let v = self.lower_expr(&bumped);
+                self.write_local(*var, v);
+                self.emit(Inst::Jmp { target: head });
+                self.emit(Inst::Label(exit));
+            }
+            Stmt::Expr(e) => {
+                let _ = self.lower_expr(e);
+            }
+            Stmt::Return(v) => {
+                if let Some(e) = v {
+                    let r = self.lower_expr(e);
+                    self.emit(Inst::SetRet { rs: r });
+                }
+                self.emit(Inst::Ret);
+            }
+            Stmt::Break => {
+                let (_, exit) = *self.loops.last().expect("break outside loop");
+                self.emit(Inst::Jmp { target: exit });
+            }
+            Stmt::Continue => {
+                let (cont, _) = *self.loops.last().expect("continue outside loop");
+                self.emit(Inst::Jmp { target: cont });
+            }
+            Stmt::Syscall { num, args } => {
+                let mut arg_regs = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_regs.push(self.lower_expr(a));
+                }
+                for (i, r) in arg_regs.into_iter().enumerate() {
+                    self.emit(Inst::SetArg { idx: i as u8, rs: r });
+                }
+                self.emit(Inst::Syscall { num: *num });
+            }
+            Stmt::Abort => self.emit(Inst::Halt),
+        }
+    }
+}
+
+/// Lower one function of `lib` to labeled virtual-register IR, appending any
+/// newly referenced library routines to `imports`. `fn_index` maps function
+/// names of the containing binary to their function-table indices.
+pub fn lower_function(
+    lib: &Library,
+    func: &Function,
+    opt: OptLevel,
+    imports: &mut Vec<String>,
+    fn_index: &HashMap<String, u32>,
+) -> LowerOutput {
+    let locals_in_slots = opt == OptLevel::O0;
+    let mut l = Lowerer {
+        lib,
+        opt,
+        imports,
+        fn_index,
+        code: Vec::new(),
+        next_vreg: 0,
+        next_label: 0,
+        locals: Vec::new(),
+        params: Vec::new(),
+        frame_slots: 0,
+        loops: Vec::new(),
+    };
+    let _ = l.lib;
+
+    // Prologue: materialize parameters into virtual registers.
+    for (i, _) in func.params.iter().enumerate() {
+        let r = l.vreg();
+        l.code.push(Inst::LoadArg { rd: r, idx: i as u8 });
+        l.params.push(r);
+    }
+    // Assign storage for locals.
+    for _ in &func.locals {
+        if locals_in_slots {
+            let slot = l.frame_slots;
+            l.frame_slots += 1;
+            l.locals.push(LocalPlace::Slot(slot));
+        } else {
+            let r = l.vreg();
+            // Initialize to zero so reads before writes are defined.
+            l.code.push(Inst::MovImm { rd: r, imm: 0 });
+            l.locals.push(LocalPlace::Vreg(r));
+        }
+    }
+    if locals_in_slots {
+        // Zero-initialize slots.
+        let z = l.vreg();
+        l.code.push(Inst::MovImm { rd: z, imm: 0 });
+        for slot in 0..l.frame_slots {
+            l.code.push(Inst::StoreSlot { rs: z, slot });
+        }
+    }
+
+    l.lower_stmts(&func.body);
+    // Guarantee the function cannot fall off the end and that trailing
+    // labels have a landing instruction.
+    l.emit(Inst::Ret);
+
+    let code = resolve_labels(l.code);
+    LowerOutput { code, frame_slots: l.frame_slots, vreg_count: l.next_vreg }
+}
+
+/// Remove `Label` pseudo-instructions, rewriting branch targets from label
+/// ids to instruction indices.
+///
+/// # Panics
+/// Panics if a branch references an undefined label.
+pub fn resolve_labels(code: Vec<Inst>) -> Vec<Inst> {
+    let mut positions: HashMap<u32, u32> = HashMap::new();
+    let mut idx = 0u32;
+    for inst in &code {
+        if let Inst::Label(l) = inst {
+            positions.insert(*l, idx);
+        } else {
+            idx += 1;
+        }
+    }
+    let mut out = Vec::with_capacity(idx as usize);
+    for mut inst in code {
+        if matches!(inst, Inst::Label(_)) {
+            continue;
+        }
+        if let Some(t) = inst.target() {
+            let pos = *positions.get(&t).expect("branch to undefined label");
+            inst.set_target(pos);
+        }
+        out.push(inst);
+    }
+    debug_assert!(
+        out.iter().all(|i| i.target().map(|t| (t as usize) < out.len()).unwrap_or(true)),
+        "branch target out of range after label resolution"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fwlang::ast::{CmpOp, Local, Param, Ty};
+    use fwlang::gen::Generator;
+
+    fn lower_simple(func: &Function, opt: OptLevel) -> LowerOutput {
+        let lib = Library::new("lib");
+        let mut imports = Vec::new();
+        let fn_index = HashMap::new();
+        lower_function(&lib, func, opt, &mut imports, &fn_index)
+    }
+
+    fn demo_fn() -> Function {
+        Function {
+            name: "demo".into(),
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![
+                Local { name: "i".into(), ty: Ty::Int },
+                Local { name: "acc".into(), ty: Ty::Int },
+            ],
+            ret: Some(Ty::Int),
+            body: vec![
+                Stmt::For {
+                    var: 0,
+                    start: Expr::ConstInt(0),
+                    end: Expr::Param(1),
+                    step: Expr::ConstInt(1),
+                    body: vec![Stmt::Let {
+                        local: 1,
+                        value: Expr::bin(
+                            fwlang::ast::BinOp::Add,
+                            Expr::Local(1),
+                            Expr::load(Expr::Param(0), Expr::Local(0)),
+                        ),
+                    }],
+                },
+                Stmt::Return(Some(Expr::Local(1))),
+            ],
+            exported: true,
+        }
+    }
+
+    #[test]
+    fn lowering_ends_with_ret_and_no_labels() {
+        let out = lower_simple(&demo_fn(), OptLevel::O1);
+        assert!(matches!(out.code.last(), Some(Inst::Ret)));
+        assert!(!out.code.iter().any(|i| matches!(i, Inst::Label(_))));
+    }
+
+    #[test]
+    fn branch_targets_in_range() {
+        let out = lower_simple(&demo_fn(), OptLevel::O1);
+        for i in &out.code {
+            if let Some(t) = i.target() {
+                assert!((t as usize) < out.code.len());
+            }
+        }
+    }
+
+    #[test]
+    fn o0_uses_slots_o1_uses_vregs() {
+        let o0 = lower_simple(&demo_fn(), OptLevel::O0);
+        let o1 = lower_simple(&demo_fn(), OptLevel::O1);
+        assert!(o0.frame_slots >= 2, "O0 places both locals in slots");
+        assert_eq!(o1.frame_slots, 0, "O1 keeps locals in registers");
+        assert!(o0.code.iter().any(|i| matches!(i, Inst::LoadSlot { .. })));
+        assert!(!o1.code.iter().any(|i| matches!(i, Inst::LoadSlot { .. })));
+        assert!(o0.code.len() > o1.code.len(), "O0 code is bulkier");
+    }
+
+    #[test]
+    fn call_lowers_to_setarg_call_getret() {
+        let f = Function {
+            name: "caller".into(),
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![Local { name: "r".into(), ty: Ty::Int }],
+            ret: Some(Ty::Int),
+            body: vec![
+                Stmt::Let {
+                    local: 0,
+                    value: Expr::Call {
+                        callee: "checksum".into(),
+                        args: vec![Expr::Param(0), Expr::Param(1)],
+                    },
+                },
+                Stmt::Return(Some(Expr::Local(0))),
+            ],
+            exported: true,
+        };
+        let lib = Library::new("lib");
+        let mut imports = Vec::new();
+        let out = lower_function(&lib, &f, OptLevel::O1, &mut imports, &HashMap::new());
+        assert_eq!(imports, vec!["checksum".to_string()]);
+        let setargs = out.code.iter().filter(|i| matches!(i, Inst::SetArg { .. })).count();
+        assert_eq!(setargs, 2);
+        assert!(out.code.iter().any(|i| matches!(i, Inst::Call { sym } if sym.is_import())));
+        assert!(out.code.iter().any(|i| matches!(i, Inst::GetRet { .. })));
+    }
+
+    #[test]
+    fn local_calls_resolve_to_function_index() {
+        let mut fn_index = HashMap::new();
+        fn_index.insert("target".to_string(), 5u32);
+        let f = Function {
+            name: "caller".into(),
+            params: vec![],
+            locals: vec![],
+            ret: None,
+            body: vec![Stmt::Expr(Expr::Call { callee: "target".into(), args: vec![] })],
+            exported: true,
+        };
+        let lib = Library::new("lib");
+        let mut imports = Vec::new();
+        let out = lower_function(&lib, &f, OptLevel::O1, &mut imports, &fn_index);
+        assert!(imports.is_empty());
+        assert!(out
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::Call { sym } if !sym.is_import() && sym.index() == 5)));
+    }
+
+    #[test]
+    fn break_and_continue_lower_to_jumps() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![Param { name: "n".into(), ty: Ty::Int }],
+            locals: vec![Local { name: "i".into(), ty: Ty::Int }],
+            ret: None,
+            body: vec![Stmt::For {
+                var: 0,
+                start: Expr::ConstInt(0),
+                end: Expr::Param(0),
+                step: Expr::ConstInt(1),
+                body: vec![Stmt::If {
+                    cond: Expr::cmp(CmpOp::Gt, Expr::Local(0), Expr::ConstInt(3)),
+                    then_body: vec![Stmt::Break],
+                    else_body: vec![Stmt::Continue],
+                }],
+            }],
+            exported: true,
+        };
+        let out = lower_simple(&f, OptLevel::O1);
+        let jumps = out.code.iter().filter(|i| matches!(i, Inst::Jmp { .. })).count();
+        assert!(jumps >= 3, "loop backedge + break + continue, got {jumps}");
+    }
+
+    #[test]
+    fn generated_corpus_lowers_cleanly() {
+        let lib = Generator::new(123).library_sized("lib", 30);
+        let mut fn_index = HashMap::new();
+        for (i, f) in lib.functions.iter().enumerate() {
+            fn_index.insert(f.name.clone(), i as u32);
+        }
+        let mut imports = Vec::new();
+        for f in &lib.functions {
+            for opt in OptLevel::ALL {
+                let out = lower_function(&lib, f, opt, &mut imports, &fn_index);
+                assert!(!out.code.is_empty());
+                assert!(matches!(out.code.last(), Some(Inst::Ret)));
+            }
+        }
+    }
+
+    #[test]
+    fn ofast_emits_fused_multiply_add() {
+        let f = Function {
+            name: "fma".into(),
+            params: vec![],
+            locals: vec![Local { name: "x".into(), ty: Ty::Float }],
+            ret: Some(Ty::Float),
+            body: vec![
+                Stmt::Let {
+                    local: 0,
+                    value: Expr::FBin(
+                        fwlang::ast::BinOp::Add,
+                        Box::new(Expr::FBin(
+                            fwlang::ast::BinOp::Mul,
+                            Box::new(Expr::ConstFloat(2.0)),
+                            Box::new(Expr::ConstFloat(3.0)),
+                        )),
+                        Box::new(Expr::ConstFloat(4.0)),
+                    ),
+                },
+                Stmt::Return(Some(Expr::Local(0))),
+            ],
+            exported: true,
+        };
+        let fast = lower_simple(&f, OptLevel::Ofast);
+        assert!(fast.code.iter().any(|i| matches!(i, Inst::FMulAdd { .. })));
+        let o3 = lower_simple(&f, OptLevel::O3);
+        assert!(!o3.code.iter().any(|i| matches!(i, Inst::FMulAdd { .. })));
+    }
+}

@@ -1,0 +1,410 @@
+//! IR-level optimization passes: dead-code elimination, peephole
+//! simplification, branch threading, redundant-jump removal, and return
+//! merging (`Oz`). All passes operate on label-resolved code (branch
+//! targets are instruction indices), so every structural change goes
+//! through [`rewrite_with_expansion`] or [`remove_marked`], which maintain
+//! branch-target correctness.
+
+use crate::isa::{BinOp, Inst, Reg};
+use std::collections::{HashMap, HashSet};
+
+/// Rewrite `code` by expanding each instruction into zero or more
+/// replacement instructions, fixing up branch targets. The callback
+/// receives the original instruction and pushes replacements; branch
+/// targets inside pushed instructions are interpreted as *original* indices
+/// and remapped afterwards.
+pub fn rewrite_with_expansion(
+    code: &[Inst],
+    mut f: impl FnMut(&Inst, &mut Vec<Inst>),
+) -> Vec<Inst> {
+    // First pass: compute the new start index of every original index.
+    let mut buf = Vec::new();
+    let mut new_start = Vec::with_capacity(code.len() + 1);
+    let mut acc = 0u32;
+    for inst in code {
+        new_start.push(acc);
+        buf.clear();
+        f(inst, &mut buf);
+        acc += buf.len() as u32;
+    }
+    new_start.push(acc); // targets one-past-the-end stay valid
+    // Second pass: emit with retargeting.
+    let mut out = Vec::with_capacity(acc as usize);
+    for inst in code {
+        buf.clear();
+        f(inst, &mut buf);
+        for mut ni in buf.drain(..) {
+            if let Some(t) = ni.target() {
+                ni.set_target(new_start[t as usize]);
+            }
+            out.push(ni);
+        }
+    }
+    out
+}
+
+/// Remove the instructions whose `keep` flag is false, remapping branch
+/// targets to the next kept instruction at or after the original target.
+pub fn remove_marked(code: &[Inst], keep: &[bool]) -> Vec<Inst> {
+    assert_eq!(code.len(), keep.len());
+    let mut new_index = Vec::with_capacity(code.len() + 1);
+    let mut acc = 0u32;
+    for &k in keep {
+        new_index.push(acc);
+        if k {
+            acc += 1;
+        }
+    }
+    new_index.push(acc);
+    let mut out = Vec::with_capacity(acc as usize);
+    for (i, inst) in code.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let mut ni = *inst;
+        if let Some(t) = ni.target() {
+            // Next kept instruction at or after t.
+            let mut t = t as usize;
+            while t < code.len() && !keep[t] {
+                t += 1;
+            }
+            ni.set_target(new_index[t.min(code.len())]);
+        }
+        out.push(ni);
+    }
+    out
+}
+
+/// Dead-code elimination: iteratively removes instructions that define a
+/// register nobody reads and that have no side effects.
+pub fn dead_code_elim(mut code: Vec<Inst>) -> Vec<Inst> {
+    loop {
+        let mut used: HashSet<Reg> = HashSet::new();
+        for i in &code {
+            for u in i.uses() {
+                used.insert(u);
+            }
+        }
+        let keep: Vec<bool> = code
+            .iter()
+            .map(|i| {
+                if i.has_side_effects() {
+                    return true;
+                }
+                match i.def() {
+                    Some(d) => used.contains(&d),
+                    None => !matches!(i, Inst::Nop),
+                }
+            })
+            .collect();
+        if keep.iter().all(|&k| k) {
+            return code;
+        }
+        code = remove_marked(&code, &keep);
+    }
+}
+
+/// Compute basic-block leader flags: `leader[i]` is true when instruction
+/// `i` starts a basic block.
+pub fn leaders(code: &[Inst]) -> Vec<bool> {
+    let mut l = vec![false; code.len()];
+    if !code.is_empty() {
+        l[0] = true;
+    }
+    for (i, inst) in code.iter().enumerate() {
+        if let Some(t) = inst.target() {
+            if (t as usize) < code.len() {
+                l[t as usize] = true;
+            }
+        }
+        if (inst.is_terminator() || inst.is_cond_branch() || matches!(inst, Inst::Call { .. }))
+            && i + 1 < code.len()
+        {
+            // Calls do not end blocks for CFG purposes, but being
+            // conservative here only shortens peephole windows.
+            if inst.is_terminator() || inst.is_cond_branch() {
+                l[i + 1] = true;
+            }
+        }
+    }
+    l
+}
+
+/// Peephole simplification within basic blocks:
+/// * `Mov rd, rd` → removed;
+/// * `BinImm {Add|Sub|Or|Xor|Shl|Shr} rd, rs, 0` → `Mov rd, rs`;
+/// * `MovImm v, imm` whose single use is the `rs2` of a later `Bin` in the
+///   same block → folded into `BinImm` (the `MovImm` then falls to DCE).
+pub fn peephole(code: Vec<Inst>) -> Vec<Inst> {
+    // Use counts for single-use folding.
+    let mut use_count: HashMap<Reg, u32> = HashMap::new();
+    for i in &code {
+        for u in i.uses() {
+            *use_count.entry(u).or_insert(0) += 1;
+        }
+    }
+    let block_starts = leaders(&code);
+    let mut out = code.clone();
+
+    // MovImm + Bin fusion within a block.
+    let mut i = 0;
+    while i < out.len() {
+        if let Inst::MovImm { rd: v, imm } = out[i] {
+            if use_count.get(&v).copied() == Some(1) {
+                let mut j = i + 1;
+                while j < out.len() && !block_starts[j] {
+                    if out[j].def() == Some(v) {
+                        break; // redefined before use
+                    }
+                    if let Inst::Bin { op, rd, rs1, rs2 } = out[j] {
+                        if rs2 == v && rs1 != v {
+                            out[j] = Inst::BinImm { op, rd, rs: rs1, imm };
+                            break;
+                        }
+                    }
+                    if out[j].uses().contains(&v) {
+                        break; // used some other way; leave as is
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Local rewrites.
+    for inst in out.iter_mut() {
+        if let Inst::BinImm { op, rd, rs, imm: 0 } = *inst {
+            if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+            {
+                *inst = Inst::Mov { rd, rs };
+            }
+        }
+    }
+    let keep: Vec<bool> = out
+        .iter()
+        .map(|i| !matches!(i, Inst::Mov { rd, rs } if rd == rs))
+        .collect();
+    remove_marked(&out, &keep)
+}
+
+/// Branch threading: retarget any branch whose destination is an
+/// unconditional `Jmp` to that jump's final destination.
+pub fn thread_branches(mut code: Vec<Inst>) -> Vec<Inst> {
+    let n = code.len();
+    let resolve = |start: u32, code: &[Inst]| -> u32 {
+        let mut seen = HashSet::new();
+        let mut t = start;
+        while let Some(Inst::Jmp { target }) = code.get(t as usize) {
+            if !seen.insert(t) {
+                break; // jump cycle; leave as is
+            }
+            t = *target;
+        }
+        t.min(n as u32)
+    };
+    for i in 0..n {
+        if let Some(t) = code[i].target() {
+            let mut nt = resolve(t, &code);
+            // A conditional/unconditional branch targeting itself is left
+            // alone (degenerate infinite loop; never generated, but safe).
+            if nt as usize == i {
+                nt = t;
+            }
+            code[i].set_target(nt);
+        }
+    }
+    code
+}
+
+/// Remove jumps to the immediately following instruction.
+pub fn remove_fallthrough_jumps(code: Vec<Inst>) -> Vec<Inst> {
+    let keep: Vec<bool> = code
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| !matches!(inst, Inst::Jmp { target } if *target as usize == i + 1))
+        .collect();
+    remove_marked(&code, &keep)
+}
+
+/// `Oz` return merging: all `Ret` instructions except the final one become
+/// jumps to the final `Ret`.
+pub fn merge_returns(mut code: Vec<Inst>) -> Vec<Inst> {
+    let Some(last_ret) = code.iter().rposition(|i| matches!(i, Inst::Ret)) else {
+        return code;
+    };
+    for i in 0..last_ret {
+        if matches!(code[i], Inst::Ret) {
+            code[i] = Inst::Jmp { target: last_ret as u32 };
+        }
+    }
+    code
+}
+
+/// The `O2`-and-above IR pipeline.
+pub fn optimize(code: Vec<Inst>, size_opt: bool) -> Vec<Inst> {
+    let mut c = code;
+    for _ in 0..2 {
+        c = peephole(c);
+        c = dead_code_elim(c);
+        c = thread_branches(c);
+        c = remove_fallthrough_jumps(c);
+    }
+    if size_opt {
+        c = merge_returns(c);
+        c = remove_fallthrough_jumps(c);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Cond;
+
+    fn v(i: u16) -> Reg {
+        Reg::virt(i)
+    }
+
+    #[test]
+    fn dce_removes_unused_defs() {
+        let code = vec![
+            Inst::MovImm { rd: v(0), imm: 1 },
+            Inst::MovImm { rd: v(1), imm: 2 }, // dead
+            Inst::SetRet { rs: v(0) },
+            Inst::Ret,
+        ];
+        let out = dead_code_elim(code);
+        assert_eq!(out.len(), 3);
+        assert!(!out.iter().any(|i| matches!(i, Inst::MovImm { imm: 2, .. })));
+    }
+
+    #[test]
+    fn dce_cascades() {
+        // v1 only feeds dead v2; both should go.
+        let code = vec![
+            Inst::MovImm { rd: v(0), imm: 1 },
+            Inst::MovImm { rd: v(1), imm: 2 },
+            Inst::Bin { op: BinOp::Add, rd: v(2), rs1: v(1), rs2: v(1) },
+            Inst::SetRet { rs: v(0) },
+            Inst::Ret,
+        ];
+        let out = dead_code_elim(code);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn dce_preserves_branch_targets() {
+        let code = vec![
+            Inst::MovImm { rd: v(0), imm: 1 },
+            Inst::MovImm { rd: v(9), imm: 9 }, // dead, branched over
+            Inst::CBr { cond: Cond::Eq, rs1: v(0), rs2: v(0), target: 3 },
+            Inst::SetRet { rs: v(0) },
+            Inst::Ret,
+        ];
+        let out = dead_code_elim(code);
+        // Target 3 (SetRet) shifts to 2 after removing index 1.
+        let br = out.iter().find(|i| matches!(i, Inst::CBr { .. })).unwrap();
+        assert_eq!(br.target(), Some(2));
+        assert!(matches!(out[2], Inst::SetRet { .. }));
+    }
+
+    #[test]
+    fn peephole_folds_movimm_into_binimm() {
+        let code = vec![
+            Inst::MovImm { rd: v(0), imm: 5 },
+            Inst::MovImm { rd: v(1), imm: 7 },
+            Inst::Bin { op: BinOp::Add, rd: v(2), rs1: v(0), rs2: v(1) },
+            Inst::SetRet { rs: v(2) },
+            Inst::Ret,
+        ];
+        let out = dead_code_elim(peephole(code));
+        assert!(out.iter().any(|i| matches!(i, Inst::BinImm { op: BinOp::Add, imm: 7, .. })));
+        // The MovImm for v1 became dead and was removed.
+        assert_eq!(out.iter().filter(|i| matches!(i, Inst::MovImm { .. })).count(), 1);
+    }
+
+    #[test]
+    fn peephole_rewrites_add_zero() {
+        let code = vec![
+            Inst::MovImm { rd: v(0), imm: 3 },
+            Inst::BinImm { op: BinOp::Add, rd: v(1), rs: v(0), imm: 0 },
+            Inst::SetRet { rs: v(1) },
+            Inst::Ret,
+        ];
+        let out = peephole(code);
+        assert!(out.iter().any(|i| matches!(i, Inst::Mov { .. })));
+    }
+
+    #[test]
+    fn thread_branches_follows_jump_chains() {
+        let code = vec![
+            Inst::CBr { cond: Cond::Eq, rs1: v(0), rs2: v(0), target: 2 },
+            Inst::Ret,
+            Inst::Jmp { target: 4 },
+            Inst::Nop,
+            Inst::Ret,
+        ];
+        let out = thread_branches(code);
+        assert_eq!(out[0].target(), Some(4));
+    }
+
+    #[test]
+    fn fallthrough_jump_removed() {
+        let code = vec![
+            Inst::MovImm { rd: v(0), imm: 1 },
+            Inst::Jmp { target: 2 },
+            Inst::SetRet { rs: v(0) },
+            Inst::Ret,
+        ];
+        let out = remove_fallthrough_jumps(code);
+        assert_eq!(out.len(), 3);
+        assert!(!out.iter().any(|i| matches!(i, Inst::Jmp { .. })));
+    }
+
+    #[test]
+    fn merge_returns_leaves_single_ret() {
+        let code = vec![
+            Inst::SetRet { rs: v(0) },
+            Inst::Ret,
+            Inst::SetRet { rs: v(1) },
+            Inst::Ret,
+        ];
+        let out = merge_returns(code);
+        assert_eq!(out.iter().filter(|i| matches!(i, Inst::Ret)).count(), 1);
+        assert!(matches!(out[1], Inst::Jmp { target: 3 }));
+    }
+
+    #[test]
+    fn rewrite_with_expansion_remaps_targets() {
+        let code = vec![
+            Inst::CBr { cond: Cond::Eq, rs1: v(0), rs2: v(1), target: 2 },
+            Inst::Nop,
+            Inst::Ret,
+        ];
+        // Expand CBr into two instructions (like legalization does).
+        let out = rewrite_with_expansion(&code, |inst, buf| match *inst {
+            Inst::CBr { cond, rs1, rs2, target } => {
+                buf.push(Inst::Cmp { rs1, rs2 });
+                buf.push(Inst::JCc { cond, target });
+            }
+            other => buf.push(other),
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[1].target(), Some(3), "target shifted by the expansion");
+    }
+
+    #[test]
+    fn remove_marked_retargets_past_removed() {
+        let code = vec![
+            Inst::Jmp { target: 2 },
+            Inst::Nop,
+            Inst::Nop, // removed; jump should land on Ret
+            Inst::Ret,
+        ];
+        let keep = vec![true, true, false, true];
+        let out = remove_marked(&code, &keep);
+        assert_eq!(out[0].target(), Some(2));
+        assert!(matches!(out[2], Inst::Ret));
+    }
+}

@@ -1,0 +1,291 @@
+//! End-to-end compiler semantics tests: hand-written programs with known
+//! results, compiled at every optimization level, checked instruction-level
+//! properties (what each pass is supposed to do to the generated code).
+
+use fwbin::isa::{Arch, Inst, OptLevel};
+use fwlang::ast::{BinOp, CmpOp, Expr, Function, Library, Local, Param, Stmt, Ty};
+
+fn lib_with(f: Function) -> Library {
+    let mut lib = Library::new("libsem");
+    lib.functions.push(f);
+    lib
+}
+
+fn decode_all(lib: &Library, arch: Arch, opt: OptLevel) -> Vec<Inst> {
+    let bin = fwbin::compile_library(lib, arch, opt).unwrap();
+    bin.decode_function(0).unwrap()
+}
+
+#[test]
+fn constant_folding_removes_arithmetic() {
+    // return (2 + 3) * 4  ->  O1+ folds to a single constant 20.
+    let f = Function {
+        name: "k".into(),
+        params: vec![],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![Stmt::Return(Some(Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Add, Expr::ConstInt(2), Expr::ConstInt(3)),
+            Expr::ConstInt(4),
+        )))],
+        exported: true,
+    };
+    let lib = lib_with(f);
+    let o0 = decode_all(&lib, Arch::Arm64, OptLevel::O0);
+    let o1 = decode_all(&lib, Arch::Arm64, OptLevel::O1);
+    assert!(o0.iter().any(|i| i.is_arith()), "O0 keeps the arithmetic");
+    assert!(!o1.iter().any(|i| i.is_arith()), "O1 folds it away");
+    assert!(o1.iter().any(|i| matches!(i, Inst::MovImm { imm: 20, .. })));
+}
+
+#[test]
+fn dead_branch_eliminated_at_o1() {
+    // if (1 < 2) return 10; else return 20;  -> O1 keeps only `return 10`.
+    let f = Function {
+        name: "d".into(),
+        params: vec![],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![Stmt::If {
+            cond: Expr::cmp(CmpOp::Lt, Expr::ConstInt(1), Expr::ConstInt(2)),
+            then_body: vec![Stmt::Return(Some(Expr::ConstInt(10)))],
+            else_body: vec![Stmt::Return(Some(Expr::ConstInt(20)))],
+        }],
+        exported: true,
+    };
+    let lib = lib_with(f);
+    let o1 = decode_all(&lib, Arch::Arm64, OptLevel::O1);
+    assert!(!o1.iter().any(|i| matches!(i, Inst::MovImm { imm: 20, .. })), "dead arm gone");
+    assert!(!o1.iter().any(|i| i.is_cond_branch()), "no branch remains");
+}
+
+#[test]
+fn oz_merges_returns() {
+    // Two return paths: Oz leaves exactly one Ret.
+    let f = Function {
+        name: "m".into(),
+        params: vec![Param { name: "x".into(), ty: Ty::Int }],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![
+            Stmt::If {
+                cond: Expr::cmp(CmpOp::Gt, Expr::Param(0), Expr::ConstInt(0)),
+                then_body: vec![Stmt::Return(Some(Expr::ConstInt(1)))],
+                else_body: vec![],
+            },
+            Stmt::Return(Some(Expr::ConstInt(2))),
+        ],
+        exported: true,
+    };
+    let lib = lib_with(f);
+    let o2 = decode_all(&lib, Arch::Amd64, OptLevel::O2);
+    let oz = decode_all(&lib, Arch::Amd64, OptLevel::Oz);
+    let rets = |c: &[Inst]| c.iter().filter(|i| matches!(i, Inst::Ret)).count();
+    assert!(rets(&o2) >= 2, "O2 keeps both returns");
+    assert_eq!(rets(&oz), 1, "Oz merges to a single return");
+}
+
+#[test]
+fn unrolling_duplicates_loop_body_at_o3() {
+    // A counted loop whose body has a distinctive marker (xor with 0x5a).
+    let f = Function {
+        name: "u".into(),
+        params: vec![Param { name: "n".into(), ty: Ty::Int }],
+        locals: vec![
+            Local { name: "i".into(), ty: Ty::Int },
+            Local { name: "acc".into(), ty: Ty::Int },
+        ],
+        ret: Some(Ty::Int),
+        body: vec![
+            Stmt::For {
+                var: 0,
+                start: Expr::ConstInt(0),
+                end: Expr::Param(0),
+                step: Expr::ConstInt(1),
+                body: vec![Stmt::Let {
+                    local: 1,
+                    value: Expr::bin(BinOp::Xor, Expr::Local(1), Expr::ConstInt(0x5a)),
+                }],
+            },
+            Stmt::Return(Some(Expr::Local(1))),
+        ],
+        exported: true,
+    };
+    let lib = lib_with(f);
+    let count_marker = |c: &[Inst]| {
+        c.iter()
+            .filter(|i| matches!(i, Inst::BinImm { op: BinOp::Xor, imm: 0x5a, .. }))
+            .count()
+    };
+    let o2 = decode_all(&lib, Arch::Arm64, OptLevel::O2);
+    let o3 = decode_all(&lib, Arch::Arm64, OptLevel::O3);
+    assert_eq!(count_marker(&o2), 1, "O2 keeps one body copy");
+    assert!(count_marker(&o3) >= 3, "O3 unrolls (2 copies + remainder), got {}", count_marker(&o3));
+}
+
+#[test]
+fn syscall_and_abort_lower_directly() {
+    let f = Function {
+        name: "s".into(),
+        params: vec![Param { name: "x".into(), ty: Ty::Int }],
+        locals: vec![],
+        ret: None,
+        body: vec![
+            Stmt::Syscall { num: 7, args: vec![Expr::Param(0)] },
+            Stmt::Abort,
+        ],
+        exported: true,
+    };
+    let lib = lib_with(f);
+    for arch in Arch::ALL {
+        let code = decode_all(&lib, arch, OptLevel::O2);
+        assert!(code.iter().any(|i| matches!(i, Inst::Syscall { num: 7 })), "{arch}");
+        assert!(code.iter().any(|i| matches!(i, Inst::Halt)), "{arch}");
+        assert!(code.iter().any(|i| matches!(i, Inst::SetArg { idx: 0, .. })), "{arch}");
+    }
+}
+
+#[test]
+fn globals_and_strings_reference_tables() {
+    let mut lib = Library::new("libsem");
+    let g = lib.add_global("counter", 5);
+    let sid = lib.intern_string("marker");
+    lib.functions.push(Function {
+        name: "g".into(),
+        params: vec![],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![
+            Stmt::SetGlobal {
+                global: g,
+                value: Expr::bin(BinOp::Add, Expr::Global(g), Expr::ConstInt(1)),
+            },
+            Stmt::Expr(Expr::Call {
+                callee: "log_event".into(),
+                args: vec![Expr::Str(sid), Expr::Global(g)],
+            }),
+            Stmt::Return(Some(Expr::Global(g))),
+        ],
+        exported: true,
+    });
+    let bin = fwbin::compile_library(&lib, Arch::X86, OptLevel::O1).unwrap();
+    assert_eq!(bin.globals, vec![5]);
+    assert_eq!(bin.strings, vec!["marker".to_string()]);
+    assert!(bin.imports.contains(&"log_event".to_string()));
+    let code = bin.decode_function(0).unwrap();
+    assert!(code.iter().any(|i| matches!(i, Inst::LoadGlobal { gid: 0, .. })));
+    assert!(code.iter().any(|i| matches!(i, Inst::StoreGlobal { gid: 0, .. })));
+    assert!(code.iter().any(|i| matches!(i, Inst::LoadStr { sid: 0, .. })));
+}
+
+#[test]
+fn o0_frame_slots_match_local_count() {
+    let f = Function {
+        name: "l".into(),
+        params: vec![],
+        locals: vec![
+            Local { name: "a".into(), ty: Ty::Int },
+            Local { name: "b".into(), ty: Ty::Int },
+            Local { name: "c".into(), ty: Ty::Float },
+        ],
+        ret: Some(Ty::Int),
+        body: vec![
+            Stmt::Let { local: 0, value: Expr::ConstInt(1) },
+            Stmt::Let { local: 1, value: Expr::ConstInt(2) },
+            Stmt::Let { local: 2, value: Expr::ConstFloat(3.0) },
+            Stmt::Return(Some(Expr::bin(BinOp::Add, Expr::Local(0), Expr::Local(1)))),
+        ],
+        exported: true,
+    };
+    let lib = lib_with(f);
+    let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O0).unwrap();
+    assert!(bin.functions[0].frame_slots >= 3, "each local gets a slot at O0");
+    let bin1 = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O1).unwrap();
+    assert_eq!(bin1.functions[0].frame_slots, 0, "O1 keeps locals in registers");
+}
+
+#[test]
+fn inlining_removes_call_at_o3() {
+    let mut lib = Library::new("libsem");
+    lib.functions.push(Function {
+        name: "helper".into(),
+        params: vec![Param { name: "a".into(), ty: Ty::Int }],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![Stmt::Return(Some(Expr::bin(BinOp::Mul, Expr::Param(0), Expr::ConstInt(3))))],
+        exported: false,
+    });
+    lib.functions.push(Function {
+        name: "caller".into(),
+        params: vec![Param { name: "x".into(), ty: Ty::Int }],
+        locals: vec![Local { name: "r".into(), ty: Ty::Int }],
+        ret: Some(Ty::Int),
+        body: vec![
+            Stmt::Let {
+                local: 0,
+                value: Expr::Call { callee: "helper".into(), args: vec![Expr::Param(0)] },
+            },
+            Stmt::Return(Some(Expr::Local(0))),
+        ],
+        exported: true,
+    });
+    let o2 = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O2).unwrap();
+    let o3 = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O3).unwrap();
+    let calls = |b: &fwbin::Binary| {
+        b.decode_function(1)
+            .unwrap()
+            .iter()
+            .filter(|i| matches!(i, Inst::Call { .. }))
+            .count()
+    };
+    assert_eq!(calls(&o2), 1, "O2 keeps the call");
+    assert_eq!(calls(&o3), 0, "O3 inlines the small helper");
+}
+
+#[test]
+fn two_operand_invariant_on_cisc_archs() {
+    // Every compiled generated function respects rd == rs1 on x86/amd64.
+    let lib = fwlang::gen::Generator::new(88).library_sized("libsem", 10);
+    for arch in [Arch::X86, Arch::Amd64] {
+        let bin = fwbin::compile_library(&lib, arch, OptLevel::O2).unwrap();
+        for i in 0..bin.function_count() {
+            for inst in bin.decode_function(i).unwrap() {
+                if let Inst::Bin { rd, rs1, .. } = inst {
+                    assert_eq!(rd, rs1, "{arch} fn {i}");
+                }
+                if let Inst::CBr { .. } | Inst::CmpSet { .. } = inst {
+                    panic!("{arch} must not contain fused compare forms");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn float_pipeline_produces_fp_instructions() {
+    let f = Function {
+        name: "fp".into(),
+        params: vec![],
+        locals: vec![Local { name: "x".into(), ty: Ty::Float }],
+        ret: Some(Ty::Float),
+        body: vec![
+            Stmt::Let {
+                local: 0,
+                value: Expr::FBin(
+                    BinOp::Div,
+                    Box::new(Expr::ConstFloat(10.0)),
+                    Box::new(Expr::ConstFloat(4.0)),
+                ),
+            },
+            Stmt::Return(Some(Expr::Local(0))),
+        ],
+        exported: true,
+    };
+    let lib = lib_with(f);
+    // O0 keeps the FBin; O1 folds float constants.
+    let o0 = decode_all(&lib, Arch::Arm32, OptLevel::O0);
+    assert!(o0.iter().any(|i| i.is_arith_fp()));
+    let o1 = decode_all(&lib, Arch::Arm32, OptLevel::O1);
+    assert!(o1.iter().any(|i| matches!(i, Inst::FMovImm { imm, .. } if (imm - 2.5).abs() < 1e-12)));
+}

@@ -1,0 +1,431 @@
+//! Abstract syntax tree for the synthetic firmware source language.
+//!
+//! The language is a small imperative language with the notion of functions
+//! (the paper's only requirement on the source language: "a high-level
+//! procedural programming language, i.e., a language that has the notion of
+//! functions"). Programs are grouped into [`Library`] values mirroring the
+//! shared libraries (`libstagefright.so`, ...) that PATCHECKO analyzes.
+//!
+//! Values are 64-bit integers, 64-bit floats, or byte-buffer pointers.
+//! Buffers are passed as `(ptr, len)` argument pairs by convention, which is
+//! what lets the dynamic-analysis fuzzer synthesize inputs for any exported
+//! function.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar or pointer type in the source language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// Pointer to a byte buffer (paired with an `Int` length parameter by
+    /// convention).
+    Buf,
+}
+
+/// Index of a function parameter.
+pub type ParamId = u32;
+/// Index of a function local variable.
+pub type LocalId = u32;
+/// Index into a library's global variable table.
+pub type GlobalId = u32;
+/// Index into a library's string constant table.
+pub type StrId = u32;
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name (debug info only; stripped binaries never see it).
+    pub name: String,
+    /// Parameter type.
+    pub ty: Ty,
+}
+
+/// A function local variable. Scalars only; buffers are always parameters or
+/// heap allocations in this language.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Local {
+    /// Local name (debug info only).
+    pub name: String,
+    /// Local type (`Ty::Buf` locals hold pointers produced by `malloc` or
+    /// passed through from parameters).
+    pub ty: Ty,
+}
+
+/// A library-level mutable global variable with an integer initial value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalDef {
+    /// Global name (debug info only).
+    pub name: String,
+    /// Initial value at image load time.
+    pub init: i64,
+}
+
+/// Integer / bitwise binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Wrapping division (zero divisor faults at runtime).
+    Div,
+    /// Wrapping remainder (zero divisor faults at runtime).
+    Mod,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (amount masked to 0..63).
+    Shl,
+    /// Arithmetic right shift (amount masked to 0..63).
+    Shr,
+}
+
+impl BinOp {
+    /// All operators, for generator sampling.
+    pub const ALL: [BinOp; 10] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+    ];
+
+    /// Operators that are safe for float arithmetic.
+    pub const FLOAT: [BinOp; 4] = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div];
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// All comparison operators, for generator sampling.
+    pub const ALL: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
+    /// The negated comparison (`!(a < b)` is `a >= b`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The comparison with operands swapped (`a < b` is `b > a`).
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// An expression. Expressions are pure except for [`Expr::Call`], whose
+/// callee may have side effects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum Expr {
+    /// Integer literal.
+    ConstInt(i64),
+    /// Float literal.
+    ConstFloat(f64),
+    /// Address of a string constant in the library's read-only data.
+    Str(StrId),
+    /// Read a local variable.
+    Local(LocalId),
+    /// Read a parameter.
+    Param(ParamId),
+    /// Read a library global.
+    Global(GlobalId),
+    /// Integer binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Float binary operation (operands are reinterpreted as floats).
+    FBin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison producing 0 or 1.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical negation (`x == 0`).
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Load the byte at `base[index]`, zero-extended to an integer.
+    LoadByte { base: Box<Expr>, index: Box<Expr> },
+    /// Call a function by name (another function in the same library, or an
+    /// imported library routine such as `memmove`), yielding its return
+    /// value (0 for void callees).
+    Call { callee: String, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Convenience constructor for an integer binary operation.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for a comparison.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for a byte load.
+    pub fn load(base: Expr, index: Expr) -> Expr {
+        Expr::LoadByte { base: Box::new(base), index: Box::new(index) }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum Stmt {
+    /// Assign to a local variable.
+    Let { local: LocalId, value: Expr },
+    /// Assign to a library global.
+    SetGlobal { global: GlobalId, value: Expr },
+    /// Store the low byte of `value` at `base[index]`.
+    StoreByte { base: Expr, index: Expr, value: Expr },
+    /// Two-armed conditional.
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    /// Pre-tested loop.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// Counted loop: `for var = start; var < end; var += step`.
+    ///
+    /// `step` must evaluate to a positive value for the loop to terminate;
+    /// the generator only emits positive constant steps.
+    For { var: LocalId, start: Expr, end: Expr, step: Expr, body: Vec<Stmt> },
+    /// Evaluate an expression for its side effects (calls).
+    Expr(Expr),
+    /// Return from the function.
+    Return(Option<Expr>),
+    /// Break out of the innermost loop.
+    Break,
+    /// Continue the innermost loop.
+    Continue,
+    /// Invoke an operating-system service by number.
+    Syscall { num: u32, args: Vec<Expr> },
+    /// Abort execution (models `abort()` / unreachable traps); lowers to a
+    /// no-return halt instruction.
+    Abort,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name. Present in debug builds' symbol tables; stripped from
+    /// release firmware for non-exported functions.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Local variables.
+    pub locals: Vec<Local>,
+    /// Return type, or `None` for void.
+    pub ret: Option<Ty>,
+    /// Statement list.
+    pub body: Vec<Stmt>,
+    /// Whether the function appears in the export table (callable after
+    /// `dlopen`/`dlsym`; the dynamic loader can run it directly).
+    pub exported: bool,
+}
+
+impl Function {
+    /// Index of the first `Buf` parameter together with the index of the
+    /// conventionally paired length parameter, if the function takes a
+    /// buffer.
+    ///
+    /// By language convention every `Buf` parameter at index `i` is
+    /// immediately followed by an `Int` length parameter at `i + 1`.
+    pub fn buffer_param(&self) -> Option<(ParamId, ParamId)> {
+        self.params.iter().enumerate().find_map(|(i, p)| {
+            if p.ty == Ty::Buf && self.params.get(i + 1).map(|l| l.ty) == Some(Ty::Int) {
+                Some((i as ParamId, (i + 1) as ParamId))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Add a local variable, returning its id.
+    pub fn add_local(&mut self, name: impl Into<String>, ty: Ty) -> LocalId {
+        self.locals.push(Local { name: name.into(), ty });
+        (self.locals.len() - 1) as LocalId
+    }
+}
+
+/// A library: a named collection of functions plus their shared read-only
+/// strings and mutable globals. This is the unit that gets compiled into one
+/// FWB binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Library {
+    /// Library name, e.g. `libstagefright`.
+    pub name: String,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+    /// String constant pool.
+    pub strings: Vec<String>,
+    /// Global variable definitions.
+    pub globals: Vec<GlobalDef>,
+}
+
+impl Library {
+    /// Create an empty library.
+    pub fn new(name: impl Into<String>) -> Library {
+        Library { name: name.into(), functions: Vec::new(), strings: Vec::new(), globals: Vec::new() }
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Look up a function by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Intern a string constant, returning its id.
+    pub fn intern_string(&mut self, s: impl Into<String>) -> StrId {
+        let s = s.into();
+        if let Some(i) = self.strings.iter().position(|x| *x == s) {
+            return i as StrId;
+        }
+        self.strings.push(s);
+        (self.strings.len() - 1) as StrId
+    }
+
+    /// Add a global variable, returning its id.
+    pub fn add_global(&mut self, name: impl Into<String>, init: i64) -> GlobalId {
+        self.globals.push(GlobalDef { name: name.into(), init });
+        (self.globals.len() - 1) as GlobalId
+    }
+}
+
+/// The library routines every target platform provides (the analog of the
+/// libc/bionic functions the paper's CVE functions call, e.g. `memmove` in
+/// `ID3::removeUnsynchronization`). Calls to these resolve through the
+/// import table and are executed natively by the dynamic-analysis VM.
+pub const LIBRARY_ROUTINES: &[(&str, usize)] = &[
+    // (name, arity)
+    ("memmove", 3), // memmove(dst_ptr, src_ptr, n) within one buffer region
+    ("memcpy", 3),
+    ("memset", 3),  // memset(ptr, byte, n)
+    ("memcmp", 3),
+    ("strlen", 1),
+    ("malloc", 1),
+    ("free", 1),
+    ("abs", 1),
+    ("min", 2),
+    ("max", 2),
+    ("checksum", 2), // checksum(ptr, len): models a hash helper
+    ("log_event", 2), // logging sink with a string argument
+    ("abort", 0),
+];
+
+/// Whether `name` names an imported library routine (as opposed to a
+/// function defined in the same library).
+pub fn is_library_routine(name: &str) -> bool {
+    LIBRARY_ROUTINES.iter().any(|(n, _)| *n == name)
+}
+
+/// Arity of a library routine, if `name` is one.
+pub fn library_routine_arity(name: &str) -> Option<usize> {
+    LIBRARY_ROUTINES.iter().find(|(n, _)| *n == name).map(|(_, a)| *a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_negate_is_involution() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_swap_is_involution() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.swap().swap(), op);
+        }
+    }
+
+    #[test]
+    fn buffer_param_finds_conventional_pair() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![
+                Param { name: "x".into(), ty: Ty::Int },
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![],
+            ret: None,
+            body: vec![],
+            exported: true,
+        };
+        assert_eq!(f.buffer_param(), Some((1, 2)));
+    }
+
+    #[test]
+    fn buffer_param_absent_without_length() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![Param { name: "data".into(), ty: Ty::Buf }],
+            locals: vec![],
+            ret: None,
+            body: vec![],
+            exported: true,
+        };
+        assert_eq!(f.buffer_param(), None);
+    }
+
+    #[test]
+    fn intern_string_deduplicates() {
+        let mut lib = Library::new("libtest");
+        let a = lib.intern_string("hello");
+        let b = lib.intern_string("world");
+        let c = lib.intern_string("hello");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(lib.strings.len(), 2);
+    }
+
+    #[test]
+    fn library_routines_are_known() {
+        assert!(is_library_routine("memmove"));
+        assert!(!is_library_routine("removeUnsynchronization"));
+        assert_eq!(library_routine_arity("memset"), Some(3));
+        assert_eq!(library_routine_arity("nope"), None);
+    }
+}

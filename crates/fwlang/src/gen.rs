@@ -1,0 +1,708 @@
+//! Seeded random program generator.
+//!
+//! Generates [`Library`] values whose functions exercise the same code
+//! shapes the paper's Android libraries contain: buffer scanning loops,
+//! in-place byte transforms, checksum-style reductions, state machines over
+//! parser input, arithmetic kernels (including floating point), and thin
+//! wrappers that call into other functions of the same library.
+//!
+//! Every generated function terminates on any input the dynamic-analysis VM
+//! can supply (loop bounds are derived from the buffer length parameter or
+//! from small constants, and all `while` loops make constant progress).
+//! Functions may still *fault* on hostile inputs (out-of-bounds indexing
+//! through unguarded integer parameters); this is deliberate — it is exactly
+//! what lets PATCHECKO's execution-validation stage prune candidates, as in
+//! §III-B of the paper.
+//!
+//! Generation is fully deterministic in the seed.
+
+use crate::ast::{
+    BinOp, CmpOp, Expr, Function, GlobalId, Library, Param, ParamId, Stmt, Ty,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for library generation.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Minimum number of functions per library.
+    pub min_functions: usize,
+    /// Maximum number of functions per library.
+    pub max_functions: usize,
+    /// Fraction of functions marked exported (the rest model internal
+    /// functions the paper re-exports with LIEF before dynamic analysis).
+    pub export_ratio: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { min_functions: 12, max_functions: 20, export_ratio: 0.6 }
+    }
+}
+
+/// Template identities, used for naming and for controlling the mix of
+/// generated function shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Template {
+    Scan,
+    Transform,
+    Reduce,
+    StateMachine,
+    Arith,
+    Wrapper,
+    Parse,
+}
+
+const TEMPLATE_WEIGHTS: &[(Template, u32)] = &[
+    (Template::Scan, 20),
+    (Template::Transform, 18),
+    (Template::Reduce, 16),
+    (Template::StateMachine, 12),
+    (Template::Arith, 14),
+    (Template::Wrapper, 8),
+    (Template::Parse, 12),
+];
+
+fn pick_template(rng: &mut SmallRng) -> Template {
+    let total: u32 = TEMPLATE_WEIGHTS.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0..total);
+    for (t, w) in TEMPLATE_WEIGHTS {
+        if x < *w {
+            return *t;
+        }
+        x -= w;
+    }
+    Template::Scan
+}
+
+fn template_name(t: Template) -> &'static str {
+    match t {
+        Template::Scan => "scan",
+        Template::Transform => "transform",
+        Template::Reduce => "reduce",
+        Template::StateMachine => "fsm",
+        Template::Arith => "kernel",
+        Template::Wrapper => "wrap",
+        Template::Parse => "parse",
+    }
+}
+
+/// Program generator with a deterministic RNG stream.
+pub struct Generator {
+    rng: SmallRng,
+    config: GenConfig,
+}
+
+impl Generator {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Generator {
+        Generator { rng: SmallRng::seed_from_u64(seed), config: GenConfig::default() }
+    }
+
+    /// Create a generator with an explicit configuration.
+    pub fn with_config(seed: u64, config: GenConfig) -> Generator {
+        Generator { rng: SmallRng::seed_from_u64(seed), config }
+    }
+
+    /// Generate a library named `name` with a template-mixed set of
+    /// functions sized by the configuration.
+    pub fn library(&mut self, name: &str) -> Library {
+        let n = self.rng.gen_range(self.config.min_functions..=self.config.max_functions);
+        self.library_sized(name, n)
+    }
+
+    /// Generate a library with exactly `n` functions.
+    pub fn library_sized(&mut self, name: &str, n: usize) -> Library {
+        let mut lib = Library::new(name);
+        // A small pool of globals shared across the library's functions.
+        for g in 0..self.rng.gen_range(2..=4usize) {
+            let init = self.rng.gen_range(0..64);
+            lib.add_global(format!("g_{name}_{g}"), init);
+        }
+        for i in 0..n {
+            let t = pick_template(&mut self.rng);
+            let fname = format!("{name}_{}_{i}", template_name(t));
+            let f = self.function(&mut lib, t, fname, i);
+            lib.functions.push(f);
+        }
+        lib
+    }
+
+    /// Generate a single function of a random template into `lib`.
+    pub fn any_function(&mut self, lib: &mut Library, name: impl Into<String>) -> Function {
+        let t = pick_template(&mut self.rng);
+        let idx = lib.functions.len();
+        self.function(lib, t, name.into(), idx)
+    }
+
+    fn function(&mut self, lib: &mut Library, t: Template, name: String, idx: usize) -> Function {
+        let exported = self.rng.gen_bool(self.config.export_ratio);
+        match t {
+            Template::Scan => self.gen_scan(lib, name, exported),
+            Template::Transform => self.gen_transform(lib, name, exported),
+            Template::Reduce => self.gen_reduce(lib, name, exported),
+            Template::StateMachine => self.gen_state_machine(lib, name, exported),
+            Template::Arith => self.gen_arith(lib, name, exported),
+            Template::Wrapper => self.gen_wrapper(lib, name, exported, idx),
+            Template::Parse => self.gen_parse(lib, name, exported),
+        }
+    }
+
+    // ---- helpers -------------------------------------------------------
+
+    fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// A pure arithmetic expression over the given integer-valued atoms.
+    fn int_expr(&mut self, atoms: &[Expr], depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            if self.rng.gen_bool(0.4) {
+                return Expr::ConstInt(self.gen_range(0, 256));
+            }
+            return atoms[self.rng.gen_range(0..atoms.len())].clone();
+        }
+        let a = self.int_expr(atoms, depth - 1);
+        let b = self.int_expr(atoms, depth - 1);
+        let op = BinOp::ALL[self.rng.gen_range(0..BinOp::ALL.len())];
+        match op {
+            // Guard division/modulo with a non-zero constant divisor and
+            // shifts with an in-range constant amount so generated code
+            // cannot fault in pure arithmetic.
+            BinOp::Div | BinOp::Mod => {
+                Expr::bin(op, a, Expr::ConstInt(self.gen_range(1, 17)))
+            }
+            BinOp::Shl | BinOp::Shr => Expr::bin(op, a, Expr::ConstInt(self.gen_range(0, 8))),
+            _ => Expr::bin(op, a, b),
+        }
+    }
+
+    fn cmp_expr(&mut self, atoms: &[Expr]) -> Expr {
+        let op = CmpOp::ALL[self.rng.gen_range(0..CmpOp::ALL.len())];
+        let a = self.int_expr(atoms, 1);
+        let b =
+            if self.rng.gen_bool(0.5) { Expr::ConstInt(self.gen_range(0, 128)) } else { self.int_expr(atoms, 1) };
+        Expr::cmp(op, a, b)
+    }
+
+    // ---- templates -----------------------------------------------------
+
+    /// Scan a buffer, counting/branching on byte values. Shape of the
+    /// paper's `removeUnsynchronization`-like loops.
+    fn gen_scan(&mut self, lib: &mut Library, name: String, exported: bool) -> Function {
+        let mut f = Function {
+            name,
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![],
+            ret: Some(Ty::Int),
+            body: vec![],
+            exported,
+        };
+        if self.rng.gen_bool(0.5) {
+            f.params.push(Param { name: "mode".into(), ty: Ty::Int });
+        }
+        let i = f.add_local("i", Ty::Int);
+        let acc = f.add_local("acc", Ty::Int);
+        f.body.push(Stmt::Let { local: acc, value: Expr::ConstInt(0) });
+
+        let sentinel = self.gen_range(0, 256);
+        let mut loop_body = vec![];
+        let byte = Expr::load(Expr::Param(0), Expr::Local(i));
+        let mut then_body = vec![Stmt::Let {
+            local: acc,
+            value: Expr::bin(BinOp::Add, Expr::Local(acc), Expr::ConstInt(1)),
+        }];
+        if self.rng.gen_bool(0.4) {
+            then_body.push(Stmt::If {
+                cond: Expr::cmp(CmpOp::Gt, Expr::Local(acc), Expr::ConstInt(self.gen_range(4, 64))),
+                then_body: vec![Stmt::Break],
+                else_body: vec![],
+            });
+        }
+        loop_body.push(Stmt::If {
+            cond: Expr::cmp(CmpOp::Eq, byte, Expr::ConstInt(sentinel)),
+            then_body,
+            else_body: if self.rng.gen_bool(0.5) {
+                vec![Stmt::Let {
+                    local: acc,
+                    value: Expr::bin(
+                        BinOp::Xor,
+                        Expr::Local(acc),
+                        Expr::load(Expr::Param(0), Expr::Local(i)),
+                    ),
+                }]
+            } else {
+                vec![]
+            },
+        });
+        f.body.push(Stmt::For {
+            var: i,
+            start: Expr::ConstInt(0),
+            end: Expr::Param(1),
+            step: Expr::ConstInt(1),
+            body: loop_body,
+        });
+        if self.rng.gen_bool(0.3) {
+            let sid = lib.intern_string(format!("scan done {}", self.gen_range(0, 1000)));
+            f.body.push(Stmt::Expr(Expr::Call {
+                callee: "log_event".into(),
+                args: vec![Expr::Str(sid), Expr::Local(acc)],
+            }));
+        }
+        f.body.push(Stmt::Return(Some(Expr::Local(acc))));
+        f
+    }
+
+    /// In-place byte transform with stores; sometimes calls `memset` or
+    /// `memmove`.
+    fn gen_transform(&mut self, lib: &mut Library, name: String, exported: bool) -> Function {
+        let mut f = Function {
+            name,
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+                Param { name: "key".into(), ty: Ty::Int },
+            ],
+            locals: vec![],
+            ret: None,
+            body: vec![],
+            exported,
+        };
+        let i = f.add_local("i", Ty::Int);
+        let op = [BinOp::Xor, BinOp::Add, BinOp::Sub][self.rng.gen_range(0..3)];
+        let body = vec![Stmt::StoreByte {
+            base: Expr::Param(0),
+            index: Expr::Local(i),
+            value: Expr::bin(op, Expr::load(Expr::Param(0), Expr::Local(i)), Expr::Param(2)),
+        }];
+        f.body.push(Stmt::For {
+            var: i,
+            start: Expr::ConstInt(0),
+            end: Expr::Param(1),
+            step: Expr::ConstInt(self.gen_range(1, 3)),
+            body,
+        });
+        match self.rng.gen_range(0..3) {
+            0 => f.body.push(Stmt::If {
+                cond: Expr::cmp(CmpOp::Gt, Expr::Param(1), Expr::ConstInt(2)),
+                then_body: vec![Stmt::Expr(Expr::Call {
+                    callee: "memset".into(),
+                    args: vec![Expr::Param(0), Expr::ConstInt(0), Expr::ConstInt(1)],
+                })],
+                else_body: vec![],
+            }),
+            1 => f.body.push(Stmt::If {
+                cond: Expr::cmp(CmpOp::Gt, Expr::Param(1), Expr::ConstInt(4)),
+                then_body: vec![Stmt::Expr(Expr::Call {
+                    callee: "memmove".into(),
+                    args: vec![
+                        Expr::Param(0),
+                        Expr::bin(BinOp::Add, Expr::Param(0), Expr::ConstInt(1)),
+                        Expr::bin(BinOp::Sub, Expr::Param(1), Expr::ConstInt(1)),
+                    ],
+                })],
+                else_body: vec![],
+            }),
+            _ => {
+                let _ = lib; // no extra call
+            }
+        }
+        f.body.push(Stmt::Return(None));
+        f
+    }
+
+    /// Checksum-style reduction over the buffer with mixing arithmetic.
+    fn gen_reduce(&mut self, _lib: &mut Library, name: String, exported: bool) -> Function {
+        let mut f = Function {
+            name,
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![],
+            ret: Some(Ty::Int),
+            body: vec![],
+            exported,
+        };
+        let i = f.add_local("i", Ty::Int);
+        let h = f.add_local("h", Ty::Int);
+        let seed = self.gen_range(1, 1 << 16);
+        f.body.push(Stmt::Let { local: h, value: Expr::ConstInt(seed) });
+        let mul = self.gen_range(3, 97) | 1;
+        let body = vec![Stmt::Let {
+            local: h,
+            value: Expr::bin(
+                BinOp::Xor,
+                Expr::bin(BinOp::Mul, Expr::Local(h), Expr::ConstInt(mul)),
+                Expr::load(Expr::Param(0), Expr::Local(i)),
+            ),
+        }];
+        f.body.push(Stmt::For {
+            var: i,
+            start: Expr::ConstInt(0),
+            end: Expr::Param(1),
+            step: Expr::ConstInt(1),
+            body,
+        });
+        if self.rng.gen_bool(0.5) {
+            f.body.push(Stmt::Let {
+                local: h,
+                value: Expr::bin(
+                    BinOp::And,
+                    Expr::Local(h),
+                    Expr::ConstInt((1 << self.gen_range(16, 32)) - 1),
+                ),
+            });
+        }
+        f.body.push(Stmt::Return(Some(Expr::Local(h))));
+        f
+    }
+
+    /// Byte-driven state machine over the input, updating a library global.
+    fn gen_state_machine(&mut self, lib: &mut Library, name: String, exported: bool) -> Function {
+        let mut f = Function {
+            name,
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![],
+            ret: Some(Ty::Int),
+            body: vec![],
+            exported,
+        };
+        let i = f.add_local("i", Ty::Int);
+        let st = f.add_local("state", Ty::Int);
+        let n_states = self.gen_range(2, 5);
+        f.body.push(Stmt::Let { local: st, value: Expr::ConstInt(0) });
+        f.body.push(Stmt::Let { local: i, value: Expr::ConstInt(0) });
+
+        let mut arms: Vec<Stmt> = Vec::new();
+        for s in 0..n_states {
+            let trig = self.gen_range(0, 256);
+            let next = self.gen_range(0, n_states);
+            arms.push(Stmt::If {
+                cond: Expr::bin(
+                    BinOp::And,
+                    Expr::cmp(CmpOp::Eq, Expr::Local(st), Expr::ConstInt(s)),
+                    Expr::cmp(
+                        CmpOp::Eq,
+                        Expr::load(Expr::Param(0), Expr::Local(i)),
+                        Expr::ConstInt(trig),
+                    ),
+                ),
+                then_body: vec![Stmt::Let { local: st, value: Expr::ConstInt(next) }],
+                else_body: vec![],
+            });
+        }
+        let mut loop_body = arms;
+        loop_body.push(Stmt::Let {
+            local: i,
+            value: Expr::bin(BinOp::Add, Expr::Local(i), Expr::ConstInt(1)),
+        });
+        f.body.push(Stmt::While {
+            cond: Expr::cmp(CmpOp::Lt, Expr::Local(i), Expr::Param(1)),
+            body: loop_body,
+        });
+        let gid: GlobalId = self.rng.gen_range(0..lib.globals.len().max(1)) as GlobalId;
+        if !lib.globals.is_empty() {
+            f.body.push(Stmt::SetGlobal { global: gid, value: Expr::Local(st) });
+        }
+        if self.rng.gen_bool(0.3) {
+            f.body.push(Stmt::Syscall { num: 1, args: vec![Expr::Local(st)] });
+        }
+        f.body.push(Stmt::Return(Some(Expr::Local(st))));
+        f
+    }
+
+    /// Loop-free (or small fixed loop) arithmetic kernel; may use floats.
+    fn gen_arith(&mut self, _lib: &mut Library, name: String, exported: bool) -> Function {
+        let n_params = self.gen_range(2, 5) as usize;
+        let mut f = Function {
+            name,
+            params: (0..n_params)
+                .map(|k| Param { name: format!("a{k}"), ty: Ty::Int })
+                .collect(),
+            locals: vec![],
+            ret: Some(Ty::Int),
+            body: vec![],
+            exported,
+        };
+        let atoms: Vec<Expr> = (0..n_params as ParamId).map(Expr::Param).collect();
+        let t0 = f.add_local("t0", Ty::Int);
+        let t1 = f.add_local("t1", Ty::Int);
+        let e0 = self.int_expr(&atoms, 3);
+        let e1 = self.int_expr(&atoms, 3);
+        f.body.push(Stmt::Let { local: t0, value: e0 });
+        f.body.push(Stmt::Let { local: t1, value: e1 });
+        let use_float = self.rng.gen_bool(0.35);
+        if use_float {
+            let fl = f.add_local("fv", Ty::Float);
+            let fop = BinOp::FLOAT[self.rng.gen_range(0..BinOp::FLOAT.len())];
+            f.body.push(Stmt::Let {
+                local: fl,
+                value: Expr::FBin(
+                    fop,
+                    Box::new(Expr::Local(t0)),
+                    Box::new(Expr::ConstFloat(self.rng.gen_range(1.0..8.0))),
+                ),
+            });
+            f.body.push(Stmt::Let {
+                local: t0,
+                value: Expr::bin(BinOp::Add, Expr::Local(t0), Expr::Local(fl)),
+            });
+        }
+        let cond = self.cmp_expr(&atoms);
+        f.body.push(Stmt::If {
+            cond,
+            then_body: vec![Stmt::Return(Some(Expr::Local(t0)))],
+            else_body: vec![],
+        });
+        if self.rng.gen_bool(0.4) {
+            // small constant-trip loop
+            let i = f.add_local("i", Ty::Int);
+            let trip = self.gen_range(2, 9);
+            f.body.push(Stmt::For {
+                var: i,
+                start: Expr::ConstInt(0),
+                end: Expr::ConstInt(trip),
+                step: Expr::ConstInt(1),
+                body: vec![Stmt::Let {
+                    local: t1,
+                    value: Expr::bin(
+                        BinOp::Add,
+                        Expr::Local(t1),
+                        Expr::bin(BinOp::Mul, Expr::Local(i), Expr::Local(t0)),
+                    ),
+                }],
+            });
+        }
+        f.body.push(Stmt::Return(Some(Expr::bin(BinOp::Xor, Expr::Local(t0), Expr::Local(t1)))));
+        f
+    }
+
+    /// Thin wrapper: validates arguments then delegates to an existing
+    /// function of the library (if any), mirroring the delegation wrappers
+    /// common in media frameworks.
+    fn gen_wrapper(
+        &mut self,
+        lib: &mut Library,
+        name: String,
+        exported: bool,
+        _idx: usize,
+    ) -> Function {
+        let mut f = Function {
+            name,
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![],
+            ret: Some(Ty::Int),
+            body: vec![],
+            exported,
+        };
+        let r = f.add_local("r", Ty::Int);
+        // Argument validation guard.
+        f.body.push(Stmt::If {
+            cond: Expr::cmp(CmpOp::Le, Expr::Param(1), Expr::ConstInt(0)),
+            then_body: vec![Stmt::Return(Some(Expr::ConstInt(-1)))],
+            else_body: vec![],
+        });
+        // Delegate to a previously generated (buf, len) function if one
+        // exists; otherwise fall back to a library routine.
+        let callee = lib
+            .functions
+            .iter()
+            .filter(|g| g.buffer_param() == Some((0, 1)))
+            .map(|g| g.name.clone())
+            .last();
+        let call = match callee {
+            Some(c) => Expr::Call { callee: c, args: vec![Expr::Param(0), Expr::Param(1)] },
+            None => Expr::Call { callee: "checksum".into(), args: vec![Expr::Param(0), Expr::Param(1)] },
+        };
+        f.body.push(Stmt::Let { local: r, value: call });
+        if self.rng.gen_bool(0.5) {
+            f.body.push(Stmt::Let {
+                local: r,
+                value: Expr::bin(BinOp::And, Expr::Local(r), Expr::ConstInt(0xffff)),
+            });
+        }
+        f.body.push(Stmt::Return(Some(Expr::Local(r))));
+        f
+    }
+
+    /// Header-parser shape: reads fixed offsets (may fault on short input —
+    /// intentionally, see module docs), branches on magic values, and
+    /// occasionally aborts.
+    fn gen_parse(&mut self, lib: &mut Library, name: String, exported: bool) -> Function {
+        let mut f = Function {
+            name,
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![],
+            ret: Some(Ty::Int),
+            body: vec![],
+            exported,
+        };
+        let magic = self.gen_range(0, 256);
+        let guarded = self.rng.gen_bool(0.6);
+        let hdr = self.gen_range(2, 8);
+        if guarded {
+            f.body.push(Stmt::If {
+                cond: Expr::cmp(CmpOp::Lt, Expr::Param(1), Expr::ConstInt(hdr)),
+                then_body: vec![Stmt::Return(Some(Expr::ConstInt(-1)))],
+                else_body: vec![],
+            });
+        }
+        let v = f.add_local("v", Ty::Int);
+        // Fixed-offset header reads. Without the guard these fault on short
+        // buffers — the paper's crash-pruning behaviour.
+        f.body.push(Stmt::Let {
+            local: v,
+            value: Expr::load(Expr::Param(0), Expr::ConstInt(0)),
+        });
+        let v2 = f.add_local("v2", Ty::Int);
+        f.body.push(Stmt::Let {
+            local: v2,
+            value: Expr::load(Expr::Param(0), Expr::ConstInt(hdr - 1)),
+        });
+        let sid = lib.intern_string(format!("bad magic {magic}"));
+        let mut bad_arm = vec![Stmt::Expr(Expr::Call {
+            callee: "log_event".into(),
+            args: vec![Expr::Str(sid), Expr::Local(v)],
+        })];
+        if self.rng.gen_bool(0.2) {
+            bad_arm.push(Stmt::Abort);
+        } else {
+            bad_arm.push(Stmt::Return(Some(Expr::ConstInt(-2))));
+        }
+        f.body.push(Stmt::If {
+            cond: Expr::cmp(CmpOp::Ne, Expr::Local(v), Expr::ConstInt(magic)),
+            then_body: bad_arm,
+            else_body: vec![],
+        });
+        f.body.push(Stmt::Return(Some(Expr::bin(
+            BinOp::Or,
+            Expr::bin(BinOp::Shl, Expr::Local(v), Expr::ConstInt(8)),
+            Expr::Local(v2),
+        ))));
+        f
+    }
+}
+
+/// Generate a deterministic corpus of `n` libraries named
+/// `{prefix}{index}`, each with its own derived seed.
+pub fn libraries(seed: u64, prefix: &str, n: usize, config: &GenConfig) -> Vec<Library> {
+    (0..n)
+        .map(|i| {
+            let mut g = Generator::with_config(
+                seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64),
+                config.clone(),
+            );
+            g.library(&format!("{prefix}{i}"))
+        })
+        .collect()
+}
+
+#[allow(unused_mut)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visit;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Generator::new(42).library("libx");
+        let b = Generator::new(42).library("libx");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Generator::new(1).library("libx");
+        let b = Generator::new(2).library("libx");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn library_respects_size_bounds() {
+        let cfg = GenConfig { min_functions: 5, max_functions: 9, export_ratio: 1.0 };
+        for seed in 0..20 {
+            let lib = Generator::with_config(seed, cfg.clone()).library("lib");
+            assert!(lib.functions.len() >= 5 && lib.functions.len() <= 9);
+        }
+    }
+
+    #[test]
+    fn every_function_has_reachable_return_or_abort() {
+        // All templates end the main path with an explicit Return.
+        let lib = Generator::new(7).library_sized("lib", 40);
+        for f in &lib.functions {
+            let last = f.body.last().expect("non-empty body");
+            assert!(
+                matches!(last, Stmt::Return(_)),
+                "function {} must end with Return, got {last:?}",
+                f.name
+            );
+        }
+    }
+
+    #[test]
+    fn loops_have_positive_constant_steps() {
+        let lib = Generator::new(11).library_sized("lib", 60);
+        for f in &lib.functions {
+            visit::walk_stmts(&f.body, &mut |s| {
+                if let Stmt::For { step, .. } = s {
+                    match step {
+                        Expr::ConstInt(v) => assert!(*v > 0, "non-positive step in {}", f.name),
+                        other => panic!("non-constant step {other:?} in {}", f.name),
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn corpus_generation_is_deterministic_per_library() {
+        let cfg = GenConfig::default();
+        let a = libraries(99, "lib", 5, &cfg);
+        let b = libraries(99, "lib", 5, &cfg);
+        assert_eq!(a, b);
+        // And libraries with different indices differ from each other.
+        assert_ne!(a[0].functions, a[1].functions);
+    }
+
+    #[test]
+    fn template_mix_is_diverse() {
+        let lib = Generator::new(3).library_sized("lib", 80);
+        let names: Vec<&str> = lib.functions.iter().map(|f| f.name.as_str()).collect();
+        for t in ["scan", "transform", "reduce", "kernel"] {
+            assert!(
+                names.iter().any(|n| n.contains(t)),
+                "expected at least one {t} function in an 80-function library"
+            );
+        }
+    }
+
+    #[test]
+    fn wrappers_call_into_library() {
+        // In a large library at least one wrapper should call a previously
+        // generated sibling function (binary-defined call, dynamic feature 1).
+        let lib = Generator::new(5).library_sized("lib", 80);
+        let mut found = false;
+        for f in &lib.functions {
+            for callee in visit::callee_names(f) {
+                if lib.function(&callee).is_some() {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "expected at least one intra-library call");
+    }
+}

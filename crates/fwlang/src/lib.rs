@@ -1,0 +1,52 @@
+//! # fwlang — synthetic firmware source language
+//!
+//! The source-language substrate for the PATCHECKO reproduction. Real
+//! firmware libraries (the paper's `libstagefright` and friends) are not
+//! shippable, so this crate provides:
+//!
+//! * [`ast`] — a small imperative language with functions, buffers, loops,
+//!   library-routine calls (`memmove`, `malloc`, ...), and syscalls;
+//! * [`gen`] — a seeded random program generator producing whole libraries
+//!   with realistic shape diversity;
+//! * [`patch`] — the security-patch model (source-level edits ranging from
+//!   a single constant change to a full restructure);
+//! * [`pretty`] — a pseudo-C renderer for reports and the case-study
+//!   example;
+//! * [`visit`] — AST walkers and derived counters.
+//!
+//! Downstream, `fwbin` compiles these libraries to four synthetic ISAs at
+//! six optimization levels, producing the cross-platform binary variants
+//! that PATCHECKO's analyses operate on.
+//!
+//! ## Example
+//!
+//! ```
+//! use fwlang::gen::Generator;
+//! use fwlang::patch::Patch;
+//!
+//! let mut g = Generator::new(42);
+//! let lib = g.library("libdemo");
+//! assert!(!lib.functions.is_empty());
+//!
+//! // Patch the first function with a bounds guard.
+//! let vulnerable = &lib.functions[0];
+//! let patched = Patch::BoundsGuard { len_param: 1, min_len: 4, reject: Some(-1) }
+//!     .apply(vulnerable);
+//! assert_ne!(vulnerable.body, patched.body);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod gen;
+pub mod patch;
+pub mod pretty;
+pub mod visit;
+
+pub use ast::{
+    BinOp, CmpOp, Expr, Function, GlobalDef, GlobalId, Library, Local, LocalId, Param, ParamId,
+    Stmt, StrId, Ty,
+};
+pub use gen::{GenConfig, Generator};
+pub use patch::Patch;

@@ -1,0 +1,399 @@
+//! Security-patch model.
+//!
+//! A patch is a small, source-level edit to a vulnerable function — the
+//! paper's central observation is that "a patch typically introduces few
+//! changes to a vulnerable function", yet those changes range from a single
+//! integer constant (the CVE-2018-9470 case PATCHECKO misses) to a full
+//! restructuring of the function (the CVE-2017-13209 case where the
+//! vulnerable-basis search misses the patched target).
+//!
+//! Patches operate purely on the AST; the compiled vulnerable and patched
+//! binaries then differ exactly the way real pre-/post-patch builds differ.
+
+use crate::ast::{BinOp, CmpOp, Expr, Function, ParamId, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// A source-level security patch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Patch {
+    /// Insert an early-return bounds guard on a length parameter at the top
+    /// of the function: `if (len < min_len) return -1;`. Models the most
+    /// common out-of-bounds fix.
+    BoundsGuard {
+        /// The length parameter to validate.
+        len_param: ParamId,
+        /// Minimum accepted length.
+        min_len: i64,
+        /// Value to return when validation fails (`None` for void).
+        reject: Option<i64>,
+    },
+    /// Change the `occurrence`-th integer constant (in pre-order walk
+    /// order) by `delta`. Models one-integer fixes — feature-invisible by
+    /// design (the paper's single differential-engine miss).
+    ChangeConstant {
+        /// Zero-based index of the constant occurrence to edit.
+        occurrence: usize,
+        /// Amount added to the constant.
+        delta: i64,
+    },
+    /// Remove every statement-level call to `callee` (e.g. drop a
+    /// `memmove`), replacing each with the given statements. Models the
+    /// CVE-2018-9412 `removeUnsynchronization` patch shape, where the
+    /// `memmove` is removed and an index-rewrite takes its place.
+    ReplaceCall {
+        /// Name of the callee whose statement-level calls are removed.
+        callee: String,
+        /// Replacement statements (may be empty).
+        replacement: Vec<Stmt>,
+    },
+    /// Wrap the `occurrence`-th top-level statement in a validation
+    /// conditional: `if (cond) { stmt }`. Models "add one more if condition
+    /// for value checking".
+    GuardStmt {
+        /// Zero-based index of the top-level statement to guard.
+        occurrence: usize,
+        /// Guard condition; the statement only executes when it holds.
+        cond: Expr,
+    },
+    /// Heavy rewrite: negates and swaps conditional arms, adds a leading
+    /// validation block, and renumbers loop structure. Models patches that
+    /// make pre- and post-patch versions *dissimilar* even to the deep
+    /// learning model (the paper's CVE-2017-13209 / CVE-2018-9345
+    /// discussion).
+    Restructure {
+        /// Extra guard inserted at function entry.
+        min_len: i64,
+    },
+    /// Apply several patches in order.
+    Seq(Vec<Patch>),
+}
+
+impl Patch {
+    /// Apply the patch, producing the patched function. The input function
+    /// is not modified.
+    pub fn apply(&self, func: &Function) -> Function {
+        let mut out = func.clone();
+        match self {
+            Patch::BoundsGuard { len_param, min_len, reject } => {
+                let guard = Stmt::If {
+                    cond: Expr::cmp(CmpOp::Lt, Expr::Param(*len_param), Expr::ConstInt(*min_len)),
+                    then_body: vec![Stmt::Return(reject.map(Expr::ConstInt))],
+                    else_body: vec![],
+                };
+                out.body.insert(0, guard);
+            }
+            Patch::ChangeConstant { occurrence, delta } => {
+                let mut seen = 0usize;
+                change_constant(&mut out.body, *occurrence, *delta, &mut seen);
+            }
+            Patch::ReplaceCall { callee, replacement } => {
+                out.body = replace_call(&out.body, callee, replacement);
+            }
+            Patch::GuardStmt { occurrence, cond } => {
+                if *occurrence < out.body.len() {
+                    let stmt = out.body.remove(*occurrence);
+                    out.body.insert(
+                        *occurrence,
+                        Stmt::If { cond: cond.clone(), then_body: vec![stmt], else_body: vec![] },
+                    );
+                }
+            }
+            Patch::Restructure { min_len } => {
+                restructure(&mut out, *min_len);
+            }
+            Patch::Seq(ps) => {
+                for p in ps {
+                    out = p.apply(&out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable summary of the edit (used in reports).
+    pub fn summary(&self) -> String {
+        match self {
+            Patch::BoundsGuard { min_len, .. } => format!("add bounds guard (len >= {min_len})"),
+            Patch::ChangeConstant { occurrence, delta } => {
+                format!("change constant #{occurrence} by {delta:+}")
+            }
+            Patch::ReplaceCall { callee, replacement } => {
+                format!("remove {callee} call ({} replacement stmts)", replacement.len())
+            }
+            Patch::GuardStmt { occurrence, .. } => format!("guard statement #{occurrence}"),
+            Patch::Restructure { .. } => "restructure function".to_string(),
+            Patch::Seq(ps) => ps.iter().map(Patch::summary).collect::<Vec<_>>().join("; "),
+        }
+    }
+}
+
+fn change_constant(stmts: &mut [Stmt], target: usize, delta: i64, seen: &mut usize) {
+    for s in stmts {
+        change_constant_stmt(s, target, delta, seen);
+    }
+}
+
+fn change_constant_stmt(s: &mut Stmt, target: usize, delta: i64, seen: &mut usize) {
+    match s {
+        Stmt::Let { value, .. } | Stmt::SetGlobal { value, .. } => {
+            change_constant_expr(value, target, delta, seen)
+        }
+        Stmt::StoreByte { base, index, value } => {
+            change_constant_expr(base, target, delta, seen);
+            change_constant_expr(index, target, delta, seen);
+            change_constant_expr(value, target, delta, seen);
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            change_constant_expr(cond, target, delta, seen);
+            change_constant(then_body, target, delta, seen);
+            change_constant(else_body, target, delta, seen);
+        }
+        Stmt::While { cond, body } => {
+            change_constant_expr(cond, target, delta, seen);
+            change_constant(body, target, delta, seen);
+        }
+        Stmt::For { start, end, step, body, .. } => {
+            change_constant_expr(start, target, delta, seen);
+            change_constant_expr(end, target, delta, seen);
+            change_constant_expr(step, target, delta, seen);
+            change_constant(body, target, delta, seen);
+        }
+        Stmt::Expr(e) => change_constant_expr(e, target, delta, seen),
+        Stmt::Return(Some(e)) => change_constant_expr(e, target, delta, seen),
+        Stmt::Syscall { args, .. } => {
+            for a in args {
+                change_constant_expr(a, target, delta, seen);
+            }
+        }
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Abort => {}
+    }
+}
+
+fn change_constant_expr(e: &mut Expr, target: usize, delta: i64, seen: &mut usize) {
+    match e {
+        Expr::ConstInt(v) => {
+            if *seen == target {
+                *v += delta;
+            }
+            *seen += 1;
+        }
+        Expr::Bin(_, a, b) | Expr::FBin(_, a, b) | Expr::Cmp(_, a, b) => {
+            change_constant_expr(a, target, delta, seen);
+            change_constant_expr(b, target, delta, seen);
+        }
+        Expr::Not(a) | Expr::Neg(a) => change_constant_expr(a, target, delta, seen),
+        Expr::LoadByte { base, index } => {
+            change_constant_expr(base, target, delta, seen);
+            change_constant_expr(index, target, delta, seen);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                change_constant_expr(a, target, delta, seen);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn replace_call(stmts: &[Stmt], callee: &str, replacement: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Expr(Expr::Call { callee: c, .. }) if c == callee => {
+                out.extend(replacement.iter().cloned());
+            }
+            Stmt::If { cond, then_body, else_body } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_body: replace_call(then_body, callee, replacement),
+                else_body: replace_call(else_body, callee, replacement),
+            }),
+            Stmt::While { cond, body } => out.push(Stmt::While {
+                cond: cond.clone(),
+                body: replace_call(body, callee, replacement),
+            }),
+            Stmt::For { var, start, end, step, body } => out.push(Stmt::For {
+                var: *var,
+                start: start.clone(),
+                end: end.clone(),
+                step: step.clone(),
+                body: replace_call(body, callee, replacement),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+fn restructure(func: &mut Function, min_len: i64) {
+    // 1. Leading validation block on the conventional length parameter.
+    if let Some((_, len_param)) = func.buffer_param() {
+        func.body.insert(
+            0,
+            Stmt::If {
+                cond: Expr::cmp(CmpOp::Lt, Expr::Param(len_param), Expr::ConstInt(min_len)),
+                then_body: vec![Stmt::Return(func.ret.map(|_| Expr::ConstInt(-1)))],
+                else_body: vec![],
+            },
+        );
+    }
+    // 2. Negate every two-armed conditional and swap its arms, and add a
+    //    progress accumulator to every loop — structurally different CFG,
+    //    same externally visible intent.
+    let counter = func.add_local("patch_ctr", crate::ast::Ty::Int);
+    func.body.insert(0, Stmt::Let { local: counter, value: Expr::ConstInt(0) });
+    restructure_stmts(&mut func.body, counter);
+}
+
+fn restructure_stmts(stmts: &mut Vec<Stmt>, counter: u32) {
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::If { cond, then_body, else_body } if !else_body.is_empty() => {
+                *cond = Expr::Not(Box::new(cond.clone()));
+                std::mem::swap(then_body, else_body);
+                restructure_stmts(then_body, counter);
+                restructure_stmts(else_body, counter);
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                restructure_stmts(then_body, counter);
+                restructure_stmts(else_body, counter);
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                body.push(Stmt::Let {
+                    local: counter,
+                    value: Expr::bin(BinOp::Add, Expr::Local(counter), Expr::ConstInt(1)),
+                });
+                restructure_stmts(body, counter);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Local, Param, Ty};
+    use crate::visit;
+
+    fn base() -> Function {
+        Function {
+            name: "f".into(),
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![Local { name: "i".into(), ty: Ty::Int }],
+            ret: Some(Ty::Int),
+            body: vec![
+                Stmt::For {
+                    var: 0,
+                    start: Expr::ConstInt(0),
+                    end: Expr::Param(1),
+                    step: Expr::ConstInt(1),
+                    body: vec![Stmt::Expr(Expr::Call {
+                        callee: "memmove".into(),
+                        args: vec![Expr::Param(0), Expr::Param(0), Expr::ConstInt(2)],
+                    })],
+                },
+                Stmt::Return(Some(Expr::ConstInt(7))),
+            ],
+            exported: true,
+        }
+    }
+
+    #[test]
+    fn bounds_guard_prepends_if() {
+        let f = base();
+        let p = Patch::BoundsGuard { len_param: 1, min_len: 4, reject: Some(-1) };
+        let g = p.apply(&f);
+        assert_eq!(g.body.len(), f.body.len() + 1);
+        assert!(matches!(&g.body[0], Stmt::If { .. }));
+        // Original untouched.
+        assert_eq!(f.body.len(), 2);
+    }
+
+    #[test]
+    fn change_constant_edits_exactly_one_occurrence() {
+        let f = base();
+        // Pre-order constants: 0 (start), 1 (step), 2 (memmove arg), 7 (ret).
+        let p = Patch::ChangeConstant { occurrence: 3, delta: 10 };
+        let g = p.apply(&f);
+        let before = visit::int_constants(&f);
+        let after = visit::int_constants(&g);
+        assert!(before.contains(&7) && !after.contains(&7));
+        assert!(after.contains(&17));
+        assert_eq!(before.len(), after.len());
+    }
+
+    #[test]
+    fn replace_call_removes_nested_call() {
+        let f = base();
+        let p = Patch::ReplaceCall { callee: "memmove".into(), replacement: vec![] };
+        let g = p.apply(&f);
+        assert!(visit::callee_names(&g).is_empty());
+        assert!(visit::callee_names(&f).contains(&"memmove".to_string()));
+    }
+
+    #[test]
+    fn replace_call_inserts_replacement() {
+        let f = base();
+        let repl = vec![Stmt::Let { local: 0, value: Expr::ConstInt(99) }];
+        let p = Patch::ReplaceCall { callee: "memmove".into(), replacement: repl };
+        let g = p.apply(&f);
+        let mut found = false;
+        visit::walk_stmts(&g.body, &mut |s| {
+            if matches!(s, Stmt::Let { value: Expr::ConstInt(99), .. }) {
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn restructure_changes_shape_substantially() {
+        let f = base();
+        let p = Patch::Restructure { min_len: 2 };
+        let g = p.apply(&f);
+        assert!(visit::stmt_count(&g) > visit::stmt_count(&f) + 1);
+        assert_eq!(g.locals.len(), f.locals.len() + 1);
+    }
+
+    #[test]
+    fn seq_applies_in_order() {
+        let f = base();
+        let p = Patch::Seq(vec![
+            Patch::BoundsGuard { len_param: 1, min_len: 4, reject: Some(-1) },
+            Patch::ReplaceCall { callee: "memmove".into(), replacement: vec![] },
+        ]);
+        let g = p.apply(&f);
+        assert!(matches!(&g.body[0], Stmt::If { .. }));
+        assert!(visit::callee_names(&g).is_empty());
+    }
+
+    #[test]
+    fn guard_stmt_wraps_target() {
+        let f = base();
+        let p = Patch::GuardStmt {
+            occurrence: 0,
+            cond: Expr::cmp(CmpOp::Gt, Expr::Param(1), Expr::ConstInt(1)),
+        };
+        let g = p.apply(&f);
+        match &g.body[0] {
+            Stmt::If { then_body, .. } => assert!(matches!(then_body[0], Stmt::For { .. })),
+            other => panic!("expected guard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn summaries_are_nonempty() {
+        let ps = [
+            Patch::BoundsGuard { len_param: 1, min_len: 4, reject: None },
+            Patch::ChangeConstant { occurrence: 0, delta: 1 },
+            Patch::ReplaceCall { callee: "memmove".into(), replacement: vec![] },
+            Patch::Restructure { min_len: 1 },
+        ];
+        for p in ps {
+            assert!(!p.summary().is_empty());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Pseudo-C pretty printer for source functions, used by examples and
+//! reports (the paper's Figure 6 shows vulnerable/patched source side by
+//! side; our case-study example renders the same view).
+
+use crate::ast::{BinOp, CmpOp, Expr, Function, Stmt};
+use std::fmt::Write;
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+    }
+}
+
+fn cmpop_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+/// Render an expression.
+pub fn expr(e: &Expr, f: &Function) -> String {
+    match e {
+        Expr::ConstInt(v) => {
+            if *v >= 0x20 && *v < 0x7f && *v > 9 {
+                format!("0x{v:x}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::ConstFloat(v) => format!("{v:.3}"),
+        Expr::Str(id) => format!("str_{id}"),
+        Expr::Local(id) => f
+            .locals
+            .get(*id as usize)
+            .map(|l| l.name.clone())
+            .unwrap_or_else(|| format!("l{id}")),
+        Expr::Param(id) => f
+            .params
+            .get(*id as usize)
+            .map(|p| p.name.clone())
+            .unwrap_or_else(|| format!("p{id}")),
+        Expr::Global(id) => format!("g{id}"),
+        Expr::Bin(op, a, b) => format!("({} {} {})", expr(a, f), binop_str(*op), expr(b, f)),
+        Expr::FBin(op, a, b) => format!("({} {}f {})", expr(a, f), binop_str(*op), expr(b, f)),
+        Expr::Cmp(op, a, b) => format!("({} {} {})", expr(a, f), cmpop_str(*op), expr(b, f)),
+        Expr::Not(a) => format!("!{}", expr(a, f)),
+        Expr::Neg(a) => format!("-{}", expr(a, f)),
+        Expr::LoadByte { base, index } => format!("{}[{}]", expr(base, f), expr(index, f)),
+        Expr::Call { callee, args } => {
+            let a: Vec<String> = args.iter().map(|x| expr(x, f)).collect();
+            format!("{callee}({})", a.join(", "))
+        }
+    }
+}
+
+fn stmts(body: &[Stmt], f: &Function, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    for s in body {
+        match s {
+            Stmt::Let { local, value } => {
+                let name = f
+                    .locals
+                    .get(*local as usize)
+                    .map(|l| l.name.clone())
+                    .unwrap_or_else(|| format!("l{local}"));
+                let _ = writeln!(out, "{pad}{name} = {};", expr(value, f));
+            }
+            Stmt::SetGlobal { global, value } => {
+                let _ = writeln!(out, "{pad}g{global} = {};", expr(value, f));
+            }
+            Stmt::StoreByte { base, index, value } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{}[{}] = {};",
+                    expr(base, f),
+                    expr(index, f),
+                    expr(value, f)
+                );
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let _ = writeln!(out, "{pad}if {} {{", expr(cond, f));
+                stmts(then_body, f, indent + 1, out);
+                if else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    stmts(else_body, f, indent + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            Stmt::While { cond, body } => {
+                let _ = writeln!(out, "{pad}while {} {{", expr(cond, f));
+                stmts(body, f, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::For { var, start, end, step, body } => {
+                let v = f
+                    .locals
+                    .get(*var as usize)
+                    .map(|l| l.name.clone())
+                    .unwrap_or_else(|| format!("l{var}"));
+                let _ = writeln!(
+                    out,
+                    "{pad}for ({v} = {}; {v} < {}; {v} += {}) {{",
+                    expr(start, f),
+                    expr(end, f),
+                    expr(step, f)
+                );
+                stmts(body, f, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Expr(e) => {
+                let _ = writeln!(out, "{pad}{};", expr(e, f));
+            }
+            Stmt::Return(Some(e)) => {
+                let _ = writeln!(out, "{pad}return {};", expr(e, f));
+            }
+            Stmt::Return(None) => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+            Stmt::Break => {
+                let _ = writeln!(out, "{pad}break;");
+            }
+            Stmt::Continue => {
+                let _ = writeln!(out, "{pad}continue;");
+            }
+            Stmt::Syscall { num, args } => {
+                let a: Vec<String> = args.iter().map(|x| expr(x, f)).collect();
+                let _ = writeln!(out, "{pad}syscall_{num}({});", a.join(", "));
+            }
+            Stmt::Abort => {
+                let _ = writeln!(out, "{pad}abort();");
+            }
+        }
+    }
+}
+
+/// Render a whole function as pseudo-C.
+pub fn function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{} {}", match p.ty {
+            crate::ast::Ty::Int => "int",
+            crate::ast::Ty::Float => "float",
+            crate::ast::Ty::Buf => "u8*",
+        }, p.name))
+        .collect();
+    let ret = match f.ret {
+        Some(crate::ast::Ty::Int) => "int",
+        Some(crate::ast::Ty::Float) => "float",
+        Some(crate::ast::Ty::Buf) => "u8*",
+        None => "void",
+    };
+    let _ = writeln!(out, "{ret} {}({}) {{", f.name, params.join(", "));
+    stmts(&f.body, f, 1, &mut out);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Param, Ty};
+
+    #[test]
+    fn renders_function_with_loop_and_call() {
+        let f = Function {
+            name: "demo".into(),
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![crate::ast::Local { name: "i".into(), ty: Ty::Int }],
+            ret: Some(Ty::Int),
+            body: vec![
+                Stmt::For {
+                    var: 0,
+                    start: Expr::ConstInt(0),
+                    end: Expr::Param(1),
+                    step: Expr::ConstInt(1),
+                    body: vec![Stmt::Expr(Expr::Call {
+                        callee: "memmove".into(),
+                        args: vec![Expr::Param(0), Expr::Param(0), Expr::Local(0)],
+                    })],
+                },
+                Stmt::Return(Some(Expr::ConstInt(0))),
+            ],
+            exported: true,
+        };
+        let text = function(&f);
+        assert!(text.contains("int demo(u8* data, int len)"));
+        assert!(text.contains("for (i = 0; i < len; i += 1)"));
+        assert!(text.contains("memmove(data, data, i);"));
+        assert!(text.contains("return 0;"));
+    }
+}

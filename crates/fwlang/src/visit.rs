@@ -1,0 +1,198 @@
+//! Traversal utilities over the AST: expression/statement walkers and the
+//! derived counters used by tests and by the patch model.
+
+use crate::ast::{Expr, Function, Stmt};
+
+/// Walk every expression in `stmts` (pre-order), including nested
+/// sub-expressions, invoking `f` on each.
+pub fn walk_exprs<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
+    for s in stmts {
+        walk_stmt_exprs(s, f);
+    }
+}
+
+fn walk_stmt_exprs<'a>(s: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    match s {
+        Stmt::Let { value, .. } => walk_expr(value, f),
+        Stmt::SetGlobal { value, .. } => walk_expr(value, f),
+        Stmt::StoreByte { base, index, value } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+            walk_expr(value, f);
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            walk_expr(cond, f);
+            walk_exprs(then_body, f);
+            walk_exprs(else_body, f);
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_exprs(body, f);
+        }
+        Stmt::For { start, end, step, body, .. } => {
+            walk_expr(start, f);
+            walk_expr(end, f);
+            walk_expr(step, f);
+            walk_exprs(body, f);
+        }
+        Stmt::Expr(e) => walk_expr(e, f),
+        Stmt::Return(Some(e)) => walk_expr(e, f),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Abort => {}
+        Stmt::Syscall { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+    }
+}
+
+/// Walk `e` and all sub-expressions (pre-order).
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Bin(_, a, b) | Expr::FBin(_, a, b) | Expr::Cmp(_, a, b) => {
+            walk_expr(a, f);
+            walk_expr(b, f);
+        }
+        Expr::Not(a) | Expr::Neg(a) => walk_expr(a, f),
+        Expr::LoadByte { base, index } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::ConstInt(_)
+        | Expr::ConstFloat(_)
+        | Expr::Str(_)
+        | Expr::Local(_)
+        | Expr::Param(_)
+        | Expr::Global(_) => {}
+    }
+}
+
+/// Walk every statement in `stmts` (pre-order, descending into bodies).
+pub fn walk_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If { then_body, else_body, .. } => {
+                walk_stmts(then_body, f);
+                walk_stmts(else_body, f);
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => walk_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Names of all callees (library routines and intra-library functions)
+/// invoked anywhere in the function, in first-occurrence order, deduplicated.
+pub fn callee_names(func: &Function) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    walk_exprs(&func.body, &mut |e| {
+        if let Expr::Call { callee, .. } = e {
+            if !out.iter().any(|c| c == callee) {
+                out.push(callee.clone());
+            }
+        }
+    });
+    out
+}
+
+/// Count of statements in the function (recursively).
+pub fn stmt_count(func: &Function) -> usize {
+    let mut n = 0;
+    walk_stmts(&func.body, &mut |_| n += 1);
+    n
+}
+
+/// Count of loop statements (`While` + `For`) in the function.
+pub fn loop_count(func: &Function) -> usize {
+    let mut n = 0;
+    walk_stmts(&func.body, &mut |s| {
+        if matches!(s, Stmt::While { .. } | Stmt::For { .. }) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// All distinct integer constants appearing in the function.
+pub fn int_constants(func: &Function) -> Vec<i64> {
+    let mut out: Vec<i64> = Vec::new();
+    walk_exprs(&func.body, &mut |e| {
+        if let Expr::ConstInt(v) = e {
+            if !out.contains(v) {
+                out.push(*v);
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn sample() -> Function {
+        Function {
+            name: "s".into(),
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+            ],
+            locals: vec![Local { name: "i".into(), ty: Ty::Int }],
+            ret: Some(Ty::Int),
+            body: vec![
+                Stmt::For {
+                    var: 0,
+                    start: Expr::ConstInt(0),
+                    end: Expr::Param(1),
+                    step: Expr::ConstInt(1),
+                    body: vec![Stmt::If {
+                        cond: Expr::cmp(
+                            CmpOp::Eq,
+                            Expr::load(Expr::Param(0), Expr::Local(0)),
+                            Expr::ConstInt(0xff),
+                        ),
+                        then_body: vec![Stmt::Expr(Expr::Call {
+                            callee: "memmove".into(),
+                            args: vec![Expr::Param(0), Expr::Param(0), Expr::ConstInt(4)],
+                        })],
+                        else_body: vec![],
+                    }],
+                },
+                Stmt::Return(Some(Expr::ConstInt(0))),
+            ],
+            exported: true,
+        }
+    }
+
+    #[test]
+    fn counts_callees_once() {
+        let f = sample();
+        assert_eq!(callee_names(&f), vec!["memmove".to_string()]);
+    }
+
+    #[test]
+    fn counts_statements_recursively() {
+        let f = sample();
+        // For, If, Expr(call), Return
+        assert_eq!(stmt_count(&f), 4);
+        assert_eq!(loop_count(&f), 1);
+    }
+
+    #[test]
+    fn collects_distinct_constants() {
+        let f = sample();
+        let consts = int_constants(&f);
+        assert!(consts.contains(&0));
+        assert!(consts.contains(&1));
+        assert!(consts.contains(&0xff));
+        assert!(consts.contains(&4));
+    }
+}

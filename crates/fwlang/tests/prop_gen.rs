@@ -1,0 +1,107 @@
+//! Property tests for the program generator and patch model.
+
+use fwlang::ast::{Expr, Stmt};
+use fwlang::gen::{GenConfig, Generator};
+use fwlang::patch::Patch;
+use fwlang::visit;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Generation is a pure function of the seed.
+    #[test]
+    fn generation_deterministic(seed in any::<u64>()) {
+        let a = Generator::new(seed).library("lib");
+        let b = Generator::new(seed).library("lib");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every generated function terminates structurally: all `For` steps
+    /// are positive constants and all `While` loops contain an assignment
+    /// to some local (progress) or a `Break`.
+    #[test]
+    fn loops_are_well_formed(seed in any::<u64>(), n in 1usize..30) {
+        let lib = Generator::with_config(
+            seed,
+            GenConfig { min_functions: 1, max_functions: 1, export_ratio: 1.0 },
+        )
+        .library_sized("lib", n);
+        for f in &lib.functions {
+            visit::walk_stmts(&f.body, &mut |s| match s {
+                Stmt::For { step, .. } => {
+                    assert!(matches!(step, Expr::ConstInt(k) if *k > 0), "{}", f.name);
+                }
+                Stmt::While { body, .. } => {
+                    let mut has_progress = false;
+                    visit::walk_stmts(body, &mut |inner| {
+                        if matches!(inner, Stmt::Let { .. } | Stmt::Break) {
+                            has_progress = true;
+                        }
+                    });
+                    assert!(has_progress, "while loop without progress in {}", f.name);
+                }
+                _ => {}
+            });
+        }
+    }
+
+    /// Callee references are always resolvable: a library routine or a
+    /// sibling function of the same library.
+    #[test]
+    fn callees_resolve(seed in any::<u64>(), n in 1usize..25) {
+        let lib = Generator::new(seed).library_sized("lib", n);
+        for f in &lib.functions {
+            for callee in visit::callee_names(f) {
+                prop_assert!(
+                    fwlang::ast::is_library_routine(&callee) || lib.function(&callee).is_some(),
+                    "unresolvable callee {} in {}",
+                    callee,
+                    f.name
+                );
+            }
+        }
+    }
+
+    /// String references always index into the library's string pool.
+    #[test]
+    fn string_refs_in_bounds(seed in any::<u64>()) {
+        let lib = Generator::new(seed).library_sized("lib", 12);
+        for f in &lib.functions {
+            visit::walk_exprs(&f.body, &mut |e| {
+                if let Expr::Str(sid) = e {
+                    assert!((*sid as usize) < lib.strings.len());
+                }
+            });
+        }
+    }
+
+    /// A bounds-guard patch is idempotent in effect: applying it twice
+    /// yields a double guard but never changes the original statements'
+    /// relative order.
+    #[test]
+    fn bounds_guard_preserves_core(seed in any::<u64>(), min_len in 1i64..32) {
+        let mut lib = fwlang::Library::new("lib");
+        let f = Generator::new(seed).any_function(&mut lib, "f");
+        let patch = Patch::BoundsGuard { len_param: 1, min_len, reject: Some(-1) };
+        let g = patch.apply(&f);
+        prop_assert_eq!(g.body.len(), f.body.len() + 1);
+        prop_assert_eq!(&g.body[1..], &f.body[..]);
+    }
+
+    /// ChangeConstant alters at most one constant occurrence and keeps the
+    /// statement structure identical.
+    #[test]
+    fn change_constant_is_minimal(seed in any::<u64>(), occ in 0usize..8) {
+        let mut lib = fwlang::Library::new("lib");
+        let f = Generator::new(seed).any_function(&mut lib, "f");
+        let patch = Patch::ChangeConstant { occurrence: occ, delta: 1 };
+        let g = patch.apply(&f);
+        prop_assert_eq!(visit::stmt_count(&f), visit::stmt_count(&g));
+        // The sets of constants differ by at most one element.
+        let cf = visit::int_constants(&f);
+        let cg = visit::int_constants(&g);
+        let diff = cf.iter().filter(|c| !cg.contains(c)).count();
+        prop_assert!(diff <= 1);
+    }
+}

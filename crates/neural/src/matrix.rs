@@ -1,0 +1,259 @@
+//! Dense row-major `f32` matrices with the handful of operations a
+//! feed-forward network needs. Large multiplications parallelize over row
+//! chunks with crossbeam scoped threads (deterministic: rows are
+//! independent).
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Row count above which `matmul` fans out across threads.
+const PAR_THRESHOLD_FLOPS: usize = 1 << 22;
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of a row.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of a row.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat data access.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable data access.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Gather the given rows into a new matrix (minibatch assembly).
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// `self * other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let flops = self.rows * self.cols * other.cols;
+        if flops >= PAR_THRESHOLD_FLOPS && self.rows >= 8 {
+            let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let chunk = self.rows.div_ceil(n_threads).max(1);
+            let cols = self.cols;
+            let ocols = other.cols;
+            crossbeam::thread::scope(|s| {
+                for (t, out_chunk) in out.data.chunks_mut(chunk * ocols).enumerate() {
+                    let a = &self.data;
+                    let b = &other.data;
+                    s.spawn(move |_| {
+                        let row0 = t * chunk;
+                        for (local_r, orow) in out_chunk.chunks_mut(ocols).enumerate() {
+                            let r = row0 + local_r;
+                            for k in 0..cols {
+                                let av = a[r * cols + k];
+                                if av == 0.0 {
+                                    continue;
+                                }
+                                let brow = &b[k * ocols..(k + 1) * ocols];
+                                for (o, &bv) in orow.iter_mut().zip(brow) {
+                                    *o += av * bv;
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("matmul worker panicked");
+        } else {
+            for r in 0..self.rows {
+                for k in 0..self.cols {
+                    let av = self.data[r * self.cols + k];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                    let orow = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let av = self.data[r * self.cols + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[r * other.cols..(r + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+            for j in 0..other.rows {
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut acc = 0.0;
+                for (a, b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.data[r * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Add `other` scaled by `alpha` in place.
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.data.len(), other.data.len(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.t_matmul(&b);
+        // a^T (2x3) * b (3x2) = 2x2
+        let at = Matrix::from_fn(2, 3, |r, c2| a.get(c2, r));
+        let expect = at.matmul(&b);
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
+        let c = a.matmul_t(&b);
+        let bt = Matrix::from_fn(3, 4, |r, c2| b.get(c2, r));
+        assert_eq!(c, a.matmul(&bt));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        // Force both paths with a matrix above/below the threshold.
+        let a = Matrix::from_fn(512, 256, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(256, 64, |r, c| ((r * 17 + c * 3) % 11) as f32 - 5.0);
+        let big = a.matmul(&b);
+        // Serial reference.
+        let mut refm = Matrix::zeros(512, 64);
+        for r in 0..512 {
+            for k in 0..256 {
+                for c in 0..64 {
+                    refm.set(r, c, refm.get(r, c) + a.get(r, k) * b.get(k, c));
+                }
+            }
+        }
+        assert_eq!(big, refm);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let g = a.gather_rows(&[2, 0]);
+        assert_eq!(g.as_slice(), &[5., 6., 1., 2.]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Classification metrics: accuracy, AUC, confusion counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions on the correct side of `threshold`.
+pub fn accuracy(probs: &[f32], labels: &[f32], threshold: f32) -> f32 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let correct = probs
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| (**p >= threshold) == (**y >= 0.5))
+        .count();
+    correct as f32 / probs.len() as f32
+}
+
+/// Area under the ROC curve via the Mann–Whitney U statistic, with tie
+/// correction. Returns 0.5 when one class is absent.
+pub fn auc(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    let mut pairs: Vec<(f32, bool)> =
+        probs.iter().zip(labels).map(|(p, y)| (*p, *y >= 0.5)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let n_pos = pairs.iter().filter(|(_, y)| *y).count();
+    let n_neg = pairs.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Average ranks over ties.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i;
+        while j + 1 < pairs.len() && pairs[j + 1].0 == pairs[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for p in &pairs[i..=j] {
+            if p.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos as f64 * (n_pos as f64 + 1.0)) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Confusion-matrix counts at a threshold (the TP/TN/FP/FN columns of the
+/// paper's Tables VI and VII).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u32,
+    /// True negatives.
+    pub tn: u32,
+    /// False positives.
+    pub fp: u32,
+    /// False negatives.
+    pub fn_: u32,
+}
+
+impl Confusion {
+    /// Tally predictions against labels at `threshold`.
+    pub fn from_predictions(probs: &[f32], labels: &[f32], threshold: f32) -> Confusion {
+        let mut c = Confusion::default();
+        for (p, y) in probs.iter().zip(labels) {
+            match (*p >= threshold, *y >= 0.5) {
+                (true, true) => c.tp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> u32 {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// False-positive rate in percent (Fig. 7 / Tables VI-VII "FP(%)"),
+    /// computed as FP over all samples as the paper's tables do.
+    pub fn fp_percent(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        100.0 * self.fp as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_correct_side() {
+        let p = [0.9, 0.1, 0.6, 0.4];
+        let y = [1.0, 0.0, 0.0, 1.0];
+        assert_eq!(accuracy(&p, &y, 0.5), 0.5);
+    }
+
+    #[test]
+    fn auc_perfect_separation_is_one() {
+        let p = [0.1, 0.2, 0.8, 0.9];
+        let y = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&p, &y), 1.0);
+    }
+
+    #[test]
+    fn auc_reversed_is_zero() {
+        let p = [0.9, 0.8, 0.2, 0.1];
+        let y = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&p, &y), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let p = [0.5, 0.5, 0.5, 0.5];
+        let y = [0.0, 1.0, 0.0, 1.0];
+        assert_eq!(auc(&p, &y), 0.5);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn confusion_tallies() {
+        let p = [0.9, 0.1, 0.6, 0.4];
+        let y = [1.0, 0.0, 0.0, 1.0];
+        let c = Confusion::from_predictions(&p, &y, 0.5);
+        assert_eq!(c, Confusion { tp: 1, tn: 1, fp: 1, fn_: 1 });
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.fp_percent(), 25.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the matrix substrate: the fast GEMM paths agree with
+//! a naive reference implementation, and linear-algebra laws hold within
+//! floating-point tolerance.
+
+use neural::matrix::Matrix;
+use proptest::prelude::*;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for r in 0..a.rows() {
+        for k in 0..a.cols() {
+            for c in 0..b.cols() {
+                out.set(r, c, out.get(r, c) + a.get(r, k) * b.get(k, c));
+            }
+        }
+    }
+    out
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!((x - y).abs() <= tol, "{x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn matmul_matches_naive(
+        a in matrix_strategy(7, 5),
+        b in matrix_strategy(5, 9),
+    ) {
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn t_matmul_matches_transpose(
+        a in matrix_strategy(6, 4),
+        b in matrix_strategy(6, 3),
+    ) {
+        let at = Matrix::from_fn(4, 6, |r, c| a.get(c, r));
+        assert_close(&a.t_matmul(&b), &naive_matmul(&at, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_t_matches_transpose(
+        a in matrix_strategy(5, 6),
+        b in matrix_strategy(8, 6),
+    ) {
+        let bt = Matrix::from_fn(6, 8, |r, c| b.get(c, r));
+        assert_close(&a.matmul_t(&b), &naive_matmul(&a, &bt), 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in matrix_strategy(4, 4),
+        b in matrix_strategy(4, 4),
+        c in matrix_strategy(4, 4),
+    ) {
+        // A(B + C) == AB + AC
+        let mut bc = b.clone();
+        bc.add_scaled(&c, 1.0);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_scaled(&a.matmul(&c), 1.0);
+        assert_close(&lhs, &rhs, 1e-3);
+    }
+
+    #[test]
+    fn gather_rows_picks_rows(
+        a in matrix_strategy(9, 3),
+        idx in proptest::collection::vec(0usize..9, 0..12),
+    ) {
+        let g = a.gather_rows(&idx);
+        prop_assert_eq!(g.rows(), idx.len());
+        for (i, &r) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(i), a.row(r));
+        }
+    }
+}
+
+#[test]
+fn auc_is_threshold_free() {
+    // Monotone transformation of scores leaves AUC unchanged.
+    let probs = [0.1f32, 0.4, 0.35, 0.8, 0.65, 0.9];
+    let labels = [0.0f32, 0.0, 1.0, 1.0, 0.0, 1.0];
+    let a1 = neural::auc(&probs, &labels);
+    let squashed: Vec<f32> = probs.iter().map(|p| p * p).collect();
+    let a2 = neural::auc(&squashed, &labels);
+    assert!((a1 - a2).abs() < 1e-12);
+}

@@ -1,0 +1,71 @@
+//! Execution environments: the fixed `(input, arguments, globals)` states
+//! a function is run under. "PATCHECKO will use multiple fixed execution
+//! environments associated with different inputs for target functions"
+//! (§III-B); environments are produced by the fuzzer and replayed against
+//! every candidate function.
+
+use crate::value::{Addr, Region, Value};
+use serde::{Deserialize, Serialize};
+
+/// One positional argument of an environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArgSpec {
+    /// Pointer to offset 0 of the environment's input buffer.
+    InputPtr,
+    /// A concrete integer.
+    Int(i64),
+    /// A concrete float.
+    Float(f64),
+}
+
+/// A fixed execution environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecEnv {
+    /// The anonymous-region input buffer (mutable during the run).
+    pub input: Vec<u8>,
+    /// Positional argument values. Candidates with more parameters receive
+    /// zeros for the surplus; extra values are ignored — the paper applies
+    /// the same inputs to every candidate regardless of signature.
+    pub args: Vec<ArgSpec>,
+    /// Per-run global-variable overrides ("we manually choose concrete
+    /// initial values for different global variables").
+    pub global_overrides: Vec<(u32, i64)>,
+}
+
+impl ExecEnv {
+    /// Environment for the `(buf, len, extras...)` calling convention most
+    /// library functions use: first argument points at `input`, second is
+    /// its length, and `extras` follow as integers.
+    pub fn for_buffer(input: Vec<u8>, extras: &[i64]) -> ExecEnv {
+        let mut args = vec![ArgSpec::InputPtr, ArgSpec::Int(input.len() as i64)];
+        args.extend(extras.iter().map(|&v| ArgSpec::Int(v)));
+        ExecEnv { input, args, global_overrides: Vec::new() }
+    }
+
+    /// Materialize the argument list as runtime values.
+    pub fn arg_values(&self) -> Vec<Value> {
+        self.args
+            .iter()
+            .map(|a| match a {
+                ArgSpec::InputPtr => Value::Ptr(Addr { region: Region::Anon, offset: 0 }),
+                ArgSpec::Int(v) => Value::Int(*v),
+                ArgSpec::Float(v) => Value::Float(*v),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_env_shape() {
+        let env = ExecEnv::for_buffer(vec![1, 2, 3], &[7]);
+        assert_eq!(env.args.len(), 3);
+        let vals = env.arg_values();
+        assert!(matches!(vals[0], Value::Ptr(Addr { region: Region::Anon, offset: 0 })));
+        assert_eq!(vals[1], Value::Int(3));
+        assert_eq!(vals[2], Value::Int(7));
+    }
+}

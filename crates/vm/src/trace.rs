@@ -1,0 +1,255 @@
+//! Dynamic feature tracing — the paper's Table II, all 21 features.
+//!
+//! The tracer is owned by the VM and updated on every executed
+//! instruction, memory access, call, and syscall; at the end of a run it
+//! condenses into a fixed-length [`DynFeatures`] vector, the object the
+//! Minkowski similarity of §III-C is computed over.
+
+use crate::value::Region;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of dynamic features (Table II).
+pub const NUM_DYN_FEATURES: usize = 21;
+
+/// Names of the 21 dynamic features, indexable by feature number - 1.
+pub const DYN_FEATURE_NAMES: [&str; NUM_DYN_FEATURES] = [
+    "binary_defined_fun_call_num",
+    "min_stack_depth",
+    "max_stack_depth",
+    "avg_stack_depth",
+    "std_stack_depth",
+    "instruction_num",
+    "unique_instruction_num",
+    "call_instruction_num",
+    "arithmetic_instruction_num",
+    "branch_instruction_num",
+    "load_instruction_num",
+    "store_instruction_num",
+    "max_branch_frequency",
+    "max_arith_frequency",
+    "mem_heap_access",
+    "mem_stack_access",
+    "mem_lib_access",
+    "mem_anon_access",
+    "mem_others_access",
+    "library_call_num",
+    "syscall_num",
+];
+
+/// The condensed dynamic feature vector of one function execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynFeatures(pub [f64; NUM_DYN_FEATURES]);
+
+impl DynFeatures {
+    /// Feature by 1-based Table II index.
+    pub fn feature(&self, table2_index: usize) -> f64 {
+        self.0[table2_index - 1]
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+/// Live trace state collected during execution.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// F1: calls to functions defined in the same binary.
+    pub binary_calls: u64,
+    /// F6: executed instruction count.
+    pub instructions: u64,
+    /// F7: distinct (function, pc) pairs executed.
+    unique_pcs: HashMap<(u32, u32), u32>,
+    /// F8.
+    pub call_instructions: u64,
+    /// F9.
+    pub arith_instructions: u64,
+    /// F10.
+    pub branch_instructions: u64,
+    /// F11.
+    pub load_instructions: u64,
+    /// F12.
+    pub store_instructions: u64,
+    /// Per-site execution counts of branch instructions (F13 = max).
+    branch_freq: HashMap<(u32, u32), u64>,
+    /// Per-site execution counts of arithmetic instructions (F14 = max).
+    arith_freq: HashMap<(u32, u32), u64>,
+    /// F15–F19 region access counts.
+    region_access: [u64; 5],
+    /// F20.
+    pub library_calls: u64,
+    /// F21.
+    pub syscalls: u64,
+    // Stack-depth accumulators (frames; sampled per executed instruction).
+    depth_min: u64,
+    depth_max: u64,
+    depth_sum: f64,
+    depth_sumsq: f64,
+    depth_samples: u64,
+}
+
+impl Trace {
+    /// Fresh empty trace.
+    pub fn new() -> Trace {
+        Trace { depth_min: u64::MAX, ..Trace::default() }
+    }
+
+    /// Record one executed instruction at `(func, pc)` with the current
+    /// call-stack depth and its classification flags.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_inst(
+        &mut self,
+        func: u32,
+        pc: u32,
+        depth: u64,
+        is_arith: bool,
+        is_branch: bool,
+        is_call: bool,
+        is_load: bool,
+        is_store: bool,
+    ) {
+        self.instructions += 1;
+        *self.unique_pcs.entry((func, pc)).or_insert(0) += 1;
+        if is_arith {
+            self.arith_instructions += 1;
+            *self.arith_freq.entry((func, pc)).or_insert(0) += 1;
+        }
+        if is_branch {
+            self.branch_instructions += 1;
+            *self.branch_freq.entry((func, pc)).or_insert(0) += 1;
+        }
+        if is_call {
+            self.call_instructions += 1;
+        }
+        if is_load {
+            self.load_instructions += 1;
+        }
+        if is_store {
+            self.store_instructions += 1;
+        }
+        self.depth_min = self.depth_min.min(depth);
+        self.depth_max = self.depth_max.max(depth);
+        self.depth_sum += depth as f64;
+        self.depth_sumsq += (depth * depth) as f64;
+        self.depth_samples += 1;
+    }
+
+    /// Record a memory access in `region`.
+    pub fn record_access(&mut self, region: Region) {
+        let i = Region::ALL.iter().position(|r| *r == region).unwrap();
+        self.region_access[i] += 1;
+    }
+
+    /// Record `n` memory accesses in `region` (library routine bulk ops).
+    pub fn record_accesses(&mut self, region: Region, n: u64) {
+        let i = Region::ALL.iter().position(|r| *r == region).unwrap();
+        self.region_access[i] += n;
+    }
+
+    /// Number of distinct program points executed (fuzzer coverage proxy
+    /// and F7).
+    pub fn unique_count(&self) -> u64 {
+        self.unique_pcs.len() as u64
+    }
+
+    /// Condense into the Table II feature vector.
+    pub fn features(&self) -> DynFeatures {
+        let n = self.depth_samples.max(1) as f64;
+        let mean = self.depth_sum / n;
+        let var = (self.depth_sumsq / n - mean * mean).max(0.0);
+        let dmin = if self.depth_samples == 0 { 0 } else { self.depth_min };
+        let max_branch = self.branch_freq.values().copied().max().unwrap_or(0);
+        let max_arith = self.arith_freq.values().copied().max().unwrap_or(0);
+        DynFeatures([
+            self.binary_calls as f64,
+            dmin as f64,
+            self.depth_max as f64,
+            mean,
+            var.sqrt(),
+            self.instructions as f64,
+            self.unique_count() as f64,
+            self.call_instructions as f64,
+            self.arith_instructions as f64,
+            self.branch_instructions as f64,
+            self.load_instructions as f64,
+            self.store_instructions as f64,
+            max_branch as f64,
+            max_arith as f64,
+            self.region_access[0] as f64,
+            self.region_access[1] as f64,
+            self.region_access[2] as f64,
+            self.region_access[3] as f64,
+            self.region_access[4] as f64,
+            self.library_calls as f64,
+            self.syscalls as f64,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vector_has_21_entries() {
+        assert_eq!(DYN_FEATURE_NAMES.len(), NUM_DYN_FEATURES);
+        let t = Trace::new();
+        assert_eq!(t.features().as_slice().len(), 21);
+    }
+
+    #[test]
+    fn instruction_classification_accumulates() {
+        let mut t = Trace::new();
+        t.record_inst(0, 0, 2, true, false, false, false, false);
+        t.record_inst(0, 1, 2, false, true, false, false, false);
+        t.record_inst(0, 0, 2, true, false, false, false, false);
+        t.record_inst(0, 2, 3, false, false, true, true, false);
+        let f = t.features();
+        assert_eq!(f.feature(6), 4.0); // instruction_num
+        assert_eq!(f.feature(7), 3.0); // unique pcs
+        assert_eq!(f.feature(9), 2.0); // arith
+        assert_eq!(f.feature(14), 2.0); // max arith frequency (pc 0 twice)
+        assert_eq!(f.feature(10), 1.0); // branch
+        assert_eq!(f.feature(8), 1.0); // call
+        assert_eq!(f.feature(11), 1.0); // load
+        assert_eq!(f.feature(2), 2.0); // min depth
+        assert_eq!(f.feature(3), 3.0); // max depth
+    }
+
+    #[test]
+    fn region_accounting() {
+        let mut t = Trace::new();
+        t.record_access(Region::Anon);
+        t.record_access(Region::Anon);
+        t.record_accesses(Region::Heap, 5);
+        t.record_access(Region::Stack);
+        let f = t.features();
+        assert_eq!(f.feature(15), 5.0); // heap
+        assert_eq!(f.feature(16), 1.0); // stack
+        assert_eq!(f.feature(18), 2.0); // anon
+        assert_eq!(f.feature(17), 0.0); // lib
+    }
+
+    #[test]
+    fn stack_depth_stats() {
+        let mut t = Trace::new();
+        for d in [2u64, 2, 2, 2] {
+            t.record_inst(0, 0, d, false, false, false, false, false);
+        }
+        let f = t.features();
+        assert_eq!(f.feature(2), 2.0);
+        assert_eq!(f.feature(3), 2.0);
+        assert_eq!(f.feature(4), 2.0);
+        assert_eq!(f.feature(5), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_zeroed() {
+        let f = Trace::new().features();
+        for v in f.as_slice() {
+            assert_eq!(*v, 0.0);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Runtime values and region-tagged addresses.
+//!
+//! The paper's dynamic features 15–19 count memory accesses per region
+//! class (heap, stack, library, anonymous mapping, others). Our VM makes
+//! those counts exact by tagging every pointer with its region.
+
+use serde::{Deserialize, Serialize};
+
+/// A memory region class, mirroring the paper's Table II rows 15–19.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Heap allocations (`malloc`).
+    Heap,
+    /// Machine stack: frame slots and push/pop traffic.
+    Stack,
+    /// Library memory: the binary's read-only string pool.
+    Lib,
+    /// Anonymous mappings: the fuzzer-provided input buffer.
+    Anon,
+    /// Everything else: the binary's global data section.
+    Other,
+}
+
+impl Region {
+    /// All regions in Table II order (features 15..19).
+    pub const ALL: [Region; 5] = [Region::Heap, Region::Stack, Region::Lib, Region::Anon, Region::Other];
+}
+
+/// A tagged pointer: region plus byte offset within that region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Addr {
+    /// Which region the pointer refers to.
+    pub region: Region,
+    /// Byte offset within the region's address space.
+    pub offset: i64,
+}
+
+impl Addr {
+    /// Pointer displaced by `delta` bytes.
+    pub fn offset_by(self, delta: i64) -> Addr {
+        Addr { region: self.region, offset: self.offset.wrapping_add(delta) }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Region-tagged pointer.
+    Ptr(Addr),
+}
+
+impl Default for Value {
+    fn default() -> Value {
+        Value::Int(0)
+    }
+}
+
+impl Value {
+    /// Integer view: floats truncate, pointers expose their offset.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Float(f) => f as i64,
+            Value::Ptr(a) => a.offset,
+        }
+    }
+
+    /// Float view: ints convert, pointers expose their offset.
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Float(f) => f,
+            Value::Ptr(a) => a.offset as f64,
+        }
+    }
+
+    /// Pointer view, if this is a pointer.
+    pub fn as_ptr(self) -> Option<Addr> {
+        match self {
+            Value::Ptr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is truthy (non-zero).
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Float(f) => f != 0.0,
+            Value::Ptr(_) => true,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_float_coercions() {
+        assert_eq!(Value::Int(3).as_float(), 3.0);
+        assert_eq!(Value::Float(2.9).as_int(), 2);
+        assert_eq!(Value::Int(0).is_truthy(), false);
+        assert_eq!(Value::Float(0.5).is_truthy(), true);
+    }
+
+    #[test]
+    fn pointer_offsetting() {
+        let p = Addr { region: Region::Anon, offset: 10 };
+        let q = p.offset_by(-4);
+        assert_eq!(q.offset, 6);
+        assert_eq!(q.region, Region::Anon);
+        assert!(Value::Ptr(p).is_truthy());
+        assert_eq!(Value::Ptr(p).as_ptr(), Some(p));
+        assert_eq!(Value::Int(1).as_ptr(), None);
+    }
+}

@@ -1,0 +1,287 @@
+//! Semantic tests for every native library routine the VM models — the
+//! bionic/libc analogs the paper's CVE functions call.
+
+use fwlang::ast::{BinOp, Expr, Function, Library, Param, Stmt, Ty};
+use vm::env::{ArgSpec, ExecEnv};
+use vm::exec::VmConfig;
+use vm::loader::LoadedBinary;
+use vm::{Fault, Outcome, Value};
+
+/// Compile and run a one-function library whose body is given by `build`.
+fn run_body(
+    params: Vec<Param>,
+    locals: Vec<(&str, Ty)>,
+    body: Vec<Stmt>,
+    env: ExecEnv,
+) -> (Outcome, vm::DynFeatures, Vec<u8>) {
+    let mut lib = Library::new("libtest");
+    let mut f = Function {
+        name: "f".into(),
+        params,
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body,
+        exported: true,
+    };
+    for (n, t) in locals {
+        f.add_local(n, t);
+    }
+    lib.functions.push(f);
+    let bin = fwbin::compile_library(&lib, fwbin::Arch::Arm64, fwbin::OptLevel::O1).unwrap();
+    let loaded = LoadedBinary::load(bin).unwrap();
+    let r = loaded.run_any(0, &env, &VmConfig::default());
+    (r.outcome, r.features, env.input)
+}
+
+fn buf_params() -> Vec<Param> {
+    vec![
+        Param { name: "data".into(), ty: Ty::Buf },
+        Param { name: "len".into(), ty: Ty::Int },
+    ]
+}
+
+fn call(callee: &str, args: Vec<Expr>) -> Expr {
+    Expr::Call { callee: callee.into(), args }
+}
+
+#[test]
+fn memset_overwrites_range() {
+    // memset(data, 7, 4); return data[2];
+    let body = vec![
+        Stmt::Expr(call("memset", vec![Expr::Param(0), Expr::ConstInt(7), Expr::ConstInt(4)])),
+        Stmt::Return(Some(Expr::load(Expr::Param(0), Expr::ConstInt(2)))),
+    ];
+    let (o, f, _) = run_body(buf_params(), vec![], body, ExecEnv::for_buffer(vec![0; 8], &[]));
+    assert_eq!(o, Outcome::Returned(Value::Int(7)));
+    assert!(f.feature(18) >= 5.0, "4 writes + 1 read in the anon region");
+    assert_eq!(f.feature(20), 1.0, "one library call");
+}
+
+#[test]
+fn memset_out_of_bounds_faults() {
+    let body = vec![
+        Stmt::Expr(call("memset", vec![Expr::Param(0), Expr::ConstInt(0), Expr::ConstInt(64)])),
+        Stmt::Return(Some(Expr::ConstInt(0))),
+    ];
+    let (o, _, _) = run_body(buf_params(), vec![], body, ExecEnv::for_buffer(vec![0; 8], &[]));
+    assert!(matches!(o, Outcome::Fault(Fault::OutOfBounds(_))), "{o:?}");
+}
+
+#[test]
+fn memmove_handles_overlap() {
+    // memmove(data+1, data, 4) on [1,2,3,4,5] -> [1,1,2,3,4]; return data[4].
+    let body = vec![
+        Stmt::Expr(call(
+            "memmove",
+            vec![
+                Expr::bin(BinOp::Add, Expr::Param(0), Expr::ConstInt(1)),
+                Expr::Param(0),
+                Expr::ConstInt(4),
+            ],
+        )),
+        Stmt::Return(Some(Expr::load(Expr::Param(0), Expr::ConstInt(4)))),
+    ];
+    let (o, _, _) =
+        run_body(buf_params(), vec![], body, ExecEnv::for_buffer(vec![1, 2, 3, 4, 5], &[]));
+    assert_eq!(o, Outcome::Returned(Value::Int(4)));
+}
+
+#[test]
+fn memcmp_orders_lexicographically() {
+    // memcmp(data, data+3, 3) over [1,2,3, 1,2,4]: first < second -> -1.
+    let body = vec![Stmt::Return(Some(call(
+        "memcmp",
+        vec![
+            Expr::Param(0),
+            Expr::bin(BinOp::Add, Expr::Param(0), Expr::ConstInt(3)),
+            Expr::ConstInt(3),
+        ],
+    )))];
+    let (o, _, _) =
+        run_body(buf_params(), vec![], body, ExecEnv::for_buffer(vec![1, 2, 3, 1, 2, 4], &[]));
+    assert_eq!(o, Outcome::Returned(Value::Int(-1)));
+}
+
+#[test]
+fn strlen_counts_to_nul() {
+    let body = vec![Stmt::Return(Some(call("strlen", vec![Expr::Param(0)])))];
+    let (o, _, _) =
+        run_body(buf_params(), vec![], body, ExecEnv::for_buffer(vec![b'h', b'i', 0, b'x'], &[]));
+    assert_eq!(o, Outcome::Returned(Value::Int(2)));
+}
+
+#[test]
+fn strlen_without_nul_faults() {
+    let body = vec![Stmt::Return(Some(call("strlen", vec![Expr::Param(0)])))];
+    let (o, _, _) = run_body(buf_params(), vec![], body, ExecEnv::for_buffer(vec![1, 2, 3], &[]));
+    assert!(matches!(o, Outcome::Fault(Fault::OutOfBounds(_))), "{o:?}");
+}
+
+#[test]
+fn malloc_returns_writable_heap() {
+    // p = malloc(8); p[3] = 42; return p[3];
+    let body = vec![
+        Stmt::Let { local: 0, value: call("malloc", vec![Expr::ConstInt(8)]) },
+        Stmt::StoreByte { base: Expr::Local(0), index: Expr::ConstInt(3), value: Expr::ConstInt(42) },
+        Stmt::Return(Some(Expr::load(Expr::Local(0), Expr::ConstInt(3)))),
+    ];
+    let (o, f, _) =
+        run_body(buf_params(), vec![("p", Ty::Buf)], body, ExecEnv::for_buffer(vec![0; 4], &[]));
+    assert_eq!(o, Outcome::Returned(Value::Int(42)));
+    assert_eq!(f.feature(15), 2.0, "heap write + heap read");
+}
+
+#[test]
+fn use_after_free_faults() {
+    let body = vec![
+        Stmt::Let { local: 0, value: call("malloc", vec![Expr::ConstInt(8)]) },
+        Stmt::Expr(call("free", vec![Expr::Local(0)])),
+        Stmt::Return(Some(Expr::load(Expr::Local(0), Expr::ConstInt(0)))),
+    ];
+    let (o, _, _) =
+        run_body(buf_params(), vec![("p", Ty::Buf)], body, ExecEnv::for_buffer(vec![0; 4], &[]));
+    assert_eq!(o, Outcome::Fault(Fault::UseAfterFree));
+}
+
+#[test]
+fn double_free_faults() {
+    let body = vec![
+        Stmt::Let { local: 0, value: call("malloc", vec![Expr::ConstInt(8)]) },
+        Stmt::Expr(call("free", vec![Expr::Local(0)])),
+        Stmt::Expr(call("free", vec![Expr::Local(0)])),
+        Stmt::Return(Some(Expr::ConstInt(0))),
+    ];
+    let (o, _, _) =
+        run_body(buf_params(), vec![("p", Ty::Buf)], body, ExecEnv::for_buffer(vec![0; 4], &[]));
+    assert_eq!(o, Outcome::Fault(Fault::UseAfterFree));
+}
+
+#[test]
+fn heap_out_of_bounds_faults() {
+    let body = vec![
+        Stmt::Let { local: 0, value: call("malloc", vec![Expr::ConstInt(4)]) },
+        Stmt::Return(Some(Expr::load(Expr::Local(0), Expr::ConstInt(9)))),
+    ];
+    let (o, _, _) =
+        run_body(buf_params(), vec![("p", Ty::Buf)], body, ExecEnv::for_buffer(vec![0; 4], &[]));
+    assert!(matches!(o, Outcome::Fault(Fault::OutOfBounds(vm::Region::Heap))), "{o:?}");
+}
+
+#[test]
+fn scalar_helpers_compute() {
+    for (callee, args, expect) in [
+        ("abs", vec![Expr::ConstInt(-5)], 5),
+        ("min", vec![Expr::ConstInt(3), Expr::ConstInt(9)], 3),
+        ("max", vec![Expr::ConstInt(3), Expr::ConstInt(9)], 9),
+    ] {
+        let body = vec![Stmt::Return(Some(call(callee, args)))];
+        let (o, _, _) = run_body(buf_params(), vec![], body, ExecEnv::for_buffer(vec![0], &[]));
+        assert_eq!(o, Outcome::Returned(Value::Int(expect)), "{callee}");
+    }
+}
+
+#[test]
+fn checksum_is_input_sensitive() {
+    let body = vec![Stmt::Return(Some(call(
+        "checksum",
+        vec![Expr::Param(0), Expr::Param(1)],
+    )))];
+    let (a, _, _) =
+        run_body(buf_params(), vec![], body.clone(), ExecEnv::for_buffer(vec![1, 2, 3], &[]));
+    let (b, _, _) = run_body(buf_params(), vec![], body, ExecEnv::for_buffer(vec![1, 2, 4], &[]));
+    match (a, b) {
+        (Outcome::Returned(x), Outcome::Returned(y)) => assert_ne!(x.as_int(), y.as_int()),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn abort_faults_as_aborted() {
+    let body = vec![
+        Stmt::Expr(call("abort", vec![])),
+        Stmt::Return(Some(Expr::ConstInt(0))),
+    ];
+    let (o, _, _) = run_body(buf_params(), vec![], body, ExecEnv::for_buffer(vec![0], &[]));
+    assert_eq!(o, Outcome::Fault(Fault::Aborted));
+}
+
+#[test]
+fn free_null_is_noop() {
+    let body = vec![
+        Stmt::Expr(call("free", vec![Expr::ConstInt(0)])),
+        Stmt::Return(Some(Expr::ConstInt(1))),
+    ];
+    let (o, _, _) = run_body(buf_params(), vec![], body, ExecEnv::for_buffer(vec![0], &[]));
+    assert_eq!(o, Outcome::Returned(Value::Int(1)));
+}
+
+#[test]
+fn log_event_reads_string_in_lib_region() {
+    let mut lib = Library::new("libtest");
+    let sid = lib.intern_string("hello log");
+    let mut f = Function {
+        name: "f".into(),
+        params: buf_params(),
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![
+            Stmt::Expr(call("log_event", vec![Expr::Str(sid), Expr::ConstInt(1)])),
+            Stmt::Return(Some(Expr::ConstInt(0))),
+        ],
+        exported: true,
+    };
+    f.exported = true;
+    lib.functions.push(f);
+    let bin = fwbin::compile_library(&lib, fwbin::Arch::X86, fwbin::OptLevel::O2).unwrap();
+    let loaded = LoadedBinary::load(bin).unwrap();
+    let r = loaded.run_any(0, &ExecEnv::for_buffer(vec![0], &[]), &VmConfig::default());
+    assert!(r.outcome.is_ok());
+    assert!(r.features.feature(17) >= 9.0, "library-region reads: {}", r.features.feature(17));
+}
+
+#[test]
+fn recursion_depth_is_bounded() {
+    // f calls itself forever: must hit StackOverflow, not hang.
+    let mut lib = Library::new("libtest");
+    lib.functions.push(Function {
+        name: "rec".into(),
+        params: vec![Param { name: "n".into(), ty: Ty::Int }],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![Stmt::Return(Some(Expr::Call {
+            callee: "rec".into(),
+            args: vec![Expr::Param(0)],
+        }))],
+        exported: true,
+    });
+    let bin = fwbin::compile_library(&lib, fwbin::Arch::Arm64, fwbin::OptLevel::O1).unwrap();
+    let loaded = LoadedBinary::load(bin).unwrap();
+    let env = ExecEnv { input: vec![], args: vec![ArgSpec::Int(1)], global_overrides: vec![] };
+    let r = loaded.run_any(0, &env, &VmConfig::default());
+    assert_eq!(r.outcome, Outcome::Fault(Fault::StackOverflow));
+    // Max stack depth reflects the limit.
+    assert!(r.features.feature(3) >= 60.0);
+}
+
+#[test]
+fn global_overrides_change_behaviour() {
+    let mut lib = Library::new("libtest");
+    let g = lib.add_global("mode", 1);
+    lib.functions.push(Function {
+        name: "f".into(),
+        params: buf_params(),
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![Stmt::Return(Some(Expr::Global(g)))],
+        exported: true,
+    });
+    let bin = fwbin::compile_library(&lib, fwbin::Arch::Arm32, fwbin::OptLevel::O1).unwrap();
+    let loaded = LoadedBinary::load(bin).unwrap();
+    let mut env = ExecEnv::for_buffer(vec![0], &[]);
+    let r = loaded.run_any(0, &env, &VmConfig::default());
+    assert_eq!(r.outcome, Outcome::Returned(Value::Int(1)), "initializer value");
+    env.global_overrides = vec![(g, 42)];
+    let r = loaded.run_any(0, &env, &VmConfig::default());
+    assert_eq!(r.outcome, Outcome::Returned(Value::Int(42)), "override applies");
+    assert!(r.features.feature(19) >= 1.0, "global read counts as Other-region access");
+}

@@ -1,0 +1,160 @@
+//! Property tests for the interpreter: arithmetic semantics agree with the
+//! compiler's constant folder (the invariant that makes optimization
+//! behaviour-preserving), and the region model enforces isolation.
+
+use fwbin::astopt;
+use fwlang::ast::{BinOp, CmpOp, Expr, Function, Library, Param, Stmt, Ty};
+use proptest::prelude::*;
+use vm::env::{ArgSpec, ExecEnv};
+use vm::exec::VmConfig;
+use vm::loader::LoadedBinary;
+use vm::{Outcome, Value};
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+    ]
+}
+
+fn cmpop_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Compile `return a op b` and run it.
+fn run_binop(op: BinOp, a: i64, b: i64) -> Outcome {
+    let mut lib = Library::new("libt");
+    lib.functions.push(Function {
+        name: "f".into(),
+        params: vec![
+            Param { name: "a".into(), ty: Ty::Int },
+            Param { name: "b".into(), ty: Ty::Int },
+        ],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![Stmt::Return(Some(Expr::bin(op, Expr::Param(0), Expr::Param(1))))],
+        exported: true,
+    });
+    let bin = fwbin::compile_library(&lib, fwbin::Arch::Arm64, fwbin::OptLevel::O1).unwrap();
+    let loaded = LoadedBinary::load(bin).unwrap();
+    let env = ExecEnv {
+        input: vec![],
+        args: vec![ArgSpec::Int(a), ArgSpec::Int(b)],
+        global_overrides: vec![],
+    };
+    loaded.run_any(0, &env, &VmConfig::default()).outcome
+}
+
+fn run_cmp(op: CmpOp, a: i64, b: i64) -> Outcome {
+    let mut lib = Library::new("libt");
+    lib.functions.push(Function {
+        name: "f".into(),
+        params: vec![
+            Param { name: "a".into(), ty: Ty::Int },
+            Param { name: "b".into(), ty: Ty::Int },
+        ],
+        locals: vec![],
+        ret: Some(Ty::Int),
+        body: vec![Stmt::Return(Some(Expr::cmp(op, Expr::Param(0), Expr::Param(1))))],
+        exported: true,
+    });
+    let bin = fwbin::compile_library(&lib, fwbin::Arch::X86, fwbin::OptLevel::O2).unwrap();
+    let loaded = LoadedBinary::load(bin).unwrap();
+    let env = ExecEnv {
+        input: vec![],
+        args: vec![ArgSpec::Int(a), ArgSpec::Int(b)],
+        global_overrides: vec![],
+    };
+    loaded.run_any(0, &env, &VmConfig::default()).outcome
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// VM integer arithmetic equals the compiler's folding semantics —
+    /// compiled `a op b` returns exactly `eval_int_binop(op, a, b)`, and
+    /// faults exactly when folding declines (division by zero).
+    #[test]
+    fn vm_matches_fold_semantics(op in binop_strategy(), a in any::<i64>(), b in any::<i64>()) {
+        let outcome = run_binop(op, a, b);
+        match astopt::eval_int_binop(op, a, b) {
+            Some(v) => prop_assert_eq!(outcome, Outcome::Returned(Value::Int(v))),
+            None => prop_assert!(matches!(outcome, Outcome::Fault(vm::Fault::DivByZero))),
+        }
+    }
+
+    /// Comparisons agree with the folder across the flag-based x86 path
+    /// (Cmp + SetCc).
+    #[test]
+    fn vm_comparisons_match_fold(op in cmpop_strategy(), a in any::<i64>(), b in any::<i64>()) {
+        let expected = astopt::eval_cmp(op, a, b);
+        prop_assert_eq!(run_cmp(op, a, b), Outcome::Returned(Value::Int(expected)));
+    }
+
+    /// Out-of-bounds buffer access always faults, in-bounds never does —
+    /// the crash-pruning primitive of §III-B.
+    #[test]
+    fn bounds_model_is_exact(len in 1usize..64, idx in 0i64..128) {
+        let mut lib = Library::new("libt");
+        lib.functions.push(Function {
+            name: "peek".into(),
+            params: vec![
+                Param { name: "data".into(), ty: Ty::Buf },
+                Param { name: "len".into(), ty: Ty::Int },
+                Param { name: "idx".into(), ty: Ty::Int },
+            ],
+            locals: vec![],
+            ret: Some(Ty::Int),
+            body: vec![Stmt::Return(Some(Expr::load(Expr::Param(0), Expr::Param(2))))],
+            exported: true,
+        });
+        let bin = fwbin::compile_library(&lib, fwbin::Arch::Arm32, fwbin::OptLevel::O1).unwrap();
+        let loaded = LoadedBinary::load(bin).unwrap();
+        let input: Vec<u8> = (0..len as u8).map(|x| x.wrapping_mul(7)).collect();
+        let env = ExecEnv {
+            input: input.clone(),
+            args: vec![ArgSpec::InputPtr, ArgSpec::Int(len as i64), ArgSpec::Int(idx)],
+            global_overrides: vec![],
+        };
+        let outcome = loaded.run_any(0, &env, &VmConfig::default()).outcome;
+        if (idx as usize) < len {
+            prop_assert_eq!(outcome, Outcome::Returned(Value::Int(input[idx as usize] as i64)));
+        } else {
+            prop_assert!(matches!(outcome, Outcome::Fault(vm::Fault::OutOfBounds(_))));
+        }
+    }
+
+    /// The instruction budget always terminates execution: any generated
+    /// function under any input either completes or reports Timeout/Fault —
+    /// the interpreter itself never hangs.
+    #[test]
+    fn execution_always_terminates(
+        seed in 0u64..3000,
+        input in proptest::collection::vec(any::<u8>(), 0..32),
+        budget in 10u64..5000,
+    ) {
+        let lib = fwlang::gen::Generator::new(seed).library_sized("libt", 2);
+        let bin = fwbin::compile_library(&lib, fwbin::Arch::Amd64, fwbin::OptLevel::O2).unwrap();
+        let loaded = LoadedBinary::load(bin).unwrap();
+        let cfg = VmConfig { max_instructions: budget, ..VmConfig::default() };
+        let env = ExecEnv::for_buffer(input, &[1]);
+        let r = loaded.run_any(0, &env, &cfg);
+        // Whatever happened, the trace never exceeds the budget.
+        prop_assert!(r.features.feature(6) <= budget as f64);
+    }
+}

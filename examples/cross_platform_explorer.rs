@@ -1,0 +1,82 @@
+//! Cross-platform explorer: one source function, compiled 24 ways.
+//!
+//! ```text
+//! cargo run --release --example cross_platform_explorer [seed]
+//! ```
+//!
+//! Demonstrates the core premise of §II-A — "different cross-platform
+//! compilations with different levels of optimization produce different
+//! binary programs from identical source code" — by compiling one function
+//! for every (architecture, optimization) pair, printing how the key
+//! Table I static features drift, and verifying that runtime behaviour
+//! stays identical everywhere (the invariant the dynamic stage rests on).
+
+use patchecko::disasm;
+use patchecko::fwbin::{compile_library, Arch, OptLevel};
+use patchecko::fwlang::gen::Generator;
+use patchecko::fwlang::pretty;
+use patchecko::vm::env::ExecEnv;
+use patchecko::vm::exec::VmConfig;
+use patchecko::vm::loader::LoadedBinary;
+use patchecko::core::features;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(11);
+    let mut lib = patchecko::fwlang::Library::new("libexplore");
+    let mut g = Generator::new(seed);
+    let f = g.any_function(&mut lib, "subject");
+    lib.functions.push(f.clone());
+
+    println!("=== source (seed {seed}) ===\n");
+    println!("{}", pretty::function(&f));
+
+    println!(
+        "=== the same function on 24 platforms ===\n\n{:<7} {:<6} {:>6} {:>7} {:>6} {:>6} {:>8} {:>8}",
+        "arch", "opt", "insts", "bytes", "blocks", "edges", "spills*8", "result"
+    );
+    println!("{}", "-".repeat(64));
+
+    let env = ExecEnv::for_buffer((0..24).map(|x| x * 7).collect(), &[5, 2]);
+    let vm_cfg = VmConfig::default();
+    let mut results = Vec::new();
+    for arch in Arch::ALL {
+        for opt in OptLevel::ALL {
+            let bin = compile_library(&lib, arch, opt).expect("compiles");
+            let dis = disasm::disassemble(&bin, 0).expect("decodes");
+            let feats = features::extract(&dis, &bin.functions[0]);
+            let loaded = LoadedBinary::load(bin).expect("loads");
+            let run = loaded.run_any(0, &env, &vm_cfg);
+            let result = match run.outcome {
+                patchecko::vm::Outcome::Returned(v) => format!("{}", v.as_int()),
+                other => format!("{other:?}"),
+            };
+            println!(
+                "{:<7} {:<6} {:>6} {:>7} {:>6} {:>6} {:>8} {:>8}",
+                arch.name(),
+                opt.name(),
+                feats.by_name("num_inst").unwrap(),
+                feats.by_name("size_fun").unwrap(),
+                feats.by_name("num_bb").unwrap(),
+                feats.by_name("num_edge").unwrap(),
+                feats.by_name("size_local").unwrap(),
+                result
+            );
+            results.push(result);
+        }
+    }
+
+    results.dedup();
+    println!("{}", "-".repeat(64));
+    if results.len() == 1 {
+        println!(
+            "all 24 builds return {} on the same input — instruction streams\n\
+             differ by up to several x, behaviour does not. This is the gap the\n\
+             static stage must bridge (deep learning) and the invariant the\n\
+             dynamic stage exploits (Minkowski over runtime features).",
+            results[0]
+        );
+    } else {
+        println!("UNEXPECTED: builds disagree: {results:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,387 @@
+//! The PATCHECKO command-line tool.
+//!
+//! ```text
+//! patchecko train        --out model.json [--libs 100] [--epochs 30]
+//! patchecko build-image  --device android_things|pixel2xl --out DIR [--scale 0.25]
+//! patchecko list-cves
+//! patchecko inspect      --cve CVE-2018-9412 [--patched] [--asm]
+//! patchecko scan         --model model.json --image DIR --cve CVE-2018-9412
+//! patchecko patch-check  --model model.json --image DIR --cve CVE-2018-9412
+//! patchecko audit        --model model.json --image DIR [--report report.md]
+//! ```
+//!
+//! `build-image` writes one `.fwb` container per library (the on-disk wire
+//! format of `fwbin::format`); `scan`/`audit` work purely from those files
+//! plus the built-in vulnerability database — the deployment flow of the
+//! paper: no source, no symbols, no vendor cooperation.
+
+use patchecko::core::detector::{self, Detector, DetectorConfig};
+use patchecko::core::differential::{self, DifferentialConfig};
+use patchecko::core::pipeline::{Basis, Patchecko, PipelineConfig};
+use patchecko::corpus::{self, dataset1::Dataset1Config};
+use patchecko::fwbin::{Binary, FirmwareImage};
+use patchecko::fwlang::pretty;
+use patchecko::neural::net::TrainConfig;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&flags),
+        "build-image" => cmd_build_image(&flags),
+        "list-cves" => cmd_list_cves(),
+        "inspect" => cmd_inspect(&flags),
+        "scan" => cmd_scan(&flags),
+        "patch-check" => cmd_patch_check(&flags),
+        "audit" => cmd_audit(&flags),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "PATCHECKO — hybrid firmware analysis for known vulnerabilities (DSN 2020 reproduction)
+
+USAGE:
+  patchecko train        --out model.json [--libs N] [--epochs N] [--pairs N]
+  patchecko build-image  --device android_things|pixel2xl --out DIR [--scale F]
+  patchecko list-cves
+  patchecko inspect      --cve ID [--patched] [--asm]
+  patchecko scan         --model model.json --image DIR --cve ID
+  patchecko patch-check  --model model.json --image DIR --cve ID
+  patchecko audit        --model model.json --image DIR [--report FILE.md] [--json FILE.json]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+            match value {
+                Some(v) => {
+                    out.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                None => {
+                    out.insert(key.to_string(), "true".into());
+                    i += 1;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn flag_or<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+// ---------------------------------------------------------------------------
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flag(flags, "out")?;
+    let libs: usize = flag_or(flags, "libs", 100);
+    let epochs: usize = flag_or(flags, "epochs", 30);
+    let pairs: usize = flag_or(flags, "pairs", 12);
+
+    eprintln!("building Dataset I ({libs} libraries)...");
+    let ds = corpus::build_dataset1(&Dataset1Config {
+        num_libraries: libs,
+        min_functions: 12,
+        max_functions: 20,
+        seed: 1,
+        include_catalog: true,
+    });
+    eprintln!("  {} binaries, {} function samples", ds.variants.len(), ds.total_function_samples());
+    eprintln!("training ({epochs} epochs)...");
+    let (det, _, metrics) = detector::train(
+        &ds,
+        &DetectorConfig {
+            pairs_per_function: pairs,
+            train: TrainConfig { epochs, batch: 256, lr: 1e-3, seed: 7, ..Default::default() },
+            ..DetectorConfig::default()
+        },
+    );
+    eprintln!(
+        "  held-out accuracy {:.2}%, AUC {:.4} ({} pairs)",
+        metrics.accuracy * 100.0,
+        metrics.auc,
+        metrics.pairs
+    );
+    let json = serde_json::to_string(&det).map_err(|e| e.to_string())?;
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {out} ({} KiB)", json.len() / 1024);
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<Detector, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_build_image(flags: &HashMap<String, String>) -> Result<(), String> {
+    let device = flag(flags, "device")?;
+    let out = PathBuf::from(flag(flags, "out")?);
+    let scale: f64 = flag_or(flags, "scale", 0.25);
+    let spec = match device {
+        "android_things" => corpus::android_things_spec(),
+        "pixel2xl" => corpus::pixel2xl_spec(),
+        other => return Err(format!("unknown device `{other}` (android_things|pixel2xl)")),
+    };
+    eprintln!("building {} at scale {scale}...", spec.name);
+    let build = corpus::build_device(&spec, &corpus::full_catalog(), scale);
+    std::fs::create_dir_all(&out).map_err(|e| format!("mkdir {}: {e}", out.display()))?;
+    for bin in &build.image.binaries {
+        let path = out.join(format!("{}.fwb", bin.lib_name));
+        std::fs::write(&path, bin.to_bytes()).map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    let meta = serde_json::json!({
+        "device": build.image.device,
+        "patch_level": build.image.patch_level,
+        "libraries": build.image.binaries.len(),
+        "functions": build.image.total_functions(),
+    });
+    std::fs::write(out.join("image.json"), serde_json::to_string_pretty(&meta).unwrap())
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} libraries ({} functions) to {}",
+        build.image.binaries.len(),
+        build.image.total_functions(),
+        out.display()
+    );
+    eprintln!("note: ground truth is intentionally NOT written — scan without it.");
+    Ok(())
+}
+
+/// Load a firmware image from a directory of `.fwb` files.
+fn load_image(dir: &str) -> Result<FirmwareImage, String> {
+    let meta_path = Path::new(dir).join("image.json");
+    let (device, patch_level) = if let Ok(meta) = std::fs::read_to_string(&meta_path) {
+        let v: serde_json::Value = serde_json::from_str(&meta).map_err(|e| e.to_string())?;
+        (
+            v["device"].as_str().unwrap_or("unknown").to_string(),
+            v["patch_level"].as_str().unwrap_or("unknown").to_string(),
+        )
+    } else {
+        ("unknown".into(), "unknown".into())
+    };
+    let mut image = FirmwareImage::new(device, patch_level);
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {dir}: {e}"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|x| x == "fwb").unwrap_or(false))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let bytes = std::fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let bin = Binary::from_bytes(&bytes)
+            .map_err(|e| format!("parse {}: {e}", path.display()))?;
+        image.binaries.push(bin);
+    }
+    if image.binaries.is_empty() {
+        return Err(format!("no .fwb files in {dir}"));
+    }
+    Ok(image)
+}
+
+fn cmd_list_cves() -> Result<(), String> {
+    println!("{:<16} {:<20} {:<10} {:<9} description", "CVE", "library", "severity", "patch");
+    for e in corpus::full_catalog() {
+        println!(
+            "{:<16} {:<20} {:<10} {:<9} {}",
+            e.cve,
+            e.library,
+            format!("{:?}", e.severity).to_lowercase(),
+            format!("{:?}", e.magnitude).to_lowercase(),
+            e.description
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cve = flag(flags, "cve")?;
+    let patched = flags.contains_key("patched");
+    let catalog = corpus::full_catalog();
+    let entry = catalog.iter().find(|e| e.cve == cve).ok_or(format!("unknown CVE {cve}"))?;
+    println!("{} — {}", entry.cve, entry.description);
+    println!("patch: {}", entry.patch.summary());
+    let f = if patched { &entry.patched } else { &entry.vulnerable };
+    println!("\n--- {} source ({}) ---\n", if patched { "patched" } else { "vulnerable" }, entry.function);
+    println!("{}", pretty::function(f));
+    if flags.contains_key("asm") {
+        let db = corpus::build_vulndb(0, 1);
+        let e = db.get(cve).unwrap();
+        let bin = if patched { &e.patched_bin } else { &e.vulnerable_bin };
+        let dis = patchecko::disasm::disassemble(bin, 0).map_err(|e| e.to_string())?;
+        println!("--- {} {} disassembly ---\n", bin.arch, bin.opt);
+        println!("{}", patchecko::disasm::fmt::format_function(&dis, Some(bin), &entry.function));
+    }
+    Ok(())
+}
+
+fn build_analyzer(flags: &HashMap<String, String>) -> Result<Patchecko, String> {
+    let det = load_model(flag(flags, "model")?)?;
+    Ok(Patchecko::new(det, PipelineConfig::default()))
+}
+
+fn cmd_scan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cve = flag(flags, "cve")?;
+    let image = load_image(flag(flags, "image")?)?;
+    let analyzer = build_analyzer(flags)?;
+    let db = corpus::build_vulndb(0, 1);
+    let entry = db.get(cve).ok_or(format!("unknown CVE {cve}"))?;
+
+    eprintln!(
+        "scanning {} ({} libraries, {} functions) for {cve}...",
+        image.device,
+        image.binaries.len(),
+        image.total_functions()
+    );
+    let result = analyzer.analyze_image(&image, entry, Basis::Vulnerable);
+    let mut any = false;
+    for a in &result.analyses {
+        if a.dynamic.ranking.is_empty() {
+            continue;
+        }
+        any = true;
+        println!("\n{}: {} candidates, {} validated", a.scan.library, a.scan.candidates.len(), a.dynamic.validated.len());
+        for (i, r) in a.dynamic.ranking.iter().take(3).enumerate() {
+            println!("  #{} function[{}] distance {:.1}", i + 1, r.function_index, r.distance);
+        }
+    }
+    match (&result.best, any) {
+        (Some(m), _) => println!(
+            "\nbest match: {}:{} (distance {:.1}) — run `patch-check` to test patch presence",
+            m.library, m.function_index, m.distance
+        ),
+        (None, _) => println!("\nno candidate survived — {cve} does not appear in this image"),
+    }
+    Ok(())
+}
+
+fn cmd_patch_check(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cve = flag(flags, "cve")?;
+    let image = load_image(flag(flags, "image")?)?;
+    let analyzer = build_analyzer(flags)?;
+    let db = corpus::build_vulndb(0, 1);
+    let entry = db.get(cve).ok_or(format!("unknown CVE {cve}"))?;
+
+    let va = analyzer.analyze_image(&image, entry, Basis::Vulnerable);
+    let pa = analyzer.analyze_image(&image, entry, Basis::Patched);
+    // Gather candidates per library from both bases.
+    let mut by_lib: HashMap<usize, Vec<usize>> = HashMap::new();
+    for r in va.best.iter().chain(pa.best.iter()) {
+        by_lib.entry(r.library_index).or_default().push(r.function_index);
+    }
+    if by_lib.is_empty() {
+        println!("{cve}: target not found in the image");
+        return Ok(());
+    }
+    let diff_cfg = DifferentialConfig::default();
+    let mut best: Option<(String, usize, differential::PatchVerdict)> = None;
+    for (li, candidates) in by_lib {
+        let bin = &image.binaries[li];
+        if let Some((idx, v)) =
+            differential::detect_patch_best(&analyzer, entry, bin, &candidates, &diff_cfg)
+        {
+            match &best {
+                Some((_, _, b)) if b.margin.abs() >= v.margin.abs() => {}
+                _ => best = Some((bin.lib_name.clone(), idx, v)),
+            }
+        }
+    }
+    let Some((lib, idx, v)) = best else {
+        println!("{cve}: differential engine could not evaluate any candidate");
+        return Ok(());
+    };
+    println!("{cve}: target {lib}:{idx}");
+    println!(
+        "  dynamic distance: {:.1} (vulnerable ref) vs {:.1} (patched ref)",
+        v.dyn_dist_vulnerable, v.dyn_dist_patched
+    );
+    println!(
+        "  static distance:  {:.2} vs {:.2}; signature votes {}v/{}p",
+        v.static_dist_vulnerable,
+        v.static_dist_patched,
+        v.signature.votes_vulnerable,
+        v.signature.votes_patched
+    );
+    println!(
+        "  verdict: {}{}",
+        if v.patched { "PATCHED" } else { "STILL VULNERABLE" },
+        if v.tie_break { " (tie-break; evidence inconclusive)" } else { "" }
+    );
+    Ok(())
+}
+
+fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
+    let image = load_image(flag(flags, "image")?)?;
+    let analyzer = build_analyzer(flags)?;
+    let db = corpus::build_vulndb(0, 1);
+    let diff_cfg = DifferentialConfig::default();
+
+    eprintln!(
+        "auditing {} ({} libraries, {} functions)...",
+        image.device,
+        image.binaries.len(),
+        image.total_functions()
+    );
+    let report = patchecko::core::eval::audit_image(&analyzer, &db, &image, &diff_cfg);
+    for f in &report.findings {
+        let verdict = match f.status {
+            patchecko::core::AuditStatus::Vulnerable => "VULNERABLE",
+            patchecko::core::AuditStatus::Patched => "patched",
+            patchecko::core::AuditStatus::NotFound => "not found",
+        };
+        println!(
+            "{:<16} {:<28} {}",
+            f.cve,
+            f.located.as_deref().unwrap_or("—"),
+            verdict
+        );
+    }
+    println!(
+        "\nexposed to {} of {} known CVEs",
+        report.count(patchecko::core::AuditStatus::Vulnerable),
+        report.findings.len()
+    );
+    if let Some(path) = flags.get("report") {
+        std::fs::write(path, report.to_markdown()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flags.get("json") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # PATCHECKO — hybrid firmware analysis for known vulnerabilities
+//!
+//! A full Rust reproduction of *"Hybrid Firmware Analysis for Known Mobile
+//! and IoT Security Vulnerabilities"* (DSN 2020): deep-learning static
+//! binary similarity + dynamic binary analysis for known-vulnerability
+//! discovery and patch-presence detection in stripped firmware, together
+//! with every substrate the paper depends on (source language and
+//! compiler, binary container, disassembler/CFG, neural networks, a
+//! tracing interpreter with a coverage-guided fuzzer, and the evaluation
+//! datasets).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`fwlang`] — synthetic firmware source language, program generator,
+//!   patch model;
+//! * [`fwbin`] — compiler (4 ISAs × 6 optimization levels), FWB container,
+//!   firmware images;
+//! * [`disasm`] — CFG recovery, block typing, betweenness centrality;
+//! * [`neural`] — dense pair classifier, metrics, structure2vec baseline;
+//! * [`vm`] — function-level loader, tracing interpreter, fuzzer;
+//! * [`corpus`] — Datasets I/II/III: training corpus, CVE database, device
+//!   images;
+//! * [`core`] (`patchecko_core`) — the 48 static features, the detector,
+//!   the hybrid pipeline, the differential patch engine, and the §V
+//!   evaluation harness.
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use patchecko::corpus::full_catalog;
+//! use patchecko::fwlang::pretty;
+//!
+//! // The paper's Figure 6 pair, as source:
+//! let catalog = full_catalog();
+//! let flagship = catalog.iter().find(|e| e.cve == "CVE-2018-9412").unwrap();
+//! let source = pretty::function(&flagship.vulnerable);
+//! assert!(source.contains("memmove"));
+//! let patched = pretty::function(&flagship.patched);
+//! assert!(!patched.contains("memmove"));
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the binaries regenerating every table and
+//! figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use corpus;
+pub use disasm;
+pub use fwbin;
+pub use fwlang;
+pub use neural;
+pub use patchecko_core as core;
+pub use vm;

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `patchecko` command-line binary: the full
+//! operator workflow over on-disk artifacts (model checkpoint, `.fwb`
+//! image directory, Markdown report).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_patchecko"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("patchecko_cli_test_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_and_errors() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let help = String::from_utf8_lossy(&out.stderr);
+    assert!(help.contains("patchecko train"));
+    assert!(help.contains("patch-check"));
+
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = bin().arg("scan").output().unwrap();
+    assert!(!out.status.success(), "missing flags must fail");
+}
+
+#[test]
+fn list_and_inspect() {
+    let out = bin().arg("list-cves").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CVE-2018-9412"));
+    assert!(text.contains("libstagefright"));
+    assert_eq!(text.lines().count(), 26, "header + 25 CVEs");
+
+    let out = bin().args(["inspect", "--cve", "CVE-2018-9412", "--asm"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("memmove"), "vulnerable source shows the memmove");
+    assert!(text.contains("bb0:"), "assembly listing present");
+
+    let out = bin().args(["inspect", "--cve", "CVE-2018-9412", "--patched"]).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("memmove("), "patched source has no memmove call");
+
+    let out = bin().args(["inspect", "--cve", "CVE-0000-0000"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn train_build_scan_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let model = dir.join("model.json");
+    let image = dir.join("image");
+
+    // Train a small model.
+    let out = bin()
+        .args([
+            "train",
+            "--out",
+            model.to_str().unwrap(),
+            "--libs",
+            "10",
+            "--epochs",
+            "8",
+            "--pairs",
+            "6",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    // Build a tiny on-disk image.
+    let out = bin()
+        .args([
+            "build-image",
+            "--device",
+            "android_things",
+            "--out",
+            image.to_str().unwrap(),
+            "--scale",
+            "0.04",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(image.join("libstagefright.fwb").exists());
+    assert!(image.join("image.json").exists());
+
+    // Scan for the flagship CVE.
+    let out = bin()
+        .args([
+            "scan",
+            "--model",
+            model.to_str().unwrap(),
+            "--image",
+            image.to_str().unwrap(),
+            "--cve",
+            "CVE-2018-9412",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best match: libstagefright:"), "scan output: {text}");
+
+    // Patch-check the same CVE: vulnerable on Android Things.
+    let out = bin()
+        .args([
+            "patch-check",
+            "--model",
+            model.to_str().unwrap(),
+            "--image",
+            image.to_str().unwrap(),
+            "--cve",
+            "CVE-2018-9412",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("STILL VULNERABLE"), "patch-check output: {text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,128 @@
+//! Dataset integrity integration tests: shapes, ground truth, and
+//! determinism of Datasets I/II/III.
+
+use patchecko::corpus::{self, dataset1, PatchMagnitude};
+use patchecko::fwbin::isa::{Arch, OptLevel};
+
+#[test]
+fn catalog_matches_table6_structure() {
+    let catalog = corpus::full_catalog();
+    assert_eq!(catalog.len(), 25);
+    // Libraries shared by multiple CVEs, as in Table VI.
+    let stagefright: Vec<_> =
+        catalog.iter().filter(|e| e.library == "libstagefright").collect();
+    assert_eq!(stagefright.len(), 2); // 9412 + 13182
+    let extractor: Vec<_> =
+        catalog.iter().filter(|e| e.library == "libmediaextractor").collect();
+    assert_eq!(extractor.len(), 4); // 13252, 13253, 9499, 9424
+    // Scaled library sizes preserve the paper's ordering (libwebviewchromium
+    // largest, libmtp smallest).
+    let max = catalog.iter().max_by_key(|e| e.library_functions).unwrap();
+    assert_eq!(max.library, "libwebviewchromium");
+    let min = catalog.iter().min_by_key(|e| e.library_functions).unwrap();
+    assert_eq!(min.library, "libmtp");
+}
+
+#[test]
+fn catalog_magnitudes_match_paper_narrative() {
+    let catalog = corpus::full_catalog();
+    let mag = |cve: &str| catalog.iter().find(|e| e.cve == cve).unwrap().magnitude;
+    assert_eq!(mag("CVE-2018-9470"), PatchMagnitude::Tiny, "one-integer patch");
+    assert_eq!(mag("CVE-2017-13209"), PatchMagnitude::Heavy, "restructuring patch");
+    assert_eq!(mag("CVE-2018-9345"), PatchMagnitude::Heavy);
+    assert_eq!(mag("CVE-2018-9412"), PatchMagnitude::Standard);
+}
+
+#[test]
+fn android_things_ground_truth_is_table8() {
+    let device = corpus::build_device(&corpus::android_things_spec(), &corpus::full_catalog(), 0.05);
+    // The exact ✓-column of Table VIII.
+    let expected_patched = [
+        ("CVE-2018-9451", false),
+        ("CVE-2018-9340", false),
+        ("CVE-2017-13232", true),
+        ("CVE-2018-9345", false),
+        ("CVE-2018-9420", false),
+        ("CVE-2017-13210", true),
+        ("CVE-2018-9470", false),
+        ("CVE-2017-13209", true),
+        ("CVE-2018-9411", false),
+        ("CVE-2017-13252", true),
+        ("CVE-2017-13253", true),
+        ("CVE-2018-9499", false),
+        ("CVE-2018-9424", false),
+        ("CVE-2018-9491", false),
+        ("CVE-2017-13278", true),
+        ("CVE-2018-9410", false),
+        ("CVE-2017-13208", true),
+        ("CVE-2018-9498", false),
+        ("CVE-2017-13279", true),
+        ("CVE-2018-9440", false),
+        ("CVE-2018-9427", false),
+        ("CVE-2017-13178", false),
+        ("CVE-2017-13180", true),
+        ("CVE-2018-9412", false),
+        ("CVE-2017-13182", true),
+    ];
+    for (cve, patched) in expected_patched {
+        assert_eq!(device.truth_for(cve).unwrap().patched, patched, "{cve}");
+    }
+}
+
+#[test]
+fn dataset1_attrition_near_2108_binaries() {
+    // Count supported combinations at paper scale without compiling.
+    let mut kept = 0;
+    for i in 0..100 {
+        let name = format!("lib_ds1_{i}");
+        for arch in Arch::ALL {
+            for opt in OptLevel::ALL {
+                if !dataset1::combo_unsupported(&name, arch, opt) {
+                    kept += 1;
+                }
+            }
+        }
+    }
+    // The paper obtained 2,108 of 2,400.
+    assert!((2050..=2250).contains(&kept), "kept {kept}");
+}
+
+#[test]
+fn device_images_are_stripped_and_deterministic() {
+    let catalog = corpus::full_catalog();
+    let a = corpus::build_device(&corpus::pixel2xl_spec(), &catalog, 0.05);
+    let b = corpus::build_device(&corpus::pixel2xl_spec(), &catalog, 0.05);
+    assert_eq!(a.image, b.image);
+    for bin in &a.image.binaries {
+        assert!(bin.is_stripped());
+        // Round-trips through the wire format.
+        let back = patchecko::fwbin::Binary::from_bytes(&bin.to_bytes()).unwrap();
+        assert_eq!(*bin, back);
+    }
+    // Devices differ in architecture per their specs.
+    assert!(a.image.binaries.iter().all(|b| b.arch == Arch::Arm64));
+    let at = corpus::build_device(&corpus::android_things_spec(), &catalog, 0.05);
+    assert!(at.image.binaries.iter().all(|b| b.arch == Arch::Arm32));
+}
+
+#[test]
+fn vulndb_references_differ_per_version_and_decode() {
+    let db = corpus::build_vulndb(5, 3);
+    assert_eq!(db.entries.len(), 30);
+    for e in &db.entries {
+        assert_ne!(e.vulnerable_bin.functions[0].code, e.patched_bin.functions[0].code);
+        assert!(e.vulnerable_bin.decode_function(0).is_ok());
+        assert!(e.patched_bin.decode_function(0).is_ok());
+    }
+}
+
+#[test]
+fn ground_truth_names_align_with_function_table() {
+    let catalog = corpus::full_catalog();
+    let device = corpus::build_device(&corpus::android_things_spec(), &catalog, 0.05);
+    for t in &device.truth {
+        let name = device.ground_truth_name(&t.library, t.function_index).unwrap();
+        let entry = catalog.iter().find(|e| e.cve == t.cve).unwrap();
+        assert_eq!(name, entry.function, "{}", t.cve);
+    }
+}

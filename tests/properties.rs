@@ -1,0 +1,127 @@
+//! Cross-crate property-based tests (proptest): compiler semantic
+//! preservation, codec roundtrips through the full container, patch
+//! application laws, and similarity metric axioms on realistic vectors.
+
+use patchecko::fwbin::{compile_library, Arch, Binary, OptLevel};
+use patchecko::fwlang::gen::Generator;
+use patchecko::fwlang::patch::Patch;
+use patchecko::vm::env::ExecEnv;
+use patchecko::vm::exec::VmConfig;
+use patchecko::vm::loader::LoadedBinary;
+use patchecko::vm::Outcome;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The optimizer is behaviour-preserving: any generated function, on
+    /// any input, returns the same value at O0 and O3 (and the same
+    /// outcome class when it does not terminate normally).
+    #[test]
+    fn optimizer_preserves_semantics(
+        seed in 0u64..5000,
+        input in proptest::collection::vec(any::<u8>(), 0..48),
+        x1 in 0i64..64,
+        x2 in -8i64..8,
+    ) {
+        let lib = Generator::new(seed).library_sized("libprop", 3);
+        let o0 = LoadedBinary::load(compile_library(&lib, Arch::Arm64, OptLevel::O0).unwrap()).unwrap();
+        let o3 = LoadedBinary::load(compile_library(&lib, Arch::Arm64, OptLevel::O3).unwrap()).unwrap();
+        let env = ExecEnv::for_buffer(input, &[x1, x2]);
+        let cfg = VmConfig::default();
+        for f in 0..3 {
+            let a = o0.run_any(f, &env, &cfg);
+            let b = o3.run_any(f, &env, &cfg);
+            match (a.outcome, b.outcome) {
+                (Outcome::Returned(x), Outcome::Returned(y)) =>
+                    prop_assert_eq!(x.as_int(), y.as_int(), "fn {}", f),
+                (x, y) => prop_assert_eq!(x.is_ok(), y.is_ok(), "fn {}: {:?} vs {:?}", f, x, y),
+            }
+        }
+    }
+
+    /// Cross-architecture equivalence: x86's two-operand legalization and
+    /// spill-heavy allocation never change results.
+    #[test]
+    fn architectures_preserve_semantics(
+        seed in 5000u64..8000,
+        input in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let lib = Generator::new(seed).library_sized("libprop", 2);
+        let a = LoadedBinary::load(compile_library(&lib, Arch::X86, OptLevel::O2).unwrap()).unwrap();
+        let b = LoadedBinary::load(compile_library(&lib, Arch::Arm64, OptLevel::O2).unwrap()).unwrap();
+        let env = ExecEnv::for_buffer(input, &[2, 1]);
+        let cfg = VmConfig::default();
+        for f in 0..2 {
+            let ra = a.run_any(f, &env, &cfg);
+            let rb = b.run_any(f, &env, &cfg);
+            match (ra.outcome, rb.outcome) {
+                (Outcome::Returned(x), Outcome::Returned(y)) =>
+                    prop_assert_eq!(x.as_int(), y.as_int()),
+                (x, y) => prop_assert_eq!(x.is_ok(), y.is_ok()),
+            }
+        }
+    }
+
+    /// The FWB container roundtrips any compiled binary bit-exactly.
+    #[test]
+    fn container_roundtrip(seed in 0u64..10000, strip in any::<bool>()) {
+        let lib = Generator::new(seed).library_sized("libprop", 4);
+        let mut bin = compile_library(&lib, Arch::Amd64, OptLevel::O1).unwrap();
+        if strip {
+            bin.strip();
+        }
+        let back = Binary::from_bytes(&bin.to_bytes()).unwrap();
+        prop_assert_eq!(bin, back);
+    }
+
+    /// Patch application is deterministic and never mutates its input.
+    #[test]
+    fn patch_application_is_pure(seed in 0u64..3000, min_len in 1i64..16) {
+        let mut lib = patchecko::fwlang::Library::new("libprop");
+        let mut g = Generator::new(seed);
+        let f = g.any_function(&mut lib, "target");
+        let before = f.clone();
+        let patch = Patch::BoundsGuard { len_param: 1, min_len, reject: Some(-1) };
+        let p1 = patch.apply(&f);
+        let p2 = patch.apply(&f);
+        prop_assert_eq!(&f, &before, "input unchanged");
+        prop_assert_eq!(&p1, &p2, "deterministic");
+        prop_assert_ne!(&p1.body, &f.body, "patch changes the body");
+    }
+
+    /// Minkowski distance satisfies the metric axioms on dynamic-feature
+    /// sized vectors for the paper's p = 3 (and 1, 2).
+    #[test]
+    fn minkowski_metric_axioms(
+        a in proptest::collection::vec(0.0f64..1e4, 21),
+        b in proptest::collection::vec(0.0f64..1e4, 21),
+        c in proptest::collection::vec(0.0f64..1e4, 21),
+    ) {
+        use patchecko::core::minkowski;
+        for p in [1.0, 2.0, 3.0] {
+            prop_assert!(minkowski(&a, &a, p).abs() < 1e-9);
+            prop_assert!((minkowski(&a, &b, p) - minkowski(&b, &a, p)).abs() < 1e-9);
+            let direct = minkowski(&a, &c, p);
+            let via = minkowski(&a, &b, p) + minkowski(&b, &c, p);
+            prop_assert!(direct <= via + 1e-6, "triangle inequality: {} > {}", direct, via);
+        }
+    }
+
+    /// Dynamic features are reproducible: the same function under the same
+    /// environment yields the identical 21-feature vector.
+    #[test]
+    fn dynamic_features_deterministic(
+        seed in 0u64..2000,
+        input in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let lib = Generator::new(seed).library_sized("libprop", 2);
+        let loaded = LoadedBinary::load(compile_library(&lib, Arch::Arm32, OptLevel::O2).unwrap()).unwrap();
+        let env = ExecEnv::for_buffer(input, &[1, 2]);
+        let cfg = VmConfig::default();
+        let a = loaded.run_any(0, &env, &cfg);
+        let b = loaded.run_any(0, &env, &cfg);
+        prop_assert_eq!(a.outcome, b.outcome);
+        prop_assert_eq!(a.features, b.features);
+    }
+}
