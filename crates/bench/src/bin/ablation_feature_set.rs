@@ -51,7 +51,8 @@ fn main() {
     eprintln!("[ablation] {} queries vs {} gallery functions", queries.len(), gallery.len());
 
     // Feature-set slices over the 52-wide extended vector.
-    let slices: [(&str, Box<dyn Fn(&[f64]) -> Vec<f64>>); 3] = [
+    type FeatureSlice = Box<dyn Fn(&[f64]) -> Vec<f64>>;
+    let slices: [(&str, FeatureSlice); 3] = [
         (
             "CFG topology only (num_bb/num_edge/cyclomatic/fcb_*)",
             Box::new(|v: &[f64]| v[17..28].to_vec()),

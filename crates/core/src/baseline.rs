@@ -246,9 +246,9 @@ mod tests {
         let mut n_cross = 0.0;
         for i in 0..a.len() {
             same += bipartite_similarity(&a[i], &b[i]);
-            for j in 0..b.len() {
+            for (j, bj) in b.iter().enumerate() {
                 if i != j {
-                    cross += bipartite_similarity(&a[i], &b[j]);
+                    cross += bipartite_similarity(&a[i], bj);
                     n_cross += 1.0;
                 }
             }

@@ -229,6 +229,22 @@ impl Detector {
         }
         self.net.predict(&x)
     }
+
+    /// Classify many arbitrary feature pairs in one forward pass: all 96-wide
+    /// pair inputs are packed into a single `(pairs, 96)` matrix, so each
+    /// layer runs one GEMM for the whole batch instead of one per pair.
+    /// Probabilities match per-pair [`Detector::similarity`] exactly (the
+    /// forward pass is row-independent).
+    pub fn classify_batch(&self, pairs: &[(&StaticFeatures, &StaticFeatures)]) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let mut x = Matrix::zeros(pairs.len(), self.net.input_dim());
+        for (r, (a, b)) in pairs.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(&self.norm.pair_input(a, b));
+        }
+        self.net.predict(&x)
+    }
 }
 
 #[cfg(test)]
@@ -238,11 +254,11 @@ mod tests {
 
     fn tiny_dataset() -> Dataset1 {
         corpus::build_dataset1(&Dataset1Config {
-            num_libraries: 4,
+            num_libraries: 6,
             min_functions: 5,
             max_functions: 7,
             seed: 21,
-                include_catalog: false,
+            include_catalog: false,
         })
     }
 
@@ -272,7 +288,7 @@ mod tests {
             ..DetectorConfig::default()
         };
         let (det, history, metrics) = train(&ds, &cfg);
-        assert_eq!(history.epochs.len(), 20);
+        assert_eq!(history.epochs.len(), cfg.train.epochs);
         assert!(
             metrics.accuracy > 0.8,
             "even a tiny corpus should separate reasonably, got {}",
@@ -295,7 +311,7 @@ mod tests {
         let ds = tiny_dataset();
         let cfg = DetectorConfig {
             pairs_per_function: 2,
-            train: TrainConfig { epochs: 2, batch: 64, lr: 1e-3, seed: 3, ..Default::default() },
+            train: TrainConfig { epochs: 20, batch: 64, lr: 2e-3, seed: 3, ..Default::default() },
             ..DetectorConfig::default()
         };
         let (det, _, _) = train(&ds, &cfg);
@@ -305,6 +321,28 @@ mod tests {
             let single = det.similarity(&fs[0], &fs[1 + i]);
             assert!((b - single).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn classify_batch_matches_per_pair_similarity() {
+        let ds = tiny_dataset();
+        let cfg = DetectorConfig {
+            pairs_per_function: 2,
+            train: TrainConfig { epochs: 20, batch: 64, lr: 2e-3, seed: 3, ..Default::default() },
+            ..DetectorConfig::default()
+        };
+        let (det, _, _) = train(&ds, &cfg);
+        let fs = crate::features::extract_all(&ds.variants[0].binary).unwrap();
+        let gs = crate::features::extract_all(&ds.variants[1].binary).unwrap();
+        // Arbitrary cross pairs, not one-reference-many-targets.
+        let pairs: Vec<(&StaticFeatures, &StaticFeatures)> =
+            fs.iter().flat_map(|a| gs.iter().map(move |b| (a, b))).collect();
+        let batch = det.classify_batch(&pairs);
+        assert_eq!(batch.len(), pairs.len());
+        for (p, (a, b)) in batch.iter().zip(&pairs) {
+            assert!((p - det.similarity(a, b)).abs() < 1e-6);
+        }
+        assert!(det.classify_batch(&[]).is_empty());
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! patch changes one integer constant and is invisible to all three
 //! channels.
 
-use crate::features::{self, StaticFeatures};
-use crate::pipeline::Patchecko;
+use crate::features::StaticFeatures;
+use crate::pipeline::{DirectExtraction, FeatureSource, Patchecko};
 use crate::similarity;
 use corpus::vulndb::DbEntry;
 use fwbin::format::Binary;
@@ -139,13 +139,25 @@ pub fn detect_patch(
     target_idx: usize,
     cfg: &DifferentialConfig,
 ) -> PatchVerdict {
+    detect_patch_with(patchecko, entry, target_bin, target_idx, cfg, &DirectExtraction)
+}
+
+/// [`detect_patch`] with static features served by `source`: a cached
+/// source lets a warm re-audit skip all three static extractions here.
+pub fn detect_patch_with(
+    patchecko: &Patchecko,
+    entry: &DbEntry,
+    target_bin: &Binary,
+    target_idx: usize,
+    cfg: &DifferentialConfig,
+    source: &dyn FeatureSource,
+) -> PatchVerdict {
     let vm_cfg = &patchecko.config.vm;
 
     // --- static channel ---
-    let fv = Patchecko::reference_features(entry, crate::pipeline::Basis::Vulnerable);
-    let fp = Patchecko::reference_features(entry, crate::pipeline::Basis::Patched);
-    let dt = disasm::disassemble(target_bin, target_idx).expect("target decodes");
-    let ft = features::extract(&dt, &target_bin.functions[target_idx]);
+    let fv = Patchecko::reference_features_with(entry, crate::pipeline::Basis::Vulnerable, source);
+    let fp = Patchecko::reference_features_with(entry, crate::pipeline::Basis::Patched, source);
+    let ft = source.features_one(target_bin, target_idx);
     let norm = &patchecko.detector.norm;
     let sv = static_distance(norm, &fv, &ft);
     let sp = static_distance(norm, &fp, &ft);
@@ -354,9 +366,21 @@ pub fn detect_patch_best(
     candidates: &[usize],
     cfg: &DifferentialConfig,
 ) -> Option<(usize, PatchVerdict)> {
+    detect_patch_best_with(patchecko, entry, target_bin, candidates, cfg, &DirectExtraction)
+}
+
+/// [`detect_patch_best`] with static features served by `source`.
+pub fn detect_patch_best_with(
+    patchecko: &Patchecko,
+    entry: &DbEntry,
+    target_bin: &Binary,
+    candidates: &[usize],
+    cfg: &DifferentialConfig,
+    source: &dyn FeatureSource,
+) -> Option<(usize, PatchVerdict)> {
     let mut best: Option<(usize, PatchVerdict, f64)> = None;
     for &c in candidates {
-        let v = detect_patch(patchecko, entry, target_bin, c, cfg);
+        let v = detect_patch_with(patchecko, entry, target_bin, c, cfg, source);
         let proximity = v.dyn_dist_vulnerable.min(v.dyn_dist_patched)
             + v.static_dist_vulnerable.min(v.static_dist_patched);
         let better = match &best {

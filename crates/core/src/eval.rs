@@ -171,11 +171,24 @@ pub fn audit_image(
     image: &fwbin::FirmwareImage,
     diff_cfg: &DifferentialConfig,
 ) -> crate::report::AuditReport {
+    audit_image_with(patchecko, db, image, diff_cfg, &crate::pipeline::DirectExtraction)
+}
+
+/// [`audit_image`] with static features served by `source`: with a warm
+/// scanhub artifact store, the whole audit performs zero disassembly and
+/// feature-extraction work.
+pub fn audit_image_with(
+    patchecko: &Patchecko,
+    db: &VulnDb,
+    image: &fwbin::FirmwareImage,
+    diff_cfg: &DifferentialConfig,
+    source: &dyn crate::pipeline::FeatureSource,
+) -> crate::report::AuditReport {
     use crate::report::{AuditFinding, AuditReport, AuditStatus};
     let mut findings = Vec::new();
     for entry in db.featured() {
-        let va = patchecko.analyze_image(image, entry, Basis::Vulnerable);
-        let pa = patchecko.analyze_image(image, entry, Basis::Patched);
+        let va = patchecko.analyze_image_with(image, entry, Basis::Vulnerable, source);
+        let pa = patchecko.analyze_image_with(image, entry, Basis::Patched, source);
         // Per-library candidate sets from both bases.
         let mut by_lib: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
         for m in va.best.iter().chain(pa.best.iter()) {
@@ -188,7 +201,7 @@ pub fn audit_image(
         for (li, cands) in by_lib {
             let bin = &image.binaries[li];
             if let Some((idx, v)) =
-                differential::detect_patch_best(patchecko, entry, bin, &cands, diff_cfg)
+                differential::detect_patch_best_with(patchecko, entry, bin, &cands, diff_cfg, source)
             {
                 let proximity = v.dyn_dist_vulnerable.min(v.dyn_dist_patched)
                     + v.static_dist_vulnerable.min(v.static_dist_patched);

@@ -459,9 +459,9 @@ mod tests {
         let mut diff_n = 0.0;
         for i in 0..a.len() {
             same += dist(&a[i], &b[i]);
-            for j in 0..b.len() {
+            for (j, bj) in b.iter().enumerate() {
                 if i != j {
-                    diff += dist(&a[i], &b[j]);
+                    diff += dist(&a[i], bj);
                     diff_n += 1.0;
                 }
             }

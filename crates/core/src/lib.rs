@@ -52,6 +52,9 @@ pub use detector::{Detector, DetectorConfig, TestMetrics};
 pub use differential::{detect_patch, DifferentialConfig, PatchVerdict};
 pub use eval::{build_evaluation, Evaluation, EvaluationConfig};
 pub use features::{Normalizer, StaticFeatures, NUM_STATIC_FEATURES, STATIC_FEATURE_NAMES};
-pub use pipeline::{Basis, CveAnalysis, ImageAnalysis, ImageMatch, Patchecko, PipelineConfig};
+pub use pipeline::{
+    Basis, CveAnalysis, DirectExtraction, FeatureSource, ImageAnalysis, ImageMatch, Patchecko,
+    PipelineConfig,
+};
 pub use report::{AuditFinding, AuditReport, AuditStatus};
 pub use similarity::{minkowski, rank, rank_of, sim_over_envs, RankedCandidate, PAPER_P};

@@ -48,6 +48,11 @@ pub struct PipelineConfig {
     /// Run candidate executions across threads (the paper parallelizes
     /// execution-environment testing).
     pub parallel: bool,
+    /// Worker-thread count for parallel stages (candidate profiling here,
+    /// and the scanhub job scheduler). `None` derives the count from
+    /// [`std::thread::available_parallelism`]; `Some(1)` forces serial
+    /// execution even when `parallel` is set.
+    pub threads: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -57,7 +62,45 @@ impl Default for PipelineConfig {
             fuzz: FuzzConfig::default(),
             minkowski_p: similarity::PAPER_P,
             parallel: true,
+            threads: None,
         }
+    }
+}
+
+impl PipelineConfig {
+    /// The effective worker count: the explicit [`PipelineConfig::threads`]
+    /// override when set, otherwise the machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+            .max(1)
+    }
+}
+
+/// Where the static stage gets per-function artifacts from. The default
+/// [`DirectExtraction`] disassembles and extracts on every call; scanhub's
+/// content-addressed artifact store implements this trait to serve cached
+/// features instead, which is how a warm re-audit skips disassembly and
+/// feature extraction entirely.
+pub trait FeatureSource: Sync {
+    /// Static features of every function of `bin`, in function-table order.
+    fn features_all(&self, bin: &Binary) -> Vec<StaticFeatures>;
+
+    /// Static features of one function of `bin`.
+    fn features_one(&self, bin: &Binary, idx: usize) -> StaticFeatures;
+}
+
+/// The uncached [`FeatureSource`]: disassemble + extract on every request.
+pub struct DirectExtraction;
+
+impl FeatureSource for DirectExtraction {
+    fn features_all(&self, bin: &Binary) -> Vec<StaticFeatures> {
+        features::extract_all(bin).expect("target binaries decode")
+    }
+
+    fn features_one(&self, bin: &Binary, idx: usize) -> StaticFeatures {
+        let dis = disasm::disassemble(bin, idx).expect("target binaries decode");
+        features::extract(&dis, &bin.functions[idx])
     }
 }
 
@@ -130,25 +173,41 @@ impl Patchecko {
 
     /// Static features of a database entry's primary reference function.
     pub fn reference_features(entry: &DbEntry, basis: Basis) -> StaticFeatures {
+        Self::reference_features_with(entry, basis, &DirectExtraction)
+    }
+
+    /// [`Patchecko::reference_features`] through an explicit
+    /// [`FeatureSource`] (reference binaries are content-addressable too).
+    pub fn reference_features_with(
+        entry: &DbEntry,
+        basis: Basis,
+        source: &dyn FeatureSource,
+    ) -> StaticFeatures {
         let bin = match basis {
             Basis::Vulnerable => &entry.vulnerable_bin,
             Basis::Patched => &entry.patched_bin,
         };
-        let dis = disasm::disassemble(bin, 0).expect("reference binaries decode");
-        features::extract(&dis, &bin.functions[0])
+        source.features_one(bin, 0)
     }
 
     /// Static features of every multi-platform reference variant (§II-A:
     /// the database compiles the reference "for different hardware
     /// architectures and software platforms").
     pub fn reference_feature_set(entry: &DbEntry, basis: Basis) -> Vec<StaticFeatures> {
+        Self::reference_feature_set_with(entry, basis, &DirectExtraction)
+    }
+
+    /// [`Patchecko::reference_feature_set`] through an explicit
+    /// [`FeatureSource`].
+    pub fn reference_feature_set_with(
+        entry: &DbEntry,
+        basis: Basis,
+        source: &dyn FeatureSource,
+    ) -> Vec<StaticFeatures> {
         entry
             .reference_variants(basis == Basis::Patched)
             .iter()
-            .map(|bin| {
-                let dis = disasm::disassemble(bin, 0).expect("reference binaries decode");
-                features::extract(&dis, &bin.functions[0])
-            })
+            .map(|bin| source.features_one(bin, 0))
             .collect()
     }
 
@@ -156,14 +215,29 @@ impl Patchecko {
     /// vectors with the deep-learning classifier. A function's score is
     /// its best match across the reference variants.
     pub fn scan_library(&self, bin: &Binary, references: &[StaticFeatures]) -> StaticScan {
+        self.scan_library_with(bin, references, &DirectExtraction)
+    }
+
+    /// [`Patchecko::scan_library`] with features served by `source`. All
+    /// (reference × function) pairs are packed into one
+    /// [`crate::detector::Detector::classify_batch`] call, so the whole
+    /// library scan is a single forward pass per layer regardless of how
+    /// many reference variants the database carries.
+    pub fn scan_library_with(
+        &self,
+        bin: &Binary,
+        references: &[StaticFeatures],
+        source: &dyn FeatureSource,
+    ) -> StaticScan {
         let started = Instant::now();
-        let feats = features::extract_all(bin).expect("target binaries decode");
+        let feats = source.features_all(bin);
+        let pairs: Vec<(&StaticFeatures, &StaticFeatures)> =
+            references.iter().flat_map(|r| feats.iter().map(move |f| (r, f))).collect();
+        let scores = self.detector.classify_batch(&pairs);
         let mut probs = vec![0.0f32; feats.len()];
-        for reference in references {
-            for (p, q) in probs.iter_mut().zip(self.detector.batch_similarity(reference, &feats))
-            {
-                *p = p.max(q);
-            }
+        for (i, s) in scores.iter().enumerate() {
+            let f = i % feats.len();
+            probs[f] = probs[f].max(*s);
         }
         let candidates = probs
             .iter()
@@ -225,9 +299,11 @@ impl Patchecko {
 
         // Validate + profile candidates (in parallel when configured; each
         // candidate's environments replay independently).
-        let results: Vec<Option<Vec<DynFeatures>>> = if self.config.parallel && candidates.len() > 3
+        let results: Vec<Option<Vec<DynFeatures>>> = if self.config.parallel
+            && candidates.len() > 3
+            && self.config.effective_threads() > 1
         {
-            let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let n_threads = self.config.effective_threads();
             let chunk = candidates.len().div_ceil(n_threads).max(1);
             let mut results = vec![None; candidates.len()];
             crossbeam::thread::scope(|s| {
@@ -277,8 +353,20 @@ impl Patchecko {
         entry: &DbEntry,
         basis: Basis,
     ) -> CveAnalysis {
-        let references = Self::reference_feature_set(entry, basis);
-        let scan = self.scan_library(target_bin, &references);
+        self.analyze_library_with(target_bin, entry, basis, &DirectExtraction)
+    }
+
+    /// [`Patchecko::analyze_library`] with static features served by
+    /// `source` (target and reference sides alike).
+    pub fn analyze_library_with(
+        &self,
+        target_bin: &Binary,
+        entry: &DbEntry,
+        basis: Basis,
+        source: &dyn FeatureSource,
+    ) -> CveAnalysis {
+        let references = Self::reference_feature_set_with(entry, basis, source);
+        let scan = self.scan_library_with(target_bin, &references, source);
         // Dynamic stage: reference compiled for the *target's* platform —
         // the paper executes both functions on the device itself.
         let ref_bin = entry.reference_for(target_bin.arch, basis == Basis::Patched);
@@ -299,10 +387,21 @@ impl Patchecko {
         entry: &DbEntry,
         basis: Basis,
     ) -> ImageAnalysis {
+        self.analyze_image_with(image, entry, basis, &DirectExtraction)
+    }
+
+    /// [`Patchecko::analyze_image`] with static features served by `source`.
+    pub fn analyze_image_with(
+        &self,
+        image: &fwbin::FirmwareImage,
+        entry: &DbEntry,
+        basis: Basis,
+        source: &dyn FeatureSource,
+    ) -> ImageAnalysis {
         let analyses: Vec<CveAnalysis> = image
             .binaries
             .iter()
-            .map(|bin| self.analyze_library(bin, entry, basis))
+            .map(|bin| self.analyze_library_with(bin, entry, basis, source))
             .collect();
         // Best match: the lowest-distance top candidate across libraries.
         let mut best: Option<(usize, usize, f64)> = None;

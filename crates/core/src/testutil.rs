@@ -19,7 +19,7 @@ pub fn shared_detector() -> &'static Detector {
             min_functions: 8,
             max_functions: 14,
             seed: 1,
-                include_catalog: true,
+            include_catalog: true,
         });
         let cfg = DetectorConfig {
             pairs_per_function: 8,

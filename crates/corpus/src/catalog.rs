@@ -525,7 +525,7 @@ pub fn pad_function(f: &Function, seed: u64, n_stmts: usize) -> Function {
         }
         match kind {
             0 | 1 => {
-                let op = [BinOp::Add, BinOp::Xor, BinOp::Mul, BinOp::Sub][rng.gen_range(0..4)];
+                let op = [BinOp::Add, BinOp::Xor, BinOp::Mul, BinOp::Sub][rng.gen_range(0..4usize)];
                 stmts.push(Stmt::Let {
                     local: dst,
                     value: Expr::bin(
@@ -539,7 +539,7 @@ pub fn pad_function(f: &Function, seed: u64, n_stmts: usize) -> Function {
                 stmts.push(Stmt::Let {
                     local: dst,
                     value: Expr::bin(
-                        [BinOp::And, BinOp::Or, BinOp::Shr][rng.gen_range(0..3)],
+                        [BinOp::And, BinOp::Or, BinOp::Shr][rng.gen_range(0..3usize)],
                         Expr::Local(src),
                         Expr::ConstInt(rng.gen_range(1..8)),
                     ),
@@ -562,7 +562,7 @@ pub fn pad_function(f: &Function, seed: u64, n_stmts: usize) -> Function {
             4 => {
                 stmts.push(Stmt::If {
                     cond: Expr::cmp(
-                        [CmpOp::Gt, CmpOp::Lt, CmpOp::Ne][rng.gen_range(0..3)],
+                        [CmpOp::Gt, CmpOp::Lt, CmpOp::Ne][rng.gen_range(0..3usize)],
                         Expr::Local(src),
                         Expr::ConstInt(rng.gen_range(0..128)),
                     ),

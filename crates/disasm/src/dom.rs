@@ -208,8 +208,8 @@ mod tests {
             })
             .collect();
         let mut edges = 0;
-        for i in 0..n {
-            for &s in adj[i] {
+        for (i, row) in adj.iter().enumerate().take(n) {
+            for &s in *row {
                 blocks[s as usize].preds.push(i as u32);
                 edges += 1;
             }

@@ -245,7 +245,7 @@ impl Writer {
     /// units, like a real fixed-width ISA would split them).
     fn pad_header(&mut self, start: usize) {
         if self.fixed {
-            while self.buf.len() - start < 4 || (self.buf.len() - start) % 4 != 0 {
+            while self.buf.len() - start < 4 || !(self.buf.len() - start).is_multiple_of(4) {
                 self.buf.push(0);
             }
         }
@@ -329,7 +329,7 @@ impl<'a> Reader<'a> {
 
     fn skip_header_pad(&mut self, start: usize) -> Result<(), DecodeError> {
         if self.fixed {
-            while self.pos - start < 4 || (self.pos - start) % 4 != 0 {
+            while self.pos - start < 4 || !(self.pos - start).is_multiple_of(4) {
                 self.byte()?;
             }
         }

@@ -233,9 +233,9 @@ pub fn merge_returns(mut code: Vec<Inst>) -> Vec<Inst> {
     let Some(last_ret) = code.iter().rposition(|i| matches!(i, Inst::Ret)) else {
         return code;
     };
-    for i in 0..last_ret {
-        if matches!(code[i], Inst::Ret) {
-            code[i] = Inst::Jmp { target: last_ret as u32 };
+    for inst in code.iter_mut().take(last_ret) {
+        if matches!(inst, Inst::Ret) {
+            *inst = Inst::Jmp { target: last_ret as u32 };
         }
     }
     code

@@ -272,7 +272,7 @@ impl Generator {
             exported,
         };
         let i = f.add_local("i", Ty::Int);
-        let op = [BinOp::Xor, BinOp::Add, BinOp::Sub][self.rng.gen_range(0..3)];
+        let op = [BinOp::Xor, BinOp::Add, BinOp::Sub][self.rng.gen_range(0..3usize)];
         let body = vec![Stmt::StoreByte {
             base: Expr::Param(0),
             index: Expr::Local(i),
@@ -519,7 +519,7 @@ impl Generator {
             .iter()
             .filter(|g| g.buffer_param() == Some((0, 1)))
             .map(|g| g.name.clone())
-            .last();
+            .next_back();
         let call = match callee {
             Some(c) => Expr::Call { callee: c, args: vec![Expr::Param(0), Expr::Param(1)] },
             None => Expr::Call { callee: "checksum".into(), args: vec![Expr::Param(0), Expr::Param(1)] },

@@ -244,7 +244,7 @@ fn restructure(func: &mut Function, min_len: i64) {
     restructure_stmts(&mut func.body, counter);
 }
 
-fn restructure_stmts(stmts: &mut Vec<Stmt>, counter: u32) {
+fn restructure_stmts(stmts: &mut [Stmt], counter: u32) {
     for s in stmts.iter_mut() {
         match s {
             Stmt::If { cond, then_body, else_body } if !else_body.is_empty() => {

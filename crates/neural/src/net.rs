@@ -150,9 +150,8 @@ impl Mlp {
         let logits = zs.last().unwrap();
         let mut loss = 0.0f32;
         let mut dz = Matrix::zeros(batch, 1);
-        for r in 0..batch {
+        for (r, &t) in y.iter().enumerate().take(batch) {
             let p = sigmoid(logits.get(r, 0));
-            let t = y[r];
             let pc = p.clamp(1e-7, 1.0 - 1e-7);
             loss += -(t * pc.ln() + (1.0 - t) * (1.0 - pc).ln());
             dz.set(r, 0, (p - t) / batch as f32);
@@ -201,8 +200,7 @@ impl Mlp {
                 let vhat = *v / bias2;
                 layer.w.as_mut_slice()[i] -= lr * mhat / (vhat.sqrt() + eps);
             }
-            for i in 0..db.len() {
-                let g = db[i];
+            for (i, &g) in db.iter().enumerate() {
                 layer.mb[i] = b1 * layer.mb[i] + (1.0 - b1) * g;
                 layer.vb[i] = b2 * layer.vb[i] + (1.0 - b2) * g * g;
                 let mhat = layer.mb[i] / bias1;

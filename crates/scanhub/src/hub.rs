@@ -1,0 +1,173 @@
+//! The scan service: a trained analyzer bound to an artifact store.
+//!
+//! `ScanHub` is the long-lived object a deployment keeps between requests.
+//! Every static-stage feature lookup — target functions, reference
+//! variants, the differential engine's three-way comparison — routes
+//! through the content-addressed store, so the first scan of an image pays
+//! for disassembly and feature extraction once and every later scan (new
+//! CVE, other basis, re-audit after reboot via the on-disk layer) reuses
+//! the artifacts.
+
+use crate::schedule::{self, JobRecord, JobSpec};
+use crate::store::{ArtifactStore, CacheStats};
+use corpus::vulndb::{DbEntry, VulnDb};
+use fwbin::format::Binary;
+use fwbin::FirmwareImage;
+use patchecko_core::differential::DifferentialConfig;
+use patchecko_core::pipeline::{Basis, CveAnalysis, ImageAnalysis, Patchecko, StaticScan};
+use patchecko_core::report::AuditReport;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The persistent scan service.
+pub struct ScanHub {
+    /// The trained analyzer (detector + pipeline settings).
+    pub analyzer: Patchecko,
+    store: ArtifactStore,
+    cache_dir: Option<PathBuf>,
+}
+
+impl ScanHub {
+    /// A hub with a fresh in-memory store.
+    pub fn new(analyzer: Patchecko) -> ScanHub {
+        ScanHub { analyzer, store: ArtifactStore::new(), cache_dir: None }
+    }
+
+    /// A hub whose store persists under `dir`: existing artifacts are
+    /// loaded now, and [`ScanHub::persist`] writes back.
+    ///
+    /// # Errors
+    /// Propagates filesystem/parse errors from loading the cache.
+    pub fn with_cache_dir(analyzer: Patchecko, dir: impl Into<PathBuf>) -> std::io::Result<ScanHub> {
+        let dir = dir.into();
+        let store = ArtifactStore::load(&dir)?;
+        Ok(ScanHub { analyzer, store, cache_dir: Some(dir) })
+    }
+
+    /// The artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.store.stats()
+    }
+
+    /// Write the store to the configured cache directory (no-op without
+    /// one). Returns whether anything was written.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn persist(&self) -> std::io::Result<bool> {
+        match &self.cache_dir {
+            Some(dir) => {
+                self.store.save(dir)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Pre-extract artifacts for every function of `image`; returns the
+    /// function count visited.
+    pub fn warm_image(&self, image: &FirmwareImage) -> usize {
+        self.store.warm_image(image)
+    }
+
+    /// Static-stage scan of one library through the cache.
+    pub fn scan_library(&self, bin: &Binary, entry: &DbEntry, basis: Basis) -> StaticScan {
+        let references = Patchecko::reference_feature_set_with(entry, basis, &self.store);
+        self.analyzer.scan_library_with(bin, &references, &self.store)
+    }
+
+    /// Full hybrid analysis of one library through the cache.
+    pub fn analyze_library(&self, bin: &Binary, entry: &DbEntry, basis: Basis) -> CveAnalysis {
+        self.analyzer.analyze_library_with(bin, entry, basis, &self.store)
+    }
+
+    /// Full hybrid analysis of a whole image through the cache.
+    pub fn scan_image(&self, image: &FirmwareImage, entry: &DbEntry, basis: Basis) -> ImageAnalysis {
+        self.analyzer.analyze_image_with(image, entry, basis, &self.store)
+    }
+
+    /// Whole-image audit against the vulnerability database through the
+    /// cache — [`patchecko_core::eval::audit_image`] with every static
+    /// feature served by the store.
+    pub fn audit(&self, db: &VulnDb, image: &FirmwareImage, diff: &DifferentialConfig) -> AuditReport {
+        patchecko_core::eval::audit_image_with(&self.analyzer, db, image, diff, &self.store)
+    }
+
+    /// Run a batch of scan jobs across the scheduler's worker pool. The
+    /// worker count honours `PipelineConfig::threads`
+    /// ([`patchecko_core::pipeline::PipelineConfig::effective_threads`]).
+    pub fn batch_audit(
+        &self,
+        images: &[FirmwareImage],
+        db: &VulnDb,
+        jobs: &[JobSpec],
+    ) -> BatchReport {
+        let started = Instant::now();
+        let before = self.stats();
+        let threads = self.analyzer.config.effective_threads();
+        let records = schedule::run_jobs(self, images, db, jobs, threads);
+        let seconds = started.elapsed().as_secs_f64();
+        let functions: usize = images.iter().map(|i| i.total_functions()).sum();
+        BatchReport {
+            records,
+            seconds,
+            threads,
+            images: images.len(),
+            functions,
+            cache: self.stats(),
+            cache_delta: self.stats().since(&before),
+        }
+    }
+}
+
+/// The outcome of one [`ScanHub::batch_audit`] run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Per-job records, in schedule order.
+    pub records: Vec<JobRecord>,
+    /// Batch wall-clock seconds.
+    pub seconds: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Images in the batch.
+    pub images: usize,
+    /// Total functions across those images.
+    pub functions: usize,
+    /// Store counters after the batch.
+    pub cache: CacheStats,
+    /// Counter movement caused by the batch alone.
+    pub cache_delta: CacheStats,
+}
+
+impl BatchReport {
+    /// Completed-job count.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Failed-job count.
+    pub fn failed(&self) -> usize {
+        self.records.len() - self.completed()
+    }
+
+    /// Jobs finished per wall-clock second.
+    pub fn jobs_per_second(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.records.len() as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Sum of per-job seconds (CPU-side throughput view: with N workers
+    /// this exceeds wall-clock by up to N×).
+    pub fn job_seconds(&self) -> f64 {
+        self.records.iter().map(|r| r.seconds).sum()
+    }
+}

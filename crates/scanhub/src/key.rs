@@ -1,0 +1,155 @@
+//! Content-addressed artifact keys.
+//!
+//! A key identifies everything the static stage derives from one function:
+//! its disassembly, recovered CFG, and Table-I feature vector. Those
+//! artifacts are fully determined by the function's code bytes, the
+//! architecture they decode under, the function-record metadata that feeds
+//! the extractor (export flag, frame size), and the binary's no-return
+//! import indices (which steer CFG block typing) — so the key hashes
+//! exactly those inputs plus the feature-schema version. Two binaries
+//! that share a byte-identical function (the common case across firmware
+//! revisions of one component) share the cache entry; re-encoding and
+//! decoding a binary through the FWB wire format preserves every hashed
+//! input, so keys are stable across serialization round-trips.
+
+use fwbin::format::Binary;
+use fwbin::isa::Arch;
+
+/// Version of the static feature schema the cached artifacts follow. Bump
+/// whenever `patchecko_core::features::extract` or
+/// [`disasm::CfgSummary`] changes shape so stale on-disk caches miss
+/// instead of serving wrong vectors.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A 128-bit content hash naming one function's cached artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactKey {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET_HI: u64 = 0xcbf2_9ce4_8422_2325;
+// Independent second lane: a different non-zero offset basis decorrelates
+// the two 64-bit FNV streams enough for a corpus-scale 128-bit name.
+const FNV_OFFSET_LO: u64 = 0x6c62_272e_07bb_0142;
+
+struct Fnv2 {
+    hi: u64,
+    lo: u64,
+}
+
+impl Fnv2 {
+    fn new() -> Fnv2 {
+        Fnv2 { hi: FNV_OFFSET_HI, lo: FNV_OFFSET_LO }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hi = (self.hi ^ b as u64).wrapping_mul(FNV_PRIME);
+            self.lo = (self.lo ^ b.rotate_left(3) as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn update_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+}
+
+fn arch_tag(arch: Arch) -> u8 {
+    match arch {
+        Arch::X86 => 0,
+        Arch::Amd64 => 1,
+        Arch::Arm32 => 2,
+        Arch::Arm64 => 3,
+    }
+}
+
+impl ArtifactKey {
+    /// Key of function `idx` of `bin`.
+    pub fn for_function(bin: &Binary, idx: usize) -> ArtifactKey {
+        let rec = &bin.functions[idx];
+        let mut h = Fnv2::new();
+        h.update_u32(SCHEMA_VERSION);
+        h.update(&[arch_tag(bin.arch), rec.exported as u8, rec.n_params]);
+        h.update_u32(rec.frame_slots);
+        // No-return import indices shape the CFG (ExternNoRet typing).
+        let noret = disasm::noreturn_imports(bin);
+        h.update_u32(noret.len() as u32);
+        for i in noret {
+            h.update_u32(i);
+        }
+        h.update_u32(rec.code.len() as u32);
+        h.update(&rec.code);
+        ArtifactKey { hi: h.hi, lo: h.lo }
+    }
+
+    /// 32-character lowercase hex form (the on-disk map key).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parse [`ArtifactKey::to_hex`] output.
+    pub fn from_hex(s: &str) -> Option<ArtifactKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(ArtifactKey { hi, lo })
+    }
+
+    /// Shard selector in `[0, shards)`.
+    pub fn shard(self, shards: usize) -> usize {
+        (self.lo as usize) % shards.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fwbin::isa::OptLevel;
+    use fwlang::gen::Generator;
+
+    fn sample_binary() -> Binary {
+        let lib = Generator::new(11).library_sized("libk", 8);
+        fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O2).unwrap()
+    }
+
+    #[test]
+    fn keys_distinguish_functions_and_arches() {
+        let bin = sample_binary();
+        let mut keys: Vec<ArtifactKey> =
+            (0..bin.function_count()).map(|i| ArtifactKey::for_function(&bin, i)).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), bin.function_count(), "all functions hash distinctly");
+
+        let lib = Generator::new(11).library_sized("libk", 8);
+        let other = fwbin::compile_library(&lib, Arch::X86, OptLevel::O2).unwrap();
+        assert_ne!(
+            ArtifactKey::for_function(&bin, 0),
+            ArtifactKey::for_function(&other, 0),
+            "same source, different arch, different key"
+        );
+    }
+
+    #[test]
+    fn key_is_stable_across_wire_roundtrip() {
+        let bin = sample_binary();
+        let back = Binary::from_bytes(&bin.to_bytes()).unwrap();
+        for i in 0..bin.function_count() {
+            assert_eq!(ArtifactKey::for_function(&bin, i), ArtifactKey::for_function(&back, i));
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let k = ArtifactKey { hi: 0x0123_4567_89ab_cdef, lo: 0xfedc_ba98_7654_3210 };
+        assert_eq!(ArtifactKey::from_hex(&k.to_hex()), Some(k));
+        assert_eq!(ArtifactKey::from_hex("nope"), None);
+        assert_eq!(ArtifactKey::from_hex(&"0".repeat(31)), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! # patchecko-scanhub — the persistent scan service
+//!
+//! The one-shot pipeline in `patchecko-core` re-disassembles every
+//! function, re-extracts all 48 Table-I features, and classifies pairs on
+//! every invocation. At fleet scale — many CVEs against many firmware
+//! images, most functions byte-identical between image revisions — that
+//! repeated work dominates. This crate turns the pipeline into a reusable
+//! service:
+//!
+//! * [`key`] — content-addressed [`ArtifactKey`]s: a stable 128-bit hash
+//!   of a function's code bytes, architecture, extractor-relevant record
+//!   metadata, and the feature-schema version;
+//! * [`store`] — the sharded [`ArtifactStore`] caching
+//!   [`StaticFeatures`](patchecko_core::features::StaticFeatures) +
+//!   [`CfgSummary`](disasm::CfgSummary) per key, with hit/miss/extraction
+//!   counters and an on-disk JSON layer;
+//! * [`schedule`] — the (image × CVE × basis) job scheduler over a
+//!   crossbeam worker pool, with per-job timing and graceful failure
+//!   records;
+//! * [`hub`] — [`ScanHub`], binding a trained
+//!   [`Patchecko`](patchecko_core::pipeline::Patchecko) analyzer to a
+//!   store so scans, audits, and batches all reuse cached artifacts.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use patchecko_core::pipeline::{Basis, Patchecko, PipelineConfig};
+//! use patchecko_scanhub::{schedule, ScanHub};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! # let detector: patchecko_core::detector::Detector = unimplemented!();
+//! let hub = ScanHub::with_cache_dir(
+//!     Patchecko::new(detector, PipelineConfig::default()),
+//!     "/var/cache/patchecko",
+//! )?;
+//! let db = corpus::build_vulndb(0, 1);
+//! let images = vec![/* loaded FirmwareImages */];
+//! let jobs = schedule::full_schedule(images.len(), &db, &[Basis::Vulnerable]);
+//! let report = hub.batch_audit(&images, &db, &jobs);
+//! println!("{} jobs, cache {}", report.records.len(), report.cache);
+//! hub.persist()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hub;
+pub mod key;
+pub mod schedule;
+pub mod store;
+
+pub use hub::{BatchReport, ScanHub};
+pub use key::{ArtifactKey, SCHEMA_VERSION};
+pub use schedule::{full_schedule, run_jobs, JobOutcome, JobRecord, JobSpec};
+pub use store::{Artifact, ArtifactStore, CacheStats};

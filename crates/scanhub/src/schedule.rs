@@ -1,0 +1,160 @@
+//! The multi-image job scheduler: fan a queue of (image × CVE × basis)
+//! scan jobs across a crossbeam worker pool.
+//!
+//! Workers pull jobs from a shared channel, so long jobs (big libraries,
+//! many candidates) don't starve short ones the way static chunking would.
+//! Every job produces a [`JobRecord`] with wall-clock timing and its
+//! outcome; a job that panics or names an unknown CVE is recorded as
+//! [`JobOutcome::Failed`] without taking down its worker or the batch.
+
+use crate::hub::ScanHub;
+use corpus::vulndb::VulnDb;
+use fwbin::FirmwareImage;
+use patchecko_core::pipeline::{Basis, ImageMatch};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// One scheduled unit of work: scan one image for one CVE under one basis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Index into the batch's image list.
+    pub image: usize,
+    /// CVE identifier to search for.
+    pub cve: String,
+    /// Search basis.
+    pub basis: Basis,
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// The scan ran to completion.
+    Completed {
+        /// Static-stage candidates across the image's libraries.
+        candidates: usize,
+        /// Candidates surviving execution validation.
+        validated: usize,
+        /// The image-wide best match, if any candidate survived.
+        best: Option<ImageMatch>,
+    },
+    /// The job could not run or panicked mid-run.
+    Failed(String),
+}
+
+/// A job plus its measured execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The scheduled job.
+    pub spec: JobSpec,
+    /// Wall-clock seconds spent on the job.
+    pub seconds: f64,
+    /// Outcome.
+    pub outcome: JobOutcome,
+}
+
+impl JobRecord {
+    /// Whether the job completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.outcome, JobOutcome::Completed { .. })
+    }
+}
+
+/// Every (image × featured-CVE × basis) combination for a batch — the
+/// exhaustive audit schedule.
+pub fn full_schedule(num_images: usize, db: &VulnDb, bases: &[Basis]) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for image in 0..num_images {
+        for entry in db.featured() {
+            for &basis in bases {
+                jobs.push(JobSpec { image, cve: entry.entry.cve.clone(), basis });
+            }
+        }
+    }
+    jobs
+}
+
+fn run_one(hub: &ScanHub, images: &[FirmwareImage], db: &VulnDb, spec: &JobSpec) -> JobOutcome {
+    let Some(image) = images.get(spec.image) else {
+        return JobOutcome::Failed(format!("image index {} out of range", spec.image));
+    };
+    let Some(entry) = db.get(&spec.cve) else {
+        return JobOutcome::Failed(format!("unknown CVE {}", spec.cve));
+    };
+    match catch_unwind(AssertUnwindSafe(|| hub.scan_image(image, entry, spec.basis))) {
+        Ok(analysis) => JobOutcome::Completed {
+            candidates: analysis.analyses.iter().map(|a| a.scan.candidates.len()).sum(),
+            validated: analysis.analyses.iter().map(|a| a.dynamic.validated.len()).sum(),
+            best: analysis.best,
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".to_string());
+            JobOutcome::Failed(msg)
+        }
+    }
+}
+
+/// Run `jobs` across `threads` workers, returning records in job order.
+/// `threads == 1` runs inline (no pool); individual failures are recorded,
+/// never propagated.
+pub fn run_jobs(
+    hub: &ScanHub,
+    images: &[FirmwareImage],
+    db: &VulnDb,
+    jobs: &[JobSpec],
+    threads: usize,
+) -> Vec<JobRecord> {
+    let timed = |spec: &JobSpec| -> JobRecord {
+        let started = Instant::now();
+        let outcome = run_one(hub, images, db, spec);
+        JobRecord { spec: spec.clone(), seconds: started.elapsed().as_secs_f64(), outcome }
+    };
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(timed).collect();
+    }
+
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, JobSpec)>();
+    let (rec_tx, rec_rx) = crossbeam::channel::unbounded::<(usize, JobRecord)>();
+    for (i, spec) in jobs.iter().enumerate() {
+        job_tx.send((i, spec.clone())).expect("queue accepts jobs");
+    }
+    drop(job_tx);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(jobs.len()) {
+            let job_rx = job_rx.clone();
+            let rec_tx = rec_tx.clone();
+            let timed = &timed;
+            s.spawn(move |_| {
+                while let Ok((i, spec)) = job_rx.recv() {
+                    let record = timed(&spec);
+                    if rec_tx.send((i, record)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("scheduler workers joined");
+    drop(rec_tx);
+
+    let mut slots: Vec<Option<JobRecord>> = vec![None; jobs.len()];
+    while let Ok((i, record)) = rec_rx.recv() {
+        slots[i] = Some(record);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| JobRecord {
+                spec: jobs[i].clone(),
+                seconds: 0.0,
+                outcome: JobOutcome::Failed("job record lost".into()),
+            })
+        })
+        .collect()
+}

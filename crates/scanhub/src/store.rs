@@ -1,0 +1,315 @@
+//! The content-addressed artifact store: a sharded in-memory map in front
+//! of an optional on-disk layer.
+//!
+//! Each entry holds the per-function artifacts the static stage would
+//! otherwise re-derive on every scan — the Table-I feature vector and the
+//! condensed CFG — keyed by [`ArtifactKey`]. Lookups are sharded across
+//! independent `parking_lot` mutexes so scheduler workers rarely contend,
+//! and the hit/miss/extraction counters make cache behaviour observable
+//! (the `--cache-stats` CLI flag and the warm-re-audit acceptance test
+//! both read them).
+
+use crate::key::{ArtifactKey, SCHEMA_VERSION};
+use disasm::CfgSummary;
+use fwbin::format::Binary;
+use parking_lot::Mutex;
+use patchecko_core::features::{self, StaticFeatures};
+use patchecko_core::pipeline::FeatureSource;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shard count of the in-memory map. Power of two, comfortably above the
+/// worker counts the scheduler runs with.
+const NUM_SHARDS: usize = 16;
+
+/// The cached artifacts of one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Table-I static feature vector.
+    pub features: StaticFeatures,
+    /// Condensed control-flow graph.
+    pub cfg: CfgSummary,
+}
+
+/// A point-in-time snapshot of the store's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from the map.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Disassembly + feature extractions actually performed.
+    pub extractions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in [0, 1]; 0 when no lookups happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            extractions: self.extractions - earlier.extractions,
+            entries: self.entries,
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate), {} extractions, {} entries",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.extractions,
+            self.entries
+        )
+    }
+}
+
+/// On-disk image of the store (one JSON document per cache directory).
+#[derive(Serialize, Deserialize)]
+struct PersistedStore {
+    /// Feature-schema version the artifacts were extracted under.
+    schema: u32,
+    /// Hex key → artifact.
+    artifacts: BTreeMap<String, Artifact>,
+}
+
+/// The sharded artifact store.
+pub struct ArtifactStore {
+    shards: Vec<Mutex<HashMap<ArtifactKey, Arc<Artifact>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    extractions: AtomicU64,
+}
+
+impl Default for ArtifactStore {
+    fn default() -> ArtifactStore {
+        ArtifactStore::new()
+    }
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> ArtifactStore {
+        ArtifactStore {
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            extractions: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            extractions: self.extractions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len() as u64).sum(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, key: ArtifactKey) -> Option<Arc<Artifact>> {
+        let found = self.shards[key.shard(NUM_SHARDS)].lock().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: ArtifactKey, artifact: Artifact) -> Arc<Artifact> {
+        let arc = Arc::new(artifact);
+        self.shards[key.shard(NUM_SHARDS)].lock().insert(key, Arc::clone(&arc));
+        arc
+    }
+
+    fn extract(&self, bin: &Binary, idx: usize) -> Artifact {
+        self.extractions.fetch_add(1, Ordering::Relaxed);
+        let dis = disasm::disassemble(bin, idx).expect("target binaries decode");
+        Artifact {
+            features: features::extract(&dis, &bin.functions[idx]),
+            cfg: dis.cfg.summary(),
+        }
+    }
+
+    /// The artifacts of function `idx` of `bin`, extracting and caching on
+    /// first sight. Extraction runs outside the shard lock, so a racing
+    /// duplicate extraction is possible (and harmless — both compute the
+    /// same value); the counters still record exactly what happened.
+    pub fn get_or_extract(&self, bin: &Binary, idx: usize) -> Arc<Artifact> {
+        let key = ArtifactKey::for_function(bin, idx);
+        if let Some(found) = self.lookup(key) {
+            return found;
+        }
+        let artifact = self.extract(bin, idx);
+        self.insert(key, artifact)
+    }
+
+    /// Pre-populate the store with every function of an image. Returns the
+    /// number of functions visited.
+    pub fn warm_image(&self, image: &fwbin::FirmwareImage) -> usize {
+        let mut n = 0;
+        for bin in &image.binaries {
+            for idx in 0..bin.function_count() {
+                self.get_or_extract(bin, idx);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Write the store to `dir/artifacts.json` (creating `dir` as needed).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let mut artifacts = BTreeMap::new();
+        for shard in &self.shards {
+            for (k, v) in shard.lock().iter() {
+                artifacts.insert(k.to_hex(), (**v).clone());
+            }
+        }
+        let doc = PersistedStore { schema: SCHEMA_VERSION, artifacts };
+        std::fs::create_dir_all(dir)?;
+        let json = serde_json::to_string(&doc)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(dir.join("artifacts.json"), json)
+    }
+
+    /// Load a store persisted by [`ArtifactStore::save`]. A missing file
+    /// yields an empty store; a schema-version mismatch discards the stale
+    /// entries (they would desynchronize from the extractor).
+    ///
+    /// # Errors
+    /// Propagates filesystem and parse errors for existing files.
+    pub fn load(dir: &Path) -> std::io::Result<ArtifactStore> {
+        let path = dir.join("artifacts.json");
+        let store = ArtifactStore::new();
+        let json = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(store),
+            Err(e) => return Err(e),
+        };
+        let doc: PersistedStore = serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        if doc.schema != SCHEMA_VERSION {
+            return Ok(store);
+        }
+        for (hex, artifact) in doc.artifacts {
+            if let Some(key) = ArtifactKey::from_hex(&hex) {
+                store.insert(key, artifact);
+            }
+        }
+        Ok(store)
+    }
+}
+
+impl FeatureSource for ArtifactStore {
+    fn features_all(&self, bin: &Binary) -> Vec<StaticFeatures> {
+        (0..bin.function_count()).map(|i| self.get_or_extract(bin, i).features.clone()).collect()
+    }
+
+    fn features_one(&self, bin: &Binary, idx: usize) -> StaticFeatures {
+        self.get_or_extract(bin, idx).features.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fwbin::isa::{Arch, OptLevel};
+    use fwlang::gen::Generator;
+    use patchecko_core::pipeline::DirectExtraction;
+
+    fn sample_binary() -> Binary {
+        let lib = Generator::new(4).library_sized("libs", 6);
+        fwbin::compile_library(&lib, Arch::Arm32, OptLevel::O1).unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_skips_extraction() {
+        let store = ArtifactStore::new();
+        let bin = sample_binary();
+        let cold = store.features_all(&bin);
+        let s1 = store.stats();
+        assert_eq!(s1.hits, 0);
+        assert_eq!(s1.misses, bin.function_count() as u64);
+        assert_eq!(s1.extractions, bin.function_count() as u64);
+
+        let warm = store.features_all(&bin);
+        let s2 = store.stats();
+        assert_eq!(s2.extractions, s1.extractions, "warm pass extracts nothing");
+        assert_eq!(s2.hits, bin.function_count() as u64);
+        assert_eq!(cold, warm);
+        assert!(s2.hit_rate() > 0.49 && s2.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn cached_features_match_direct_extraction() {
+        let store = ArtifactStore::new();
+        let bin = sample_binary();
+        let direct = DirectExtraction.features_all(&bin);
+        // Twice: once populating, once from cache.
+        assert_eq!(store.features_all(&bin), direct);
+        assert_eq!(store.features_all(&bin), direct);
+        for (idx, expected) in direct.iter().enumerate() {
+            assert_eq!(&store.features_one(&bin, idx), expected);
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrip_preserves_artifacts() {
+        let dir = std::env::temp_dir().join(format!("scanhub-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::new();
+        let bin = sample_binary();
+        store.features_all(&bin);
+        store.save(&dir).unwrap();
+
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        assert_eq!(reloaded.len(), store.len());
+        let before = reloaded.stats();
+        let feats = reloaded.features_all(&bin);
+        let after = reloaded.stats();
+        assert_eq!(after.extractions, before.extractions, "reloaded store serves from cache");
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(feats, DirectExtraction.features_all(&bin));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_cache_dir_loads_empty() {
+        let dir = std::env::temp_dir().join("scanhub-store-definitely-missing");
+        let store = ArtifactStore::load(&dir).unwrap();
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the artifact cache (satellite of the scanhub PR):
+//! keys must be stable under FWB wire round-trips, and cached feature
+//! vectors must be bit-identical to freshly extracted ones — across all
+//! four architectures and including the on-disk JSON layer.
+
+use fwbin::format::Binary;
+use fwbin::isa::{Arch, OptLevel};
+use fwlang::gen::Generator;
+use patchecko_core::pipeline::{DirectExtraction, FeatureSource};
+use proptest::prelude::*;
+use patchecko_scanhub::{ArtifactKey, ArtifactStore};
+
+fn compile(seed: u64, n_funcs: usize, arch: Arch, opt: OptLevel) -> Binary {
+    let lib = Generator::new(seed).library_sized("libprop", n_funcs);
+    fwbin::compile_library(&lib, arch, opt).unwrap()
+}
+
+fn bits(features: &patchecko_core::features::StaticFeatures) -> Vec<u64> {
+    features.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Re-encoding and decoding a binary through the wire format must not
+    /// move any function to a different cache key, on any architecture.
+    #[test]
+    fn artifact_key_stable_under_reencode(seed in 0u64..10_000, n in 3usize..7) {
+        for arch in Arch::ALL {
+            let bin = compile(seed, n, arch, OptLevel::O1);
+            let decoded = Binary::from_bytes(&bin.to_bytes()).unwrap();
+            let twice = Binary::from_bytes(&decoded.to_bytes()).unwrap();
+            for idx in 0..bin.function_count() {
+                let k = ArtifactKey::for_function(&bin, idx);
+                prop_assert_eq!(k, ArtifactKey::for_function(&decoded, idx));
+                prop_assert_eq!(k, ArtifactKey::for_function(&twice, idx));
+            }
+        }
+    }
+
+    /// Cache-served features are bit-identical to fresh extraction on all
+    /// four arches — both straight from memory and after a save/load
+    /// round-trip through the persistent JSON layer.
+    #[test]
+    fn cached_features_bit_identical_to_fresh(seed in 0u64..10_000, n in 3usize..7) {
+        let dir = std::env::temp_dir()
+            .join(format!("scanhub-prop-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::new();
+        for arch in Arch::ALL {
+            let bin = compile(seed, n, arch, OptLevel::O2);
+            let fresh = DirectExtraction.features_all(&bin);
+            let cold = store.features_all(&bin);
+            let warm = store.features_all(&bin);
+            for ((f, c), w) in fresh.iter().zip(&cold).zip(&warm) {
+                prop_assert_eq!(bits(f), bits(c));
+                prop_assert_eq!(bits(f), bits(w));
+            }
+        }
+        store.save(&dir).unwrap();
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        for arch in Arch::ALL {
+            let bin = compile(seed, n, arch, OptLevel::O2);
+            let fresh = DirectExtraction.features_all(&bin);
+            let cached = reloaded.features_all(&bin);
+            for (f, c) in fresh.iter().zip(&cached) {
+                prop_assert_eq!(bits(f), bits(c), "persisted artifacts must round-trip bit-exactly");
+            }
+        }
+        prop_assert_eq!(reloaded.stats().extractions, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,180 @@
+//! Integration tests for the scan service: cache-backed scans must be
+//! observably equivalent to direct pipeline runs, warm re-audits must do
+//! zero extraction work, and the scheduler must survive bad jobs.
+
+use corpus::dataset1::Dataset1Config;
+use corpus::vulndb::VulnDb;
+use neural::net::TrainConfig;
+use patchecko_core::detector::{self, Detector, DetectorConfig};
+use patchecko_core::differential::DifferentialConfig;
+use patchecko_core::pipeline::{Basis, Patchecko, PipelineConfig};
+use patchecko_scanhub::{full_schedule, JobOutcome, JobSpec, ScanHub};
+use std::sync::OnceLock;
+
+fn shared_detector() -> &'static Detector {
+    static DET: OnceLock<Detector> = OnceLock::new();
+    DET.get_or_init(|| {
+        let ds = corpus::build_dataset1(&Dataset1Config {
+            num_libraries: 10,
+            min_functions: 8,
+            max_functions: 12,
+            seed: 1,
+            include_catalog: true,
+        });
+        let cfg = DetectorConfig {
+            pairs_per_function: 6,
+            train: TrainConfig { epochs: 10, batch: 256, lr: 1e-3, seed: 7, ..Default::default() },
+            ..DetectorConfig::default()
+        };
+        detector::train(&ds, &cfg).0
+    })
+}
+
+fn shared_device() -> &'static corpus::DeviceBuild {
+    static DEV: OnceLock<corpus::DeviceBuild> = OnceLock::new();
+    DEV.get_or_init(|| {
+        corpus::build_device(&corpus::android_things_spec(), &corpus::full_catalog(), 0.05)
+    })
+}
+
+fn small_db() -> VulnDb {
+    let mut db = corpus::build_vulndb(0, 1);
+    // Trim the featured list so the audits stay test-sized.
+    db.entries.truncate(3);
+    db
+}
+
+fn fresh_hub() -> ScanHub {
+    ScanHub::new(Patchecko::new(shared_detector().clone(), PipelineConfig::default()))
+}
+
+#[test]
+fn warm_cache_reaudit_extracts_nothing() {
+    // The headline acceptance property: a warm re-audit of the same image
+    // performs ZERO disassembly/feature-extraction calls — every static
+    // feature (targets, references, differential three-way) is served from
+    // the content-addressed store.
+    let hub = fresh_hub();
+    let db = small_db();
+    let image = &shared_device().image;
+    let diff = DifferentialConfig::default();
+
+    let cold = hub.audit(&db, image, &diff);
+    let after_cold = hub.stats();
+    assert!(after_cold.extractions > 0, "cold audit fills the cache");
+    assert_eq!(after_cold.misses, after_cold.extractions);
+
+    let warm = hub.audit(&db, image, &diff);
+    let delta = hub.stats().since(&after_cold);
+    assert_eq!(delta.extractions, 0, "warm re-audit must not extract");
+    assert_eq!(delta.misses, 0, "warm re-audit must not miss");
+    assert!(delta.hits > 0, "warm re-audit is served by the cache");
+
+    // Identical verdicts, cold vs warm (cached features are bit-identical,
+    // the dynamic stage is seeded).
+    assert_eq!(
+        serde_json::to_string(&cold).unwrap(),
+        serde_json::to_string(&warm).unwrap(),
+        "cache must not change audit results"
+    );
+}
+
+#[test]
+fn cached_scan_matches_direct_pipeline() {
+    let hub = fresh_hub();
+    let db = corpus::build_vulndb(0, 1);
+    let entry = db.get("CVE-2018-9412").unwrap();
+    let device = shared_device();
+    let truth = device.truth_for("CVE-2018-9412").unwrap();
+    let bin = device.image.binary(&truth.library).unwrap();
+
+    let cached = hub.analyze_library(bin, entry, Basis::Vulnerable);
+    let direct = hub.analyzer.analyze_library(bin, entry, Basis::Vulnerable);
+    assert_eq!(cached.scan.probs, direct.scan.probs);
+    assert_eq!(cached.scan.candidates, direct.scan.candidates);
+    assert_eq!(cached.dynamic.validated, direct.dynamic.validated);
+    assert_eq!(cached.dynamic.ranking, direct.dynamic.ranking);
+}
+
+#[test]
+fn scheduler_completes_batch_and_contains_failures() {
+    let mut analyzer = Patchecko::new(shared_detector().clone(), PipelineConfig::default());
+    analyzer.config.threads = Some(4); // satellite (f): explicit worker count
+    let hub = ScanHub::new(analyzer);
+    let db = small_db();
+    let images = vec![shared_device().image.clone()];
+
+    let mut jobs = full_schedule(images.len(), &db, &[Basis::Vulnerable]);
+    assert_eq!(jobs.len(), db.featured().len());
+    // Poison the schedule with jobs that must fail gracefully.
+    jobs.push(JobSpec { image: 0, cve: "CVE-0000-0000".into(), basis: Basis::Vulnerable });
+    jobs.push(JobSpec { image: 9, cve: "CVE-2018-9412".into(), basis: Basis::Patched });
+
+    let report = hub.batch_audit(&images, &db, &jobs);
+    assert_eq!(report.records.len(), jobs.len());
+    assert_eq!(report.threads, 4);
+    assert_eq!(report.failed(), 2);
+    // Records stay in schedule order with their specs attached.
+    for (record, spec) in report.records.iter().zip(&jobs) {
+        assert_eq!(&record.spec, spec);
+        assert!(record.seconds >= 0.0);
+    }
+    match &report.records[jobs.len() - 2].outcome {
+        JobOutcome::Failed(msg) => assert!(msg.contains("unknown CVE"), "{msg}"),
+        other => panic!("expected failure, got {other:?}"),
+    }
+    match &report.records[jobs.len() - 1].outcome {
+        JobOutcome::Failed(msg) => assert!(msg.contains("out of range"), "{msg}"),
+        other => panic!("expected failure, got {other:?}"),
+    }
+    let flagship = &report.records[0];
+    assert!(flagship.is_ok());
+
+    // A second identical batch rides the warm cache end to end.
+    let before = hub.stats();
+    let rerun = hub.batch_audit(&images, &db, &jobs);
+    assert_eq!(rerun.cache_delta.extractions, 0, "warm batch extracts nothing");
+    assert_eq!(rerun.completed(), report.completed());
+    assert!(hub.stats().hits > before.hits);
+
+    // The report serializes for the CLI's --json output.
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("CVE-2018-9412"));
+}
+
+#[test]
+fn persisted_cache_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("scanhub-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let image = &shared_device().image;
+
+    let db = corpus::build_vulndb(0, 1);
+    let entry = db.get("CVE-2018-9412").unwrap();
+    let lib = &shared_device().truth_for("CVE-2018-9412").unwrap().library;
+
+    let hub = ScanHub::with_cache_dir(
+        Patchecko::new(shared_detector().clone(), PipelineConfig::default()),
+        &dir,
+    )
+    .unwrap();
+    let warmed = hub.warm_image(image);
+    assert_eq!(warmed, image.total_functions());
+    // Cache the reference variants too, then persist everything.
+    hub.scan_library(image.binary(lib).unwrap(), entry, Basis::Vulnerable);
+    assert!(hub.persist().unwrap());
+
+    // "Reboot": a new hub over the same directory serves the same scan
+    // without a single extraction.
+    let hub2 = ScanHub::with_cache_dir(
+        Patchecko::new(shared_detector().clone(), PipelineConfig::default()),
+        &dir,
+    )
+    .unwrap();
+    assert_eq!(hub2.store().len(), hub.store().len());
+    let scan = hub2.scan_library(image.binary(lib).unwrap(), entry, Basis::Vulnerable);
+    assert!(scan.total > 0);
+    let stats = hub2.stats();
+    assert_eq!(stats.extractions, 0, "restarted hub reuses persisted artifacts");
+    assert_eq!(stats.misses, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -80,7 +80,7 @@ fn mutate(rng: &mut SmallRng, base: &[u8], max_len: usize) -> Vec<u8> {
             // Sprinkle interesting values.
             if !out.is_empty() {
                 let i = rng.gen_range(0..out.len());
-                out[i] = *[0x00u8, 0xff, 0x7f, 0x80, 0x01].get(rng.gen_range(0..5)).unwrap();
+                out[i] = *[0x00u8, 0xff, 0x7f, 0x80, 0x01].get(rng.gen_range(0..5usize)).unwrap();
             }
         }
     }

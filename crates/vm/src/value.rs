@@ -116,8 +116,8 @@ mod tests {
     fn int_float_coercions() {
         assert_eq!(Value::Int(3).as_float(), 3.0);
         assert_eq!(Value::Float(2.9).as_int(), 2);
-        assert_eq!(Value::Int(0).is_truthy(), false);
-        assert_eq!(Value::Float(0.5).is_truthy(), true);
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Float(0.5).is_truthy());
     }
 
     #[test]

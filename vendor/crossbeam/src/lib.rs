@@ -1,0 +1,277 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! [`thread::scope`] wraps `std::thread::scope` behind crossbeam's
+//! `Result`-returning, scope-argument-passing API, and [`channel`] is a
+//! small condvar-based MPMC queue covering the `unbounded` surface. Both
+//! match the call shapes used in this workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape.
+
+    use std::any::Any;
+
+    /// Panic payload carried out of a scope.
+    pub type Payload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; spawned closures receive a fresh one so they can
+    /// spawn nested siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to one spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish.
+        ///
+        /// # Errors
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, Payload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope (crossbeam-style) for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns.
+    ///
+    /// # Errors
+    /// Returns the first panic payload if any scoped thread (or `f`
+    /// itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod channel {
+    //! A minimal unbounded MPMC channel.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<ChannelState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChannelState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clonable (items go to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T: std::fmt::Debug> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(ChannelState { items: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue one item.
+        ///
+        /// # Errors
+        /// Never errors in this stub (receiver liveness is not tracked);
+        /// the signature mirrors crossbeam.
+        ///
+        /// # Panics
+        /// Panics if the channel mutex is poisoned.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.items.push_back(item);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel poisoned").senders += 1;
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until an item arrives or every sender is dropped.
+        ///
+        /// # Errors
+        /// Errors when the channel is empty and disconnected.
+        ///
+        /// # Panics
+        /// Panics if the channel mutex is poisoned.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Take an item if one is immediately available.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().expect("channel poisoned").items.pop_front()
+        }
+
+        /// Iterate until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    /// Blocking iterator over received items.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let mut partials = vec![0u64; 2];
+        let r = super::thread::scope(|s| {
+            for (slot, chunk) in partials.iter_mut().zip(data.chunks(2)) {
+                s.spawn(move |_| {
+                    *slot = chunk.iter().sum();
+                });
+            }
+            42
+        })
+        .expect("no panics");
+        assert_eq!(r, 42);
+        assert_eq!(partials, vec![3, 7]);
+    }
+
+    #[test]
+    fn scope_captures_worker_panic() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| 7u32).join().expect("inner join")
+            })
+            .join()
+            .expect("outer join")
+        })
+        .expect("no panics");
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn channel_fans_out_all_items() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let total: usize = super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let rx = rx.clone();
+                handles.push(s.spawn(move |_| rx.iter().sum::<usize>()));
+            }
+            for i in 0..100 {
+                tx.send(i).expect("send");
+            }
+            drop(tx);
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        })
+        .expect("no panics");
+        assert_eq!(total, (0..100).sum());
+    }
+}

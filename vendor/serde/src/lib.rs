@@ -1,0 +1,655 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the serde API subset it uses. The design is value-tree based: every
+//! serializable type lowers to a [`value::Value`] (the JSON data model),
+//! and deserialization lifts back out of one. The public trait signatures
+//! mirror real serde closely enough that the workspace's handwritten
+//! `impl Serialize`/`impl Deserialize` blocks (which go through
+//! `S: Serializer` / `D: Deserializer<'de>` generics) compile unchanged,
+//! while `#[derive(Serialize, Deserialize)]` is provided by the sibling
+//! `serde_derive` stub.
+//!
+//! The mutual-default trick: [`Serialize`] has two methods, `to_value`
+//! (implemented by derives) and `serialize` (implemented by handwritten
+//! impls), each defaulting through the other, so either style works.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The self-describing value tree (JSON data model).
+
+    /// A dynamically-typed serialized value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Signed integer.
+        Int(i64),
+        /// Unsigned integer (only used when the value exceeds `i64`).
+        UInt(u64),
+        /// Floating point.
+        Float(f64),
+        /// String.
+        Str(String),
+        /// Sequence.
+        Seq(Vec<Value>),
+        /// Ordered key/value map (JSON object).
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Human-readable name of the value's kind (for error messages).
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Int(_) | Value::UInt(_) => "integer",
+                Value::Float(_) => "float",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "sequence",
+                Value::Map(_) => "map",
+            }
+        }
+
+        /// The value as `&str`, if it is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            }
+        }
+
+        /// The value as `f64`, if numeric.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Int(i) => Some(*i as f64),
+                Value::UInt(u) => Some(*u as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        }
+
+        /// The value as `u64`, if a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Int(i) if *i >= 0 => Some(*i as u64),
+                Value::UInt(u) => Some(*u),
+                _ => None,
+            }
+        }
+
+        /// The value as `bool`, if boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    static NULL: Value = Value::Null;
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            match self {
+                Value::Map(entries) => entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .unwrap_or(&NULL),
+                _ => &NULL,
+            }
+        }
+    }
+}
+
+pub mod ser {
+    //! Serialization traits.
+
+    use crate::value::Value;
+    use std::fmt::Display;
+
+    /// Serialization error constructor trait (mirrors `serde::ser::Error`).
+    pub trait Error: Sized + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A string-backed serialization error.
+    #[derive(Debug, Clone)]
+    pub struct SerError(pub String);
+
+    impl Display for SerError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for SerError {}
+
+    impl Error for SerError {
+        fn custom<T: Display>(msg: T) -> Self {
+            SerError(msg.to_string())
+        }
+    }
+
+    /// A sink for one serialized value.
+    pub trait Serializer: Sized {
+        /// Success type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Consume a fully-built value tree.
+        fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// The identity serializer: yields the value tree itself.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = SerError;
+        fn serialize_value(self, v: Value) -> Result<Value, SerError> {
+            Ok(v)
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization traits and derive-support helpers.
+
+    use crate::value::Value;
+    use std::fmt::Display;
+
+    /// Deserialization error constructor trait (mirrors `serde::de::Error`).
+    pub trait Error: Sized + Display {
+        /// Build an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+
+        /// A sequence had the wrong number of elements.
+        fn invalid_length<E: Display + ?Sized>(len: usize, expected: &E) -> Self {
+            Self::custom(format!("invalid length {len}, expected {expected}"))
+        }
+    }
+
+    /// A string-backed deserialization error.
+    #[derive(Debug, Clone)]
+    pub struct DeError(pub String);
+
+    impl Display for DeError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl Error for DeError {
+        fn custom<T: Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+
+    /// A source of one serialized value.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+        /// Take the underlying value tree.
+        fn take_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// The identity deserializer over an owned value tree.
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = DeError;
+        fn take_value(self) -> Result<Value, DeError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Types deserializable from an owned value (what the helpers need).
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+
+    /// Unwrap a map value (derive support).
+    ///
+    /// # Errors
+    /// Errors if `v` is not a map.
+    pub fn into_map(v: Value) -> Result<Vec<(String, Value)>, DeError> {
+        match v {
+            Value::Map(m) => Ok(m),
+            other => Err(DeError(format!("expected map, found {}", other.kind()))),
+        }
+    }
+
+    /// Unwrap a sequence value (derive support).
+    ///
+    /// # Errors
+    /// Errors if `v` is not a sequence.
+    pub fn into_seq(v: Value) -> Result<Vec<Value>, DeError> {
+        match v {
+            Value::Seq(s) => Ok(s),
+            other => Err(DeError(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+
+    /// Remove and deserialize a required struct field (derive support).
+    ///
+    /// # Errors
+    /// Errors if the field is missing or fails to deserialize.
+    pub fn field<T: DeserializeOwned>(
+        map: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match opt_field(map, name)? {
+            Some(v) => Ok(v),
+            None => Err(DeError(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Remove and deserialize an optional struct field (derive support for
+    /// `#[serde(default)]`).
+    ///
+    /// # Errors
+    /// Errors if the field is present but fails to deserialize.
+    pub fn opt_field<T: DeserializeOwned>(
+        map: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<Option<T>, DeError> {
+        match map.iter().position(|(k, _)| k == name) {
+            Some(i) => {
+                let (_, v) = map.swap_remove(i);
+                T::from_value(v)
+                    .map(Some)
+                    .map_err(|e| DeError(format!("field `{name}`: {e}")))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Deserialize a whole owned value (derive support for newtype
+    /// structs and variants).
+    ///
+    /// # Errors
+    /// Errors if the value does not match `T`.
+    pub fn from_value_owned<T: DeserializeOwned>(v: Value) -> Result<T, DeError> {
+        T::from_value(v)
+    }
+
+    /// Deserialize the `i`th element of a sequence (derive support for
+    /// tuple structs/variants).
+    ///
+    /// # Errors
+    /// Errors if the element is missing or fails to deserialize.
+    pub fn element<T: DeserializeOwned>(seq: &mut [Value], i: usize) -> Result<T, DeError> {
+        if i >= seq.len() {
+            return Err(DeError(format!("missing tuple element {i}")));
+        }
+        let v = std::mem::replace(&mut seq[i], Value::Null);
+        T::from_value(v).map_err(|e| DeError(format!("element {i}: {e}")))
+    }
+}
+
+pub use de::{Deserializer, ValueDeserializer};
+pub use ser::{Serializer, ValueSerializer};
+use value::Value;
+
+/// A serializable type. Implement **either** `to_value` (what the derive
+/// macro does) **or** `serialize` (handwritten serde-style impls); each
+/// defaults through the other.
+pub trait Serialize {
+    /// Lower `self` to a value tree.
+    fn to_value(&self) -> Value {
+        match self.serialize(ValueSerializer) {
+            Ok(v) => v,
+            Err(e) => panic!("serialization failed: {e}"),
+        }
+    }
+
+    /// Serde-compatible entry point.
+    ///
+    /// # Errors
+    /// Propagates errors from the serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A deserializable type. Implement **either** `from_value` (what the
+/// derive macro does) **or** `deserialize` (handwritten impls); each
+/// defaults through the other.
+pub trait Deserialize<'de>: Sized {
+    /// Lift `Self` out of a value tree.
+    ///
+    /// # Errors
+    /// Errors if the value does not match the expected shape.
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        Self::deserialize(ValueDeserializer(v))
+    }
+
+    /// Serde-compatible entry point.
+    ///
+    /// # Errors
+    /// Propagates errors from the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        Self::from_value(v).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for std types.
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        Ok(v)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::DeError(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: Value) -> Result<Self, de::DeError> {
+                let i = match v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| de::DeError(format!("integer {u} out of range")))?,
+                    other => {
+                        return Err(de::DeError(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(i).map_err(|_| de::DeError(format!("integer {i} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: Value) -> Result<Self, de::DeError> {
+                let u = match v {
+                    Value::Int(i) => u64::try_from(i)
+                        .map_err(|_| de::DeError(format!("integer {i} out of range")))?,
+                    Value::UInt(u) => u,
+                    other => {
+                        return Err(de::DeError(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(u).map_err(|_| de::DeError(format!("integer {u} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: Value) -> Result<Self, de::DeError> {
+                match v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    other => Err(de::DeError(format!(
+                        "expected number, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::DeError(format!("expected char, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::Str(s) => Ok(s),
+            other => Err(de::DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        de::into_seq(v)?.into_iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        let items = de::into_seq(v)?;
+        let n = items.len();
+        let parsed: Vec<T> = items.into_iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| de::DeError(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(v: Value) -> Result<Self, de::DeError> {
+                let mut seq = de::into_seq(v)?;
+                seq.reverse();
+                Ok(($(
+                    {
+                        let _ = $idx;
+                        $name::from_value(
+                            seq.pop().ok_or_else(|| de::DeError("tuple too short".into()))?,
+                        )?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, V::from_value(v)?)))
+                .collect(),
+            other => Err(de::DeError(format!("expected map, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<'de, V: Deserialize<'de>, S: std::hash::BuildHasher + Default> Deserialize<'de>
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, V::from_value(v)?)))
+                .collect(),
+            other => Err(de::DeError(format!("expected map, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.display().to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for std::path::PathBuf {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        String::from_value(v).map(std::path::PathBuf::from)
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(v: Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(de::DeError(format!("expected null, found {}", other.kind()))),
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-tree `serde` without `syn`/`quote`: the item is
+//! parsed directly from the `proc_macro` token stream (structs with named,
+//! tuple, or no fields; enums with unit, tuple, and struct variants;
+//! lifetime-only generics; `#[serde(default)]` and
+//! `#[serde(default = "path")]` field attributes), and the impl is emitted
+//! as a source string parsed back into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+#[derive(Clone, Debug, PartialEq)]
+enum FieldDefault {
+    /// Field is required.
+    None,
+    /// `#[serde(default)]` — `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Lifetime parameters, e.g. `["'a"]`. Type parameters are rejected.
+    lifetimes: Vec<String>,
+    body: Body,
+}
+
+/// Derive `serde::Serialize` by implementing `to_value`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let generics = if item.lifetimes.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let params = item.lifetimes.join(", ");
+        (format!("<{params}>"), format!("<{params}>"))
+    };
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let entries: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::value::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Body::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let ty = &item.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{ty}::{vn} => ::serde::value::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{ty}::{vn}(f0) => ::serde::value::Value::Map(::std::vec![\
+                             (\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{ty}::{vn}({binds}) => ::serde::value::Value::Map(::std::vec![\
+                                 (\"{vn}\".to_string(), ::serde::value::Value::Seq(\
+                                 ::std::vec![{vals}])) ])",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let vals: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), \
+                                         ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {binds} }} => ::serde::value::Value::Map(\
+                                 ::std::vec![(\"{vn}\".to_string(), \
+                                 ::serde::value::Value::Map(::std::vec![{vals}])) ])",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let code = format!(
+        "impl{imp} ::serde::Serialize for {name}{args} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}",
+        imp = generics.0,
+        args = generics.1,
+        name = item.name,
+    );
+    code.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` by implementing `from_value`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    assert!(
+        item.lifetimes.is_empty(),
+        "serde_derive stub: cannot derive Deserialize for a type with lifetime parameters"
+    );
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits = named_field_inits(fields);
+            format!(
+                "let mut m = ::serde::de::into_map(v)?;\n\
+                 let _ = &mut m;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::de::from_value_owned(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::de::element(&mut seq, {i})?")).collect();
+            format!(
+                "let mut seq = ::serde::de::into_seq(v)?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0})", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::de::from_value_owned(inner)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::de::element(&mut seq, {i})?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let mut seq = ::serde::de::into_seq(inner)?; \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits = named_field_inits(fields);
+                            Some(format!(
+                                "\"{vn}\" => {{ let mut m = ::serde::de::into_map(inner)?; \
+                                 let _ = &mut m; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                    {unit_arms}\n\
+                    other => ::std::result::Result::Err(::serde::de::DeError(\
+                        ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::value::Value::Map(mut entries) if entries.len() == 1 => {{\n\
+                    let (tag, inner) = entries.pop().unwrap();\n\
+                    let _ = &inner;\n\
+                    match tag.as_str() {{\n\
+                        {data_arms}\n\
+                        other => ::std::result::Result::Err(::serde::de::DeError(\
+                            ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                    }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::de::DeError(\
+                     ::std::format!(\"expected {name} variant, found {{}}\", other.kind()))),\n\
+                 }}",
+                unit_arms = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                data_arms = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    let code = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(v: ::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::de::DeError> {{\n{body}\n}}\n}}"
+    );
+    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+fn named_field_inits(fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| match &f.default {
+            FieldDefault::None => {
+                format!("{0}: ::serde::de::field(&mut m, \"{0}\")?", f.name)
+            }
+            FieldDefault::Trait => format!(
+                "{0}: match ::serde::de::opt_field(&mut m, \"{0}\")? {{ \
+                 ::std::option::Option::Some(x) => x, \
+                 ::std::option::Option::None => ::std::default::Default::default() }}",
+                f.name
+            ),
+            FieldDefault::Path(path) => format!(
+                "{0}: match ::serde::de::opt_field(&mut m, \"{0}\")? {{ \
+                 ::std::option::Option::Some(x) => x, \
+                 ::std::option::Option::None => {path}() }}",
+                f.name
+            ),
+        })
+        .collect();
+    inits.join(", ")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing.
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, found `{other}`"),
+    };
+    i += 1;
+
+    let lifetimes = parse_generics(&tokens, &mut i);
+
+    match kind.as_str() {
+        "struct" => {
+            // Named `{...}`, tuple `(...);`, or unit `;`.
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    // Skip a `where` clause if present (none in this workspace,
+                    // but a brace group directly follows either way).
+                    Item { name, lifetimes, body: Body::NamedStruct(parse_named_fields(g.stream())) }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    Item { name, lifetimes, body: Body::TupleStruct(n) }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    Item { name, lifetimes, body: Body::UnitStruct }
+                }
+                other => panic!("serde_derive stub: unsupported struct body: {other:?}"),
+            }
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, lifetimes, body: Body::Enum(parse_variants(g.stream())) }
+            }
+            other => panic!("serde_derive stub: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+/// Skip `#[...]` attribute groups, returning the `serde(...)` attr streams.
+fn collect_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<TokenStream> {
+    let mut serde_attrs = Vec::new();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if id.to_string() == "serde" {
+                    serde_attrs.push(args.stream());
+                }
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    serde_attrs
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    let _ = collect_attrs(tokens, i);
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parse `<...>` generics after the item name; only lifetimes are
+/// supported.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut lifetimes = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(*i) else { return lifetimes };
+    if p.as_char() != '<' {
+        return lifetimes;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' && depth == 1 => {
+                if let Some(TokenTree::Ident(id)) = tokens.get(*i + 1) {
+                    lifetimes.push(format!("'{id}"));
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if depth == 1 => {
+                panic!(
+                    "serde_derive stub: type parameter `{id}` unsupported \
+                     (only lifetime generics are handled)"
+                );
+            }
+            Some(_) => {}
+            None => panic!("serde_derive stub: unterminated generics"),
+        }
+        *i += 1;
+    }
+    lifetimes
+}
+
+/// Parse named fields: `attrs vis name : Type ,` repeated.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let serde_attrs = collect_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("serde_derive stub: expected field name, found {:?}", tokens.get(i));
+        };
+        let name = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, default: parse_field_default(&serde_attrs) });
+        // Skip the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle-depth aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Count tuple-struct fields: top-level comma-separated segments.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0usize;
+    let mut saw_tokens_since_comma = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("serde_derive stub: expected variant name, found {:?}", tokens.get(i));
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                while let Some(t) = tokens.get(i) {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Interpret `#[serde(...)]` field attributes: `default` and
+/// `default = "path"`.
+fn parse_field_default(attrs: &[TokenStream]) -> FieldDefault {
+    for attr in attrs {
+        let tokens: Vec<TokenTree> = attr.clone().into_iter().collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            if let TokenTree::Ident(id) = &tokens[i] {
+                if id.to_string() == "default" {
+                    if let Some(TokenTree::Punct(p)) = tokens.get(i + 1) {
+                        if p.as_char() == '=' {
+                            if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                                let raw = lit.to_string();
+                                let path = raw.trim_matches('"').to_string();
+                                return FieldDefault::Path(path);
+                            }
+                        }
+                    }
+                    return FieldDefault::Trait;
+                }
+            }
+            i += 1;
+        }
+    }
+    FieldDefault::None
+}
