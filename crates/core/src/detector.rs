@@ -245,6 +245,61 @@ impl Detector {
         }
         self.net.predict(&x)
     }
+
+    /// Classify the full cross product `references × targets` in one
+    /// forward pass. Row `i * targets.len() + j` holds the score of
+    /// `(references[i], targets[j])` — the same layout as
+    /// [`Detector::classify_batch`] over the references-outer,
+    /// targets-inner pair list, equal within `1e-6`.
+    ///
+    /// Two structural savings over the pairwise path: each feature vector
+    /// is normalized exactly once (not once per pair), and the first
+    /// dense layer is factorized through the pair structure — for input
+    /// `[rn_i, tn_j]`, `x·W₁ = rn_i·W₁ᵗᵒᵖ + tn_j·W₁ᵇᵒᵗ`, so the layer
+    /// costs one small GEMM per *side* plus an O(pairs·width) combine
+    /// instead of a GEMM over every pair. The two partial sums are added
+    /// per element (instead of one long ascending chain), which is why
+    /// scores match the pairwise path to tolerance rather than bitwise.
+    pub fn classify_product(
+        &self,
+        references: &[StaticFeatures],
+        targets: &[StaticFeatures],
+    ) -> Vec<f32> {
+        if references.is_empty() || targets.is_empty() {
+            return Vec::new();
+        }
+        let half = self.net.input_dim() / 2;
+        let (w1, b1) = self.net.layer_params(0);
+        let n1 = w1.cols();
+        let relu = self.net.num_layers() > 1;
+        let rn = Matrix::from_vec(
+            references.len(),
+            half,
+            references.iter().flat_map(|r| self.norm.apply(r)).collect(),
+        );
+        let tn = Matrix::from_vec(
+            targets.len(),
+            half,
+            targets.iter().flat_map(|t| self.norm.apply(t)).collect(),
+        );
+        let w_top = Matrix::from_fn(half, n1, |r, c| w1.get(r, c));
+        let w_bot = Matrix::from_fn(half, n1, |r, c| w1.get(r + half, c));
+        let rpart = rn.matmul(&w_top);
+        let tpart = tn.matmul(&w_bot);
+        let mut h = Matrix::zeros(references.len() * targets.len(), n1);
+        for i in 0..references.len() {
+            let rrow = rpart.row(i);
+            for j in 0..targets.len() {
+                let trow = tpart.row(j);
+                let out = h.row_mut(i * targets.len() + j);
+                for (((o, &rv), &tv), &bv) in out.iter_mut().zip(rrow).zip(trow).zip(b1) {
+                    let z = rv + tv + bv;
+                    *o = if relu { z.max(0.0) } else { z };
+                }
+            }
+        }
+        self.net.predict_from(1, h)
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +398,32 @@ mod tests {
             assert!((p - det.similarity(a, b)).abs() < 1e-6);
         }
         assert!(det.classify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn classify_product_matches_classify_batch() {
+        let ds = tiny_dataset();
+        let cfg = DetectorConfig {
+            pairs_per_function: 2,
+            train: TrainConfig { epochs: 20, batch: 64, lr: 2e-3, seed: 3, ..Default::default() },
+            ..DetectorConfig::default()
+        };
+        let (det, _, _) = train(&ds, &cfg);
+        let refs = crate::features::extract_all(&ds.variants[0].binary).unwrap();
+        let targets = crate::features::extract_all(&ds.variants[1].binary).unwrap();
+        let pairs: Vec<(&StaticFeatures, &StaticFeatures)> =
+            refs.iter().flat_map(|a| targets.iter().map(move |b| (a, b))).collect();
+        // The factorized first layer splits each pair's reduction into a
+        // reference partial plus a target partial, so scores agree with
+        // the pairwise path to tolerance rather than bitwise.
+        let product = det.classify_product(&refs, &targets);
+        let batch = det.classify_batch(&pairs);
+        assert_eq!(product.len(), batch.len());
+        for (p, q) in product.iter().zip(&batch) {
+            assert!((p - q).abs() <= 1e-6, "{p} vs {q}");
+        }
+        assert!(det.classify_product(&[], &targets).is_empty());
+        assert!(det.classify_product(&refs, &[]).is_empty());
     }
 
     #[test]

@@ -48,10 +48,11 @@ pub struct PipelineConfig {
     /// Run candidate executions across threads (the paper parallelizes
     /// execution-environment testing).
     pub parallel: bool,
-    /// Worker-thread count for parallel stages (candidate profiling here,
-    /// and the scanhub job scheduler). `None` derives the count from
-    /// [`std::thread::available_parallelism`]; `Some(1)` forces serial
-    /// execution even when `parallel` is set.
+    /// Worker-thread count for parallel stages (candidate profiling,
+    /// GEMM kernels, feature extraction, and the scanhub job scheduler).
+    /// `None` derives the count from the `PATCHECKO_THREADS` environment
+    /// variable or the machine's available parallelism; `Some(1)` forces
+    /// serial execution end to end even when `parallel` is set.
     pub threads: Option<usize>,
 }
 
@@ -68,12 +69,13 @@ impl Default for PipelineConfig {
 }
 
 impl PipelineConfig {
-    /// The effective worker count: the explicit [`PipelineConfig::threads`]
-    /// override when set, otherwise the machine's available parallelism.
+    /// The effective worker count, resolved through the shared
+    /// [`neural::pool::resolve_threads`] helper: the explicit
+    /// [`PipelineConfig::threads`] override when set, then the
+    /// `PATCHECKO_THREADS` environment variable, then the machine's
+    /// available parallelism.
     pub fn effective_threads(&self) -> usize {
-        self.threads
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
-            .max(1)
+        neural::pool::resolve_threads(self.threads)
     }
 }
 
@@ -95,7 +97,7 @@ pub struct DirectExtraction;
 
 impl FeatureSource for DirectExtraction {
     fn features_all(&self, bin: &Binary) -> Vec<StaticFeatures> {
-        features::extract_all(bin).expect("target binaries decode")
+        features::extract_all_parallel(bin).expect("target binaries decode")
     }
 
     fn features_one(&self, bin: &Binary, idx: usize) -> StaticFeatures {
@@ -166,8 +168,11 @@ pub struct Patchecko {
 }
 
 impl Patchecko {
-    /// Create an analyzer.
+    /// Create an analyzer. Sizes the shared worker pool from the config,
+    /// so `--threads 1` forces serial kernels end to end and a larger
+    /// override widens every parallel stage.
     pub fn new(detector: Detector, config: PipelineConfig) -> Patchecko {
+        neural::pool::set_global_threads(config.effective_threads());
         Patchecko { detector, config }
     }
 
@@ -220,9 +225,10 @@ impl Patchecko {
 
     /// [`Patchecko::scan_library`] with features served by `source`. All
     /// (reference × function) pairs are packed into one
-    /// [`crate::detector::Detector::classify_batch`] call, so the whole
+    /// [`crate::detector::Detector::classify_product`] call, so the whole
     /// library scan is a single forward pass per layer regardless of how
-    /// many reference variants the database carries.
+    /// many reference variants the database carries — and every feature
+    /// vector is normalized once instead of once per pair.
     pub fn scan_library_with(
         &self,
         bin: &Binary,
@@ -231,9 +237,7 @@ impl Patchecko {
     ) -> StaticScan {
         let started = Instant::now();
         let feats = source.features_all(bin);
-        let pairs: Vec<(&StaticFeatures, &StaticFeatures)> =
-            references.iter().flat_map(|r| feats.iter().map(move |f| (r, f))).collect();
-        let scores = self.detector.classify_batch(&pairs);
+        let scores = self.detector.classify_product(references, &feats);
         let mut probs = vec![0.0f32; feats.len()];
         for (i, s) in scores.iter().enumerate() {
             let f = i % feats.len();

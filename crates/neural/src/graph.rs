@@ -45,9 +45,9 @@ fn agg(adj: &[Vec<usize>], m: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(m.rows(), m.cols());
     for (v, ns) in adj.iter().enumerate() {
         for &u in ns {
-            let src: Vec<f32> = m.row(u).to_vec();
+            let src = m.row(u);
             let dst = out.row_mut(v);
-            for (d, s) in dst.iter_mut().zip(&src) {
+            for (d, s) in dst.iter_mut().zip(src) {
                 *d += s;
             }
         }

@@ -3,7 +3,10 @@
 //! The learning machinery the paper builds on Keras/TensorFlow,
 //! reimplemented from scratch:
 //!
-//! * [`matrix`] — dense `f32` matrices with (optionally parallel) GEMM;
+//! * [`matrix`] — dense `f32` matrices with cache-blocked, register-tiled
+//!   (optionally parallel) GEMM kernels and a fused dense-layer forward;
+//! * [`pool`] — the shared persistent worker pool behind every parallel
+//!   kernel, plus unified thread-count resolution (`PATCHECKO_THREADS`);
 //! * [`net`] — the sequential pair classifier (dense layers, ReLU, sigmoid,
 //!   binary cross-entropy, Adam) plus the training loop that records the
 //!   Figure-8 accuracy/loss curves;
@@ -33,6 +36,7 @@ pub mod graph;
 pub mod matrix;
 pub mod metrics;
 pub mod net;
+pub mod pool;
 
 pub use graph::{cosine, GraphEmbedder, GraphSample};
 pub use matrix::Matrix;

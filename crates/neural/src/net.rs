@@ -35,15 +35,52 @@ impl Dense {
         }
     }
 
-    fn forward(&self, x: &Matrix) -> Matrix {
-        let mut z = x.matmul(&self.w);
-        for r in 0..z.rows() {
-            let row = z.row_mut(r);
-            for (v, b) in row.iter_mut().zip(&self.b) {
-                *v += b;
-            }
+    /// Fused forward: GEMM + bias (+ ReLU for hidden layers) in one
+    /// kernel pass instead of a matmul followed by whole-output sweeps.
+    fn forward(&self, x: &Matrix, relu: bool) -> Matrix {
+        x.dense_forward(&self.w, &self.b, relu)
+    }
+}
+
+/// Parameter count below which Adam updates stay serial: the paper's
+/// 12.9k-parameter model fits in cache and the per-layer dispatch would
+/// cost more than the elementwise update itself.
+const PAR_ADAM_MIN_PARAMS: usize = 1 << 16;
+
+/// One Adam update, precomputed per minibatch and applied per layer.
+/// `Copy` so the parallel path can move it into per-layer tasks; the
+/// element expressions are shared between the serial and parallel paths,
+/// so results are bitwise identical either way.
+#[derive(Clone, Copy)]
+struct AdamStep {
+    lr: f32,
+    b1: f32,
+    b2: f32,
+    eps: f32,
+    bias1: f32,
+    bias2: f32,
+}
+
+impl AdamStep {
+    fn apply(self, layer: &mut Dense, dw: &Matrix, db: &[f32]) {
+        let AdamStep { lr, b1, b2, eps, bias1, bias2 } = self;
+        for i in 0..dw.as_slice().len() {
+            let g = dw.as_slice()[i];
+            let m = &mut layer.mw.as_mut_slice()[i];
+            *m = b1 * *m + (1.0 - b1) * g;
+            let v = &mut layer.vw.as_mut_slice()[i];
+            *v = b2 * *v + (1.0 - b2) * g * g;
+            let mhat = *m / bias1;
+            let vhat = *v / bias2;
+            layer.w.as_mut_slice()[i] -= lr * mhat / (vhat.sqrt() + eps);
         }
-        z
+        for (i, &g) in db.iter().enumerate() {
+            layer.mb[i] = b1 * layer.mb[i] + (1.0 - b1) * g;
+            layer.vb[i] = b2 * layer.vb[i] + (1.0 - b2) * g * g;
+            let mhat = layer.mb[i] / bias1;
+            let vhat = layer.vb[i] / bias2;
+            layer.b[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
     }
 }
 
@@ -109,17 +146,31 @@ impl Mlp {
         self.dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
     }
 
+    /// Borrow layer `li`'s weight matrix and bias, for benchmarks and
+    /// inspection tooling that reproduce the forward pass externally.
+    pub fn layer_params(&self, li: usize) -> (&Matrix, &[f32]) {
+        (&self.layers[li].w, &self.layers[li].b)
+    }
+
     /// Forward pass: returns the sigmoid probability per input row.
     pub fn predict(&self, x: &Matrix) -> Vec<f32> {
-        let mut a = x.clone();
-        for (li, layer) in self.layers.iter().enumerate() {
-            let mut z = layer.forward(&a);
-            if li + 1 < self.layers.len() {
-                for v in z.as_mut_slice() {
-                    *v = v.max(0.0); // ReLU
-                }
-            }
-            a = z;
+        let nl = self.layers.len();
+        self.predict_from(1, self.layers[0].forward(x, nl > 1))
+    }
+
+    /// Resume the forward pass with `a` as the activations entering layer
+    /// `li` (so `predict_from(0, x)` is a full pass and `li == num_layers`
+    /// just applies the output sigmoid). Lets callers that compute the
+    /// first layer by other means — e.g. the detector's factorized
+    /// pair-product classification — reuse the remaining layers.
+    ///
+    /// # Panics
+    /// Panics if `li > num_layers()`.
+    pub fn predict_from(&self, li: usize, mut a: Matrix) -> Vec<f32> {
+        let nl = self.layers.len();
+        assert!(li <= nl, "layer index {li} out of range ({nl} layers)");
+        for (lj, layer) in self.layers.iter().enumerate().skip(li) {
+            a = layer.forward(&a, lj + 1 < nl);
         }
         a.as_slice().iter().map(|&z| sigmoid(z)).collect()
     }
@@ -132,22 +183,19 @@ impl Mlp {
     pub fn train_batch(&mut self, x: &Matrix, y: &[f32], lr: f32) -> f32 {
         assert_eq!(y.len(), x.rows(), "label count mismatch");
         let batch = x.rows();
-        // Forward, caching pre-activations and activations.
-        let mut acts: Vec<Matrix> = vec![x.clone()];
-        let mut zs: Vec<Matrix> = Vec::with_capacity(self.layers.len());
+        let nl = self.layers.len();
+        // Forward, caching activations only. The ReLU backward gate reads
+        // post-activations (for a = max(z, 0), a <= 0 exactly when
+        // z <= 0), so the per-layer pre-activation clones the seed kept
+        // were dead weight; the final entry holds the raw logits.
+        let mut acts: Vec<Matrix> = Vec::with_capacity(nl + 1);
+        acts.push(x.clone());
         for (li, layer) in self.layers.iter().enumerate() {
-            let z = layer.forward(acts.last().unwrap());
-            zs.push(z.clone());
-            let mut a = z;
-            if li + 1 < self.layers.len() {
-                for v in a.as_mut_slice() {
-                    *v = v.max(0.0);
-                }
-            }
+            let a = layer.forward(acts.last().unwrap(), li + 1 < nl);
             acts.push(a);
         }
         // Output probabilities and loss.
-        let logits = zs.last().unwrap();
+        let logits = acts.last().unwrap();
         let mut loss = 0.0f32;
         let mut dz = Matrix::zeros(batch, 1);
         for (r, &t) in y.iter().enumerate().take(batch) {
@@ -158,14 +206,13 @@ impl Mlp {
         }
         loss /= batch as f32;
 
-        // Backward.
-        self.adam.t += 1;
-        let t = self.adam.t;
-        let (b1, b2, eps) = (self.adam.beta1, self.adam.beta2, self.adam.eps);
-        let bias1 = 1.0 - b1.powi(t as i32);
-        let bias2 = 1.0 - b2.powi(t as i32);
+        // Backward: gradients first (against pre-update weights, exactly
+        // as the seed's propagate-before-update ordering), then one Adam
+        // step over all layers — elementwise-independent, so it can fan
+        // out per layer for large models without changing any result.
+        let mut grads: Vec<(Matrix, Vec<f32>)> = Vec::with_capacity(nl);
         let mut delta = dz;
-        for li in (0..self.layers.len()).rev() {
+        for li in (0..nl).rev() {
             let a_prev = &acts[li];
             let dw = a_prev.t_matmul(&delta);
             let mut db = vec![0.0f32; delta.cols()];
@@ -174,41 +221,47 @@ impl Mlp {
                     *d += delta.get(r, c);
                 }
             }
-            // Propagate before updating weights.
-            let next_delta = if li > 0 {
+            if li > 0 {
                 let mut d = delta.matmul_t(&self.layers[li].w);
-                // ReLU gate on the previous layer's pre-activation.
-                let zprev = &zs[li - 1];
-                for (v, z) in d.as_mut_slice().iter_mut().zip(zprev.as_slice()) {
-                    if *z <= 0.0 {
+                // ReLU gate on the previous layer's activation.
+                for (v, a) in d.as_mut_slice().iter_mut().zip(acts[li].as_slice()) {
+                    if *a <= 0.0 {
                         *v = 0.0;
                     }
                 }
-                Some(d)
-            } else {
-                None
-            };
-            // Adam update.
-            let layer = &mut self.layers[li];
-            for i in 0..dw.as_slice().len() {
-                let g = dw.as_slice()[i];
-                let m = &mut layer.mw.as_mut_slice()[i];
-                *m = b1 * *m + (1.0 - b1) * g;
-                let v = &mut layer.vw.as_mut_slice()[i];
-                *v = b2 * *v + (1.0 - b2) * g * g;
-                let mhat = *m / bias1;
-                let vhat = *v / bias2;
-                layer.w.as_mut_slice()[i] -= lr * mhat / (vhat.sqrt() + eps);
-            }
-            for (i, &g) in db.iter().enumerate() {
-                layer.mb[i] = b1 * layer.mb[i] + (1.0 - b1) * g;
-                layer.vb[i] = b2 * layer.vb[i] + (1.0 - b2) * g * g;
-                let mhat = layer.mb[i] / bias1;
-                let vhat = layer.vb[i] / bias2;
-                layer.b[i] -= lr * mhat / (vhat.sqrt() + eps);
-            }
-            if let Some(d) = next_delta {
                 delta = d;
+            }
+            grads.push((dw, db));
+        }
+        grads.reverse();
+
+        self.adam.t += 1;
+        let t = self.adam.t;
+        let (b1, b2) = (self.adam.beta1, self.adam.beta2);
+        let step = AdamStep {
+            lr,
+            b1,
+            b2,
+            eps: self.adam.eps,
+            bias1: 1.0 - b1.powi(t as i32),
+            bias2: 1.0 - b2.powi(t as i32),
+        };
+        if crate::pool::current_width() > 1 && self.parameter_count() >= PAR_ADAM_MIN_PARAMS {
+            let layers = std::mem::take(&mut self.layers);
+            let tasks: Vec<Box<dyn FnOnce() -> Dense + Send>> = layers
+                .into_iter()
+                .zip(grads)
+                .map(|(mut layer, (dw, db))| {
+                    Box::new(move || {
+                        step.apply(&mut layer, &dw, &db);
+                        layer
+                    }) as Box<dyn FnOnce() -> Dense + Send>
+                })
+                .collect();
+            self.layers = crate::pool::global().run(tasks);
+        } else {
+            for (layer, (dw, db)) in self.layers.iter_mut().zip(&grads) {
+                step.apply(layer, dw, db);
             }
         }
         loss
@@ -312,6 +365,10 @@ pub fn train(
     let mut lr = cfg.lr;
     let mut best_val = f32::INFINITY;
     let mut stale = 0usize;
+    // Minibatch scratch buffers, reused across every batch of every
+    // epoch instead of allocating a fresh gather per batch.
+    let mut bx = Matrix::zeros(0, x.cols());
+    let mut by: Vec<f32> = Vec::with_capacity(cfg.batch);
     for epoch in 0..cfg.epochs {
         // Fisher-Yates shuffle.
         for i in (1..n).rev() {
@@ -321,8 +378,9 @@ pub fn train(
         let mut loss_sum = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(cfg.batch) {
-            let bx = x.gather_rows(chunk);
-            let by: Vec<f32> = chunk.iter().map(|&i| y[i]).collect();
+            x.gather_rows_into(chunk, &mut bx);
+            by.clear();
+            by.extend(chunk.iter().map(|&i| y[i]));
             loss_sum += net.train_batch(&bx, &by, lr);
             batches += 1;
         }

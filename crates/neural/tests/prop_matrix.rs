@@ -85,6 +85,106 @@ proptest! {
             prop_assert_eq!(g.row(i), a.row(r));
         }
     }
+
+    #[test]
+    fn parallel_widths_are_bitwise_identical(
+        a in matrix_strategy(13, 6),
+        b in matrix_strategy(6, 5),
+        width in 2usize..7,
+    ) {
+        // Any dispatch width — including widths that don't divide the row
+        // count — reproduces the serial result bit for bit, for all three
+        // product kernels.
+        prop_assert_eq!(a.matmul_threads(&b, width), a.matmul_threads(&b, 1));
+        let bt = Matrix::from_fn(5, 6, |r, c| b.get(c, r));
+        prop_assert_eq!(a.matmul_t_threads(&bt, width), a.matmul_t_threads(&bt, 1));
+        let c = Matrix::from_fn(13, 4, |r, c| a.get(r, c % 6) - 1.0);
+        prop_assert_eq!(a.t_matmul_threads(&c, width), a.t_matmul_threads(&c, 1));
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused(
+        x in matrix_strategy(11, 7),
+        w in matrix_strategy(7, 6),
+        bias in proptest::collection::vec(-2.0f32..2.0, 6),
+        relu in any::<bool>(),
+    ) {
+        // The fused GEMM+bias+ReLU pass matches the unfused matmul →
+        // bias sweep → activation sweep composition within 1e-6 (it is
+        // bitwise equal by construction; the tolerance is the
+        // acceptance-criteria bound).
+        let mut expect = x.matmul(&w);
+        for r in 0..expect.rows() {
+            for (v, b) in expect.row_mut(r).iter_mut().zip(&bias) {
+                *v += b;
+            }
+        }
+        if relu {
+            for v in expect.as_mut_slice() {
+                *v = v.max(0.0);
+            }
+        }
+        let fused = x.dense_forward(&w, &bias, relu);
+        prop_assert_eq!(fused.rows(), expect.rows());
+        for (f, e) in fused.as_slice().iter().zip(expect.as_slice()) {
+            prop_assert!((f - e).abs() <= 1e-6, "{} vs {}", f, e);
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_match_naive(
+        rows in 0usize..3,
+        cols in 1usize..3,
+        n in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        // 0 rows, 1 row, and outputs narrower than the SIMD tile all go
+        // through the same kernels.
+        let a = Matrix::from_fn(rows, cols, |r, c| ((r as u64 * 31 + c as u64 * 7 + seed) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(cols, n, |r, c| ((r as u64 * 13 + c as u64 * 3 + seed) % 9) as f32 - 4.0);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+        let bt = Matrix::from_fn(n, cols, |r, c| b.get(c, r));
+        assert_close(&a.matmul_t(&bt), &naive_matmul(&a, &b), 1e-4);
+        let at = Matrix::from_fn(cols, rows, |r, c| a.get(c, r));
+        let c2 = Matrix::from_fn(rows, n, |r, c| ((r + c) % 5) as f32 - 2.0);
+        assert_close(&a.t_matmul(&c2), &naive_matmul(&at, &c2), 1e-4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fused_mlp_predict_matches_manual_layers(
+        x in matrix_strategy(9, 4),
+        seed in 0u64..500,
+    ) {
+        // The network's fused forward equals an unfused composition built
+        // from the same layer parameters, end to end through the sigmoid.
+        let net = neural::net::Mlp::new(&[4, 6, 5, 1], seed);
+        let mut a = x.clone();
+        for li in 0..net.num_layers() {
+            let (w, bias) = net.layer_params(li);
+            let mut z = a.matmul(w);
+            for r in 0..z.rows() {
+                for (v, b) in z.row_mut(r).iter_mut().zip(bias) {
+                    *v += b;
+                }
+            }
+            if li + 1 < net.num_layers() {
+                for v in z.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
+            }
+            a = z;
+        }
+        let expect: Vec<f32> = a.as_slice().iter().map(|&z| 1.0 / (1.0 + (-z).exp())).collect();
+        let got = net.predict(&x);
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() <= 1e-6, "{} vs {}", g, e);
+        }
+    }
 }
 
 #[test]

@@ -99,13 +99,16 @@ impl ScanHub {
         patchecko_core::eval::audit_image_with(&self.analyzer, db, image, diff, &self.store)
     }
 
-    /// Run a batch of scan jobs across the scheduler's worker pool. The
-    /// worker count honours `PipelineConfig::threads`
+    /// Run a batch of scan jobs across the shared persistent worker pool
+    /// (the same pool the GEMM kernels use — no per-batch thread
+    /// spawning). The worker count honours `PipelineConfig::threads`
     /// ([`patchecko_core::pipeline::PipelineConfig::effective_threads`]).
+    /// The hub, images, and database are taken behind `Arc` because pool
+    /// tasks are `'static`.
     pub fn batch_audit(
-        &self,
-        images: &[FirmwareImage],
-        db: &VulnDb,
+        self: &std::sync::Arc<Self>,
+        images: &std::sync::Arc<Vec<FirmwareImage>>,
+        db: &std::sync::Arc<VulnDb>,
         jobs: &[JobSpec],
     ) -> BatchReport {
         let started = Instant::now();

@@ -14,9 +14,9 @@
 //!   [`StaticFeatures`](patchecko_core::features::StaticFeatures) +
 //!   [`CfgSummary`](disasm::CfgSummary) per key, with hit/miss/extraction
 //!   counters and an on-disk JSON layer;
-//! * [`schedule`] — the (image × CVE × basis) job scheduler over a
-//!   crossbeam worker pool, with per-job timing and graceful failure
-//!   records;
+//! * [`schedule`] — the (image × CVE × basis) job scheduler over the
+//!   shared persistent worker pool ([`neural::pool`]), with per-job
+//!   timing and graceful failure records;
 //! * [`hub`] — [`ScanHub`], binding a trained
 //!   [`Patchecko`](patchecko_core::pipeline::Patchecko) analyzer to a
 //!   store so scans, audits, and batches all reuse cached artifacts.
@@ -29,12 +29,13 @@
 //!
 //! # fn main() -> std::io::Result<()> {
 //! # let detector: patchecko_core::detector::Detector = unimplemented!();
-//! let hub = ScanHub::with_cache_dir(
+//! use std::sync::Arc;
+//! let hub = Arc::new(ScanHub::with_cache_dir(
 //!     Patchecko::new(detector, PipelineConfig::default()),
 //!     "/var/cache/patchecko",
-//! )?;
-//! let db = corpus::build_vulndb(0, 1);
-//! let images = vec![/* loaded FirmwareImages */];
+//! )?);
+//! let db = Arc::new(corpus::build_vulndb(0, 1));
+//! let images = Arc::new(vec![/* loaded FirmwareImages */]);
 //! let jobs = schedule::full_schedule(images.len(), &db, &[Basis::Vulnerable]);
 //! let report = hub.batch_audit(&images, &db, &jobs);
 //! println!("{} jobs, cache {}", report.records.len(), report.cache);

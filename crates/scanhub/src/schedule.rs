@@ -1,11 +1,16 @@
 //! The multi-image job scheduler: fan a queue of (image × CVE × basis)
-//! scan jobs across a crossbeam worker pool.
+//! scan jobs across the shared persistent worker pool.
 //!
-//! Workers pull jobs from a shared channel, so long jobs (big libraries,
-//! many candidates) don't starve short ones the way static chunking would.
-//! Every job produces a [`JobRecord`] with wall-clock timing and its
-//! outcome; a job that panics or names an unknown CVE is recorded as
-//! [`JobOutcome::Failed`] without taking down its worker or the batch.
+//! Jobs are dispatched to [`neural::pool::global`] — the same pool the
+//! GEMM kernels and feature extraction use — so a batch spawns no
+//! threads of its own. Workers pull jobs from the pool's shared queue,
+//! so long jobs (big libraries, many candidates) don't starve short ones
+//! the way static chunking would; a job whose scan reaches a parallel
+//! kernel runs that kernel inline on its worker (nested dispatch never
+//! deadlocks or oversubscribes). Every job produces a [`JobRecord`] with
+//! wall-clock timing and its outcome; a job that panics or names an
+//! unknown CVE is recorded as [`JobOutcome::Failed`] without taking down
+//! its worker or the batch.
 
 use crate::hub::ScanHub;
 use corpus::vulndb::VulnDb;
@@ -13,6 +18,7 @@ use fwbin::FirmwareImage;
 use patchecko_core::pipeline::{Basis, ImageMatch};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One scheduled unit of work: scan one image for one CVE under one basis.
@@ -98,63 +104,34 @@ fn run_one(hub: &ScanHub, images: &[FirmwareImage], db: &VulnDb, spec: &JobSpec)
     }
 }
 
-/// Run `jobs` across `threads` workers, returning records in job order.
-/// `threads == 1` runs inline (no pool); individual failures are recorded,
-/// never propagated.
+fn timed(hub: &ScanHub, images: &[FirmwareImage], db: &VulnDb, spec: &JobSpec) -> JobRecord {
+    let started = Instant::now();
+    let outcome = run_one(hub, images, db, spec);
+    JobRecord { spec: spec.clone(), seconds: started.elapsed().as_secs_f64(), outcome }
+}
+
+/// Run `jobs` across up to `threads` shared-pool workers, returning
+/// records in job order. `threads == 1` runs inline (no dispatch);
+/// individual failures are recorded, never propagated. The hub, images,
+/// and database arrive behind `Arc` because pool tasks are `'static` —
+/// each job holds its own handle for the duration of the batch.
 pub fn run_jobs(
-    hub: &ScanHub,
-    images: &[FirmwareImage],
-    db: &VulnDb,
+    hub: &Arc<ScanHub>,
+    images: &Arc<Vec<FirmwareImage>>,
+    db: &Arc<VulnDb>,
     jobs: &[JobSpec],
     threads: usize,
 ) -> Vec<JobRecord> {
-    let timed = |spec: &JobSpec| -> JobRecord {
-        let started = Instant::now();
-        let outcome = run_one(hub, images, db, spec);
-        JobRecord { spec: spec.clone(), seconds: started.elapsed().as_secs_f64(), outcome }
-    };
     if threads <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(timed).collect();
+        return jobs.iter().map(|spec| timed(hub, images, db, spec)).collect();
     }
-
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, JobSpec)>();
-    let (rec_tx, rec_rx) = crossbeam::channel::unbounded::<(usize, JobRecord)>();
-    for (i, spec) in jobs.iter().enumerate() {
-        job_tx.send((i, spec.clone())).expect("queue accepts jobs");
-    }
-    drop(job_tx);
-
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads.min(jobs.len()) {
-            let job_rx = job_rx.clone();
-            let rec_tx = rec_tx.clone();
-            let timed = &timed;
-            s.spawn(move |_| {
-                while let Ok((i, spec)) = job_rx.recv() {
-                    let record = timed(&spec);
-                    if rec_tx.send((i, record)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-    })
-    .expect("scheduler workers joined");
-    drop(rec_tx);
-
-    let mut slots: Vec<Option<JobRecord>> = vec![None; jobs.len()];
-    while let Ok((i, record)) = rec_rx.recv() {
-        slots[i] = Some(record);
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| {
-            r.unwrap_or_else(|| JobRecord {
-                spec: jobs[i].clone(),
-                seconds: 0.0,
-                outcome: JobOutcome::Failed("job record lost".into()),
-            })
+    let tasks: Vec<Box<dyn FnOnce() -> JobRecord + Send>> = jobs
+        .iter()
+        .map(|spec| {
+            let (hub, images, db, spec) = (hub.clone(), images.clone(), db.clone(), spec.clone());
+            Box::new(move || timed(&hub, &images, &db, &spec))
+                as Box<dyn FnOnce() -> JobRecord + Send>
         })
-        .collect()
+        .collect();
+    neural::pool::global().run(tasks)
 }

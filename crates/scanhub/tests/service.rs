@@ -100,9 +100,9 @@ fn cached_scan_matches_direct_pipeline() {
 fn scheduler_completes_batch_and_contains_failures() {
     let mut analyzer = Patchecko::new(shared_detector().clone(), PipelineConfig::default());
     analyzer.config.threads = Some(4); // satellite (f): explicit worker count
-    let hub = ScanHub::new(analyzer);
-    let db = small_db();
-    let images = vec![shared_device().image.clone()];
+    let hub = std::sync::Arc::new(ScanHub::new(analyzer));
+    let db = std::sync::Arc::new(small_db());
+    let images = std::sync::Arc::new(vec![shared_device().image.clone()]);
 
     let mut jobs = full_schedule(images.len(), &db, &[Basis::Vulnerable]);
     assert_eq!(jobs.len(), db.featured().len());

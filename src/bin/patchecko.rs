@@ -19,7 +19,8 @@
 //! `scan`, `audit`, and `batch-audit` accept `--cache-dir DIR` to reuse a
 //! persistent content-addressed artifact cache across invocations and
 //! `--cache-stats` to print hit/miss/extraction counters; `--threads N`
-//! pins the scheduler/pipeline worker count (`PipelineConfig::threads`).
+//! pins the scheduler/pipeline worker count (`PipelineConfig::threads`,
+//! overriding the `PATCHECKO_THREADS` environment variable).
 
 use patchecko::core::detector::{self, Detector, DetectorConfig};
 use patchecko::core::differential::{self, DifferentialConfig};
@@ -82,7 +83,9 @@ USAGE:
 CACHING / SCHEDULING (scan, audit, batch-audit):
   --cache-dir DIR   load/persist the content-addressed artifact cache in DIR
   --cache-stats     print cache hit/miss/extraction counters after the run
-  --threads N       worker threads for the pipeline and the batch scheduler"
+  --threads N       worker threads for the pipeline and the batch scheduler
+                    (default: the PATCHECKO_THREADS env var, then the number
+                    of CPUs; --threads 1 forces fully serial execution)"
     );
 }
 
@@ -429,8 +432,8 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_batch_audit(flags: &HashMap<String, String>) -> Result<(), String> {
-    let hub = build_hub(flags, build_analyzer(flags)?)?;
-    let db = corpus::build_vulndb(0, 1);
+    let hub = std::sync::Arc::new(build_hub(flags, build_analyzer(flags)?)?);
+    let db = std::sync::Arc::new(corpus::build_vulndb(0, 1));
 
     let mut images = Vec::new();
     for dir in flag(flags, "images")?.split(',').filter(|d| !d.is_empty()) {
@@ -462,6 +465,7 @@ fn cmd_batch_audit(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         None => scanhub::full_schedule(images.len(), &db, bases),
     };
+    let images = std::sync::Arc::new(images);
 
     eprintln!(
         "dispatching {} jobs over {} images ({} threads)...",

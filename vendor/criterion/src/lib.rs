@@ -6,10 +6,20 @@
 //! wall-clock sampler: each benchmark runs `sample_size` samples of an
 //! adaptively-sized iteration batch and reports min/mean/max per
 //! iteration. No statistical analysis, plots, or baseline storage.
+//!
+//! Two extensions beyond the upstream surface:
+//!
+//! * **Quick mode** — passing `--test` on the command line (as real
+//!   criterion does for CI smoke runs) runs every benchmark once with a
+//!   single sample, so a bench suite doubles as a fast correctness gate;
+//! * **Results registry** — every completed benchmark is recorded, and
+//!   [`write_json_summary`] dumps `{name, min, mean, max}` nanosecond
+//!   timings (plus the quick-mode flag) as JSON for artifact upload.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Target wall-clock time per sample; iteration batches are sized so one
@@ -150,7 +160,7 @@ impl Bencher {
         let out = routine();
         let est = t0.elapsed();
         std::mem::drop(out);
-        let iters = batch_iters(est);
+        let iters = if quick_mode() { 1 } else { batch_iters(est) };
         self.samples.clear();
         for _ in 0..self.sample_size {
             let start = Instant::now();
@@ -185,7 +195,63 @@ fn batch_iters(est: Duration) -> u32 {
     n.clamp(1, 1000) as u32
 }
 
+/// Whether `--test` was passed on the command line: run each benchmark
+/// once with one sample (criterion's CI smoke mode).
+pub fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
+/// One completed benchmark's timings, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/bench/param`).
+    pub name: String,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Mean over samples.
+    pub mean_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+}
+
+fn registry() -> &'static Mutex<Vec<BenchRecord>> {
+    static REGISTRY: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Snapshot of every benchmark completed so far in this process.
+pub fn results() -> Vec<BenchRecord> {
+    registry().lock().expect("results registry").clone()
+}
+
+/// Write every completed benchmark's timings to `path` as a JSON document
+/// (`{"quick": bool, "results": [{name, min_ns, mean_ns, max_ns}, ...]}`).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_json_summary(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    let records = results();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}}}{}\n",
+            name,
+            r.min_ns,
+            r.mean_ns,
+            r.max_ns,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
 fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let sample_size = if quick_mode() { 1 } else { sample_size };
     let mut b = Bencher { sample_size, samples: Vec::new() };
     f(&mut b);
     if b.samples.is_empty() {
@@ -195,6 +261,12 @@ fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let min = b.samples.iter().min().copied().unwrap_or_default();
     let max = b.samples.iter().max().copied().unwrap_or_default();
     let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    registry().lock().expect("results registry").push(BenchRecord {
+        name: name.to_string(),
+        min_ns: min.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        max_ns: max.as_nanos(),
+    });
     println!(
         "{name:<50} time: [{} {} {}]",
         format_duration(min),
@@ -276,5 +348,23 @@ mod tests {
     fn batch_iters_bounded() {
         assert_eq!(batch_iters(Duration::from_secs(1)), 1);
         assert_eq!(batch_iters(Duration::from_nanos(1)), 1000);
+    }
+
+    #[test]
+    fn registry_records_and_serializes() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("registry/smoke", |b| b.iter(|| 1 + 1));
+        let recorded = results();
+        let rec = recorded
+            .iter()
+            .find(|r| r.name == "registry/smoke")
+            .expect("benchmark recorded");
+        assert!(rec.min_ns <= rec.mean_ns && rec.mean_ns <= rec.max_ns);
+        let path = std::env::temp_dir().join(format!("criterion-summary-{}.json", std::process::id()));
+        write_json_summary(&path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"registry/smoke\""));
+        assert!(json.contains("\"results\""));
+        let _ = std::fs::remove_file(&path);
     }
 }
