@@ -44,7 +44,7 @@ fn bench_cache(c: &mut Criterion) {
     c.bench_function("cache/scan_library_cold", |b| {
         b.iter_batched(
             || ScanHub::new(Patchecko::new(analyzer.detector.clone(), PipelineConfig::default())),
-            |hub| black_box(hub.scan_library(&bin, entry, Basis::Vulnerable)),
+            |hub| black_box(hub.scan_library(&bin, entry, Basis::Vulnerable).unwrap()),
             BatchSize::SmallInput,
         )
     });
@@ -52,9 +52,9 @@ fn bench_cache(c: &mut Criterion) {
     // Warm: the steady state — the shared store already holds every
     // artifact, so the scan is cache lookups + the batched forward pass.
     let warm_hub = ScanHub::new(Patchecko::new(analyzer.detector.clone(), PipelineConfig::default()));
-    warm_hub.scan_library(&bin, entry, Basis::Vulnerable);
+    warm_hub.scan_library(&bin, entry, Basis::Vulnerable).unwrap();
     c.bench_function("cache/scan_library_warm", |b| {
-        b.iter(|| black_box(warm_hub.scan_library(&bin, entry, Basis::Vulnerable)))
+        b.iter(|| black_box(warm_hub.scan_library(&bin, entry, Basis::Vulnerable).unwrap()))
     });
 
     // Store-only view of the same contrast: features_all through an empty
@@ -64,7 +64,7 @@ fn bench_cache(c: &mut Criterion) {
             ArtifactStore::new,
             |store| {
                 use patchecko_core::pipeline::FeatureSource;
-                black_box(store.features_all(&bin))
+                black_box(store.features_all(&bin).unwrap())
             },
             BatchSize::SmallInput,
         )
@@ -72,20 +72,20 @@ fn bench_cache(c: &mut Criterion) {
     let warm_store = ArtifactStore::new();
     {
         use patchecko_core::pipeline::FeatureSource;
-        warm_store.features_all(&bin);
+        warm_store.features_all(&bin).unwrap();
     }
     c.bench_function("cache/features_all_warm", |b| {
         use patchecko_core::pipeline::FeatureSource;
-        b.iter(|| black_box(warm_store.features_all(&bin)))
+        b.iter(|| black_box(warm_store.features_all(&bin).unwrap()))
     });
 
     // Inference: classify every (reference × target) pair one row at a
     // time vs one matrix through the network.
     let det = &analyzer.detector;
-    let references = Patchecko::reference_feature_set(entry, Basis::Vulnerable);
+    let references = Patchecko::reference_feature_set(entry, Basis::Vulnerable).unwrap();
     let targets = {
         use patchecko_core::pipeline::FeatureSource;
-        patchecko_core::pipeline::DirectExtraction.features_all(&bin)
+        patchecko_core::pipeline::DirectExtraction.features_all(&bin).unwrap()
     };
     let pairs: Vec<(&StaticFeatures, &StaticFeatures)> =
         references.iter().flat_map(|r| targets.iter().map(move |t| (r, t))).collect();

@@ -365,7 +365,7 @@ fn bench_extract_and_classify(c: &mut Criterion) {
     // Static-stage classification at >= 256 pairs: the seed normalized
     // every pair independently and ran the legacy kernels; the new path
     // normalizes each side once and runs the blocked fused forward.
-    let references = Patchecko::reference_feature_set(entry, Basis::Vulnerable);
+    let references = Patchecko::reference_feature_set(entry, Basis::Vulnerable).unwrap();
     let mut targets = features::extract_all(&bin).unwrap();
     // One library at this device scale is a few hundred pairs short of the
     // 256-pair floor; widen the target set with the image's other

@@ -36,11 +36,11 @@ fn bench_stages(c: &mut Criterion) {
     let device = corpus::build_device(&corpus::android_things_spec(), &catalog, 0.1);
     let truth = device.truth_for("CVE-2018-9412").unwrap();
     let bin = device.image.binary(&truth.library).unwrap().clone();
-    let references = Patchecko::reference_feature_set(entry, Basis::Vulnerable);
+    let references = Patchecko::reference_feature_set(entry, Basis::Vulnerable).unwrap();
 
     // DP column: whole-library static scan (features + batched NN forward).
     c.bench_function("static_stage/scan_library_56fn", |b| {
-        b.iter(|| black_box(patchecko.scan_library(&bin, &references)))
+        b.iter(|| black_box(patchecko.scan_library(&bin, &references).unwrap()))
     });
 
     // Feature extraction alone (the IDA-plugin analog).
@@ -49,12 +49,12 @@ fn bench_stages(c: &mut Criterion) {
     });
 
     // DA column: dynamic stage over the scan's candidate set.
-    let scan = patchecko.scan_library(&bin, &references);
+    let scan = patchecko.scan_library(&bin, &references).unwrap();
     let ref_loaded = LoadedBinary::load(entry.vulnerable_bin.clone()).unwrap();
     let target_loaded = LoadedBinary::load(bin.clone()).unwrap();
     c.bench_function("dynamic_stage/validate_and_profile", |b| {
         b.iter(|| {
-            black_box(patchecko.dynamic_stage(&target_loaded, &scan.candidates, &ref_loaded))
+            black_box(patchecko.dynamic_stage(&target_loaded, &scan, &ref_loaded))
         })
     });
 
@@ -68,7 +68,7 @@ fn bench_stages(c: &mut Criterion) {
     });
 
     // Ranking: Minkowski over profiled candidates (paper Eq. 1-2).
-    let dynamic = patchecko.dynamic_stage(&target_loaded, &scan.candidates, &ref_loaded);
+    let dynamic = patchecko.dynamic_stage(&target_loaded, &scan, &ref_loaded);
     c.bench_function("similarity/rank_candidates", |b| {
         b.iter_batched(
             || dynamic.profiles.clone(),

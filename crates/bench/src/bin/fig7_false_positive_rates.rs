@@ -32,8 +32,8 @@ fn main() {
             let truth = device.truth_for(&entry.entry.cve).expect("ground truth");
             let bin = device.image.binary(&truth.library).expect("library");
             for basis in [Basis::Vulnerable, Basis::Patched] {
-                let references = Patchecko::reference_feature_set(entry, basis);
-                let scan = ev.patchecko.scan_library(bin, &references);
+                let references = Patchecko::reference_feature_set(entry, basis).unwrap();
+                let scan = ev.patchecko.scan_library(bin, &references).unwrap();
                 // FP = flagged functions that are not the true target.
                 let fp = scan
                     .candidates

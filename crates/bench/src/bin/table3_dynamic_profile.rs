@@ -29,7 +29,7 @@ fn main() {
     let truth = device.truth_for("CVE-2018-9412").expect("ground truth");
     let bin = device.image.binary(&truth.library).expect("libstagefright");
 
-    let analysis = ev.patchecko.analyze_library(bin, entry, Basis::Vulnerable);
+    let analysis = ev.patchecko.analyze_library(bin, entry, Basis::Vulnerable).unwrap();
     eprintln!(
         "[table3] candidates {} -> validated {}",
         analysis.scan.candidates.len(),

@@ -17,6 +17,7 @@
 //! patch changes one integer constant and is invisible to all three
 //! channels.
 
+use crate::error::ScanError;
 use crate::features::StaticFeatures;
 use crate::pipeline::{DirectExtraction, FeatureSource, Patchecko};
 use crate::similarity;
@@ -90,6 +91,12 @@ pub struct PatchVerdict {
     /// like the patched build on the PoC, -1 like the vulnerable build,
     /// 0 inconclusive.
     pub exploit_vote: Option<i32>,
+    /// Whether the dynamic channel was unavailable (a reference or the
+    /// target failed to load) and the verdict rests on the static and
+    /// signature channels alone. Degraded verdicts report
+    /// `f64::INFINITY` dynamic distances and abstain on the dynamic vote.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// Names of imported routines called by function `idx` of `bin`.
@@ -138,12 +145,17 @@ pub fn detect_patch(
     target_bin: &Binary,
     target_idx: usize,
     cfg: &DifferentialConfig,
-) -> PatchVerdict {
+) -> Result<PatchVerdict, ScanError> {
     detect_patch_with(patchecko, entry, target_bin, target_idx, cfg, &DirectExtraction)
 }
 
 /// [`detect_patch`] with static features served by `source`: a cached
 /// source lets a warm re-audit skip all three static extractions here.
+///
+/// # Errors
+/// Propagates static extraction failures from the source. Loader failures
+/// on the dynamic side do **not** error: the verdict degrades to the
+/// static and signature channels with [`PatchVerdict::degraded`] set.
 pub fn detect_patch_with(
     patchecko: &Patchecko,
     entry: &DbEntry,
@@ -151,40 +163,53 @@ pub fn detect_patch_with(
     target_idx: usize,
     cfg: &DifferentialConfig,
     source: &dyn FeatureSource,
-) -> PatchVerdict {
+) -> Result<PatchVerdict, ScanError> {
     let vm_cfg = &patchecko.config.vm;
 
     // --- static channel ---
-    let fv = Patchecko::reference_features_with(entry, crate::pipeline::Basis::Vulnerable, source);
-    let fp = Patchecko::reference_features_with(entry, crate::pipeline::Basis::Patched, source);
-    let ft = source.features_one(target_bin, target_idx);
+    let fv = Patchecko::reference_features_with(entry, crate::pipeline::Basis::Vulnerable, source)?;
+    let fp = Patchecko::reference_features_with(entry, crate::pipeline::Basis::Patched, source)?;
+    let ft = source.features_one(target_bin, target_idx)?;
     let norm = &patchecko.detector.norm;
     let sv = static_distance(norm, &fv, &ft);
     let sp = static_distance(norm, &fp, &ft);
 
     // --- dynamic channel (references compiled for the target's platform,
-    // as both run on-device in the paper's setup) ---
-    let vref = LoadedBinary::load(entry.reference_for(target_bin.arch, false))
-        .expect("reference loads");
-    let pref = LoadedBinary::load(entry.reference_for(target_bin.arch, true))
-        .expect("reference loads");
-    let target = LoadedBinary::load(target_bin.clone()).expect("target loads");
-    let mut envs = patchecko.make_environments(&vref);
-    envs.extend(patchecko.make_environments(&pref));
-    envs.retain(|e| {
-        vref.run_any(0, e, vm_cfg).outcome.is_ok()
-            && pref.run_any(0, e, vm_cfg).outcome.is_ok()
-            && target.run_any(target_idx, e, vm_cfg).outcome.is_ok()
-    });
-    let profile = |lb: &LoadedBinary, f: usize| -> Vec<vm::DynFeatures> {
-        envs.iter().map(|e| lb.run_any(f, e, vm_cfg).features).collect()
+    // as both run on-device in the paper's setup) --- A loader failure on
+    // any of the three binaries degrades the verdict to the remaining
+    // channels instead of panicking.
+    let loaded: Result<(LoadedBinary, LoadedBinary, LoadedBinary), ScanError> = (|| {
+        let vref = LoadedBinary::load(entry.reference_for(target_bin.arch, false))
+            .map_err(|e| ScanError::load(&entry.entry.library, &e))?;
+        let pref = LoadedBinary::load(entry.reference_for(target_bin.arch, true))
+            .map_err(|e| ScanError::load(&entry.entry.library, &e))?;
+        let target = LoadedBinary::load(target_bin.clone())
+            .map_err(|e| ScanError::load(&target_bin.lib_name, &e))?;
+        Ok((vref, pref, target))
+    })();
+    let degraded = loaded.is_err();
+    let (dv, dp, loaded) = match loaded {
+        Ok((vref, pref, target)) => {
+            let mut envs = patchecko.make_environments(&vref);
+            envs.extend(patchecko.make_environments(&pref));
+            envs.retain(|e| {
+                vref.run_any(0, e, vm_cfg).outcome.is_ok()
+                    && pref.run_any(0, e, vm_cfg).outcome.is_ok()
+                    && target.run_any(target_idx, e, vm_cfg).outcome.is_ok()
+            });
+            let profile = |lb: &LoadedBinary, f: usize| -> Vec<vm::DynFeatures> {
+                envs.iter().map(|e| lb.run_any(f, e, vm_cfg).features).collect()
+            };
+            let prof_v = profile(&vref, 0);
+            let prof_p = profile(&pref, 0);
+            let prof_t = profile(&target, target_idx);
+            let p = patchecko.config.minkowski_p;
+            let dv = similarity::sim_over_envs(&prof_v, &prof_t, p);
+            let dp = similarity::sim_over_envs(&prof_p, &prof_t, p);
+            (dv, dp, Some((vref, pref, target)))
+        }
+        Err(_) => (f64::INFINITY, f64::INFINITY, None),
     };
-    let prof_v = profile(&vref, 0);
-    let prof_p = profile(&pref, 0);
-    let prof_t = profile(&target, target_idx);
-    let p = patchecko.config.minkowski_p;
-    let dv = similarity::sim_over_envs(&prof_v, &prof_t, p);
-    let dp = similarity::sim_over_envs(&prof_p, &prof_t, p);
 
     // --- signature channel ---
     let vuln_imports = import_call_names(&entry.vulnerable_bin, 0);
@@ -233,17 +258,16 @@ pub fn detect_patch_with(
     }
 
     // --- optional exploit channel (§V-D future work) ---
-    let exploit_vote = if cfg.use_exploit_channel {
-        entry.entry.poc.as_ref().map(|poc| {
+    let exploit_vote = match (&loaded, cfg.use_exploit_channel) {
+        (Some((vref, pref, target)), true) => entry.entry.poc.as_ref().map(|poc| {
             let env = vm::ExecEnv::for_buffer(poc.clone(), &[]);
             let run = |lb: &LoadedBinary, f: usize| lb.run_any(f, &env, vm_cfg);
-            let rv = run(&vref, 0);
-            let rp = run(&pref, 0);
-            let rt = run(&target, target_idx);
+            let rv = run(vref, 0);
+            let rp = run(pref, 0);
+            let rt = run(target, target_idx);
             exploit_behaviour_vote(&rv, &rp, &rt)
-        })
-    } else {
-        None
+        }),
+        _ => None,
     };
 
     // --- combine: channel-majority vote ---
@@ -253,7 +277,9 @@ pub fn detect_patch_with(
     // reference (looks patched). Channel votes rather than a blended mean
     // keep a decisive signature (the paper's `j___aeabi_memmove` example)
     // from being drowned out by noisy dynamic instruction counts.
-    let r_dyn = share(dv, dp);
+    // A degraded verdict abstains on the dynamic channel (its infinite
+    // distances carry no information).
+    let r_dyn = if degraded { 0.5 } else { share(dv, dp) };
     let r_static = share(sv, sp);
     let r_sig = share(votes_p as f64, votes_v as f64);
     let channel = |r: f64| -> i32 {
@@ -277,7 +303,7 @@ pub fn detect_patch_with(
     let tie_break = votes == 0;
     let patched = if tie_break { true } else { votes > 0 };
 
-    PatchVerdict {
+    Ok(PatchVerdict {
         cve: entry.entry.cve.clone(),
         patched,
         dyn_dist_vulnerable: dv,
@@ -294,7 +320,8 @@ pub fn detect_patch_with(
         margin,
         tie_break,
         exploit_vote,
-    }
+        degraded,
+    })
 }
 
 /// Compare the target's behaviour on the PoC input against both reference
@@ -365,11 +392,14 @@ pub fn detect_patch_best(
     target_bin: &Binary,
     candidates: &[usize],
     cfg: &DifferentialConfig,
-) -> Option<(usize, PatchVerdict)> {
+) -> Result<Option<(usize, PatchVerdict)>, ScanError> {
     detect_patch_best_with(patchecko, entry, target_bin, candidates, cfg, &DirectExtraction)
 }
 
 /// [`detect_patch_best`] with static features served by `source`.
+///
+/// # Errors
+/// The first per-candidate [`ScanError`], if any.
 pub fn detect_patch_best_with(
     patchecko: &Patchecko,
     entry: &DbEntry,
@@ -377,11 +407,14 @@ pub fn detect_patch_best_with(
     candidates: &[usize],
     cfg: &DifferentialConfig,
     source: &dyn FeatureSource,
-) -> Option<(usize, PatchVerdict)> {
+) -> Result<Option<(usize, PatchVerdict)>, ScanError> {
     let mut best: Option<(usize, PatchVerdict, f64)> = None;
     for &c in candidates {
-        let v = detect_patch_with(patchecko, entry, target_bin, c, cfg, source);
-        let proximity = v.dyn_dist_vulnerable.min(v.dyn_dist_patched)
+        let v = detect_patch_with(patchecko, entry, target_bin, c, cfg, source)?;
+        // Degraded verdicts have infinite dynamic distances; fall back to
+        // static proximity alone so candidate selection stays meaningful.
+        let dyn_proximity = v.dyn_dist_vulnerable.min(v.dyn_dist_patched);
+        let proximity = if dyn_proximity.is_finite() { dyn_proximity } else { 0.0 }
             + v.static_dist_vulnerable.min(v.static_dist_patched);
         let better = match &best {
             Some((_, b, d)) => {
@@ -394,7 +427,7 @@ pub fn detect_patch_best_with(
             best = Some((c, v, proximity));
         }
     }
-    best.map(|(c, v, _)| (c, v))
+    Ok(best.map(|(c, v, _)| (c, v)))
 }
 
 #[cfg(test)]
@@ -424,7 +457,7 @@ mod tests {
         let db = corpus::build_vulndb(0, 1);
         let entry = db.get("CVE-2018-9412").unwrap();
         let target = target_with(entry, false);
-        let v = detect_patch(&patchecko, entry, &target, 0, &DifferentialConfig::default());
+        let v = detect_patch(&patchecko, entry, &target, 0, &DifferentialConfig::default()).unwrap();
         assert!(!v.patched, "margin {}, dv {} dp {}", v.margin, v.dyn_dist_vulnerable, v.dyn_dist_patched);
         // The paper's case-study signal: memmove in the vulnerable import
         // set, absent from the patched one, present in the target.
@@ -439,7 +472,7 @@ mod tests {
         let db = corpus::build_vulndb(0, 1);
         let entry = db.get("CVE-2018-9412").unwrap();
         let target = target_with(entry, true);
-        let v = detect_patch(&patchecko, entry, &target, 0, &DifferentialConfig::default());
+        let v = detect_patch(&patchecko, entry, &target, 0, &DifferentialConfig::default()).unwrap();
         assert!(v.patched, "margin {}", v.margin);
     }
 
@@ -452,10 +485,10 @@ mod tests {
         let entry = db.get("CVE-2018-9470").unwrap();
         assert!(entry.entry.poc.is_some(), "9470 carries a PoC");
         let cfg = DifferentialConfig { use_exploit_channel: true, ..Default::default() };
-        let v = detect_patch(&patchecko, entry, &target_with(entry, false), 0, &cfg);
+        let v = detect_patch(&patchecko, entry, &target_with(entry, false), 0, &cfg).unwrap();
         assert_eq!(v.exploit_vote, Some(-1), "target behaves like the vulnerable build");
         assert!(!v.patched, "exploit evidence overrides the tie");
-        let v = detect_patch(&patchecko, entry, &target_with(entry, true), 0, &cfg);
+        let v = detect_patch(&patchecko, entry, &target_with(entry, true), 0, &cfg).unwrap();
         assert_eq!(v.exploit_vote, Some(1));
         assert!(v.patched);
     }
@@ -468,7 +501,7 @@ mod tests {
         let db = corpus::build_vulndb(0, 1);
         let entry = db.get("CVE-2018-9412").unwrap();
         let cfg = DifferentialConfig { use_exploit_channel: true, ..Default::default() };
-        let v = detect_patch(&patchecko, entry, &target_with(entry, false), 0, &cfg);
+        let v = detect_patch(&patchecko, entry, &target_with(entry, false), 0, &cfg).unwrap();
         assert_eq!(v.exploit_vote, Some(-1));
         assert!(!v.patched);
     }
@@ -480,7 +513,7 @@ mod tests {
         let db = corpus::build_vulndb(0, 1);
         let entry = db.get("CVE-2018-9470").unwrap();
         let target = target_with(entry, false); // actually vulnerable
-        let v = detect_patch(&patchecko, entry, &target, 0, &DifferentialConfig::default());
+        let v = detect_patch(&patchecko, entry, &target, 0, &DifferentialConfig::default()).unwrap();
         // The engine cannot tell and defaults to "patched" — the paper's
         // one Table VIII miss.
         assert!(v.tie_break, "expected inconclusive evidence, margin {}", v.margin);

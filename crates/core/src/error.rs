@@ -1,0 +1,223 @@
+//! The typed scan-error taxonomy.
+//!
+//! §III-B of the paper defines the dynamic stage by its failure modes —
+//! candidates that "terminate, trigger a system exception, or go into an
+//! infinite loop" — and a long-running scan service inherits the same
+//! concern everywhere else: corrupt cached artifacts, malformed firmware
+//! images, worker deaths. [`ScanError`] names every failure the pipeline
+//! can produce and classifies each as *transient* (retrying can succeed:
+//! a worker died, an injected fault fired, a cached artifact was
+//! quarantined and will be re-extracted) or *permanent* (retrying cannot
+//! help: the input itself is malformed or the request names something
+//! that does not exist). The scanhub scheduler retries transient
+//! failures with bounded backoff and records permanent ones without
+//! taking down the batch.
+
+use serde::{Deserialize, Serialize};
+
+/// Retry classification of a [`ScanError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorClass {
+    /// A retry may succeed (worker death, injected fault, quarantined
+    /// cache entry, filesystem hiccup).
+    Transient,
+    /// A retry cannot succeed (malformed input, unknown identifier).
+    Permanent,
+}
+
+impl std::fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorClass::Transient => "transient",
+            ErrorClass::Permanent => "permanent",
+        })
+    }
+}
+
+/// Every failure the scan/audit path can surface. All payloads are plain
+/// strings so the error serializes into job records and CLI `--json`
+/// output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScanError {
+    /// A binary failed to load: malformed FWB container or undecodable
+    /// function code (the loader's [`vm::LoadError`] with its
+    /// section/offset context, plus which library it came from).
+    Load {
+        /// Library name of the failing binary.
+        library: String,
+        /// Loader detail (function index, section, byte offset).
+        detail: String,
+    },
+    /// Static feature extraction failed on one function (corrupt code
+    /// bytes reached the disassembler).
+    Extraction {
+        /// Library name of the binary under extraction.
+        library: String,
+        /// Function-table index that failed.
+        function: usize,
+        /// Decoder detail (opcode/offset).
+        detail: String,
+    },
+    /// A cached artifact failed checksum/schema validation and was
+    /// quarantined. Transient by construction: the quarantined entry is
+    /// evicted, so a retry re-extracts from the binary.
+    CorruptArtifact {
+        /// Hex artifact key, when one was recoverable.
+        key: String,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A worker panicked mid-job (the scheduler's `catch_unwind` caught
+    /// it). Transient: the job re-runs on a healthy worker.
+    WorkerPanic {
+        /// Stringified panic payload.
+        detail: String,
+    },
+    /// A fault injected by the `faultline` chaos layer. Always transient
+    /// — injected faults fire once per schedule point and must be retried
+    /// away without a trace in the final results.
+    Injected {
+        /// Injection site (e.g. `features_all`).
+        site: String,
+        /// Schedule detail (seed, call index).
+        detail: String,
+    },
+    /// The job names a CVE absent from the vulnerability database.
+    UnknownCve(String),
+    /// The job names an image index outside the batch.
+    ImageOutOfRange {
+        /// Requested image index.
+        index: usize,
+        /// Number of images in the batch.
+        images: usize,
+    },
+    /// Filesystem failure in the artifact store's disk layer.
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS error detail.
+        detail: String,
+    },
+}
+
+impl ScanError {
+    /// Retry classification.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            ScanError::Load { .. }
+            | ScanError::Extraction { .. }
+            | ScanError::UnknownCve(_)
+            | ScanError::ImageOutOfRange { .. } => ErrorClass::Permanent,
+            ScanError::CorruptArtifact { .. }
+            | ScanError::WorkerPanic { .. }
+            | ScanError::Injected { .. }
+            | ScanError::Io { .. } => ErrorClass::Transient,
+        }
+    }
+
+    /// Whether a bounded retry may clear this failure.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
+
+    /// Build a [`ScanError::Load`] from a loader failure, attaching the
+    /// library name.
+    pub fn load(library: &str, e: &vm::LoadError) -> ScanError {
+        ScanError::Load { library: library.to_string(), detail: e.to_string() }
+    }
+
+    /// Build a [`ScanError::Extraction`] from a decode failure, attaching
+    /// library and function context.
+    pub fn extraction(library: &str, function: usize, e: &fwbin::encode::DecodeError) -> ScanError {
+        ScanError::Extraction {
+            library: library.to_string(),
+            function,
+            detail: e.to_string(),
+        }
+    }
+
+    /// Build a [`ScanError::WorkerPanic`] from a `catch_unwind` payload.
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> ScanError {
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "worker panicked".to_string());
+        ScanError::WorkerPanic { detail }
+    }
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Load { library, detail } => write!(f, "load `{library}`: {detail}"),
+            ScanError::Extraction { library, function, detail } => {
+                write!(f, "extract `{library}` function {function}: {detail}")
+            }
+            ScanError::CorruptArtifact { key, detail } => {
+                write!(f, "corrupt cached artifact {key}: {detail} (quarantined)")
+            }
+            ScanError::WorkerPanic { detail } => write!(f, "worker panicked: {detail}"),
+            ScanError::Injected { site, detail } => {
+                write!(f, "injected fault at {site}: {detail}")
+            }
+            ScanError::UnknownCve(cve) => write!(f, "unknown CVE {cve}"),
+            ScanError::ImageOutOfRange { index, images } => {
+                write!(f, "image index {index} out of range (batch holds {images})")
+            }
+            ScanError::Io { path, detail } => write!(f, "io `{path}`: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_splits_transient_from_permanent() {
+        let transient = [
+            ScanError::CorruptArtifact { key: "ab".into(), detail: "checksum".into() },
+            ScanError::WorkerPanic { detail: "boom".into() },
+            ScanError::Injected { site: "features_all".into(), detail: "seed 1".into() },
+            ScanError::Io { path: "/tmp/x".into(), detail: "interrupted".into() },
+        ];
+        let permanent = [
+            ScanError::Load { library: "libx".into(), detail: "bad magic".into() },
+            ScanError::Extraction { library: "libx".into(), function: 3, detail: "opcode".into() },
+            ScanError::UnknownCve("CVE-0000-0000".into()),
+            ScanError::ImageOutOfRange { index: 9, images: 2 },
+        ];
+        for e in &transient {
+            assert!(e.is_transient(), "{e}");
+            assert_eq!(e.class(), ErrorClass::Transient);
+        }
+        for e in &permanent {
+            assert!(!e.is_transient(), "{e}");
+            assert_eq!(e.class(), ErrorClass::Permanent);
+        }
+    }
+
+    #[test]
+    fn errors_serialize_for_job_records() {
+        let e = ScanError::Extraction { library: "libfoo".into(), function: 7, detail: "bad opcode 0xEE at offset 3".into() };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ScanError = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+        assert!(e.to_string().contains("libfoo"));
+        assert!(e.to_string().contains("function 7"));
+    }
+
+    #[test]
+    fn panic_payloads_convert() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str panic");
+        assert_eq!(
+            ScanError::from_panic(s.as_ref()),
+            ScanError::WorkerPanic { detail: "static str panic".into() }
+        );
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned panic"));
+        assert!(matches!(ScanError::from_panic(s.as_ref()), ScanError::WorkerPanic { detail } if detail == "owned panic"));
+    }
+}

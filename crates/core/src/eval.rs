@@ -4,6 +4,7 @@
 
 use crate::detector::{self, DetectorConfig, TestMetrics};
 use crate::differential::{self, DifferentialConfig, PatchVerdict};
+use crate::error::ScanError;
 use crate::pipeline::{Basis, CveAnalysis, Patchecko, PipelineConfig};
 use crate::similarity;
 use corpus::device::DeviceBuild;
@@ -65,20 +66,23 @@ impl PatchRow {
 
 /// Evaluate one CVE on one device with one basis, producing its table row
 /// and the underlying analysis.
+///
+/// # Errors
+/// Propagates pipeline [`ScanError`]s (extraction and cache failures).
 pub fn evaluate_cve(
     patchecko: &Patchecko,
     entry: &DbEntry,
     device: &DeviceBuild,
     basis: Basis,
-) -> (CveRow, CveAnalysis) {
+) -> Result<(CveRow, CveAnalysis), ScanError> {
     let truth = device
         .truth_for(&entry.entry.cve)
-        .unwrap_or_else(|| panic!("{} missing from device ground truth", entry.entry.cve));
+        .ok_or_else(|| ScanError::UnknownCve(entry.entry.cve.clone()))?;
     let bin = device
         .image
         .binary(&truth.library)
         .unwrap_or_else(|| panic!("{} missing from image", truth.library));
-    let analysis = patchecko.analyze_library(bin, entry, basis);
+    let analysis = patchecko.analyze_library(bin, entry, basis)?;
 
     let mut tp = 0u32;
     let mut fp = 0u32;
@@ -109,7 +113,7 @@ pub fn evaluate_cve(
         dp_seconds: analysis.scan.seconds,
         da_seconds: analysis.dynamic.seconds,
     };
-    (row, analysis)
+    Ok((row, analysis))
 }
 
 /// Candidate target functions for the differential engine: the union of
@@ -128,21 +132,26 @@ pub fn locate_candidates(vuln: &CveAnalysis, patched: &CveAnalysis) -> Vec<usize
 
 /// Run the full Table VIII flow for one CVE: both-basis analysis, target
 /// location, differential verdict.
+///
+/// # Errors
+/// Propagates pipeline [`ScanError`]s (extraction and cache failures).
 pub fn evaluate_patch_detection(
     patchecko: &Patchecko,
     entry: &DbEntry,
     device: &DeviceBuild,
     diff_cfg: &DifferentialConfig,
-) -> (PatchRow, Option<PatchVerdict>) {
-    let (_, va) = evaluate_cve(patchecko, entry, device, Basis::Vulnerable);
-    let (_, pa) = evaluate_cve(patchecko, entry, device, Basis::Patched);
-    let truth = device.truth_for(&entry.entry.cve).expect("ground truth");
+) -> Result<(PatchRow, Option<PatchVerdict>), ScanError> {
+    let (_, va) = evaluate_cve(patchecko, entry, device, Basis::Vulnerable)?;
+    let (_, pa) = evaluate_cve(patchecko, entry, device, Basis::Patched)?;
+    let truth = device
+        .truth_for(&entry.entry.cve)
+        .ok_or_else(|| ScanError::UnknownCve(entry.entry.cve.clone()))?;
     let candidates = locate_candidates(&va, &pa);
     let bin = device.image.binary(&truth.library).expect("library present");
     let Some((_, verdict)) =
-        differential::detect_patch_best(patchecko, entry, bin, &candidates, diff_cfg)
+        differential::detect_patch_best(patchecko, entry, bin, &candidates, diff_cfg)?
     else {
-        return (
+        return Ok((
             PatchRow {
                 cve: entry.entry.cve.clone(),
                 detected_patched: None,
@@ -150,7 +159,7 @@ pub fn evaluate_patch_detection(
                 tie_break: false,
             },
             None,
-        );
+        ));
     };
     let row = PatchRow {
         cve: entry.entry.cve.clone(),
@@ -158,7 +167,7 @@ pub fn evaluate_patch_detection(
         truth_patched: truth.patched,
         tie_break: verdict.tie_break,
     };
-    (row, Some(verdict))
+    Ok((row, Some(verdict)))
 }
 
 /// Audit a whole firmware image against the vulnerability database,
@@ -170,58 +179,88 @@ pub fn audit_image(
     db: &VulnDb,
     image: &fwbin::FirmwareImage,
     diff_cfg: &DifferentialConfig,
-) -> crate::report::AuditReport {
+) -> Result<crate::report::AuditReport, ScanError> {
     audit_image_with(patchecko, db, image, diff_cfg, &crate::pipeline::DirectExtraction)
+}
+
+/// One CVE's share of [`audit_image_with`]: both-basis image analysis,
+/// per-library candidate collection, differential arbitration.
+fn audit_one_cve(
+    patchecko: &Patchecko,
+    entry: &DbEntry,
+    image: &fwbin::FirmwareImage,
+    diff_cfg: &DifferentialConfig,
+    source: &dyn crate::pipeline::FeatureSource,
+) -> Result<(crate::report::AuditStatus, Option<String>, Option<PatchVerdict>), ScanError> {
+    use crate::report::AuditStatus;
+    let va = patchecko.analyze_image_with(image, entry, Basis::Vulnerable, source)?;
+    let pa = patchecko.analyze_image_with(image, entry, Basis::Patched, source)?;
+    // Per-library candidate sets from both bases.
+    let mut by_lib: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for m in va.best.iter().chain(pa.best.iter()) {
+        let cands = by_lib.entry(m.library_index).or_default();
+        if !cands.contains(&m.function_index) {
+            cands.push(m.function_index);
+        }
+    }
+    let mut best: Option<(String, usize, PatchVerdict, f64)> = None;
+    for (li, cands) in by_lib {
+        let bin = &image.binaries[li];
+        if let Some((idx, v)) =
+            differential::detect_patch_best_with(patchecko, entry, bin, &cands, diff_cfg, source)?
+        {
+            let dyn_prox = v.dyn_dist_vulnerable.min(v.dyn_dist_patched);
+            let proximity = if dyn_prox.is_finite() { dyn_prox } else { 0.0 }
+                + v.static_dist_vulnerable.min(v.static_dist_patched);
+            let better = match &best {
+                Some((_, _, _, d)) => proximity < *d,
+                None => true,
+            };
+            if better {
+                best = Some((bin.lib_name.clone(), idx, v, proximity));
+            }
+        }
+    }
+    Ok(match best {
+        Some((lib, idx, v, _)) => (
+            if v.patched { AuditStatus::Patched } else { AuditStatus::Vulnerable },
+            Some(format!("{lib}:{idx}")),
+            Some(v),
+        ),
+        None => (AuditStatus::NotFound, None, None),
+    })
 }
 
 /// [`audit_image`] with static features served by `source`: with a warm
 /// scanhub artifact store, the whole audit performs zero disassembly and
 /// feature-extraction work.
+///
+/// Failure policy: a *permanent* per-CVE failure (malformed input) is
+/// recorded as an [`AuditStatus::Error`](crate::report::AuditStatus::Error)
+/// finding and the audit continues — one poisoned entry must not sink the
+/// image. A *transient* failure (quarantined artifact, injected fault,
+/// worker death) propagates as `Err` so the caller — typically the scanhub
+/// scheduler — can retry the whole job.
+///
+/// # Errors
+/// The first transient [`ScanError`] encountered.
 pub fn audit_image_with(
     patchecko: &Patchecko,
     db: &VulnDb,
     image: &fwbin::FirmwareImage,
     diff_cfg: &DifferentialConfig,
     source: &dyn crate::pipeline::FeatureSource,
-) -> crate::report::AuditReport {
+) -> Result<crate::report::AuditReport, ScanError> {
     use crate::report::{AuditFinding, AuditReport, AuditStatus};
     let mut findings = Vec::new();
     for entry in db.featured() {
-        let va = patchecko.analyze_image_with(image, entry, Basis::Vulnerable, source);
-        let pa = patchecko.analyze_image_with(image, entry, Basis::Patched, source);
-        // Per-library candidate sets from both bases.
-        let mut by_lib: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
-        for m in va.best.iter().chain(pa.best.iter()) {
-            let cands = by_lib.entry(m.library_index).or_default();
-            if !cands.contains(&m.function_index) {
-                cands.push(m.function_index);
-            }
-        }
-        let mut best: Option<(String, usize, crate::differential::PatchVerdict, f64)> = None;
-        for (li, cands) in by_lib {
-            let bin = &image.binaries[li];
-            if let Some((idx, v)) =
-                differential::detect_patch_best_with(patchecko, entry, bin, &cands, diff_cfg, source)
-            {
-                let proximity = v.dyn_dist_vulnerable.min(v.dyn_dist_patched)
-                    + v.static_dist_vulnerable.min(v.static_dist_patched);
-                let better = match &best {
-                    Some((_, _, _, d)) => proximity < *d,
-                    None => true,
-                };
-                if better {
-                    best = Some((bin.lib_name.clone(), idx, v, proximity));
-                }
-            }
-        }
-        let (status, located, verdict) = match best {
-            Some((lib, idx, v, _)) => (
-                if v.patched { AuditStatus::Patched } else { AuditStatus::Vulnerable },
-                Some(format!("{lib}:{idx}")),
-                Some(v),
-            ),
-            None => (AuditStatus::NotFound, None, None),
-        };
+        let (status, located, verdict, error) =
+            match audit_one_cve(patchecko, entry, image, diff_cfg, source) {
+                Ok((status, located, verdict)) => (status, located, verdict, None),
+                Err(e) if e.is_transient() => return Err(e),
+                Err(e) => (AuditStatus::Error, None, None, Some(e)),
+            };
+        let degraded = verdict.as_ref().is_some_and(|v| v.degraded);
         findings.push(AuditFinding {
             cve: entry.entry.cve.clone(),
             expected_library: entry.entry.library.clone(),
@@ -229,15 +268,17 @@ pub fn audit_image_with(
             status,
             located,
             verdict,
+            degraded,
+            error,
         });
     }
-    AuditReport {
+    Ok(AuditReport {
         device: image.device.clone(),
         patch_level: image.patch_level.clone(),
         libraries: image.binaries.len(),
         functions: image.total_functions(),
         findings,
-    }
+    })
 }
 
 /// A full evaluation context: trained detector + datasets.
@@ -304,23 +345,31 @@ pub fn build_evaluation(cfg: &EvaluationConfig) -> Evaluation {
 
 impl Evaluation {
     /// Table VI (basis = vulnerable) / Table VII (basis = patched) rows for
-    /// one device.
+    /// one device. The evaluation corpus is well-formed by construction, so
+    /// a scan failure here is a harness bug and panics with the typed error.
     pub fn table_rows(&self, device: usize, basis: Basis) -> Vec<CveRow> {
         self.db
             .featured()
             .iter()
-            .map(|e| evaluate_cve(&self.patchecko, e, &self.devices[device], basis).0)
+            .map(|e| {
+                evaluate_cve(&self.patchecko, e, &self.devices[device], basis)
+                    .unwrap_or_else(|err| panic!("evaluation corpus scan failed: {err}"))
+                    .0
+            })
             .collect()
     }
 
-    /// Table VIII rows for one device.
+    /// Table VIII rows for one device. Panics on scan failure, as for
+    /// [`Evaluation::table_rows`].
     pub fn patch_rows(&self, device: usize) -> Vec<PatchRow> {
         let diff_cfg = DifferentialConfig::default();
         self.db
             .featured()
             .iter()
             .map(|e| {
-                evaluate_patch_detection(&self.patchecko, e, &self.devices[device], &diff_cfg).0
+                evaluate_patch_detection(&self.patchecko, e, &self.devices[device], &diff_cfg)
+                    .unwrap_or_else(|err| panic!("evaluation corpus scan failed: {err}"))
+                    .0
             })
             .collect()
     }
@@ -351,7 +400,8 @@ mod tests {
     fn evaluate_cve_produces_consistent_row() {
         let ev = tiny_eval();
         let entry = ev.db.get("CVE-2018-9412").unwrap();
-        let (row, analysis) = evaluate_cve(&ev.patchecko, entry, &ev.devices[0], Basis::Vulnerable);
+        let (row, analysis) =
+            evaluate_cve(&ev.patchecko, entry, &ev.devices[0], Basis::Vulnerable).unwrap();
         assert_eq!(row.tp + row.tn + row.fp + row.fn_, row.total as u32);
         assert_eq!(row.tp + row.fn_, 1, "exactly one ground-truth target");
         assert!(row.execution <= analysis.scan.candidates.len());
@@ -373,7 +423,8 @@ mod tests {
             entry,
             &ev.devices[0],
             &DifferentialConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(!row.truth_patched);
         assert_eq!(row.detected_patched, Some(false), "{verdict:?}");
         assert!(row.correct());
@@ -399,6 +450,8 @@ mod tests {
                 validated: vec![],
                 profiles: vec![],
                 ranking,
+                confidence: crate::pipeline::Confidence::Full,
+                degradation: None,
                 seconds: 0.0,
             },
         };

@@ -40,6 +40,7 @@
 pub mod baseline;
 pub mod detector;
 pub mod differential;
+pub mod error;
 pub mod eval;
 pub mod features;
 pub mod pipeline;
@@ -50,11 +51,12 @@ mod testutil;
 
 pub use detector::{Detector, DetectorConfig, TestMetrics};
 pub use differential::{detect_patch, DifferentialConfig, PatchVerdict};
+pub use error::{ErrorClass, ScanError};
 pub use eval::{build_evaluation, Evaluation, EvaluationConfig};
 pub use features::{Normalizer, StaticFeatures, NUM_STATIC_FEATURES, STATIC_FEATURE_NAMES};
 pub use pipeline::{
-    Basis, CveAnalysis, DirectExtraction, FeatureSource, ImageAnalysis, ImageMatch, Patchecko,
-    PipelineConfig,
+    Basis, Confidence, CveAnalysis, DirectExtraction, FeatureSource, ImageAnalysis, ImageMatch,
+    Patchecko, PipelineConfig,
 };
 pub use report::{AuditFinding, AuditReport, AuditStatus};
 pub use similarity::{minkowski, rank, rank_of, sim_over_envs, RankedCandidate, PAPER_P};

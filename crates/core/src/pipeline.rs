@@ -5,11 +5,13 @@
 //! (dynamic analysis) columns of Tables VI and VII.
 
 use crate::detector::Detector;
+use crate::error::ScanError;
 use crate::features::{self, StaticFeatures};
 use crate::similarity::{self, RankedCandidate};
 use corpus::vulndb::DbEntry;
 use fwbin::format::Binary;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use vm::env::ExecEnv;
 use vm::exec::VmConfig;
@@ -84,25 +86,52 @@ impl PipelineConfig {
 /// content-addressed artifact store implements this trait to serve cached
 /// features instead, which is how a warm re-audit skips disassembly and
 /// feature extraction entirely.
+///
+/// Both methods are fallible: a corrupt binary (undecodable function
+/// code), a quarantined cache entry, or an injected chaos fault comes
+/// back as a typed [`ScanError`] instead of a panic, so one poisoned
+/// input cannot sink a batch.
 pub trait FeatureSource: Sync {
     /// Static features of every function of `bin`, in function-table order.
-    fn features_all(&self, bin: &Binary) -> Vec<StaticFeatures>;
+    ///
+    /// # Errors
+    /// [`ScanError::Extraction`] (with function context) when any
+    /// function's code bytes fail to decode; implementations may also
+    /// surface transient cache/injection failures.
+    fn features_all(&self, bin: &Binary) -> Result<Vec<StaticFeatures>, ScanError>;
 
     /// Static features of one function of `bin`.
-    fn features_one(&self, bin: &Binary, idx: usize) -> StaticFeatures;
+    ///
+    /// # Errors
+    /// As for [`FeatureSource::features_all`].
+    fn features_one(&self, bin: &Binary, idx: usize) -> Result<StaticFeatures, ScanError>;
 }
 
 /// The uncached [`FeatureSource`]: disassemble + extract on every request.
 pub struct DirectExtraction;
 
+/// Locate which function a whole-binary extraction failure came from: the
+/// parallel extractor reports only the first [`DecodeError`]
+/// (fwbin::encode::DecodeError); re-probe serially to pin the index for
+/// the error context. Only runs on the (rare) failure path.
+fn locate_extraction_failure(bin: &Binary, e: &fwbin::encode::DecodeError) -> ScanError {
+    for idx in 0..bin.function_count() {
+        if let Err(probe) = disasm::disassemble(bin, idx) {
+            return ScanError::extraction(&bin.lib_name, idx, &probe);
+        }
+    }
+    ScanError::extraction(&bin.lib_name, 0, e)
+}
+
 impl FeatureSource for DirectExtraction {
-    fn features_all(&self, bin: &Binary) -> Vec<StaticFeatures> {
-        features::extract_all_parallel(bin).expect("target binaries decode")
+    fn features_all(&self, bin: &Binary) -> Result<Vec<StaticFeatures>, ScanError> {
+        features::extract_all_parallel(bin).map_err(|e| locate_extraction_failure(bin, &e))
     }
 
-    fn features_one(&self, bin: &Binary, idx: usize) -> StaticFeatures {
-        let dis = disasm::disassemble(bin, idx).expect("target binaries decode");
-        features::extract(&dis, &bin.functions[idx])
+    fn features_one(&self, bin: &Binary, idx: usize) -> Result<StaticFeatures, ScanError> {
+        let dis = disasm::disassemble(bin, idx)
+            .map_err(|e| ScanError::extraction(&bin.lib_name, idx, &e))?;
+        Ok(features::extract(&dis, &bin.functions[idx]))
     }
 }
 
@@ -121,6 +150,24 @@ pub struct StaticScan {
     pub seconds: f64,
 }
 
+/// Confidence of a dynamic-stage result.
+///
+/// `Full` means the paper's pipeline ran end to end: environments were
+/// generated, the reference profiled, every candidate execution-validated.
+/// `Degraded` means the dynamic stage could not run (the reference failed
+/// to load, no execution environment survived, or candidate profiling
+/// died) and the ranking fell back to static-only evidence — better than
+/// dropping the candidates or panicking, but to be read with the static
+/// stage's false-positive rate in mind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Confidence {
+    /// Dynamic validation and profiling ran for every ranked candidate.
+    Full,
+    /// Static-only fallback: dynamic evidence was unavailable for at
+    /// least part of the ranking.
+    Degraded,
+}
+
 /// Result of the dynamic stage.
 #[derive(Debug, Clone)]
 pub struct DynamicAnalysis {
@@ -133,10 +180,24 @@ pub struct DynamicAnalysis {
     pub validated: Vec<usize>,
     /// Dynamic profiles of the validated candidates.
     pub profiles: Vec<(usize, Vec<DynFeatures>)>,
-    /// Final similarity ranking (ascending distance).
+    /// Final similarity ranking (ascending distance). Under
+    /// [`Confidence::Degraded`], distances are static pseudo-distances
+    /// (`1 - probability`), not comparable with dynamic distances.
     pub ranking: Vec<RankedCandidate>,
+    /// Whether the ranking carries full dynamic evidence or fell back to
+    /// static-only ordering.
+    pub confidence: Confidence,
+    /// Why the stage degraded, when it did.
+    pub degradation: Option<String>,
     /// Wall-clock seconds (the "DA" column).
     pub seconds: f64,
+}
+
+impl DynamicAnalysis {
+    /// Whether this analysis fell back to static-only evidence.
+    pub fn is_degraded(&self) -> bool {
+        self.confidence == Confidence::Degraded
+    }
 }
 
 /// A full per-CVE hybrid analysis.
@@ -156,6 +217,11 @@ impl CveAnalysis {
     /// The best-ranked candidate function index, if any survived.
     pub fn top_candidate(&self) -> Option<usize> {
         self.dynamic.ranking.first().map(|r| r.function_index)
+    }
+
+    /// Whether the dynamic stage fell back to static-only evidence.
+    pub fn is_degraded(&self) -> bool {
+        self.dynamic.is_degraded()
     }
 }
 
@@ -177,17 +243,23 @@ impl Patchecko {
     }
 
     /// Static features of a database entry's primary reference function.
-    pub fn reference_features(entry: &DbEntry, basis: Basis) -> StaticFeatures {
+    ///
+    /// # Errors
+    /// Propagates extraction failures from the source.
+    pub fn reference_features(entry: &DbEntry, basis: Basis) -> Result<StaticFeatures, ScanError> {
         Self::reference_features_with(entry, basis, &DirectExtraction)
     }
 
     /// [`Patchecko::reference_features`] through an explicit
     /// [`FeatureSource`] (reference binaries are content-addressable too).
+    ///
+    /// # Errors
+    /// Propagates extraction failures from the source.
     pub fn reference_features_with(
         entry: &DbEntry,
         basis: Basis,
         source: &dyn FeatureSource,
-    ) -> StaticFeatures {
+    ) -> Result<StaticFeatures, ScanError> {
         let bin = match basis {
             Basis::Vulnerable => &entry.vulnerable_bin,
             Basis::Patched => &entry.patched_bin,
@@ -198,17 +270,26 @@ impl Patchecko {
     /// Static features of every multi-platform reference variant (§II-A:
     /// the database compiles the reference "for different hardware
     /// architectures and software platforms").
-    pub fn reference_feature_set(entry: &DbEntry, basis: Basis) -> Vec<StaticFeatures> {
+    ///
+    /// # Errors
+    /// Propagates the first extraction failure from the source.
+    pub fn reference_feature_set(
+        entry: &DbEntry,
+        basis: Basis,
+    ) -> Result<Vec<StaticFeatures>, ScanError> {
         Self::reference_feature_set_with(entry, basis, &DirectExtraction)
     }
 
     /// [`Patchecko::reference_feature_set`] through an explicit
     /// [`FeatureSource`].
+    ///
+    /// # Errors
+    /// Propagates the first extraction failure from the source.
     pub fn reference_feature_set_with(
         entry: &DbEntry,
         basis: Basis,
         source: &dyn FeatureSource,
-    ) -> Vec<StaticFeatures> {
+    ) -> Result<Vec<StaticFeatures>, ScanError> {
         entry
             .reference_variants(basis == Basis::Patched)
             .iter()
@@ -219,7 +300,14 @@ impl Patchecko {
     /// Stage 1: scan every function of `bin` against the reference feature
     /// vectors with the deep-learning classifier. A function's score is
     /// its best match across the reference variants.
-    pub fn scan_library(&self, bin: &Binary, references: &[StaticFeatures]) -> StaticScan {
+    ///
+    /// # Errors
+    /// Propagates extraction failures from the source.
+    pub fn scan_library(
+        &self,
+        bin: &Binary,
+        references: &[StaticFeatures],
+    ) -> Result<StaticScan, ScanError> {
         self.scan_library_with(bin, references, &DirectExtraction)
     }
 
@@ -229,14 +317,17 @@ impl Patchecko {
     /// library scan is a single forward pass per layer regardless of how
     /// many reference variants the database carries — and every feature
     /// vector is normalized once instead of once per pair.
+    ///
+    /// # Errors
+    /// Propagates extraction failures from the source.
     pub fn scan_library_with(
         &self,
         bin: &Binary,
         references: &[StaticFeatures],
         source: &dyn FeatureSource,
-    ) -> StaticScan {
+    ) -> Result<StaticScan, ScanError> {
         let started = Instant::now();
-        let feats = source.features_all(bin);
+        let feats = source.features_all(bin)?;
         let scores = self.detector.classify_product(references, &feats);
         let mut probs = vec![0.0f32; feats.len()];
         for (i, s) in scores.iter().enumerate() {
@@ -249,13 +340,13 @@ impl Patchecko {
             .filter(|(_, p)| **p >= self.detector.threshold)
             .map(|(i, _)| i)
             .collect();
-        StaticScan {
+        Ok(StaticScan {
             library: bin.lib_name.clone(),
             total: feats.len(),
             probs,
             candidates,
             seconds: started.elapsed().as_secs_f64(),
-        }
+        })
     }
 
     /// Generate execution environments by fuzzing the reference function,
@@ -288,96 +379,206 @@ impl Patchecko {
         Some(out)
     }
 
+    /// Static-only fallback ranking for candidates without dynamic
+    /// evidence: descending probability, i.e. ascending pseudo-distance
+    /// `1 - probability`, ties broken by function index so the order is
+    /// deterministic.
+    fn static_fallback_ranking(scan: &StaticScan, candidates: &[usize]) -> Vec<RankedCandidate> {
+        let mut ranked: Vec<RankedCandidate> = candidates
+            .iter()
+            .map(|&c| RankedCandidate {
+                function_index: c,
+                distance: 1.0 - f64::from(scan.probs[c]),
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.function_index.cmp(&b.function_index))
+        });
+        ranked
+    }
+
+    /// A fully degraded analysis: no dynamic evidence at all, ranking by
+    /// static probability. Used when the loader or the environment
+    /// generator fails — the scan's candidates still reach the report
+    /// instead of sinking the job.
+    pub(crate) fn degraded_analysis(scan: &StaticScan, why: String, seconds: f64) -> DynamicAnalysis {
+        DynamicAnalysis {
+            envs: Vec::new(),
+            reference_profile: Vec::new(),
+            validated: Vec::new(),
+            profiles: Vec::new(),
+            ranking: Self::static_fallback_ranking(scan, &scan.candidates),
+            confidence: Confidence::Degraded,
+            degradation: Some(why),
+            seconds,
+        }
+    }
+
     /// Stage 2+3: execution-validate the candidates, profile the survivors,
     /// and rank them against the reference profile.
+    ///
+    /// Infallible by design: every failure inside the stage degrades
+    /// instead of propagating. A candidate whose profiling *panics* (as
+    /// opposed to the paper's execution-validation failures — fault,
+    /// timeout — which still prune the candidate) falls back to its
+    /// static score and is appended after the dynamically ranked set; if
+    /// the whole stage cannot run (no surviving environment, reference
+    /// profile dies), the ranking is static-only and the result is marked
+    /// [`Confidence::Degraded`].
     pub fn dynamic_stage(
         &self,
         target: &LoadedBinary,
-        candidates: &[usize],
+        scan: &StaticScan,
         reference: &LoadedBinary,
     ) -> DynamicAnalysis {
         let started = Instant::now();
-        let envs = self.make_environments(reference);
-        let reference_profile = Self::profile(reference, 0, &envs, &self.config.vm)
+        let candidates: &[usize] = &scan.candidates;
+        let envs = catch_unwind(AssertUnwindSafe(|| self.make_environments(reference)))
             .unwrap_or_default();
+        if envs.is_empty() && !candidates.is_empty() {
+            return Self::degraded_analysis(
+                scan,
+                "no execution environment survived the reference".to_string(),
+                started.elapsed().as_secs_f64(),
+            );
+        }
+        let reference_profile = match catch_unwind(AssertUnwindSafe(|| {
+            Self::profile(reference, 0, &envs, &self.config.vm)
+        })) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) if candidates.is_empty() => Vec::new(),
+            Ok(None) | Err(_) => {
+                return Self::degraded_analysis(
+                    scan,
+                    "reference dynamic profile unavailable".to_string(),
+                    started.elapsed().as_secs_f64(),
+                );
+            }
+        };
 
         // Validate + profile candidates (in parallel when configured; each
-        // candidate's environments replay independently).
-        let results: Vec<Option<Vec<DynFeatures>>> = if self.config.parallel
+        // candidate's environments replay independently). `Ok(Some)` =
+        // validated, `Ok(None)` = execution-validation failure (pruned, as
+        // the paper prescribes), `Err` = the profiler itself panicked (the
+        // candidate degrades to static evidence).
+        type ProfileResult = Result<Option<Vec<DynFeatures>>, ScanError>;
+        let profile_guarded = |c: usize| -> ProfileResult {
+            catch_unwind(AssertUnwindSafe(|| Self::profile(target, c, &envs, &self.config.vm)))
+                .map_err(|p| ScanError::from_panic(p.as_ref()))
+        };
+        let results: Vec<ProfileResult> = if self.config.parallel
             && candidates.len() > 3
             && self.config.effective_threads() > 1
         {
             let n_threads = self.config.effective_threads();
             let chunk = candidates.len().div_ceil(n_threads).max(1);
-            let mut results = vec![None; candidates.len()];
+            let mut results: Vec<ProfileResult> = vec![Ok(None); candidates.len()];
             crossbeam::thread::scope(|s| {
                 for (slot, cand) in results.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
-                    let envs = &envs;
-                    let vm_cfg = &self.config.vm;
+                    let profile_guarded = &profile_guarded;
                     s.spawn(move |_| {
                         for (o, &c) in slot.iter_mut().zip(cand) {
-                            *o = Self::profile(target, c, envs, vm_cfg);
+                            *o = profile_guarded(c);
                         }
                     });
                 }
             })
-            .expect("candidate profiling worker panicked");
+            .expect("candidate profiling scope");
             results
         } else {
-            candidates
-                .iter()
-                .map(|&c| Self::profile(target, c, &envs, &self.config.vm))
-                .collect()
+            candidates.iter().map(|&c| profile_guarded(c)).collect()
         };
 
         let mut validated = Vec::new();
         let mut profiles = Vec::new();
+        let mut fallback = Vec::new();
+        let mut degradation: Option<String> = None;
         for (&c, r) in candidates.iter().zip(results) {
-            if let Some(p) = r {
-                validated.push(c);
-                profiles.push((c, p));
+            match r {
+                Ok(Some(p)) => {
+                    validated.push(c);
+                    profiles.push((c, p));
+                }
+                Ok(None) => {} // execution-validation failure: pruned.
+                Err(e) => {
+                    fallback.push(c);
+                    degradation
+                        .get_or_insert_with(|| format!("candidate {c} profiling panicked: {e}"));
+                }
             }
         }
-        let ranking = similarity::rank(&reference_profile, &profiles, self.config.minkowski_p);
+        let mut ranking = similarity::rank(&reference_profile, &profiles, self.config.minkowski_p);
+        let confidence = if fallback.is_empty() { Confidence::Full } else { Confidence::Degraded };
+        // Degraded candidates rank after every dynamically ranked one:
+        // static evidence never outranks dynamic evidence.
+        ranking.extend(Self::static_fallback_ranking(scan, &fallback));
         DynamicAnalysis {
             envs,
             reference_profile,
             validated,
             profiles,
             ranking,
+            confidence,
+            degradation,
             seconds: started.elapsed().as_secs_f64(),
         }
     }
 
     /// Run the full hybrid analysis of one CVE against one target library
     /// binary.
+    ///
+    /// # Errors
+    /// [`ScanError::Extraction`] (or a source-specific transient error)
+    /// when static features cannot be produced. Loader failures on the
+    /// dynamic side do **not** error: the analysis degrades to
+    /// static-only ranking instead.
     pub fn analyze_library(
         &self,
         target_bin: &Binary,
         entry: &DbEntry,
         basis: Basis,
-    ) -> CveAnalysis {
+    ) -> Result<CveAnalysis, ScanError> {
         self.analyze_library_with(target_bin, entry, basis, &DirectExtraction)
     }
 
     /// [`Patchecko::analyze_library`] with static features served by
     /// `source` (target and reference sides alike).
+    ///
+    /// # Errors
+    /// As for [`Patchecko::analyze_library`].
     pub fn analyze_library_with(
         &self,
         target_bin: &Binary,
         entry: &DbEntry,
         basis: Basis,
         source: &dyn FeatureSource,
-    ) -> CveAnalysis {
-        let references = Self::reference_feature_set_with(entry, basis, source);
-        let scan = self.scan_library_with(target_bin, &references, source);
+    ) -> Result<CveAnalysis, ScanError> {
+        let references = Self::reference_feature_set_with(entry, basis, source)?;
+        let scan = self.scan_library_with(target_bin, &references, source)?;
         // Dynamic stage: reference compiled for the *target's* platform —
-        // the paper executes both functions on the device itself.
+        // the paper executes both functions on the device itself. A binary
+        // that scanned statically but fails to *load* degrades the dynamic
+        // stage rather than sinking the job.
         let ref_bin = entry.reference_for(target_bin.arch, basis == Basis::Patched);
-        let ref_loaded = LoadedBinary::load(ref_bin).expect("reference binaries load");
-        let target_loaded = LoadedBinary::load(target_bin.clone()).expect("target binaries load");
-        let dynamic = self.dynamic_stage(&target_loaded, &scan.candidates, &ref_loaded);
-        CveAnalysis { cve: entry.entry.cve.clone(), basis, scan, dynamic }
+        let dynamic = match (LoadedBinary::load(ref_bin), LoadedBinary::load(target_bin.clone())) {
+            (Ok(ref_loaded), Ok(target_loaded)) => {
+                self.dynamic_stage(&target_loaded, &scan, &ref_loaded)
+            }
+            (Err(e), _) => Self::degraded_analysis(
+                &scan,
+                format!("reference failed to load: {}", ScanError::load(&entry.entry.library, &e)),
+                0.0,
+            ),
+            (_, Err(e)) => Self::degraded_analysis(
+                &scan,
+                format!("target failed to load: {}", ScanError::load(&target_bin.lib_name, &e)),
+                0.0,
+            ),
+        };
+        Ok(CveAnalysis { cve: entry.entry.cve.clone(), basis, scan, dynamic })
     }
 
     /// Scan a whole firmware image for one CVE: every library is analyzed
@@ -390,44 +591,54 @@ impl Patchecko {
         image: &fwbin::FirmwareImage,
         entry: &DbEntry,
         basis: Basis,
-    ) -> ImageAnalysis {
+    ) -> Result<ImageAnalysis, ScanError> {
         self.analyze_image_with(image, entry, basis, &DirectExtraction)
     }
 
     /// [`Patchecko::analyze_image`] with static features served by `source`.
+    ///
+    /// # Errors
+    /// The first per-library [`ScanError`] encountered, if any.
     pub fn analyze_image_with(
         &self,
         image: &fwbin::FirmwareImage,
         entry: &DbEntry,
         basis: Basis,
         source: &dyn FeatureSource,
-    ) -> ImageAnalysis {
+    ) -> Result<ImageAnalysis, ScanError> {
         let analyses: Vec<CveAnalysis> = image
             .binaries
             .iter()
             .map(|bin| self.analyze_library_with(bin, entry, basis, source))
-            .collect();
+            .collect::<Result<_, _>>()?;
         // Best match: the lowest-distance top candidate across libraries.
-        let mut best: Option<(usize, usize, f64)> = None;
+        // Full-confidence matches always beat degraded (static-only) ones,
+        // whose pseudo-distances are not comparable with dynamic distances.
+        let mut best: Option<(usize, usize, f64, bool)> = None;
         for (li, a) in analyses.iter().enumerate() {
             if let Some(r) = a.dynamic.ranking.first() {
-                match best {
-                    Some((_, _, d)) if d <= r.distance => {}
-                    _ => best = Some((li, r.function_index, r.distance)),
+                let cand = (a.is_degraded(), r.distance);
+                let replace = match best {
+                    Some((_, _, d, deg)) => cand < (deg, d),
+                    None => true,
+                };
+                if replace {
+                    best = Some((li, r.function_index, r.distance, a.is_degraded()));
                 }
             }
         }
-        ImageAnalysis {
+        Ok(ImageAnalysis {
             cve: entry.entry.cve.clone(),
             basis,
-            best: best.map(|(li, fi, distance)| ImageMatch {
+            best: best.map(|(li, fi, distance, degraded)| ImageMatch {
                 library: image.binaries[li].lib_name.clone(),
                 library_index: li,
                 function_index: fi,
                 distance,
+                degraded,
             }),
             analyses,
-        }
+        })
     }
 }
 
@@ -442,6 +653,9 @@ pub struct ImageMatch {
     pub function_index: usize,
     /// Averaged dynamic similarity distance of the match.
     pub distance: f64,
+    /// Whether this match comes from a degraded (static-only) analysis.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// A whole-image analysis for one CVE.
@@ -479,7 +693,9 @@ mod tests {
         let truth = device.truth_for("CVE-2018-9412").unwrap();
         let target_bin = device.image.binary(&truth.library).unwrap();
 
-        let analysis = patchecko.analyze_library(target_bin, entry, Basis::Vulnerable);
+        let analysis = patchecko.analyze_library(target_bin, entry, Basis::Vulnerable).unwrap();
+        assert_eq!(analysis.dynamic.confidence, Confidence::Full);
+        assert!(analysis.dynamic.degradation.is_none());
         assert!(analysis.scan.total > 10);
         assert!(
             analysis.scan.candidates.contains(&truth.function_index),
@@ -512,12 +728,35 @@ mod tests {
         let device = corpus::build_device(&corpus::android_things_spec(), &cat, 0.05);
         let truth = device.truth_for("CVE-2018-9451").unwrap();
         let bin = device.image.binary(&truth.library).unwrap();
-        let a = patchecko.analyze_library(bin, entry, Basis::Vulnerable);
-        let b = patchecko.analyze_library(bin, entry, Basis::Vulnerable);
+        let a = patchecko.analyze_library(bin, entry, Basis::Vulnerable).unwrap();
+        let b = patchecko.analyze_library(bin, entry, Basis::Vulnerable).unwrap();
         assert_eq!(a.scan.probs, b.scan.probs);
         assert_eq!(a.scan.candidates, b.scan.candidates);
         assert_eq!(a.dynamic.validated, b.dynamic.validated);
         assert_eq!(a.dynamic.ranking, b.dynamic.ranking);
+    }
+
+    #[test]
+    fn degraded_analysis_ranks_by_static_probability() {
+        let scan = StaticScan {
+            library: "libx".into(),
+            total: 6,
+            probs: vec![0.1, 0.9, 0.2, 0.95, 0.9, 0.0],
+            candidates: vec![1, 3, 4],
+            seconds: 0.0,
+        };
+        let d = Patchecko::degraded_analysis(&scan, "loader failure".into(), 0.0);
+        assert!(d.is_degraded());
+        assert_eq!(d.confidence, Confidence::Degraded);
+        assert_eq!(d.degradation.as_deref(), Some("loader failure"));
+        assert!(d.envs.is_empty() && d.validated.is_empty() && d.profiles.is_empty());
+        let order: Vec<usize> = d.ranking.iter().map(|r| r.function_index).collect();
+        // Descending probability; the 0.9 tie (1 vs 4) breaks by index.
+        assert_eq!(order, vec![3, 1, 4]);
+        for r in &d.ranking {
+            let expect = 1.0 - f64::from(scan.probs[r.function_index]);
+            assert!((r.distance - expect).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! humans.
 
 use crate::differential::PatchVerdict;
+use crate::error::ScanError;
 use serde::{Deserialize, Serialize};
 
 /// The verdict class for one CVE on one image.
@@ -17,6 +18,9 @@ pub enum AuditStatus {
     Patched,
     /// No function in the image matched either version.
     NotFound,
+    /// The scan for this CVE failed with a [`ScanError`]; the rest of the
+    /// audit proceeded. See [`AuditFinding::error`].
+    Error,
 }
 
 /// One CVE's audit outcome.
@@ -34,6 +38,13 @@ pub struct AuditFinding {
     pub located: Option<String>,
     /// The differential engine's full evidence, when the target was found.
     pub verdict: Option<PatchVerdict>,
+    /// Whether the verdict rests on degraded (static/signature-only)
+    /// evidence — the dynamic channel was unavailable for this CVE.
+    #[serde(default)]
+    pub degraded: bool,
+    /// The failure, when [`AuditStatus::Error`].
+    #[serde(default)]
+    pub error: Option<ScanError>,
 }
 
 /// A whole-image audit.
@@ -62,6 +73,16 @@ impl AuditReport {
         self.findings.iter().filter(|f| f.status == status).count()
     }
 
+    /// Findings whose scan failed outright.
+    pub fn errors(&self) -> impl Iterator<Item = &AuditFinding> {
+        self.findings.iter().filter(|f| f.status == AuditStatus::Error)
+    }
+
+    /// Findings decided on degraded (static/signature-only) evidence.
+    pub fn degraded(&self) -> impl Iterator<Item = &AuditFinding> {
+        self.findings.iter().filter(|f| f.degraded)
+    }
+
     /// Render as a Markdown document.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -76,13 +97,16 @@ impl AuditReport {
                 AuditStatus::Vulnerable => "**VULNERABLE**",
                 AuditStatus::Patched => "patched",
                 AuditStatus::NotFound => "not found",
+                AuditStatus::Error => "error",
             };
+            let qualifier = if f.degraded { " (degraded)" } else { "" };
             out.push_str(&format!(
-                "| {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {}{} |\n",
                 f.cve,
                 f.severity,
                 f.located.as_deref().unwrap_or("—"),
-                verdict
+                verdict,
+                qualifier
             ));
         }
         let exposed = self.count(AuditStatus::Vulnerable);
@@ -92,6 +116,23 @@ impl AuditReport {
             self.count(AuditStatus::Patched),
             self.count(AuditStatus::NotFound)
         ));
+        let n_degraded = self.degraded().count();
+        if n_degraded > 0 {
+            out.push_str(&format!(
+                "\n{n_degraded} verdict(s) rest on degraded static-only evidence \
+                 (dynamic analysis was unavailable).\n"
+            ));
+        }
+        if self.errors().next().is_some() {
+            out.push_str("\n## Scan failures\n\n");
+            for f in self.errors() {
+                out.push_str(&format!(
+                    "- `{}`: {}\n",
+                    f.cve,
+                    f.error.as_ref().map(ScanError::to_string).unwrap_or_default()
+                ));
+            }
+        }
         if exposed > 0 {
             out.push_str("\n## Action items\n\n");
             for f in self.exposed() {
@@ -131,6 +172,8 @@ mod tests {
                     status: AuditStatus::Vulnerable,
                     located: Some("libstagefright:46".into()),
                     verdict: None,
+                    degraded: false,
+                    error: None,
                 },
                 AuditFinding {
                     cve: "CVE-2017-13232".into(),
@@ -139,6 +182,8 @@ mod tests {
                     status: AuditStatus::Patched,
                     located: Some("libaudioflinger:11".into()),
                     verdict: None,
+                    degraded: true,
+                    error: None,
                 },
                 AuditFinding {
                     cve: "CVE-0000-0000".into(),
@@ -147,6 +192,22 @@ mod tests {
                     status: AuditStatus::NotFound,
                     located: None,
                     verdict: None,
+                    degraded: false,
+                    error: None,
+                },
+                AuditFinding {
+                    cve: "CVE-2018-9999".into(),
+                    expected_library: "libbroken".into(),
+                    severity: "high".into(),
+                    status: AuditStatus::Error,
+                    located: None,
+                    verdict: None,
+                    degraded: false,
+                    error: Some(ScanError::Extraction {
+                        library: "libbroken".into(),
+                        function: 4,
+                        detail: "bad opcode".into(),
+                    }),
                 },
             ],
         }
@@ -158,7 +219,10 @@ mod tests {
         assert_eq!(r.count(AuditStatus::Vulnerable), 1);
         assert_eq!(r.count(AuditStatus::Patched), 1);
         assert_eq!(r.count(AuditStatus::NotFound), 1);
+        assert_eq!(r.count(AuditStatus::Error), 1);
         assert_eq!(r.exposed().count(), 1);
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.degraded().count(), 1);
     }
 
     #[test]
@@ -169,9 +233,18 @@ mod tests {
         assert!(md.contains("**VULNERABLE**"));
         assert!(md.contains("| CVE-2017-13232 |"));
         assert!(md.contains("not found"));
-        assert!(md.contains("Exposed to 1 of 3"));
+        assert!(md.contains("Exposed to 1 of 4"));
         assert!(md.contains("## Action items"));
         assert!(md.contains("apply the upstream fix"));
+    }
+
+    #[test]
+    fn markdown_surfaces_degradation_and_failures() {
+        let md = sample().to_markdown();
+        assert!(md.contains("patched (degraded)"));
+        assert!(md.contains("1 verdict(s) rest on degraded static-only evidence"));
+        assert!(md.contains("## Scan failures"));
+        assert!(md.contains("`CVE-2018-9999`: extract `libbroken` function 4: bad opcode"));
     }
 
     #[test]
@@ -179,8 +252,27 @@ mod tests {
         let r = sample();
         let json = serde_json::to_string(&r).unwrap();
         let back: AuditReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.findings.len(), 3);
+        assert_eq!(back.findings.len(), 4);
         assert_eq!(back.device, r.device);
         assert_eq!(back.count(AuditStatus::Vulnerable), 1);
+        assert_eq!(back.count(AuditStatus::Error), 1);
+        assert!(back.findings[1].degraded);
+    }
+
+    #[test]
+    fn legacy_findings_deserialize_without_new_fields() {
+        // Reports persisted before the resilience pass lack `degraded` and
+        // `error`; they must still deserialize (serde defaults).
+        let json = r#"{
+            "cve": "CVE-2018-9412",
+            "expected_library": "libstagefright",
+            "severity": "high",
+            "status": "Vulnerable",
+            "located": null,
+            "verdict": null
+        }"#;
+        let f: AuditFinding = serde_json::from_str(json).unwrap();
+        assert!(!f.degraded);
+        assert!(f.error.is_none());
     }
 }

@@ -1,0 +1,74 @@
+//! Scheduler chaos hooks: seeded worker-death injection through the
+//! [`FaultHook`] seam `patchecko_scanhub::schedule` exposes.
+//!
+//! A "death" preempts a job attempt exactly where a lost worker would:
+//! after the job was dequeued, before its scan produced anything. The
+//! victim set is a pure function of the plan and each job's identity
+//! (image index, CVE, basis) — thread interleaving cannot move a death
+//! from one job to another.
+
+use crate::plan::FaultPlan;
+use patchecko_core::error::ScanError;
+use patchecko_scanhub::schedule::{FaultHook, JobSpec};
+use std::sync::Arc;
+
+fn job_key(spec: &JobSpec) -> u64 {
+    FaultPlan::key_of(&spec.cve)
+        ^ (spec.image as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ FaultPlan::key_of(&format!("{:?}", spec.basis))
+}
+
+/// A hook that kills the first `deaths` attempts of roughly 1-in-`die_in`
+/// jobs with a transient [`ScanError::Injected`]. With `deaths` below the
+/// scheduler's `max_attempts`, every victim job still completes — the
+/// setup for the retried-away-faults identity invariant.
+pub fn worker_deaths(plan: FaultPlan, die_in: u32, deaths: u32) -> Arc<FaultHook> {
+    Arc::new(move |spec: &JobSpec, attempt: u32| {
+        let key = job_key(spec);
+        if attempt <= deaths && plan.fires("hook.death", key, 1, die_in) {
+            Some(ScanError::Injected {
+                site: "scheduler".into(),
+                detail: format!(
+                    "worker death, job {}/{}/{:?} attempt {attempt} (seed {})",
+                    spec.image,
+                    spec.cve,
+                    spec.basis,
+                    plan.seed()
+                ),
+            })
+        } else {
+            None
+        }
+    })
+}
+
+/// A hook that *panics* on the first `deaths` attempts of roughly
+/// 1-in-`die_in` jobs — the rawest failure a worker can produce. The
+/// scheduler must contain it (classified as a transient `WorkerPanic`
+/// and retried), which is exactly what the no-panic-escapes chaos
+/// invariant checks.
+pub fn panicking_deaths(plan: FaultPlan, die_in: u32, deaths: u32) -> Arc<FaultHook> {
+    Arc::new(move |spec: &JobSpec, attempt: u32| {
+        let key = job_key(spec);
+        if attempt <= deaths && plan.fires("hook.death", key, 1, die_in) {
+            panic!(
+                "faultline: worker died, job {}/{}/{:?} attempt {attempt} (seed {})",
+                spec.image,
+                spec.cve,
+                spec.basis,
+                plan.seed()
+            );
+        }
+        None
+    })
+}
+
+/// The victim jobs `plan` selects out of `jobs` at rate 1-in-`die_in` —
+/// what the hooks above will target, computable ahead of the run.
+pub fn victims(plan: &FaultPlan, jobs: &[JobSpec], die_in: u32) -> Vec<usize> {
+    jobs.iter()
+        .enumerate()
+        .filter(|(_, spec)| plan.fires("hook.death", job_key(spec), 1, die_in))
+        .map(|(i, _)| i)
+        .collect()
+}

@@ -1,0 +1,38 @@
+//! FWB container corruption: seeded byte damage against the loader.
+//!
+//! The loader contract under attack: for **any** byte string,
+//! [`vm::LoadedBinary::from_bytes`] returns `Ok` or a typed
+//! [`vm::LoadError`] — it never panics and never aborts the process.
+
+use crate::plan::FaultPlan;
+use fwbin::format::Binary;
+
+/// Flip `flips` seeded bits of `bytes` in place. Positions and masks are
+/// pure functions of the plan, the byte length, and the flip index.
+pub fn corrupt_bytes(bytes: &mut [u8], plan: &FaultPlan, flips: usize) {
+    if bytes.is_empty() {
+        return;
+    }
+    let key = bytes.len() as u64;
+    for i in 0..flips {
+        let at = plan.pick("image.flip.at", key ^ (i as u64) << 32, bytes.len());
+        let bit = plan.pick("image.flip.bit", key ^ (i as u64) << 32, 8);
+        bytes[at] ^= 1 << bit;
+    }
+}
+
+/// `bin`'s wire encoding with `flips` seeded bit flips applied.
+pub fn corrupted_encoding(bin: &Binary, plan: &FaultPlan, flips: usize) -> Vec<u8> {
+    let mut bytes = bin.to_bytes().to_vec();
+    corrupt_bytes(&mut bytes, plan, flips);
+    bytes
+}
+
+/// A seeded truncation of `bin`'s wire encoding (at least one byte is
+/// kept, at least one is cut).
+pub fn truncated_encoding(bin: &Binary, plan: &FaultPlan) -> Vec<u8> {
+    let mut bytes = bin.to_bytes().to_vec();
+    let cut = 1 + plan.pick("image.truncate.at", bytes.len() as u64, bytes.len().max(2) - 1);
+    bytes.truncate(cut);
+    bytes
+}

@@ -1,0 +1,126 @@
+//! The seeded fault plan: every injection decision is a pure function of
+//! `(seed, site, key)`.
+//!
+//! Nothing here draws from a stateful RNG. A stateful generator would make
+//! decisions depend on *call order*, and the scheduler runs jobs on a
+//! work-stealing pool — two runs of the same batch interleave differently.
+//! Deriving each decision from the identity of the operation instead
+//! (which function, which job, which file) makes a chaos run replayable
+//! from its seed alone, which is the whole point: a red CI run prints its
+//! seed, and `FAULTLINE_SEED=<seed>` reproduces it locally, bit for bit.
+
+/// One splitmix64 step: the standard 64-bit finalizer-style generator
+/// (Steele et al., "Fast splittable pseudorandom number generators").
+/// Used here as a mixing function, not as a sequential stream.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string, for naming injection sites.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic fault schedule, identified by its seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// The plan for `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed }
+    }
+
+    /// The seed this plan replays from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The raw 64-bit draw for `(site, key)` — uniform, independent of
+    /// every other `(site, key)` pair for practical purposes.
+    pub fn draw(&self, site: &str, key: u64) -> u64 {
+        splitmix64(self.seed ^ fnv1a(site.as_bytes()) ^ splitmix64(key))
+    }
+
+    /// Whether the fault at `(site, key)` fires, with probability
+    /// `num / den`. `den == 0` or `num == 0` never fires; `num >= den`
+    /// always fires.
+    pub fn fires(&self, site: &str, key: u64, num: u32, den: u32) -> bool {
+        if num == 0 || den == 0 {
+            return false;
+        }
+        (self.draw(site, key) % den as u64) < num as u64
+    }
+
+    /// A draw reduced to `[0, bound)` (`bound == 0` yields 0).
+    pub fn pick(&self, site: &str, key: u64, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.draw(site, key) % bound as u64) as usize
+        }
+    }
+
+    /// A stable key for a named object (library, CVE, file), for use as
+    /// the `key` of the other methods.
+    pub fn key_of(name: &str) -> u64 {
+        fnv1a(name.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(7);
+        let b = FaultPlan::new(7);
+        let c = FaultPlan::new(8);
+        let mut same = 0;
+        for key in 0..256u64 {
+            assert_eq!(a.draw("x", key), b.draw("x", key), "same seed, same plan");
+            if a.draw("x", key) == c.draw("x", key) {
+                same += 1;
+            }
+        }
+        assert!(same < 4, "different seeds must disagree almost everywhere");
+    }
+
+    #[test]
+    fn sites_are_independent_lanes() {
+        let plan = FaultPlan::new(42);
+        let collisions =
+            (0..256u64).filter(|&k| plan.draw("alpha", k) == plan.draw("beta", k)).count();
+        assert!(collisions < 4);
+    }
+
+    #[test]
+    fn fires_respects_probability_bounds() {
+        let plan = FaultPlan::new(3);
+        assert!(!plan.fires("s", 1, 0, 10), "zero numerator never fires");
+        assert!(!plan.fires("s", 1, 1, 0), "zero denominator never fires");
+        assert!(plan.fires("s", 1, 10, 10), "certain fault always fires");
+        let hits = (0..1000u64).filter(|&k| plan.fires("s", k, 1, 4)).count();
+        assert!((150..350).contains(&hits), "1-in-4 rate lands near 250/1000, got {hits}");
+    }
+
+    #[test]
+    fn pick_stays_in_bounds() {
+        let plan = FaultPlan::new(9);
+        for k in 0..100 {
+            assert!(plan.pick("p", k, 7) < 7);
+        }
+        assert_eq!(plan.pick("p", 1, 0), 0);
+    }
+}

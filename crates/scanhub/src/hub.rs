@@ -6,18 +6,22 @@
 //! through the content-addressed store, so the first scan of an image pays
 //! for disassembly and feature extraction once and every later scan (new
 //! CVE, other basis, re-audit after reboot via the on-disk layer) reuses
-//! the artifacts.
+//! the artifacts. Scan entry points return typed [`ScanError`]s rather
+//! than panicking; batch scheduling retries transient failures per the
+//! hub's [`RetryPolicy`].
 
-use crate::schedule::{self, JobRecord, JobSpec};
+use crate::schedule::{self, FaultHook, JobRecord, JobSpec, RetryPolicy};
 use crate::store::{ArtifactStore, CacheStats};
 use corpus::vulndb::{DbEntry, VulnDb};
 use fwbin::format::Binary;
 use fwbin::FirmwareImage;
 use patchecko_core::differential::DifferentialConfig;
+use patchecko_core::error::ScanError;
 use patchecko_core::pipeline::{Basis, CveAnalysis, ImageAnalysis, Patchecko, StaticScan};
 use patchecko_core::report::AuditReport;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The persistent scan service.
@@ -26,23 +30,57 @@ pub struct ScanHub {
     pub analyzer: Patchecko,
     store: ArtifactStore,
     cache_dir: Option<PathBuf>,
+    retry: RetryPolicy,
+    fault_hook: Option<Arc<FaultHook>>,
 }
 
 impl ScanHub {
     /// A hub with a fresh in-memory store.
     pub fn new(analyzer: Patchecko) -> ScanHub {
-        ScanHub { analyzer, store: ArtifactStore::new(), cache_dir: None }
+        ScanHub {
+            analyzer,
+            store: ArtifactStore::new(),
+            cache_dir: None,
+            retry: RetryPolicy::default(),
+            fault_hook: None,
+        }
     }
 
     /// A hub whose store persists under `dir`: existing artifacts are
-    /// loaded now, and [`ScanHub::persist`] writes back.
+    /// loaded now, and [`ScanHub::persist`] writes back. Corrupt cache
+    /// contents are quarantined during the load (see
+    /// [`ArtifactStore::load`]), not propagated as errors.
     ///
     /// # Errors
-    /// Propagates filesystem/parse errors from loading the cache.
+    /// Propagates filesystem errors from reading the cache directory.
     pub fn with_cache_dir(analyzer: Patchecko, dir: impl Into<PathBuf>) -> std::io::Result<ScanHub> {
         let dir = dir.into();
         let store = ArtifactStore::load(&dir)?;
-        Ok(ScanHub { analyzer, store, cache_dir: Some(dir) })
+        Ok(ScanHub {
+            analyzer,
+            store,
+            cache_dir: Some(dir),
+            retry: RetryPolicy::default(),
+            fault_hook: None,
+        })
+    }
+
+    /// Replace the batch retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> ScanHub {
+        self.retry = retry;
+        self
+    }
+
+    /// The batch retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Install a pre-attempt fault hook (chaos testing seam — see
+    /// [`schedule::FaultHook`]). Production deployments leave this unset.
+    pub fn with_fault_hook(mut self, hook: Arc<FaultHook>) -> ScanHub {
+        self.fault_hook = Some(hook);
+        self
     }
 
     /// The artifact store.
@@ -72,30 +110,67 @@ impl ScanHub {
 
     /// Pre-extract artifacts for every function of `image`; returns the
     /// function count visited.
-    pub fn warm_image(&self, image: &FirmwareImage) -> usize {
+    ///
+    /// # Errors
+    /// Returns the first extraction failure.
+    pub fn warm_image(&self, image: &FirmwareImage) -> Result<usize, ScanError> {
         self.store.warm_image(image)
     }
 
     /// Static-stage scan of one library through the cache.
-    pub fn scan_library(&self, bin: &Binary, entry: &DbEntry, basis: Basis) -> StaticScan {
-        let references = Patchecko::reference_feature_set_with(entry, basis, &self.store);
+    ///
+    /// # Errors
+    /// Returns extraction failures from the target or reference builds.
+    pub fn scan_library(
+        &self,
+        bin: &Binary,
+        entry: &DbEntry,
+        basis: Basis,
+    ) -> Result<StaticScan, ScanError> {
+        let references = Patchecko::reference_feature_set_with(entry, basis, &self.store)?;
         self.analyzer.scan_library_with(bin, &references, &self.store)
     }
 
     /// Full hybrid analysis of one library through the cache.
-    pub fn analyze_library(&self, bin: &Binary, entry: &DbEntry, basis: Basis) -> CveAnalysis {
+    ///
+    /// # Errors
+    /// Returns static-stage failures; dynamic-stage trouble degrades the
+    /// analysis instead (see [`patchecko_core::pipeline::Confidence`]).
+    pub fn analyze_library(
+        &self,
+        bin: &Binary,
+        entry: &DbEntry,
+        basis: Basis,
+    ) -> Result<CveAnalysis, ScanError> {
         self.analyzer.analyze_library_with(bin, entry, basis, &self.store)
     }
 
     /// Full hybrid analysis of a whole image through the cache.
-    pub fn scan_image(&self, image: &FirmwareImage, entry: &DbEntry, basis: Basis) -> ImageAnalysis {
+    ///
+    /// # Errors
+    /// Returns static-stage failures for any library in the image.
+    pub fn scan_image(
+        &self,
+        image: &FirmwareImage,
+        entry: &DbEntry,
+        basis: Basis,
+    ) -> Result<ImageAnalysis, ScanError> {
         self.analyzer.analyze_image_with(image, entry, basis, &self.store)
     }
 
     /// Whole-image audit against the vulnerability database through the
     /// cache — [`patchecko_core::eval::audit_image`] with every static
     /// feature served by the store.
-    pub fn audit(&self, db: &VulnDb, image: &FirmwareImage, diff: &DifferentialConfig) -> AuditReport {
+    ///
+    /// # Errors
+    /// Returns transient failures (the caller may retry); permanent
+    /// per-CVE failures are recorded inside the report instead.
+    pub fn audit(
+        &self,
+        db: &VulnDb,
+        image: &FirmwareImage,
+        diff: &DifferentialConfig,
+    ) -> Result<AuditReport, ScanError> {
         patchecko_core::eval::audit_image_with(&self.analyzer, db, image, diff, &self.store)
     }
 
@@ -104,17 +179,27 @@ impl ScanHub {
     /// spawning). The worker count honours `PipelineConfig::threads`
     /// ([`patchecko_core::pipeline::PipelineConfig::effective_threads`]).
     /// The hub, images, and database are taken behind `Arc` because pool
-    /// tasks are `'static`.
+    /// tasks are `'static`. Transient job failures are retried per the
+    /// hub's [`RetryPolicy`]; no job failure or panic propagates out of
+    /// the batch.
     pub fn batch_audit(
-        self: &std::sync::Arc<Self>,
-        images: &std::sync::Arc<Vec<FirmwareImage>>,
-        db: &std::sync::Arc<VulnDb>,
+        self: &Arc<Self>,
+        images: &Arc<Vec<FirmwareImage>>,
+        db: &Arc<VulnDb>,
         jobs: &[JobSpec],
     ) -> BatchReport {
         let started = Instant::now();
         let before = self.stats();
         let threads = self.analyzer.config.effective_threads();
-        let records = schedule::run_jobs(self, images, db, jobs, threads);
+        let records = schedule::run_jobs_with(
+            self,
+            images,
+            db,
+            jobs,
+            threads,
+            self.retry,
+            self.fault_hook.clone(),
+        );
         let seconds = started.elapsed().as_secs_f64();
         let functions: usize = images.iter().map(|i| i.total_functions()).sum();
         BatchReport {
@@ -154,9 +239,38 @@ impl BatchReport {
         self.records.iter().filter(|r| r.is_ok()).count()
     }
 
-    /// Failed-job count.
+    /// Failed-job count. Failures are permanent by construction: the
+    /// scheduler already retried every transient error.
     pub fn failed(&self) -> usize {
         self.records.len() - self.completed()
+    }
+
+    /// Records of jobs that failed permanently.
+    pub fn failures(&self) -> impl Iterator<Item = &JobRecord> {
+        self.records.iter().filter(|r| !r.is_ok())
+    }
+
+    /// Jobs that completed only after retries.
+    pub fn retried(&self) -> impl Iterator<Item = &JobRecord> {
+        self.records.iter().filter(|r| r.is_ok() && r.attempts > 1)
+    }
+
+    /// One line per failed job: `image/CVE/basis: error (after N attempts)`.
+    pub fn failure_summary(&self) -> String {
+        let mut out = String::new();
+        for r in self.failures() {
+            let error = r.error().map(ScanError::to_string).unwrap_or_default();
+            out.push_str(&format!(
+                "image {} / {} / {:?}: {} (after {} attempt{})\n",
+                r.spec.image,
+                r.spec.cve,
+                r.spec.basis,
+                error,
+                r.attempts,
+                if r.attempts == 1 { "" } else { "s" }
+            ));
+        }
+        out
     }
 
     /// Jobs finished per wall-clock second.

@@ -19,7 +19,10 @@ use fwbin::isa::Arch;
 /// whenever `patchecko_core::features::extract` or
 /// [`disasm::CfgSummary`] changes shape so stale on-disk caches miss
 /// instead of serving wrong vectors.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the persisted form carries a per-entry structural checksum
+/// (`crate::store`), so v1 caches are discarded on load.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A 128-bit content hash naming one function's cached artifacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -54,5 +54,7 @@ pub mod store;
 
 pub use hub::{BatchReport, ScanHub};
 pub use key::{ArtifactKey, SCHEMA_VERSION};
-pub use schedule::{full_schedule, run_jobs, JobOutcome, JobRecord, JobSpec};
-pub use store::{Artifact, ArtifactStore, CacheStats};
+pub use schedule::{
+    full_schedule, run_jobs, run_jobs_with, FaultHook, JobOutcome, JobRecord, JobSpec, RetryPolicy,
+};
+pub use store::{artifact_checksum, Artifact, ArtifactStore, CacheStats};

@@ -7,19 +7,30 @@
 //! so long jobs (big libraries, many candidates) don't starve short ones
 //! the way static chunking would; a job whose scan reaches a parallel
 //! kernel runs that kernel inline on its worker (nested dispatch never
-//! deadlocks or oversubscribes). Every job produces a [`JobRecord`] with
-//! wall-clock timing and its outcome; a job that panics or names an
-//! unknown CVE is recorded as [`JobOutcome::Failed`] without taking down
-//! its worker or the batch.
+//! deadlocks or oversubscribes).
+//!
+//! ## Failure handling
+//!
+//! Every job produces a [`JobRecord`] with wall-clock timing, its attempt
+//! count, and a typed outcome. A failing attempt yields a
+//! [`ScanError`]; transient errors (corrupt cache artifacts, worker
+//! panics, injected faults, I/O) are retried with exponential backoff up
+//! to [`RetryPolicy::max_attempts`], while permanent errors (bad input,
+//! unknown CVE) fail immediately. No panic escapes the scheduler: a
+//! panicking scan is caught, classified as [`ScanError::WorkerPanic`],
+//! and retried like any other transient fault. The optional fault hook is
+//! the seam the `faultline` chaos harness uses to inject simulated worker
+//! deaths ahead of an attempt.
 
 use crate::hub::ScanHub;
 use corpus::vulndb::VulnDb;
 use fwbin::FirmwareImage;
+use patchecko_core::error::ScanError;
 use patchecko_core::pipeline::{Basis, ImageMatch};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One scheduled unit of work: scan one image for one CVE under one basis.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,6 +42,40 @@ pub struct JobSpec {
     /// Search basis.
     pub basis: Basis,
 }
+
+/// Bounded retry with exponential backoff for transient job failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per job (first try included). `1` disables retry.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_backoff_ms << (n - 1)`.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 3, base_backoff_ms: 5 }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail on the first error, transient or not.
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, base_backoff_ms: 0 }
+    }
+
+    /// Pause before re-running a job that has failed `attempt` times.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(10);
+        Duration::from_millis(self.base_backoff_ms.saturating_mul(1 << shift))
+    }
+}
+
+/// Pre-attempt fault seam: given the job and the 1-based attempt number,
+/// return `Some(error)` to make that attempt fail before it runs — how
+/// the chaos harness simulates a worker dying mid-batch. Production runs
+/// leave it unset.
+pub type FaultHook = dyn Fn(&JobSpec, u32) -> Option<ScanError> + Send + Sync;
 
 /// How a job ended.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,8 +89,18 @@ pub enum JobOutcome {
         /// The image-wide best match, if any candidate survived.
         best: Option<ImageMatch>,
     },
-    /// The job could not run or panicked mid-run.
-    Failed(String),
+    /// The job failed permanently: a permanent error, or a transient one
+    /// that survived every retry.
+    Failed {
+        /// The final attempt's error.
+        error: ScanError,
+        /// Attempts spent, retries included.
+        attempts: u32,
+    },
+}
+
+fn one_attempt() -> u32 {
+    1
 }
 
 /// A job plus its measured execution.
@@ -53,8 +108,11 @@ pub enum JobOutcome {
 pub struct JobRecord {
     /// The scheduled job.
     pub spec: JobSpec,
-    /// Wall-clock seconds spent on the job.
+    /// Wall-clock seconds spent on the job, retries included.
     pub seconds: f64,
+    /// Attempts spent (1 = first try succeeded).
+    #[serde(default = "one_attempt")]
+    pub attempts: u32,
     /// Outcome.
     pub outcome: JobOutcome,
 }
@@ -63,6 +121,14 @@ impl JobRecord {
     /// Whether the job completed.
     pub fn is_ok(&self) -> bool {
         matches!(self.outcome, JobOutcome::Completed { .. })
+    }
+
+    /// The failure, if the job failed.
+    pub fn error(&self) -> Option<&ScanError> {
+        match &self.outcome {
+            JobOutcome::Failed { error, .. } => Some(error),
+            JobOutcome::Completed { .. } => None,
+        }
     }
 }
 
@@ -80,34 +146,72 @@ pub fn full_schedule(num_images: usize, db: &VulnDb, bases: &[Basis]) -> Vec<Job
     jobs
 }
 
-fn run_one(hub: &ScanHub, images: &[FirmwareImage], db: &VulnDb, spec: &JobSpec) -> JobOutcome {
-    let Some(image) = images.get(spec.image) else {
-        return JobOutcome::Failed(format!("image index {} out of range", spec.image));
-    };
-    let Some(entry) = db.get(&spec.cve) else {
-        return JobOutcome::Failed(format!("unknown CVE {}", spec.cve));
-    };
-    match catch_unwind(AssertUnwindSafe(|| hub.scan_image(image, entry, spec.basis))) {
-        Ok(analysis) => JobOutcome::Completed {
-            candidates: analysis.analyses.iter().map(|a| a.scan.candidates.len()).sum(),
-            validated: analysis.analyses.iter().map(|a| a.dynamic.validated.len()).sum(),
-            best: analysis.best,
-        },
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "job panicked".to_string());
-            JobOutcome::Failed(msg)
+/// One attempt of one job. The fault hook fires first so injected worker
+/// deaths preempt real work, exactly like a worker lost mid-scan.
+fn run_attempt(
+    hub: &ScanHub,
+    images: &[FirmwareImage],
+    db: &VulnDb,
+    spec: &JobSpec,
+    hook: Option<&Arc<FaultHook>>,
+    attempt: u32,
+) -> Result<JobOutcome, ScanError> {
+    if let Some(hook) = hook {
+        if let Some(err) = hook(spec, attempt) {
+            return Err(err);
+        }
+    }
+    let image = images
+        .get(spec.image)
+        .ok_or(ScanError::ImageOutOfRange { index: spec.image, images: images.len() })?;
+    let entry = db.get(&spec.cve).ok_or_else(|| ScanError::UnknownCve(spec.cve.clone()))?;
+    let analysis = hub.scan_image(image, entry, spec.basis)?;
+    Ok(JobOutcome::Completed {
+        candidates: analysis.analyses.iter().map(|a| a.scan.candidates.len()).sum(),
+        validated: analysis.analyses.iter().map(|a| a.dynamic.validated.len()).sum(),
+        best: analysis.best,
+    })
+}
+
+fn run_one(
+    hub: &ScanHub,
+    images: &[FirmwareImage],
+    db: &VulnDb,
+    spec: &JobSpec,
+    retry: &RetryPolicy,
+    hook: Option<&Arc<FaultHook>>,
+) -> (JobOutcome, u32) {
+    let max = retry.max_attempts.max(1);
+    let mut attempt = 1;
+    loop {
+        // The whole attempt — fault hook included — runs under
+        // catch_unwind, so nothing a worker does can take down the batch;
+        // a panic is just a transient WorkerPanic to the retry loop.
+        let attempted =
+            catch_unwind(AssertUnwindSafe(|| run_attempt(hub, images, db, spec, hook, attempt)))
+                .unwrap_or_else(|payload| Err(ScanError::from_panic(payload.as_ref())));
+        match attempted {
+            Ok(done) => return (done, attempt),
+            Err(error) if error.is_transient() && attempt < max => {
+                std::thread::sleep(retry.backoff(attempt));
+                attempt += 1;
+            }
+            Err(error) => return (JobOutcome::Failed { error, attempts: attempt }, attempt),
         }
     }
 }
 
-fn timed(hub: &ScanHub, images: &[FirmwareImage], db: &VulnDb, spec: &JobSpec) -> JobRecord {
+fn timed(
+    hub: &ScanHub,
+    images: &[FirmwareImage],
+    db: &VulnDb,
+    spec: &JobSpec,
+    retry: &RetryPolicy,
+    hook: Option<&Arc<FaultHook>>,
+) -> JobRecord {
     let started = Instant::now();
-    let outcome = run_one(hub, images, db, spec);
-    JobRecord { spec: spec.clone(), seconds: started.elapsed().as_secs_f64(), outcome }
+    let (outcome, attempts) = run_one(hub, images, db, spec, retry, hook);
+    JobRecord { spec: spec.clone(), seconds: started.elapsed().as_secs_f64(), attempts, outcome }
 }
 
 /// Run `jobs` across up to `threads` shared-pool workers, returning
@@ -122,14 +226,31 @@ pub fn run_jobs(
     jobs: &[JobSpec],
     threads: usize,
 ) -> Vec<JobRecord> {
+    run_jobs_with(hub, images, db, jobs, threads, RetryPolicy::default(), None)
+}
+
+/// [`run_jobs`] with an explicit retry policy and optional fault hook.
+pub fn run_jobs_with(
+    hub: &Arc<ScanHub>,
+    images: &Arc<Vec<FirmwareImage>>,
+    db: &Arc<VulnDb>,
+    jobs: &[JobSpec],
+    threads: usize,
+    retry: RetryPolicy,
+    hook: Option<Arc<FaultHook>>,
+) -> Vec<JobRecord> {
     if threads <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(|spec| timed(hub, images, db, spec)).collect();
+        return jobs
+            .iter()
+            .map(|spec| timed(hub, images, db, spec, &retry, hook.as_ref()))
+            .collect();
     }
     let tasks: Vec<Box<dyn FnOnce() -> JobRecord + Send>> = jobs
         .iter()
         .map(|spec| {
             let (hub, images, db, spec) = (hub.clone(), images.clone(), db.clone(), spec.clone());
-            Box::new(move || timed(&hub, &images, &db, &spec))
+            let hook = hook.clone();
+            Box::new(move || timed(&hub, &images, &db, &spec, &retry, hook.as_ref()))
                 as Box<dyn FnOnce() -> JobRecord + Send>
         })
         .collect();

@@ -8,11 +8,24 @@
 //! and the hit/miss/extraction counters make cache behaviour observable
 //! (the `--cache-stats` CLI flag and the warm-re-audit acceptance test
 //! both read them).
+//!
+//! ## Disk-layer hardening
+//!
+//! The on-disk layer trusts nothing it reads back. Every persisted entry
+//! carries a structural checksum over the feature bits and CFG summary;
+//! on load, entries whose checksum or key fails to validate are
+//! **quarantined** — evicted and recorded, never served — and the scan
+//! falls back to re-extraction. Unparseable or truncated cache files are
+//! quarantined whole (renamed aside, so the next save starts clean), and
+//! a schema-version mismatch discards the stale entries. Saves go through
+//! a temp file + rename so a crash mid-write can't leave a truncated
+//! `artifacts.json` behind.
 
 use crate::key::{ArtifactKey, SCHEMA_VERSION};
 use disasm::CfgSummary;
 use fwbin::format::Binary;
 use parking_lot::Mutex;
+use patchecko_core::error::ScanError;
 use patchecko_core::features::{self, StaticFeatures};
 use patchecko_core::pipeline::FeatureSource;
 use serde::{Deserialize, Serialize};
@@ -34,6 +47,32 @@ pub struct Artifact {
     pub cfg: CfgSummary,
 }
 
+/// Structural checksum of an artifact: FNV-1a over the exact bit patterns
+/// of the feature vector (`f64::to_bits`, immune to JSON float round-trip
+/// concerns) and every CFG-summary field. A persisted entry whose bytes
+/// were tampered with or truncated mid-value fails this check on load.
+pub fn artifact_checksum(a: &Artifact) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    for &f in a.features.as_slice() {
+        eat(&f.to_bits().to_le_bytes());
+    }
+    eat(&a.cfg.num_blocks.to_le_bytes());
+    eat(&a.cfg.num_edges.to_le_bytes());
+    eat(&a.cfg.cyclomatic.to_le_bytes());
+    for k in a.cfg.kind_counts {
+        eat(&k.to_le_bytes());
+    }
+    eat(&a.cfg.max_block_len.to_le_bytes());
+    eat(&a.cfg.byte_size.to_le_bytes());
+    h
+}
+
 /// A point-in-time snapshot of the store's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
@@ -45,6 +84,10 @@ pub struct CacheStats {
     pub extractions: u64,
     /// Entries currently resident.
     pub entries: u64,
+    /// Persisted entries (or whole cache files) evicted because they
+    /// failed checksum/schema/parse validation on load.
+    #[serde(default)]
+    pub quarantined: u64,
 }
 
 impl CacheStats {
@@ -65,6 +108,7 @@ impl CacheStats {
             misses: self.misses - earlier.misses,
             extractions: self.extractions - earlier.extractions,
             entries: self.entries,
+            quarantined: self.quarantined - earlier.quarantined,
         }
     }
 }
@@ -73,14 +117,25 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate), {} extractions, {} entries",
+            "{} hits / {} misses ({:.1}% hit rate), {} extractions, {} entries, {} quarantined",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
             self.extractions,
-            self.entries
+            self.entries,
+            self.quarantined
         )
     }
+}
+
+/// One persisted entry: the artifact plus its structural checksum, so a
+/// byte flipped on disk is detected (and the entry quarantined) on load.
+#[derive(Serialize, Deserialize)]
+struct PersistedEntry {
+    /// [`artifact_checksum`] of `artifact` at save time.
+    checksum: u64,
+    /// The cached artifact.
+    artifact: Artifact,
 }
 
 /// On-disk image of the store (one JSON document per cache directory).
@@ -88,8 +143,8 @@ impl std::fmt::Display for CacheStats {
 struct PersistedStore {
     /// Feature-schema version the artifacts were extracted under.
     schema: u32,
-    /// Hex key → artifact.
-    artifacts: BTreeMap<String, Artifact>,
+    /// Hex key → checksummed artifact.
+    artifacts: BTreeMap<String, PersistedEntry>,
 }
 
 /// The sharded artifact store.
@@ -98,6 +153,8 @@ pub struct ArtifactStore {
     hits: AtomicU64,
     misses: AtomicU64,
     extractions: AtomicU64,
+    quarantined: AtomicU64,
+    quarantine_log: Mutex<Vec<String>>,
 }
 
 impl Default for ArtifactStore {
@@ -114,6 +171,8 @@ impl ArtifactStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             extractions: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            quarantine_log: Mutex::new(Vec::new()),
         }
     }
 
@@ -124,7 +183,22 @@ impl ArtifactStore {
             misses: self.misses.load(Ordering::Relaxed),
             extractions: self.extractions.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().len() as u64).sum(),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
+    }
+
+    /// Record a quarantine event: the offending entry is never inserted
+    /// (evicted by construction), the counter moves, and the detail is
+    /// kept for reports and tests.
+    fn quarantine(&self, detail: String) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.quarantine_log.lock().push(detail);
+    }
+
+    /// Details of every quarantine event since construction (validation
+    /// failures found while loading the disk layer).
+    pub fn quarantine_records(&self) -> Vec<String> {
+        self.quarantine_log.lock().clone()
     }
 
     /// Number of resident entries.
@@ -152,42 +226,52 @@ impl ArtifactStore {
         arc
     }
 
-    fn extract(&self, bin: &Binary, idx: usize) -> Artifact {
+    fn extract(&self, bin: &Binary, idx: usize) -> Result<Artifact, ScanError> {
         self.extractions.fetch_add(1, Ordering::Relaxed);
-        let dis = disasm::disassemble(bin, idx).expect("target binaries decode");
-        Artifact {
+        let dis = disasm::disassemble(bin, idx)
+            .map_err(|e| ScanError::extraction(&bin.lib_name, idx, &e))?;
+        Ok(Artifact {
             features: features::extract(&dis, &bin.functions[idx]),
             cfg: dis.cfg.summary(),
-        }
+        })
     }
 
     /// The artifacts of function `idx` of `bin`, extracting and caching on
     /// first sight. Extraction runs outside the shard lock, so a racing
     /// duplicate extraction is possible (and harmless — both compute the
     /// same value); the counters still record exactly what happened.
-    pub fn get_or_extract(&self, bin: &Binary, idx: usize) -> Arc<Artifact> {
+    ///
+    /// # Errors
+    /// [`ScanError::Extraction`] when the function's code fails to decode.
+    pub fn get_or_extract(&self, bin: &Binary, idx: usize) -> Result<Arc<Artifact>, ScanError> {
         let key = ArtifactKey::for_function(bin, idx);
         if let Some(found) = self.lookup(key) {
-            return found;
+            return Ok(found);
         }
-        let artifact = self.extract(bin, idx);
-        self.insert(key, artifact)
+        let artifact = self.extract(bin, idx)?;
+        Ok(self.insert(key, artifact))
     }
 
     /// Pre-populate the store with every function of an image. Returns the
     /// number of functions visited.
-    pub fn warm_image(&self, image: &fwbin::FirmwareImage) -> usize {
+    ///
+    /// # Errors
+    /// The first extraction failure, if any function fails to decode.
+    pub fn warm_image(&self, image: &fwbin::FirmwareImage) -> Result<usize, ScanError> {
         let mut n = 0;
         for bin in &image.binaries {
             for idx in 0..bin.function_count() {
-                self.get_or_extract(bin, idx);
+                self.get_or_extract(bin, idx)?;
                 n += 1;
             }
         }
-        n
+        Ok(n)
     }
 
     /// Write the store to `dir/artifacts.json` (creating `dir` as needed).
+    /// The write goes to a temp file first and is renamed into place, so a
+    /// crash mid-save leaves the previous cache intact rather than a
+    /// truncated document.
     ///
     /// # Errors
     /// Propagates filesystem errors.
@@ -195,51 +279,102 @@ impl ArtifactStore {
         let mut artifacts = BTreeMap::new();
         for shard in &self.shards {
             for (k, v) in shard.lock().iter() {
-                artifacts.insert(k.to_hex(), (**v).clone());
+                let entry =
+                    PersistedEntry { checksum: artifact_checksum(v), artifact: (**v).clone() };
+                artifacts.insert(k.to_hex(), entry);
             }
         }
         let doc = PersistedStore { schema: SCHEMA_VERSION, artifacts };
         std::fs::create_dir_all(dir)?;
         let json = serde_json::to_string(&doc)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        std::fs::write(dir.join("artifacts.json"), json)
+        let tmp = dir.join(format!("artifacts.json.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, dir.join("artifacts.json"))
     }
 
-    /// Load a store persisted by [`ArtifactStore::save`]. A missing file
-    /// yields an empty store; a schema-version mismatch discards the stale
-    /// entries (they would desynchronize from the extractor).
+    /// Load a store persisted by [`ArtifactStore::save`]. The disk layer
+    /// is untrusted:
+    ///
+    /// * a missing file yields an empty store;
+    /// * an unparseable (garbage or truncated) file is quarantined whole —
+    ///   renamed to `artifacts.json.quarantined` and recorded — and the
+    ///   store starts empty instead of erroring the scan;
+    /// * a schema-version mismatch discards the stale entries (they would
+    ///   desynchronize from the extractor);
+    /// * an entry with an invalid key or a checksum mismatch is evicted
+    ///   and recorded; the rest of the cache still loads.
     ///
     /// # Errors
-    /// Propagates filesystem and parse errors for existing files.
+    /// Propagates filesystem errors other than `NotFound`.
     pub fn load(dir: &Path) -> std::io::Result<ArtifactStore> {
         let path = dir.join("artifacts.json");
         let store = ArtifactStore::new();
-        let json = match std::fs::read_to_string(&path) {
-            Ok(s) => s,
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(store),
             Err(e) => return Err(e),
         };
-        let doc: PersistedStore = serde_json::from_str(&json)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        // Non-UTF-8 bytes are just another flavour of on-disk corruption:
+        // quarantine, same as unparseable JSON.
+        let json = match String::from_utf8(bytes) {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = std::fs::rename(&path, dir.join("artifacts.json.quarantined"));
+                store.quarantine(format!(
+                    "cache file {}: unparseable (invalid UTF-8)",
+                    path.display()
+                ));
+                return Ok(store);
+            }
+        };
+        let doc: PersistedStore = match serde_json::from_str(&json) {
+            Ok(doc) => doc,
+            Err(e) => {
+                // Evict the whole file so the next save starts clean; keep
+                // the bytes aside for post-mortem.
+                let _ = std::fs::rename(&path, dir.join("artifacts.json.quarantined"));
+                store.quarantine(format!("cache file {}: unparseable ({e})", path.display()));
+                return Ok(store);
+            }
+        };
         if doc.schema != SCHEMA_VERSION {
+            store.quarantine(format!(
+                "cache file {}: stale schema v{} (current v{SCHEMA_VERSION}), {} entries discarded",
+                path.display(),
+                doc.schema,
+                doc.artifacts.len()
+            ));
             return Ok(store);
         }
-        for (hex, artifact) in doc.artifacts {
-            if let Some(key) = ArtifactKey::from_hex(&hex) {
-                store.insert(key, artifact);
+        for (hex, entry) in doc.artifacts {
+            let Some(key) = ArtifactKey::from_hex(&hex) else {
+                store.quarantine(format!("entry {hex}: invalid key"));
+                continue;
+            };
+            let expect = artifact_checksum(&entry.artifact);
+            if entry.checksum != expect {
+                store.quarantine(format!(
+                    "entry {hex}: checksum mismatch (stored {:#018x}, computed {expect:#018x})",
+                    entry.checksum
+                ));
+                continue;
             }
+            store.insert(key, entry.artifact);
         }
         Ok(store)
     }
 }
 
 impl FeatureSource for ArtifactStore {
-    fn features_all(&self, bin: &Binary) -> Vec<StaticFeatures> {
-        (0..bin.function_count()).map(|i| self.get_or_extract(bin, i).features.clone()).collect()
+    fn features_all(&self, bin: &Binary) -> Result<Vec<StaticFeatures>, ScanError> {
+        (0..bin.function_count())
+            .map(|i| Ok(self.get_or_extract(bin, i)?.features.clone()))
+            .collect()
     }
 
-    fn features_one(&self, bin: &Binary, idx: usize) -> StaticFeatures {
-        self.get_or_extract(bin, idx).features.clone()
+    fn features_one(&self, bin: &Binary, idx: usize) -> Result<StaticFeatures, ScanError> {
+        Ok(self.get_or_extract(bin, idx)?.features.clone())
     }
 }
 
@@ -259,13 +394,13 @@ mod tests {
     fn second_lookup_hits_and_skips_extraction() {
         let store = ArtifactStore::new();
         let bin = sample_binary();
-        let cold = store.features_all(&bin);
+        let cold = store.features_all(&bin).unwrap();
         let s1 = store.stats();
         assert_eq!(s1.hits, 0);
         assert_eq!(s1.misses, bin.function_count() as u64);
         assert_eq!(s1.extractions, bin.function_count() as u64);
 
-        let warm = store.features_all(&bin);
+        let warm = store.features_all(&bin).unwrap();
         let s2 = store.stats();
         assert_eq!(s2.extractions, s1.extractions, "warm pass extracts nothing");
         assert_eq!(s2.hits, bin.function_count() as u64);
@@ -277,13 +412,26 @@ mod tests {
     fn cached_features_match_direct_extraction() {
         let store = ArtifactStore::new();
         let bin = sample_binary();
-        let direct = DirectExtraction.features_all(&bin);
+        let direct = DirectExtraction.features_all(&bin).unwrap();
         // Twice: once populating, once from cache.
-        assert_eq!(store.features_all(&bin), direct);
-        assert_eq!(store.features_all(&bin), direct);
+        assert_eq!(store.features_all(&bin).unwrap(), direct);
+        assert_eq!(store.features_all(&bin).unwrap(), direct);
         for (idx, expected) in direct.iter().enumerate() {
-            assert_eq!(&store.features_one(&bin, idx), expected);
+            assert_eq!(&store.features_one(&bin, idx).unwrap(), expected);
         }
+    }
+
+    #[test]
+    fn corrupt_binary_extraction_is_typed_not_a_panic() {
+        let store = ArtifactStore::new();
+        let mut bin = sample_binary();
+        bin.functions[2].code = vec![0xEE, 0xEE, 0xEE];
+        match store.features_all(&bin) {
+            Err(ScanError::Extraction { function: 2, .. }) => {}
+            other => panic!("expected typed extraction error, got {other:?}"),
+        }
+        // Healthy functions are still servable individually.
+        assert!(store.features_one(&bin, 0).is_ok());
     }
 
     #[test]
@@ -292,17 +440,18 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = ArtifactStore::new();
         let bin = sample_binary();
-        store.features_all(&bin);
+        store.features_all(&bin).unwrap();
         store.save(&dir).unwrap();
 
         let reloaded = ArtifactStore::load(&dir).unwrap();
         assert_eq!(reloaded.len(), store.len());
+        assert_eq!(reloaded.stats().quarantined, 0, "a clean cache quarantines nothing");
         let before = reloaded.stats();
-        let feats = reloaded.features_all(&bin);
+        let feats = reloaded.features_all(&bin).unwrap();
         let after = reloaded.stats();
         assert_eq!(after.extractions, before.extractions, "reloaded store serves from cache");
         assert_eq!(after.misses, before.misses);
-        assert_eq!(feats, DirectExtraction.features_all(&bin));
+        assert_eq!(feats, DirectExtraction.features_all(&bin).unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -311,5 +460,123 @@ mod tests {
         let dir = std::env::temp_dir().join("scanhub-store-definitely-missing");
         let store = ArtifactStore::load(&dir).unwrap();
         assert!(store.is_empty());
+    }
+
+    /// A fresh temp cache dir, cleaned before use.
+    fn temp_cache(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("scanhub-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn garbage_cache_file_quarantined_and_reextracted() {
+        let dir = temp_cache("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("artifacts.json"), b"{ not json at all \xff\xfe").unwrap();
+
+        let store = ArtifactStore::load(&dir).unwrap();
+        assert!(store.is_empty(), "garbage must never be served");
+        assert_eq!(store.stats().quarantined, 1);
+        assert!(store.quarantine_records()[0].contains("unparseable"));
+        // The bad file was moved aside, so the store can save cleanly.
+        assert!(dir.join("artifacts.json.quarantined").exists());
+        assert!(!dir.join("artifacts.json").exists());
+
+        // Warm scan falls back to re-extraction, matching a cold scan bitwise.
+        let bin = sample_binary();
+        let recovered = store.features_all(&bin).unwrap();
+        assert_eq!(recovered, DirectExtraction.features_all(&bin).unwrap());
+        assert_eq!(store.stats().extractions, bin.function_count() as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_cache_file_quarantined_and_reextracted() {
+        let dir = temp_cache("truncated");
+        let bin = sample_binary();
+        let store = ArtifactStore::new();
+        let cold = store.features_all(&bin).unwrap();
+        store.save(&dir).unwrap();
+        // Simulate a crash mid-write of a non-atomic writer: cut the file.
+        let path = dir.join("artifacts.json");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        assert!(reloaded.is_empty(), "truncated JSON must never be served");
+        assert_eq!(reloaded.stats().quarantined, 1);
+        let warm = reloaded.features_all(&bin).unwrap();
+        assert_eq!(warm, cold, "recovery matches the cold scan bitwise");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_schema_cache_discarded() {
+        let dir = temp_cache("stale-schema");
+        let bin = sample_binary();
+        let store = ArtifactStore::new();
+        store.features_all(&bin).unwrap();
+        store.save(&dir).unwrap();
+        // Rewrite the document under an old schema version.
+        let path = dir.join("artifacts.json");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let stale = json.replacen(
+            &format!("\"schema\":{SCHEMA_VERSION}"),
+            "\"schema\":1",
+            1,
+        );
+        assert_ne!(json, stale, "schema field rewritten");
+        std::fs::write(&path, stale).unwrap();
+
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        assert!(reloaded.is_empty(), "stale-schema artifacts are discarded");
+        assert_eq!(reloaded.stats().quarantined, 1);
+        assert!(reloaded.quarantine_records()[0].contains("stale schema"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_mismatch_evicts_only_the_tampered_entry() {
+        let dir = temp_cache("tampered");
+        let bin = sample_binary();
+        let store = ArtifactStore::new();
+        let cold = store.features_all(&bin).unwrap();
+        store.save(&dir).unwrap();
+        // Corrupt one entry's checksum so its artifact no longer validates
+        // (equivalent to the artifact bytes having been tampered with).
+        let path = dir.join("artifacts.json");
+        let mut doc: PersistedStore =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let n_entries = doc.artifacts.len();
+        doc.artifacts.values_mut().next().unwrap().checksum ^= 1;
+        std::fs::write(&path, serde_json::to_string(&doc).unwrap()).unwrap();
+
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        assert_eq!(reloaded.len(), n_entries - 1, "only the tampered entry is evicted");
+        assert_eq!(reloaded.stats().quarantined, 1);
+        assert!(reloaded.quarantine_records()[0].contains("checksum mismatch"));
+        // The tampered value is never served: the warm scan re-extracts it
+        // and matches the cold scan bitwise.
+        let warm = reloaded.features_all(&bin).unwrap();
+        assert_eq!(warm, cold);
+        assert_eq!(reloaded.stats().extractions, 1, "exactly the evicted entry re-extracts");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_is_structural_and_stable() {
+        let bin = sample_binary();
+        let store = ArtifactStore::new();
+        let a = store.get_or_extract(&bin, 0).unwrap();
+        let c1 = artifact_checksum(&a);
+        // A JSON round-trip preserves the checksum (bit-exact floats).
+        let json = serde_json::to_string(&*a).unwrap();
+        let back: Artifact = serde_json::from_str(&json).unwrap();
+        assert_eq!(artifact_checksum(&back), c1);
+        // Any field change moves it.
+        let mut tampered = back.clone();
+        tampered.cfg.num_blocks += 1;
+        assert_ne!(artifact_checksum(&tampered), c1);
     }
 }

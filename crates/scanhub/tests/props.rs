@@ -49,9 +49,9 @@ proptest! {
         let store = ArtifactStore::new();
         for arch in Arch::ALL {
             let bin = compile(seed, n, arch, OptLevel::O2);
-            let fresh = DirectExtraction.features_all(&bin);
-            let cold = store.features_all(&bin);
-            let warm = store.features_all(&bin);
+            let fresh = DirectExtraction.features_all(&bin).unwrap();
+            let cold = store.features_all(&bin).unwrap();
+            let warm = store.features_all(&bin).unwrap();
             for ((f, c), w) in fresh.iter().zip(&cold).zip(&warm) {
                 prop_assert_eq!(bits(f), bits(c));
                 prop_assert_eq!(bits(f), bits(w));
@@ -61,8 +61,8 @@ proptest! {
         let reloaded = ArtifactStore::load(&dir).unwrap();
         for arch in Arch::ALL {
             let bin = compile(seed, n, arch, OptLevel::O2);
-            let fresh = DirectExtraction.features_all(&bin);
-            let cached = reloaded.features_all(&bin);
+            let fresh = DirectExtraction.features_all(&bin).unwrap();
+            let cached = reloaded.features_all(&bin).unwrap();
             for (f, c) in fresh.iter().zip(&cached) {
                 prop_assert_eq!(bits(f), bits(c), "persisted artifacts must round-trip bit-exactly");
             }

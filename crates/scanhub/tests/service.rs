@@ -7,6 +7,7 @@ use corpus::vulndb::VulnDb;
 use neural::net::TrainConfig;
 use patchecko_core::detector::{self, Detector, DetectorConfig};
 use patchecko_core::differential::DifferentialConfig;
+use patchecko_core::error::ScanError;
 use patchecko_core::pipeline::{Basis, Patchecko, PipelineConfig};
 use patchecko_scanhub::{full_schedule, JobOutcome, JobSpec, ScanHub};
 use std::sync::OnceLock;
@@ -59,12 +60,12 @@ fn warm_cache_reaudit_extracts_nothing() {
     let image = &shared_device().image;
     let diff = DifferentialConfig::default();
 
-    let cold = hub.audit(&db, image, &diff);
+    let cold = hub.audit(&db, image, &diff).unwrap();
     let after_cold = hub.stats();
     assert!(after_cold.extractions > 0, "cold audit fills the cache");
     assert_eq!(after_cold.misses, after_cold.extractions);
 
-    let warm = hub.audit(&db, image, &diff);
+    let warm = hub.audit(&db, image, &diff).unwrap();
     let delta = hub.stats().since(&after_cold);
     assert_eq!(delta.extractions, 0, "warm re-audit must not extract");
     assert_eq!(delta.misses, 0, "warm re-audit must not miss");
@@ -88,8 +89,8 @@ fn cached_scan_matches_direct_pipeline() {
     let truth = device.truth_for("CVE-2018-9412").unwrap();
     let bin = device.image.binary(&truth.library).unwrap();
 
-    let cached = hub.analyze_library(bin, entry, Basis::Vulnerable);
-    let direct = hub.analyzer.analyze_library(bin, entry, Basis::Vulnerable);
+    let cached = hub.analyze_library(bin, entry, Basis::Vulnerable).unwrap();
+    let direct = hub.analyzer.analyze_library(bin, entry, Basis::Vulnerable).unwrap();
     assert_eq!(cached.scan.probs, direct.scan.probs);
     assert_eq!(cached.scan.candidates, direct.scan.candidates);
     assert_eq!(cached.dynamic.validated, direct.dynamic.validated);
@@ -120,13 +121,22 @@ fn scheduler_completes_batch_and_contains_failures() {
         assert!(record.seconds >= 0.0);
     }
     match &report.records[jobs.len() - 2].outcome {
-        JobOutcome::Failed(msg) => assert!(msg.contains("unknown CVE"), "{msg}"),
+        JobOutcome::Failed { error, attempts } => {
+            assert!(matches!(error, ScanError::UnknownCve(_)), "{error}");
+            assert_eq!(*attempts, 1, "permanent errors are not retried");
+        }
         other => panic!("expected failure, got {other:?}"),
     }
     match &report.records[jobs.len() - 1].outcome {
-        JobOutcome::Failed(msg) => assert!(msg.contains("out of range"), "{msg}"),
+        JobOutcome::Failed { error, attempts } => {
+            assert!(matches!(error, ScanError::ImageOutOfRange { index: 9, .. }), "{error}");
+            assert_eq!(*attempts, 1, "permanent errors are not retried");
+        }
         other => panic!("expected failure, got {other:?}"),
     }
+    let summary = report.failure_summary();
+    assert!(summary.contains("CVE-0000-0000"), "{summary}");
+    assert!(summary.contains("after 1 attempt"), "{summary}");
     let flagship = &report.records[0];
     assert!(flagship.is_ok());
 
@@ -157,10 +167,10 @@ fn persisted_cache_survives_restart() {
         &dir,
     )
     .unwrap();
-    let warmed = hub.warm_image(image);
+    let warmed = hub.warm_image(image).unwrap();
     assert_eq!(warmed, image.total_functions());
     // Cache the reference variants too, then persist everything.
-    hub.scan_library(image.binary(lib).unwrap(), entry, Basis::Vulnerable);
+    hub.scan_library(image.binary(lib).unwrap(), entry, Basis::Vulnerable).unwrap();
     assert!(hub.persist().unwrap());
 
     // "Reboot": a new hub over the same directory serves the same scan
@@ -171,7 +181,7 @@ fn persisted_cache_survives_restart() {
     )
     .unwrap();
     assert_eq!(hub2.store().len(), hub.store().len());
-    let scan = hub2.scan_library(image.binary(lib).unwrap(), entry, Basis::Vulnerable);
+    let scan = hub2.scan_library(image.binary(lib).unwrap(), entry, Basis::Vulnerable).unwrap();
     assert!(scan.total > 0);
     let stats = hub2.stats();
     assert_eq!(stats.extractions, 0, "restarted hub reuses persisted artifacts");

@@ -47,6 +47,6 @@ pub mod value;
 pub use env::{ArgSpec, ExecEnv};
 pub use exec::{Fault, Outcome, VmConfig};
 pub use fuzz::{fuzz_function, FuzzConfig};
-pub use loader::{LoadedBinary, RunResult};
+pub use loader::{LoadError, LoadedBinary, RunResult};
 pub use trace::{DynFeatures, Trace, DYN_FEATURE_NAMES, NUM_DYN_FEATURES};
 pub use value::{Addr, Region, Value};

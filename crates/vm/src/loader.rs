@@ -4,16 +4,80 @@
 //! function can be exported and executed without running the whole binary."
 //!
 //! [`LoadedBinary::load`] is the `dlopen` analog (decodes every function
-//! once); [`LoadedBinary::find_export`] is `dlsym`;
-//! [`LoadedBinary::run_any`] is the LIEF-style export-anything escape hatch
-//! that runs a function by table index regardless of export status.
+//! once); [`LoadedBinary::from_bytes`] additionally parses the FWB wire
+//! container first, so malformed on-disk images surface as typed
+//! [`LoadError`]s instead of panics; [`LoadedBinary::find_export`] is
+//! `dlsym`; [`LoadedBinary::run_any`] is the LIEF-style export-anything
+//! escape hatch that runs a function by table index regardless of export
+//! status.
 
 use crate::env::ExecEnv;
 use crate::exec::{ExecImage, Outcome, Vm, VmConfig};
 use crate::trace::DynFeatures;
 use fwbin::encode::DecodeError;
-use fwbin::format::Binary;
+use fwbin::format::{Binary, FormatError};
 use fwbin::isa::Inst;
+
+/// Typed loader failure: every way a binary can refuse to load or a
+/// function can be unavailable, with enough context (section, function,
+/// byte offset) to locate the corruption in the container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The FWB wire container itself is malformed (bad magic, truncated
+    /// section, bad enum field, non-UTF-8 string).
+    Container {
+        /// The container-level parse failure.
+        source: FormatError,
+    },
+    /// Function `function`'s code bytes failed to decode.
+    Decode {
+        /// Function-table index of the corrupt function.
+        function: usize,
+        /// Symbol name, when one survived stripping.
+        name: Option<String>,
+        /// The instruction-level decode failure (carries the byte offset
+        /// within the function's code section).
+        source: DecodeError,
+    },
+    /// A function index outside the binary's function table.
+    NoSuchFunction {
+        /// Requested index.
+        index: usize,
+        /// Function-table length.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Container { source } => write!(f, "malformed FWB container: {source}"),
+            LoadError::Decode { function, name, source } => match name {
+                Some(n) => write!(f, "function {function} (`{n}`): code section: {source}"),
+                None => write!(f, "function {function}: code section: {source}"),
+            },
+            LoadError::NoSuchFunction { index, count } => {
+                write!(f, "function index {index} out of range (table holds {count})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Container { source } => Some(source),
+            LoadError::Decode { source, .. } => Some(source),
+            LoadError::NoSuchFunction { .. } => None,
+        }
+    }
+}
+
+impl From<FormatError> for LoadError {
+    fn from(source: FormatError) -> LoadError {
+        LoadError::Container { source }
+    }
+}
 
 /// A binary with all functions pre-decoded, ready for repeated execution.
 pub struct LoadedBinary {
@@ -39,13 +103,19 @@ impl LoadedBinary {
     /// Load (decode) a binary — the `dlopen` analog.
     ///
     /// # Errors
-    /// Returns the first [`DecodeError`] if any function's code bytes are
-    /// malformed.
-    pub fn load(binary: Binary) -> Result<LoadedBinary, DecodeError> {
+    /// Returns [`LoadError::Decode`] naming the first function whose code
+    /// bytes are malformed (with its symbol name and the in-section byte
+    /// offset from the decoder).
+    pub fn load(binary: Binary) -> Result<LoadedBinary, LoadError> {
         let mut code = Vec::with_capacity(binary.function_count());
         let mut frame_slots = Vec::with_capacity(binary.function_count());
         for (i, f) in binary.functions.iter().enumerate() {
-            code.push(binary.decode_function(i)?);
+            let insts = binary.decode_function(i).map_err(|source| LoadError::Decode {
+                function: i,
+                name: f.name.clone(),
+                source,
+            })?;
+            code.push(insts);
             frame_slots.push(f.frame_slots);
         }
         // Lay out the string pool as one NUL-terminated blob (the Lib
@@ -60,6 +130,18 @@ impl LoadedBinary {
         Ok(LoadedBinary { binary, code, frame_slots, strings_blob, string_offsets })
     }
 
+    /// Parse an FWB wire container and load it — the full `dlopen`-from-
+    /// disk path. Malformed containers (truncated files, garbage, bad
+    /// section fields) and undecodable functions both surface as typed
+    /// [`LoadError`]s; no input can panic this path.
+    ///
+    /// # Errors
+    /// [`LoadError::Container`] for wire-format failures,
+    /// [`LoadError::Decode`] for per-function code corruption.
+    pub fn from_bytes(data: &[u8]) -> Result<LoadedBinary, LoadError> {
+        LoadedBinary::load(Binary::from_bytes(data)?)
+    }
+
     /// The underlying binary.
     pub fn binary(&self) -> &Binary {
         &self.binary
@@ -71,6 +153,10 @@ impl LoadedBinary {
     }
 
     /// Decoded code of function `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range, like slice indexing; use
+    /// [`LoadedBinary::try_run_any`] for untrusted indices.
     pub fn code(&self, idx: usize) -> &[Inst] {
         &self.code[idx]
     }
@@ -96,13 +182,40 @@ impl LoadedBinary {
 
     /// Run any function by table index under `env` — the LIEF-style "export
     /// and execute without running the whole binary" primitive.
+    ///
+    /// # Panics
+    /// Panics if `func` is out of range (the pipeline only passes indices
+    /// produced by scanning this same binary); untrusted callers should use
+    /// [`LoadedBinary::try_run_any`].
     pub fn run_any(&self, func: usize, env: &ExecEnv, cfg: &VmConfig) -> RunResult {
+        assert!(
+            func < self.code.len(),
+            "function index {func} out of range (table holds {})",
+            self.code.len()
+        );
         let image = self.image();
         let mut vm = Vm::new(&image, cfg, env.input.clone(), &env.global_overrides);
         let outcome = vm.run(func, env.arg_values());
         let features = vm.trace().features();
         let coverage = vm.trace().unique_count();
         RunResult { outcome, features, coverage }
+    }
+
+    /// [`LoadedBinary::run_any`] for untrusted indices: a bad index comes
+    /// back as [`LoadError::NoSuchFunction`] instead of a panic.
+    ///
+    /// # Errors
+    /// [`LoadError::NoSuchFunction`] when `func` is out of range.
+    pub fn try_run_any(
+        &self,
+        func: usize,
+        env: &ExecEnv,
+        cfg: &VmConfig,
+    ) -> Result<RunResult, LoadError> {
+        if func >= self.code.len() {
+            return Err(LoadError::NoSuchFunction { index: func, count: self.code.len() });
+        }
+        Ok(self.run_any(func, env, cfg))
     }
 
     /// Run an exported function by name (`dlsym` + call).
@@ -120,6 +233,8 @@ mod tests {
     use crate::value::Value;
     use fwbin::isa::{Arch, OptLevel};
     use fwlang::ast::*;
+
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
 
     /// data/len checksum function used across loader tests.
     fn sum_library() -> Library {
@@ -159,15 +274,21 @@ mod tests {
         lib
     }
 
+    fn compile(lib: &Library, arch: Arch, opt: OptLevel) -> Result<Binary, String> {
+        fwbin::compile_library(lib, arch, opt).map_err(|e| format!("compile: {e:?}"))
+    }
+
     #[test]
-    fn sum_bytes_computes_correctly_on_all_platforms() {
+    fn sum_bytes_computes_correctly_on_all_platforms() -> TestResult {
         let lib = sum_library();
         for arch in Arch::ALL {
             for opt in OptLevel::ALL {
-                let bin = fwbin::compile_library(&lib, arch, opt).unwrap();
-                let lb = LoadedBinary::load(bin).unwrap();
+                let bin = compile(&lib, arch, opt)?;
+                let lb = LoadedBinary::load(bin)?;
                 let env = ExecEnv::for_buffer(vec![1, 2, 3, 4, 5], &[]);
-                let r = lb.run_export("sum_bytes", &env, &VmConfig::default()).unwrap();
+                let r = lb
+                    .run_export("sum_bytes", &env, &VmConfig::default())
+                    .ok_or("sum_bytes not exported")?;
                 assert_eq!(
                     r.outcome,
                     Outcome::Returned(Value::Int(15)),
@@ -177,13 +298,14 @@ mod tests {
                 assert_eq!(r.features.feature(18), 5.0, "5 anon-region reads on {arch}/{opt}");
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn oob_access_faults() {
+    fn oob_access_faults() -> TestResult {
         let lib = sum_library();
-        let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O1).unwrap();
-        let lb = LoadedBinary::load(bin).unwrap();
+        let bin = compile(&lib, Arch::Arm64, OptLevel::O1)?;
+        let lb = LoadedBinary::load(bin)?;
         // Lie about the length: claims 10 bytes, provides 3.
         let env = ExecEnv {
             input: vec![1, 2, 3],
@@ -196,47 +318,50 @@ mod tests {
             "got {:?}",
             r.outcome
         );
+        Ok(())
     }
 
     #[test]
-    fn timeout_on_tiny_budget() {
+    fn timeout_on_tiny_budget() -> TestResult {
         let lib = sum_library();
-        let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O0).unwrap();
-        let lb = LoadedBinary::load(bin).unwrap();
+        let bin = compile(&lib, Arch::Arm64, OptLevel::O0)?;
+        let lb = LoadedBinary::load(bin)?;
         let env = ExecEnv::for_buffer(vec![0; 64], &[]);
         let cfg = VmConfig { max_instructions: 10, ..VmConfig::default() };
         let r = lb.run_any(0, &env, &cfg);
         assert_eq!(r.outcome, Outcome::Timeout);
+        Ok(())
     }
 
     #[test]
-    fn dlsym_respects_export_table() {
+    fn dlsym_respects_export_table() -> TestResult {
         let mut lib = sum_library();
         lib.functions[0].exported = false;
-        let mut bin = fwbin::compile_library(&lib, Arch::X86, OptLevel::O1).unwrap();
+        let mut bin = compile(&lib, Arch::X86, OptLevel::O1)?;
         bin.strip();
-        let lb = LoadedBinary::load(bin).unwrap();
+        let lb = LoadedBinary::load(bin)?;
         assert_eq!(lb.find_export("sum_bytes"), None, "stripped internal symbol");
         // ...but run_any still reaches it (the LIEF analog).
         let env = ExecEnv::for_buffer(vec![9, 1], &[]);
         let r = lb.run_any(0, &env, &VmConfig::default());
         assert_eq!(r.outcome, Outcome::Returned(Value::Int(10)));
+        Ok(())
     }
 
     #[test]
-    fn same_source_similar_dynamic_features_across_platforms() {
+    fn same_source_similar_dynamic_features_across_platforms() -> TestResult {
         // The core premise of the paper's dynamic stage: the same source
         // compiled differently produces *similar* dynamic features, with
         // identical memory-access profiles on the same input.
         let lib = sum_library();
         let env = ExecEnv::for_buffer(vec![7; 16], &[]);
         let a = {
-            let bin = fwbin::compile_library(&lib, Arch::X86, OptLevel::O0).unwrap();
-            LoadedBinary::load(bin).unwrap().run_any(0, &env, &VmConfig::default())
+            let bin = compile(&lib, Arch::X86, OptLevel::O0)?;
+            LoadedBinary::load(bin)?.run_any(0, &env, &VmConfig::default())
         };
         let b = {
-            let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O3).unwrap();
-            LoadedBinary::load(bin).unwrap().run_any(0, &env, &VmConfig::default())
+            let bin = compile(&lib, Arch::Arm64, OptLevel::O3)?;
+            LoadedBinary::load(bin)?.run_any(0, &env, &VmConfig::default())
         };
         // Same anon traffic, same library/syscall counts.
         assert_eq!(a.features.feature(18), b.features.feature(18));
@@ -246,5 +371,69 @@ mod tests {
         let (ia, ib) = (a.features.feature(6), b.features.feature(6));
         assert!(ia > ib, "O0 x86 executes more instructions");
         assert!(ia / ib < 10.0, "same order of magnitude: {ia} vs {ib}");
+        Ok(())
+    }
+
+    #[test]
+    fn corrupt_code_section_reports_function_context() -> TestResult {
+        let lib = sum_library();
+        let mut bin = compile(&lib, Arch::Arm32, OptLevel::O1)?;
+        // Garbage the code bytes of the (only) function.
+        bin.functions[0].code = vec![0xEE, 0xEE, 0xEE];
+        match LoadedBinary::load(bin).map(|_| ()) {
+            Err(LoadError::Decode { function: 0, name, source }) => {
+                assert_eq!(name.as_deref(), Some("sum_bytes"));
+                // The decoder pins the corrupt byte offset.
+                let msg = source.to_string();
+                assert!(msg.contains("offset"), "decode error carries an offset: {msg}");
+            }
+            other => return Err(format!("expected Decode error, got {other:?}").into()),
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn malformed_container_reports_section_context() {
+        // Garbage, truncation, empty input: typed container errors, never
+        // a panic.
+        for bytes in [&b"not an fwb container"[..], &b"FW"[..], &[][..]] {
+            match LoadedBinary::from_bytes(bytes).map(|_| ()) {
+                Err(LoadError::Container { .. }) => {}
+                other => panic!("expected Container error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_container_roundtrip_is_typed() -> TestResult {
+        let lib = sum_library();
+        let bin = compile(&lib, Arch::Amd64, OptLevel::O2)?;
+        let bytes = bin.to_bytes();
+        // Every strict prefix must either load (impossible — lengths are
+        // embedded) or fail with a typed error.
+        for cut in [4usize, 8, bytes.len() / 2, bytes.len() - 1] {
+            let e = LoadedBinary::from_bytes(&bytes[..cut])
+                .err()
+                .ok_or_else(|| format!("prefix of {cut} bytes unexpectedly loaded"))?;
+            assert!(matches!(e, LoadError::Container { .. }), "cut {cut}: {e}");
+        }
+        // The intact bytes still load.
+        assert_eq!(LoadedBinary::from_bytes(&bytes)?.function_count(), 1);
+        Ok(())
+    }
+
+    #[test]
+    fn try_run_any_rejects_bad_index() -> TestResult {
+        let lib = sum_library();
+        let bin = compile(&lib, Arch::X86, OptLevel::O0)?;
+        let lb = LoadedBinary::load(bin)?;
+        let env = ExecEnv::for_buffer(vec![1, 2], &[]);
+        match lb.try_run_any(7, &env, &VmConfig::default()) {
+            Err(LoadError::NoSuchFunction { index: 7, count: 1 }) => {}
+            other => return Err(format!("expected NoSuchFunction, got {other:?}").into()),
+        }
+        let ok = lb.try_run_any(0, &env, &VmConfig::default())?;
+        assert_eq!(ok.outcome, Outcome::Returned(Value::Int(3)));
+        Ok(())
     }
 }

@@ -69,7 +69,7 @@ fn main() {
     let patchecko = Patchecko::new(det, PipelineConfig::default());
 
     // --- Vulnerability detection by deep learning ---
-    let analysis = patchecko.analyze_library(bin, entry, Basis::Vulnerable);
+    let analysis = patchecko.analyze_library(bin, entry, Basis::Vulnerable).expect("scan failed");
     println!(
         "deep learning stage: {} candidate functions of {} total \
          (paper: 252 of 5,646)",
@@ -118,7 +118,8 @@ fn main() {
         bin,
         truth.function_index,
         &DifferentialConfig::default(),
-    );
+    )
+    .expect("differential analysis failed");
     println!(
         "dynamic similarity: {:.1} vs vulnerable ref, {:.1} vs patched ref \
          (paper: 34.7 vs 65.6)",

@@ -61,7 +61,8 @@ fn main() {
     let mut exposed = Vec::new();
     for entry in db.featured() {
         let (row, _verdict) =
-            eval::evaluate_patch_detection(&patchecko, entry, &device, &diff_cfg);
+            eval::evaluate_patch_detection(&patchecko, entry, &device, &diff_cfg)
+                .expect("patch evaluation failed");
         let verdict = match row.detected_patched {
             Some(true) => "patched",
             Some(false) => "VULNERABLE",

@@ -61,7 +61,7 @@ fn main() {
     // 3. The hybrid pipeline.
     println!("[3/4] running the hybrid analysis for CVE-2018-9412...");
     let patchecko = Patchecko::new(det, PipelineConfig::default());
-    let analysis = patchecko.analyze_library(target, entry, Basis::Vulnerable);
+    let analysis = patchecko.analyze_library(target, entry, Basis::Vulnerable).expect("scan failed");
     println!(
         "      static stage: {} of {} functions flagged in {:.3}s",
         analysis.scan.candidates.len(),

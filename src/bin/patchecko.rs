@@ -311,7 +311,7 @@ fn cmd_scan(flags: &HashMap<String, String>) -> Result<(), String> {
         image.binaries.len(),
         image.total_functions()
     );
-    let result = hub.scan_image(&image, entry, Basis::Vulnerable);
+    let result = hub.scan_image(&image, entry, Basis::Vulnerable).map_err(|e| e.to_string())?;
     let mut any = false;
     for a in &result.analyses {
         if a.dynamic.ranking.is_empty() {
@@ -340,8 +340,8 @@ fn cmd_patch_check(flags: &HashMap<String, String>) -> Result<(), String> {
     let db = corpus::build_vulndb(0, 1);
     let entry = db.get(cve).ok_or(format!("unknown CVE {cve}"))?;
 
-    let va = analyzer.analyze_image(&image, entry, Basis::Vulnerable);
-    let pa = analyzer.analyze_image(&image, entry, Basis::Patched);
+    let va = analyzer.analyze_image(&image, entry, Basis::Vulnerable).map_err(|e| e.to_string())?;
+    let pa = analyzer.analyze_image(&image, entry, Basis::Patched).map_err(|e| e.to_string())?;
     // Gather candidates per library from both bases.
     let mut by_lib: HashMap<usize, Vec<usize>> = HashMap::new();
     for r in va.best.iter().chain(pa.best.iter()) {
@@ -357,6 +357,7 @@ fn cmd_patch_check(flags: &HashMap<String, String>) -> Result<(), String> {
         let bin = &image.binaries[li];
         if let Some((idx, v)) =
             differential::detect_patch_best(&analyzer, entry, bin, &candidates, &diff_cfg)
+                .map_err(|e| e.to_string())?
         {
             match &best {
                 Some((_, _, b)) if b.margin.abs() >= v.margin.abs() => {}
@@ -381,9 +382,10 @@ fn cmd_patch_check(flags: &HashMap<String, String>) -> Result<(), String> {
         v.signature.votes_patched
     );
     println!(
-        "  verdict: {}{}",
+        "  verdict: {}{}{}",
         if v.patched { "PATCHED" } else { "STILL VULNERABLE" },
-        if v.tie_break { " (tie-break; evidence inconclusive)" } else { "" }
+        if v.tie_break { " (tie-break; evidence inconclusive)" } else { "" },
+        if v.degraded { " (degraded: static evidence only)" } else { "" }
     );
     Ok(())
 }
@@ -400,18 +402,20 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
         image.binaries.len(),
         image.total_functions()
     );
-    let report = hub.audit(&db, &image, &diff_cfg);
+    let report = hub.audit(&db, &image, &diff_cfg).map_err(|e| e.to_string())?;
     for f in &report.findings {
         let verdict = match f.status {
             patchecko::core::AuditStatus::Vulnerable => "VULNERABLE",
             patchecko::core::AuditStatus::Patched => "patched",
             patchecko::core::AuditStatus::NotFound => "not found",
+            patchecko::core::AuditStatus::Error => "ERROR",
         };
         println!(
-            "{:<16} {:<28} {}",
+            "{:<16} {:<28} {}{}",
             f.cve,
             f.located.as_deref().unwrap_or("—"),
-            verdict
+            verdict,
+            if f.degraded { " (degraded)" } else { "" }
         );
     }
     println!(
@@ -419,6 +423,17 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
         report.count(patchecko::core::AuditStatus::Vulnerable),
         report.findings.len()
     );
+    let degraded = report.degraded().count();
+    if degraded > 0 {
+        eprintln!("warning: {degraded} verdict(s) rest on degraded static-only evidence");
+    }
+    for f in report.errors() {
+        eprintln!(
+            "warning: {} scan failed: {}",
+            f.cve,
+            f.error.as_ref().map(ToString::to_string).unwrap_or_default()
+        );
+    }
     if let Some(path) = flags.get("report") {
         std::fs::write(path, report.to_markdown()).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote {path}");
@@ -488,8 +503,11 @@ fn cmd_batch_audit(flags: &HashMap<String, String>) -> Result<(), String> {
                     image.device, r.spec.cve, r.spec.basis, candidates, validated, located, r.seconds
                 );
             }
-            JobOutcome::Failed(msg) => {
-                println!("{:<14} {:<16} {:<10?} FAILED: {msg}", image.device, r.spec.cve, r.spec.basis);
+            JobOutcome::Failed { error, attempts } => {
+                println!(
+                    "{:<14} {:<16} {:<10?} FAILED after {attempts} attempt(s): {error}",
+                    image.device, r.spec.cve, r.spec.basis
+                );
             }
         }
     }
@@ -504,11 +522,22 @@ fn cmd_batch_audit(flags: &HashMap<String, String>) -> Result<(), String> {
         report.functions
     );
     println!("cache: {} ({} this batch)", report.cache, report.cache_delta);
+    let retried = report.retried().count();
+    if retried > 0 {
+        eprintln!("note: {retried} job(s) completed after transient-fault retries");
+    }
 
     if let Some(path) = flags.get("json") {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
-    finish_hub(flags, &hub)
+    finish_hub(flags, &hub)?;
+    if report.failed() > 0 {
+        // Per-job detail was printed above; the summary is the exit signal:
+        // any permanently failed job makes the whole batch exit non-zero.
+        eprintln!("\nfailed jobs:\n{}", report.failure_summary());
+        return Err(format!("{} of {} jobs failed permanently", report.failed(), report.records.len()));
+    }
+    Ok(())
 }

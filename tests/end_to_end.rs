@@ -55,7 +55,7 @@ fn flagship_hybrid_detection_ranks_target_top3() {
     let truth = device.truth_for("CVE-2018-9412").unwrap();
     let bin = device.image.binary(&truth.library).unwrap();
 
-    let analysis = p.analyze_library(bin, entry, Basis::Vulnerable);
+    let analysis = p.analyze_library(bin, entry, Basis::Vulnerable).unwrap();
     assert!(analysis.scan.candidates.contains(&truth.function_index), "static stage keeps target");
     assert!(analysis.dynamic.validated.contains(&truth.function_index), "target survives envs");
     let rank = similarity::rank_of(&analysis.dynamic.ranking, truth.function_index).unwrap();
@@ -73,20 +73,20 @@ fn patch_verdicts_for_representative_cves() {
 
     // Flagship: present and vulnerable on Android Things.
     let (row, _) =
-        eval::evaluate_patch_detection(p, db.get("CVE-2018-9412").unwrap(), device, &diff);
+        eval::evaluate_patch_detection(p, db.get("CVE-2018-9412").unwrap(), device, &diff).unwrap();
     assert_eq!(row.detected_patched, Some(false));
     assert!(row.correct());
 
     // A patched 2017 CVE: verdict must flip.
     let (row, _) =
-        eval::evaluate_patch_detection(p, db.get("CVE-2017-13232").unwrap(), device, &diff);
+        eval::evaluate_patch_detection(p, db.get("CVE-2017-13232").unwrap(), device, &diff).unwrap();
     assert_eq!(row.detected_patched, Some(true));
     assert!(row.correct());
 
     // The paper's single Table VIII miss: one-integer patch, reported
     // "patched" against a not-patched ground truth via the tie-break.
     let (row, verdict) =
-        eval::evaluate_patch_detection(p, db.get("CVE-2018-9470").unwrap(), device, &diff);
+        eval::evaluate_patch_detection(p, db.get("CVE-2018-9470").unwrap(), device, &diff).unwrap();
     assert_eq!(row.detected_patched, Some(true), "the deliberate miss");
     assert!(!row.truth_patched);
     assert!(!row.correct());
@@ -105,12 +105,12 @@ fn heavy_patch_misses_vulnerable_basis_but_not_patched_basis() {
     assert!(truth.patched);
     let bin = device.image.binary(&truth.library).unwrap();
 
-    let va = p.analyze_library(bin, entry, Basis::Vulnerable);
+    let va = p.analyze_library(bin, entry, Basis::Vulnerable).unwrap();
     assert!(
         !va.scan.candidates.contains(&truth.function_index),
         "vulnerable basis misses the heavily-patched target (Table VI row)"
     );
-    let pa = p.analyze_library(bin, entry, Basis::Patched);
+    let pa = p.analyze_library(bin, entry, Basis::Patched).unwrap();
     assert!(
         pa.scan.candidates.contains(&truth.function_index),
         "patched basis finds it (Table VII row)"
@@ -134,7 +134,8 @@ fn differential_engine_memmove_signature() {
         bin,
         truth.function_index,
         &DifferentialConfig::default(),
-    );
+    )
+    .unwrap();
     assert!(v.signature.vuln_imports.contains(&"memmove".to_string()));
     assert!(!v.signature.patched_imports.contains(&"memmove".to_string()));
     assert!(v.signature.target_imports.contains(&"memmove".to_string()));
@@ -148,8 +149,8 @@ fn detector_checkpoint_roundtrips_through_json() {
     let back: Detector = serde_json::from_str(&json).unwrap();
     // Same predictions after reload.
     let entry = shared_db().get("CVE-2018-9451").unwrap();
-    let f = Patchecko::reference_features(entry, Basis::Vulnerable);
-    let g = Patchecko::reference_features(entry, Basis::Patched);
+    let f = Patchecko::reference_features(entry, Basis::Vulnerable).unwrap();
+    let g = Patchecko::reference_features(entry, Basis::Patched).unwrap();
     assert_eq!(p.detector.similarity(&f, &g), back.similarity(&f, &g));
 }
 
@@ -166,7 +167,8 @@ fn whole_image_audit_matches_ground_truth() {
         db,
         &device.image,
         &patchecko::core::DifferentialConfig::default(),
-    );
+    )
+    .unwrap();
     assert_eq!(report.findings.len(), 25);
     assert_eq!(report.device, "android_things_1.0");
     let mut correct = 0;
@@ -175,7 +177,7 @@ fn whole_image_audit_matches_ground_truth() {
         let verdict_patched = match f.status {
             patchecko::core::AuditStatus::Patched => Some(true),
             patchecko::core::AuditStatus::Vulnerable => Some(false),
-            patchecko::core::AuditStatus::NotFound => None,
+            patchecko::core::AuditStatus::NotFound | patchecko::core::AuditStatus::Error => None,
         };
         if verdict_patched == Some(truth.patched) {
             correct += 1;
@@ -194,7 +196,7 @@ fn image_analysis_locates_best_match_in_right_library() {
     let device = shared_device();
     let entry = shared_db().get("CVE-2018-9412").unwrap();
     let truth = device.truth_for("CVE-2018-9412").unwrap();
-    let result = p.analyze_image(&device.image, entry, Basis::Vulnerable);
+    let result = p.analyze_image(&device.image, entry, Basis::Vulnerable).unwrap();
     assert_eq!(result.analyses.len(), device.image.binaries.len());
     let best = result.best.expect("flagship is present");
     assert_eq!(best.library, truth.library, "best match lands in the right library");
@@ -213,7 +215,7 @@ fn exploit_channel_perfects_table8_at_test_scale() {
         ..Default::default()
     };
     let (row, verdict) =
-        eval::evaluate_patch_detection(p, db.get("CVE-2018-9470").unwrap(), device, &cfg);
+        eval::evaluate_patch_detection(p, db.get("CVE-2018-9470").unwrap(), device, &cfg).unwrap();
     assert!(row.correct(), "exploit channel resolves the tiny patch: {verdict:?}");
 }
 
@@ -223,7 +225,7 @@ fn cve_rows_are_internally_consistent() {
     let device = shared_device();
     for cve in ["CVE-2018-9451", "CVE-2017-13208", "CVE-2018-9498"] {
         let entry = shared_db().get(cve).unwrap();
-        let (row, analysis) = eval::evaluate_cve(p, entry, device, Basis::Vulnerable);
+        let (row, analysis) = eval::evaluate_cve(p, entry, device, Basis::Vulnerable).unwrap();
         assert_eq!(row.tp + row.tn + row.fp + row.fn_, row.total as u32);
         assert_eq!(row.tp + row.fn_, 1);
         assert_eq!(row.execution, analysis.dynamic.validated.len());
