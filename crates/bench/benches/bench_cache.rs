@@ -6,7 +6,7 @@
 //! and the dynamic stage remain. The inference pair shows what one GEMM
 //! per layer buys over row-at-a-time forward passes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
 use corpus::dataset1::Dataset1Config;
 use neural::net::TrainConfig;
@@ -51,7 +51,12 @@ fn bench_cache(c: &mut Criterion) {
 
     // Warm: the steady state — the shared store already holds every
     // artifact, so the scan is cache lookups + the batched forward pass.
-    let warm_hub = ScanHub::new(Patchecko::new(analyzer.detector.clone(), PipelineConfig::default()));
+    // Wired to the global scope registry so the final telemetry table
+    // shows the hit/miss ledger for the whole warm sweep.
+    let warm_hub = ScanHub::with_registry(
+        Patchecko::new(analyzer.detector.clone(), PipelineConfig::default()),
+        scope::global_shared(),
+    );
     warm_hub.scan_library(&bin, entry, Basis::Vulnerable).unwrap();
     c.bench_function("cache/scan_library_warm", |b| {
         b.iter(|| black_box(warm_hub.scan_library(&bin, entry, Basis::Vulnerable).unwrap()))
@@ -105,4 +110,10 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_cache
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // The warm hub's cache counters and every scan's pipeline spans all
+    // landed in the global scope registry; print the combined ledger.
+    patchecko_bench::print_telemetry("bench_cache");
+}

@@ -471,4 +471,7 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     criterion::write_json_summary(path).expect("write BENCH_kernels.json");
     println!("wrote {path}");
+    // The pool benches dispatch through the instrumented worker pool, so
+    // `pool.dispatches` / `pool.inline_runs` accumulated globally; show them.
+    patchecko_bench::print_telemetry("bench_kernels");
 }

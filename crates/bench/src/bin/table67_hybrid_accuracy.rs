@@ -8,7 +8,7 @@
 //! cargo run --release -p patchecko-bench --bin table67_hybrid_accuracy
 //! ```
 
-use patchecko_bench::{build, write_json, HarnessOpts, Table};
+use patchecko_bench::{build, print_telemetry, write_json, HarnessOpts, Table};
 use patchecko_core::eval::CveRow;
 use patchecko_core::pipeline::Basis;
 
@@ -81,4 +81,5 @@ fn main() {
 
     write_json(&opts.out, "table6_vulnerable_basis.json", &table6);
     write_json(&opts.out, "table7_patched_basis.json", &table7);
+    print_telemetry("table67_hybrid_accuracy");
 }

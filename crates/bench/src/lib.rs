@@ -128,7 +128,10 @@ pub fn build(opts: &HarnessOpts) -> Evaluation {
         opts.libs, opts.epochs, opts.scale
     );
     let started = std::time::Instant::now();
-    let ev = build_evaluation(&opts.evaluation_config());
+    let ev = {
+        let _span = scope::SpanGuard::enter("bench_build");
+        build_evaluation(&opts.evaluation_config())
+    };
     eprintln!(
         "[patchecko-bench] detector test accuracy {:.2}% (AUC {:.4}, {} pairs) in {:.1}s",
         ev.metrics.accuracy * 100.0,
@@ -137,6 +140,19 @@ pub fn build(opts: &HarnessOpts) -> Evaluation {
         started.elapsed().as_secs_f64()
     );
     ev
+}
+
+/// Print the stage timings and counters accumulated in the process-global
+/// [`scope`] registry — the same `span.static_scan` / `span.dynamic_stage`
+/// histograms the service and CLI report, populated here by the library
+/// instrumentation as the harness exercises each stage.
+pub fn print_telemetry(what: &str) {
+    let snap = scope::snapshot();
+    if snap.is_empty() {
+        return;
+    }
+    eprintln!("[patchecko-bench] telemetry ({what}):");
+    eprintln!("{}", snap.to_table());
 }
 
 /// Write a JSON artifact under the output directory.

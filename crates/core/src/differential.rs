@@ -164,6 +164,7 @@ pub fn detect_patch_with(
     cfg: &DifferentialConfig,
     source: &dyn FeatureSource,
 ) -> Result<PatchVerdict, ScanError> {
+    let _span = scope::SpanGuard::enter("differential").with_detail(entry.entry.cve.clone());
     let vm_cfg = &patchecko.config.vm;
 
     // --- static channel ---

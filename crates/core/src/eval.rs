@@ -252,6 +252,7 @@ pub fn audit_image_with(
     source: &dyn crate::pipeline::FeatureSource,
 ) -> Result<crate::report::AuditReport, ScanError> {
     use crate::report::{AuditFinding, AuditReport, AuditStatus};
+    let _span = scope::SpanGuard::enter("audit").with_detail(image.device.clone());
     let mut findings = Vec::new();
     for entry in db.featured() {
         let (status, located, verdict, error) =
@@ -278,6 +279,7 @@ pub fn audit_image_with(
         libraries: image.binaries.len(),
         functions: image.total_functions(),
         findings,
+        telemetry: None,
     })
 }
 

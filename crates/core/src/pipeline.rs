@@ -326,6 +326,7 @@ impl Patchecko {
         references: &[StaticFeatures],
         source: &dyn FeatureSource,
     ) -> Result<StaticScan, ScanError> {
+        let _span = scope::SpanGuard::enter("static_scan").with_detail(bin.lib_name.clone());
         let started = Instant::now();
         let feats = source.features_all(bin)?;
         let scores = self.detector.classify_product(references, &feats);
@@ -392,9 +393,7 @@ impl Patchecko {
             })
             .collect();
         ranked.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            similarity::distance_order(a.distance, b.distance)
                 .then(a.function_index.cmp(&b.function_index))
         });
         ranked
@@ -405,6 +404,7 @@ impl Patchecko {
     /// generator fails — the scan's candidates still reach the report
     /// instead of sinking the job.
     pub(crate) fn degraded_analysis(scan: &StaticScan, why: String, seconds: f64) -> DynamicAnalysis {
+        scope::inc("pipeline.degraded");
         DynamicAnalysis {
             envs: Vec::new(),
             reference_profile: Vec::new(),
@@ -434,6 +434,7 @@ impl Patchecko {
         scan: &StaticScan,
         reference: &LoadedBinary,
     ) -> DynamicAnalysis {
+        let _span = scope::SpanGuard::enter("dynamic_stage").with_detail(scan.library.clone());
         let started = Instant::now();
         let candidates: &[usize] = &scan.candidates;
         let envs = catch_unwind(AssertUnwindSafe(|| self.make_environments(reference)))

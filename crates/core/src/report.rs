@@ -7,6 +7,7 @@
 
 use crate::differential::PatchVerdict;
 use crate::error::ScanError;
+use scope::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 
 /// The verdict class for one CVE on one image.
@@ -60,6 +61,11 @@ pub struct AuditReport {
     pub functions: usize,
     /// Per-CVE findings, database order.
     pub findings: Vec<AuditFinding>,
+    /// Counter and stage-timing telemetry covering this audit, when the
+    /// caller attached it (see `ScanHub::audit_with_telemetry`); `None`
+    /// for bare pipeline runs and legacy persisted reports.
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl AuditReport {
@@ -210,6 +216,7 @@ mod tests {
                     }),
                 },
             ],
+            telemetry: None,
         }
     }
 
@@ -274,5 +281,34 @@ mod tests {
         let f: AuditFinding = serde_json::from_str(json).unwrap();
         assert!(!f.degraded);
         assert!(f.error.is_none());
+    }
+
+    #[test]
+    fn legacy_reports_deserialize_without_telemetry() {
+        // Reports persisted before the observability pass lack the
+        // `telemetry` field; they must still deserialize.
+        let json = r#"{
+            "device": "d",
+            "patch_level": "2018-05",
+            "libraries": 1,
+            "functions": 2,
+            "findings": []
+        }"#;
+        let r: AuditReport = serde_json::from_str(json).unwrap();
+        assert!(r.telemetry.is_none());
+    }
+
+    #[test]
+    fn telemetry_roundtrips_inside_a_report() {
+        let reg = scope::MetricsRegistry::new();
+        reg.add("cache.hits", 7);
+        reg.record("span.audit", std::time::Duration::from_micros(250));
+        let mut r = sample();
+        r.telemetry = Some(reg.snapshot());
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        let t = back.telemetry.expect("telemetry survives the round-trip");
+        assert_eq!(t.counter("cache.hits"), 7);
+        assert_eq!(t.duration("span.audit").unwrap().count, 1);
     }
 }

@@ -21,10 +21,19 @@ pub fn minkowski(x: &[f64], y: &[f64], p: f64) -> f64 {
 }
 
 /// Equation 2: mean Minkowski distance over K execution environments.
-/// Lower is more similar. Environments where either side is missing are
-/// skipped; returns `f64::INFINITY` when no environment is comparable.
+/// Lower is more similar.
+///
+/// When the two sides profiled a different number of environments, only
+/// the common prefix (`min(f.len(), g.len())` environments) is compared;
+/// the surplus environments on the longer side are skipped and counted
+/// in the global `similarity.skipped_envs` telemetry counter. Returns
+/// `f64::INFINITY` when no environment is comparable.
 pub fn sim_over_envs(f: &[DynFeatures], g: &[DynFeatures], p: f64) -> f64 {
     let k = f.len().min(g.len());
+    let skipped = f.len().max(g.len()) - k;
+    if skipped > 0 {
+        scope::add("similarity.skipped_envs", skipped as u64);
+    }
     if k == 0 {
         return f64::INFINITY;
     }
@@ -33,6 +42,22 @@ pub fn sim_over_envs(f: &[DynFeatures], g: &[DynFeatures], p: f64) -> f64 {
         total += minkowski(f[i].as_slice(), g[i].as_slice(), p);
     }
     total / k as f64
+}
+
+/// Total order over distances for ranking: ordinary `total_cmp` for
+/// comparable values, with every NaN (either sign) forced *after* all
+/// numbers, including `+INFINITY`. A NaN distance means the comparison
+/// itself was meaningless (e.g. a feature vector contaminated by an
+/// overflow), so such candidates must sink to the bottom of a ranking
+/// rather than landing wherever the sort happened to leave them.
+pub fn distance_order(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
 }
 
 /// One ranked candidate.
@@ -58,7 +83,13 @@ pub fn rank(
             distance: sim_over_envs(reference, envs, p),
         })
         .collect();
-    out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal));
+    // A NaN distance used to hit `partial_cmp(..).unwrap_or(Equal)` here,
+    // which breaks sort transitivity and could leave a poisoned candidate
+    // ranked first. NaN now sorts strictly last (see `distance_order`),
+    // with the function index as a stable tiebreak.
+    out.sort_by(|a, b| {
+        distance_order(a.distance, b.distance).then(a.function_index.cmp(&b.function_index))
+    });
     out
 }
 
@@ -124,5 +155,52 @@ mod tests {
         assert_eq!(rank_of(&ranking, 42), Some(2));
         assert_eq!(rank_of(&ranking, 999), None);
         assert!(ranking[0].distance <= ranking[1].distance);
+    }
+
+    #[test]
+    fn nan_distances_rank_last_not_first() {
+        // A candidate whose profile is contaminated with NaN must never
+        // outrank a real match. Before the `distance_order` fix, the
+        // NaN candidate compared Equal to everything and its final rank
+        // depended on the incoming order.
+        let reference = vec![dyn_feats(5.0)];
+        let poisoned = DynFeatures([f64::NAN; vm::NUM_DYN_FEATURES]);
+        let candidates = vec![
+            (7, vec![poisoned.clone()]),
+            (29, vec![dyn_feats(5.1)]),
+            (3, vec![poisoned]),
+            (42, vec![dyn_feats(7.0)]),
+        ];
+        let ranking = rank(&reference, &candidates, PAPER_P);
+        assert_eq!(ranking[0].function_index, 29);
+        assert_eq!(ranking[1].function_index, 42);
+        // Both NaN candidates sink to the bottom, in stable index order.
+        assert_eq!(ranking[2].function_index, 3);
+        assert_eq!(ranking[3].function_index, 7);
+        assert!(ranking[2].distance.is_nan() && ranking[3].distance.is_nan());
+    }
+
+    #[test]
+    fn distance_order_is_total_with_nan_last() {
+        use std::cmp::Ordering::*;
+        assert_eq!(distance_order(1.0, 2.0), Less);
+        assert_eq!(distance_order(2.0, 1.0), Greater);
+        assert_eq!(distance_order(1.0, 1.0), Equal);
+        assert_eq!(distance_order(f64::INFINITY, f64::NAN), Less);
+        assert_eq!(distance_order(f64::NAN, f64::NEG_INFINITY), Greater);
+        // -NaN must not slip below real numbers via raw total_cmp.
+        assert_eq!(distance_order(-f64::NAN, -1.0), Greater);
+        assert_eq!(distance_order(f64::NAN, -f64::NAN), Equal);
+    }
+
+    #[test]
+    fn mismatched_env_counts_compare_prefix_and_record_skips() {
+        let before = scope::snapshot().counter("similarity.skipped_envs");
+        let f = vec![dyn_feats(0.0), dyn_feats(0.0), dyn_feats(99.0)];
+        let g = vec![dyn_feats(1.0), dyn_feats(3.0)];
+        // Only the two common environments are averaged (21 and 63).
+        assert_eq!(sim_over_envs(&f, &g, 1.0), 42.0);
+        let after = scope::snapshot().counter("similarity.skipped_envs");
+        assert_eq!(after - before, 1, "one surplus environment was skipped");
     }
 }

@@ -84,5 +84,7 @@ pub fn sabotage(dir: &Path, fault: DiskFault, plan: &FaultPlan) -> io::Result<St
         }
     };
     std::fs::write(&path, mutated)?;
+    scope::inc("fault.injected");
+    scope::inc("fault.disk.sabotage");
     Ok(what)
 }

@@ -26,6 +26,8 @@ pub fn worker_deaths(plan: FaultPlan, die_in: u32, deaths: u32) -> Arc<FaultHook
     Arc::new(move |spec: &JobSpec, attempt: u32| {
         let key = job_key(spec);
         if attempt <= deaths && plan.fires("hook.death", key, 1, die_in) {
+            scope::inc("fault.injected");
+            scope::inc("fault.hook.death");
             Some(ScanError::Injected {
                 site: "scheduler".into(),
                 detail: format!(
@@ -51,6 +53,8 @@ pub fn panicking_deaths(plan: FaultPlan, die_in: u32, deaths: u32) -> Arc<FaultH
     Arc::new(move |spec: &JobSpec, attempt: u32| {
         let key = job_key(spec);
         if attempt <= deaths && plan.fires("hook.death", key, 1, die_in) {
+            scope::inc("fault.injected");
+            scope::inc("fault.hook.panic");
             panic!(
                 "faultline: worker died, job {}/{}/{:?} attempt {attempt} (seed {})",
                 spec.image,

@@ -19,6 +19,8 @@ pub fn corrupt_bytes(bytes: &mut [u8], plan: &FaultPlan, flips: usize) {
         let bit = plan.pick("image.flip.bit", key ^ (i as u64) << 32, 8);
         bytes[at] ^= 1 << bit;
     }
+    scope::inc("fault.injected");
+    scope::add("fault.image.bit_flips", flips as u64);
 }
 
 /// `bin`'s wire encoding with `flips` seeded bit flips applied.
@@ -34,5 +36,7 @@ pub fn truncated_encoding(bin: &Binary, plan: &FaultPlan) -> Vec<u8> {
     let mut bytes = bin.to_bytes().to_vec();
     let cut = 1 + plan.pick("image.truncate.at", bytes.len() as u64, bytes.len().max(2) - 1);
     bytes.truncate(cut);
+    scope::inc("fault.injected");
+    scope::inc("fault.image.truncations");
     bytes
 }

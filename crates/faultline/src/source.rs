@@ -95,6 +95,8 @@ impl<S> FaultyFeatureSource<S> {
     fn inject(&self, bin: &Binary, idx: usize) -> Result<(), ScanError> {
         let key = Self::site_key(bin, idx);
         if self.should_fire("source.panic", key, self.faults.panic) {
+            scope::inc("fault.injected");
+            scope::inc("fault.source.panic");
             panic!(
                 "faultline: injected extraction panic at {}:{idx} (seed {})",
                 bin.lib_name,
@@ -102,6 +104,8 @@ impl<S> FaultyFeatureSource<S> {
             );
         }
         if self.should_fire("source.error", key, self.faults.error) {
+            scope::inc("fault.injected");
+            scope::inc("fault.source.error");
             return Err(ScanError::Injected {
                 site: "features".into(),
                 detail: format!("{}:{idx} (seed {})", bin.lib_name, self.plan.seed()),
@@ -113,6 +117,8 @@ impl<S> FaultyFeatureSource<S> {
     fn maybe_corrupt(&self, bin: &Binary, idx: usize, features: &mut StaticFeatures) {
         let key = Self::site_key(bin, idx);
         if self.should_fire("source.corrupt", key, self.faults.corrupt) {
+            scope::inc("fault.injected");
+            scope::inc("fault.source.corrupt");
             let lane = self.plan.pick("source.corrupt.lane", key, features.0.len());
             let bits = features.0[lane].to_bits() ^ (1 << self.plan.pick("source.corrupt.bit", key, 52));
             features.0[lane] = f64::from_bits(bits);

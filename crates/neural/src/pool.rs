@@ -32,6 +32,19 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+/// Pool telemetry handles, resolved once from the global `scope` registry
+/// (`pool.dispatches` = parallel fan-outs, `pool.inline_runs` = calls
+/// that ran on the calling thread, `pool.tasks` = tasks executed either
+/// way). Handle-based so the hot path pays one atomic add, not a map
+/// lookup.
+fn counters() -> &'static (scope::Counter, scope::Counter, scope::Counter) {
+    static COUNTERS: OnceLock<(scope::Counter, scope::Counter, scope::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = scope::global();
+        (reg.counter("pool.dispatches"), reg.counter("pool.inline_runs"), reg.counter("pool.tasks"))
+    })
+}
+
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV: &str = "PATCHECKO_THREADS";
 
@@ -120,9 +133,13 @@ impl WorkerPool {
         F: FnOnce() -> T + Send + 'static,
     {
         let width = self.limit().min(tasks.len());
+        let (dispatches, inline_runs, task_count) = counters();
+        task_count.add(tasks.len() as u64);
         if width <= 1 || in_worker() {
+            inline_runs.inc();
             return tasks.into_iter().map(|t| t()).collect();
         }
+        dispatches.inc();
         self.ensure_spawned(width);
         let n = tasks.len();
         let (rtx, rrx) = crossbeam::channel::unbounded::<(usize, std::thread::Result<T>)>();

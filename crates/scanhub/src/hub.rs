@@ -19,6 +19,7 @@ use patchecko_core::differential::DifferentialConfig;
 use patchecko_core::error::ScanError;
 use patchecko_core::pipeline::{Basis, CveAnalysis, ImageAnalysis, Patchecko, StaticScan};
 use patchecko_core::report::AuditReport;
+use scope::{MetricsRegistry, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -35,11 +36,26 @@ pub struct ScanHub {
 }
 
 impl ScanHub {
-    /// A hub with a fresh in-memory store.
+    /// A hub with a fresh in-memory store (and a fresh private metrics
+    /// registry — see [`ScanHub::with_registry`]).
     pub fn new(analyzer: Patchecko) -> ScanHub {
         ScanHub {
             analyzer,
             store: ArtifactStore::new(),
+            cache_dir: None,
+            retry: RetryPolicy::default(),
+            fault_hook: None,
+        }
+    }
+
+    /// A hub whose cache and scheduler counters record into `registry`.
+    /// The CLI passes `scope::global_shared()` here so the whole
+    /// command's telemetry — cache counters, scheduler counters, stage
+    /// spans — lands in one registry and prints as one table.
+    pub fn with_registry(analyzer: Patchecko, registry: Arc<MetricsRegistry>) -> ScanHub {
+        ScanHub {
+            analyzer,
+            store: ArtifactStore::with_registry(registry),
             cache_dir: None,
             retry: RetryPolicy::default(),
             fault_hook: None,
@@ -54,8 +70,20 @@ impl ScanHub {
     /// # Errors
     /// Propagates filesystem errors from reading the cache directory.
     pub fn with_cache_dir(analyzer: Patchecko, dir: impl Into<PathBuf>) -> std::io::Result<ScanHub> {
+        ScanHub::with_cache_dir_and_registry(analyzer, dir, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// [`ScanHub::with_cache_dir`] recording telemetry into `registry`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from reading the cache directory.
+    pub fn with_cache_dir_and_registry(
+        analyzer: Patchecko,
+        dir: impl Into<PathBuf>,
+        registry: Arc<MetricsRegistry>,
+    ) -> std::io::Result<ScanHub> {
         let dir = dir.into();
-        let store = ArtifactStore::load(&dir)?;
+        let store = ArtifactStore::load_with_registry(&dir, registry)?;
         Ok(ScanHub {
             analyzer,
             store,
@@ -63,6 +91,11 @@ impl ScanHub {
             retry: RetryPolicy::default(),
             fault_hook: None,
         })
+    }
+
+    /// The registry the hub's cache and scheduler counters live in.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        self.store.registry()
     }
 
     /// Replace the batch retry policy.
@@ -174,6 +207,41 @@ impl ScanHub {
         patchecko_core::eval::audit_image_with(&self.analyzer, db, image, diff, &self.store)
     }
 
+    /// [`ScanHub::audit`], with the report's `telemetry` field filled by
+    /// the movement of this hub's registry over the audit (merged with
+    /// the global registry's movement — stage spans — when the hub uses a
+    /// private registry). Plain [`ScanHub::audit`] leaves telemetry
+    /// `None`, keeping warm/cold report bytes identical for callers that
+    /// diff them.
+    ///
+    /// # Errors
+    /// As for [`ScanHub::audit`].
+    pub fn audit_with_telemetry(
+        &self,
+        db: &VulnDb,
+        image: &FirmwareImage,
+        diff: &DifferentialConfig,
+    ) -> Result<AuditReport, ScanError> {
+        let before = self.telemetry_snapshot();
+        let mut report = self.audit(db, image, diff)?;
+        report.telemetry = Some(self.telemetry_snapshot().since(&before));
+        Ok(report)
+    }
+
+    /// One snapshot covering this hub's registry and — when the hub's
+    /// registry is *not* already the global one — the global registry,
+    /// where stage spans and library counters record. The `Arc::ptr_eq`
+    /// guard prevents double-counting when the CLI wires the hub to
+    /// `scope::global_shared()`.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let own = self.registry().snapshot();
+        if Arc::ptr_eq(self.registry(), &scope::global_shared()) {
+            own
+        } else {
+            own.merged(&scope::snapshot())
+        }
+    }
+
     /// Run a batch of scan jobs across the shared persistent worker pool
     /// (the same pool the GEMM kernels use — no per-batch thread
     /// spawning). The worker count honours `PipelineConfig::threads`
@@ -188,8 +256,11 @@ impl ScanHub {
         db: &Arc<VulnDb>,
         jobs: &[JobSpec],
     ) -> BatchReport {
+        let _span = scope::SpanGuard::enter("batch_audit")
+            .with_detail(format!("{} jobs / {} images", jobs.len(), images.len()));
         let started = Instant::now();
         let before = self.stats();
+        let telemetry_before = self.telemetry_snapshot();
         let threads = self.analyzer.config.effective_threads();
         let records = schedule::run_jobs_with(
             self,
@@ -210,6 +281,7 @@ impl ScanHub {
             functions,
             cache: self.stats(),
             cache_delta: self.stats().since(&before),
+            telemetry: Some(self.telemetry_snapshot().since(&telemetry_before)),
         }
     }
 }
@@ -231,6 +303,12 @@ pub struct BatchReport {
     pub cache: CacheStats,
     /// Counter movement caused by the batch alone.
     pub cache_delta: CacheStats,
+    /// Registry movement caused by the batch alone: scheduler counters,
+    /// cache counters, and stage-span timings (see
+    /// [`ScanHub::telemetry_snapshot`]). `None` only in legacy persisted
+    /// reports.
+    #[serde(default)]
+    pub telemetry: Option<scope::TelemetrySnapshot>,
 }
 
 impl BatchReport {

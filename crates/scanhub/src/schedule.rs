@@ -48,7 +48,9 @@ pub struct JobSpec {
 pub struct RetryPolicy {
     /// Total attempts per job (first try included). `1` disables retry.
     pub max_attempts: u32,
-    /// Backoff before retry `n` is `base_backoff_ms << (n - 1)`.
+    /// Backoff before retry `n` is `base_backoff_ms << min(n - 1, 10)` —
+    /// exponential doubling capped at 1024× the base (see
+    /// [`RetryPolicy::backoff`]).
     pub base_backoff_ms: u64,
 }
 
@@ -64,7 +66,15 @@ impl RetryPolicy {
         RetryPolicy { max_attempts: 1, base_backoff_ms: 0 }
     }
 
-    /// Pause before re-running a job that has failed `attempt` times.
+    /// Pause before re-running a job that has failed `attempt` times:
+    /// `base_backoff_ms << min(attempt - 1, 10)` milliseconds. The shift
+    /// is capped at 10 (1024× base) so arbitrarily high attempt counts
+    /// neither overflow the shift (`1 << 64` would be UB-adjacent debug
+    /// panic territory) nor produce absurd multi-hour sleeps; the
+    /// multiplication additionally saturates at `u64::MAX` ms for
+    /// pathological bases. The scheduler only ever sleeps *between*
+    /// attempts — after the final failed attempt the job returns
+    /// immediately, with no trailing backoff.
     pub fn backoff(&self, attempt: u32) -> Duration {
         let shift = attempt.saturating_sub(1).min(10);
         Duration::from_millis(self.base_backoff_ms.saturating_mul(1 << shift))
@@ -182,8 +192,10 @@ fn run_one(
     hook: Option<&Arc<FaultHook>>,
 ) -> (JobOutcome, u32) {
     let max = retry.max_attempts.max(1);
+    let registry = hub.store().registry();
     let mut attempt = 1;
     loop {
+        registry.add("sched.attempts", 1);
         // The whole attempt — fault hook included — runs under
         // catch_unwind, so nothing a worker does can take down the batch;
         // a panic is just a transient WorkerPanic to the retry loop.
@@ -193,7 +205,10 @@ fn run_one(
         match attempted {
             Ok(done) => return (done, attempt),
             Err(error) if error.is_transient() && attempt < max => {
-                std::thread::sleep(retry.backoff(attempt));
+                let pause = retry.backoff(attempt);
+                registry.add("sched.retries", 1);
+                registry.add("sched.backoff_ms", pause.as_millis() as u64);
+                std::thread::sleep(pause);
                 attempt += 1;
             }
             Err(error) => return (JobOutcome::Failed { error, attempts: attempt }, attempt),
@@ -209,8 +224,11 @@ fn timed(
     retry: &RetryPolicy,
     hook: Option<&Arc<FaultHook>>,
 ) -> JobRecord {
+    let _span = scope::SpanGuard::enter("sched.job")
+        .with_detail(format!("image {} / {} / {:?}", spec.image, spec.cve, spec.basis));
     let started = Instant::now();
     let (outcome, attempts) = run_one(hub, images, db, spec, retry, hook);
+    hub.store().registry().add("sched.jobs", 1);
     JobRecord { spec: spec.clone(), seconds: started.elapsed().as_secs_f64(), attempts, outcome }
 }
 
@@ -255,4 +273,29 @@ pub fn run_jobs_with(
         })
         .collect();
     neural::pool::global().run(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps_at_shift_ten() {
+        let retry = RetryPolicy { max_attempts: 100, base_backoff_ms: 3 };
+        assert_eq!(retry.backoff(1), Duration::from_millis(3));
+        assert_eq!(retry.backoff(2), Duration::from_millis(6));
+        assert_eq!(retry.backoff(11), Duration::from_millis(3 * 1024));
+        // Every attempt past the cap gets the same ceiling — no shift
+        // overflow, no runaway sleeps.
+        assert_eq!(retry.backoff(12), retry.backoff(11));
+        assert_eq!(retry.backoff(u32::MAX), retry.backoff(11));
+        // attempt 0 is out-of-contract but must not underflow the shift.
+        assert_eq!(retry.backoff(0), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn backoff_saturates_on_pathological_base() {
+        let retry = RetryPolicy { max_attempts: 3, base_backoff_ms: u64::MAX / 2 };
+        assert_eq!(retry.backoff(40), Duration::from_millis(u64::MAX));
+    }
 }

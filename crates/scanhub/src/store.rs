@@ -28,10 +28,10 @@ use parking_lot::Mutex;
 use patchecko_core::error::ScanError;
 use patchecko_core::features::{self, StaticFeatures};
 use patchecko_core::pipeline::FeatureSource;
+use scope::{Counter, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shard count of the in-memory map. Power of two, comfortably above the
@@ -102,13 +102,19 @@ impl CacheStats {
     }
 
     /// Counter deltas since an earlier snapshot.
+    ///
+    /// Saturating: when `earlier` is not actually earlier — it came from
+    /// a different store, or from before a quarantine/reload replaced the
+    /// store behind the same cache dir — each counter clamps at zero
+    /// instead of panicking in debug builds (or wrapping to ~2⁶⁴ in
+    /// release and reporting nonsense like "18446744073709551615 hits").
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            extractions: self.extractions - earlier.extractions,
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            extractions: self.extractions.saturating_sub(earlier.extractions),
             entries: self.entries,
-            quarantined: self.quarantined - earlier.quarantined,
+            quarantined: self.quarantined.saturating_sub(earlier.quarantined),
         }
     }
 }
@@ -148,12 +154,21 @@ struct PersistedStore {
 }
 
 /// The sharded artifact store.
+///
+/// Cache counters are `scope` registry counters (`cache.hits`,
+/// `cache.misses`, `cache.extractions`, `cache.quarantined`), resolved
+/// once at construction and bumped through lock-free handles on the hot
+/// path. Each store owns its registry — a fresh private one by default,
+/// so concurrent stores never see each other's counts — and the CLI
+/// passes `scope::global_shared()` in so cache activity lands in the
+/// same snapshot as span timings and scheduler counters.
 pub struct ArtifactStore {
     shards: Vec<Mutex<HashMap<ArtifactKey, Arc<Artifact>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    extractions: AtomicU64,
-    quarantined: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    hits: Counter,
+    misses: Counter,
+    extractions: Counter,
+    quarantined: Counter,
     quarantine_log: Mutex<Vec<String>>,
 }
 
@@ -164,26 +179,37 @@ impl Default for ArtifactStore {
 }
 
 impl ArtifactStore {
-    /// An empty store.
+    /// An empty store with a fresh private metrics registry.
     pub fn new() -> ArtifactStore {
+        ArtifactStore::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// An empty store recording its cache counters into `registry`.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> ArtifactStore {
         ArtifactStore {
             shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            extractions: AtomicU64::new(0),
-            quarantined: AtomicU64::new(0),
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            extractions: registry.counter("cache.extractions"),
+            quarantined: registry.counter("cache.quarantined"),
+            registry,
             quarantine_log: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The registry this store's counters live in.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Current counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            extractions: self.extractions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            extractions: self.extractions.get(),
             entries: self.shards.iter().map(|s| s.lock().len() as u64).sum(),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
+            quarantined: self.quarantined.get(),
         }
     }
 
@@ -191,7 +217,7 @@ impl ArtifactStore {
     /// (evicted by construction), the counter moves, and the detail is
     /// kept for reports and tests.
     fn quarantine(&self, detail: String) {
-        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.quarantined.inc();
         self.quarantine_log.lock().push(detail);
     }
 
@@ -214,8 +240,8 @@ impl ArtifactStore {
     fn lookup(&self, key: ArtifactKey) -> Option<Arc<Artifact>> {
         let found = self.shards[key.shard(NUM_SHARDS)].lock().get(&key).cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         found
     }
@@ -227,7 +253,7 @@ impl ArtifactStore {
     }
 
     fn extract(&self, bin: &Binary, idx: usize) -> Result<Artifact, ScanError> {
-        self.extractions.fetch_add(1, Ordering::Relaxed);
+        self.extractions.inc();
         let dis = disasm::disassemble(bin, idx)
             .map_err(|e| ScanError::extraction(&bin.lib_name, idx, &e))?;
         Ok(Artifact {
@@ -308,8 +334,20 @@ impl ArtifactStore {
     /// # Errors
     /// Propagates filesystem errors other than `NotFound`.
     pub fn load(dir: &Path) -> std::io::Result<ArtifactStore> {
+        ArtifactStore::load_with_registry(dir, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// [`ArtifactStore::load`] recording cache counters into `registry`
+    /// (quarantines found during the load are counted there too).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors other than `NotFound`.
+    pub fn load_with_registry(
+        dir: &Path,
+        registry: Arc<MetricsRegistry>,
+    ) -> std::io::Result<ArtifactStore> {
         let path = dir.join("artifacts.json");
-        let store = ArtifactStore::new();
+        let store = ArtifactStore::with_registry(registry);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(store),
@@ -562,6 +600,64 @@ mod tests {
         assert_eq!(warm, cold);
         assert_eq!(reloaded.stats().extractions, 1, "exactly the evicted entry re-extracts");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_delta_saturates_across_quarantine_reload() {
+        // Snapshot a warmed store, then quarantine-reload the cache dir
+        // (the reloaded store's counters restart at zero). A delta taken
+        // across that boundary used to underflow — panicking in debug,
+        // reporting ~2^64 hits in release. It must clamp at zero.
+        let dir = temp_cache("delta-saturate");
+        let bin = sample_binary();
+        let store = ArtifactStore::new();
+        store.features_all(&bin).unwrap();
+        store.features_all(&bin).unwrap();
+        store.save(&dir).unwrap();
+        let before = store.stats();
+        assert!(before.hits > 0 && before.extractions > 0);
+
+        // Corrupt the cache so the reload starts from an empty store.
+        std::fs::write(dir.join("artifacts.json"), b"garbage").unwrap();
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        let after = reloaded.stats();
+        let delta = after.since(&before);
+        assert_eq!(delta.hits, 0, "saturates instead of underflowing");
+        assert_eq!(delta.misses, 0);
+        assert_eq!(delta.extractions, 0);
+        assert_eq!(delta.quarantined, 1, "the quarantine itself still shows");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_delta_on_same_store_is_exact() {
+        let store = ArtifactStore::new();
+        let bin = sample_binary();
+        store.features_all(&bin).unwrap();
+        let mid = store.stats();
+        store.features_all(&bin).unwrap();
+        let delta = store.stats().since(&mid);
+        assert_eq!(delta.hits, bin.function_count() as u64);
+        assert_eq!(delta.misses, 0);
+        assert_eq!(delta.extractions, 0);
+    }
+
+    #[test]
+    fn counters_live_in_the_supplied_registry() {
+        let reg = Arc::new(scope::MetricsRegistry::new());
+        let store = ArtifactStore::with_registry(Arc::clone(&reg));
+        let bin = sample_binary();
+        store.features_all(&bin).unwrap();
+        store.features_all(&bin).unwrap();
+        let snap = reg.snapshot();
+        let n = bin.function_count() as u64;
+        assert_eq!(snap.counter("cache.misses"), n);
+        assert_eq!(snap.counter("cache.extractions"), n);
+        assert_eq!(snap.counter("cache.hits"), n);
+        // stats() reads the very same counters.
+        let stats = store.stats();
+        assert_eq!(stats.hits, snap.counter("cache.hits"));
+        assert!(Arc::ptr_eq(store.registry(), &reg));
     }
 
     #[test]

@@ -188,3 +188,111 @@ fn persisted_cache_survives_restart() {
     assert_eq!(stats.misses, 0);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn warm_audit_telemetry_shows_zero_extractions_end_to_end() {
+    // Same acceptance property as the CacheStats-based warm test, but
+    // driven entirely through the scope registry the hub was built with:
+    // the `cache.extractions` counter must not move across a warm
+    // re-audit, and the attached report telemetry must agree.
+    let reg = std::sync::Arc::new(scope::MetricsRegistry::new());
+    let hub = ScanHub::with_registry(
+        Patchecko::new(shared_detector().clone(), PipelineConfig::default()),
+        std::sync::Arc::clone(&reg),
+    );
+    let db = small_db();
+    let image = &shared_device().image;
+    let diff = DifferentialConfig::default();
+
+    let cold = hub.audit_with_telemetry(&db, image, &diff).unwrap();
+    let cold_t = cold.telemetry.expect("cold audit carries telemetry");
+    assert!(cold_t.counter("cache.extractions") > 0, "cold audit extracts");
+    assert_eq!(cold_t.counter("cache.extractions"), cold_t.counter("cache.misses"));
+    // The audit's stage spans are merged into the report telemetry.
+    assert!(cold_t.duration("span.audit").is_some(), "audit span recorded");
+    assert!(cold_t.duration("span.static_scan").is_some(), "static span recorded");
+
+    let after_cold = reg.snapshot();
+    let warm = hub.audit_with_telemetry(&db, image, &diff).unwrap();
+    let warm_t = warm.telemetry.expect("warm audit carries telemetry");
+    assert_eq!(warm_t.counter("cache.extractions"), 0, "warm audit extracts nothing");
+    assert_eq!(warm_t.counter("cache.misses"), 0);
+    assert!(warm_t.counter("cache.hits") > 0, "warm audit is served by the cache");
+    // Registry-level view agrees with the per-report deltas.
+    let reg_delta = reg.snapshot().since(&after_cold);
+    assert_eq!(reg_delta.counter("cache.extractions"), 0);
+
+    // Findings are identical cold vs warm; only telemetry differs.
+    assert_eq!(
+        serde_json::to_string(&cold.findings).unwrap(),
+        serde_json::to_string(&warm.findings).unwrap(),
+    );
+}
+
+#[test]
+fn batch_report_carries_scheduler_telemetry() {
+    let reg = std::sync::Arc::new(scope::MetricsRegistry::new());
+    let hub = std::sync::Arc::new(ScanHub::with_registry(
+        Patchecko::new(shared_detector().clone(), PipelineConfig::default()),
+        std::sync::Arc::clone(&reg),
+    ));
+    let db = std::sync::Arc::new(small_db());
+    let images = std::sync::Arc::new(vec![shared_device().image.clone()]);
+    let jobs = full_schedule(images.len(), &db, &[Basis::Vulnerable]);
+
+    let report = hub.batch_audit(&images, &db, &jobs);
+    let t = report.telemetry.as_ref().expect("batch report carries telemetry");
+    assert_eq!(t.counter("sched.jobs"), jobs.len() as u64);
+    assert_eq!(t.counter("sched.attempts"), jobs.len() as u64, "no retries on a clean batch");
+    assert_eq!(t.counter("sched.retries"), 0);
+    assert_eq!(t.counter("cache.extractions"), report.cache_delta.extractions);
+    // Per-job spans are in the merged telemetry (recorded globally).
+    assert!(t.duration("span.sched.job").is_some_and(|d| d.count >= jobs.len() as u64));
+    // The registry itself holds the scheduler counters too.
+    assert_eq!(reg.snapshot().counter("sched.jobs"), jobs.len() as u64);
+}
+
+#[test]
+fn scheduler_never_sleeps_after_the_final_attempt() {
+    // A job that exhausts its attempts must pay backoff only *between*
+    // attempts: with max_attempts = 2 and a 150ms base, the job sleeps
+    // once (~150ms), not twice (150 + 300ms). The generous upper bound
+    // keeps the test robust on loaded CI machines while still failing
+    // deterministically if a trailing backoff sneaks in.
+    use patchecko_scanhub::RetryPolicy;
+    let reg = std::sync::Arc::new(scope::MetricsRegistry::new());
+    let retry = RetryPolicy { max_attempts: 2, base_backoff_ms: 150 };
+    let hub = std::sync::Arc::new(
+        ScanHub::with_registry(
+            Patchecko::new(shared_detector().clone(), PipelineConfig::default()),
+            std::sync::Arc::clone(&reg),
+        )
+        .with_retry_policy(retry)
+        .with_fault_hook(std::sync::Arc::new(|spec: &JobSpec, _attempt| {
+            Some(ScanError::Injected {
+                site: "test".into(),
+                detail: format!("always-failing {}", spec.cve),
+            })
+        })),
+    );
+    let db = std::sync::Arc::new(small_db());
+    let images = std::sync::Arc::new(vec![shared_device().image.clone()]);
+    let jobs =
+        vec![JobSpec { image: 0, cve: db.featured()[0].entry.cve.clone(), basis: Basis::Vulnerable }];
+
+    let started = std::time::Instant::now();
+    let report = hub.batch_audit(&images, &db, &jobs);
+    let elapsed = started.elapsed();
+    assert_eq!(report.failed(), 1);
+    assert_eq!(report.records[0].attempts, 2, "transient error retried to exhaustion");
+    assert!(elapsed >= std::time::Duration::from_millis(150), "one backoff was paid");
+    assert!(
+        elapsed < std::time::Duration::from_millis(450),
+        "no backoff after the final attempt (elapsed {elapsed:?})"
+    );
+    // The telemetry agrees: one retry, one backoff of exactly the base.
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("sched.attempts"), 2);
+    assert_eq!(snap.counter("sched.retries"), 1);
+    assert_eq!(snap.counter("sched.backoff_ms"), 150);
+}

@@ -1,0 +1,491 @@
+//! The metrics registry: named counters and log-bucketed duration
+//! histograms behind atomic handles.
+//!
+//! The hot path is handle-based: a caller resolves a [`Counter`] or
+//! [`Timer`] once (one short-lived registry lock) and every subsequent
+//! increment or duration record is a handful of relaxed atomic operations
+//! — no lock, no allocation, no formatting. Name-based convenience
+//! methods ([`MetricsRegistry::add`], [`MetricsRegistry::record`]) exist
+//! for cold paths where caching a handle is not worth the plumbing.
+//!
+//! Snapshots are the read side: [`MetricsRegistry::snapshot`] produces a
+//! serializable [`TelemetrySnapshot`] with `delta` / `merge` mirroring
+//! the `CacheStats` conventions upstream (deltas saturate — counters that
+//! moved backwards across a reset never underflow).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Number of log2 duration buckets: bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` nanoseconds; bucket 0 also absorbs sub-nanosecond
+/// (i.e. zero) measurements and the last bucket absorbs everything above
+/// `2^39` ns (~9.2 minutes).
+pub const NUM_BUCKETS: usize = 40;
+
+/// A handle to one named counter. Cloning is cheap (an `Arc` bump) and
+/// every clone addresses the same underlying atomic.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter not attached to any registry (useful for
+    /// tests and for callers that only want the atomics).
+    pub fn standalone() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The atomic guts of one duration histogram.
+#[derive(Debug)]
+struct HistogramCore {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    /// Running maximum, nanoseconds.
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Log2 bucket index of a nanosecond duration.
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// A handle to one named duration histogram. Recording is lock-free:
+/// four relaxed atomic RMWs (count, total, max, bucket).
+#[derive(Debug, Clone)]
+pub struct Timer(Arc<HistogramCore>);
+
+impl Timer {
+    /// A free-standing histogram not attached to any registry.
+    pub fn standalone() -> Timer {
+        Timer(Arc::new(HistogramCore::new()))
+    }
+
+    /// Record one duration.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.record_ns(ns);
+    }
+
+    /// Record one duration given in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let core = &self.0;
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.total_ns.fetch_add(ns, Ordering::Relaxed);
+        core.max_ns.fetch_max(ns, Ordering::Relaxed);
+        core.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Time a closure, recording its wall time.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let started = std::time::Instant::now();
+        let out = f();
+        self.record(started.elapsed());
+        out
+    }
+
+    fn stats(&self) -> DurationStats {
+        let core = &self.0;
+        let mut buckets = Vec::new();
+        for (i, b) in core.buckets.iter().enumerate() {
+            let v = b.load(Ordering::Relaxed);
+            if v != 0 {
+                buckets.push((i as u8, v));
+            }
+        }
+        DurationStats {
+            count: core.count.load(Ordering::Relaxed),
+            total_ns: core.total_ns.load(Ordering::Relaxed),
+            max_ns: core.max_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time summary of one duration histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurationStats {
+    /// Durations recorded.
+    pub count: u64,
+    /// Sum of all recorded durations, nanoseconds.
+    pub total_ns: u64,
+    /// Largest recorded duration, nanoseconds.
+    pub max_ns: u64,
+    /// Sparse log2 buckets, ascending `(index, count)` pairs: bucket `i`
+    /// counts durations in `[2^i, 2^(i+1))` ns. Empty buckets are omitted.
+    #[serde(default)]
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl DurationStats {
+    /// Mean duration in nanoseconds (0 when nothing was recorded).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Total recorded time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// The count recorded in log2 bucket `i` (0 when absent).
+    pub fn bucket(&self, i: u8) -> u64 {
+        self.buckets.iter().find(|(b, _)| *b == i).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Movement since `earlier`. Counts and totals saturate at zero when
+    /// a registry was reset between snapshots; `max_ns` keeps the later
+    /// snapshot's value (a running maximum has no meaningful delta).
+    pub fn since(&self, earlier: &DurationStats) -> DurationStats {
+        let mut buckets = Vec::new();
+        for &(i, v) in &self.buckets {
+            let d = v.saturating_sub(earlier.bucket(i));
+            if d != 0 {
+                buckets.push((i, d));
+            }
+        }
+        DurationStats {
+            count: self.count.saturating_sub(earlier.count),
+            total_ns: self.total_ns.saturating_sub(earlier.total_ns),
+            max_ns: self.max_ns,
+            buckets,
+        }
+    }
+
+    /// Fold `other` into `self` (counts and totals add; max takes max).
+    pub fn absorb(&mut self, other: &DurationStats) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for &(i, v) in &other.buckets {
+            match self.buckets.iter_mut().find(|(b, _)| *b == i) {
+                Some((_, have)) => *have += v,
+                None => self.buckets.push((i, v)),
+            }
+        }
+        self.buckets.sort_unstable_by_key(|&(b, _)| b);
+    }
+}
+
+/// Serializable point-in-time view of a whole registry — the telemetry
+/// payload reports carry and the `--metrics` table renders from.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Counter name → value.
+    #[serde(default)]
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → duration summary. Span timings land here under
+    /// `span.<name>` keys.
+    #[serde(default)]
+    pub durations: BTreeMap<String, DurationStats>,
+}
+
+impl TelemetrySnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.values().all(|&v| v == 0)
+            && self.durations.values().all(|d| d.count == 0)
+    }
+
+    /// One counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// One histogram's stats, when present.
+    pub fn duration(&self, name: &str) -> Option<&DurationStats> {
+        self.durations.get(name)
+    }
+
+    /// Movement since an earlier snapshot. Counters saturate at zero (a
+    /// snapshot pair straddling a reset yields 0, never a wrap), mirroring
+    /// `CacheStats::since` upstream.
+    pub fn since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut counters = BTreeMap::new();
+        for (name, &v) in &self.counters {
+            let d = v.saturating_sub(earlier.counter(name));
+            if d != 0 {
+                counters.insert(name.clone(), d);
+            }
+        }
+        let mut durations = BTreeMap::new();
+        for (name, d) in &self.durations {
+            let delta = match earlier.durations.get(name) {
+                Some(e) => d.since(e),
+                None => d.clone(),
+            };
+            if delta.count != 0 {
+                durations.insert(name.clone(), delta);
+            }
+        }
+        TelemetrySnapshot { counters, durations }
+    }
+
+    /// Fold another snapshot into this one: counters and histogram counts
+    /// add. Used to combine a per-hub registry with the process-global
+    /// one into a single reporting view.
+    pub fn merged(mut self, other: &TelemetrySnapshot) -> TelemetrySnapshot {
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, d) in &other.durations {
+            self.durations.entry(name.clone()).or_default().absorb(d);
+        }
+        self
+    }
+
+    /// Render a human-readable two-section table: stage/span timings
+    /// first, then counters. This is the `--metrics` output.
+    pub fn to_table(&self) -> String {
+        fn fmt_ns(ns: u64) -> String {
+            if ns >= 1_000_000_000 {
+                format!("{:.2}s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.1}µs", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        let mut out = String::new();
+        let timed: Vec<_> = self.durations.iter().filter(|(_, d)| d.count > 0).collect();
+        if !timed.is_empty() {
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>12} {:>12} {:>12}\n",
+                "timing", "count", "total", "mean", "max"
+            ));
+            for (name, d) in timed {
+                out.push_str(&format!(
+                    "{:<32} {:>8} {:>12} {:>12} {:>12}\n",
+                    name,
+                    d.count,
+                    fmt_ns(d.total_ns),
+                    fmt_ns(d.mean_ns()),
+                    fmt_ns(d.max_ns)
+                ));
+            }
+        }
+        let counted: Vec<_> = self.counters.iter().filter(|(_, &v)| v > 0).collect();
+        if !counted.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{:<32} {:>8}\n", "counter", "value"));
+            for (name, v) in counted {
+                out.push_str(&format!("{:<32} {:>8}\n", name, v));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no telemetry recorded)\n");
+        }
+        out
+    }
+}
+
+/// A registry of named counters and duration histograms.
+///
+/// Registration (first use of a name) takes a write lock; resolving an
+/// existing name takes a read lock; the returned handles never lock.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    timers: RwLock<BTreeMap<String, Timer>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Resolve (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().expect("registry lock").get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .expect("registry lock")
+            .entry(name.to_string())
+            .or_insert_with(Counter::standalone)
+            .clone()
+    }
+
+    /// Resolve (registering on first use) the duration histogram `name`.
+    pub fn timer(&self, name: &str) -> Timer {
+        if let Some(t) = self.timers.read().expect("registry lock").get(name) {
+            return t.clone();
+        }
+        self.timers
+            .write()
+            .expect("registry lock")
+            .entry(name.to_string())
+            .or_insert_with(Timer::standalone)
+            .clone()
+    }
+
+    /// Name-based increment (cold-path convenience; hot paths should cache
+    /// the [`Counter`] handle).
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Name-based duration record (cold-path convenience).
+    pub fn record(&self, name: &str, d: Duration) {
+        self.timer(name).record(d);
+    }
+
+    /// Point-in-time snapshot of every counter and histogram.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let durations = self
+            .timers
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.stats()))
+            .collect();
+        TelemetrySnapshot { counters, durations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_the_underlying_atomic() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("x").get(), 5);
+        assert_eq!(reg.snapshot().counter("x"), 5);
+    }
+
+    #[test]
+    fn bucket_indices_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn timer_records_count_total_max() {
+        let reg = MetricsRegistry::new();
+        let t = reg.timer("t");
+        t.record(Duration::from_micros(10));
+        t.record(Duration::from_micros(30));
+        let snap = reg.snapshot();
+        let d = snap.duration("t").unwrap();
+        assert_eq!(d.count, 2);
+        assert_eq!(d.total_ns, 40_000);
+        assert_eq!(d.max_ns, 30_000);
+        assert_eq!(d.mean_ns(), 20_000);
+        assert_eq!(d.buckets.iter().map(|(_, v)| v).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn snapshot_delta_saturates() {
+        let mut later = TelemetrySnapshot::default();
+        later.counters.insert("c".into(), 3);
+        let mut earlier = TelemetrySnapshot::default();
+        earlier.counters.insert("c".into(), 10);
+        // A reset between snapshots must never underflow.
+        assert_eq!(later.since(&earlier).counter("c"), 0);
+        assert_eq!(earlier.since(&later).counter("c"), 7);
+    }
+
+    #[test]
+    fn snapshot_merge_adds() {
+        let reg_a = MetricsRegistry::new();
+        reg_a.add("c", 2);
+        reg_a.record("t", Duration::from_nanos(100));
+        let reg_b = MetricsRegistry::new();
+        reg_b.add("c", 3);
+        reg_b.record("t", Duration::from_nanos(300));
+        let merged = reg_a.snapshot().merged(&reg_b.snapshot());
+        assert_eq!(merged.counter("c"), 5);
+        let d = merged.duration("t").unwrap();
+        assert_eq!(d.count, 2);
+        assert_eq!(d.total_ns, 400);
+        assert_eq!(d.max_ns, 300);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrips() {
+        let reg = MetricsRegistry::new();
+        reg.add("cache.hits", 7);
+        reg.record("span.static_scan", Duration::from_millis(2));
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn table_renders_both_sections() {
+        let reg = MetricsRegistry::new();
+        reg.add("cache.hits", 12);
+        reg.record("span.static_scan", Duration::from_millis(3));
+        let table = reg.snapshot().to_table();
+        assert!(table.contains("span.static_scan"));
+        assert!(table.contains("cache.hits"));
+        assert!(table.contains("timing"));
+        assert!(table.contains("counter"));
+        assert!(TelemetrySnapshot::default().to_table().contains("no telemetry"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Hierarchical tracing spans: RAII guards over a per-thread span stack.
+//!
+//! Entering a span pushes its name onto the current thread's stack and
+//! stamps the wall clock; dropping the guard pops the stack, records the
+//! elapsed time into the owning registry's `span.<name>` histogram, and
+//! — when trace capture is enabled — emits a Chrome-trace complete event.
+//! Nesting is implicit: a span entered while another is open is its child
+//! (same thread, enclosed time range), which is exactly how
+//! `chrome://tracing` renders flame graphs from `ph:"X"` events.
+//!
+//! The hot path is cheap: a thread-local push/pop, one `Instant` pair,
+//! and the histogram's four relaxed atomics. Span *names* must be
+//! `&'static str` — a fixed vocabulary of stage names, not formatted
+//! strings — which keeps entry allocation-free; per-instance context
+//! (which CVE, which image) goes in the optional trace detail instead.
+
+use crate::registry::MetricsRegistry;
+use crate::trace::{self, TraceEvent};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Current span-nesting depth on this thread (0 = no open span).
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// The names of the spans currently open on this thread, outermost first.
+pub fn current_stack() -> Vec<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().clone())
+}
+
+/// An open span; ends (and records) on drop.
+#[must_use = "a span measures nothing unless held; bind it to a `_guard`"]
+pub struct SpanGuard {
+    name: &'static str,
+    detail: Option<String>,
+    registry: &'static MetricsRegistry,
+    started: Instant,
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// Open a span recording into the process-global registry.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        Self::enter_in(crate::global(), name)
+    }
+
+    /// Open a span recording into an explicit registry (tests isolate
+    /// themselves by leaking a private registry).
+    pub fn enter_in(registry: &'static MetricsRegistry, name: &'static str) -> SpanGuard {
+        let depth = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.len() - 1
+        });
+        SpanGuard { name, detail: None, registry, started: Instant::now(), depth }
+    }
+
+    /// Attach free-form context (CVE id, image path) that rides along in
+    /// the Chrome trace's `args.detail`; metrics keys stay static.
+    pub fn with_detail(mut self, detail: impl Into<String>) -> SpanGuard {
+        self.detail = Some(detail.into());
+        self
+    }
+
+    /// This span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// This span's depth at entry (0 = top-level).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards drop in LIFO order within a thread, so the top of the
+            // stack is this span; pop defensively anyway.
+            if s.last() == Some(&self.name) {
+                s.pop();
+            } else if let Some(pos) = s.iter().rposition(|&n| n == self.name) {
+                s.remove(pos);
+            }
+        });
+        self.registry.timer_for_span(self.name).record(elapsed);
+        if trace::is_enabled() {
+            let ts_us = self
+                .started
+                .saturating_duration_since(trace::epoch())
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64;
+            trace::record(TraceEvent {
+                name: self.name,
+                detail: self.detail.take(),
+                ts_us,
+                dur_us: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                tid: trace::thread_id(),
+                depth: self.depth,
+            });
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// The histogram a span named `name` records into (`span.<name>`).
+    pub fn timer_for_span(&self, name: &str) -> crate::registry::Timer {
+        self.timer(&format!("span.{name}"))
+    }
+}
+
+/// Open a span in the process-global registry:
+/// `let _guard = scope::span!("static_scan");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaked_registry() -> &'static MetricsRegistry {
+        Box::leak(Box::new(MetricsRegistry::new()))
+    }
+
+    #[test]
+    fn span_records_into_registry_and_tracks_depth() {
+        let reg = leaked_registry();
+        assert_eq!(current_depth(), 0);
+        {
+            let outer = SpanGuard::enter_in(reg, "outer");
+            assert_eq!(outer.depth(), 0);
+            assert_eq!(current_depth(), 1);
+            {
+                let inner = SpanGuard::enter_in(reg, "inner");
+                assert_eq!(inner.depth(), 1);
+                assert_eq!(current_stack(), vec!["outer", "inner"]);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert_eq!(current_depth(), 1);
+        }
+        assert_eq!(current_depth(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.duration("span.outer").unwrap().count, 1);
+        assert_eq!(snap.duration("span.inner").unwrap().count, 1);
+        // Child wall time is bounded by parent wall time.
+        assert!(
+            snap.duration("span.inner").unwrap().total_ns
+                <= snap.duration("span.outer").unwrap().total_ns
+        );
+    }
+
+    #[test]
+    fn out_of_order_drop_still_unwinds_the_stack() {
+        let reg = leaked_registry();
+        let a = SpanGuard::enter_in(reg, "a");
+        let b = SpanGuard::enter_in(reg, "b");
+        drop(a);
+        assert_eq!(current_stack(), vec!["b"]);
+        drop(b);
+        assert_eq!(current_depth(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Concurrency guarantees of the metrics registry and the span stack:
+//! hammered from many threads, snapshot totals are exact (no lost
+//! updates, no double counts), and span nesting accounts time such that
+//! a child's recorded wall time never exceeds its parent's.
+
+use scope::{MetricsRegistry, SpanGuard};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn registry_totals_are_exact_under_contention() {
+    const THREADS: usize = 8;
+    const INCREMENTS: u64 = 20_000;
+    const COUNTERS: [&str; 4] = ["a.hits", "a.misses", "b.retries", "b.dispatches"];
+
+    let reg = Arc::new(MetricsRegistry::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let reg = Arc::clone(&reg);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..INCREMENTS {
+                // Resolve by name on some iterations to also contend on
+                // the registration locks, not just the atomics.
+                let name = COUNTERS[(t + i as usize) % COUNTERS.len()];
+                if i % 64 == 0 {
+                    reg.add(name, 1);
+                } else {
+                    reg.counter(name).inc();
+                }
+                if i % 1000 == 0 {
+                    reg.record("t.work", Duration::from_nanos(i));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = reg.snapshot();
+    let total: u64 = COUNTERS.iter().map(|c| snap.counter(c)).sum();
+    assert_eq!(total, THREADS as u64 * INCREMENTS, "every increment lands exactly once");
+    // Each thread touches each counter name equally often (INCREMENTS is
+    // a multiple of the counter count), so per-counter totals are exact.
+    for c in COUNTERS {
+        assert_eq!(snap.counter(c), THREADS as u64 * INCREMENTS / COUNTERS.len() as u64);
+    }
+    let d = snap.duration("t.work").expect("histogram registered");
+    assert_eq!(d.count, THREADS as u64 * (INCREMENTS / 1000));
+    assert_eq!(d.count, d.buckets.iter().map(|(_, v)| v).sum::<u64>(), "buckets cover all records");
+}
+
+#[test]
+fn snapshot_delta_is_consistent_mid_hammer() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let writer = {
+        let reg = Arc::clone(&reg);
+        std::thread::spawn(move || {
+            for _ in 0..50_000 {
+                reg.counter("w").inc();
+            }
+        })
+    };
+    // Deltas taken while a writer runs are monotone and never underflow.
+    let mut last = reg.snapshot();
+    for _ in 0..100 {
+        let now = reg.snapshot();
+        let delta = now.since(&last);
+        assert!(delta.counter("w") <= 50_000);
+        assert!(now.counter("w") >= last.counter("w"));
+        last = now;
+    }
+    writer.join().unwrap();
+    assert_eq!(reg.snapshot().counter("w"), 50_000);
+}
+
+#[test]
+fn child_span_time_is_bounded_by_parent_time() {
+    // Spans record into a leaked private registry so parallel tests in
+    // this binary cannot pollute the histograms under assertion.
+    let reg: &'static MetricsRegistry = Box::leak(Box::new(MetricsRegistry::new()));
+    for _ in 0..5 {
+        let _parent = SpanGuard::enter_in(reg, "parent");
+        std::thread::sleep(Duration::from_millis(1));
+        for _ in 0..3 {
+            let _child = SpanGuard::enter_in(reg, "child");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let snap = reg.snapshot();
+    let parent = snap.duration("span.parent").unwrap();
+    let child = snap.duration("span.child").unwrap();
+    assert_eq!(parent.count, 5);
+    assert_eq!(child.count, 15);
+    assert!(
+        child.total_ns <= parent.total_ns,
+        "children run inside their parents: child {}ns > parent {}ns",
+        child.total_ns,
+        parent.total_ns
+    );
+    assert!(child.max_ns <= parent.max_ns, "a single child cannot outlast its parent");
+}
+
+#[test]
+fn span_stacks_are_per_thread() {
+    let reg: &'static MetricsRegistry = Box::leak(Box::new(MetricsRegistry::new()));
+    let _outer = SpanGuard::enter_in(reg, "outer_thread_span");
+    let depth_elsewhere = std::thread::spawn(scope::span::current_depth).join().unwrap();
+    assert_eq!(depth_elsewhere, 0, "another thread's stack starts empty");
+    assert_eq!(scope::span::current_depth(), 1);
+}

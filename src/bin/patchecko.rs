@@ -21,6 +21,12 @@
 //! `--cache-stats` to print hit/miss/extraction counters; `--threads N`
 //! pins the scheduler/pipeline worker count (`PipelineConfig::threads`,
 //! overriding the `PATCHECKO_THREADS` environment variable).
+//!
+//! Observability (same three commands): `--metrics` prints the run's full
+//! telemetry table — per-stage span timings plus cache / scheduler / pool
+//! counters, all from one `scope::MetricsRegistry` — and
+//! `--trace-out FILE.json` writes a Chrome-trace of every pipeline span
+//! (load it in `chrome://tracing` or Perfetto).
 
 use patchecko::core::detector::{self, Detector, DetectorConfig};
 use patchecko::core::differential::{self, DifferentialConfig};
@@ -85,7 +91,15 @@ CACHING / SCHEDULING (scan, audit, batch-audit):
   --cache-stats     print cache hit/miss/extraction counters after the run
   --threads N       worker threads for the pipeline and the batch scheduler
                     (default: the PATCHECKO_THREADS env var, then the number
-                    of CPUs; --threads 1 forces fully serial execution)"
+                    of CPUs; --threads 1 forces fully serial execution)
+
+OBSERVABILITY (scan, audit, batch-audit):
+  --metrics         print the run's telemetry table: per-stage span timings
+                    (static scan, dynamic profiling, differential, scheduler
+                    jobs) and cache/scheduler/pool counters, all sourced
+                    from one metrics registry
+  --trace-out FILE  write a Chrome-trace JSON of every pipeline span; load
+                    it in chrome://tracing or Perfetto"
     );
 }
 
@@ -277,20 +291,36 @@ fn build_analyzer(flags: &HashMap<String, String>) -> Result<Patchecko, String> 
 }
 
 /// Bind an analyzer to an artifact store, persistent when `--cache-dir`
-/// is given.
+/// is given. The hub records into the process-global `scope` registry, so
+/// cache counters, scheduler counters, and stage spans all land in the
+/// single snapshot `--metrics` prints. Chrome-trace capture turns on here
+/// when `--trace-out` is given, before any stage span runs.
 fn build_hub(flags: &HashMap<String, String>, analyzer: Patchecko) -> Result<ScanHub, String> {
+    if flags.contains_key("trace-out") {
+        scope::trace::enable();
+    }
+    let registry = scope::global_shared();
     match flags.get("cache-dir") {
-        Some(dir) => ScanHub::with_cache_dir(analyzer, dir)
+        Some(dir) => ScanHub::with_cache_dir_and_registry(analyzer, dir, registry)
             .map_err(|e| format!("load cache {dir}: {e}")),
-        None => Ok(ScanHub::new(analyzer)),
+        None => Ok(ScanHub::with_registry(analyzer, registry)),
     }
 }
 
-/// After a cached command: print counters under `--cache-stats`, write the
-/// store back under `--cache-dir`.
+/// After a cached command: print counters under `--cache-stats` and the
+/// telemetry table under `--metrics`, write the Chrome trace under
+/// `--trace-out`, write the store back under `--cache-dir`.
 fn finish_hub(flags: &HashMap<String, String>, hub: &ScanHub) -> Result<(), String> {
     if flags.contains_key("cache-stats") {
         eprintln!("cache: {}", hub.stats());
+    }
+    if flags.contains_key("metrics") {
+        println!("\n{}", hub.telemetry_snapshot().to_table());
+    }
+    if let Some(path) = flags.get("trace-out") {
+        let events = scope::trace::write_chrome_trace(Path::new(path))
+            .map_err(|e| format!("write trace {path}: {e}"))?;
+        eprintln!("wrote {path} ({events} trace events)");
     }
     if hub.persist().map_err(|e| format!("persist cache: {e}"))? {
         eprintln!("cache persisted to {}", flags["cache-dir"]);
@@ -402,7 +432,7 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
         image.binaries.len(),
         image.total_functions()
     );
-    let report = hub.audit(&db, &image, &diff_cfg).map_err(|e| e.to_string())?;
+    let report = hub.audit_with_telemetry(&db, &image, &diff_cfg).map_err(|e| e.to_string())?;
     for f in &report.findings {
         let verdict = match f.status {
             patchecko::core::AuditStatus::Vulnerable => "VULNERABLE",

@@ -56,4 +56,5 @@ pub use fwlang;
 pub use neural;
 pub use patchecko_core as core;
 pub use patchecko_scanhub as scanhub;
+pub use scope;
 pub use vm;
