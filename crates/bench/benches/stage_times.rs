@@ -8,8 +8,9 @@ use std::hint::black_box;
 use corpus::dataset1::Dataset1Config;
 use neural::net::TrainConfig;
 use patchecko_core::detector::{self, Detector, DetectorConfig};
-use patchecko_core::pipeline::{Basis, Patchecko, PipelineConfig};
+use patchecko_core::pipeline::{live_profiling, Basis, Patchecko, PipelineConfig};
 use patchecko_core::{features, similarity};
+use std::sync::Arc;
 use vm::loader::LoadedBinary;
 
 fn small_detector() -> Detector {
@@ -50,11 +51,12 @@ fn bench_stages(c: &mut Criterion) {
 
     // DA column: dynamic stage over the scan's candidate set.
     let scan = patchecko.scan_library(&bin, &references).unwrap();
-    let ref_loaded = LoadedBinary::load(entry.vulnerable_bin.clone()).unwrap();
-    let target_loaded = LoadedBinary::load(bin.clone()).unwrap();
+    let ref_loaded = Arc::new(LoadedBinary::load(entry.vulnerable_bin.clone()).unwrap());
+    let target_loaded = Arc::new(LoadedBinary::load(bin.clone()).unwrap());
+    let dynsrc = live_profiling();
     c.bench_function("dynamic_stage/validate_and_profile", |b| {
         b.iter(|| {
-            black_box(patchecko.dynamic_stage(&target_loaded, &scan, &ref_loaded))
+            black_box(patchecko.dynamic_stage(&target_loaded, &scan, &ref_loaded, &dynsrc))
         })
     });
 
@@ -70,7 +72,7 @@ fn bench_stages(c: &mut Criterion) {
     // Ranking: Minkowski over profiled candidates (paper Eq. 1-2). The
     // stage has no internal span, so record it through a registry timer —
     // the bucket lands next to the pipeline's own `span.*` histograms.
-    let dynamic = patchecko.dynamic_stage(&target_loaded, &scan, &ref_loaded);
+    let dynamic = patchecko.dynamic_stage(&target_loaded, &scan, &ref_loaded, &dynsrc);
     let rank_timer = scope::global().timer("span.similarity_rank");
     c.bench_function("similarity/rank_candidates", |b| {
         b.iter_batched(

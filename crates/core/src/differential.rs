@@ -17,15 +17,17 @@
 //! patch changes one integer constant and is invisible to all three
 //! channels.
 
+use crate::dynsource::{DynProfileSource, EnvSet};
 use crate::error::ScanError;
 use crate::features::StaticFeatures;
-use crate::pipeline::{DirectExtraction, FeatureSource, Patchecko};
+use crate::pipeline::{live_profiling, DirectExtraction, FeatureSource, Patchecko};
 use crate::similarity;
 use corpus::vulndb::DbEntry;
 use fwbin::format::Binary;
 use fwbin::isa::Inst;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use vm::loader::LoadedBinary;
 
 /// Differential-engine tuning.
@@ -146,11 +148,20 @@ pub fn detect_patch(
     target_idx: usize,
     cfg: &DifferentialConfig,
 ) -> Result<PatchVerdict, ScanError> {
-    detect_patch_with(patchecko, entry, target_bin, target_idx, cfg, &DirectExtraction)
+    detect_patch_with(
+        patchecko,
+        entry,
+        target_bin,
+        target_idx,
+        cfg,
+        &DirectExtraction,
+        &live_profiling(),
+    )
 }
 
-/// [`detect_patch`] with static features served by `source`: a cached
-/// source lets a warm re-audit skip all three static extractions here.
+/// [`detect_patch`] with static features served by `source` and dynamic
+/// profiles served by `dynsrc`: cached sources let a warm re-audit skip
+/// all three static extractions *and* every VM execution here.
 ///
 /// # Errors
 /// Propagates static extraction failures from the source. Loader failures
@@ -163,6 +174,7 @@ pub fn detect_patch_with(
     target_idx: usize,
     cfg: &DifferentialConfig,
     source: &dyn FeatureSource,
+    dynsrc: &Arc<dyn DynProfileSource>,
 ) -> Result<PatchVerdict, ScanError> {
     let _span = scope::SpanGuard::enter("differential").with_detail(entry.entry.cve.clone());
     let vm_cfg = &patchecko.config.vm;
@@ -188,26 +200,41 @@ pub fn detect_patch_with(
             .map_err(|e| ScanError::load(&target_bin.lib_name, &e))?;
         Ok((vref, pref, target))
     })();
-    let degraded = loaded.is_err();
+    let mut degraded = loaded.is_err();
     let (dv, dp, loaded) = match loaded {
         Ok((vref, pref, target)) => {
-            let mut envs = patchecko.make_environments(&vref);
-            envs.extend(patchecko.make_environments(&pref));
-            envs.retain(|e| {
-                vref.run_any(0, e, vm_cfg).outcome.is_ok()
-                    && pref.run_any(0, e, vm_cfg).outcome.is_ok()
-                    && target.run_any(target_idx, e, vm_cfg).outcome.is_ok()
-            });
-            let profile = |lb: &LoadedBinary, f: usize| -> Vec<vm::DynFeatures> {
-                envs.iter().map(|e| lb.run_any(f, e, vm_cfg).features).collect()
-            };
-            let prof_v = profile(&vref, 0);
-            let prof_p = profile(&pref, 0);
-            let prof_t = profile(&target, target_idx);
-            let p = patchecko.config.minkowski_p;
-            let dv = similarity::sim_over_envs(&prof_v, &prof_t, p);
-            let dp = similarity::sim_over_envs(&prof_p, &prof_t, p);
-            (dv, dp, Some((vref, pref, target)))
+            // Env union of both references, then the old in-place `retain`
+            // (keep environments all three functions survive) expressed as
+            // an ok-bit intersection over full per-env profiles — runs are
+            // independent per environment, so subsetting a full profile is
+            // bitwise-identical to re-running the subset, and one cached
+            // profile per (function, env set) serves every verdict.
+            let dyn_channel = (|| -> Result<(f64, f64), ScanError> {
+                let fuzz_cfg = &patchecko.config.fuzz;
+                let set_v = dynsrc.environments(&vref, fuzz_cfg, vm_cfg)?;
+                let set_p = dynsrc.environments(&pref, fuzz_cfg, vm_cfg)?;
+                let union: EnvSet = set_v.union(&set_p, vm_cfg);
+                let prof_v = dynsrc.profile(&vref, 0, &union, vm_cfg)?;
+                let prof_p = dynsrc.profile(&pref, 0, &union, vm_cfg)?;
+                let prof_t = dynsrc.profile(&target, target_idx, &union, vm_cfg)?;
+                let keep: Vec<usize> = (0..union.len())
+                    .filter(|&i| prof_v.ok[i] && prof_p.ok[i] && prof_t.ok[i])
+                    .collect();
+                let sub = |prof: &crate::dynsource::DynProfile| -> Vec<vm::DynFeatures> {
+                    keep.iter().map(|&i| prof.features[i].clone()).collect()
+                };
+                let p = patchecko.config.minkowski_p;
+                let dv = similarity::sim_over_envs(&sub(&prof_v), &sub(&prof_t), p);
+                let dp = similarity::sim_over_envs(&sub(&prof_p), &sub(&prof_t), p);
+                Ok((dv, dp))
+            })();
+            match dyn_channel {
+                Ok((dv, dp)) => (dv, dp, Some((vref, pref, target))),
+                Err(_) => {
+                    degraded = true;
+                    (f64::INFINITY, f64::INFINITY, Some((vref, pref, target)))
+                }
+            }
         }
         Err(_) => (f64::INFINITY, f64::INFINITY, None),
     };
@@ -394,10 +421,19 @@ pub fn detect_patch_best(
     candidates: &[usize],
     cfg: &DifferentialConfig,
 ) -> Result<Option<(usize, PatchVerdict)>, ScanError> {
-    detect_patch_best_with(patchecko, entry, target_bin, candidates, cfg, &DirectExtraction)
+    detect_patch_best_with(
+        patchecko,
+        entry,
+        target_bin,
+        candidates,
+        cfg,
+        &DirectExtraction,
+        &live_profiling(),
+    )
 }
 
-/// [`detect_patch_best`] with static features served by `source`.
+/// [`detect_patch_best`] with static features served by `source` and
+/// dynamic profiles served by `dynsrc`.
 ///
 /// # Errors
 /// The first per-candidate [`ScanError`], if any.
@@ -408,10 +444,11 @@ pub fn detect_patch_best_with(
     candidates: &[usize],
     cfg: &DifferentialConfig,
     source: &dyn FeatureSource,
+    dynsrc: &Arc<dyn DynProfileSource>,
 ) -> Result<Option<(usize, PatchVerdict)>, ScanError> {
     let mut best: Option<(usize, PatchVerdict, f64)> = None;
     for &c in candidates {
-        let v = detect_patch_with(patchecko, entry, target_bin, c, cfg, source)?;
+        let v = detect_patch_with(patchecko, entry, target_bin, c, cfg, source, dynsrc)?;
         // Degraded verdicts have infinite dynamic distances; fall back to
         // static proximity alone so candidate selection stays meaningful.
         let dyn_proximity = v.dyn_dist_vulnerable.min(v.dyn_dist_patched);
@@ -505,6 +542,109 @@ mod tests {
         let v = detect_patch(&patchecko, entry, &target_with(entry, false), 0, &cfg).unwrap();
         assert_eq!(v.exploit_vote, Some(-1));
         assert!(!v.patched);
+    }
+
+    use proptest::prelude::*;
+
+    /// [`quick_patchecko`] with a narrow fuzz budget: the properties below
+    /// run the engine several times per case, and the invariants under
+    /// test do not depend on the environment count.
+    fn small_patchecko() -> Patchecko {
+        let cfg = PipelineConfig {
+            fuzz: vm::FuzzConfig { rounds: 40, num_envs: 3, ..vm::FuzzConfig::default() },
+            ..PipelineConfig::default()
+        };
+        Patchecko::new(shared_detector().clone(), cfg)
+    }
+
+    /// The vulnerable/patched roles of `entry`, swapped — both the source
+    /// functions the references are compiled from and the precompiled
+    /// signature-channel binaries.
+    fn role_flipped(entry: &DbEntry) -> DbEntry {
+        DbEntry {
+            entry: corpus::catalog::CveEntry {
+                vulnerable: entry.entry.patched.clone(),
+                patched: entry.entry.vulnerable.clone(),
+                ..entry.entry.clone()
+            },
+            vulnerable_bin: entry.patched_bin.clone(),
+            patched_bin: entry.vulnerable_bin.clone(),
+        }
+    }
+
+    const PROP_CVES: [&str; 3] = ["CVE-2018-9412", "CVE-2018-9451", "CVE-2018-9470"];
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        /// Satellite invariant 1: [`detect_patch_best`] must not depend on
+        /// the order the candidate list is supplied in — same chosen
+        /// function, same decision, bit-identical margin. The candidates
+        /// are distinct functions of a generated library, so proximity
+        /// ties (the only order-sensitive code path) cannot occur.
+        #[test]
+        fn best_verdict_invariant_under_candidate_order(
+            seed in 0u64..10_000,
+            rot in 1usize..4,
+            cve_i in 0usize..3,
+        ) {
+            let patchecko = small_patchecko();
+            let db = corpus::build_vulndb(0, 1);
+            let entry = db.get(PROP_CVES[cve_i]).unwrap();
+            let lib = fwlang::gen::Generator::new(seed).library_sized("libdiff", 6);
+            let target =
+                fwbin::compile_library(&lib, fwbin::Arch::Arm32, fwbin::OptLevel::O2).unwrap();
+            let cfg = DifferentialConfig::default();
+            let base: Vec<usize> = vec![0, 1, 2, 3];
+            let mut permuted = base.clone();
+            permuted.rotate_left(rot);
+            permuted.reverse();
+            let (ac, av) =
+                detect_patch_best(&patchecko, entry, &target, &base, &cfg).unwrap().unwrap();
+            let (bc, bv) =
+                detect_patch_best(&patchecko, entry, &target, &permuted, &cfg).unwrap().unwrap();
+            prop_assert_eq!(ac, bc, "chosen candidate depends on supply order");
+            prop_assert_eq!(av.patched, bv.patched);
+            prop_assert_eq!(av.tie_break, bv.tie_break);
+            prop_assert_eq!(av.margin.to_bits(), bv.margin.to_bits());
+            prop_assert_eq!(av.dyn_dist_vulnerable.to_bits(), bv.dyn_dist_vulnerable.to_bits());
+            prop_assert_eq!(av.dyn_dist_patched.to_bits(), bv.dyn_dist_patched.to_bits());
+        }
+
+        /// Satellite invariant 2: swapping the vulnerable and patched
+        /// references flips every non-tie verdict — the engine's evidence
+        /// channels are symmetric in the two reference roles. Ties stay
+        /// ties and keep the documented patched-by-default decision in
+        /// both orientations.
+        #[test]
+        fn swapping_references_flips_the_verdict(
+            cve_i in 0usize..3,
+            target_patched in any::<bool>(),
+        ) {
+            let patchecko = small_patchecko();
+            let db = corpus::build_vulndb(0, 1);
+            let entry = db.get(PROP_CVES[cve_i]).unwrap();
+            let target = target_with(entry, target_patched);
+            let cfg = DifferentialConfig::default();
+            let v = detect_patch(&patchecko, entry, &target, 0, &cfg).unwrap();
+            let w = detect_patch(&patchecko, &role_flipped(entry), &target, 0, &cfg).unwrap();
+            prop_assert_eq!(v.tie_break, w.tie_break, "tie is role-symmetric");
+            if v.tie_break {
+                prop_assert!(v.patched && w.patched, "tie-break defaults to patched");
+            } else {
+                prop_assert_eq!(v.patched, !w.patched, "verdict must flip with the roles");
+                prop_assert!(
+                    v.margin * w.margin <= 0.0,
+                    "margins must change sign: {} vs {}", v.margin, w.margin
+                );
+            }
+            // The static and signature channels swap exactly — same
+            // extractions and same import sets, with the roles reversed.
+            prop_assert_eq!(v.static_dist_vulnerable.to_bits(), w.static_dist_patched.to_bits());
+            prop_assert_eq!(v.static_dist_patched.to_bits(), w.static_dist_vulnerable.to_bits());
+            prop_assert_eq!(v.signature.votes_vulnerable, w.signature.votes_patched);
+            prop_assert_eq!(v.signature.votes_patched, w.signature.votes_vulnerable);
+        }
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Where the dynamic stage gets execution environments and dynamic
+//! profiles from — the dynamic-side twin of
+//! [`crate::pipeline::FeatureSource`].
+//!
+//! The paper's dynamic stage is the pipeline's dominant cost (Table VII:
+//! hours of on-device execution against seconds of static scanning), and
+//! both its products are pure functions of content:
+//!
+//! * an **environment set** is determined by the reference function's
+//!   code, the fuzzer configuration, and the interpreter limits;
+//! * a **dynamic profile** is determined by the profiled function's code,
+//!   the exact environment set, and the interpreter limits.
+//!
+//! [`DynProfileSource`] abstracts over where those come from. The default
+//! [`LiveProfiling`] fuzzes and executes on every call; scanhub's
+//! artifact store implements the trait to serve both from its
+//! content-addressed dynamic lane, which is how a warm re-audit performs
+//! zero VM executions.
+
+use crate::error::ScanError;
+use serde::{Deserialize, Serialize};
+use vm::env::{ArgSpec, ExecEnv};
+use vm::envpool::EnvPool;
+use vm::exec::VmConfig;
+use vm::fuzz::{self, FuzzConfig};
+use vm::loader::LoadedBinary;
+use vm::DynFeatures;
+
+/// Dual-lane 64-bit FNV-1a, same construction as scanhub's `ArtifactKey`
+/// hasher: the `hi` lane hashes bytes as-is, the `lo` lane hashes each
+/// byte rotated left by 3, giving two independent 64-bit digests.
+struct Fnv2 {
+    hi: u64,
+    lo: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv2 {
+    fn new() -> Fnv2 {
+        Fnv2 { hi: 0xcbf2_9ce4_8422_2325, lo: 0x6c62_272e_07bb_0142 }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hi = (self.hi ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.lo = (self.lo ^ u64::from(b.rotate_left(3))).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+}
+
+/// A set of execution environments plus a content fingerprint.
+///
+/// The fingerprint digests the interpreter limits and every environment's
+/// full contents (input bytes, argument specs, global overrides), so two
+/// sets fingerprint equal exactly when replaying them is guaranteed to
+/// produce bitwise-identical profiles. It is the "env-set fingerprint"
+/// lane of scanhub's dynamic-profile cache key: changing [`VmConfig`] or
+/// any environment invalidates every profile derived from the set.
+#[derive(Debug, Clone)]
+pub struct EnvSet {
+    /// The environments, in generation order.
+    pub envs: Vec<ExecEnv>,
+    /// 128-bit content fingerprint of `(vm config, envs)`.
+    pub fingerprint: (u64, u64),
+}
+
+impl EnvSet {
+    /// Wrap `envs`, computing the content fingerprint under `vm`.
+    pub fn new(envs: Vec<ExecEnv>, vm: &VmConfig) -> EnvSet {
+        let mut h = Fnv2::new();
+        h.update_u64(vm.max_instructions);
+        h.update_u64(vm.max_depth as u64);
+        h.update_u64(vm.heap_limit as u64);
+        h.update_u64(envs.len() as u64);
+        for env in &envs {
+            h.update_u64(env.input.len() as u64);
+            h.update(&env.input);
+            h.update_u64(env.args.len() as u64);
+            for arg in &env.args {
+                match arg {
+                    ArgSpec::InputPtr => h.update(&[1]),
+                    ArgSpec::Int(v) => {
+                        h.update(&[2]);
+                        h.update_u64(*v as u64);
+                    }
+                    ArgSpec::Float(v) => {
+                        h.update(&[3]);
+                        h.update_u64(v.to_bits());
+                    }
+                }
+            }
+            h.update_u64(env.global_overrides.len() as u64);
+            for &(gid, v) in &env.global_overrides {
+                h.update_u64(u64::from(gid));
+                h.update_u64(v as u64);
+            }
+        }
+        EnvSet { fingerprint: (h.hi, h.lo), envs }
+    }
+
+    /// Number of environments.
+    pub fn len(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// True when the set holds no environments.
+    pub fn is_empty(&self) -> bool {
+        self.envs.is_empty()
+    }
+
+    /// Concatenate two sets (differential-engine env union), recomputing
+    /// the fingerprint from the combined contents.
+    pub fn union(&self, other: &EnvSet, vm: &VmConfig) -> EnvSet {
+        let mut envs = self.envs.clone();
+        envs.extend(other.envs.iter().cloned());
+        EnvSet::new(envs, vm)
+    }
+}
+
+/// One function's dynamic behaviour over every environment of an
+/// [`EnvSet`]: per-environment Table II feature vectors plus the
+/// execution-validation outcome of each run.
+///
+/// Keeping the per-environment `ok` bits (instead of the pipeline's old
+/// early-exit `Option`) lets one cached profile serve every consumer
+/// bitwise-identically: the pipeline validates a candidate iff every run
+/// succeeded, and the differential engine intersects the `ok` bits of
+/// three profiles to pick its surviving environments — per-environment
+/// runs are independent, so subsetting a full profile equals re-running
+/// the subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynProfile {
+    /// Per-environment execution-validation outcome (`true` = returned).
+    pub ok: Vec<bool>,
+    /// Per-environment dynamic features, aligned with `ok`.
+    pub features: Vec<DynFeatures>,
+}
+
+impl DynProfile {
+    /// Whether the function survived every environment (the paper's
+    /// execution-validation criterion).
+    pub fn validated(&self) -> bool {
+        self.ok.iter().all(|&b| b)
+    }
+
+    /// Number of environments profiled.
+    pub fn len(&self) -> usize {
+        self.ok.len()
+    }
+
+    /// True when no environments were profiled.
+    pub fn is_empty(&self) -> bool {
+        self.ok.is_empty()
+    }
+}
+
+/// Where the dynamic stage gets environment sets and profiles from.
+///
+/// Both methods are deterministic in their inputs; implementations may
+/// cache aggressively. Errors are *advisory*: the pipeline degrades to
+/// static evidence instead of failing, and the cached implementation
+/// falls back to live execution internally rather than surfacing cache
+/// damage.
+pub trait DynProfileSource: Send + Sync {
+    /// Execution environments for `reference` (fuzz the reference's
+    /// function 0, keep environments the reference itself survives).
+    ///
+    /// # Errors
+    /// Implementation-specific transient failures; [`LiveProfiling`]
+    /// never errors.
+    fn environments(
+        &self,
+        reference: &LoadedBinary,
+        fuzz_cfg: &FuzzConfig,
+        vm: &VmConfig,
+    ) -> Result<EnvSet, ScanError>;
+
+    /// Dynamic profile of function `func` of `target` over every
+    /// environment of `envs`.
+    ///
+    /// # Errors
+    /// Implementation-specific transient failures; [`LiveProfiling`]
+    /// never errors (but may panic on out-of-range `func`, like
+    /// [`LoadedBinary::run_any`]).
+    fn profile(
+        &self,
+        target: &LoadedBinary,
+        func: usize,
+        envs: &EnvSet,
+        vm: &VmConfig,
+    ) -> Result<DynProfile, ScanError>;
+}
+
+/// The uncached [`DynProfileSource`]: fuzz and execute on every call.
+pub struct LiveProfiling;
+
+impl DynProfileSource for LiveProfiling {
+    fn environments(
+        &self,
+        reference: &LoadedBinary,
+        fuzz_cfg: &FuzzConfig,
+        vm: &VmConfig,
+    ) -> Result<EnvSet, ScanError> {
+        Ok(live_environments(reference, fuzz_cfg, vm))
+    }
+
+    fn profile(
+        &self,
+        target: &LoadedBinary,
+        func: usize,
+        envs: &EnvSet,
+        vm: &VmConfig,
+    ) -> Result<DynProfile, ScanError> {
+        Ok(live_profile(target, func, &envs.envs, vm))
+    }
+}
+
+/// Generate execution environments by fuzzing `reference`'s function 0,
+/// keeping only environments the reference itself survives ("We tested
+/// that these inputs worked with both the vulnerable and patched
+/// functions"). The survival replay goes through one [`EnvPool`] so the
+/// reference's state is snapshotted once, not per environment.
+pub fn live_environments(
+    reference: &LoadedBinary,
+    fuzz_cfg: &FuzzConfig,
+    vm: &VmConfig,
+) -> EnvSet {
+    let envs = fuzz::fuzz_function(reference, 0, fuzz_cfg, vm);
+    let pool = EnvPool::new(reference, &envs, vm);
+    let surviving = envs
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| pool.run(0, i).outcome.is_ok())
+        .map(|(_, e)| e)
+        .collect();
+    EnvSet::new(surviving, vm)
+}
+
+/// Profile `target[func]` under every environment, through one
+/// [`EnvPool`] snapshot.
+///
+/// # Panics
+/// Panics if `func` is out of range, with the same diagnostic as
+/// [`LoadedBinary::run_any`].
+pub fn live_profile(
+    target: &LoadedBinary,
+    func: usize,
+    envs: &[ExecEnv],
+    vm: &VmConfig,
+) -> DynProfile {
+    let pool = EnvPool::new(target, envs, vm);
+    let mut ok = Vec::with_capacity(envs.len());
+    let mut features = Vec::with_capacity(envs.len());
+    for r in pool.run_all(func) {
+        ok.push(r.outcome.is_ok());
+        features.push(r.features);
+    }
+    DynProfile { ok, features }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fwbin::isa::{Arch, OptLevel};
+    use fwlang::gen::Generator;
+
+    fn loaded(seed: u64) -> LoadedBinary {
+        let lib = Generator::new(seed).library_sized("libdyn", 4);
+        let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O2).unwrap();
+        LoadedBinary::load(bin).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let vm = VmConfig::default();
+        let envs = vec![
+            ExecEnv::for_buffer(vec![1, 2, 3], &[0]),
+            ExecEnv::for_buffer(vec![9; 16], &[0]),
+        ];
+        let a = EnvSet::new(envs.clone(), &vm);
+        let b = EnvSet::new(envs.clone(), &vm);
+        assert_eq!(a.fingerprint, b.fingerprint);
+
+        let mut mutated = envs.clone();
+        mutated[1].input[3] = 0xAA;
+        assert_ne!(EnvSet::new(mutated, &vm).fingerprint, a.fingerprint);
+
+        let tighter = VmConfig { max_instructions: 1_000, ..VmConfig::default() };
+        assert_ne!(EnvSet::new(envs, &tighter).fingerprint, a.fingerprint);
+    }
+
+    #[test]
+    fn live_profile_matches_run_any_bitwise() {
+        let lb = loaded(5);
+        let vm = VmConfig::default();
+        let set = live_environments(&lb, &FuzzConfig::default(), &vm);
+        assert!(!set.is_empty(), "fuzzer should produce surviving envs");
+        for func in 0..lb.function_count() {
+            let prof = live_profile(&lb, func, &set.envs, &vm);
+            assert_eq!(prof.len(), set.len());
+            for (i, env) in set.envs.iter().enumerate() {
+                let direct = lb.run_any(func, env, &vm);
+                assert_eq!(prof.ok[i], direct.outcome.is_ok());
+                assert_eq!(
+                    prof.features[i].as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    direct.features.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_fingerprint_tracks_order_and_content() {
+        let vm = VmConfig::default();
+        let a = EnvSet::new(vec![ExecEnv::for_buffer(vec![1], &[0])], &vm);
+        let b = EnvSet::new(vec![ExecEnv::for_buffer(vec![2], &[0])], &vm);
+        let ab = a.union(&b, &vm);
+        let ba = b.union(&a, &vm);
+        assert_eq!(ab.len(), 2);
+        assert_ne!(ab.fingerprint, ba.fingerprint, "union is order-sensitive");
+        assert_ne!(ab.fingerprint, a.fingerprint);
+    }
+}

@@ -180,7 +180,14 @@ pub fn audit_image(
     image: &fwbin::FirmwareImage,
     diff_cfg: &DifferentialConfig,
 ) -> Result<crate::report::AuditReport, ScanError> {
-    audit_image_with(patchecko, db, image, diff_cfg, &crate::pipeline::DirectExtraction)
+    audit_image_with(
+        patchecko,
+        db,
+        image,
+        diff_cfg,
+        &crate::pipeline::DirectExtraction,
+        &crate::pipeline::live_profiling(),
+    )
 }
 
 /// One CVE's share of [`audit_image_with`]: both-basis image analysis,
@@ -191,10 +198,11 @@ fn audit_one_cve(
     image: &fwbin::FirmwareImage,
     diff_cfg: &DifferentialConfig,
     source: &dyn crate::pipeline::FeatureSource,
+    dynsrc: &std::sync::Arc<dyn crate::dynsource::DynProfileSource>,
 ) -> Result<(crate::report::AuditStatus, Option<String>, Option<PatchVerdict>), ScanError> {
     use crate::report::AuditStatus;
-    let va = patchecko.analyze_image_with(image, entry, Basis::Vulnerable, source)?;
-    let pa = patchecko.analyze_image_with(image, entry, Basis::Patched, source)?;
+    let va = patchecko.analyze_image_with(image, entry, Basis::Vulnerable, source, dynsrc)?;
+    let pa = patchecko.analyze_image_with(image, entry, Basis::Patched, source, dynsrc)?;
     // Per-library candidate sets from both bases.
     let mut by_lib: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
     for m in va.best.iter().chain(pa.best.iter()) {
@@ -207,7 +215,9 @@ fn audit_one_cve(
     for (li, cands) in by_lib {
         let bin = &image.binaries[li];
         if let Some((idx, v)) =
-            differential::detect_patch_best_with(patchecko, entry, bin, &cands, diff_cfg, source)?
+            differential::detect_patch_best_with(
+                patchecko, entry, bin, &cands, diff_cfg, source, dynsrc,
+            )?
         {
             let dyn_prox = v.dyn_dist_vulnerable.min(v.dyn_dist_patched);
             let proximity = if dyn_prox.is_finite() { dyn_prox } else { 0.0 }
@@ -231,9 +241,10 @@ fn audit_one_cve(
     })
 }
 
-/// [`audit_image`] with static features served by `source`: with a warm
-/// scanhub artifact store, the whole audit performs zero disassembly and
-/// feature-extraction work.
+/// [`audit_image`] with static features served by `source` and dynamic
+/// profiles served by `dynsrc`: with a warm scanhub artifact store, the
+/// whole audit performs zero disassembly / feature-extraction work *and*
+/// zero VM executions.
 ///
 /// Failure policy: a *permanent* per-CVE failure (malformed input) is
 /// recorded as an [`AuditStatus::Error`](crate::report::AuditStatus::Error)
@@ -250,13 +261,14 @@ pub fn audit_image_with(
     image: &fwbin::FirmwareImage,
     diff_cfg: &DifferentialConfig,
     source: &dyn crate::pipeline::FeatureSource,
+    dynsrc: &std::sync::Arc<dyn crate::dynsource::DynProfileSource>,
 ) -> Result<crate::report::AuditReport, ScanError> {
     use crate::report::{AuditFinding, AuditReport, AuditStatus};
     let _span = scope::SpanGuard::enter("audit").with_detail(image.device.clone());
     let mut findings = Vec::new();
     for entry in db.featured() {
         let (status, located, verdict, error) =
-            match audit_one_cve(patchecko, entry, image, diff_cfg, source) {
+            match audit_one_cve(patchecko, entry, image, diff_cfg, source, dynsrc) {
                 Ok((status, located, verdict)) => (status, located, verdict, None),
                 Err(e) if e.is_transient() => return Err(e),
                 Err(e) => (AuditStatus::Error, None, None, Some(e)),

@@ -10,6 +10,9 @@
 //!   Dataset I (Figure 4 / Figure 8);
 //! * [`pipeline`] — the Figure 1 workflow: static scan → execution
 //!   validation → dynamic profiling → Minkowski ranking;
+//! * [`dynsource`] — where the dynamic stage gets execution environments
+//!   and dynamic profiles from (live execution, or scanhub's cached
+//!   dynamic lane for zero-VM warm re-audits);
 //! * [`similarity`] — Equations 1–2 (Minkowski p = 3 over the 21 Table II
 //!   dynamic features, averaged over execution environments);
 //! * [`differential`] — the §III-D patch-presence engine;
@@ -40,6 +43,7 @@
 pub mod baseline;
 pub mod detector;
 pub mod differential;
+pub mod dynsource;
 pub mod error;
 pub mod eval;
 pub mod features;
@@ -51,6 +55,7 @@ mod testutil;
 
 pub use detector::{Detector, DetectorConfig, TestMetrics};
 pub use differential::{detect_patch, DifferentialConfig, PatchVerdict};
+pub use dynsource::{DynProfile, DynProfileSource, EnvSet, LiveProfiling};
 pub use error::{ErrorClass, ScanError};
 pub use eval::{build_evaluation, Evaluation, EvaluationConfig};
 pub use features::{Normalizer, StaticFeatures, NUM_STATIC_FEATURES, STATIC_FEATURE_NAMES};

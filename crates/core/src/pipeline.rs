@@ -5,6 +5,7 @@
 //! (dynamic analysis) columns of Tables VI and VII.
 
 use crate::detector::Detector;
+use crate::dynsource::{self, DynProfile, DynProfileSource, EnvSet, LiveProfiling};
 use crate::error::ScanError;
 use crate::features::{self, StaticFeatures};
 use crate::similarity::{self, RankedCandidate};
@@ -12,10 +13,11 @@ use corpus::vulndb::DbEntry;
 use fwbin::format::Binary;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 use vm::env::ExecEnv;
 use vm::exec::VmConfig;
-use vm::fuzz::{self, FuzzConfig};
+use vm::fuzz::FuzzConfig;
 use vm::loader::LoadedBinary;
 use vm::DynFeatures;
 
@@ -133,6 +135,14 @@ impl FeatureSource for DirectExtraction {
             .map_err(|e| ScanError::extraction(&bin.lib_name, idx, &e))?;
         Ok(features::extract(&dis, &bin.functions[idx]))
     }
+}
+
+/// A fresh [`LiveProfiling`] handle as a shareable trait object — the
+/// default `dynsrc` of every non-`_with` entry point. Construction is
+/// free (the type is a unit struct); scanhub passes its dynamic artifact
+/// lane here instead.
+pub fn live_profiling() -> Arc<dyn DynProfileSource> {
+    Arc::new(LiveProfiling)
 }
 
 /// Result of the static (deep learning) stage on one library.
@@ -355,29 +365,7 @@ impl Patchecko {
     /// that these inputs worked with both the vulnerable and patched
     /// functions").
     pub fn make_environments(&self, reference: &LoadedBinary) -> Vec<ExecEnv> {
-        let envs = fuzz::fuzz_function(reference, 0, &self.config.fuzz, &self.config.vm);
-        envs.into_iter()
-            .filter(|e| reference.run_any(0, e, &self.config.vm).outcome.is_ok())
-            .collect()
-    }
-
-    /// Profile one function under every environment. Returns `None` if any
-    /// run faults or times out (execution-validation failure).
-    fn profile(
-        target: &LoadedBinary,
-        func: usize,
-        envs: &[ExecEnv],
-        vm_cfg: &VmConfig,
-    ) -> Option<Vec<DynFeatures>> {
-        let mut out = Vec::with_capacity(envs.len());
-        for env in envs {
-            let r = target.run_any(func, env, vm_cfg);
-            if !r.outcome.is_ok() {
-                return None;
-            }
-            out.push(r.features);
-        }
-        Some(out)
+        dynsource::live_environments(reference, &self.config.fuzz, &self.config.vm).envs
     }
 
     /// Static-only fallback ranking for candidates without dynamic
@@ -420,6 +408,13 @@ impl Patchecko {
     /// Stage 2+3: execution-validate the candidates, profile the survivors,
     /// and rank them against the reference profile.
     ///
+    /// Environments and profiles come from `dynsrc` — [`LiveProfiling`]
+    /// executes everything, scanhub's dynamic lane serves cached profiles
+    /// so a warm re-audit performs zero VM executions. Cache-miss
+    /// profiling is dispatched onto the shared [`neural::pool`] (one
+    /// order-preserving task per candidate), replacing the old per-call
+    /// `crossbeam::thread::scope`.
+    ///
     /// Infallible by design: every failure inside the stage degrades
     /// instead of propagating. A candidate whose profiling *panics* (as
     /// opposed to the paper's execution-validation failures — fault,
@@ -430,16 +425,21 @@ impl Patchecko {
     /// [`Confidence::Degraded`].
     pub fn dynamic_stage(
         &self,
-        target: &LoadedBinary,
+        target: &Arc<LoadedBinary>,
         scan: &StaticScan,
-        reference: &LoadedBinary,
+        reference: &Arc<LoadedBinary>,
+        dynsrc: &Arc<dyn DynProfileSource>,
     ) -> DynamicAnalysis {
         let _span = scope::SpanGuard::enter("dynamic_stage").with_detail(scan.library.clone());
         let started = Instant::now();
         let candidates: &[usize] = &scan.candidates;
-        let envs = catch_unwind(AssertUnwindSafe(|| self.make_environments(reference)))
-            .unwrap_or_default();
-        if envs.is_empty() && !candidates.is_empty() {
+        let envset = match catch_unwind(AssertUnwindSafe(|| {
+            dynsrc.environments(reference, &self.config.fuzz, &self.config.vm)
+        })) {
+            Ok(Ok(set)) => Arc::new(set),
+            Ok(Err(_)) | Err(_) => Arc::new(EnvSet::new(Vec::new(), &self.config.vm)),
+        };
+        if envset.is_empty() && !candidates.is_empty() {
             return Self::degraded_analysis(
                 scan,
                 "no execution environment survived the reference".to_string(),
@@ -447,11 +447,11 @@ impl Patchecko {
             );
         }
         let reference_profile = match catch_unwind(AssertUnwindSafe(|| {
-            Self::profile(reference, 0, &envs, &self.config.vm)
+            dynsrc.profile(reference, 0, &envset, &self.config.vm)
         })) {
-            Ok(Some(p)) => p,
-            Ok(None) | Err(_) if candidates.is_empty() => Vec::new(),
-            Ok(None) | Err(_) => {
+            Ok(Ok(p)) if p.validated() => p.features,
+            _ if candidates.is_empty() => Vec::new(),
+            _ => {
                 return Self::degraded_analysis(
                     scan,
                     "reference dynamic profile unavailable".to_string(),
@@ -460,37 +460,44 @@ impl Patchecko {
             }
         };
 
-        // Validate + profile candidates (in parallel when configured; each
-        // candidate's environments replay independently). `Ok(Some)` =
-        // validated, `Ok(None)` = execution-validation failure (pruned, as
-        // the paper prescribes), `Err` = the profiler itself panicked (the
+        // Validate + profile candidates. Each candidate is one task on the
+        // shared worker pool (results come back in submission order); the
+        // serial path is kept for narrow configs so `--threads 1` never
+        // touches the pool. `Ok(validated)` = profiled, `Ok(!validated)` =
+        // execution-validation failure (pruned, as the paper prescribes),
+        // `Err` = the profiler itself panicked or the source failed (the
         // candidate degrades to static evidence).
-        type ProfileResult = Result<Option<Vec<DynFeatures>>, ScanError>;
-        let profile_guarded = |c: usize| -> ProfileResult {
-            catch_unwind(AssertUnwindSafe(|| Self::profile(target, c, &envs, &self.config.vm)))
-                .map_err(|p| ScanError::from_panic(p.as_ref()))
-        };
+        type ProfileResult = Result<DynProfile, ScanError>;
         let results: Vec<ProfileResult> = if self.config.parallel
             && candidates.len() > 3
             && self.config.effective_threads() > 1
         {
-            let n_threads = self.config.effective_threads();
-            let chunk = candidates.len().div_ceil(n_threads).max(1);
-            let mut results: Vec<ProfileResult> = vec![Ok(None); candidates.len()];
-            crossbeam::thread::scope(|s| {
-                for (slot, cand) in results.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
-                    let profile_guarded = &profile_guarded;
-                    s.spawn(move |_| {
-                        for (o, &c) in slot.iter_mut().zip(cand) {
-                            *o = profile_guarded(c);
-                        }
-                    });
-                }
-            })
-            .expect("candidate profiling scope");
-            results
+            let tasks: Vec<_> = candidates
+                .iter()
+                .map(|&c| {
+                    let target = Arc::clone(target);
+                    let envset = Arc::clone(&envset);
+                    let dynsrc = Arc::clone(dynsrc);
+                    let vm_cfg = self.config.vm.clone();
+                    move || -> ProfileResult {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            dynsrc.profile(&target, c, &envset, &vm_cfg)
+                        }))
+                        .unwrap_or_else(|p| Err(ScanError::from_panic(p.as_ref())))
+                    }
+                })
+                .collect();
+            neural::pool::global().run(tasks)
         } else {
-            candidates.iter().map(|&c| profile_guarded(c)).collect()
+            candidates
+                .iter()
+                .map(|&c| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        dynsrc.profile(target, c, &envset, &self.config.vm)
+                    }))
+                    .unwrap_or_else(|p| Err(ScanError::from_panic(p.as_ref())))
+                })
+                .collect()
         };
 
         let mut validated = Vec::new();
@@ -499,11 +506,11 @@ impl Patchecko {
         let mut degradation: Option<String> = None;
         for (&c, r) in candidates.iter().zip(results) {
             match r {
-                Ok(Some(p)) => {
+                Ok(p) if p.validated() => {
                     validated.push(c);
-                    profiles.push((c, p));
+                    profiles.push((c, p.features));
                 }
-                Ok(None) => {} // execution-validation failure: pruned.
+                Ok(_) => {} // execution-validation failure: pruned.
                 Err(e) => {
                     fallback.push(c);
                     degradation
@@ -517,7 +524,7 @@ impl Patchecko {
         // static evidence never outranks dynamic evidence.
         ranking.extend(Self::static_fallback_ranking(scan, &fallback));
         DynamicAnalysis {
-            envs,
+            envs: envset.envs.clone(),
             reference_profile,
             validated,
             profiles,
@@ -542,11 +549,12 @@ impl Patchecko {
         entry: &DbEntry,
         basis: Basis,
     ) -> Result<CveAnalysis, ScanError> {
-        self.analyze_library_with(target_bin, entry, basis, &DirectExtraction)
+        self.analyze_library_with(target_bin, entry, basis, &DirectExtraction, &live_profiling())
     }
 
     /// [`Patchecko::analyze_library`] with static features served by
-    /// `source` (target and reference sides alike).
+    /// `source` (target and reference sides alike) and dynamic profiles
+    /// served by `dynsrc`.
     ///
     /// # Errors
     /// As for [`Patchecko::analyze_library`].
@@ -556,6 +564,7 @@ impl Patchecko {
         entry: &DbEntry,
         basis: Basis,
         source: &dyn FeatureSource,
+        dynsrc: &Arc<dyn DynProfileSource>,
     ) -> Result<CveAnalysis, ScanError> {
         let references = Self::reference_feature_set_with(entry, basis, source)?;
         let scan = self.scan_library_with(target_bin, &references, source)?;
@@ -566,7 +575,7 @@ impl Patchecko {
         let ref_bin = entry.reference_for(target_bin.arch, basis == Basis::Patched);
         let dynamic = match (LoadedBinary::load(ref_bin), LoadedBinary::load(target_bin.clone())) {
             (Ok(ref_loaded), Ok(target_loaded)) => {
-                self.dynamic_stage(&target_loaded, &scan, &ref_loaded)
+                self.dynamic_stage(&Arc::new(target_loaded), &scan, &Arc::new(ref_loaded), dynsrc)
             }
             (Err(e), _) => Self::degraded_analysis(
                 &scan,
@@ -593,10 +602,11 @@ impl Patchecko {
         entry: &DbEntry,
         basis: Basis,
     ) -> Result<ImageAnalysis, ScanError> {
-        self.analyze_image_with(image, entry, basis, &DirectExtraction)
+        self.analyze_image_with(image, entry, basis, &DirectExtraction, &live_profiling())
     }
 
-    /// [`Patchecko::analyze_image`] with static features served by `source`.
+    /// [`Patchecko::analyze_image`] with static features served by `source`
+    /// and dynamic profiles served by `dynsrc`.
     ///
     /// # Errors
     /// The first per-library [`ScanError`] encountered, if any.
@@ -606,11 +616,12 @@ impl Patchecko {
         entry: &DbEntry,
         basis: Basis,
         source: &dyn FeatureSource,
+        dynsrc: &Arc<dyn DynProfileSource>,
     ) -> Result<ImageAnalysis, ScanError> {
         let analyses: Vec<CveAnalysis> = image
             .binaries
             .iter()
-            .map(|bin| self.analyze_library_with(bin, entry, basis, source))
+            .map(|bin| self.analyze_library_with(bin, entry, basis, source, dynsrc))
             .collect::<Result<_, _>>()?;
         // Best match: the lowest-distance top candidate across libraries.
         // Full-confidence matches always beat degraded (static-only) ones,
@@ -757,6 +768,114 @@ mod tests {
         for r in &d.ranking {
             let expect = 1.0 - f64::from(scan.probs[r.function_index]);
             assert!((r.distance - expect).abs() < 1e-12);
+        }
+    }
+
+    /// Bitwise equality for dynamic-stage results: validated sets, profile
+    /// features, ranking order *and* the exact distance bit patterns must
+    /// match. `f64` equality would already fail on any drift, but comparing
+    /// bit patterns also catches `-0.0` vs `0.0` and keeps NaN comparable.
+    fn assert_dynamic_bitwise_eq(a: &DynamicAnalysis, b: &DynamicAnalysis, what: &str) {
+        assert_eq!(a.envs, b.envs, "{what}: environments differ");
+        assert_eq!(a.validated, b.validated, "{what}: validated sets differ");
+        assert_eq!(a.confidence, b.confidence, "{what}: confidence differs");
+        assert_eq!(a.degradation, b.degradation, "{what}: degradation differs");
+        let bits = |fs: &[DynFeatures]| -> Vec<Vec<u64>> {
+            fs.iter().map(|f| f.0.iter().map(|x| x.to_bits()).collect()).collect()
+        };
+        assert_eq!(bits(&a.reference_profile), bits(&b.reference_profile), "{what}: reference profile differs");
+        let prof_bits = |ps: &[(usize, Vec<DynFeatures>)]| -> Vec<(usize, Vec<Vec<u64>>)> {
+            ps.iter().map(|(c, fs)| (*c, bits(fs))).collect()
+        };
+        assert_eq!(prof_bits(&a.profiles), prof_bits(&b.profiles), "{what}: profiles differ");
+        let rank_bits = |rs: &[similarity::RankedCandidate]| -> Vec<(usize, u64)> {
+            rs.iter().map(|r| (r.function_index, r.distance.to_bits())).collect()
+        };
+        assert_eq!(rank_bits(&a.ranking), rank_bits(&b.ranking), "{what}: rankings differ");
+    }
+
+    /// Satellite: the pool-dispatched parallel arm of `dynamic_stage` must
+    /// be bitwise-identical to the serial arm at every worker count. The
+    /// candidate set is fabricated to cover every function so the parallel
+    /// gate (`candidates.len() > 3`) engages at threads 2 and 8, while
+    /// `threads = Some(1)` pins the serial path.
+    #[test]
+    fn dynamic_stage_identical_across_thread_counts() {
+        let db = corpus::build_vulndb(0, 1);
+        let entry = db.get("CVE-2018-9412").unwrap();
+        let cat = corpus::full_catalog();
+        let device = corpus::build_device(&corpus::android_things_spec(), &cat, 0.05);
+        let truth = device.truth_for("CVE-2018-9412").unwrap();
+        let bin = device.image.binary(&truth.library).unwrap();
+        let target = Arc::new(LoadedBinary::load(bin.clone()).unwrap());
+        let reference = Arc::new(LoadedBinary::load(entry.vulnerable_bin.clone()).unwrap());
+        let n = target.function_count();
+        assert!(n > 3, "need > 3 candidates to engage the parallel arm (got {n})");
+        let scan = StaticScan {
+            library: truth.library.clone(),
+            total: n,
+            probs: vec![0.5; n],
+            candidates: (0..n).collect(),
+            seconds: 0.0,
+        };
+        let runs: Vec<(usize, DynamicAnalysis)> = [1usize, 2, 8]
+            .into_iter()
+            .map(|t| {
+                let cfg = PipelineConfig { threads: Some(t), ..PipelineConfig::default() };
+                let patchecko = Patchecko::new(quick_detector(), cfg);
+                (t, patchecko.dynamic_stage(&target, &scan, &reference, &live_profiling()))
+            })
+            .collect();
+        let (_, serial) = &runs[0];
+        assert_eq!(serial.confidence, Confidence::Full);
+        assert!(!serial.validated.is_empty(), "fixture must validate at least one candidate");
+        for (t, run) in &runs[1..] {
+            assert_dynamic_bitwise_eq(serial, run, &format!("threads 1 vs {t}"));
+        }
+    }
+
+    /// Same invariance on the degraded/fallback branch: an out-of-range
+    /// candidate makes its profiling task panic, so every thread count must
+    /// produce the same fallback set, the same degradation message, and
+    /// static pseudo-distances appended after the dynamic ranking.
+    #[test]
+    fn dynamic_stage_degraded_branch_identical_across_thread_counts() {
+        let db = corpus::build_vulndb(0, 1);
+        let entry = db.get("CVE-2018-9412").unwrap();
+        let cat = corpus::full_catalog();
+        let device = corpus::build_device(&corpus::android_things_spec(), &cat, 0.05);
+        let truth = device.truth_for("CVE-2018-9412").unwrap();
+        let bin = device.image.binary(&truth.library).unwrap();
+        let target = Arc::new(LoadedBinary::load(bin.clone()).unwrap());
+        let reference = Arc::new(LoadedBinary::load(entry.vulnerable_bin.clone()).unwrap());
+        let n = target.function_count();
+        let rogue = n + 2; // out of range: profiling panics, candidate degrades.
+        let scan = StaticScan {
+            library: truth.library.clone(),
+            total: n,
+            probs: vec![0.5; rogue + 1],
+            candidates: vec![0, 1, 2, rogue],
+            seconds: 0.0,
+        };
+        let runs: Vec<(usize, DynamicAnalysis)> = [1usize, 2, 8]
+            .into_iter()
+            .map(|t| {
+                let cfg = PipelineConfig { threads: Some(t), ..PipelineConfig::default() };
+                let patchecko = Patchecko::new(quick_detector(), cfg);
+                (t, patchecko.dynamic_stage(&target, &scan, &reference, &live_profiling()))
+            })
+            .collect();
+        let (_, serial) = &runs[0];
+        assert_eq!(serial.confidence, Confidence::Degraded);
+        let msg = serial.degradation.as_deref().expect("degradation message recorded");
+        assert!(
+            msg.starts_with(&format!("candidate {rogue} profiling panicked:")),
+            "unexpected degradation message: {msg}"
+        );
+        // The rogue candidate ranks last, after every dynamic distance.
+        assert_eq!(serial.ranking.last().map(|r| r.function_index), Some(rogue));
+        for (t, run) in &runs[1..] {
+            assert_dynamic_bitwise_eq(serial, run, &format!("degraded threads 1 vs {t}"));
         }
     }
 

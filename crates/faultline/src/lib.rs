@@ -36,6 +36,6 @@ pub mod image;
 pub mod plan;
 pub mod source;
 
-pub use disk::DiskFault;
+pub use disk::{CacheLane, DiskFault};
 pub use plan::FaultPlan;
 pub use source::{FaultyFeatureSource, SourceFaults};

@@ -11,6 +11,10 @@
 //! 3. **Transient faults leave no trace** — a faulty run whose injected
 //!    faults were retried away produces bitwise-identical outcomes to a
 //!    clean run.
+//! 4. **The dynamic lane fails open to live execution** — sabotage of
+//!    `dyn_artifacts.json` quarantines the damage, the next run falls
+//!    back to live fuzzing/VM execution with results bitwise-identical
+//!    to a cold run, and the following save self-heals the cache.
 //!
 //! Set `FAULTLINE_SEED=<n>` to pin every test to one seed (CI runs a
 //! small fixed-seed matrix); unset, each test sweeps seeds drawn by
@@ -23,8 +27,13 @@ use corpus::vulndb::VulnDb;
 use neural::net::TrainConfig;
 use patchecko_core::detector::{self, Detector, DetectorConfig};
 use patchecko_core::error::ScanError;
-use patchecko_core::pipeline::{Basis, DirectExtraction, FeatureSource, Patchecko, PipelineConfig};
-use patchecko_faultline::{disk, hook, image, DiskFault, FaultPlan, FaultyFeatureSource, SourceFaults};
+use patchecko_core::pipeline::{
+    live_profiling, Basis, DirectExtraction, FeatureSource, Patchecko, PipelineConfig,
+};
+use patchecko_core::dynsource::DynProfileSource;
+use patchecko_faultline::{
+    disk, hook, image, CacheLane, DiskFault, FaultPlan, FaultyFeatureSource, SourceFaults,
+};
 use patchecko_scanhub::{full_schedule, ArtifactStore, JobOutcome, RetryPolicy, ScanHub};
 use proptest::prelude::*;
 use proptest::strategy::BoxedStrategy;
@@ -132,6 +141,35 @@ fn feature_bits(source: &impl FeatureSource, bin: &fwbin::format::Binary) -> Vec
         .unwrap()
         .iter()
         .map(|f| f.as_slice().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// A fast fuzzer config for the dynamic-lane properties: same determinism
+/// guarantees as the default, a fraction of the executions.
+fn small_fuzz() -> vm::FuzzConfig {
+    vm::FuzzConfig { rounds: 40, num_envs: 3, ..vm::FuzzConfig::default() }
+}
+
+/// Bitwise image of a full dynamic pass over every function of `lb`
+/// through `store`'s dynamic lane: per-function ok bits and exact feature
+/// bit patterns.
+fn dyn_pass_bits(
+    store: &ArtifactStore,
+    lb: &vm::LoadedBinary,
+    fuzz: &vm::FuzzConfig,
+    vmc: &vm::VmConfig,
+) -> Vec<(Vec<bool>, Vec<Vec<u64>>)> {
+    let envs = store.environments(lb, fuzz, vmc).unwrap();
+    (0..lb.function_count())
+        .map(|f| {
+            let p = store.profile(lb, f, &envs, vmc).unwrap();
+            let bits = p
+                .features
+                .iter()
+                .map(|v| v.as_slice().iter().map(|x| x.to_bits()).collect())
+                .collect();
+            (p.ok, bits)
+        })
         .collect()
 }
 
@@ -288,19 +326,19 @@ proptest! {
         let analyzer = Patchecko::new(shared_detector().clone(), PipelineConfig::default());
 
         let clean = analyzer
-            .analyze_library_with(bin, entry, Basis::Vulnerable, &DirectExtraction)
+            .analyze_library_with(bin, entry, Basis::Vulnerable, &DirectExtraction, &live_profiling())
             .unwrap();
 
         let faulty =
             FaultyFeatureSource::new(DirectExtraction, plan, SourceFaults::transient_errors(3));
-        let mut result = analyzer.analyze_library_with(bin, entry, Basis::Vulnerable, &faulty);
+        let mut result = analyzer.analyze_library_with(bin, entry, Basis::Vulnerable, &faulty, &live_profiling());
         let mut retries = 0;
         while let Err(err) = result {
             prop_assert!(matches!(err, ScanError::Injected { .. }), "unexpected error {err}");
             prop_assert!(err.is_transient(), "injected faults must classify transient");
             retries += 1;
             prop_assert!(retries <= 64, "every fault heals, so retries must converge");
-            result = analyzer.analyze_library_with(bin, entry, Basis::Vulnerable, &faulty);
+            result = analyzer.analyze_library_with(bin, entry, Basis::Vulnerable, &faulty, &live_profiling());
         }
         let healed = result.unwrap();
         prop_assert_eq!(&healed.scan.probs, &clean.scan.probs);
@@ -309,5 +347,80 @@ proptest! {
         prop_assert_eq!(&healed.dynamic.ranking, &clean.dynamic.ranking,
             "healed run must rank bit-identically to clean");
         prop_assert_eq!(healed.dynamic.confidence, clean.dynamic.confidence);
+    }
+}
+
+proptest! {
+    #![proptest_config(cases(6))]
+
+    /// Invariant 4: whatever the saboteur does to `dyn_artifacts.json`,
+    /// a reloaded store quarantines the damage and the next dynamic pass
+    /// falls back to live VM execution, bitwise-identical to a cold run.
+    /// The static lane never notices.
+    #[test]
+    fn dyn_cache_never_serves_corruption(seed in seeds()) {
+        let plan = FaultPlan::new(seed);
+        let fault = DiskFault::chosen(&plan, seed ^ 0xD15C);
+        log_case("dyn_cache_corruption", &format!("seed {seed}: {fault:?} on dynamic lane"));
+        let dir = std::env::temp_dir()
+            .join(format!("faultline-dyndisk-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let lb = vm::LoadedBinary::load(compile(seed)).unwrap();
+        let (fuzz, vmc) = (small_fuzz(), vm::VmConfig::default());
+        let store = ArtifactStore::new();
+        let cold = dyn_pass_bits(&store, &lb, &fuzz, &vmc);
+        store.save(&dir).unwrap();
+
+        let what = disk::sabotage_lane(&dir, CacheLane::Dynamic, fault, &plan).unwrap();
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        prop_assert!(reloaded.stats().dyn_quarantined >= 1,
+            "dynamic-lane sabotage ({what}) must be noticed and quarantined");
+        prop_assert_eq!(reloaded.stats().quarantined, 0,
+            "static lane untouched by dynamic-lane damage");
+        let warm = dyn_pass_bits(&reloaded, &lb, &fuzz, &vmc);
+        prop_assert_eq!(&warm, &cold,
+            "a sabotaged dynamic lane ({what}) must fall back to live execution, \
+             bit-identical to a cold run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Invariant 4, second half: after the fallback pass repaired the lane
+    /// in memory, the next save writes a clean document — a third process
+    /// loads zero quarantines and serves everything from cache (no live
+    /// profiling at all).
+    #[test]
+    fn sabotaged_dyn_cache_self_heals_on_next_save(seed in seeds()) {
+        let plan = FaultPlan::new(seed);
+        let fault = DiskFault::chosen(&plan, seed ^ 0x4EA1);
+        log_case("dyn_cache_self_heal", &format!("seed {seed}: {fault:?} on dynamic lane"));
+        let dir = std::env::temp_dir()
+            .join(format!("faultline-dynheal-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let lb = vm::LoadedBinary::load(compile(seed)).unwrap();
+        let (fuzz, vmc) = (small_fuzz(), vm::VmConfig::default());
+        let store = ArtifactStore::new();
+        let cold = dyn_pass_bits(&store, &lb, &fuzz, &vmc);
+        store.save(&dir).unwrap();
+        disk::sabotage_lane(&dir, CacheLane::Dynamic, fault, &plan).unwrap();
+
+        // Second process: quarantine + live fallback repairs the lane in
+        // memory, then persists the repaired state.
+        let repaired = ArtifactStore::load(&dir).unwrap();
+        dyn_pass_bits(&repaired, &lb, &fuzz, &vmc);
+        repaired.save(&dir).unwrap();
+
+        // Third process: the damage is gone and the whole pass is cache
+        // hits — no quarantine, no live profiling.
+        let healed = ArtifactStore::load(&dir).unwrap();
+        prop_assert_eq!(healed.stats().dyn_quarantined, 0, "re-save heals the lane");
+        let warm = dyn_pass_bits(&healed, &lb, &fuzz, &vmc);
+        prop_assert_eq!(&warm, &cold);
+        let stats = healed.stats();
+        prop_assert_eq!(stats.dyn_profiled, 0, "healed warm pass performs no live profiling");
+        prop_assert_eq!(stats.dyn_misses, 0, "healed warm pass is all hits");
+        prop_assert_eq!(stats.dyn_hits, 1 + lb.function_count() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,349 @@
+//! The dynamic lane of the artifact store: cached execution-environment
+//! sets and dynamic profiles.
+//!
+//! The dynamic stage is the pipeline's dominant cost (Table VII: hours of
+//! on-device execution against seconds of static scanning), and both of
+//! its products are pure functions of content — an environment set of
+//! (reference code, fuzzer knobs, interpreter limits), a profile of
+//! (target code, environment-set contents, interpreter limits). This
+//! module caches both under [`ArtifactKey`]s
+//! ([`ArtifactKey::for_env_set`] / [`ArtifactKey::for_dyn_profile`]), so
+//! a warm re-audit replays cached profiles and performs **zero** VM
+//! executions (`vm.executions` stays flat; the `dyncache.*` counters show
+//! the lane working).
+//!
+//! The lane persists to `dyn_artifacts.json` next to the static lane's
+//! `artifacts.json`, with the same hardening: per-entry structural
+//! checksums, whole-file quarantine of unparseable documents, stale-schema
+//! discard, and temp-file + rename saves. A quarantined or missing
+//! dynamic entry is just a miss — the store falls back to live fuzzing
+//! and execution internally and never surfaces cache damage as an error.
+
+use crate::key::{ArtifactKey, Fnv2, SCHEMA_VERSION};
+use parking_lot::Mutex;
+use patchecko_core::dynsource::DynProfile;
+use scope::{Counter, MetricsRegistry};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::Arc;
+use vm::env::{ArgSpec, ExecEnv};
+
+/// Shard count of the in-memory maps (matches the static lane).
+const NUM_SHARDS: usize = 16;
+
+/// On-disk file name of the dynamic lane.
+pub const DYN_CACHE_FILE: &str = "dyn_artifacts.json";
+
+/// Structural checksum of an environment set: FNV-1a over every
+/// environment's full contents (input bytes, argument specs with exact
+/// float bits, global overrides). Length-prefixed per field, so
+/// truncation or field-boundary shifts are detected, and float bits go in
+/// via `to_bits` — immune to JSON round-trip concerns.
+pub fn env_set_checksum(envs: &[ExecEnv]) -> u64 {
+    let mut h = Fnv2::new();
+    h.update_u64(envs.len() as u64);
+    for env in envs {
+        h.update_u64(env.input.len() as u64);
+        h.update(&env.input);
+        h.update_u64(env.args.len() as u64);
+        for arg in &env.args {
+            match arg {
+                ArgSpec::InputPtr => h.update(&[1]),
+                ArgSpec::Int(v) => {
+                    h.update(&[2]);
+                    h.update_u64(*v as u64);
+                }
+                ArgSpec::Float(v) => {
+                    h.update(&[3]);
+                    h.update_u64(v.to_bits());
+                }
+            }
+        }
+        h.update_u64(env.global_overrides.len() as u64);
+        for &(gid, v) in &env.global_overrides {
+            h.update_u64(u64::from(gid));
+            h.update_u64(v as u64);
+        }
+    }
+    h.hi
+}
+
+/// Structural checksum of a dynamic profile: FNV-1a over the ok bits and
+/// the exact bit patterns of every per-environment feature vector.
+pub fn profile_checksum(p: &DynProfile) -> u64 {
+    let mut h = Fnv2::new();
+    h.update_u64(p.ok.len() as u64);
+    for &b in &p.ok {
+        h.update(&[b as u8]);
+    }
+    h.update_u64(p.features.len() as u64);
+    for f in &p.features {
+        for &x in f.as_slice() {
+            h.update_u64(x.to_bits());
+        }
+    }
+    h.hi
+}
+
+/// One persisted environment set, checksummed like the static lane's
+/// entries.
+#[derive(Serialize, Deserialize)]
+pub(crate) struct PersistedEnvSet {
+    /// [`env_set_checksum`] of `envs` at save time.
+    pub(crate) checksum: u64,
+    /// The cached environments, in generation order.
+    pub(crate) envs: Vec<ExecEnv>,
+}
+
+/// One persisted dynamic profile.
+#[derive(Serialize, Deserialize)]
+pub(crate) struct PersistedProfile {
+    /// [`profile_checksum`] of `profile` at save time.
+    pub(crate) checksum: u64,
+    /// The cached profile.
+    pub(crate) profile: DynProfile,
+}
+
+/// On-disk image of the dynamic lane (one JSON document per cache dir).
+#[derive(Serialize, Deserialize)]
+pub(crate) struct PersistedDynStore {
+    /// Schema version the entries were produced under.
+    pub(crate) schema: u32,
+    /// Hex env-set key → checksummed environment set.
+    pub(crate) envsets: BTreeMap<String, PersistedEnvSet>,
+    /// Hex profile key → checksummed dynamic profile.
+    pub(crate) profiles: BTreeMap<String, PersistedProfile>,
+}
+
+/// The dynamic lane: sharded maps for environment sets and profiles, with
+/// its own counters (`dyncache.hits`, `dyncache.misses`,
+/// `dyncache.profiled`, `dyncache.quarantined`) in the owning store's
+/// registry.
+pub(crate) struct DynLane {
+    env_shards: Vec<Mutex<HashMap<ArtifactKey, Arc<Vec<ExecEnv>>>>>,
+    prof_shards: Vec<Mutex<HashMap<ArtifactKey, Arc<DynProfile>>>>,
+    pub(crate) hits: Counter,
+    pub(crate) misses: Counter,
+    pub(crate) profiled: Counter,
+    pub(crate) quarantined: Counter,
+    quarantine_log: Mutex<Vec<String>>,
+}
+
+impl DynLane {
+    /// An empty lane recording its counters into `registry`.
+    pub(crate) fn with_registry(registry: &MetricsRegistry) -> DynLane {
+        DynLane {
+            env_shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            prof_shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: registry.counter("dyncache.hits"),
+            misses: registry.counter("dyncache.misses"),
+            profiled: registry.counter("dyncache.profiled"),
+            quarantined: registry.counter("dyncache.quarantined"),
+            quarantine_log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Record a quarantine event (mirrors the static lane: the offending
+    /// entry is never inserted, the counter moves, the detail is kept).
+    fn quarantine(&self, detail: String) {
+        self.quarantined.inc();
+        self.quarantine_log.lock().push(detail);
+    }
+
+    /// Details of every dynamic-lane quarantine since construction.
+    pub(crate) fn quarantine_records(&self) -> Vec<String> {
+        self.quarantine_log.lock().clone()
+    }
+
+    /// Resident entries across both maps.
+    pub(crate) fn entries(&self) -> u64 {
+        let e: usize = self.env_shards.iter().map(|s| s.lock().len()).sum();
+        let p: usize = self.prof_shards.iter().map(|s| s.lock().len()).sum();
+        (e + p) as u64
+    }
+
+    pub(crate) fn lookup_envs(&self, key: ArtifactKey) -> Option<Arc<Vec<ExecEnv>>> {
+        let found = self.env_shards[key.shard(NUM_SHARDS)].lock().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
+        };
+        found
+    }
+
+    pub(crate) fn insert_envs(&self, key: ArtifactKey, envs: Vec<ExecEnv>) -> Arc<Vec<ExecEnv>> {
+        let arc = Arc::new(envs);
+        self.env_shards[key.shard(NUM_SHARDS)].lock().insert(key, Arc::clone(&arc));
+        arc
+    }
+
+    pub(crate) fn lookup_profile(&self, key: ArtifactKey) -> Option<Arc<DynProfile>> {
+        let found = self.prof_shards[key.shard(NUM_SHARDS)].lock().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
+        };
+        found
+    }
+
+    pub(crate) fn insert_profile(&self, key: ArtifactKey, profile: DynProfile) -> Arc<DynProfile> {
+        let arc = Arc::new(profile);
+        self.prof_shards[key.shard(NUM_SHARDS)].lock().insert(key, Arc::clone(&arc));
+        arc
+    }
+
+    /// Write the lane to `dir/dyn_artifacts.json`, temp-file + rename like
+    /// the static lane so a crash mid-save can't truncate the document.
+    pub(crate) fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let mut envsets = BTreeMap::new();
+        for shard in &self.env_shards {
+            for (k, v) in shard.lock().iter() {
+                envsets.insert(
+                    k.to_hex(),
+                    PersistedEnvSet { checksum: env_set_checksum(v), envs: (**v).clone() },
+                );
+            }
+        }
+        let mut profiles = BTreeMap::new();
+        for shard in &self.prof_shards {
+            for (k, v) in shard.lock().iter() {
+                profiles.insert(
+                    k.to_hex(),
+                    PersistedProfile { checksum: profile_checksum(v), profile: (**v).clone() },
+                );
+            }
+        }
+        let doc = PersistedDynStore { schema: SCHEMA_VERSION, envsets, profiles };
+        std::fs::create_dir_all(dir)?;
+        let json = serde_json::to_string(&doc)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = dir.join(format!("{DYN_CACHE_FILE}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, dir.join(DYN_CACHE_FILE))
+    }
+
+    /// Load `dir/dyn_artifacts.json` into this (empty) lane, with the
+    /// static lane's trust-nothing policy: missing file → empty lane;
+    /// unparseable file → quarantined whole (renamed aside); stale schema
+    /// → discarded; invalid key or checksum mismatch → that entry evicted,
+    /// the rest still load. A quarantined entry is just a future cache
+    /// miss: the store falls back to live execution for it.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors other than `NotFound`.
+    pub(crate) fn load(&self, dir: &Path) -> std::io::Result<()> {
+        let path = dir.join(DYN_CACHE_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let json = match String::from_utf8(bytes) {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = std::fs::rename(&path, dir.join(format!("{DYN_CACHE_FILE}.quarantined")));
+                self.quarantine(format!(
+                    "dyn cache file {}: unparseable (invalid UTF-8)",
+                    path.display()
+                ));
+                return Ok(());
+            }
+        };
+        let doc: PersistedDynStore = match serde_json::from_str(&json) {
+            Ok(doc) => doc,
+            Err(e) => {
+                let _ = std::fs::rename(&path, dir.join(format!("{DYN_CACHE_FILE}.quarantined")));
+                self.quarantine(format!("dyn cache file {}: unparseable ({e})", path.display()));
+                return Ok(());
+            }
+        };
+        if doc.schema != SCHEMA_VERSION {
+            self.quarantine(format!(
+                "dyn cache file {}: stale schema v{} (current v{SCHEMA_VERSION}), {} entries discarded",
+                path.display(),
+                doc.schema,
+                doc.envsets.len() + doc.profiles.len()
+            ));
+            return Ok(());
+        }
+        for (hex, entry) in doc.envsets {
+            let Some(key) = ArtifactKey::from_hex(&hex) else {
+                self.quarantine(format!("dyn envset {hex}: invalid key"));
+                continue;
+            };
+            let expect = env_set_checksum(&entry.envs);
+            if entry.checksum != expect {
+                self.quarantine(format!(
+                    "dyn envset {hex}: checksum mismatch (stored {:#018x}, computed {expect:#018x})",
+                    entry.checksum
+                ));
+                continue;
+            }
+            self.insert_envs(key, entry.envs);
+        }
+        for (hex, entry) in doc.profiles {
+            let Some(key) = ArtifactKey::from_hex(&hex) else {
+                self.quarantine(format!("dyn profile {hex}: invalid key"));
+                continue;
+            };
+            let expect = profile_checksum(&entry.profile);
+            if entry.checksum != expect {
+                self.quarantine(format!(
+                    "dyn profile {hex}: checksum mismatch (stored {:#018x}, computed {expect:#018x})",
+                    entry.checksum
+                ));
+                continue;
+            }
+            self.insert_profile(key, entry.profile);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_set_checksum_is_content_sensitive_and_json_stable() {
+        let envs = vec![
+            ExecEnv::for_buffer(vec![1, 2, 3], &[7]),
+            ExecEnv {
+                input: vec![9; 4],
+                args: vec![ArgSpec::InputPtr, ArgSpec::Float(0.1 + 0.2)],
+                global_overrides: vec![(2, -5)],
+            },
+        ];
+        let c = env_set_checksum(&envs);
+        let json = serde_json::to_string(&envs).unwrap();
+        let back: Vec<ExecEnv> = serde_json::from_str(&json).unwrap();
+        assert_eq!(env_set_checksum(&back), c, "JSON round-trip preserves the checksum");
+
+        let mut tampered = envs.clone();
+        tampered[0].input[1] ^= 1;
+        assert_ne!(env_set_checksum(&tampered), c);
+        let mut reargued = envs.clone();
+        reargued[1].args.pop();
+        assert_ne!(env_set_checksum(&reargued), c);
+    }
+
+    #[test]
+    fn profile_checksum_is_content_sensitive_and_json_stable() {
+        let mut f = vm::DynFeatures([0.0; vm::NUM_DYN_FEATURES]);
+        f.0[0] = 1.25;
+        f.0[3] = -0.000_1;
+        let p = DynProfile { ok: vec![true, false], features: vec![f.clone(), f] };
+        let c = profile_checksum(&p);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: DynProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(profile_checksum(&back), c, "JSON round-trip preserves the checksum");
+
+        let mut flipped = p.clone();
+        flipped.ok[1] = true;
+        assert_ne!(profile_checksum(&flipped), c);
+        let mut nudged = p.clone();
+        nudged.features[0].0[0] = 1.250_000_001;
+        assert_ne!(profile_checksum(&nudged), c);
+    }
+}

@@ -6,7 +6,10 @@
 //! through the content-addressed store, so the first scan of an image pays
 //! for disassembly and feature extraction once and every later scan (new
 //! CVE, other basis, re-audit after reboot via the on-disk layer) reuses
-//! the artifacts. Scan entry points return typed [`ScanError`]s rather
+//! the artifacts. The dynamic stage routes through the store's dynamic
+//! lane the same way ([`ScanHub::dyn_source`]): environment sets and
+//! per-function dynamic profiles are cached by content, so a warm
+//! re-audit performs zero VM executions. Scan entry points return typed [`ScanError`]s rather
 //! than panicking; batch scheduling retries transient failures per the
 //! hub's [`RetryPolicy`].
 
@@ -16,6 +19,7 @@ use corpus::vulndb::{DbEntry, VulnDb};
 use fwbin::format::Binary;
 use fwbin::FirmwareImage;
 use patchecko_core::differential::DifferentialConfig;
+use patchecko_core::dynsource::DynProfileSource;
 use patchecko_core::error::ScanError;
 use patchecko_core::pipeline::{Basis, CveAnalysis, ImageAnalysis, Patchecko, StaticScan};
 use patchecko_core::report::AuditReport;
@@ -29,7 +33,9 @@ use std::time::Instant;
 pub struct ScanHub {
     /// The trained analyzer (detector + pipeline settings).
     pub analyzer: Patchecko,
-    store: ArtifactStore,
+    // Behind `Arc` so the store can also serve as the pipeline's shared
+    // `Arc<dyn DynProfileSource>` (see [`ScanHub::dyn_source`]).
+    store: Arc<ArtifactStore>,
     cache_dir: Option<PathBuf>,
     retry: RetryPolicy,
     fault_hook: Option<Arc<FaultHook>>,
@@ -41,7 +47,7 @@ impl ScanHub {
     pub fn new(analyzer: Patchecko) -> ScanHub {
         ScanHub {
             analyzer,
-            store: ArtifactStore::new(),
+            store: Arc::new(ArtifactStore::new()),
             cache_dir: None,
             retry: RetryPolicy::default(),
             fault_hook: None,
@@ -55,7 +61,7 @@ impl ScanHub {
     pub fn with_registry(analyzer: Patchecko, registry: Arc<MetricsRegistry>) -> ScanHub {
         ScanHub {
             analyzer,
-            store: ArtifactStore::with_registry(registry),
+            store: Arc::new(ArtifactStore::with_registry(registry)),
             cache_dir: None,
             retry: RetryPolicy::default(),
             fault_hook: None,
@@ -83,7 +89,7 @@ impl ScanHub {
         registry: Arc<MetricsRegistry>,
     ) -> std::io::Result<ScanHub> {
         let dir = dir.into();
-        let store = ArtifactStore::load_with_registry(&dir, registry)?;
+        let store = Arc::new(ArtifactStore::load_with_registry(&dir, registry)?);
         Ok(ScanHub {
             analyzer,
             store,
@@ -119,6 +125,13 @@ impl ScanHub {
     /// The artifact store.
     pub fn store(&self) -> &ArtifactStore {
         &self.store
+    }
+
+    /// The store viewed as the pipeline's dynamic-profile source: cached
+    /// environment sets and profiles, live fuzzing/execution on miss.
+    /// This is what makes a warm re-audit perform zero VM executions.
+    pub fn dyn_source(&self) -> Arc<dyn DynProfileSource> {
+        Arc::clone(&self.store) as Arc<dyn DynProfileSource>
     }
 
     /// Current cache counters.
@@ -160,8 +173,8 @@ impl ScanHub {
         entry: &DbEntry,
         basis: Basis,
     ) -> Result<StaticScan, ScanError> {
-        let references = Patchecko::reference_feature_set_with(entry, basis, &self.store)?;
-        self.analyzer.scan_library_with(bin, &references, &self.store)
+        let references = Patchecko::reference_feature_set_with(entry, basis, &*self.store)?;
+        self.analyzer.scan_library_with(bin, &references, &*self.store)
     }
 
     /// Full hybrid analysis of one library through the cache.
@@ -175,7 +188,7 @@ impl ScanHub {
         entry: &DbEntry,
         basis: Basis,
     ) -> Result<CveAnalysis, ScanError> {
-        self.analyzer.analyze_library_with(bin, entry, basis, &self.store)
+        self.analyzer.analyze_library_with(bin, entry, basis, &*self.store, &self.dyn_source())
     }
 
     /// Full hybrid analysis of a whole image through the cache.
@@ -188,7 +201,7 @@ impl ScanHub {
         entry: &DbEntry,
         basis: Basis,
     ) -> Result<ImageAnalysis, ScanError> {
-        self.analyzer.analyze_image_with(image, entry, basis, &self.store)
+        self.analyzer.analyze_image_with(image, entry, basis, &*self.store, &self.dyn_source())
     }
 
     /// Whole-image audit against the vulnerability database through the
@@ -204,7 +217,14 @@ impl ScanHub {
         image: &FirmwareImage,
         diff: &DifferentialConfig,
     ) -> Result<AuditReport, ScanError> {
-        patchecko_core::eval::audit_image_with(&self.analyzer, db, image, diff, &self.store)
+        patchecko_core::eval::audit_image_with(
+            &self.analyzer,
+            db,
+            image,
+            diff,
+            &*self.store,
+            &self.dyn_source(),
+        )
     }
 
     /// [`ScanHub::audit`], with the report's `telemetry` field filled by

@@ -14,15 +14,23 @@
 
 use fwbin::format::Binary;
 use fwbin::isa::Arch;
+use vm::exec::VmConfig;
+use vm::fuzz::FuzzConfig;
 
-/// Version of the static feature schema the cached artifacts follow. Bump
-/// whenever `patchecko_core::features::extract` or
-/// [`disasm::CfgSummary`] changes shape so stale on-disk caches miss
-/// instead of serving wrong vectors.
+/// Version of the cached-artifact schema. Bump whenever
+/// `patchecko_core::features::extract`, [`disasm::CfgSummary`], or the
+/// dynamic-lane shapes (`vm::env::ExecEnv`,
+/// `patchecko_core::dynsource::DynProfile`) change so stale on-disk
+/// caches miss instead of serving wrong vectors.
 ///
 /// v2: the persisted form carries a per-entry structural checksum
 /// (`crate::store`), so v1 caches are discarded on load.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the store grows a dynamic lane (`dyn_artifacts.json` — cached
+/// environment sets and dynamic profiles, see `crate::dynstore`); v2
+/// static caches are discarded on load rather than mixed with
+/// dynamic-lane entries keyed under a different version.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A 128-bit content hash naming one function's cached artifacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,24 +47,28 @@ const FNV_OFFSET_HI: u64 = 0xcbf2_9ce4_8422_2325;
 // the two 64-bit FNV streams enough for a corpus-scale 128-bit name.
 const FNV_OFFSET_LO: u64 = 0x6c62_272e_07bb_0142;
 
-struct Fnv2 {
-    hi: u64,
-    lo: u64,
+pub(crate) struct Fnv2 {
+    pub(crate) hi: u64,
+    pub(crate) lo: u64,
 }
 
 impl Fnv2 {
-    fn new() -> Fnv2 {
+    pub(crate) fn new() -> Fnv2 {
         Fnv2 { hi: FNV_OFFSET_HI, lo: FNV_OFFSET_LO }
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.hi = (self.hi ^ b as u64).wrapping_mul(FNV_PRIME);
             self.lo = (self.lo ^ b.rotate_left(3) as u64).wrapping_mul(FNV_PRIME);
         }
     }
 
-    fn update_u32(&mut self, v: u32) {
+    pub(crate) fn update_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    pub(crate) fn update_u64(&mut self, v: u64) {
         self.update(&v.to_le_bytes());
     }
 }
@@ -86,6 +98,55 @@ impl ArtifactKey {
         }
         h.update_u32(rec.code.len() as u32);
         h.update(&rec.code);
+        ArtifactKey { hi: h.hi, lo: h.lo }
+    }
+
+    /// Key of the environment set the dynamic stage derives from
+    /// `reference`'s function 0 under `fuzz` and `vm`.
+    ///
+    /// Hashes the reference-function content key (so a recompiled or
+    /// different reference misses), every fuzzer knob (the generated
+    /// environments are a pure function of them), and the interpreter
+    /// limits (survival filtering executes the reference, so limits shape
+    /// which environments survive).
+    pub fn for_env_set(reference: &Binary, fuzz: &FuzzConfig, vm: &VmConfig) -> ArtifactKey {
+        let base = ArtifactKey::for_function(reference, 0);
+        let mut h = Fnv2::new();
+        h.update_u32(SCHEMA_VERSION);
+        h.update(b"envset");
+        h.update_u64(base.hi);
+        h.update_u64(base.lo);
+        h.update_u64(fuzz.rounds as u64);
+        h.update_u64(fuzz.max_len as u64);
+        h.update_u64(fuzz.num_envs as u64);
+        h.update_u64(fuzz.seed);
+        h.update_u64(fuzz.extra_args.len() as u64);
+        for &a in &fuzz.extra_args {
+            h.update_u64(a as u64);
+        }
+        h.update_u64(vm.max_instructions);
+        h.update_u64(vm.max_depth as u64);
+        h.update_u64(vm.heap_limit as u64);
+        ArtifactKey { hi: h.hi, lo: h.lo }
+    }
+
+    /// Key of the dynamic profile of function `func` of `target` over an
+    /// environment set with content fingerprint `env_fingerprint`
+    /// (`patchecko_core::dynsource::EnvSet::fingerprint`, which already
+    /// digests the interpreter limits and every environment's contents).
+    pub fn for_dyn_profile(
+        target: &Binary,
+        func: usize,
+        env_fingerprint: (u64, u64),
+    ) -> ArtifactKey {
+        let base = ArtifactKey::for_function(target, func);
+        let mut h = Fnv2::new();
+        h.update_u32(SCHEMA_VERSION);
+        h.update(b"dynprof");
+        h.update_u64(base.hi);
+        h.update_u64(base.lo);
+        h.update_u64(env_fingerprint.0);
+        h.update_u64(env_fingerprint.1);
         ArtifactKey { hi: h.hi, lo: h.lo }
     }
 
@@ -146,6 +207,24 @@ mod tests {
         for i in 0..bin.function_count() {
             assert_eq!(ArtifactKey::for_function(&bin, i), ArtifactKey::for_function(&back, i));
         }
+    }
+
+    #[test]
+    fn dyn_keys_are_input_sensitive() {
+        let bin = sample_binary();
+        let fuzz = FuzzConfig::default();
+        let vmc = VmConfig::default();
+        let k = ArtifactKey::for_env_set(&bin, &fuzz, &vmc);
+        assert_eq!(k, ArtifactKey::for_env_set(&bin, &fuzz, &vmc), "deterministic");
+        let reseeded = FuzzConfig { seed: fuzz.seed + 1, ..fuzz.clone() };
+        assert_ne!(ArtifactKey::for_env_set(&bin, &reseeded, &vmc), k, "fuzz knobs hashed");
+        let tighter = VmConfig { max_instructions: 1, ..vmc };
+        assert_ne!(ArtifactKey::for_env_set(&bin, &fuzz, &tighter), k, "vm limits hashed");
+
+        let p = ArtifactKey::for_dyn_profile(&bin, 0, (1, 2));
+        assert_ne!(ArtifactKey::for_dyn_profile(&bin, 1, (1, 2)), p, "function hashed");
+        assert_ne!(ArtifactKey::for_dyn_profile(&bin, 0, (1, 3)), p, "fingerprint hashed");
+        assert_ne!(p, k, "lanes are domain-separated");
     }
 
     #[test]

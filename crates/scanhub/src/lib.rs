@@ -14,6 +14,10 @@
 //!   [`StaticFeatures`](patchecko_core::features::StaticFeatures) +
 //!   [`CfgSummary`](disasm::CfgSummary) per key, with hit/miss/extraction
 //!   counters and an on-disk JSON layer;
+//! * [`dynstore`] — the store's dynamic lane: cached execution-environment
+//!   sets and per-function dynamic profiles, so a warm re-audit performs
+//!   zero VM executions (the store implements
+//!   [`DynProfileSource`](patchecko_core::dynsource::DynProfileSource));
 //! * [`schedule`] — the (image × CVE × basis) job scheduler over the
 //!   shared persistent worker pool ([`neural::pool`]), with per-job
 //!   timing and graceful failure records;
@@ -47,11 +51,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynstore;
 pub mod hub;
 pub mod key;
 pub mod schedule;
 pub mod store;
 
+pub use dynstore::{env_set_checksum, profile_checksum, DYN_CACHE_FILE};
 pub use hub::{BatchReport, ScanHub};
 pub use key::{ArtifactKey, SCHEMA_VERSION};
 pub use schedule::{

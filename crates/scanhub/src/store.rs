@@ -21,10 +21,12 @@
 //! a temp file + rename so a crash mid-write can't leave a truncated
 //! `artifacts.json` behind.
 
+use crate::dynstore::DynLane;
 use crate::key::{ArtifactKey, SCHEMA_VERSION};
 use disasm::CfgSummary;
 use fwbin::format::Binary;
 use parking_lot::Mutex;
+use patchecko_core::dynsource::{self, DynProfile, DynProfileSource, EnvSet};
 use patchecko_core::error::ScanError;
 use patchecko_core::features::{self, StaticFeatures};
 use patchecko_core::pipeline::FeatureSource;
@@ -33,6 +35,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::Arc;
+use vm::exec::VmConfig;
+use vm::fuzz::FuzzConfig;
+use vm::loader::LoadedBinary;
 
 /// Shard count of the in-memory map. Power of two, comfortably above the
 /// worker counts the scheduler runs with.
@@ -88,6 +93,23 @@ pub struct CacheStats {
     /// failed checksum/schema/parse validation on load.
     #[serde(default)]
     pub quarantined: u64,
+    /// Dynamic-lane lookups (environment sets and profiles) served from
+    /// the cache — each one is a batch of VM executions *not* performed.
+    #[serde(default)]
+    pub dyn_hits: u64,
+    /// Dynamic-lane lookups that found nothing.
+    #[serde(default)]
+    pub dyn_misses: u64,
+    /// Dynamic profiles actually computed by live VM execution.
+    #[serde(default)]
+    pub dyn_profiled: u64,
+    /// Dynamic-lane entries currently resident (env sets + profiles).
+    #[serde(default)]
+    pub dyn_entries: u64,
+    /// Dynamic-lane entries (or the whole `dyn_artifacts.json`) evicted on
+    /// load for failing checksum/schema/parse validation.
+    #[serde(default)]
+    pub dyn_quarantined: u64,
 }
 
 impl CacheStats {
@@ -115,6 +137,11 @@ impl CacheStats {
             extractions: self.extractions.saturating_sub(earlier.extractions),
             entries: self.entries,
             quarantined: self.quarantined.saturating_sub(earlier.quarantined),
+            dyn_hits: self.dyn_hits.saturating_sub(earlier.dyn_hits),
+            dyn_misses: self.dyn_misses.saturating_sub(earlier.dyn_misses),
+            dyn_profiled: self.dyn_profiled.saturating_sub(earlier.dyn_profiled),
+            dyn_entries: self.dyn_entries,
+            dyn_quarantined: self.dyn_quarantined.saturating_sub(earlier.dyn_quarantined),
         }
     }
 }
@@ -123,13 +150,19 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate), {} extractions, {} entries, {} quarantined",
+            "{} hits / {} misses ({:.1}% hit rate), {} extractions, {} entries, {} quarantined; \
+             dyn: {} hits / {} misses, {} profiled, {} entries, {} quarantined",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
             self.extractions,
             self.entries,
-            self.quarantined
+            self.quarantined,
+            self.dyn_hits,
+            self.dyn_misses,
+            self.dyn_profiled,
+            self.dyn_entries,
+            self.dyn_quarantined
         )
     }
 }
@@ -170,6 +203,7 @@ pub struct ArtifactStore {
     extractions: Counter,
     quarantined: Counter,
     quarantine_log: Mutex<Vec<String>>,
+    dyn_lane: DynLane,
 }
 
 impl Default for ArtifactStore {
@@ -192,6 +226,7 @@ impl ArtifactStore {
             misses: registry.counter("cache.misses"),
             extractions: registry.counter("cache.extractions"),
             quarantined: registry.counter("cache.quarantined"),
+            dyn_lane: DynLane::with_registry(&registry),
             registry,
             quarantine_log: Mutex::new(Vec::new()),
         }
@@ -210,6 +245,11 @@ impl ArtifactStore {
             extractions: self.extractions.get(),
             entries: self.shards.iter().map(|s| s.lock().len() as u64).sum(),
             quarantined: self.quarantined.get(),
+            dyn_hits: self.dyn_lane.hits.get(),
+            dyn_misses: self.dyn_lane.misses.get(),
+            dyn_profiled: self.dyn_lane.profiled.get(),
+            dyn_entries: self.dyn_lane.entries(),
+            dyn_quarantined: self.dyn_lane.quarantined.get(),
         }
     }
 
@@ -222,9 +262,11 @@ impl ArtifactStore {
     }
 
     /// Details of every quarantine event since construction (validation
-    /// failures found while loading the disk layer).
+    /// failures found while loading the disk layer, both lanes).
     pub fn quarantine_records(&self) -> Vec<String> {
-        self.quarantine_log.lock().clone()
+        let mut records = self.quarantine_log.lock().clone();
+        records.extend(self.dyn_lane.quarantine_records());
+        records
     }
 
     /// Number of resident entries.
@@ -316,7 +358,10 @@ impl ArtifactStore {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let tmp = dir.join(format!("artifacts.json.tmp.{}", std::process::id()));
         std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, dir.join("artifacts.json"))
+        std::fs::rename(&tmp, dir.join("artifacts.json"))?;
+        // The dynamic lane persists beside the static one, in its own
+        // document — corruption in one file never takes down the other.
+        self.dyn_lane.save(dir)
     }
 
     /// Load a store persisted by [`ArtifactStore::save`]. The disk layer
@@ -348,6 +393,9 @@ impl ArtifactStore {
     ) -> std::io::Result<ArtifactStore> {
         let path = dir.join("artifacts.json");
         let store = ArtifactStore::with_registry(registry);
+        // The dynamic lane loads first from its own file; its quarantines
+        // are independent of the static document's fate below.
+        store.dyn_lane.load(dir)?;
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(store),
@@ -413,6 +461,60 @@ impl FeatureSource for ArtifactStore {
 
     fn features_one(&self, bin: &Binary, idx: usize) -> Result<StaticFeatures, ScanError> {
         Ok(self.get_or_extract(bin, idx)?.features.clone())
+    }
+}
+
+/// The dynamic lane served through the pipeline's [`DynProfileSource`]
+/// seam. Both methods are infallible by construction: a damaged or
+/// missing cache entry was already quarantined at load time and is simply
+/// a miss here, answered by live fuzzing/execution — so cache trouble
+/// degrades to cold-run behaviour (bitwise-identical results, more VM
+/// executions), never to an error.
+impl DynProfileSource for ArtifactStore {
+    fn environments(
+        &self,
+        reference: &LoadedBinary,
+        fuzz_cfg: &FuzzConfig,
+        vm: &VmConfig,
+    ) -> Result<EnvSet, ScanError> {
+        let key = ArtifactKey::for_env_set(reference.binary(), fuzz_cfg, vm);
+        if let Some(envs) = self.dyn_lane.lookup_envs(key) {
+            // Recomputing the fingerprint from the stored contents (rather
+            // than persisting it) keeps the env-set → profile linkage
+            // self-validating: a tampered env list that somehow survived
+            // the checksum would fingerprint differently and miss every
+            // profile derived from the original.
+            return Ok(EnvSet::new((*envs).clone(), vm));
+        }
+        let set = dynsource::live_environments(reference, fuzz_cfg, vm);
+        self.dyn_lane.insert_envs(key, set.envs.clone());
+        Ok(set)
+    }
+
+    fn profile(
+        &self,
+        target: &LoadedBinary,
+        func: usize,
+        envs: &EnvSet,
+        vm: &VmConfig,
+    ) -> Result<DynProfile, ScanError> {
+        // Same contract (and same message) as `LoadedBinary::run_any` and
+        // `LiveProfiling`, checked before key derivation so an
+        // out-of-range candidate produces identical degradation
+        // diagnostics whether the lane is warm or cold.
+        assert!(
+            func < target.function_count(),
+            "function index {func} out of range (table holds {})",
+            target.function_count()
+        );
+        let key = ArtifactKey::for_dyn_profile(target.binary(), func, envs.fingerprint);
+        if let Some(profile) = self.dyn_lane.lookup_profile(key) {
+            return Ok((*profile).clone());
+        }
+        self.dyn_lane.profiled.inc();
+        let profile = dynsource::live_profile(target, func, &envs.envs, vm);
+        self.dyn_lane.insert_profile(key, profile.clone());
+        Ok(profile)
     }
 }
 
@@ -658,6 +760,105 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.hits, snap.counter("cache.hits"));
         assert!(Arc::ptr_eq(store.registry(), &reg));
+    }
+
+    /// A small loaded binary plus the dynamic-stage configs, for
+    /// exercising the store as a [`DynProfileSource`].
+    fn dyn_fixture() -> (LoadedBinary, FuzzConfig, VmConfig) {
+        let lib = Generator::new(21).library_sized("libdyn", 4);
+        let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O2).unwrap();
+        (LoadedBinary::load(bin).unwrap(), FuzzConfig::default(), VmConfig::default())
+    }
+
+    #[test]
+    fn dyn_lane_roundtrip_serves_cached_envs_and_profiles() {
+        let dir = temp_cache("dyn-roundtrip");
+        let (lb, fuzz, vmc) = dyn_fixture();
+        let store = ArtifactStore::new();
+        let envs = store.environments(&lb, &fuzz, &vmc).unwrap();
+        let cold = store.profile(&lb, 1, &envs, &vmc).unwrap();
+        let s = store.stats();
+        assert_eq!((s.dyn_hits, s.dyn_misses, s.dyn_profiled), (0, 2, 1));
+        assert_eq!(s.dyn_entries, 2, "one env set + one profile resident");
+        store.save(&dir).unwrap();
+
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        assert_eq!(reloaded.stats().dyn_entries, 2);
+        assert_eq!(reloaded.stats().dyn_quarantined, 0, "a clean dyn cache quarantines nothing");
+        let envs2 = reloaded.environments(&lb, &fuzz, &vmc).unwrap();
+        assert_eq!(envs2.envs, envs.envs);
+        assert_eq!(envs2.fingerprint, envs.fingerprint, "recomputed fingerprint matches");
+        let warm = reloaded.profile(&lb, 1, &envs2, &vmc).unwrap();
+        assert_eq!(warm, cold, "cached profile is bitwise-identical to the live one");
+        let s = reloaded.stats();
+        assert_eq!((s.dyn_hits, s.dyn_misses), (2, 0), "warm pass is all hits");
+        assert_eq!(s.dyn_profiled, 0, "warm pass executes nothing");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_dyn_entry_evicted_and_recomputed() {
+        let dir = temp_cache("dyn-tampered");
+        let (lb, fuzz, vmc) = dyn_fixture();
+        let store = ArtifactStore::new();
+        let envs = store.environments(&lb, &fuzz, &vmc).unwrap();
+        let cold = store.profile(&lb, 0, &envs, &vmc).unwrap();
+        store.save(&dir).unwrap();
+
+        // Flip one profile checksum so the entry no longer validates.
+        let path = dir.join(crate::dynstore::DYN_CACHE_FILE);
+        let mut doc: crate::dynstore::PersistedDynStore =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        doc.profiles.values_mut().next().unwrap().checksum ^= 1;
+        std::fs::write(&path, serde_json::to_string(&doc).unwrap()).unwrap();
+
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        assert_eq!(reloaded.stats().dyn_quarantined, 1, "only the tampered entry is evicted");
+        assert!(reloaded
+            .quarantine_records()
+            .iter()
+            .any(|r| r.contains("dyn profile") && r.contains("checksum mismatch")));
+        // The evicted profile is recomputed live, bitwise-identical.
+        let envs2 = reloaded.environments(&lb, &fuzz, &vmc).unwrap();
+        let warm = reloaded.profile(&lb, 0, &envs2, &vmc).unwrap();
+        assert_eq!(warm, cold);
+        assert_eq!(reloaded.stats().dyn_profiled, 1, "exactly the evicted profile re-executes");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_dyn_schema_discarded_independently_of_static_lane() {
+        let dir = temp_cache("dyn-stale");
+        let (lb, fuzz, vmc) = dyn_fixture();
+        let store = ArtifactStore::new();
+        store.features_all(lb.binary()).unwrap();
+        let envs = store.environments(&lb, &fuzz, &vmc).unwrap();
+        store.profile(&lb, 0, &envs, &vmc).unwrap();
+        store.save(&dir).unwrap();
+
+        let path = dir.join(crate::dynstore::DYN_CACHE_FILE);
+        let json = std::fs::read_to_string(&path).unwrap();
+        let stale = json.replacen(&format!("\"schema\":{SCHEMA_VERSION}"), "\"schema\":2", 1);
+        assert_ne!(json, stale, "schema field rewritten");
+        std::fs::write(&path, stale).unwrap();
+
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        assert_eq!(reloaded.stats().dyn_entries, 0, "stale dyn entries are discarded");
+        assert_eq!(reloaded.stats().dyn_quarantined, 1);
+        assert!(reloaded.quarantine_records().iter().any(|r| r.contains("stale schema")));
+        // The static lane is untouched by dynamic-lane staleness.
+        assert_eq!(reloaded.len(), store.len());
+        assert_eq!(reloaded.stats().quarantined, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dyn_profile_out_of_range_panics_like_run_any() {
+        let (lb, fuzz, vmc) = dyn_fixture();
+        let store = ArtifactStore::new();
+        let envs = store.environments(&lb, &fuzz, &vmc).unwrap();
+        let _ = store.profile(&lb, lb.function_count() + 1, &envs, &vmc);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Snapshot/reset execution-environment pool.
+//!
+//! The dynamic stage runs every surviving candidate function under the
+//! same fixed set of execution environments (§III-B of the paper: the
+//! reference's environments are replayed against each candidate). The
+//! naive path — [`crate::loader::LoadedBinary::run_any`] per (candidate,
+//! env) pair — re-materializes the argument values and re-resolves the
+//! global-override table on every call. [`EnvPool`] prepares each
+//! environment once ([`ExecEnv::arg_values`] + globals resolution), then
+//! every run clones the prepared snapshot into a fresh interpreter: the
+//! VM state (heap, trace, globals) is reset to the snapshot between runs,
+//! so executions stay bitwise-independent while the per-run setup cost is
+//! a pair of memcpys.
+
+use crate::env::ExecEnv;
+use crate::exec::{resolve_globals, Vm, VmConfig};
+use crate::loader::{LoadedBinary, RunResult};
+use crate::value::Value;
+
+/// One prepared environment: raw input bytes, materialized argument
+/// values, and the fully-resolved global table (initializers + overrides).
+#[derive(Debug, Clone)]
+struct EnvSnapshot {
+    input: Vec<u8>,
+    args: Vec<Value>,
+    globals: Vec<Value>,
+}
+
+/// A pool of prepared execution environments over one loaded binary.
+///
+/// Build once per (binary, env set) and call [`EnvPool::run`] /
+/// [`EnvPool::run_all`] for any number of candidate functions; results are
+/// bitwise-identical to calling [`LoadedBinary::run_any`] per pair.
+pub struct EnvPool<'a> {
+    binary: &'a LoadedBinary,
+    cfg: VmConfig,
+    snapshots: Vec<EnvSnapshot>,
+}
+
+impl<'a> EnvPool<'a> {
+    /// Prepare `envs` for repeated execution against `binary`.
+    pub fn new(binary: &'a LoadedBinary, envs: &[ExecEnv], cfg: &VmConfig) -> EnvPool<'a> {
+        let image = binary.image();
+        let snapshots = envs
+            .iter()
+            .map(|e| EnvSnapshot {
+                input: e.input.clone(),
+                args: e.arg_values(),
+                globals: resolve_globals(&image, &e.global_overrides),
+            })
+            .collect();
+        EnvPool { binary, cfg: cfg.clone(), snapshots }
+    }
+
+    /// Number of prepared environments.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when the pool holds no environments.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Run function `func` in environment `env_idx`.
+    ///
+    /// # Panics
+    /// Panics if `func` or `env_idx` is out of range — same contract (and
+    /// same message) as [`LoadedBinary::run_any`], so callers that convert
+    /// panics into degraded results see identical diagnostics.
+    pub fn run(&self, func: usize, env_idx: usize) -> RunResult {
+        assert!(
+            func < self.binary.function_count(),
+            "function index {func} out of range (table holds {})",
+            self.binary.function_count()
+        );
+        let image = self.binary.image();
+        let snap = &self.snapshots[env_idx];
+        let mut vm = Vm::with_globals(&image, &self.cfg, snap.input.clone(), snap.globals.clone());
+        let outcome = vm.run(func, snap.args.clone());
+        let features = vm.trace().features();
+        let coverage = vm.trace().unique_count();
+        RunResult { outcome, features, coverage }
+    }
+
+    /// Run `func` under every prepared environment, in pool order.
+    pub fn run_all(&self, func: usize) -> Vec<RunResult> {
+        (0..self.snapshots.len()).map(|i| self.run(func, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fwbin::isa::{Arch, OptLevel};
+    use fwlang::gen::Generator;
+
+    fn loaded() -> LoadedBinary {
+        let lib = Generator::new(11).library_sized("libpool", 5);
+        let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O2).unwrap();
+        LoadedBinary::load(bin).unwrap()
+    }
+
+    #[test]
+    fn pool_runs_match_run_any_bitwise() {
+        let loaded = loaded();
+        let cfg = VmConfig::default();
+        let envs: Vec<ExecEnv> = (0..4)
+            .map(|i| ExecEnv::for_buffer(vec![i as u8 + 1; 8 + i], &[0]))
+            .collect();
+        let pool = EnvPool::new(&loaded, &envs, &cfg);
+        assert_eq!(pool.len(), envs.len());
+        for func in 0..loaded.function_count() {
+            for (i, env) in envs.iter().enumerate() {
+                let direct = loaded.run_any(func, env, &cfg);
+                let pooled = pool.run(func, i);
+                assert_eq!(direct.outcome, pooled.outcome);
+                assert_eq!(
+                    direct.features.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                    pooled.features.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+                );
+                assert_eq!(direct.coverage, pooled.coverage);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_runs_are_independent_of_order() {
+        let loaded = loaded();
+        let cfg = VmConfig::default();
+        let envs = vec![
+            ExecEnv::for_buffer(vec![7; 12], &[0]),
+            ExecEnv::for_buffer(vec![1, 2, 3], &[0]),
+        ];
+        let pool = EnvPool::new(&loaded, &envs, &cfg);
+        let forward: Vec<_> = pool.run_all(0).into_iter().map(|r| r.features).collect();
+        // Re-run in reverse: snapshots must fully reset state between runs.
+        let backward: Vec<_> =
+            (0..pool.len()).rev().map(|i| pool.run(0, i).features).collect();
+        for (f, b) in forward.iter().zip(backward.iter().rev()) {
+            assert_eq!(
+                f.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_function_panics_like_run_any() {
+        let loaded = loaded();
+        let pool = EnvPool::new(&loaded, &[ExecEnv::for_buffer(vec![1], &[0])], &VmConfig::default());
+        pool.run(loaded.function_count() + 3, 0);
+    }
+}

@@ -223,6 +223,29 @@ fn int_binop(op: BinOp, a: Value, b: Value) -> Result<Value, Fault> {
     }
 }
 
+/// Process-global `vm.executions` counter handle, resolved once.
+///
+/// [`Vm::run`] is the single chokepoint for every execution path — loader
+/// `run_any`/`run_export`, the fuzzer, and [`crate::envpool::EnvPool`] —
+/// so a warm cache-served audit can prove "zero VM executions" by reading
+/// `vm.executions` from the global scope registry.
+fn executions_counter() -> &'static scope::Counter {
+    static COUNTER: std::sync::OnceLock<scope::Counter> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| scope::global().counter("vm.executions"))
+}
+
+/// Materialize a global table from an image's initializers plus per-env
+/// overrides. Shared by [`Vm::new`] and the environment pool's snapshots.
+pub(crate) fn resolve_globals(image: &ExecImage<'_>, overrides: &[(u32, i64)]) -> Vec<Value> {
+    let mut globals: Vec<Value> = image.globals_init.iter().map(|&g| Value::Int(g)).collect();
+    for &(gid, v) in overrides {
+        if let Some(slot) = globals.get_mut(gid as usize) {
+            *slot = Value::Int(v);
+        }
+    }
+    globals
+}
+
 impl<'a> Vm<'a> {
     /// Create a VM over an execution image with the given input buffer and
     /// per-run global overrides.
@@ -232,13 +255,20 @@ impl<'a> Vm<'a> {
         input: Vec<u8>,
         global_overrides: &[(u32, i64)],
     ) -> Vm<'a> {
-        let mut globals: Vec<Value> =
-            image.globals_init.iter().map(|&g| Value::Int(g)).collect();
-        for &(gid, v) in global_overrides {
-            if let Some(slot) = globals.get_mut(gid as usize) {
-                *slot = Value::Int(v);
-            }
-        }
+        Vm::with_globals(image, cfg, input, resolve_globals(image, global_overrides))
+    }
+
+    /// Like [`Vm::new`], but with an already-materialized global table.
+    ///
+    /// [`crate::envpool::EnvPool`] resolves `globals_init` + overrides once
+    /// per environment and clones the snapshot here for every run, instead
+    /// of re-walking the override list per execution.
+    pub fn with_globals(
+        image: &'a ExecImage<'a>,
+        cfg: &'a VmConfig,
+        input: Vec<u8>,
+        globals: Vec<Value>,
+    ) -> Vm<'a> {
         Vm {
             image,
             cfg,
@@ -462,6 +492,7 @@ impl<'a> Vm<'a> {
 
     /// Run function `func_idx` with the given argument list to completion.
     pub fn run(&mut self, func_idx: usize, args: Vec<Value>) -> Outcome {
+        executions_counter().inc();
         if func_idx >= self.image.code.len() {
             return Outcome::Fault(Fault::BadCall);
         }

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod env;
+pub mod envpool;
 pub mod exec;
 pub mod fuzz;
 pub mod loader;
@@ -45,6 +46,7 @@ pub mod trace;
 pub mod value;
 
 pub use env::{ArgSpec, ExecEnv};
+pub use envpool::EnvPool;
 pub use exec::{Fault, Outcome, VmConfig};
 pub use fuzz::{fuzz_function, FuzzConfig};
 pub use loader::{LoadError, LoadedBinary, RunResult};

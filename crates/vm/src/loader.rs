@@ -169,7 +169,7 @@ impl LoadedBinary {
             .position(|f| f.exported && f.name.as_deref() == Some(name))
     }
 
-    fn image(&self) -> ExecImage<'_> {
+    pub(crate) fn image(&self) -> ExecImage<'_> {
         ExecImage {
             code: &self.code,
             frame_slots: &self.frame_slots,

@@ -55,6 +55,100 @@ fn list_and_inspect() {
     assert!(!out.status.success());
 }
 
+/// Parse the dynamic-lane counters out of a `cache: ...` stderr line:
+/// `(hits, misses, profiled)` from
+/// `"...; dyn: H hits / M misses, P profiled, E entries, Q quarantined"`.
+fn dyn_counters(stderr: &str) -> (u64, u64, u64) {
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("cache: ") && l.contains("dyn: "))
+        .unwrap_or_else(|| panic!("no cache-stats line in stderr:\n{stderr}"));
+    let dyn_part = line.split("dyn: ").nth(1).unwrap();
+    let nums: Vec<u64> = dyn_part
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap())
+        .collect();
+    assert!(nums.len() >= 3, "short dyn segment: {dyn_part}");
+    (nums[0], nums[1], nums[2])
+}
+
+#[test]
+fn batch_audit_exit_codes_and_dyn_cache_stats() {
+    let dir = tmpdir("batch_dyn");
+    let model = dir.join("model.json");
+    let image = dir.join("image");
+    let cache = dir.join("cache");
+
+    let out = bin()
+        .args(["train", "--out", model.to_str().unwrap(), "--libs", "10", "--epochs", "8", "--pairs", "6"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["build-image", "--device", "android_things", "--out", image.to_str().unwrap(), "--scale", "0.04"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let batch = |extra: &[&str]| {
+        let mut cmd = bin();
+        cmd.args([
+            "batch-audit",
+            "--model",
+            model.to_str().unwrap(),
+            "--images",
+            image.to_str().unwrap(),
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--cache-stats",
+        ]);
+        cmd.args(extra);
+        cmd.output().unwrap()
+    };
+
+    // Cold batch: completes, exits 0, profiles live into the dynamic lane.
+    let out = batch(&["--cves", "CVE-2018-9412"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 jobs (1 completed, 0 failed)"), "summary line: {stdout}");
+    assert!(stderr.contains("cache persisted to"), "cold run persists: {stderr}");
+    // (A cold run still records in-memory hits: the pipeline and the
+    // differential engine reuse profiles within the same audit.)
+    let (_, misses, profiled) = dyn_counters(&stderr);
+    assert!(misses > 0 && profiled > 0, "cold run profiles live: {misses} misses, {profiled} profiled");
+
+    // Warm batch in a fresh process: the persisted dynamic lane answers
+    // everything — zero misses, zero live profiling.
+    let out = batch(&["--cves", "CVE-2018-9412"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    let (hits, misses, profiled) = dyn_counters(&stderr);
+    assert!(hits > 0, "warm run is served by the dynamic lane: {stderr}");
+    assert_eq!((misses, profiled), (0, 0), "warm run must not execute: {stderr}");
+
+    // Exit codes: an unknown CVE and a missing image directory both fail
+    // with status 1 and a diagnostic on stderr.
+    let out = batch(&["--cves", "CVE-0000-0000"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown CVE"));
+
+    let out = bin()
+        .args([
+            "batch-audit",
+            "--model",
+            model.to_str().unwrap(),
+            "--images",
+            dir.join("no_such_image").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "missing image dir must fail");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn train_build_scan_roundtrip() {
     let dir = tmpdir("roundtrip");
