@@ -98,6 +98,35 @@ pub enum ScanError {
         /// OS error detail.
         detail: String,
     },
+    /// The scan service's admission queue is full. Transient by
+    /// definition — the caller should back off for `retry_after_ms` and
+    /// resubmit; the daemon sheds load instead of queueing unboundedly.
+    Overloaded {
+        /// Requests queued when admission was refused.
+        queue_depth: usize,
+        /// The admission limit that was hit.
+        queue_limit: usize,
+        /// Suggested client backoff before resubmitting, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A job exceeded its wall-clock budget and was abandoned by the
+    /// scheduler. Transient: a retry may land on a less loaded worker or
+    /// a warmer cache.
+    Timeout {
+        /// The budget that was exceeded, milliseconds.
+        budget_ms: u64,
+    },
+    /// The scan service is draining: in-flight work finishes, new work is
+    /// refused. Transient from the fleet's perspective (another instance,
+    /// or this one after restart, can serve the request).
+    Draining,
+    /// A malformed wire-protocol frame or request (bad length prefix,
+    /// truncated payload, unparseable JSON). Permanent: resending the
+    /// same bytes cannot help.
+    Protocol {
+        /// What failed to parse or frame.
+        detail: String,
+    },
 }
 
 impl ScanError {
@@ -107,11 +136,15 @@ impl ScanError {
             ScanError::Load { .. }
             | ScanError::Extraction { .. }
             | ScanError::UnknownCve(_)
-            | ScanError::ImageOutOfRange { .. } => ErrorClass::Permanent,
+            | ScanError::ImageOutOfRange { .. }
+            | ScanError::Protocol { .. } => ErrorClass::Permanent,
             ScanError::CorruptArtifact { .. }
             | ScanError::WorkerPanic { .. }
             | ScanError::Injected { .. }
-            | ScanError::Io { .. } => ErrorClass::Transient,
+            | ScanError::Io { .. }
+            | ScanError::Overloaded { .. }
+            | ScanError::Timeout { .. }
+            | ScanError::Draining => ErrorClass::Transient,
         }
     }
 
@@ -166,6 +199,15 @@ impl std::fmt::Display for ScanError {
                 write!(f, "image index {index} out of range (batch holds {images})")
             }
             ScanError::Io { path, detail } => write!(f, "io `{path}`: {detail}"),
+            ScanError::Overloaded { queue_depth, queue_limit, retry_after_ms } => write!(
+                f,
+                "overloaded: {queue_depth} queued (limit {queue_limit}), retry after {retry_after_ms}ms"
+            ),
+            ScanError::Timeout { budget_ms } => {
+                write!(f, "job exceeded its {budget_ms}ms wall-clock budget")
+            }
+            ScanError::Draining => f.write_str("service is draining; no new work accepted"),
+            ScanError::Protocol { detail } => write!(f, "protocol error: {detail}"),
         }
     }
 }
@@ -183,12 +225,16 @@ mod tests {
             ScanError::WorkerPanic { detail: "boom".into() },
             ScanError::Injected { site: "features_all".into(), detail: "seed 1".into() },
             ScanError::Io { path: "/tmp/x".into(), detail: "interrupted".into() },
+            ScanError::Overloaded { queue_depth: 65, queue_limit: 64, retry_after_ms: 100 },
+            ScanError::Timeout { budget_ms: 500 },
+            ScanError::Draining,
         ];
         let permanent = [
             ScanError::Load { library: "libx".into(), detail: "bad magic".into() },
             ScanError::Extraction { library: "libx".into(), function: 3, detail: "opcode".into() },
             ScanError::UnknownCve("CVE-0000-0000".into()),
             ScanError::ImageOutOfRange { index: 9, images: 2 },
+            ScanError::Protocol { detail: "frame length 0xffffffff".into() },
         ];
         for e in &transient {
             assert!(e.is_transient(), "{e}");
@@ -208,6 +254,19 @@ mod tests {
         assert_eq!(e, back);
         assert!(e.to_string().contains("libfoo"));
         assert!(e.to_string().contains("function 7"));
+    }
+
+    #[test]
+    fn service_errors_serialize_and_describe_themselves() {
+        let e = ScanError::Overloaded { queue_depth: 70, queue_limit: 64, retry_after_ms: 250 };
+        let back: ScanError = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(e, back);
+        assert!(e.to_string().contains("retry after 250ms"), "{e}");
+        assert!(ScanError::Timeout { budget_ms: 500 }.to_string().contains("500ms"));
+        assert!(ScanError::Draining.to_string().contains("draining"));
+        assert!(ScanError::Protocol { detail: "short frame".into() }
+            .to_string()
+            .contains("short frame"));
     }
 
     #[test]

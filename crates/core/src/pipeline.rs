@@ -655,7 +655,7 @@ impl Patchecko {
 }
 
 /// The image-wide best match for a CVE.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ImageMatch {
     /// Library name of the match.
     pub library: String,

@@ -19,7 +19,10 @@
 //!   truncation, stale schema, checksum tampering);
 //! * [`image`] — corrupts FWB container bytes to attack the loader;
 //! * [`hook`] — builds scheduler fault hooks that kill job attempts
-//!   (simulated worker deaths), transiently or fatally.
+//!   (simulated worker deaths), transiently or fatally;
+//! * [`wire`] — sabotages the scan daemon's length-prefixed socket frames
+//!   (truncation, corrupt length prefixes, garbage bodies, mid-request
+//!   disconnects).
 //!
 //! The chaos proptest suite in `tests/chaos.rs` asserts the three headline
 //! invariants: no panic escapes the scheduler, the cache never serves
@@ -35,7 +38,9 @@ pub mod hook;
 pub mod image;
 pub mod plan;
 pub mod source;
+pub mod wire;
 
 pub use disk::{CacheLane, DiskFault};
 pub use plan::FaultPlan;
 pub use source::{FaultyFeatureSource, SourceFaults};
+pub use wire::{Sabotage, WireFault, WireFaults};

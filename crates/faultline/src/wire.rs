@@ -1,0 +1,222 @@
+//! Wire-protocol fault injection for the scan daemon's socket seams.
+//!
+//! The `scand` protocol is a 4-byte little-endian length prefix followed
+//! by a JSON body. This module sabotages *encoded frames* — the byte
+//! vector a client or server is about to write — so chaos tests can
+//! attack the daemon's framing layer from outside: truncated frames
+//! (client died mid-write), corrupted length prefixes (a frame claiming
+//! to be gigabytes long), garbage bodies (unparseable JSON), and clean
+//! mid-request disconnects. The daemon's contract under all of them is
+//! the same: answer with a typed `Protocol` error or drop the one
+//! connection — never hang, never panic, never poison another client's
+//! request.
+//!
+//! Queue-full — the remaining daemon seam — needs no byte sabotage: it is
+//! driven by configuring a small admission limit and offering more
+//! concurrent requests than the queue holds, and is asserted through the
+//! typed `Overloaded` rejection.
+//!
+//! Like every other injector in this crate, decisions come from a seeded
+//! [`FaultPlan`] keyed by the frame's identity, so a failing soak run
+//! replays bit-for-bit from its seed.
+
+use crate::plan::FaultPlan;
+
+/// The wire-level faults the sabotager can inject into one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Deliver only a prefix of the frame, then hang up — a client (or
+    /// server) dying mid-write.
+    TruncateFrame,
+    /// Rewrite the 4-byte length prefix to an absurd size; the body is
+    /// delivered unchanged. A correct peer rejects the frame on the
+    /// prefix alone instead of trying to buffer gigabytes.
+    CorruptLength,
+    /// Flip bytes inside the JSON body (length prefix stays correct);
+    /// the frame arrives whole but does not parse.
+    GarbageBody,
+    /// Hang up before writing anything — a mid-request client disconnect.
+    Disconnect,
+}
+
+/// What to actually put on the socket for one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sabotage {
+    /// Write these bytes (possibly mangled) and carry on.
+    Deliver(Vec<u8>),
+    /// Write only the first `after` bytes, then close the connection.
+    Hangup {
+        /// Bytes to write before closing (0 = close immediately).
+        after: usize,
+    },
+}
+
+/// Seeded per-frame sabotage of length-prefixed frames. Each fault kind
+/// has an independent 1-in-N rate (`0` disables it); kinds are checked in
+/// a fixed order, so at most one fires per frame.
+#[derive(Debug, Clone, Copy)]
+pub struct WireFaults {
+    plan: FaultPlan,
+    /// 1-in-N rate for [`WireFault::Disconnect`] (0 = never).
+    pub disconnect_in: u32,
+    /// 1-in-N rate for [`WireFault::TruncateFrame`] (0 = never).
+    pub truncate_in: u32,
+    /// 1-in-N rate for [`WireFault::CorruptLength`] (0 = never).
+    pub corrupt_len_in: u32,
+    /// 1-in-N rate for [`WireFault::GarbageBody`] (0 = never).
+    pub garbage_in: u32,
+}
+
+impl WireFaults {
+    /// A sabotager with every fault disabled (frames pass untouched).
+    pub fn none(plan: FaultPlan) -> WireFaults {
+        WireFaults { plan, disconnect_in: 0, truncate_in: 0, corrupt_len_in: 0, garbage_in: 0 }
+    }
+
+    /// An aggressive sabotager: each fault kind at 1-in-8 per frame
+    /// (roughly two in five frames suffer *some* fault).
+    pub fn aggressive(plan: FaultPlan) -> WireFaults {
+        WireFaults { plan, disconnect_in: 8, truncate_in: 8, corrupt_len_in: 8, garbage_in: 8 }
+    }
+
+    /// The plan decisions replay from.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Which fault (if any) fires for the frame identified by `key`.
+    /// Deterministic in `(seed, key)`.
+    pub fn verdict(&self, key: u64) -> Option<WireFault> {
+        if self.plan.fires("wire.disconnect", key, 1, self.disconnect_in) {
+            Some(WireFault::Disconnect)
+        } else if self.plan.fires("wire.truncate", key, 1, self.truncate_in) {
+            Some(WireFault::TruncateFrame)
+        } else if self.plan.fires("wire.corrupt_len", key, 1, self.corrupt_len_in) {
+            Some(WireFault::CorruptLength)
+        } else if self.plan.fires("wire.garbage", key, 1, self.garbage_in) {
+            Some(WireFault::GarbageBody)
+        } else {
+            None
+        }
+    }
+
+    /// Sabotage one encoded frame (4-byte LE length prefix + body).
+    /// Frames too small to carry the targeted structure pass through
+    /// unharmed rather than panicking the *injector*.
+    pub fn apply(&self, key: u64, frame: &[u8]) -> Sabotage {
+        match self.verdict(key) {
+            None => Sabotage::Deliver(frame.to_vec()),
+            Some(WireFault::Disconnect) => Sabotage::Hangup { after: 0 },
+            Some(WireFault::TruncateFrame) => {
+                if frame.len() < 2 {
+                    return Sabotage::Hangup { after: 0 };
+                }
+                // Cut anywhere in [1, len - 1]: at least one byte goes out
+                // (the peer has started reading), at least one is missing.
+                let cut = 1 + self.plan.pick("wire.truncate_at", key, frame.len() - 1);
+                Sabotage::Hangup { after: cut.min(frame.len() - 1) }
+            }
+            Some(WireFault::CorruptLength) => {
+                let mut out = frame.to_vec();
+                if out.len() >= 4 {
+                    // Claim ≥ 1 GiB: every sane frame ceiling rejects it.
+                    let bogus = (self.plan.draw("wire.bogus_len", key) as u32) | (1 << 30);
+                    out[..4].copy_from_slice(&bogus.to_le_bytes());
+                }
+                Sabotage::Deliver(out)
+            }
+            Some(WireFault::GarbageBody) => {
+                let mut out = frame.to_vec();
+                let body = out.len().saturating_sub(4);
+                for i in 0..body.min(8) as u64 {
+                    let at = 4 + self.plan.pick("wire.garbage_at", key ^ i, body);
+                    // XOR with a value ≥ 0x80: the byte always changes,
+                    // and high-bit garbage lands outside ASCII JSON.
+                    out[at] ^= 0x80 | (self.plan.draw("wire.garbage_val", key ^ i) as u8 & 0x7f);
+                }
+                Sabotage::Deliver(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(body: &[u8]) -> Vec<u8> {
+        let mut f = (body.len() as u32).to_le_bytes().to_vec();
+        f.extend_from_slice(body);
+        f
+    }
+
+    #[test]
+    fn disabled_faults_pass_frames_untouched() {
+        let w = WireFaults::none(FaultPlan::new(1));
+        let f = frame(br#"{"kind":"stats"}"#);
+        for key in 0..64 {
+            assert_eq!(w.verdict(key), None);
+            assert_eq!(w.apply(key, &f), Sabotage::Deliver(f.clone()));
+        }
+    }
+
+    #[test]
+    fn sabotage_is_deterministic_in_seed_and_key() {
+        let a = WireFaults::aggressive(FaultPlan::new(77));
+        let b = WireFaults::aggressive(FaultPlan::new(77));
+        let f = frame(b"{\"kind\":\"scan\",\"tenant\":\"acme\"}");
+        for key in 0..256 {
+            assert_eq!(a.verdict(key), b.verdict(key));
+            assert_eq!(a.apply(key, &f), b.apply(key, &f));
+        }
+    }
+
+    #[test]
+    fn aggressive_plan_exercises_every_fault_kind() {
+        let w = WireFaults::aggressive(FaultPlan::new(1337));
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..512 {
+            if let Some(v) = w.verdict(key) {
+                seen.insert(format!("{v:?}"));
+            }
+        }
+        assert_eq!(seen.len(), 4, "512 frames at 1-in-8 each must hit all kinds: {seen:?}");
+    }
+
+    #[test]
+    fn sabotaged_frames_have_the_advertised_shapes() {
+        let w = WireFaults::aggressive(FaultPlan::new(9));
+        let f = frame(br#"{"kind":"audit","tenant":"t0","image":3}"#);
+        for key in 0..512 {
+            match (w.verdict(key), w.apply(key, &f)) {
+                (None, Sabotage::Deliver(out)) => assert_eq!(out, f),
+                (Some(WireFault::Disconnect), Sabotage::Hangup { after }) => assert_eq!(after, 0),
+                (Some(WireFault::TruncateFrame), Sabotage::Hangup { after }) => {
+                    assert!(after >= 1 && after < f.len(), "partial write, got {after}");
+                }
+                (Some(WireFault::CorruptLength), Sabotage::Deliver(out)) => {
+                    assert_eq!(out.len(), f.len());
+                    let claimed = u32::from_le_bytes(out[..4].try_into().unwrap());
+                    assert!(claimed >= 1 << 30, "length must be absurd, got {claimed}");
+                    assert_eq!(&out[4..], &f[4..], "body untouched");
+                }
+                (Some(WireFault::GarbageBody), Sabotage::Deliver(out)) => {
+                    assert_eq!(out.len(), f.len());
+                    assert_eq!(&out[..4], &f[..4], "prefix untouched");
+                    assert_ne!(&out[4..], &f[4..], "body mangled");
+                }
+                (v, s) => panic!("inconsistent verdict {v:?} / sabotage {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_frames_never_panic_the_injector() {
+        let w = WireFaults::aggressive(FaultPlan::new(4));
+        for key in 0..256 {
+            let _ = w.apply(key, &[]);
+            let _ = w.apply(key, &[7]);
+            let _ = w.apply(key, &0u32.to_le_bytes()); // empty body
+        }
+    }
+}

@@ -183,7 +183,7 @@ proptest! {
     fn retried_worker_deaths_leave_no_trace(seed in seeds()) {
         log_case("retried_worker_deaths", &format!("seed {seed}: worker_deaths die_in=2 deaths=2"));
         let plan = FaultPlan::new(seed);
-        let retry = RetryPolicy { max_attempts: 4, base_backoff_ms: 0 };
+        let retry = RetryPolicy { max_attempts: 4, base_backoff_ms: 0, job_timeout_ms: None };
         let hub = Arc::new(hub_with(retry).with_fault_hook(hook::worker_deaths(plan, 2, 2)));
         let db = Arc::new(small_db());
         let images = Arc::new(vec![shared_device().image.clone()]);
@@ -207,7 +207,7 @@ proptest! {
     fn panicking_workers_are_contained(seed in seeds()) {
         log_case("panicking_workers", &format!("seed {seed}: panicking_deaths die_in=2 deaths=1"));
         let plan = FaultPlan::new(seed);
-        let retry = RetryPolicy { max_attempts: 3, base_backoff_ms: 0 };
+        let retry = RetryPolicy { max_attempts: 3, base_backoff_ms: 0, job_timeout_ms: None };
         let hub = Arc::new(hub_with(retry).with_fault_hook(hook::panicking_deaths(plan, 2, 1)));
         let db = Arc::new(small_db());
         let images = Arc::new(vec![shared_device().image.clone()]);
@@ -230,7 +230,7 @@ proptest! {
     fn permanent_deaths_fail_typed_and_contained(seed in seeds()) {
         log_case("permanent_deaths", &format!("seed {seed}: worker_deaths die_in=2 deaths=MAX"));
         let plan = FaultPlan::new(seed);
-        let retry = RetryPolicy { max_attempts: 3, base_backoff_ms: 0 };
+        let retry = RetryPolicy { max_attempts: 3, base_backoff_ms: 0, job_timeout_ms: None };
         let hub =
             Arc::new(hub_with(retry).with_fault_hook(hook::worker_deaths(plan, 2, u32::MAX)));
         let db = Arc::new(small_db());

@@ -1,0 +1,154 @@
+//! Client for the scan daemon: a blocking request/response handle over
+//! one Unix-socket connection.
+//!
+//! Every call stamps the request with a process-unique tag and verifies
+//! the server echoes it back — a misrouted response (wrong client, wrong
+//! request) surfaces as a typed [`ScanError::Protocol`] instead of
+//! silently-wrong scan results. Transient rejections keep their types:
+//! [`ScanError::Overloaded`] carries the server's retry-after hint, which
+//! [`ScanClient::audit_with_retry`] honours.
+
+use crate::proto::{self, DrainSummary, Op, Outcome, Request, Response, ScanSummary, ServiceStats};
+use patchecko_core::error::ScanError;
+use patchecko_core::pipeline::Basis;
+use patchecko_core::report::AuditReport;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Tags are unique per process so that concurrent clients sharing a test
+/// harness can never mistake each other's responses for their own.
+static NEXT_TAG: AtomicU64 = AtomicU64::new(1);
+
+/// A connection to a running scan daemon, bound to one tenant namespace.
+pub struct ScanClient {
+    stream: UnixStream,
+    tenant: String,
+}
+
+impl ScanClient {
+    /// Connect to the daemon at `socket`, operating as `tenant` (the
+    /// empty string is the anonymous shared namespace).
+    ///
+    /// # Errors
+    /// [`ScanError::Protocol`] when the socket does not accept.
+    pub fn connect(socket: impl AsRef<Path>, tenant: &str) -> Result<ScanClient, ScanError> {
+        let stream = UnixStream::connect(socket.as_ref()).map_err(|e| ScanError::Protocol {
+            detail: format!("connect {}: {e}", socket.as_ref().display()),
+        })?;
+        Ok(ScanClient { stream, tenant: tenant.to_string() })
+    }
+
+    /// The tenant this connection operates as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    fn call(&mut self, op: Op) -> Result<Outcome, ScanError> {
+        let tag = NEXT_TAG.fetch_add(1, Ordering::Relaxed);
+        proto::send(&mut self.stream, &Request { tenant: self.tenant.clone(), tag, op })?;
+        let response: Response = proto::recv(&mut self.stream)?.ok_or(ScanError::Protocol {
+            detail: "server closed the connection before responding".into(),
+        })?;
+        if response.tag != tag {
+            return Err(ScanError::Protocol {
+                detail: format!("misrouted response: sent tag {tag}, received {}", response.tag),
+            });
+        }
+        match response.outcome {
+            Outcome::Error(e) => Err(e),
+            outcome => Ok(outcome),
+        }
+    }
+
+    /// Scan one hosted image for one CVE.
+    ///
+    /// # Errors
+    /// Typed scan/admission errors from the daemon.
+    pub fn scan(&mut self, image: usize, cve: &str, basis: Basis) -> Result<ScanSummary, ScanError> {
+        match self.call(Op::Scan { image, cve: cve.to_string(), basis })? {
+            Outcome::Scan(summary) => Ok(summary),
+            other => Err(unexpected("scan", &other)),
+        }
+    }
+
+    /// Audit one hosted image against the daemon's vulnerability database.
+    ///
+    /// # Errors
+    /// Typed scan/admission errors from the daemon.
+    pub fn audit(&mut self, image: usize) -> Result<AuditReport, ScanError> {
+        match self.call(Op::Audit { image })? {
+            Outcome::Audit(report) => Ok(*report),
+            other => Err(unexpected("audit", &other)),
+        }
+    }
+
+    /// Audit several hosted images; reports come back in request order.
+    ///
+    /// # Errors
+    /// Typed scan/admission errors from the daemon.
+    pub fn batch_audit(&mut self, images: &[usize]) -> Result<Vec<AuditReport>, ScanError> {
+        match self.call(Op::BatchAudit { images: images.to_vec() })? {
+            Outcome::BatchAudit(reports) => Ok(reports),
+            other => Err(unexpected("batch-audit", &other)),
+        }
+    }
+
+    /// [`ScanClient::audit`], backing off and retrying (up to `attempts`
+    /// total) when the daemon sheds load — each retry sleeps for the
+    /// server's own `retry_after_ms` hint.
+    ///
+    /// # Errors
+    /// The final error once attempts are exhausted, or immediately for
+    /// anything other than [`ScanError::Overloaded`].
+    pub fn audit_with_retry(&mut self, image: usize, attempts: usize) -> Result<AuditReport, ScanError> {
+        let mut remaining = attempts.max(1);
+        loop {
+            match self.audit(image) {
+                Err(ScanError::Overloaded { retry_after_ms, .. }) if remaining > 1 => {
+                    remaining -= 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Live service statistics (never queued — works while the daemon is
+    /// saturated).
+    ///
+    /// # Errors
+    /// Protocol errors only.
+    pub fn stats(&mut self) -> Result<ServiceStats, ScanError> {
+        match self.call(Op::Stats)? {
+            Outcome::Stats(stats) => Ok(*stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Ask the daemon to drain: finish in-flight work, persist the
+    /// caches, refuse new work, shut down. Blocks until the drain
+    /// completes.
+    ///
+    /// # Errors
+    /// Protocol errors only.
+    pub fn drain(&mut self) -> Result<DrainSummary, ScanError> {
+        match self.call(Op::Drain)? {
+            Outcome::Drained(summary) => Ok(summary),
+            other => Err(unexpected("drain", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Outcome) -> ScanError {
+    let kind = match got {
+        Outcome::Scan(_) => "scan",
+        Outcome::Audit(_) => "audit",
+        Outcome::BatchAudit(_) => "batch-audit",
+        Outcome::Stats(_) => "stats",
+        Outcome::Drained(_) => "drained",
+        Outcome::Error(_) => "error",
+    };
+    ScanError::Protocol { detail: format!("expected a {wanted} outcome, received {kind}") }
+}

@@ -1,0 +1,345 @@
+//! Bounded, tenant-fair admission queue with in-flight request dedup.
+//!
+//! The daemon's contention policy lives here, generic over the job and
+//! result types so it is unit-testable without a trained model:
+//!
+//! * **Admission control** — at most `limit` requests queue; the next one
+//!   is refused with a typed [`ScanError::Overloaded`] carrying a
+//!   retry-after hint. The daemon sheds load instead of queueing
+//!   unboundedly.
+//! * **Fairness** — tenants take turns: workers pop from a round-robin
+//!   rotation of tenants with queued work, so one tenant flooding the
+//!   queue cannot starve another's single request (it waits behind at
+//!   most one job per other tenant, not behind the flood).
+//! * **In-flight dedup** — a request identical (same tenant, same
+//!   fingerprint) to one already queued or executing joins that job's
+//!   waiter list instead of queueing again: two clients auditing the same
+//!   image trigger one computation, and each still gets its own
+//!   correctly-tagged response.
+//! * **Drain** — a state machine `Running → Draining → Stopped`. Draining
+//!   refuses new work ([`ScanError::Draining`]), lets queued + in-flight
+//!   work finish, and wakes the drain caller when the queue is idle.
+//!
+//! Everything synchronizes on one `Mutex` + two `Condvar`s (`ready` for
+//! workers, `idle` for drainers); the service state lives *inside* the
+//! mutex so a state flip can never race a worker's decision to sleep.
+
+use patchecko_core::error::ScanError;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Accepting and executing work.
+    Running,
+    /// Refusing new work; queued and in-flight work is finishing.
+    Draining,
+    /// All work finished; workers have been told to exit.
+    Stopped,
+}
+
+/// How an admitted request entered the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admitted {
+    /// A new job was queued.
+    Queued,
+    /// The request joined an identical job already queued or executing.
+    Joined,
+}
+
+/// A job identity: (tenant, fingerprint of the operation).
+pub type JobKey = (String, u64);
+
+/// The clients awaiting a job's result, each under its own request tag.
+pub type Waiters<R> = Vec<(u64, Sender<(u64, R)>)>;
+
+struct Entry<J, R> {
+    job: J,
+    enqueued: Instant,
+    waiters: Waiters<R>,
+}
+
+struct Inner<J, R> {
+    state: State,
+    jobs: HashMap<JobKey, Entry<J, R>>,
+    per_tenant: HashMap<String, VecDeque<JobKey>>,
+    rotation: VecDeque<String>,
+    depth: usize,
+    in_flight: usize,
+}
+
+/// The tenant-fair bounded queue. `J` is the job payload workers execute;
+/// `R` is the (cloneable) result broadcast to every waiter.
+pub struct FairQueue<J, R> {
+    inner: Mutex<Inner<J, R>>,
+    ready: Condvar,
+    idle: Condvar,
+    limit: usize,
+    retry_after_ms: u64,
+}
+
+impl<J: Clone, R: Clone> FairQueue<J, R> {
+    /// A queue admitting at most `limit` jobs, advertising
+    /// `retry_after_ms` in its overload rejections.
+    pub fn new(limit: usize, retry_after_ms: u64) -> FairQueue<J, R> {
+        FairQueue {
+            inner: Mutex::new(Inner {
+                state: State::Running,
+                jobs: HashMap::new(),
+                per_tenant: HashMap::new(),
+                rotation: VecDeque::new(),
+                depth: 0,
+                in_flight: 0,
+            }),
+            ready: Condvar::new(),
+            idle: Condvar::new(),
+            limit: limit.max(1),
+            retry_after_ms,
+        }
+    }
+
+    /// The admission limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Current (state, queued, in-flight).
+    pub fn status(&self) -> (State, usize, usize) {
+        let inner = self.inner.lock().expect("queue lock");
+        (inner.state, inner.depth, inner.in_flight)
+    }
+
+    /// Submit a request: the waiter `(tag, tx)` receives `(tag, result)`
+    /// when the job completes. Identical in-flight requests coalesce.
+    ///
+    /// # Errors
+    /// [`ScanError::Draining`] once drain has begun;
+    /// [`ScanError::Overloaded`] when the queue is full.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        fingerprint: u64,
+        job: &J,
+        tag: u64,
+        tx: Sender<(u64, R)>,
+    ) -> Result<Admitted, ScanError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.state != State::Running {
+            return Err(ScanError::Draining);
+        }
+        let key: JobKey = (tenant.to_string(), fingerprint);
+        if let Some(entry) = inner.jobs.get_mut(&key) {
+            entry.waiters.push((tag, tx));
+            return Ok(Admitted::Joined);
+        }
+        if inner.depth >= self.limit {
+            return Err(ScanError::Overloaded {
+                queue_depth: inner.depth,
+                queue_limit: self.limit,
+                retry_after_ms: self.retry_after_ms,
+            });
+        }
+        inner.jobs.insert(
+            key.clone(),
+            Entry { job: job.clone(), enqueued: Instant::now(), waiters: vec![(tag, tx)] },
+        );
+        let queue = inner.per_tenant.entry(tenant.to_string()).or_default();
+        queue.push_back(key);
+        if queue.len() == 1 {
+            inner.rotation.push_back(tenant.to_string());
+        }
+        inner.depth += 1;
+        drop(inner);
+        self.ready.notify_one();
+        Ok(Admitted::Queued)
+    }
+
+    /// Block until a job is available (rotating fairly across tenants) or
+    /// the queue shuts down. `None` tells the worker to exit: the queue
+    /// is stopped, or draining with nothing left to run.
+    pub fn next(&self) -> Option<(JobKey, J)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(tenant) = inner.rotation.pop_front() {
+                let queue = inner.per_tenant.get_mut(&tenant).expect("rotated tenant has a queue");
+                let key = queue.pop_front().expect("rotated tenant queue is non-empty");
+                if queue.is_empty() {
+                    inner.per_tenant.remove(&tenant);
+                } else {
+                    inner.rotation.push_back(tenant);
+                }
+                inner.depth -= 1;
+                inner.in_flight += 1;
+                let job = inner.jobs.get(&key).expect("queued job has an entry").job.clone();
+                return Some((key, job));
+            }
+            if inner.state != State::Running {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Retire a job without waking its waiters yet: remove it from the
+    /// in-flight set and return its admission-to-completion latency plus
+    /// the waiter list. The caller records telemetry *before* passing the
+    /// waiters to [`broadcast`], so a client released by the
+    /// broadcast can never observe counters that predate its own job.
+    pub fn settle(&self, key: &JobKey) -> (Duration, Waiters<R>) {
+        let (entry, drained) = {
+            let mut inner = self.inner.lock().expect("queue lock");
+            let entry = inner.jobs.remove(key).expect("settled job has an entry");
+            inner.in_flight -= 1;
+            (entry, inner.depth == 0 && inner.in_flight == 0)
+        };
+        if drained {
+            self.idle.notify_all();
+        }
+        (entry.enqueued.elapsed(), entry.waiters)
+    }
+
+    /// [`FairQueue::settle`] + [`broadcast`] in one step.
+    pub fn complete(&self, key: &JobKey, result: R) -> Duration {
+        let (latency, waiters) = self.settle(key);
+        broadcast(waiters, result);
+        latency
+    }
+
+    /// Begin (or join) a drain: refuse new work, wait until every queued
+    /// and in-flight job has completed. Returns whether this caller
+    /// initiated the drain (the initiator persists and then [`FairQueue::stop`]s).
+    pub fn drain_wait(&self) -> bool {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let initiator = inner.state == State::Running;
+        if initiator {
+            inner.state = State::Draining;
+            // Idle workers re-check state and exit once the queue empties.
+            self.ready.notify_all();
+        }
+        while inner.depth > 0 || inner.in_flight > 0 {
+            inner = self.idle.wait(inner).expect("queue lock");
+        }
+        initiator
+    }
+
+    /// Final transition: tell every worker to exit.
+    pub fn stop(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.state = State::Stopped;
+        drop(inner);
+        self.ready.notify_all();
+    }
+}
+
+/// Deliver `result` to every waiter from [`FairQueue::settle`], each
+/// under its own tag — late joiners from dedup included.
+pub fn broadcast<R: Clone>(waiters: Waiters<R>, result: R) {
+    for (tag, tx) in waiters {
+        // A waiter whose connection died mid-request dropped its
+        // receiver; the send just fails and the job's other waiters
+        // (and the cache warm-up) are unaffected.
+        let _ = tx.send((tag, result.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn queue(limit: usize) -> FairQueue<u32, u32> {
+        FairQueue::new(limit, 25)
+    }
+
+    #[test]
+    fn rotation_interleaves_tenants_fairly() {
+        let q = queue(16);
+        // Tenant "flood" queues four jobs before "meek" queues one.
+        for i in 0..4 {
+            let (tx, _rx) = channel();
+            q.submit("flood", i, &(i as u32), 0, tx).unwrap();
+        }
+        let (tx, _rx) = channel();
+        q.submit("meek", 100, &100, 0, tx).unwrap();
+
+        let first = q.next().unwrap();
+        let second = q.next().unwrap();
+        assert_eq!(first.0 .0, "flood");
+        assert_eq!(second.0 .0, "meek", "one queued job is enough to take the second turn");
+        let rest: Vec<String> = (0..3).map(|_| q.next().unwrap().0 .0).collect();
+        assert_eq!(rest, ["flood"; 3], "the flood then finishes in order");
+    }
+
+    #[test]
+    fn admission_rejects_above_the_limit_with_a_typed_hint() {
+        let q = queue(2);
+        for i in 0..2 {
+            let (tx, _rx) = channel();
+            q.submit("t", i, &0, 0, tx).unwrap();
+        }
+        let (tx, _rx) = channel();
+        match q.submit("t", 99, &0, 0, tx) {
+            Err(ScanError::Overloaded { queue_depth, queue_limit, retry_after_ms }) => {
+                assert_eq!((queue_depth, queue_limit, retry_after_ms), (2, 2, 25));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // In-flight jobs do not occupy queue slots: popping one admits one.
+        let popped = q.next().unwrap();
+        let (tx, _rx) = channel();
+        q.submit("t", 99, &0, 0, tx).unwrap();
+        q.complete(&popped.0, 0);
+    }
+
+    #[test]
+    fn identical_requests_coalesce_and_all_waiters_hear_the_result() {
+        let q = queue(8);
+        let (tx1, rx1) = channel();
+        let (tx2, rx2) = channel();
+        let (tx3, rx3) = channel();
+        assert_eq!(q.submit("t", 7, &41, 101, tx1).unwrap(), Admitted::Queued);
+        assert_eq!(q.submit("t", 7, &41, 102, tx2).unwrap(), Admitted::Joined);
+        let (key, job) = q.next().unwrap();
+        // A waiter arriving while the job executes still joins it.
+        assert_eq!(q.submit("t", 7, &41, 103, tx3).unwrap(), Admitted::Joined);
+        assert_eq!(q.status().1, 0, "three requests, one queue slot");
+        q.complete(&key, job + 1);
+        assert_eq!(rx1.recv().unwrap(), (101, 42), "each waiter gets its own tag back");
+        assert_eq!(rx2.recv().unwrap(), (102, 42));
+        assert_eq!(rx3.recv().unwrap(), (103, 42));
+        // Different tenant, same fingerprint: never coalesced.
+        let (tx, _rx) = channel();
+        assert_eq!(q.submit("other", 7, &41, 104, tx).unwrap(), Admitted::Queued);
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_waits_for_the_queue_to_empty() {
+        let q = std::sync::Arc::new(queue(8));
+        let (tx, rx) = channel();
+        q.submit("t", 1, &10, 1, tx).unwrap();
+
+        let worker = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                while let Some((key, job)) = q.next() {
+                    std::thread::sleep(Duration::from_millis(30));
+                    q.complete(&key, job);
+                }
+            })
+        };
+        // Give the worker time to pick the job up, then drain mid-flight.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(q.drain_wait(), "first drainer initiates");
+        let (tx2, _rx2) = channel();
+        assert!(matches!(q.submit("t", 2, &20, 2, tx2), Err(ScanError::Draining)));
+        assert_eq!(rx.recv().unwrap(), (1, 10), "in-flight work finished before drain returned");
+        assert_eq!(q.status().0, State::Draining);
+        assert!(!q.drain_wait(), "later drainers join, not initiate");
+        q.stop();
+        worker.join().unwrap();
+        assert_eq!(q.status().0, State::Stopped);
+    }
+}

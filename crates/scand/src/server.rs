@@ -1,0 +1,438 @@
+//! The scan daemon: one warm [`ScanHub`] serving many tenants over a
+//! Unix socket.
+//!
+//! ## Architecture
+//!
+//! One accept thread takes connections and hands each to a detached
+//! handler thread; handlers speak the [`proto`](crate::proto) framing and
+//! *submit* scan/audit work into the shared [`FairQueue`] rather than
+//! executing it themselves. A fixed pool of executor threads pops jobs
+//! from the queue — round-robin across tenants — and runs them against
+//! the one shared hub; the heavy kernels inside each job fan out further
+//! onto the process-wide `neural::pool`. `stats` and `drain` never queue:
+//! statistics must stay observable *while* the queue is full, and drain
+//! must be able to stop a saturated daemon.
+//!
+//! Tenancy is a cache-namespace property, not a data-path one: every job
+//! runs through [`ScanHub::audit_tenant`]/[`ScanHub::scan_image_tenant`],
+//! which relocate artifact keys into the tenant's namespace, so tenants
+//! share the hub's warm memory without ever reading each other's cache
+//! entries. Per-tenant counters and latency histograms record under
+//! `tenant.<name>.*` in the hub's registry via scoped views.
+//!
+//! Failure model: everything a handler can hit — malformed frames,
+//! unknown CVEs, image indices out of range, admission overload, drain
+//! races, worker panics — becomes a typed [`ScanError`] on the wire.
+//! A panicking job is caught, answered as [`ScanError::WorkerPanic`] to
+//! every waiter of that job, and the executor thread survives.
+
+use crate::proto::{self, DrainSummary, Op, Outcome, Request, Response, ScanSummary, ServiceStats, TenantStats};
+use crate::queue::{self, FairQueue, State};
+use corpus::vulndb::VulnDb;
+use fwbin::FirmwareImage;
+use patchecko_core::differential::DifferentialConfig;
+use patchecko_core::error::ScanError;
+use patchecko_scanhub::ScanHub;
+use scope::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Unix socket path to listen on (an existing file is replaced).
+    pub socket: PathBuf,
+    /// Admission limit: requests queued beyond in-flight work. The next
+    /// request is refused with [`ScanError::Overloaded`].
+    pub queue_limit: usize,
+    /// Executor threads popping jobs from the fair queue.
+    pub workers: usize,
+    /// Backoff hint carried in overload rejections, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl ServerConfig {
+    /// Defaults: queue limit 64, 4 executors, 25 ms retry hint.
+    pub fn new(socket: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig { socket: socket.into(), queue_limit: 64, workers: 4, retry_after_ms: 25 }
+    }
+}
+
+/// The tenant label used in telemetry for the empty (anonymous) tenant.
+pub const ANONYMOUS_TENANT: &str = "anonymous";
+
+fn tenant_label(tenant: &str) -> &str {
+    if tenant.is_empty() {
+        ANONYMOUS_TENANT
+    } else {
+        tenant
+    }
+}
+
+/// FNV-1a over the operation's canonical JSON: the in-flight dedup
+/// fingerprint. Two requests coalesce only when tenant AND fingerprint
+/// match, so namespaces never share a computation's *identity* even when
+/// the underlying artifacts would coincide.
+fn fingerprint(op: &Op) -> u64 {
+    let bytes = serde_json::to_string(op).unwrap_or_default().into_bytes();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    hub: Arc<ScanHub>,
+    images: Arc<Vec<FirmwareImage>>,
+    db: Arc<VulnDb>,
+    diff: DifferentialConfig,
+    queue: FairQueue<Op, Outcome>,
+    /// Queued-op responses accepted but not yet written to their
+    /// sockets. Drain waits for zero so no accepted request's response
+    /// can be cut off by process exit after [`ScanServer::join`].
+    replies: std::sync::Mutex<usize>,
+    replies_idle: std::sync::Condvar,
+}
+
+impl Shared {
+    fn registry(&self) -> &Arc<MetricsRegistry> {
+        self.hub.registry()
+    }
+
+    fn count(&self, tenant: &str, which: &str) {
+        self.registry().scoped(&format!("tenant.{}", tenant_label(tenant))).add(which, 1);
+        self.registry().add(&format!("serve.{which}"), 1);
+    }
+
+    fn image(&self, index: usize) -> Result<&FirmwareImage, ScanError> {
+        self.images
+            .get(index)
+            .ok_or(ScanError::ImageOutOfRange { index, images: self.images.len() })
+    }
+
+    fn execute(&self, tenant: &str, op: &Op) -> Outcome {
+        match op {
+            Op::Scan { image, cve, basis } => {
+                let img = match self.image(*image) {
+                    Ok(img) => img,
+                    Err(e) => return Outcome::Error(e),
+                };
+                let Some(entry) = self.db.get(cve) else {
+                    return Outcome::Error(ScanError::UnknownCve(cve.clone()));
+                };
+                match self.hub.scan_image_tenant(img, entry, *basis, tenant) {
+                    Ok(analysis) => Outcome::Scan(ScanSummary::from_analysis(&analysis)),
+                    Err(e) => Outcome::Error(e),
+                }
+            }
+            Op::Audit { image } => match self
+                .image(*image)
+                .and_then(|img| self.hub.audit_tenant(&self.db, img, &self.diff, tenant))
+            {
+                Ok(report) => Outcome::Audit(Box::new(report)),
+                Err(e) => Outcome::Error(e),
+            },
+            Op::BatchAudit { images } => {
+                let mut reports = Vec::with_capacity(images.len());
+                for &index in images {
+                    match self
+                        .image(index)
+                        .and_then(|img| self.hub.audit_tenant(&self.db, img, &self.diff, tenant))
+                    {
+                        Ok(report) => reports.push(report),
+                        Err(e) => return Outcome::Error(e),
+                    }
+                }
+                Outcome::BatchAudit(reports)
+            }
+            // Stats and drain are answered at the connection layer; a
+            // queued copy reaching an executor is a protocol bug.
+            Op::Stats | Op::Drain => Outcome::Error(ScanError::Protocol {
+                detail: "stats/drain are control operations and are never queued".into(),
+            }),
+        }
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let (state, queue_depth, in_flight) = self.queue.status();
+        let snapshot = self.hub.telemetry_snapshot();
+        let mut tenants = BTreeMap::new();
+        for name in snapshot.names_under("tenant") {
+            let view = snapshot.filtered(&format!("tenant.{name}"));
+            tenants.insert(
+                name,
+                TenantStats {
+                    accepted: view.counter("accepted"),
+                    deduped: view.counter("deduped"),
+                    rejected: view.counter("rejected"),
+                    completed: view.counter("completed"),
+                    failed: view.counter("failed"),
+                    latency: view.duration("latency").cloned(),
+                },
+            );
+        }
+        ServiceStats {
+            state: match state {
+                State::Running => "running".into(),
+                State::Draining | State::Stopped => "draining".into(),
+            },
+            queue_depth,
+            queue_limit: self.queue.limit(),
+            in_flight,
+            images: self.images.len(),
+            tenants,
+            cache: self.hub.stats(),
+            vm_executions: snapshot.counter("vm.executions"),
+            telemetry: snapshot,
+        }
+    }
+
+    /// Drain: refuse new work, let queued + in-flight jobs finish AND
+    /// their responses reach the wire, then persist the caches.
+    /// Idempotent — a second concurrent drain waits for the same idle
+    /// point and reports `persisted: false`. Stopping the executors and
+    /// accept loop happens in [`Shared::shutdown`], which the connection
+    /// handler calls only *after* the drain response itself is written —
+    /// so neither job responses nor the drain acknowledgement can be cut
+    /// off by the process exiting right after [`ScanServer::join`].
+    fn drain(&self) -> DrainSummary {
+        let initiator = self.queue.drain_wait();
+        let mut pending = self.replies.lock().expect("replies lock");
+        while *pending > 0 {
+            pending = self.replies_idle.wait(pending).expect("replies lock");
+        }
+        drop(pending);
+        let persisted = if initiator { self.hub.persist().unwrap_or(false) } else { false };
+        DrainSummary { persisted }
+    }
+
+    /// Stop the executors and unblock the accept loop so it observes the
+    /// stop and exits. Idempotent.
+    fn shutdown(&self) {
+        self.queue.stop();
+        let _ = UnixStream::connect(&self.cfg.socket);
+    }
+
+    fn worker_loop(&self) {
+        while let Some((key, op)) = self.queue.next() {
+            let tenant = key.0.clone();
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(&tenant, &op)))
+                .unwrap_or_else(|payload| Outcome::Error(ScanError::from_panic(payload.as_ref())));
+            let ok = !matches!(outcome, Outcome::Error(_));
+            // Counters and latency are recorded between retiring the job
+            // and waking its waiters: a client released by the broadcast
+            // always sees its own job reflected in `stats`.
+            let (latency, waiters) = self.queue.settle(&key);
+            self.registry()
+                .scoped(&format!("tenant.{}", tenant_label(&tenant)))
+                .record("latency", latency);
+            self.count(&tenant, if ok { "completed" } else { "failed" });
+            queue::broadcast(waiters, outcome);
+        }
+    }
+
+    fn handle_conn(&self, mut stream: UnixStream) {
+        self.registry().add("serve.connections", 1);
+        loop {
+            let request: Request = match proto::recv(&mut stream) {
+                Ok(Some(request)) => request,
+                // Clean hangup between frames: the client is done.
+                Ok(None) => return,
+                // Malformed frame (truncation, bogus length, garbage
+                // JSON): best-effort typed reply, then drop the one
+                // connection. The request tag is unknowable, so protocol
+                // errors are the one response class tagged 0.
+                Err(e) => {
+                    let _ = proto::send(&mut stream, &Response { tag: 0, outcome: Outcome::Error(e) });
+                    return;
+                }
+            };
+            let queued = !matches!(request.op, Op::Stats | Op::Drain);
+            let shutdown_after = matches!(request.op, Op::Drain);
+            if queued {
+                *self.replies.lock().expect("replies lock") += 1;
+            }
+            let response = self.dispatch(request);
+            let sent = proto::send(&mut stream, &response).is_ok();
+            if queued {
+                let mut pending = self.replies.lock().expect("replies lock");
+                *pending -= 1;
+                if *pending == 0 {
+                    self.replies_idle.notify_all();
+                }
+            }
+            if shutdown_after {
+                self.shutdown();
+            }
+            if !sent {
+                // Client vanished mid-request; its job (if any) already
+                // completed into the shared cache, nothing to unwind.
+                return;
+            }
+        }
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
+        let Request { tenant, tag, op } = request;
+        match op {
+            Op::Stats => Response { tag, outcome: Outcome::Stats(Box::new(self.stats())) },
+            Op::Drain => Response { tag, outcome: Outcome::Drained(self.drain()) },
+            op => {
+                let (tx, rx) = channel();
+                match self.queue.submit(&tenant, fingerprint(&op), &op, tag, tx) {
+                    Ok(admitted) => {
+                        self.count(
+                            &tenant,
+                            if admitted == crate::queue::Admitted::Joined { "deduped" } else { "accepted" },
+                        );
+                        match rx.recv() {
+                            Ok((tag, outcome)) => Response { tag, outcome },
+                            // The executor side of the channel can only
+                            // vanish if the process is tearing down.
+                            Err(_) => Response { tag, outcome: Outcome::Error(ScanError::Draining) },
+                        }
+                    }
+                    Err(e) => {
+                        self.count(&tenant, "rejected");
+                        Response { tag, outcome: Outcome::Error(e) }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A running scan daemon. Construct with [`ScanServer::start`]; the
+/// daemon runs on background threads until a client sends `drain`, after
+/// which [`ScanServer::join`] returns.
+pub struct ScanServer {
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScanServer {
+    /// Bind the socket and start the accept loop and executor pool. The
+    /// hub is the daemon's single warm analyzer+store; `images` is the
+    /// hosted corpus requests index into; `db` is the vulnerability
+    /// database every audit runs against.
+    ///
+    /// # Errors
+    /// Propagates socket bind failures.
+    pub fn start(
+        cfg: ServerConfig,
+        hub: ScanHub,
+        images: Vec<FirmwareImage>,
+        db: VulnDb,
+    ) -> std::io::Result<ScanServer> {
+        if cfg.socket.exists() {
+            std::fs::remove_file(&cfg.socket)?;
+        }
+        let listener = UnixListener::bind(&cfg.socket)?;
+        let queue = FairQueue::new(cfg.queue_limit, cfg.retry_after_ms);
+        let shared = Arc::new(Shared {
+            cfg,
+            hub: Arc::new(hub),
+            images: Arc::new(images),
+            db: Arc::new(db),
+            diff: DifferentialConfig::default(),
+            queue,
+            replies: std::sync::Mutex::new(0),
+            replies_idle: std::sync::Condvar::new(),
+        });
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scand-exec-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn executor")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("scand-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        let stopped = shared.queue.status().0 == State::Stopped;
+                        if let Ok(stream) = stream {
+                            let conn = Arc::clone(&shared);
+                            // Handlers are detached: each lives exactly as
+                            // long as its connection, and drain only waits
+                            // for *jobs*, not for idle keep-alive clients.
+                            // A connection that raced into the backlog
+                            // just before stop still gets a handler — its
+                            // submissions are refused with the typed
+                            // drain error rather than a slammed socket.
+                            let _ = std::thread::Builder::new()
+                                .name("scand-conn".into())
+                                .spawn(move || conn.handle_conn(stream));
+                        }
+                        if stopped {
+                            break;
+                        }
+                    }
+                    let _ = std::fs::remove_file(&shared.cfg.socket);
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(ScanServer { shared, accept, workers })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &Path {
+        &self.shared.cfg.socket
+    }
+
+    /// The daemon's hub (its registry carries all service telemetry).
+    pub fn hub(&self) -> &Arc<ScanHub> {
+        &self.shared.hub
+    }
+
+    /// A statistics snapshot, as the `stats` request would return it.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Block until the daemon has fully shut down (a client sent `drain`)
+    /// and every executor has exited.
+    pub fn join(self) {
+        let _ = self.accept.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_separate_distinct_ops_and_agree_on_identical_ones() {
+        let a = Op::Audit { image: 0 };
+        let b = Op::Audit { image: 1 };
+        let c = Op::BatchAudit { images: vec![0] };
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c), "audit(0) and batch-audit([0]) are distinct jobs");
+    }
+
+    #[test]
+    fn anonymous_tenant_gets_a_printable_label() {
+        assert_eq!(tenant_label(""), ANONYMOUS_TENANT);
+        assert_eq!(tenant_label("acme"), "acme");
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared fixtures for the scand integration suites. Each test binary
+//! trains one small detector and builds one small device image, reused by
+//! every test in that process.
+#![allow(dead_code)]
+
+use corpus::dataset1::Dataset1Config;
+use corpus::vulndb::VulnDb;
+use neural::net::TrainConfig;
+use patchecko_core::detector::{self, Detector, DetectorConfig};
+use patchecko_core::pipeline::{Patchecko, PipelineConfig};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+pub fn shared_detector() -> &'static Detector {
+    static DET: OnceLock<Detector> = OnceLock::new();
+    DET.get_or_init(|| {
+        let ds = corpus::build_dataset1(&Dataset1Config {
+            num_libraries: 10,
+            min_functions: 8,
+            max_functions: 12,
+            seed: 1,
+            include_catalog: true,
+        });
+        let cfg = DetectorConfig {
+            pairs_per_function: 6,
+            train: TrainConfig { epochs: 10, batch: 256, lr: 1e-3, seed: 7, ..Default::default() },
+            ..DetectorConfig::default()
+        };
+        detector::train(&ds, &cfg).0
+    })
+}
+
+/// A minimally-trained analyzer for suites that exercise the daemon's
+/// protocol/control plane rather than scan quality.
+pub fn tiny_analyzer() -> Patchecko {
+    static DET: OnceLock<Detector> = OnceLock::new();
+    let det = DET.get_or_init(|| {
+        let ds = corpus::build_dataset1(&Dataset1Config {
+            num_libraries: 4,
+            min_functions: 6,
+            max_functions: 8,
+            seed: 3,
+            include_catalog: false,
+        });
+        let cfg = DetectorConfig {
+            pairs_per_function: 4,
+            train: TrainConfig { epochs: 2, batch: 128, lr: 1e-3, seed: 7, ..Default::default() },
+            ..DetectorConfig::default()
+        };
+        detector::train(&ds, &cfg).0
+    });
+    Patchecko::new(det.clone(), PipelineConfig::default())
+}
+
+pub fn shared_device() -> &'static corpus::DeviceBuild {
+    static DEV: OnceLock<corpus::DeviceBuild> = OnceLock::new();
+    DEV.get_or_init(|| {
+        corpus::build_device(&corpus::android_things_spec(), &corpus::full_catalog(), 0.05)
+    })
+}
+
+pub fn small_db() -> VulnDb {
+    let mut db = corpus::build_vulndb(0, 1);
+    // Trim the featured list so daemon-served audits stay test-sized.
+    db.entries.truncate(3);
+    db
+}
+
+pub fn analyzer() -> Patchecko {
+    Patchecko::new(shared_detector().clone(), PipelineConfig::default())
+}
+
+/// A per-process temp path (socket or cache dir) that does not collide
+/// across concurrently running test binaries.
+pub fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("scand-{tag}-{}", std::process::id()))
+}

@@ -1,0 +1,119 @@
+//! Wire-fault chaos against a live daemon: sabotaged frames from the
+//! faultline injector must produce typed `Protocol` errors or clean
+//! connection drops — never a hang, never a panic, never collateral
+//! damage to a healthy client's request.
+//!
+//! The daemon here hosts no images (every queued op resolves to a fast
+//! typed error) and a minimally-trained model: these tests attack the
+//! framing and control plane, not scan quality.
+
+mod common;
+
+use common::{small_db, temp_path, tiny_analyzer};
+use patchecko_core::error::ScanError;
+use patchecko_faultline::{FaultPlan, Sabotage, WireFaults};
+use patchecko_scand::proto::{self, Op, Outcome, Request, Response};
+use patchecko_scand::{ScanClient, ScanServer, ServerConfig};
+use patchecko_scanhub::ScanHub;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+fn encode_frame(request: &Request) -> Vec<u8> {
+    let mut frame = Vec::new();
+    proto::send(&mut frame, request).unwrap();
+    frame
+}
+
+#[test]
+fn sabotaged_frames_get_typed_replies_and_never_wedge_the_daemon() {
+    let socket = temp_path("wire.sock");
+    let server =
+        ScanServer::start(ServerConfig::new(&socket), ScanHub::new(tiny_analyzer()), Vec::new(), small_db())
+            .unwrap();
+
+    let faults = WireFaults::aggressive(FaultPlan::new(0x51de));
+    for key in 0..64u64 {
+        let clean = encode_frame(&Request { tenant: "chaos".into(), tag: key, op: Op::Stats });
+        let mut stream = UnixStream::connect(&socket).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        match faults.apply(key, &clean) {
+            Sabotage::Deliver(bytes) => {
+                let untouched = bytes == clean;
+                stream.write_all(&bytes).unwrap();
+                let response: Response = proto::recv(&mut stream)
+                    .unwrap_or_else(|e| panic!("key {key}: reply must arrive, got {e:?}"))
+                    .unwrap_or_else(|| panic!("key {key}: server closed without replying"));
+                match (untouched, response.tag, &response.outcome) {
+                    // Clean frames are served normally.
+                    (true, tag, Outcome::Stats(_)) if tag == key => {}
+                    // Corrupt length prefix or garbage body: the one
+                    // response class tagged 0 (the real tag is
+                    // unknowable), always a typed Protocol error.
+                    (false, 0, Outcome::Error(ScanError::Protocol { .. })) => {}
+                    // A body mangling that happened to keep the JSON
+                    // valid is indistinguishable from a legal request
+                    // and is served; the tag still routes correctly.
+                    (false, tag, Outcome::Stats(_)) if tag == key => {}
+                    (untouched, tag, outcome) => panic!(
+                        "key {key} (untouched={untouched}): unexpected reply tag {tag}: {outcome:?}"
+                    ),
+                }
+            }
+            Sabotage::Hangup { after } => {
+                // A client dying mid-write (or before writing anything):
+                // deliver the partial frame and vanish. The daemon must
+                // shrug the connection off.
+                stream.write_all(&clean[..after]).unwrap();
+                drop(stream);
+            }
+        }
+    }
+
+    // The daemon survived the storm: a healthy client is served, both on
+    // the control plane and through the work queue.
+    let mut client = ScanClient::connect(&socket, "healthy").unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.state, "running");
+    assert_eq!(stats.queue_depth, 0, "no sabotaged frame left a ghost job behind");
+    match client.audit(0) {
+        Err(ScanError::ImageOutOfRange { index: 0, images: 0 }) => {}
+        other => panic!("queued work still flows after the storm, got {other:?}"),
+    }
+    client.drain().unwrap();
+    server.join();
+}
+
+#[test]
+fn client_disconnect_mid_request_does_not_poison_the_job_or_the_daemon() {
+    let socket = temp_path("wire-hangup.sock");
+    let server =
+        ScanServer::start(ServerConfig::new(&socket), ScanHub::new(tiny_analyzer()), Vec::new(), small_db())
+            .unwrap();
+
+    // Submit a (queueable) request and vanish before reading the reply:
+    // the executor still runs the job, and broadcasting to the dead
+    // waiter is a no-op.
+    let mut stream = UnixStream::connect(&socket).unwrap();
+    let frame = encode_frame(&Request { tenant: "ghost".into(), tag: 9, op: Op::Audit { image: 0 } });
+    stream.write_all(&frame).unwrap();
+    drop(stream);
+
+    // The job completes despite its orphaned waiter.
+    let mut probe = ScanClient::connect(&socket, "").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = probe.stats().unwrap();
+        let ghost = stats.tenants.get("ghost").cloned().unwrap_or_default();
+        if ghost.accepted == 1 && ghost.failed == 1 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "ghost job never completed: {ghost:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // And the daemon is unharmed.
+    let mut client = ScanClient::connect(&socket, "alive").unwrap();
+    assert!(matches!(client.audit(0), Err(ScanError::ImageOutOfRange { .. })));
+    client.drain().unwrap();
+    server.join();
+}

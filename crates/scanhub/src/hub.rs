@@ -13,6 +13,7 @@
 //! than panicking; batch scheduling retries transient failures per the
 //! hub's [`RetryPolicy`].
 
+use crate::namespace::TenantView;
 use crate::schedule::{self, FaultHook, JobRecord, JobSpec, RetryPolicy};
 use crate::store::{ArtifactStore, CacheStats};
 use corpus::vulndb::{DbEntry, VulnDb};
@@ -97,6 +98,18 @@ impl ScanHub {
             retry: RetryPolicy::default(),
             fault_hook: None,
         })
+    }
+
+    /// A hub around an *injected* store. This is the scan daemon's
+    /// constructor: the daemon loads/owns the store itself (so it can
+    /// also hand out per-tenant views of it) and tells the hub where
+    /// [`ScanHub::persist`] should write (`None` disables persistence).
+    pub fn with_store(
+        analyzer: Patchecko,
+        store: Arc<ArtifactStore>,
+        cache_dir: Option<PathBuf>,
+    ) -> ScanHub {
+        ScanHub { analyzer, store, cache_dir, retry: RetryPolicy::default(), fault_hook: None }
     }
 
     /// The registry the hub's cache and scheduler counters live in.
@@ -202,6 +215,47 @@ impl ScanHub {
         basis: Basis,
     ) -> Result<ImageAnalysis, ScanError> {
         self.analyzer.analyze_image_with(image, entry, basis, &*self.store, &self.dyn_source())
+    }
+
+    /// `tenant`'s view of this hub's store: the full feature/dyn-profile
+    /// surface with every cache key relocated into the tenant's
+    /// namespace. The empty tenant is the identity view.
+    pub fn tenant_view(&self, tenant: &str) -> TenantView {
+        TenantView::new(Arc::clone(&self.store), tenant)
+    }
+
+    /// [`ScanHub::scan_image`] through `tenant`'s cache namespace.
+    ///
+    /// # Errors
+    /// Returns static-stage failures for any library in the image.
+    pub fn scan_image_tenant(
+        &self,
+        image: &FirmwareImage,
+        entry: &DbEntry,
+        basis: Basis,
+        tenant: &str,
+    ) -> Result<ImageAnalysis, ScanError> {
+        let view = Arc::new(self.tenant_view(tenant));
+        let dynsrc = Arc::clone(&view) as Arc<dyn DynProfileSource>;
+        self.analyzer.analyze_image_with(image, entry, basis, &*view, &dynsrc)
+    }
+
+    /// [`ScanHub::audit`] through `tenant`'s cache namespace: the same
+    /// shared warm store serves the request, but every artifact the audit
+    /// touches lives under the tenant's keys.
+    ///
+    /// # Errors
+    /// As for [`ScanHub::audit`].
+    pub fn audit_tenant(
+        &self,
+        db: &VulnDb,
+        image: &FirmwareImage,
+        diff: &DifferentialConfig,
+        tenant: &str,
+    ) -> Result<AuditReport, ScanError> {
+        let view = Arc::new(self.tenant_view(tenant));
+        let dynsrc = Arc::clone(&view) as Arc<dyn DynProfileSource>;
+        patchecko_core::eval::audit_image_with(&self.analyzer, db, image, diff, &*view, &dynsrc)
     }
 
     /// Whole-image audit against the vulnerability database through the

@@ -150,6 +150,17 @@ impl ArtifactKey {
         ArtifactKey { hi: h.hi, lo: h.lo }
     }
 
+    /// This key translated into a tenant's cache namespace: each half is
+    /// XORed with the corresponding half of `salt`. XOR with a fixed salt
+    /// is a bijection on the 128-bit key space, so within one namespace
+    /// keys collide exactly when the underlying content keys collide, and
+    /// distinct salts map the same content to disjoint names. The zero
+    /// salt (see [`tenant_salt`]) is the identity — unsalted callers and
+    /// the anonymous tenant share the base namespace.
+    pub fn namespaced(self, salt: (u64, u64)) -> ArtifactKey {
+        ArtifactKey { hi: self.hi ^ salt.0, lo: self.lo ^ salt.1 }
+    }
+
     /// 32-character lowercase hex form (the on-disk map key).
     pub fn to_hex(self) -> String {
         format!("{:016x}{:016x}", self.hi, self.lo)
@@ -171,16 +182,26 @@ impl ArtifactKey {
     }
 }
 
+/// Cache-namespace salt for a tenant id: a domain-separated [`Fnv2`]
+/// digest of the tenant name, with the empty tenant mapped to the zero
+/// salt so anonymous (CLI, single-tenant) callers address the base
+/// namespace unchanged. Applied via [`ArtifactKey::namespaced`].
+pub fn tenant_salt(tenant: &str) -> (u64, u64) {
+    if tenant.is_empty() {
+        return (0, 0);
+    }
+    let mut h = Fnv2::new();
+    h.update(b"tenant-ns");
+    h.update(tenant.as_bytes());
+    (h.hi, h.lo)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testfix::keyed_binary as sample_binary;
     use fwbin::isa::OptLevel;
     use fwlang::gen::Generator;
-
-    fn sample_binary() -> Binary {
-        let lib = Generator::new(11).library_sized("libk", 8);
-        fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O2).unwrap()
-    }
 
     #[test]
     fn keys_distinguish_functions_and_arches() {
@@ -225,6 +246,30 @@ mod tests {
         assert_ne!(ArtifactKey::for_dyn_profile(&bin, 1, (1, 2)), p, "function hashed");
         assert_ne!(ArtifactKey::for_dyn_profile(&bin, 0, (1, 3)), p, "fingerprint hashed");
         assert_ne!(p, k, "lanes are domain-separated");
+    }
+
+    #[test]
+    fn tenant_salts_partition_the_key_space() {
+        let bin = sample_binary();
+        let k = ArtifactKey::for_function(&bin, 0);
+
+        // Empty tenant is the identity namespace.
+        assert_eq!(tenant_salt(""), (0, 0));
+        assert_eq!(k.namespaced(tenant_salt("")), k);
+
+        // Distinct tenants relocate the same content to distinct names,
+        // deterministically, and the mapping is invertible.
+        let acme = tenant_salt("acme");
+        let rival = tenant_salt("rival");
+        assert_ne!(acme, rival);
+        assert_eq!(tenant_salt("acme"), acme, "salt is deterministic");
+        assert_ne!(k.namespaced(acme), k);
+        assert_ne!(k.namespaced(acme), k.namespaced(rival));
+        assert_eq!(k.namespaced(acme).namespaced(acme), k, "XOR salting inverts");
+
+        // Within one namespace, distinct content stays distinct.
+        let k1 = ArtifactKey::for_function(&bin, 1);
+        assert_ne!(k.namespaced(acme), k1.namespaced(acme));
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //!   sets and per-function dynamic profiles, so a warm re-audit performs
 //!   zero VM executions (the store implements
 //!   [`DynProfileSource`](patchecko_core::dynsource::DynProfileSource));
+//! * [`namespace`] — per-tenant [`TenantView`]s over one shared store:
+//!   content keys are relocated by a tenant salt so co-resident tenants
+//!   (the scan daemon's clients) never observe each other's artifacts;
 //! * [`schedule`] — the (image × CVE × basis) job scheduler over the
 //!   shared persistent worker pool ([`neural::pool`]), with per-job
-//!   timing and graceful failure records;
+//!   wall-clock budgets, timing, and graceful failure records;
 //! * [`hub`] — [`ScanHub`], binding a trained
 //!   [`Patchecko`](patchecko_core::pipeline::Patchecko) analyzer to a
 //!   store so scans, audits, and batches all reuse cached artifacts.
@@ -54,12 +57,16 @@
 pub mod dynstore;
 pub mod hub;
 pub mod key;
+pub mod namespace;
 pub mod schedule;
 pub mod store;
+#[cfg(test)]
+pub(crate) mod testfix;
 
 pub use dynstore::{env_set_checksum, profile_checksum, DYN_CACHE_FILE};
 pub use hub::{BatchReport, ScanHub};
-pub use key::{ArtifactKey, SCHEMA_VERSION};
+pub use key::{tenant_salt, ArtifactKey, SCHEMA_VERSION};
+pub use namespace::TenantView;
 pub use schedule::{
     full_schedule, run_jobs, run_jobs_with, FaultHook, JobOutcome, JobRecord, JobSpec, RetryPolicy,
 };

@@ -52,18 +52,32 @@ pub struct RetryPolicy {
     /// exponential doubling capped at 1024× the base (see
     /// [`RetryPolicy::backoff`]).
     pub base_backoff_ms: u64,
+    /// Wall-clock budget per *attempt*, milliseconds. An attempt
+    /// exceeding it is abandoned and yields a transient
+    /// [`ScanError::Timeout`] — retried like any other transient fault,
+    /// and a permanent [`JobOutcome::Failed`] once attempts are spent —
+    /// so one hung scan can't stall the batch (or wedge the daemon's
+    /// fair scheduler). `None` (the default) disables the budget.
+    #[serde(default)]
+    pub job_timeout_ms: Option<u64>,
 }
 
 impl Default for RetryPolicy {
     fn default() -> RetryPolicy {
-        RetryPolicy { max_attempts: 3, base_backoff_ms: 5 }
+        RetryPolicy { max_attempts: 3, base_backoff_ms: 5, job_timeout_ms: None }
     }
 }
 
 impl RetryPolicy {
     /// Fail on the first error, transient or not.
     pub fn no_retry() -> RetryPolicy {
-        RetryPolicy { max_attempts: 1, base_backoff_ms: 0 }
+        RetryPolicy { max_attempts: 1, base_backoff_ms: 0, job_timeout_ms: None }
+    }
+
+    /// This policy with a per-attempt wall-clock budget.
+    pub fn with_job_timeout_ms(mut self, budget_ms: u64) -> RetryPolicy {
+        self.job_timeout_ms = Some(budget_ms);
+        self
     }
 
     /// Pause before re-running a job that has failed `attempt` times:
@@ -183,25 +197,70 @@ fn run_attempt(
     })
 }
 
-fn run_one(
+/// One attempt, panic-contained. The whole attempt — fault hook included
+/// — runs under `catch_unwind`, so nothing a worker does can take down
+/// the batch; a panic is just a transient `WorkerPanic` to the retry
+/// loop.
+fn contained_attempt(
     hub: &ScanHub,
     images: &[FirmwareImage],
     db: &VulnDb,
+    spec: &JobSpec,
+    hook: Option<&Arc<FaultHook>>,
+    attempt: u32,
+) -> Result<JobOutcome, ScanError> {
+    catch_unwind(AssertUnwindSafe(|| run_attempt(hub, images, db, spec, hook, attempt)))
+        .unwrap_or_else(|payload| Err(ScanError::from_panic(payload.as_ref())))
+}
+
+/// One attempt under a wall-clock budget: the attempt runs on a spawned
+/// watcher-side thread and the scheduler waits at most `budget_ms` for
+/// its result. On expiry the attempt is *abandoned* — the thread finishes
+/// (or hangs) off to the side, its late result discarded, and the
+/// scheduler moves on with a transient [`ScanError::Timeout`]. An
+/// abandoned extraction that eventually completes still publishes into
+/// the content-addressed store, which is harmless (same key, same value).
+fn budgeted_attempt(
+    hub: &Arc<ScanHub>,
+    images: &Arc<Vec<FirmwareImage>>,
+    db: &Arc<VulnDb>,
+    spec: &JobSpec,
+    hook: Option<&Arc<FaultHook>>,
+    attempt: u32,
+    budget_ms: u64,
+) -> Result<JobOutcome, ScanError> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let (hub2, images2, db2) = (Arc::clone(hub), Arc::clone(images), Arc::clone(db));
+    let (spec2, hook2) = (spec.clone(), hook.cloned());
+    std::thread::spawn(move || {
+        let _ = tx.send(contained_attempt(&hub2, &images2, &db2, &spec2, hook2.as_ref(), attempt));
+    });
+    match rx.recv_timeout(Duration::from_millis(budget_ms)) {
+        Ok(result) => result,
+        Err(_) => {
+            hub.store().registry().add("sched.timeouts", 1);
+            Err(ScanError::Timeout { budget_ms })
+        }
+    }
+}
+
+fn run_one(
+    hub: &Arc<ScanHub>,
+    images: &Arc<Vec<FirmwareImage>>,
+    db: &Arc<VulnDb>,
     spec: &JobSpec,
     retry: &RetryPolicy,
     hook: Option<&Arc<FaultHook>>,
 ) -> (JobOutcome, u32) {
     let max = retry.max_attempts.max(1);
-    let registry = hub.store().registry();
+    let registry = Arc::clone(hub.store().registry());
     let mut attempt = 1;
     loop {
         registry.add("sched.attempts", 1);
-        // The whole attempt — fault hook included — runs under
-        // catch_unwind, so nothing a worker does can take down the batch;
-        // a panic is just a transient WorkerPanic to the retry loop.
-        let attempted =
-            catch_unwind(AssertUnwindSafe(|| run_attempt(hub, images, db, spec, hook, attempt)))
-                .unwrap_or_else(|payload| Err(ScanError::from_panic(payload.as_ref())));
+        let attempted = match retry.job_timeout_ms {
+            Some(budget_ms) => budgeted_attempt(hub, images, db, spec, hook, attempt, budget_ms),
+            None => contained_attempt(hub, images, db, spec, hook, attempt),
+        };
         match attempted {
             Ok(done) => return (done, attempt),
             Err(error) if error.is_transient() && attempt < max => {
@@ -217,9 +276,9 @@ fn run_one(
 }
 
 fn timed(
-    hub: &ScanHub,
-    images: &[FirmwareImage],
-    db: &VulnDb,
+    hub: &Arc<ScanHub>,
+    images: &Arc<Vec<FirmwareImage>>,
+    db: &Arc<VulnDb>,
     spec: &JobSpec,
     retry: &RetryPolicy,
     hook: Option<&Arc<FaultHook>>,
@@ -281,7 +340,7 @@ mod tests {
 
     #[test]
     fn backoff_doubles_then_caps_at_shift_ten() {
-        let retry = RetryPolicy { max_attempts: 100, base_backoff_ms: 3 };
+        let retry = RetryPolicy { max_attempts: 100, base_backoff_ms: 3, ..RetryPolicy::default() };
         assert_eq!(retry.backoff(1), Duration::from_millis(3));
         assert_eq!(retry.backoff(2), Duration::from_millis(6));
         assert_eq!(retry.backoff(11), Duration::from_millis(3 * 1024));
@@ -294,8 +353,21 @@ mod tests {
     }
 
     #[test]
+    fn retry_policy_timeout_is_optional_and_serde_defaulted() {
+        // Policies persisted before the budget existed still deserialize.
+        let p: RetryPolicy =
+            serde_json::from_str(r#"{"max_attempts":2,"base_backoff_ms":10}"#).unwrap();
+        assert_eq!(p.job_timeout_ms, None);
+        let q = RetryPolicy::default().with_job_timeout_ms(500);
+        assert_eq!(q.job_timeout_ms, Some(500));
+        let back: RetryPolicy = serde_json::from_str(&serde_json::to_string(&q).unwrap()).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
     fn backoff_saturates_on_pathological_base() {
-        let retry = RetryPolicy { max_attempts: 3, base_backoff_ms: u64::MAX / 2 };
+        let retry =
+            RetryPolicy { max_attempts: 3, base_backoff_ms: u64::MAX / 2, ..RetryPolicy::default() };
         assert_eq!(retry.backoff(40), Duration::from_millis(u64::MAX));
     }
 }

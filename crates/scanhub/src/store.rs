@@ -20,6 +20,25 @@
 //! a schema-version mismatch discards the stale entries. Saves go through
 //! a temp file + rename so a crash mid-write can't leave a truncated
 //! `artifacts.json` behind.
+//!
+//! ## Single-flight extraction
+//!
+//! Concurrent misses on the same key coalesce: the first requester claims
+//! the key in an in-flight table and computes; later requesters block on
+//! a condvar until the winner publishes, then serve the cached value.
+//! This matters most in the dynamic lane — a profile is a whole batch of
+//! VM executions — and is the single-process form of the scan daemon's
+//! request dedup (two clients auditing the same image trigger one
+//! extraction). A winner that fails releases its claim on unwind, so
+//! waiters retry rather than hang.
+//!
+//! ## Tenant namespaces
+//!
+//! Every lookup/extract entry point has a `*_ns` variant taking a
+//! namespace salt ([`crate::key::tenant_salt`]): keys are relocated by
+//! XOR before touching the shards, so tenants sharing one store (and one
+//! persisted cache) never observe each other's artifacts. The plain
+//! entry points are the zero-salt (identity) namespace.
 
 use crate::dynstore::DynLane;
 use crate::key::{ArtifactKey, SCHEMA_VERSION};
@@ -186,6 +205,55 @@ struct PersistedStore {
     artifacts: BTreeMap<String, PersistedEntry>,
 }
 
+/// The in-flight table behind single-flight extraction. One table covers
+/// every lane — static artifacts, env sets, profiles — because their key
+/// spaces are already domain-separated by construction.
+///
+/// `std::sync::Condvar` (not `parking_lot`, which vendors no condvar):
+/// waiters sleep until the current winner for their key publishes or
+/// fails, instead of burning a core polling the shards.
+struct Flight {
+    inflight: std::sync::Mutex<std::collections::HashSet<ArtifactKey>>,
+    done: std::sync::Condvar,
+}
+
+/// RAII claim on one in-flight key: dropping it — on success *or* unwind
+/// — releases the key and wakes every waiter, so a panicking winner can
+/// never strand losers on the condvar.
+struct FlightClaim<'a> {
+    flight: &'a Flight,
+    key: ArtifactKey,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight { inflight: std::sync::Mutex::new(std::collections::HashSet::new()), done: std::sync::Condvar::new() }
+    }
+
+    /// Try to become the computer for `key`. `Some(claim)` means this
+    /// caller won and must compute + publish (the claim releases on
+    /// drop). `None` means another caller was already computing; by the
+    /// time `None` is returned that computation has finished (published
+    /// or failed) — re-check the cache.
+    fn claim(&self, key: ArtifactKey) -> Option<FlightClaim<'_>> {
+        let mut set = self.inflight.lock().expect("flight lock");
+        if set.insert(key) {
+            return Some(FlightClaim { flight: self, key });
+        }
+        while set.contains(&key) {
+            set = self.done.wait(set).expect("flight lock");
+        }
+        None
+    }
+}
+
+impl Drop for FlightClaim<'_> {
+    fn drop(&mut self) {
+        self.flight.inflight.lock().expect("flight lock").remove(&self.key);
+        self.flight.done.notify_all();
+    }
+}
+
 /// The sharded artifact store.
 ///
 /// Cache counters are `scope` registry counters (`cache.hits`,
@@ -204,6 +272,7 @@ pub struct ArtifactStore {
     quarantined: Counter,
     quarantine_log: Mutex<Vec<String>>,
     dyn_lane: DynLane,
+    flight: Flight,
 }
 
 impl Default for ArtifactStore {
@@ -229,6 +298,7 @@ impl ArtifactStore {
             dyn_lane: DynLane::with_registry(&registry),
             registry,
             quarantine_log: Mutex::new(Vec::new()),
+            flight: Flight::new(),
         }
     }
 
@@ -305,19 +375,42 @@ impl ArtifactStore {
     }
 
     /// The artifacts of function `idx` of `bin`, extracting and caching on
-    /// first sight. Extraction runs outside the shard lock, so a racing
-    /// duplicate extraction is possible (and harmless — both compute the
-    /// same value); the counters still record exactly what happened.
+    /// first sight. Concurrent misses on one key single-flight: exactly
+    /// one caller extracts (outside every lock), the rest wait and serve
+    /// the published entry — so `cache.extractions` counts distinct
+    /// extractions even under a racing scheduler.
     ///
     /// # Errors
     /// [`ScanError::Extraction`] when the function's code fails to decode.
     pub fn get_or_extract(&self, bin: &Binary, idx: usize) -> Result<Arc<Artifact>, ScanError> {
-        let key = ArtifactKey::for_function(bin, idx);
-        if let Some(found) = self.lookup(key) {
-            return Ok(found);
+        self.get_or_extract_ns(bin, idx, (0, 0))
+    }
+
+    /// [`ArtifactStore::get_or_extract`] in the cache namespace named by
+    /// `salt` (see [`crate::key::tenant_salt`]; `(0, 0)` is the base
+    /// namespace).
+    ///
+    /// # Errors
+    /// As for [`ArtifactStore::get_or_extract`].
+    pub fn get_or_extract_ns(
+        &self,
+        bin: &Binary,
+        idx: usize,
+        salt: (u64, u64),
+    ) -> Result<Arc<Artifact>, ScanError> {
+        let key = ArtifactKey::for_function(bin, idx).namespaced(salt);
+        loop {
+            if let Some(found) = self.lookup(key) {
+                return Ok(found);
+            }
+            if let Some(_claim) = self.flight.claim(key) {
+                let artifact = self.extract(bin, idx)?;
+                return Ok(self.insert(key, artifact));
+            }
+            // A concurrent winner just finished this key: loop to serve
+            // its published entry (or claim the flight ourselves if it
+            // failed and published nothing).
         }
-        let artifact = self.extract(bin, idx)?;
-        Ok(self.insert(key, artifact))
     }
 
     /// Pre-populate the store with every function of an image. Returns the
@@ -326,10 +419,22 @@ impl ArtifactStore {
     /// # Errors
     /// The first extraction failure, if any function fails to decode.
     pub fn warm_image(&self, image: &fwbin::FirmwareImage) -> Result<usize, ScanError> {
+        self.warm_image_ns(image, (0, 0))
+    }
+
+    /// [`ArtifactStore::warm_image`] in the namespace named by `salt`.
+    ///
+    /// # Errors
+    /// The first extraction failure, if any function fails to decode.
+    pub fn warm_image_ns(
+        &self,
+        image: &fwbin::FirmwareImage,
+        salt: (u64, u64),
+    ) -> Result<usize, ScanError> {
         let mut n = 0;
         for bin in &image.binaries {
             for idx in 0..bin.function_count() {
-                self.get_or_extract(bin, idx)?;
+                self.get_or_extract_ns(bin, idx, salt)?;
                 n += 1;
             }
         }
@@ -452,15 +557,116 @@ impl ArtifactStore {
     }
 }
 
-impl FeatureSource for ArtifactStore {
-    fn features_all(&self, bin: &Binary) -> Result<Vec<StaticFeatures>, ScanError> {
+impl ArtifactStore {
+    /// [`FeatureSource::features_all`] in the namespace named by `salt`.
+    ///
+    /// # Errors
+    /// The first extraction failure, if any function fails to decode.
+    pub fn features_all_ns(
+        &self,
+        bin: &Binary,
+        salt: (u64, u64),
+    ) -> Result<Vec<StaticFeatures>, ScanError> {
         (0..bin.function_count())
-            .map(|i| Ok(self.get_or_extract(bin, i)?.features.clone()))
+            .map(|i| Ok(self.get_or_extract_ns(bin, i, salt)?.features.clone()))
             .collect()
     }
 
+    /// [`FeatureSource::features_one`] in the namespace named by `salt`.
+    ///
+    /// # Errors
+    /// [`ScanError::Extraction`] when the function's code fails to decode.
+    pub fn features_one_ns(
+        &self,
+        bin: &Binary,
+        idx: usize,
+        salt: (u64, u64),
+    ) -> Result<StaticFeatures, ScanError> {
+        Ok(self.get_or_extract_ns(bin, idx, salt)?.features.clone())
+    }
+
+    /// [`DynProfileSource::environments`] in the namespace named by
+    /// `salt`. Concurrent misses single-flight like the static lane.
+    ///
+    /// # Errors
+    /// Infallible today (live generation cannot fail); `Result` for
+    /// seam-compatibility with [`DynProfileSource`].
+    pub fn environments_ns(
+        &self,
+        reference: &LoadedBinary,
+        fuzz_cfg: &FuzzConfig,
+        vm: &VmConfig,
+        salt: (u64, u64),
+    ) -> Result<EnvSet, ScanError> {
+        let key = ArtifactKey::for_env_set(reference.binary(), fuzz_cfg, vm).namespaced(salt);
+        loop {
+            if let Some(envs) = self.dyn_lane.lookup_envs(key) {
+                // Recomputing the fingerprint from the stored contents
+                // (rather than persisting it) keeps the env-set → profile
+                // linkage self-validating: a tampered env list that
+                // somehow survived the checksum would fingerprint
+                // differently and miss every profile derived from the
+                // original.
+                return Ok(EnvSet::new((*envs).clone(), vm));
+            }
+            if let Some(_claim) = self.flight.claim(key) {
+                let set = dynsource::live_environments(reference, fuzz_cfg, vm);
+                self.dyn_lane.insert_envs(key, set.envs.clone());
+                return Ok(set);
+            }
+        }
+    }
+
+    /// [`DynProfileSource::profile`] in the namespace named by `salt`.
+    /// Concurrent misses single-flight: one live profiling run (a whole
+    /// batch of VM executions) serves every concurrent requester.
+    ///
+    /// # Errors
+    /// Infallible today; `Result` for seam-compatibility.
+    ///
+    /// # Panics
+    /// When `func` is out of range for `target`'s function table (same
+    /// contract as `LoadedBinary::run_any`).
+    pub fn profile_ns(
+        &self,
+        target: &LoadedBinary,
+        func: usize,
+        envs: &EnvSet,
+        vm: &VmConfig,
+        salt: (u64, u64),
+    ) -> Result<DynProfile, ScanError> {
+        // Same contract (and same message) as `LoadedBinary::run_any` and
+        // `LiveProfiling`, checked before key derivation so an
+        // out-of-range candidate produces identical degradation
+        // diagnostics whether the lane is warm or cold.
+        assert!(
+            func < target.function_count(),
+            "function index {func} out of range (table holds {})",
+            target.function_count()
+        );
+        let key =
+            ArtifactKey::for_dyn_profile(target.binary(), func, envs.fingerprint).namespaced(salt);
+        loop {
+            if let Some(profile) = self.dyn_lane.lookup_profile(key) {
+                return Ok((*profile).clone());
+            }
+            if let Some(_claim) = self.flight.claim(key) {
+                self.dyn_lane.profiled.inc();
+                let profile = dynsource::live_profile(target, func, &envs.envs, vm);
+                self.dyn_lane.insert_profile(key, profile.clone());
+                return Ok(profile);
+            }
+        }
+    }
+}
+
+impl FeatureSource for ArtifactStore {
+    fn features_all(&self, bin: &Binary) -> Result<Vec<StaticFeatures>, ScanError> {
+        self.features_all_ns(bin, (0, 0))
+    }
+
     fn features_one(&self, bin: &Binary, idx: usize) -> Result<StaticFeatures, ScanError> {
-        Ok(self.get_or_extract(bin, idx)?.features.clone())
+        self.features_one_ns(bin, idx, (0, 0))
     }
 }
 
@@ -477,18 +683,7 @@ impl DynProfileSource for ArtifactStore {
         fuzz_cfg: &FuzzConfig,
         vm: &VmConfig,
     ) -> Result<EnvSet, ScanError> {
-        let key = ArtifactKey::for_env_set(reference.binary(), fuzz_cfg, vm);
-        if let Some(envs) = self.dyn_lane.lookup_envs(key) {
-            // Recomputing the fingerprint from the stored contents (rather
-            // than persisting it) keeps the env-set → profile linkage
-            // self-validating: a tampered env list that somehow survived
-            // the checksum would fingerprint differently and miss every
-            // profile derived from the original.
-            return Ok(EnvSet::new((*envs).clone(), vm));
-        }
-        let set = dynsource::live_environments(reference, fuzz_cfg, vm);
-        self.dyn_lane.insert_envs(key, set.envs.clone());
-        Ok(set)
+        self.environments_ns(reference, fuzz_cfg, vm, (0, 0))
     }
 
     fn profile(
@@ -498,37 +693,15 @@ impl DynProfileSource for ArtifactStore {
         envs: &EnvSet,
         vm: &VmConfig,
     ) -> Result<DynProfile, ScanError> {
-        // Same contract (and same message) as `LoadedBinary::run_any` and
-        // `LiveProfiling`, checked before key derivation so an
-        // out-of-range candidate produces identical degradation
-        // diagnostics whether the lane is warm or cold.
-        assert!(
-            func < target.function_count(),
-            "function index {func} out of range (table holds {})",
-            target.function_count()
-        );
-        let key = ArtifactKey::for_dyn_profile(target.binary(), func, envs.fingerprint);
-        if let Some(profile) = self.dyn_lane.lookup_profile(key) {
-            return Ok((*profile).clone());
-        }
-        self.dyn_lane.profiled.inc();
-        let profile = dynsource::live_profile(target, func, &envs.envs, vm);
-        self.dyn_lane.insert_profile(key, profile.clone());
-        Ok(profile)
+        self.profile_ns(target, func, envs, vm, (0, 0))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fwbin::isa::{Arch, OptLevel};
-    use fwlang::gen::Generator;
+    use crate::testfix::{dyn_fixture, store_binary as sample_binary};
     use patchecko_core::pipeline::DirectExtraction;
-
-    fn sample_binary() -> Binary {
-        let lib = Generator::new(4).library_sized("libs", 6);
-        fwbin::compile_library(&lib, Arch::Arm32, OptLevel::O1).unwrap()
-    }
 
     #[test]
     fn second_lookup_hits_and_skips_extraction() {
@@ -762,14 +935,6 @@ mod tests {
         assert!(Arc::ptr_eq(store.registry(), &reg));
     }
 
-    /// A small loaded binary plus the dynamic-stage configs, for
-    /// exercising the store as a [`DynProfileSource`].
-    fn dyn_fixture() -> (LoadedBinary, FuzzConfig, VmConfig) {
-        let lib = Generator::new(21).library_sized("libdyn", 4);
-        let bin = fwbin::compile_library(&lib, Arch::Arm64, OptLevel::O2).unwrap();
-        (LoadedBinary::load(bin).unwrap(), FuzzConfig::default(), VmConfig::default())
-    }
-
     #[test]
     fn dyn_lane_roundtrip_serves_cached_envs_and_profiles() {
         let dir = temp_cache("dyn-roundtrip");
@@ -859,6 +1024,46 @@ mod tests {
         let store = ArtifactStore::new();
         let envs = store.environments(&lb, &fuzz, &vmc).unwrap();
         let _ = store.profile(&lb, lb.function_count() + 1, &envs, &vmc);
+    }
+
+    #[test]
+    fn concurrent_same_key_misses_single_flight_to_one_extraction() {
+        let store = Arc::new(ArtifactStore::new());
+        let bin = Arc::new(sample_binary());
+        let n = bin.function_count() as u64;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (store, bin) = (Arc::clone(&store), Arc::clone(&bin));
+                s.spawn(move || store.features_all(&bin).unwrap());
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.extractions, n, "one extraction per function, regardless of racers");
+        assert_eq!(stats.entries, n);
+    }
+
+    #[test]
+    fn failed_winner_releases_the_flight_for_waiters() {
+        // Every racer must get the typed error back — a panicking or
+        // failing winner may not strand waiters on the condvar.
+        let store = Arc::new(ArtifactStore::new());
+        let mut bin = sample_binary();
+        bin.functions[2].code = vec![0xEE, 0xEE, 0xEE];
+        let bin = Arc::new(bin);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (store, bin) = (Arc::clone(&store), Arc::clone(&bin));
+                    s.spawn(move || store.features_one(&bin, 2))
+                })
+                .collect();
+            for h in handles {
+                match h.join().unwrap() {
+                    Err(ScanError::Extraction { function: 2, .. }) => {}
+                    other => panic!("expected typed extraction error, got {other:?}"),
+                }
+            }
+        });
     }
 
     #[test]

@@ -261,7 +261,7 @@ fn scheduler_never_sleeps_after_the_final_attempt() {
     // deterministically if a trailing backoff sneaks in.
     use patchecko_scanhub::RetryPolicy;
     let reg = std::sync::Arc::new(scope::MetricsRegistry::new());
-    let retry = RetryPolicy { max_attempts: 2, base_backoff_ms: 150 };
+    let retry = RetryPolicy { max_attempts: 2, base_backoff_ms: 150, job_timeout_ms: None };
     let hub = std::sync::Arc::new(
         ScanHub::with_registry(
             Patchecko::new(shared_detector().clone(), PipelineConfig::default()),
@@ -295,4 +295,54 @@ fn scheduler_never_sleeps_after_the_final_attempt() {
     assert_eq!(snap.counter("sched.attempts"), 2);
     assert_eq!(snap.counter("sched.retries"), 1);
     assert_eq!(snap.counter("sched.backoff_ms"), 150);
+}
+
+#[test]
+fn hung_job_times_out_as_transient_failure_instead_of_stalling_the_batch() {
+    // Satellite: a job exceeding its RetryPolicy wall-clock budget is
+    // abandoned with a transient Timeout, retried, and finally recorded
+    // as JobOutcome::Failed — the batch returns promptly instead of
+    // waiting out the hang. The hang is simulated in the fault hook,
+    // which runs inside the budgeted attempt like any scan work.
+    use patchecko_scanhub::RetryPolicy;
+    use std::time::Duration;
+    let reg = std::sync::Arc::new(scope::MetricsRegistry::new());
+    let retry = RetryPolicy { max_attempts: 2, base_backoff_ms: 10, job_timeout_ms: Some(300) };
+    let hub = std::sync::Arc::new(
+        ScanHub::with_registry(
+            Patchecko::new(shared_detector().clone(), PipelineConfig::default()),
+            std::sync::Arc::clone(&reg),
+        )
+        .with_retry_policy(retry)
+        .with_fault_hook(std::sync::Arc::new(|_spec: &JobSpec, _attempt| {
+            // Hang far past the budget; the abandoned attempt threads
+            // finish (asleep) long after the batch has moved on.
+            std::thread::sleep(Duration::from_secs(6));
+            None
+        })),
+    );
+    let db = std::sync::Arc::new(small_db());
+    let images = std::sync::Arc::new(vec![shared_device().image.clone()]);
+    let jobs =
+        vec![JobSpec { image: 0, cve: db.featured()[0].entry.cve.clone(), basis: Basis::Vulnerable }];
+
+    let started = std::time::Instant::now();
+    let report = hub.batch_audit(&images, &db, &jobs);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "batch must not wait out the hang (elapsed {elapsed:?})"
+    );
+    assert_eq!(report.failed(), 1);
+    match &report.records[0].outcome {
+        JobOutcome::Failed { error, attempts } => {
+            assert!(matches!(error, ScanError::Timeout { budget_ms: 300 }), "{error}");
+            assert!(error.is_transient(), "timeouts are retryable");
+            assert_eq!(*attempts, 2, "the timeout was retried to exhaustion");
+        }
+        other => panic!("expected timeout failure, got {other:?}"),
+    }
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("sched.timeouts"), 2, "each budgeted attempt recorded its expiry");
+    assert_eq!(snap.counter("sched.retries"), 1);
 }

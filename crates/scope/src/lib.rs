@@ -46,7 +46,7 @@ pub mod registry;
 pub mod span;
 pub mod trace;
 
-pub use registry::{Counter, DurationStats, MetricsRegistry, TelemetrySnapshot, Timer};
+pub use registry::{Counter, DurationStats, MetricsRegistry, ScopedRegistry, TelemetrySnapshot, Timer};
 pub use span::SpanGuard;
 
 use std::sync::{Arc, OnceLock};

@@ -239,6 +239,46 @@ impl TelemetrySnapshot {
         self.durations.get(name)
     }
 
+    /// The slice of this snapshot living under `<prefix>.`, with the
+    /// prefix stripped — the read-side complement of
+    /// [`MetricsRegistry::scoped`]. A tenant's view of a shared registry:
+    /// `snapshot.filtered("tenant.acme")` yields that tenant's `requests`,
+    /// `completed`, `latency`, … and nothing else.
+    pub fn filtered(&self, prefix: &str) -> TelemetrySnapshot {
+        let dotted = format!("{prefix}.");
+        TelemetrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter_map(|(k, &v)| Some((k.strip_prefix(&dotted)?.to_string(), v)))
+                .collect(),
+            durations: self
+                .durations
+                .iter()
+                .filter_map(|(k, d)| Some((k.strip_prefix(&dotted)?.to_string(), d.clone())))
+                .collect(),
+        }
+    }
+
+    /// Every distinct sub-prefix directly under `<prefix>.` — with the
+    /// daemon's `tenant.<name>.<counter>` convention,
+    /// `names_under("tenant")` is the set of tenants that recorded
+    /// anything.
+    pub fn names_under(&self, prefix: &str) -> Vec<String> {
+        let dotted = format!("{prefix}.");
+        let mut names: Vec<String> = self
+            .counters
+            .keys()
+            .chain(self.durations.keys())
+            .filter_map(|k| k.strip_prefix(&dotted))
+            .filter_map(|rest| rest.split('.').next())
+            .map(str::to_string)
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
     /// Movement since an earlier snapshot. Counters saturate at zero (a
     /// snapshot pair straddling a reset yields 0, never a wrap), mirroring
     /// `CacheStats::since` upstream.
@@ -378,6 +418,16 @@ impl MetricsRegistry {
         self.timer(name).record(d);
     }
 
+    /// A prefixed view of this registry: every counter and timer resolved
+    /// through the view lands under `<prefix>.<name>`. This is how the
+    /// scan daemon keeps per-tenant counters in the one registry its
+    /// `stats` endpoint snapshots — tenant `acme`'s request counter is
+    /// `tenant.acme.requests`, carved back out with
+    /// [`TelemetrySnapshot::filtered`].
+    pub fn scoped(self: &Arc<MetricsRegistry>, prefix: &str) -> ScopedRegistry {
+        ScopedRegistry { registry: Arc::clone(self), prefix: prefix.to_string() }
+    }
+
     /// Point-in-time snapshot of every counter and histogram.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let counters = self
@@ -395,6 +445,52 @@ impl MetricsRegistry {
             .map(|(k, v)| (k.clone(), v.stats()))
             .collect();
         TelemetrySnapshot { counters, durations }
+    }
+}
+
+/// A name-prefixing view over a shared [`MetricsRegistry`] (see
+/// [`MetricsRegistry::scoped`]). Handles resolved through the view are
+/// ordinary [`Counter`]s/[`Timer`]s — the prefix is paid once at
+/// resolution, never on the hot path.
+#[derive(Debug, Clone)]
+pub struct ScopedRegistry {
+    registry: Arc<MetricsRegistry>,
+    prefix: String,
+}
+
+impl ScopedRegistry {
+    /// The view's prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    fn qualify(&self, name: &str) -> String {
+        format!("{}.{name}", self.prefix)
+    }
+
+    /// Resolve the counter `<prefix>.<name>`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(&self.qualify(name))
+    }
+
+    /// Resolve the duration histogram `<prefix>.<name>`.
+    pub fn timer(&self, name: &str) -> Timer {
+        self.registry.timer(&self.qualify(name))
+    }
+
+    /// Name-based increment of `<prefix>.<name>` (cold-path convenience).
+    pub fn add(&self, name: &str, n: u64) {
+        self.registry.add(&self.qualify(name), n);
+    }
+
+    /// Name-based duration record into `<prefix>.<name>`.
+    pub fn record(&self, name: &str, d: Duration) {
+        self.registry.record(&self.qualify(name), d);
     }
 }
 
@@ -487,5 +583,53 @@ mod tests {
         assert!(table.contains("timing"));
         assert!(table.contains("counter"));
         assert!(TelemetrySnapshot::default().to_table().contains("no telemetry"));
+    }
+
+    #[test]
+    fn scoped_view_prefixes_and_filtered_strips() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let acme = reg.scoped("tenant.acme");
+        let rival = reg.scoped("tenant.rival");
+        acme.add("requests", 3);
+        acme.record("latency", Duration::from_micros(40));
+        rival.add("requests", 1);
+        reg.add("queue.depth", 9);
+
+        // Writes through the view land fully qualified in the shared registry.
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("tenant.acme.requests"), 3);
+        assert_eq!(snap.counter("tenant.rival.requests"), 1);
+        assert!(snap.duration("tenant.acme.latency").is_some());
+
+        // filtered() carves one tenant back out, prefix stripped.
+        let mine = snap.filtered("tenant.acme");
+        assert_eq!(mine.counter("requests"), 3);
+        assert_eq!(mine.duration("latency").unwrap().count, 1);
+        assert_eq!(mine.counter("queue.depth"), 0, "unrelated names excluded");
+        assert!(snap.filtered("tenant.rival").duration("latency").is_none());
+        assert!(snap.filtered("tenant.ghost").counters.is_empty());
+    }
+
+    #[test]
+    fn names_under_enumerates_tenants() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.scoped("tenant.acme").add("requests", 1);
+        reg.scoped("tenant.rival").record("latency", Duration::from_micros(5));
+        reg.add("tenant.acme.completed", 2);
+        reg.add("queue.depth", 1);
+        assert_eq!(reg.snapshot().names_under("tenant"), vec!["acme", "rival"]);
+        assert!(reg.snapshot().names_under("absent").is_empty());
+    }
+
+    #[test]
+    fn scoped_handles_are_the_shared_atomics() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let view = reg.scoped("tenant.t0");
+        let c = view.counter("requests");
+        c.add(2);
+        reg.add("tenant.t0.requests", 1);
+        assert_eq!(view.counter("requests").get(), 3);
+        assert_eq!(view.prefix(), "tenant.t0");
+        assert!(Arc::ptr_eq(view.registry(), &reg));
     }
 }

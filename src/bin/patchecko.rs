@@ -9,6 +9,8 @@
 //! patchecko patch-check  --model model.json --image DIR --cve CVE-2018-9412
 //! patchecko audit        --model model.json --image DIR [--report report.md]
 //! patchecko batch-audit  --model model.json --images DIR[,DIR...] [--cache-dir DIR]
+//! patchecko serve        --model model.json --images DIR[,DIR...] --socket PATH
+//! patchecko client       --socket PATH [--tenant NAME] --stats|--drain|--audit IDX|...
 //! ```
 //!
 //! `build-image` writes one `.fwb` container per library (the on-disk wire
@@ -35,6 +37,7 @@ use patchecko::corpus::{self, dataset1::Dataset1Config};
 use patchecko::fwbin::{Binary, FirmwareImage};
 use patchecko::fwlang::pretty;
 use patchecko::neural::net::TrainConfig;
+use patchecko::scand::{ScanClient, ScanServer, ServerConfig};
 use patchecko::scanhub::{self, JobOutcome, JobSpec, ScanHub};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -56,6 +59,8 @@ fn main() -> ExitCode {
         "patch-check" => cmd_patch_check(&flags),
         "audit" => cmd_audit(&flags),
         "batch-audit" => cmd_batch_audit(&flags),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         "--help" | "-h" | "help" => {
             usage();
             Ok(())
@@ -85,10 +90,17 @@ USAGE:
   patchecko audit        --model model.json --image DIR [--report FILE.md] [--json FILE.json]
   patchecko batch-audit  --model model.json --images DIR[,DIR...] [--cves ID[,ID...]]
                          [--basis vulnerable|patched|both] [--json FILE.json]
+  patchecko serve        --model model.json --images DIR[,DIR...] --socket PATH
+                         [--cache-dir DIR] [--workers N] [--queue-limit N]
+                         [--retry-after-ms N]
+  patchecko client       --socket PATH [--tenant NAME] <--stats | --drain |
+                         --audit IDX | --batch-audit IDX[,IDX...] |
+                         --scan IDX --cve ID [--basis vulnerable|patched]>
 
-CACHING / SCHEDULING (scan, audit, batch-audit):
+CACHING / SCHEDULING (scan, audit, batch-audit, serve):
   --cache-dir DIR   load/persist the content-addressed artifact cache in DIR
-  --cache-stats     print cache hit/miss/extraction counters after the run
+  --cache-stats     print cache hit/miss/extraction counters after the run;
+                    `--cache-stats json` emits them as machine-readable JSON
   --threads N       worker threads for the pipeline and the batch scheduler
                     (default: the PATCHECKO_THREADS env var, then the number
                     of CPUs; --threads 1 forces fully serial execution)
@@ -97,9 +109,19 @@ OBSERVABILITY (scan, audit, batch-audit):
   --metrics         print the run's telemetry table: per-stage span timings
                     (static scan, dynamic profiling, differential, scheduler
                     jobs) and cache/scheduler/pool counters, all sourced
-                    from one metrics registry
+                    from one metrics registry; `--metrics json` emits the
+                    full snapshot as machine-readable JSON
   --trace-out FILE  write a Chrome-trace JSON of every pipeline span; load
-                    it in chrome://tracing or Perfetto"
+                    it in chrome://tracing or Perfetto
+
+SERVICE:
+  `serve` runs the long-lived multi-tenant scan daemon: one warm model and
+  one artifact cache shared (namespace-isolated) by every tenant, fair
+  round-robin scheduling, admission control with typed overload replies,
+  and live per-tenant telemetry. `client` speaks its framed protocol:
+  `--tenant` selects the cache namespace, `--stats` prints live service
+  statistics as JSON, and `--drain` persists the caches and stops the
+  daemon gracefully."
     );
 }
 
@@ -308,14 +330,25 @@ fn build_hub(flags: &HashMap<String, String>, analyzer: Patchecko) -> Result<Sca
 }
 
 /// After a cached command: print counters under `--cache-stats` and the
-/// telemetry table under `--metrics`, write the Chrome trace under
-/// `--trace-out`, write the store back under `--cache-dir`.
+/// telemetry table under `--metrics` (both accept a `json` value for
+/// machine-readable output), write the Chrome trace under `--trace-out`,
+/// write the store back under `--cache-dir`.
 fn finish_hub(flags: &HashMap<String, String>, hub: &ScanHub) -> Result<(), String> {
-    if flags.contains_key("cache-stats") {
-        eprintln!("cache: {}", hub.stats());
+    match flags.get("cache-stats").map(String::as_str) {
+        Some("json") => println!(
+            "{}",
+            serde_json::to_string_pretty(&hub.stats()).map_err(|e| e.to_string())?
+        ),
+        Some(_) => eprintln!("cache: {}", hub.stats()),
+        None => {}
     }
-    if flags.contains_key("metrics") {
-        println!("\n{}", hub.telemetry_snapshot().to_table());
+    match flags.get("metrics").map(String::as_str) {
+        Some("json") => println!(
+            "{}",
+            serde_json::to_string_pretty(&hub.telemetry_snapshot()).map_err(|e| e.to_string())?
+        ),
+        Some(_) => println!("\n{}", hub.telemetry_snapshot().to_table()),
+        None => {}
     }
     if let Some(path) = flags.get("trace-out") {
         let events = scope::trace::write_chrome_trace(Path::new(path))
@@ -568,6 +601,88 @@ fn cmd_batch_audit(flags: &HashMap<String, String>) -> Result<(), String> {
         // any permanently failed job makes the whole batch exit non-zero.
         eprintln!("\nfailed jobs:\n{}", report.failure_summary());
         return Err(format!("{} of {} jobs failed permanently", report.failed(), report.records.len()));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The scan service: `serve` runs the long-lived multi-tenant daemon,
+// `client` speaks its framed protocol over the Unix socket.
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let hub = build_hub(flags, build_analyzer(flags)?)?;
+    let mut images = Vec::new();
+    for dir in flag(flags, "images")?.split(',').filter(|d| !d.is_empty()) {
+        images.push(load_image(dir)?);
+    }
+    if images.is_empty() {
+        return Err("--images: no image directories given".into());
+    }
+    let db = corpus::build_vulndb(0, 1);
+    let cfg = ServerConfig {
+        queue_limit: flag_or(flags, "queue-limit", 64),
+        workers: flag_or(flags, "workers", 4),
+        retry_after_ms: flag_or(flags, "retry-after-ms", 25),
+        ..ServerConfig::new(flag(flags, "socket")?)
+    };
+    eprintln!(
+        "serving {} image(s) on {} ({} workers, queue limit {})",
+        images.len(),
+        cfg.socket.display(),
+        cfg.workers,
+        cfg.queue_limit
+    );
+    let server = ScanServer::start(cfg, hub, images, db)
+        .map_err(|e| format!("bind socket: {e}"))?;
+    eprintln!("ready — stop with `patchecko client --socket <PATH> --drain`");
+    server.join();
+    eprintln!("daemon drained and exited");
+    Ok(())
+}
+
+fn parse_index_list(list: &str) -> Result<Vec<usize>, String> {
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|_| format!("not an image index: {s}")))
+        .collect()
+}
+
+fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
+    let socket = flag(flags, "socket")?;
+    let tenant = flags.get("tenant").map(String::as_str).unwrap_or("");
+    let mut client = ScanClient::connect(socket, tenant)
+        .map_err(|e| format!("connect {socket}: {e}"))?;
+    if flags.contains_key("stats") {
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        println!("{}", serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?);
+    } else if flags.contains_key("drain") {
+        let drained = client.drain().map_err(|e| e.to_string())?;
+        eprintln!("daemon drained (caches persisted: {})", drained.persisted);
+    } else if let Some(list) = flags.get("batch-audit") {
+        let reports = client
+            .batch_audit(&parse_index_list(list)?)
+            .map_err(|e| e.to_string())?;
+        println!("{}", serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?);
+    } else if let Some(index) = flags.get("audit") {
+        let index = index.parse().map_err(|_| format!("--audit: not an image index: {index}"))?;
+        let report = client.audit(index).map_err(|e| e.to_string())?;
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    } else if let Some(index) = flags.get("scan") {
+        let index = index.parse().map_err(|_| format!("--scan: not an image index: {index}"))?;
+        let cve = flag(flags, "cve")?;
+        let basis = match flags.get("basis").map(String::as_str) {
+            None | Some("vulnerable") => Basis::Vulnerable,
+            Some("patched") => Basis::Patched,
+            Some(other) => return Err(format!("--basis: `{other}` (vulnerable|patched)")),
+        };
+        let summary = client.scan(index, cve, basis).map_err(|e| e.to_string())?;
+        println!("{}", serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?);
+    } else {
+        return Err(
+            "client: pass one of --stats | --drain | --audit IDX | --batch-audit IDX[,IDX...] | \
+             --scan IDX --cve ID [--basis vulnerable|patched]"
+                .into(),
+        );
     }
     Ok(())
 }

@@ -25,7 +25,10 @@
 //!   evaluation harness;
 //! * [`scanhub`] (`patchecko_scanhub`) — the persistent scan service:
 //!   content-addressed artifact caching, batched inference, and the
-//!   multi-image job scheduler.
+//!   multi-image job scheduler;
+//! * [`scand`] (`patchecko_scand`) — the long-running multi-tenant scan
+//!   daemon: length-prefixed JSON over a Unix socket, admission control,
+//!   per-tenant cache namespaces, and live telemetry.
 //!
 //! ## Quick taste
 //!
@@ -55,6 +58,7 @@ pub use fwbin;
 pub use fwlang;
 pub use neural;
 pub use patchecko_core as core;
+pub use patchecko_scand as scand;
 pub use patchecko_scanhub as scanhub;
 pub use scope;
 pub use vm;
