@@ -300,6 +300,76 @@ impl Detector {
         }
         self.net.predict_from(1, h)
     }
+
+    /// Classify an explicit sparse list of (reference, target) index pairs
+    /// through the same normalized-once factorization as
+    /// [`Detector::classify_product`]: both sides are normalized and
+    /// pushed through their half of the first dense layer once, then only
+    /// the selected rows are gathered and combined. `scores[p]` is the
+    /// probability of pair `pairs[p] = (reference_index, target_index)`.
+    ///
+    /// Scores are bitwise-identical to the corresponding rows of
+    /// [`Detector::classify_product`] — the combine applies the same
+    /// per-element `rv + tv + bias` and the downstream layers are
+    /// row-independent — which is what makes indexed retrieval at full K
+    /// exactly reproduce the all-pairs scan.
+    ///
+    /// # Panics
+    /// Panics if a pair indexes out of `references`/`targets` range.
+    pub fn classify_pairs(
+        &self,
+        references: &[StaticFeatures],
+        targets: &[StaticFeatures],
+        pairs: &[(u32, u32)],
+    ) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let half = self.net.input_dim() / 2;
+        let (w1, b1) = self.net.layer_params(0);
+        let n1 = w1.cols();
+        let relu = self.net.num_layers() > 1;
+        // Project only the rows the pair list actually touches — the
+        // point of sparse classification is staying sub-linear in the
+        // reference DB, so the first-layer projection must not run over
+        // every reference. A projected row depends only on its own
+        // normalized input, so gathering keeps rows bitwise-identical.
+        let (ref_rows, ref_map) = gather_used(pairs.iter().map(|&(r, _)| r), references.len());
+        let (tgt_rows, tgt_map) = gather_used(pairs.iter().map(|&(_, t)| t), targets.len());
+        let rn = Matrix::from_vec(
+            ref_rows.len(),
+            half,
+            ref_rows.iter().flat_map(|&r| self.norm.apply(&references[r as usize])).collect(),
+        );
+        let tn = Matrix::from_vec(
+            tgt_rows.len(),
+            half,
+            tgt_rows.iter().flat_map(|&t| self.norm.apply(&targets[t as usize])).collect(),
+        );
+        let w_top = Matrix::from_fn(half, n1, |r, c| w1.get(r, c));
+        let w_bot = Matrix::from_fn(half, n1, |r, c| w1.get(r + half, c));
+        let rpart = rn.matmul(&w_top);
+        let tpart = tn.matmul(&w_bot);
+        let remapped: Vec<(u32, u32)> =
+            pairs.iter().map(|&(r, t)| (ref_map[r as usize], tgt_map[t as usize])).collect();
+        let h = Matrix::combine_pairs(&rpart, &tpart, &remapped, b1, relu);
+        self.net.predict_from(1, h)
+    }
+}
+
+/// Distinct indices drawn from `it` in first-appearance order, plus the
+/// dense remap table (`map[original] = packed row`, `u32::MAX` = unused).
+fn gather_used(it: impl Iterator<Item = u32>, len: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut map = vec![u32::MAX; len];
+    let mut rows = Vec::new();
+    for i in it {
+        let slot = &mut map[i as usize];
+        if *slot == u32::MAX {
+            *slot = rows.len() as u32;
+            rows.push(i);
+        }
+    }
+    (rows, map)
 }
 
 #[cfg(test)]
@@ -424,6 +494,43 @@ mod tests {
         }
         assert!(det.classify_product(&[], &targets).is_empty());
         assert!(det.classify_product(&refs, &[]).is_empty());
+    }
+
+    #[test]
+    fn classify_pairs_is_bitwise_identical_to_product_rows() {
+        let ds = tiny_dataset();
+        let cfg = DetectorConfig {
+            pairs_per_function: 2,
+            train: TrainConfig { epochs: 20, batch: 64, lr: 2e-3, seed: 3, ..Default::default() },
+            ..DetectorConfig::default()
+        };
+        let (det, _, _) = train(&ds, &cfg);
+        let refs = crate::features::extract_all(&ds.variants[0].binary).unwrap();
+        let targets = crate::features::extract_all(&ds.variants[1].binary).unwrap();
+        let product = det.classify_product(&refs, &targets);
+
+        // Full cross product as an explicit pair list: every score must
+        // match its product row *bitwise* (the downstream layers are
+        // row-independent).
+        let all: Vec<(u32, u32)> = (0..refs.len() as u32)
+            .flat_map(|i| (0..targets.len() as u32).map(move |j| (i, j)))
+            .collect();
+        let full = det.classify_pairs(&refs, &targets, &all);
+        assert_eq!(full.len(), product.len());
+        for (p, (&(i, j), s)) in all.iter().zip(&full).enumerate() {
+            let expect = product[i as usize * targets.len() + j as usize];
+            assert_eq!(s.to_bits(), expect.to_bits(), "pair {p} = ({i},{j})");
+        }
+
+        // An arbitrary sparse subset (every third pair, reversed) too.
+        let sparse: Vec<(u32, u32)> = all.iter().rev().step_by(3).copied().collect();
+        let sparse_scores = det.classify_pairs(&refs, &targets, &sparse);
+        for (&(i, j), s) in sparse.iter().zip(&sparse_scores) {
+            let expect = product[i as usize * targets.len() + j as usize];
+            assert_eq!(s.to_bits(), expect.to_bits(), "sparse pair ({i},{j})");
+        }
+
+        assert!(det.classify_pairs(&refs, &targets, &[]).is_empty());
     }
 
     #[test]

@@ -456,6 +456,7 @@ mod tests {
                 total: 0,
                 probs: vec![],
                 candidates: vec![],
+                best_ref: vec![],
                 seconds: 0.0,
             },
             dynamic: DynamicAnalysis {

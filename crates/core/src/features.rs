@@ -335,7 +335,7 @@ pub struct Normalizer {
     std: Vec<f64>,
 }
 
-fn squash(x: f64) -> f64 {
+pub(crate) fn squash(x: f64) -> f64 {
     x.signum() * (1.0 + x.abs()).ln()
 }
 

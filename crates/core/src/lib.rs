@@ -49,6 +49,7 @@ pub mod eval;
 pub mod features;
 pub mod pipeline;
 pub mod report;
+pub mod retrieval;
 pub mod similarity;
 #[cfg(test)]
 mod testutil;
@@ -64,4 +65,5 @@ pub use pipeline::{
     Patchecko, PipelineConfig,
 };
 pub use report::{AuditFinding, AuditReport, AuditStatus};
+pub use retrieval::{FunctionSignature, Retrieval, SignatureSet, DEFAULT_TOP_K};
 pub use similarity::{minkowski, rank, rank_of, sim_over_envs, RankedCandidate, PAPER_P};

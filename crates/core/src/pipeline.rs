@@ -8,12 +8,14 @@ use crate::detector::Detector;
 use crate::dynsource::{self, DynProfile, DynProfileSource, EnvSet, LiveProfiling};
 use crate::error::ScanError;
 use crate::features::{self, StaticFeatures};
+use crate::retrieval::{self, FunctionSignature, Retrieval, SignatureSet};
 use crate::similarity::{self, RankedCandidate};
 use corpus::vulndb::DbEntry;
 use fwbin::format::Binary;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vm::env::ExecEnv;
 use vm::exec::VmConfig;
@@ -58,6 +60,11 @@ pub struct PipelineConfig {
     /// variable or the machine's available parallelism; `Some(1)` forces
     /// serial execution end to end even when `parallel` is set.
     pub threads: Option<usize>,
+    /// How the static scan selects (reference, target) pairs:
+    /// [`Retrieval::Exact`] scores every pair, [`Retrieval::TopK`] runs
+    /// the signature/LSH pre-filter and classifies only each target's
+    /// nearest references.
+    pub retrieval: Retrieval,
 }
 
 impl Default for PipelineConfig {
@@ -68,6 +75,7 @@ impl Default for PipelineConfig {
             minkowski_p: similarity::PAPER_P,
             parallel: true,
             threads: None,
+            retrieval: Retrieval::Exact,
         }
     }
 }
@@ -107,6 +115,18 @@ pub trait FeatureSource: Sync {
     /// # Errors
     /// As for [`FeatureSource::features_all`].
     fn features_one(&self, bin: &Binary, idx: usize) -> Result<StaticFeatures, ScanError>;
+
+    /// Retrieval signatures for every function of `bin`, in function-table
+    /// order. `feats` is the output of [`FeatureSource::features_all`] for
+    /// the same binary, so the default computes signatures directly (the
+    /// signature is a pure function of the features); scanhub's artifact
+    /// store overrides this to serve and incrementally populate its
+    /// persistent signature lane instead. Infallible: a cache problem at
+    /// worst degrades to recomputation.
+    fn signatures_all(&self, bin: &Binary, feats: &[StaticFeatures]) -> Vec<FunctionSignature> {
+        let _ = bin;
+        feats.iter().map(FunctionSignature::of).collect()
+    }
 }
 
 /// The uncached [`FeatureSource`]: disassemble + extract on every request.
@@ -156,6 +176,12 @@ pub struct StaticScan {
     pub probs: Vec<f32>,
     /// Indices with probability ≥ threshold (the candidate set).
     pub candidates: Vec<usize>,
+    /// Per-function index (into the scan's reference set) of the
+    /// reference variant that produced [`StaticScan::probs`] — the
+    /// groundwork for patch localization. Empty when the reference set
+    /// is empty; otherwise one entry per scanned function.
+    #[serde(default)]
+    pub best_ref: Vec<usize>,
     /// Wall-clock seconds (the "DP" column).
     pub seconds: f64,
 }
@@ -241,6 +267,11 @@ pub struct Patchecko {
     pub detector: Detector,
     /// Pipeline settings.
     pub config: PipelineConfig,
+    /// Built signature indexes memoized by reference-set fingerprint:
+    /// reference DBs are stable across scans while targets change per
+    /// image, so rebuilding MinHash × |refs| per scan would dwarf the
+    /// classification work the index saves.
+    ref_index: Mutex<HashMap<u64, Arc<SignatureSet>>>,
 }
 
 impl Patchecko {
@@ -249,7 +280,7 @@ impl Patchecko {
     /// override widens every parallel stage.
     pub fn new(detector: Detector, config: PipelineConfig) -> Patchecko {
         neural::pool::set_global_threads(config.effective_threads());
-        Patchecko { detector, config }
+        Patchecko { detector, config, ref_index: Mutex::new(HashMap::new()) }
     }
 
     /// Static features of a database entry's primary reference function.
@@ -321,12 +352,21 @@ impl Patchecko {
         self.scan_library_with(bin, references, &DirectExtraction)
     }
 
-    /// [`Patchecko::scan_library`] with features served by `source`. All
-    /// (reference × function) pairs are packed into one
+    /// [`Patchecko::scan_library`] with features served by `source`.
+    ///
+    /// Under [`Retrieval::Exact`] (the default) all (reference × function)
+    /// pairs are packed into one
     /// [`crate::detector::Detector::classify_product`] call, so the whole
     /// library scan is a single forward pass per layer regardless of how
     /// many reference variants the database carries — and every feature
-    /// vector is normalized once instead of once per pair.
+    /// vector is normalized once instead of once per pair. Under
+    /// [`Retrieval::TopK`], the signature/LSH index retrieves each
+    /// target's `k` nearest references and only those pairs reach the
+    /// classifier (via the sparse
+    /// [`crate::detector::Detector::classify_pairs`] path), which keeps
+    /// scan cost near-flat as the reference database grows. At
+    /// `k >= references.len()` the indexed scan is bitwise-identical to
+    /// the exact one. Both modes produce the same [`StaticScan`] shape.
     ///
     /// # Errors
     /// Propagates extraction failures from the source.
@@ -339,25 +379,122 @@ impl Patchecko {
         let _span = scope::SpanGuard::enter("static_scan").with_detail(bin.lib_name.clone());
         let started = Instant::now();
         let feats = source.features_all(bin)?;
-        let scores = self.detector.classify_product(references, &feats);
-        let mut probs = vec![0.0f32; feats.len()];
-        for (i, s) in scores.iter().enumerate() {
-            let f = i % feats.len();
-            probs[f] = probs[f].max(*s);
-        }
-        let candidates = probs
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| **p >= self.detector.threshold)
-            .map(|(i, _)| i)
-            .collect();
+        // Degenerate scans (nothing to compare) return a well-formed empty
+        // result: zero probabilities, no candidates, no best references —
+        // never NaNs or spurious threshold hits.
+        let (probs, best_ref, candidates) = if references.is_empty() || feats.is_empty() {
+            (vec![0.0f32; feats.len()], Vec::new(), Vec::new())
+        } else {
+            let (probs, best_ref) = match self.config.retrieval {
+                Retrieval::Exact => self.exact_scores(references, &feats),
+                Retrieval::TopK { k } => self.indexed_scores(bin, references, &feats, k, source),
+            };
+            let candidates = probs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| **p >= self.detector.threshold)
+                .map(|(i, _)| i)
+                .collect();
+            (probs, best_ref, candidates)
+        };
         Ok(StaticScan {
             library: bin.lib_name.clone(),
             total: feats.len(),
             probs,
             candidates,
+            best_ref,
             seconds: started.elapsed().as_secs_f64(),
         })
+    }
+
+    /// All-pairs scoring: one `classify_product` GEMM, then a per-target
+    /// max-reduction over the references. The score layout is
+    /// reference-major (`chunks(feats.len())` walks one reference's row),
+    /// hoisting the old per-element `i % feats.len()` out of the loop.
+    /// Returns per-target best probability and best reference index; ties
+    /// keep the lowest reference (strict `>` fold, references ascending).
+    fn exact_scores(
+        &self,
+        references: &[StaticFeatures],
+        feats: &[StaticFeatures],
+    ) -> (Vec<f32>, Vec<usize>) {
+        let scores = self.detector.classify_product(references, feats);
+        let mut probs = vec![0.0f32; feats.len()];
+        let mut best_ref = vec![0usize; feats.len()];
+        for (r, chunk) in scores.chunks(feats.len()).enumerate() {
+            for (f, &s) in chunk.iter().enumerate() {
+                if s > probs[f] {
+                    probs[f] = s;
+                    best_ref[f] = r;
+                }
+            }
+        }
+        (probs, best_ref)
+    }
+
+    /// Indexed scoring: retrieve each target's `k` nearest references by
+    /// quantized signature, classify only those pairs. Target signatures
+    /// come from the source (scanhub serves its persistent lane);
+    /// reference signatures are computed directly — the signature is a
+    /// pure function of the features, so both routes agree. The per-pair
+    /// fold visits references in ascending order with a strict `>`, the
+    /// same comparison sequence as [`Patchecko::exact_scores`], which is
+    /// what makes `k >= references.len()` bitwise-identical to exact.
+    fn indexed_scores(
+        &self,
+        bin: &Binary,
+        references: &[StaticFeatures],
+        feats: &[StaticFeatures],
+        k: usize,
+        source: &dyn FeatureSource,
+    ) -> (Vec<f32>, Vec<usize>) {
+        let index = self.reference_index(references);
+        let target_sigs = source.signatures_all(bin, feats);
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (j, sig) in target_sigs.iter().enumerate() {
+            for r in index.candidates(sig, k) {
+                pairs.push((r, j as u32));
+            }
+        }
+        scope::add("index.candidates", pairs.len() as u64);
+        scope::add(
+            "index.pairs_pruned",
+            (references.len() * feats.len()).saturating_sub(pairs.len()) as u64,
+        );
+        let scores = self.detector.classify_pairs(references, feats, &pairs);
+        let mut probs = vec![0.0f32; feats.len()];
+        let mut best_ref = vec![0usize; feats.len()];
+        for (&(r, j), &s) in pairs.iter().zip(&scores) {
+            let j = j as usize;
+            if s > probs[j] {
+                probs[j] = s;
+                best_ref[j] = r as usize;
+            }
+        }
+        (probs, best_ref)
+    }
+
+    /// The signature index over `references`, memoized by content
+    /// fingerprint. A hit costs one fingerprint pass (~1ns per feature
+    /// word); a miss computes every reference signature and builds the
+    /// LSH tables once, after which scans of any number of target images
+    /// against the same reference DB reuse it. The memo is bounded: at
+    /// 256 distinct reference sets it resets (reference sets are vuln-DB
+    /// entries — a handful in practice, not unbounded user input).
+    fn reference_index(&self, references: &[StaticFeatures]) -> Arc<SignatureSet> {
+        let fp = retrieval::feature_fingerprint(references);
+        let mut memo = self.ref_index.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(index) = memo.get(&fp) {
+            scope::add("index.memo_hits", 1);
+            return Arc::clone(index);
+        }
+        let sigs: Vec<FunctionSignature> = references.iter().map(FunctionSignature::of).collect();
+        let index = Arc::new(SignatureSet::build(&sigs));
+        if memo.len() >= 256 {
+            memo.clear();
+        }
+        memo.insert(fp, Arc::clone(&index));
+        index
     }
 
     /// Generate execution environments by fuzzing the reference function,
@@ -755,6 +892,7 @@ mod tests {
             total: 6,
             probs: vec![0.1, 0.9, 0.2, 0.95, 0.9, 0.0],
             candidates: vec![1, 3, 4],
+            best_ref: vec![0; 6],
             seconds: 0.0,
         };
         let d = Patchecko::degraded_analysis(&scan, "loader failure".into(), 0.0);
@@ -816,6 +954,7 @@ mod tests {
             total: n,
             probs: vec![0.5; n],
             candidates: (0..n).collect(),
+            best_ref: vec![0; n],
             seconds: 0.0,
         };
         let runs: Vec<(usize, DynamicAnalysis)> = [1usize, 2, 8]
@@ -855,6 +994,7 @@ mod tests {
             total: n,
             probs: vec![0.5; rogue + 1],
             candidates: vec![0, 1, 2, rogue],
+            best_ref: vec![0; rogue + 1],
             seconds: 0.0,
         };
         let runs: Vec<(usize, DynamicAnalysis)> = [1usize, 2, 8]
@@ -876,6 +1016,105 @@ mod tests {
         assert_eq!(serial.ranking.last().map(|r| r.function_index), Some(rogue));
         for (t, run) in &runs[1..] {
             assert_dynamic_bitwise_eq(serial, run, &format!("degraded threads 1 vs {t}"));
+        }
+    }
+
+    /// Satellite: an empty reference set must produce a well-formed empty
+    /// scan through the exact *and* the indexed path — zero probs, no NaNs,
+    /// no best references, and no spurious candidates even at threshold 0
+    /// (where the old code's `0.0 >= threshold` filter would have selected
+    /// every function).
+    #[test]
+    fn empty_reference_set_yields_well_formed_scan_both_paths() {
+        let db = corpus::build_vulndb(0, 1);
+        let bin = &db.get("CVE-2018-9412").unwrap().vulnerable_bin;
+        for retrieval in [Retrieval::Exact, Retrieval::TopK { k: 4 }] {
+            let cfg = PipelineConfig { retrieval, ..PipelineConfig::default() };
+            let mut patchecko = Patchecko::new(quick_detector(), cfg);
+            patchecko.detector.threshold = 0.0;
+            let scan = patchecko.scan_library(bin, &[]).unwrap();
+            assert_eq!(scan.total, bin.function_count(), "{retrieval}");
+            assert_eq!(scan.probs.len(), scan.total, "{retrieval}");
+            assert!(scan.probs.iter().all(|p| *p == 0.0), "{retrieval}: probs {:?}", scan.probs);
+            assert!(scan.candidates.is_empty(), "{retrieval}: spurious candidates");
+            assert!(scan.best_ref.is_empty(), "{retrieval}: best_ref must be empty");
+        }
+    }
+
+    /// Satellite: a binary with no functions must scan to a well-formed
+    /// empty result through both paths (the old reference-major reduction
+    /// would divide by a zero `feats.len()`).
+    #[test]
+    fn empty_binary_yields_well_formed_scan_both_paths() {
+        let db = corpus::build_vulndb(0, 1);
+        let entry = db.get("CVE-2018-9412").unwrap();
+        let references = Patchecko::reference_feature_set(entry, Basis::Vulnerable).unwrap();
+        let empty = Binary {
+            lib_name: "libempty".to_string(),
+            arch: fwbin::isa::Arch::Amd64,
+            opt: fwbin::isa::OptLevel::O2,
+            functions: Vec::new(),
+            strings: Vec::new(),
+            globals: Vec::new(),
+            imports: Vec::new(),
+        };
+        for retrieval in [Retrieval::Exact, Retrieval::TopK { k: 4 }] {
+            let cfg = PipelineConfig { retrieval, ..PipelineConfig::default() };
+            let patchecko = Patchecko::new(quick_detector(), cfg);
+            let scan = patchecko.scan_library(&empty, &references).unwrap();
+            assert_eq!(scan.total, 0, "{retrieval}");
+            assert!(scan.probs.is_empty(), "{retrieval}");
+            assert!(scan.candidates.is_empty(), "{retrieval}");
+            assert!(scan.best_ref.is_empty(), "{retrieval}");
+        }
+    }
+
+    /// Tentpole invariant: indexed retrieval at `k = |references|` selects
+    /// every pair, so the scan must be bitwise-identical to the exact
+    /// all-pairs path; and `best_ref` must be the first-strict argmax of
+    /// the product score matrix.
+    #[test]
+    fn topk_at_full_k_is_bitwise_identical_to_exact() {
+        let db = corpus::build_vulndb(0, 1);
+        let entry = db.get("CVE-2018-9412").unwrap();
+        let references = Patchecko::reference_feature_set(entry, Basis::Vulnerable).unwrap();
+        let cat = corpus::full_catalog();
+        let device = corpus::build_device(&corpus::android_things_spec(), &cat, 0.05);
+        let truth = device.truth_for("CVE-2018-9412").unwrap();
+        let bin = device.image.binary(&truth.library).unwrap();
+
+        let exact_p = Patchecko::new(quick_detector(), PipelineConfig::default());
+        let exact = exact_p.scan_library(bin, &references).unwrap();
+        let topk_p = Patchecko::new(
+            quick_detector(),
+            PipelineConfig {
+                retrieval: Retrieval::TopK { k: references.len() },
+                ..PipelineConfig::default()
+            },
+        );
+        let indexed = topk_p.scan_library(bin, &references).unwrap();
+
+        let bits = |v: &[f32]| -> Vec<u32> { v.iter().map(|x| x.to_bits()).collect() };
+        assert_eq!(exact.total, indexed.total);
+        assert_eq!(bits(&exact.probs), bits(&indexed.probs), "probs must be bitwise identical");
+        assert_eq!(exact.candidates, indexed.candidates);
+        assert_eq!(exact.best_ref, indexed.best_ref);
+
+        // best_ref = first-strict argmax over the reference-major scores.
+        let feats = features::extract_all(bin).unwrap();
+        let scores = exact_p.detector.classify_product(&references, &feats);
+        assert_eq!(exact.best_ref.len(), exact.total);
+        for f in 0..feats.len() {
+            let (mut arg, mut best) = (0usize, 0.0f32);
+            for r in 0..references.len() {
+                let s = scores[r * feats.len() + f];
+                if s > best {
+                    best = s;
+                    arg = r;
+                }
+            }
+            assert_eq!(exact.best_ref[f], arg, "function {f}");
+            assert_eq!(exact.probs[f].to_bits(), best.to_bits(), "function {f}");
         }
     }
 

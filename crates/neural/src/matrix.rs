@@ -572,6 +572,37 @@ impl Matrix {
         out
     }
 
+    /// Gather-combine for factorized sparse-pair classification: output
+    /// row `p` is `relu_if(a.row(i) + b.row(j) + bias)` for
+    /// `pairs[p] = (i, j)`. This is the sparse counterpart of the dense
+    /// product combine — identical per-element arithmetic (`av + bv +
+    /// bias`, then the optional ReLU), so a gathered row is bitwise equal
+    /// to the corresponding row of the dense cross-product combine.
+    ///
+    /// # Panics
+    /// Panics on column/bias shape mismatch or an out-of-range pair index.
+    pub fn combine_pairs(
+        a: &Matrix,
+        b: &Matrix,
+        pairs: &[(u32, u32)],
+        bias: &[f32],
+        relu: bool,
+    ) -> Matrix {
+        assert_eq!(a.cols, b.cols, "combine_pairs column mismatch");
+        assert_eq!(bias.len(), a.cols, "combine_pairs bias length mismatch");
+        let mut out = Matrix::zeros(pairs.len(), a.cols);
+        for (p, &(i, j)) in pairs.iter().enumerate() {
+            let arow = a.row(i as usize);
+            let brow = b.row(j as usize);
+            let orow = out.row_mut(p);
+            for (((o, &av), &bv), &cv) in orow.iter_mut().zip(arow).zip(brow).zip(bias) {
+                let z = av + bv + cv;
+                *o = if relu { z.max(0.0) } else { z };
+            }
+        }
+        out
+    }
+
     /// `self^T * other` without materializing the transpose.
     ///
     /// # Panics
@@ -691,6 +722,33 @@ mod tests {
         let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
         let c = a.matmul(&b);
         assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn combine_pairs_gathers_rows_with_bias_and_relu() {
+        let a = Matrix::from_vec(2, 3, vec![1., -2., 3., 4., 5., -6.]);
+        let b = Matrix::from_vec(3, 3, vec![0.5, 0.5, 0.5, -1., -1., -1., 2., 2., 2.]);
+        let bias = [0.25, -0.25, 0.0];
+        let pairs = [(1u32, 0u32), (0, 2), (0, 0), (1, 2)];
+        let out = Matrix::combine_pairs(&a, &b, &pairs, &bias, false);
+        assert_eq!(out.rows(), 4);
+        assert_eq!(out.cols(), 3);
+        for (p, &(i, j)) in pairs.iter().enumerate() {
+            for (c, &bv) in bias.iter().enumerate() {
+                let expect = a.get(i as usize, c) + b.get(j as usize, c) + bv;
+                assert_eq!(out.get(p, c).to_bits(), expect.to_bits(), "row {p} col {c}");
+            }
+        }
+        // With ReLU, negative sums clamp to zero.
+        let relu = Matrix::combine_pairs(&a, &b, &pairs, &bias, true);
+        for p in 0..pairs.len() {
+            for c in 0..3 {
+                assert_eq!(relu.get(p, c).to_bits(), out.get(p, c).max(0.0).to_bits());
+            }
+        }
+        // Empty pair list: zero-row output with the right width.
+        let empty = Matrix::combine_pairs(&a, &b, &[], &bias, true);
+        assert_eq!((empty.rows(), empty.cols()), (0, 3));
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! The signature lane of the artifact store: the persistent retrieval
+//! index in front of the NN scan.
+//!
+//! Indexed retrieval (`--retrieval topk`) needs a
+//! [`FunctionSignature`] for every target function. The signature is a
+//! pure function of the Table-I features — cheap, but not free at
+//! image scale — so the store caches one per function under the same
+//! [`ArtifactKey`] discipline as the feature lane, populated
+//! incrementally: the first scan of a binary computes and inserts its
+//! signatures, every later scan (same tenant namespace) serves them
+//! from the lane.
+//!
+//! The lane persists to `sig_index.json` beside `artifacts.json` and
+//! `dyn_artifacts.json`, with identical hardening: per-entry structural
+//! checksums, whole-file quarantine of unparseable documents,
+//! stale-schema discard, and temp-file + rename saves. A quarantined or
+//! missing signature is just a miss — the scan recomputes it from the
+//! features and repopulates the lane, never surfacing cache damage as
+//! an error or a behaviour change.
+
+use crate::key::{ArtifactKey, Fnv2, SCHEMA_VERSION};
+use parking_lot::Mutex;
+use patchecko_core::retrieval::FunctionSignature;
+use scope::{Counter, MetricsRegistry};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Shard count of the in-memory map (matches the other lanes).
+const NUM_SHARDS: usize = 16;
+
+/// On-disk file name of the signature lane.
+pub const SIG_INDEX_FILE: &str = "sig_index.json";
+
+/// Structural checksum of a signature: FNV-1a over the quantized vector
+/// and the MinHash values, length-prefixed so truncation is detected.
+pub fn signature_checksum(sig: &FunctionSignature) -> u64 {
+    let mut h = Fnv2::new();
+    h.update_u64(sig.q.len() as u64);
+    for &q in &sig.q {
+        h.update_u64(q as i64 as u64);
+    }
+    h.update_u64(sig.minhash.len() as u64);
+    for &m in &sig.minhash {
+        h.update_u32(m);
+    }
+    h.hi
+}
+
+/// One persisted signature, checksummed like the other lanes' entries.
+#[derive(Serialize, Deserialize)]
+pub(crate) struct PersistedSignature {
+    /// [`signature_checksum`] of `signature` at save time.
+    pub(crate) checksum: u64,
+    /// The cached signature.
+    pub(crate) signature: FunctionSignature,
+}
+
+/// On-disk image of the signature lane (one JSON document per cache dir).
+#[derive(Serialize, Deserialize)]
+pub(crate) struct PersistedSigIndex {
+    /// Schema version the signatures were derived under (shared with the
+    /// feature lane: signature derivation depends on feature extraction).
+    pub(crate) schema: u32,
+    /// Hex function key → checksummed signature.
+    pub(crate) signatures: BTreeMap<String, PersistedSignature>,
+}
+
+/// The persistent signature index: a sharded map of per-function
+/// retrieval signatures with its own counters (`index.hits`,
+/// `index.misses`, `index.quarantined`) in the owning store's registry.
+pub struct SignatureIndex {
+    shards: Vec<Mutex<HashMap<ArtifactKey, Arc<FunctionSignature>>>>,
+    pub(crate) hits: Counter,
+    pub(crate) misses: Counter,
+    pub(crate) quarantined: Counter,
+    quarantine_log: Mutex<Vec<String>>,
+}
+
+impl SignatureIndex {
+    /// An empty index recording its counters into `registry`.
+    pub(crate) fn with_registry(registry: &MetricsRegistry) -> SignatureIndex {
+        SignatureIndex {
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: registry.counter("index.hits"),
+            misses: registry.counter("index.misses"),
+            quarantined: registry.counter("index.quarantined"),
+            quarantine_log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Record a quarantine event (mirrors the other lanes: the offending
+    /// entry is never inserted, the counter moves, the detail is kept).
+    fn quarantine(&self, detail: String) {
+        self.quarantined.inc();
+        self.quarantine_log.lock().push(detail);
+    }
+
+    /// Details of every signature-lane quarantine since construction.
+    pub(crate) fn quarantine_records(&self) -> Vec<String> {
+        self.quarantine_log.lock().clone()
+    }
+
+    /// Resident signatures.
+    pub fn entries(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().len() as u64).sum()
+    }
+
+    /// The cached signature under `key`, counting a hit or a miss.
+    pub(crate) fn lookup(&self, key: ArtifactKey) -> Option<Arc<FunctionSignature>> {
+        let found = self.shards[key.shard(NUM_SHARDS)].lock().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
+        };
+        found
+    }
+
+    /// Insert (or replace) the signature under `key` — the incremental
+    /// half of the index: every first-sight scan populates the lane.
+    pub(crate) fn insert(&self, key: ArtifactKey, sig: FunctionSignature) -> Arc<FunctionSignature> {
+        let arc = Arc::new(sig);
+        self.shards[key.shard(NUM_SHARDS)].lock().insert(key, Arc::clone(&arc));
+        arc
+    }
+
+    /// Write the lane to `dir/sig_index.json`, temp-file + rename like the
+    /// other lanes so a crash mid-save can't truncate the document.
+    pub(crate) fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let mut signatures = BTreeMap::new();
+        for shard in &self.shards {
+            for (k, v) in shard.lock().iter() {
+                signatures.insert(
+                    k.to_hex(),
+                    PersistedSignature { checksum: signature_checksum(v), signature: (**v).clone() },
+                );
+            }
+        }
+        let doc = PersistedSigIndex { schema: SCHEMA_VERSION, signatures };
+        std::fs::create_dir_all(dir)?;
+        let json = serde_json::to_string(&doc)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = dir.join(format!("{SIG_INDEX_FILE}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, dir.join(SIG_INDEX_FILE))
+    }
+
+    /// Load `dir/sig_index.json` into this (empty) lane with the
+    /// trust-nothing policy of the other lanes: missing file → empty
+    /// lane; unparseable file → quarantined whole (renamed aside); stale
+    /// schema → discarded; invalid key or checksum mismatch → that entry
+    /// evicted, the rest still load. A quarantined signature is just a
+    /// future miss: the scan recomputes it from the features.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors other than `NotFound`.
+    pub(crate) fn load(&self, dir: &Path) -> std::io::Result<()> {
+        let path = dir.join(SIG_INDEX_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let json = match String::from_utf8(bytes) {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = std::fs::rename(&path, dir.join(format!("{SIG_INDEX_FILE}.quarantined")));
+                self.quarantine(format!(
+                    "sig index file {}: unparseable (invalid UTF-8)",
+                    path.display()
+                ));
+                return Ok(());
+            }
+        };
+        let doc: PersistedSigIndex = match serde_json::from_str(&json) {
+            Ok(doc) => doc,
+            Err(e) => {
+                let _ = std::fs::rename(&path, dir.join(format!("{SIG_INDEX_FILE}.quarantined")));
+                self.quarantine(format!("sig index file {}: unparseable ({e})", path.display()));
+                return Ok(());
+            }
+        };
+        if doc.schema != SCHEMA_VERSION {
+            self.quarantine(format!(
+                "sig index file {}: stale schema v{} (current v{SCHEMA_VERSION}), {} entries discarded",
+                path.display(),
+                doc.schema,
+                doc.signatures.len()
+            ));
+            return Ok(());
+        }
+        for (hex, entry) in doc.signatures {
+            let Some(key) = ArtifactKey::from_hex(&hex) else {
+                self.quarantine(format!("signature {hex}: invalid key"));
+                continue;
+            };
+            let expect = signature_checksum(&entry.signature);
+            if entry.checksum != expect {
+                self.quarantine(format!(
+                    "signature {hex}: checksum mismatch (stored {:#018x}, computed {expect:#018x})",
+                    entry.checksum
+                ));
+                continue;
+            }
+            self.insert(key, entry.signature);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testfix::store_binary;
+    use patchecko_core::features;
+
+    fn sample_signatures() -> Vec<FunctionSignature> {
+        let bin = store_binary();
+        features::extract_all(&bin).unwrap().iter().map(FunctionSignature::of).collect()
+    }
+
+    #[test]
+    fn signature_checksum_is_content_sensitive_and_json_stable() {
+        let sigs = sample_signatures();
+        let c = signature_checksum(&sigs[0]);
+        let json = serde_json::to_string(&sigs[0]).unwrap();
+        let back: FunctionSignature = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sigs[0], "JSON round-trip preserves the signature");
+        assert_eq!(signature_checksum(&back), c);
+
+        let mut tampered = sigs[0].clone();
+        tampered.q[7] ^= 1;
+        assert_ne!(signature_checksum(&tampered), c);
+        let mut rehashed = sigs[0].clone();
+        rehashed.minhash[3] ^= 1;
+        assert_ne!(signature_checksum(&rehashed), c);
+    }
+
+    #[test]
+    fn roundtrip_preserves_signatures() {
+        let dir = std::env::temp_dir().join(format!("scanhub-sig-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = MetricsRegistry::new();
+        let lane = SignatureIndex::with_registry(&reg);
+        let bin = store_binary();
+        let sigs = sample_signatures();
+        for (i, sig) in sigs.iter().enumerate() {
+            lane.insert(ArtifactKey::for_function(&bin, i), sig.clone());
+        }
+        lane.save(&dir).unwrap();
+
+        let reloaded = SignatureIndex::with_registry(&MetricsRegistry::new());
+        reloaded.load(&dir).unwrap();
+        assert_eq!(reloaded.entries(), sigs.len() as u64);
+        assert_eq!(reloaded.quarantined.get(), 0, "a clean index quarantines nothing");
+        for (i, sig) in sigs.iter().enumerate() {
+            let got = reloaded.lookup(ArtifactKey::for_function(&bin, i)).unwrap();
+            assert_eq!(&*got, sig);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_signature_evicted_on_load() {
+        let dir = std::env::temp_dir().join(format!("scanhub-sig-tamper-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let lane = SignatureIndex::with_registry(&MetricsRegistry::new());
+        let bin = store_binary();
+        let sigs = sample_signatures();
+        for (i, sig) in sigs.iter().enumerate() {
+            lane.insert(ArtifactKey::for_function(&bin, i), sig.clone());
+        }
+        lane.save(&dir).unwrap();
+
+        let path = dir.join(SIG_INDEX_FILE);
+        let mut doc: PersistedSigIndex =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        doc.signatures.values_mut().next().unwrap().checksum ^= 1;
+        std::fs::write(&path, serde_json::to_string(&doc).unwrap()).unwrap();
+
+        let reloaded = SignatureIndex::with_registry(&MetricsRegistry::new());
+        reloaded.load(&dir).unwrap();
+        assert_eq!(reloaded.entries(), sigs.len() as u64 - 1, "only the tampered entry evicted");
+        assert_eq!(reloaded.quarantined.get(), 1);
+        assert!(reloaded.quarantine_records()[0].contains("checksum mismatch"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_schema_discarded_and_garbage_quarantined_whole() {
+        let dir = std::env::temp_dir().join(format!("scanhub-sig-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let lane = SignatureIndex::with_registry(&MetricsRegistry::new());
+        let bin = store_binary();
+        lane.insert(ArtifactKey::for_function(&bin, 0), sample_signatures()[0].clone());
+        lane.save(&dir).unwrap();
+
+        let path = dir.join(SIG_INDEX_FILE);
+        let json = std::fs::read_to_string(&path).unwrap();
+        let stale = json.replacen(&format!("\"schema\":{SCHEMA_VERSION}"), "\"schema\":1", 1);
+        assert_ne!(json, stale, "schema field rewritten");
+        std::fs::write(&path, stale).unwrap();
+        let reloaded = SignatureIndex::with_registry(&MetricsRegistry::new());
+        reloaded.load(&dir).unwrap();
+        assert_eq!(reloaded.entries(), 0, "stale signatures are discarded");
+        assert!(reloaded.quarantine_records()[0].contains("stale schema"));
+
+        std::fs::write(&path, b"{ not json \xff").unwrap();
+        let garbage = SignatureIndex::with_registry(&MetricsRegistry::new());
+        garbage.load(&dir).unwrap();
+        assert_eq!(garbage.entries(), 0);
+        assert!(garbage.quarantine_records()[0].contains("unparseable"));
+        assert!(dir.join(format!("{SIG_INDEX_FILE}.quarantined")).exists());
+        assert!(!path.exists(), "the bad file was moved aside");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let lane = SignatureIndex::with_registry(&MetricsRegistry::new());
+        lane.load(Path::new("/definitely/not/a/cache/dir")).unwrap();
+        assert_eq!(lane.entries(), 0);
+        assert!(lane.quarantine_records().is_empty());
+    }
+}

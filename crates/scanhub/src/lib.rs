@@ -18,6 +18,10 @@
 //!   sets and per-function dynamic profiles, so a warm re-audit performs
 //!   zero VM executions (the store implements
 //!   [`DynProfileSource`](patchecko_core::dynsource::DynProfileSource));
+//! * [`index`] — the store's signature lane: persistent per-function
+//!   retrieval signatures behind the sub-linear candidate pre-filter
+//!   (`--retrieval topk`), populated incrementally as binaries are
+//!   scanned;
 //! * [`namespace`] — per-tenant [`TenantView`]s over one shared store:
 //!   content keys are relocated by a tenant salt so co-resident tenants
 //!   (the scan daemon's clients) never observe each other's artifacts;
@@ -56,6 +60,7 @@
 
 pub mod dynstore;
 pub mod hub;
+pub mod index;
 pub mod key;
 pub mod namespace;
 pub mod schedule;
@@ -65,6 +70,7 @@ pub(crate) mod testfix;
 
 pub use dynstore::{env_set_checksum, profile_checksum, DYN_CACHE_FILE};
 pub use hub::{BatchReport, ScanHub};
+pub use index::{signature_checksum, SignatureIndex, SIG_INDEX_FILE};
 pub use key::{tenant_salt, ArtifactKey, SCHEMA_VERSION};
 pub use namespace::TenantView;
 pub use schedule::{

@@ -41,6 +41,7 @@
 //! entry points are the zero-salt (identity) namespace.
 
 use crate::dynstore::DynLane;
+use crate::index::SignatureIndex;
 use crate::key::{ArtifactKey, SCHEMA_VERSION};
 use disasm::CfgSummary;
 use fwbin::format::Binary;
@@ -49,6 +50,7 @@ use patchecko_core::dynsource::{self, DynProfile, DynProfileSource, EnvSet};
 use patchecko_core::error::ScanError;
 use patchecko_core::features::{self, StaticFeatures};
 use patchecko_core::pipeline::FeatureSource;
+use patchecko_core::retrieval::FunctionSignature;
 use scope::{Counter, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -129,6 +131,20 @@ pub struct CacheStats {
     /// load for failing checksum/schema/parse validation.
     #[serde(default)]
     pub dyn_quarantined: u64,
+    /// Signature-lane lookups served from the cache (a retrieval
+    /// signature *not* recomputed from its features).
+    #[serde(default)]
+    pub sig_hits: u64,
+    /// Signature-lane lookups that found nothing.
+    #[serde(default)]
+    pub sig_misses: u64,
+    /// Signature-lane entries currently resident.
+    #[serde(default)]
+    pub sig_entries: u64,
+    /// Signature-lane entries (or the whole `sig_index.json`) evicted on
+    /// load for failing checksum/schema/parse validation.
+    #[serde(default)]
+    pub sig_quarantined: u64,
 }
 
 impl CacheStats {
@@ -161,6 +177,10 @@ impl CacheStats {
             dyn_profiled: self.dyn_profiled.saturating_sub(earlier.dyn_profiled),
             dyn_entries: self.dyn_entries,
             dyn_quarantined: self.dyn_quarantined.saturating_sub(earlier.dyn_quarantined),
+            sig_hits: self.sig_hits.saturating_sub(earlier.sig_hits),
+            sig_misses: self.sig_misses.saturating_sub(earlier.sig_misses),
+            sig_entries: self.sig_entries,
+            sig_quarantined: self.sig_quarantined.saturating_sub(earlier.sig_quarantined),
         }
     }
 }
@@ -170,7 +190,8 @@ impl std::fmt::Display for CacheStats {
         write!(
             f,
             "{} hits / {} misses ({:.1}% hit rate), {} extractions, {} entries, {} quarantined; \
-             dyn: {} hits / {} misses, {} profiled, {} entries, {} quarantined",
+             dyn: {} hits / {} misses, {} profiled, {} entries, {} quarantined; \
+             sig: {} hits / {} misses, {} entries, {} quarantined",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
@@ -181,7 +202,11 @@ impl std::fmt::Display for CacheStats {
             self.dyn_misses,
             self.dyn_profiled,
             self.dyn_entries,
-            self.dyn_quarantined
+            self.dyn_quarantined,
+            self.sig_hits,
+            self.sig_misses,
+            self.sig_entries,
+            self.sig_quarantined
         )
     }
 }
@@ -272,6 +297,7 @@ pub struct ArtifactStore {
     quarantined: Counter,
     quarantine_log: Mutex<Vec<String>>,
     dyn_lane: DynLane,
+    sig_lane: SignatureIndex,
     flight: Flight,
 }
 
@@ -296,6 +322,7 @@ impl ArtifactStore {
             extractions: registry.counter("cache.extractions"),
             quarantined: registry.counter("cache.quarantined"),
             dyn_lane: DynLane::with_registry(&registry),
+            sig_lane: SignatureIndex::with_registry(&registry),
             registry,
             quarantine_log: Mutex::new(Vec::new()),
             flight: Flight::new(),
@@ -320,6 +347,10 @@ impl ArtifactStore {
             dyn_profiled: self.dyn_lane.profiled.get(),
             dyn_entries: self.dyn_lane.entries(),
             dyn_quarantined: self.dyn_lane.quarantined.get(),
+            sig_hits: self.sig_lane.hits.get(),
+            sig_misses: self.sig_lane.misses.get(),
+            sig_entries: self.sig_lane.entries(),
+            sig_quarantined: self.sig_lane.quarantined.get(),
         }
     }
 
@@ -332,10 +363,11 @@ impl ArtifactStore {
     }
 
     /// Details of every quarantine event since construction (validation
-    /// failures found while loading the disk layer, both lanes).
+    /// failures found while loading the disk layer, all lanes).
     pub fn quarantine_records(&self) -> Vec<String> {
         let mut records = self.quarantine_log.lock().clone();
         records.extend(self.dyn_lane.quarantine_records());
+        records.extend(self.sig_lane.quarantine_records());
         records
     }
 
@@ -464,9 +496,11 @@ impl ArtifactStore {
         let tmp = dir.join(format!("artifacts.json.tmp.{}", std::process::id()));
         std::fs::write(&tmp, json)?;
         std::fs::rename(&tmp, dir.join("artifacts.json"))?;
-        // The dynamic lane persists beside the static one, in its own
-        // document — corruption in one file never takes down the other.
-        self.dyn_lane.save(dir)
+        // The dynamic and signature lanes persist beside the static one,
+        // each in its own document — corruption in one file never takes
+        // down the others.
+        self.dyn_lane.save(dir)?;
+        self.sig_lane.save(dir)
     }
 
     /// Load a store persisted by [`ArtifactStore::save`]. The disk layer
@@ -498,9 +532,11 @@ impl ArtifactStore {
     ) -> std::io::Result<ArtifactStore> {
         let path = dir.join("artifacts.json");
         let store = ArtifactStore::with_registry(registry);
-        // The dynamic lane loads first from its own file; its quarantines
-        // are independent of the static document's fate below.
+        // The dynamic and signature lanes load first from their own files;
+        // their quarantines are independent of the static document's fate
+        // below.
         store.dyn_lane.load(dir)?;
+        store.sig_lane.load(dir)?;
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(store),
@@ -585,6 +621,36 @@ impl ArtifactStore {
         Ok(self.get_or_extract_ns(bin, idx, salt)?.features.clone())
     }
 
+    /// [`FeatureSource::signatures_all`] in the namespace named by `salt`:
+    /// retrieval signatures for every function of `bin`, served from the
+    /// persistent signature lane when cached, computed from `feats` and
+    /// inserted otherwise. `feats` must be the binary's full feature
+    /// vector list (as returned by `features_all`); the signature under a
+    /// key is a pure function of the features under the same key, so the
+    /// lanes can never disagree.
+    pub fn signatures_all_ns(
+        &self,
+        bin: &Binary,
+        feats: &[StaticFeatures],
+        salt: (u64, u64),
+    ) -> Vec<FunctionSignature> {
+        feats
+            .iter()
+            .enumerate()
+            .map(|(idx, f)| {
+                let key = ArtifactKey::for_function(bin, idx).namespaced(salt);
+                match self.sig_lane.lookup(key) {
+                    Some(sig) => (*sig).clone(),
+                    None => {
+                        let sig = FunctionSignature::of(f);
+                        self.sig_lane.insert(key, sig.clone());
+                        sig
+                    }
+                }
+            })
+            .collect()
+    }
+
     /// [`DynProfileSource::environments`] in the namespace named by
     /// `salt`. Concurrent misses single-flight like the static lane.
     ///
@@ -667,6 +733,10 @@ impl FeatureSource for ArtifactStore {
 
     fn features_one(&self, bin: &Binary, idx: usize) -> Result<StaticFeatures, ScanError> {
         self.features_one_ns(bin, idx, (0, 0))
+    }
+
+    fn signatures_all(&self, bin: &Binary, feats: &[StaticFeatures]) -> Vec<FunctionSignature> {
+        self.signatures_all_ns(bin, feats, (0, 0))
     }
 }
 
@@ -958,6 +1028,30 @@ mod tests {
         let s = reloaded.stats();
         assert_eq!((s.dyn_hits, s.dyn_misses), (2, 0), "warm pass is all hits");
         assert_eq!(s.dyn_profiled, 0, "warm pass executes nothing");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sig_lane_roundtrip_serves_cached_signatures() {
+        let dir = temp_cache("sig-roundtrip");
+        let store = ArtifactStore::new();
+        let bin = sample_binary();
+        let n = bin.function_count() as u64;
+        let feats = store.features_all(&bin).unwrap();
+        let sigs = store.signatures_all(&bin, &feats);
+        let s = store.stats();
+        assert_eq!((s.sig_hits, s.sig_misses, s.sig_entries), (0, n, n));
+        assert_eq!(store.signatures_all(&bin, &feats), sigs, "warm pass serves the same values");
+        assert_eq!(store.stats().sig_hits, n);
+        store.save(&dir).unwrap();
+
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        let s = reloaded.stats();
+        assert_eq!(s.sig_entries, n);
+        assert_eq!(s.sig_quarantined, 0, "a clean sig index quarantines nothing");
+        assert_eq!(reloaded.signatures_all(&bin, &feats), sigs);
+        let s = reloaded.stats();
+        assert_eq!((s.sig_hits, s.sig_misses), (n, 0), "reloaded lane is warm");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -104,6 +104,14 @@ CACHING / SCHEDULING (scan, audit, batch-audit, serve):
   --threads N       worker threads for the pipeline and the batch scheduler
                     (default: the PATCHECKO_THREADS env var, then the number
                     of CPUs; --threads 1 forces fully serial execution)
+  --retrieval MODE  candidate retrieval in the static scan: `exact` scores
+                    every (reference, target) pair (the default); `topk`
+                    or `topk:K` pre-filters with the signature/LSH index
+                    and scores only the top-K references per target
+                    (K defaults to 16; `topk:K` with K >= the reference
+                    count is bitwise-identical to exact). Pruning shows
+                    up in --metrics as the `index.candidates` and
+                    `index.pairs_pruned` counters
 
 OBSERVABILITY (scan, audit, batch-audit):
   --metrics         print the run's telemetry table: per-stage span timings
@@ -308,6 +316,9 @@ fn build_analyzer(flags: &HashMap<String, String>) -> Result<Patchecko, String> 
     if let Some(t) = flags.get("threads") {
         let n: usize = t.parse().map_err(|_| format!("--threads: not a number: {t}"))?;
         cfg.threads = Some(n.max(1));
+    }
+    if let Some(r) = flags.get("retrieval") {
+        cfg.retrieval = r.parse().map_err(|e| format!("--retrieval: {e}"))?;
     }
     Ok(Patchecko::new(det, cfg))
 }
