@@ -68,7 +68,12 @@ pub struct SignatureDiff {
 }
 
 /// The engine's decision with its full evidence trail.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is handwritten (not derived) because degraded verdicts
+/// carry `f64::INFINITY` dynamic distances and JSON has no ±infinity:
+/// non-finite distances map through `null` on the wire and back, so a
+/// degraded verdict survives daemon transport losslessly.
+#[derive(Debug, Clone)]
 pub struct PatchVerdict {
     /// CVE under test.
     pub cve: String,
@@ -97,8 +102,60 @@ pub struct PatchVerdict {
     /// target failed to load) and the verdict rests on the static and
     /// signature channels alone. Degraded verdicts report
     /// `f64::INFINITY` dynamic distances and abstain on the dynamic vote.
-    #[serde(default)]
     pub degraded: bool,
+}
+
+impl Serialize for PatchVerdict {
+    fn to_value(&self) -> serde::value::Value {
+        use serde::value::Value;
+        // Non-finite (degraded) dynamic distances become JSON null.
+        let dist = |v: f64| if v.is_finite() { Value::Float(v) } else { Value::Null };
+        Value::Map(vec![
+            ("cve".into(), self.cve.to_value()),
+            ("patched".into(), Value::Bool(self.patched)),
+            ("dyn_dist_vulnerable".into(), dist(self.dyn_dist_vulnerable)),
+            ("dyn_dist_patched".into(), dist(self.dyn_dist_patched)),
+            ("static_dist_vulnerable".into(), Value::Float(self.static_dist_vulnerable)),
+            ("static_dist_patched".into(), Value::Float(self.static_dist_patched)),
+            ("signature".into(), self.signature.to_value()),
+            ("margin".into(), Value::Float(self.margin)),
+            ("tie_break".into(), Value::Bool(self.tie_break)),
+            ("exploit_vote".into(), self.exploit_vote.to_value()),
+            ("degraded".into(), Value::Bool(self.degraded)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for PatchVerdict {
+    fn from_value(v: serde::value::Value) -> Result<PatchVerdict, serde::de::DeError> {
+        use serde::value::Value;
+        let mut map = serde::de::into_map(v)?;
+        // A dynamic distance is a number, or null for the degraded
+        // (non-finite) case; a missing field also reads as degraded.
+        let mut dist = |name: &str| -> Result<f64, serde::de::DeError> {
+            match serde::de::opt_field::<Value>(&mut map, name)? {
+                None | Some(Value::Null) => Ok(f64::INFINITY),
+                Some(v) => v.as_f64().ok_or_else(|| {
+                    serde::de::DeError(format!("field `{name}`: expected number or null"))
+                }),
+            }
+        };
+        let dyn_dist_vulnerable = dist("dyn_dist_vulnerable")?;
+        let dyn_dist_patched = dist("dyn_dist_patched")?;
+        Ok(PatchVerdict {
+            dyn_dist_vulnerable,
+            dyn_dist_patched,
+            cve: serde::de::field(&mut map, "cve")?,
+            patched: serde::de::field(&mut map, "patched")?,
+            static_dist_vulnerable: serde::de::field(&mut map, "static_dist_vulnerable")?,
+            static_dist_patched: serde::de::field(&mut map, "static_dist_patched")?,
+            signature: serde::de::field(&mut map, "signature")?,
+            margin: serde::de::field(&mut map, "margin")?,
+            tie_break: serde::de::field(&mut map, "tie_break")?,
+            exploit_vote: serde::de::opt_field(&mut map, "exploit_vote")?.flatten(),
+            degraded: serde::de::opt_field(&mut map, "degraded")?.unwrap_or(false),
+        })
+    }
 }
 
 /// Names of imported routines called by function `idx` of `bin`.
@@ -487,6 +544,36 @@ mod tests {
             fwbin::compile_library(&lib, fwbin::Arch::Arm32, fwbin::OptLevel::O2).unwrap();
         bin.strip();
         bin
+    }
+
+    #[test]
+    fn degraded_verdicts_round_trip_through_json() {
+        // Degraded verdicts carry infinite dynamic distances; JSON has no
+        // ±inf, so the wire shim maps them through `null` and back.
+        let v = PatchVerdict {
+            cve: "CVE-0000-0000".into(),
+            patched: true,
+            dyn_dist_vulnerable: f64::INFINITY,
+            dyn_dist_patched: f64::INFINITY,
+            static_dist_vulnerable: 0.25,
+            static_dist_patched: 0.125,
+            signature: SignatureDiff {
+                vuln_imports: vec!["memmove".into()],
+                patched_imports: Vec::new(),
+                target_imports: Vec::new(),
+                votes_vulnerable: 1,
+                votes_patched: 2,
+            },
+            margin: 0.5,
+            tie_break: false,
+            exploit_vote: None,
+            degraded: true,
+        };
+        let json = serde_json::to_string(&v).unwrap();
+        let back: PatchVerdict = serde_json::from_str(&json).unwrap();
+        assert!(back.dyn_dist_vulnerable.is_infinite() && back.dyn_dist_patched.is_infinite());
+        assert_eq!(back.static_dist_patched, 0.125, "finite distances pass through exactly");
+        assert!(back.degraded);
     }
 
     #[test]

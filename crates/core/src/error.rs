@@ -116,6 +116,25 @@ pub enum ScanError {
         /// The budget that was exceeded, milliseconds.
         budget_ms: u64,
     },
+    /// The request's end-to-end deadline passed before a result could be
+    /// produced: either the job was discarded at the queue head without
+    /// burning an executor slot, an executor observed expiry between
+    /// pipeline stages, or a deduped follower timed out while the leader
+    /// was still executing. Transient: a retry with a fresh (or larger)
+    /// budget may succeed.
+    DeadlineExceeded {
+        /// The end-to-end budget the request carried, milliseconds.
+        budget_ms: u64,
+    },
+    /// A per-tenant quota (token-bucket rate or max-in-flight cap) was
+    /// exceeded. Transient by definition — the tenant should back off for
+    /// `retry_after_ms`; other tenants are unaffected.
+    QuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: String,
+        /// Suggested backoff before resubmitting, milliseconds.
+        retry_after_ms: u64,
+    },
     /// The scan service is draining: in-flight work finishes, new work is
     /// refused. Transient from the fleet's perspective (another instance,
     /// or this one after restart, can serve the request).
@@ -144,6 +163,8 @@ impl ScanError {
             | ScanError::Io { .. }
             | ScanError::Overloaded { .. }
             | ScanError::Timeout { .. }
+            | ScanError::DeadlineExceeded { .. }
+            | ScanError::QuotaExceeded { .. }
             | ScanError::Draining => ErrorClass::Transient,
         }
     }
@@ -206,6 +227,13 @@ impl std::fmt::Display for ScanError {
             ScanError::Timeout { budget_ms } => {
                 write!(f, "job exceeded its {budget_ms}ms wall-clock budget")
             }
+            ScanError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline exceeded: {budget_ms}ms end-to-end budget elapsed")
+            }
+            ScanError::QuotaExceeded { tenant, retry_after_ms } => write!(
+                f,
+                "tenant `{tenant}` quota exceeded, retry after {retry_after_ms}ms"
+            ),
             ScanError::Draining => f.write_str("service is draining; no new work accepted"),
             ScanError::Protocol { detail } => write!(f, "protocol error: {detail}"),
         }
@@ -227,6 +255,8 @@ mod tests {
             ScanError::Io { path: "/tmp/x".into(), detail: "interrupted".into() },
             ScanError::Overloaded { queue_depth: 65, queue_limit: 64, retry_after_ms: 100 },
             ScanError::Timeout { budget_ms: 500 },
+            ScanError::DeadlineExceeded { budget_ms: 40 },
+            ScanError::QuotaExceeded { tenant: "acme".into(), retry_after_ms: 15 },
             ScanError::Draining,
         ];
         let permanent = [
@@ -263,6 +293,11 @@ mod tests {
         assert_eq!(e, back);
         assert!(e.to_string().contains("retry after 250ms"), "{e}");
         assert!(ScanError::Timeout { budget_ms: 500 }.to_string().contains("500ms"));
+        assert!(ScanError::DeadlineExceeded { budget_ms: 40 }.to_string().contains("40ms"));
+        let q = ScanError::QuotaExceeded { tenant: "acme".into(), retry_after_ms: 15 };
+        let back: ScanError = serde_json::from_str(&serde_json::to_string(&q).unwrap()).unwrap();
+        assert_eq!(q, back);
+        assert!(q.to_string().contains("acme") && q.to_string().contains("15ms"), "{q}");
         assert!(ScanError::Draining.to_string().contains("draining"));
         assert!(ScanError::Protocol { detail: "short frame".into() }
             .to_string()

@@ -199,10 +199,11 @@ fn audit_one_cve(
     diff_cfg: &DifferentialConfig,
     source: &dyn crate::pipeline::FeatureSource,
     dynsrc: &std::sync::Arc<dyn crate::dynsource::DynProfileSource>,
+    cancel: &crate::cancel::CancelToken,
 ) -> Result<(crate::report::AuditStatus, Option<String>, Option<PatchVerdict>), ScanError> {
     use crate::report::AuditStatus;
-    let va = patchecko.analyze_image_with(image, entry, Basis::Vulnerable, source, dynsrc)?;
-    let pa = patchecko.analyze_image_with(image, entry, Basis::Patched, source, dynsrc)?;
+    let va = patchecko.analyze_image_ctl(image, entry, Basis::Vulnerable, source, dynsrc, cancel)?;
+    let pa = patchecko.analyze_image_ctl(image, entry, Basis::Patched, source, dynsrc, cancel)?;
     // Per-library candidate sets from both bases.
     let mut by_lib: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
     for m in va.best.iter().chain(pa.best.iter()) {
@@ -213,6 +214,7 @@ fn audit_one_cve(
     }
     let mut best: Option<(String, usize, PatchVerdict, f64)> = None;
     for (li, cands) in by_lib {
+        cancel.check()?;
         let bin = &image.binaries[li];
         if let Some((idx, v)) =
             differential::detect_patch_best_with(
@@ -263,12 +265,42 @@ pub fn audit_image_with(
     source: &dyn crate::pipeline::FeatureSource,
     dynsrc: &std::sync::Arc<dyn crate::dynsource::DynProfileSource>,
 ) -> Result<crate::report::AuditReport, ScanError> {
+    audit_image_ctl(
+        patchecko,
+        db,
+        image,
+        diff_cfg,
+        source,
+        dynsrc,
+        &crate::cancel::CancelToken::unbounded(),
+    )
+}
+
+/// [`audit_image_with`] under a cancellation token: the token is checked
+/// before every CVE (and, inside each CVE, between per-library stages),
+/// so an audit whose end-to-end deadline has passed surfaces the typed
+/// [`ScanError::DeadlineExceeded`] at the next stage boundary instead of
+/// running the database to completion.
+///
+/// # Errors
+/// [`ScanError::DeadlineExceeded`] on expiry; otherwise the first
+/// transient [`ScanError`] encountered.
+pub fn audit_image_ctl(
+    patchecko: &Patchecko,
+    db: &VulnDb,
+    image: &fwbin::FirmwareImage,
+    diff_cfg: &DifferentialConfig,
+    source: &dyn crate::pipeline::FeatureSource,
+    dynsrc: &std::sync::Arc<dyn crate::dynsource::DynProfileSource>,
+    cancel: &crate::cancel::CancelToken,
+) -> Result<crate::report::AuditReport, ScanError> {
     use crate::report::{AuditFinding, AuditReport, AuditStatus};
     let _span = scope::SpanGuard::enter("audit").with_detail(image.device.clone());
     let mut findings = Vec::new();
     for entry in db.featured() {
+        cancel.check()?;
         let (status, located, verdict, error) =
-            match audit_one_cve(patchecko, entry, image, diff_cfg, source, dynsrc) {
+            match audit_one_cve(patchecko, entry, image, diff_cfg, source, dynsrc, cancel) {
                 Ok((status, located, verdict)) => (status, located, verdict, None),
                 Err(e) if e.is_transient() => return Err(e),
                 Err(e) => (AuditStatus::Error, None, None, Some(e)),

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cancel;
 pub mod detector;
 pub mod differential;
 pub mod dynsource;
@@ -54,6 +55,7 @@ pub mod similarity;
 #[cfg(test)]
 mod testutil;
 
+pub use cancel::CancelToken;
 pub use detector::{Detector, DetectorConfig, TestMetrics};
 pub use differential::{detect_patch, DifferentialConfig, PatchVerdict};
 pub use dynsource::{DynProfile, DynProfileSource, EnvSet, LiveProfiling};

@@ -4,6 +4,7 @@
 //! Timings are captured per stage — the "DP" (deep learning) and "DA"
 //! (dynamic analysis) columns of Tables VI and VII.
 
+use crate::cancel::CancelToken;
 use crate::detector::Detector;
 use crate::dynsource::{self, DynProfile, DynProfileSource, EnvSet, LiveProfiling};
 use crate::error::ScanError;
@@ -703,8 +704,32 @@ impl Patchecko {
         source: &dyn FeatureSource,
         dynsrc: &Arc<dyn DynProfileSource>,
     ) -> Result<CveAnalysis, ScanError> {
+        self.analyze_library_ctl(target_bin, entry, basis, source, dynsrc, &CancelToken::unbounded())
+    }
+
+    /// [`Patchecko::analyze_library_with`] under a cancellation token.
+    ///
+    /// The token is checked between stages — before static extraction and
+    /// again before the (much more expensive) dynamic stage — so a
+    /// request whose end-to-end deadline has passed stops within one
+    /// stage boundary instead of running the library to completion.
+    ///
+    /// # Errors
+    /// [`ScanError::DeadlineExceeded`] when `cancel` expires between
+    /// stages; otherwise as for [`Patchecko::analyze_library`].
+    pub fn analyze_library_ctl(
+        &self,
+        target_bin: &Binary,
+        entry: &DbEntry,
+        basis: Basis,
+        source: &dyn FeatureSource,
+        dynsrc: &Arc<dyn DynProfileSource>,
+        cancel: &CancelToken,
+    ) -> Result<CveAnalysis, ScanError> {
+        cancel.check()?;
         let references = Self::reference_feature_set_with(entry, basis, source)?;
         let scan = self.scan_library_with(target_bin, &references, source)?;
+        cancel.check()?;
         // Dynamic stage: reference compiled for the *target's* platform —
         // the paper executes both functions on the device itself. A binary
         // that scanned statically but fails to *load* degrades the dynamic
@@ -755,10 +780,32 @@ impl Patchecko {
         source: &dyn FeatureSource,
         dynsrc: &Arc<dyn DynProfileSource>,
     ) -> Result<ImageAnalysis, ScanError> {
+        self.analyze_image_ctl(image, entry, basis, source, dynsrc, &CancelToken::unbounded())
+    }
+
+    /// [`Patchecko::analyze_image_with`] under a cancellation token: the
+    /// token is checked before every library so an expired request stops
+    /// at the next library boundary.
+    ///
+    /// # Errors
+    /// [`ScanError::DeadlineExceeded`] when `cancel` expires; otherwise
+    /// the first per-library [`ScanError`] encountered.
+    pub fn analyze_image_ctl(
+        &self,
+        image: &fwbin::FirmwareImage,
+        entry: &DbEntry,
+        basis: Basis,
+        source: &dyn FeatureSource,
+        dynsrc: &Arc<dyn DynProfileSource>,
+        cancel: &CancelToken,
+    ) -> Result<ImageAnalysis, ScanError> {
         let analyses: Vec<CveAnalysis> = image
             .binaries
             .iter()
-            .map(|bin| self.analyze_library_with(bin, entry, basis, source, dynsrc))
+            .map(|bin| {
+                cancel.check()?;
+                self.analyze_library_ctl(bin, entry, basis, source, dynsrc, cancel)
+            })
             .collect::<Result<_, _>>()?;
         // Best match: the lowest-distance top candidate across libraries.
         // Full-confidence matches always beat degraded (static-only) ones,

@@ -5,11 +5,13 @@
 //! vector a client or server is about to write — so chaos tests can
 //! attack the daemon's framing layer from outside: truncated frames
 //! (client died mid-write), corrupted length prefixes (a frame claiming
-//! to be gigabytes long), garbage bodies (unparseable JSON), and clean
-//! mid-request disconnects. The daemon's contract under all of them is
-//! the same: answer with a typed `Protocol` error or drop the one
-//! connection — never hang, never panic, never poison another client's
-//! request.
+//! to be gigabytes long), garbage bodies (unparseable JSON), clean
+//! mid-request disconnects, seeded mid-frame stalls (a slow client
+//! pausing with half a frame written), and half-open sockets (a peer
+//! that went silent without ever closing). The daemon's contract under
+//! all of them is the same: answer with a typed `Protocol` error or
+//! drop/reap the one connection — never hang, never panic, never poison
+//! another client's request.
 //!
 //! Queue-full — the remaining daemon seam — needs no byte sabotage: it is
 //! driven by configuring a small admission limit and offering more
@@ -37,6 +39,15 @@ pub enum WireFault {
     GarbageBody,
     /// Hang up before writing anything — a mid-request client disconnect.
     Disconnect,
+    /// Write part of the frame, pause for a seeded interval, then write
+    /// the rest — a slow or GC-pausing client stalling mid-write. A
+    /// daemon without socket timeouts pins a handler thread for the
+    /// whole pause; one with timeouts reaps stalls past its budget.
+    StallMidFrame,
+    /// Write part of the frame and then go silent *without* closing —
+    /// the half-open socket of a peer that lost power or network. The
+    /// daemon never sees EOF; only a read timeout can free the handler.
+    HalfOpen,
 }
 
 /// What to actually put on the socket for one frame.
@@ -47,6 +58,23 @@ pub enum Sabotage {
     /// Write only the first `after` bytes, then close the connection.
     Hangup {
         /// Bytes to write before closing (0 = close immediately).
+        after: usize,
+    },
+    /// Write `first`, sleep `pause_ms`, write `rest`, carry on.
+    Stall {
+        /// Bytes written before the stall (at least 1 — the peer has
+        /// started reading the frame).
+        first: Vec<u8>,
+        /// How long to stay silent mid-frame, milliseconds.
+        pause_ms: u64,
+        /// The remainder of the frame, written after the pause.
+        rest: Vec<u8>,
+    },
+    /// Write only the first `after` bytes, then keep the socket open and
+    /// silent for as long as the harness allows — never sending the rest
+    /// and never closing.
+    Hold {
+        /// Bytes to write before going silent.
         after: usize,
     },
 }
@@ -65,18 +93,44 @@ pub struct WireFaults {
     pub corrupt_len_in: u32,
     /// 1-in-N rate for [`WireFault::GarbageBody`] (0 = never).
     pub garbage_in: u32,
+    /// 1-in-N rate for [`WireFault::StallMidFrame`] (0 = never).
+    pub stall_in: u32,
+    /// 1-in-N rate for [`WireFault::HalfOpen`] (0 = never).
+    pub half_open_in: u32,
+    /// Upper bound on a stall's pause, milliseconds (pauses draw
+    /// uniformly from `[1, max_stall_ms]`).
+    pub max_stall_ms: u64,
 }
 
 impl WireFaults {
     /// A sabotager with every fault disabled (frames pass untouched).
     pub fn none(plan: FaultPlan) -> WireFaults {
-        WireFaults { plan, disconnect_in: 0, truncate_in: 0, corrupt_len_in: 0, garbage_in: 0 }
+        WireFaults {
+            plan,
+            disconnect_in: 0,
+            truncate_in: 0,
+            corrupt_len_in: 0,
+            garbage_in: 0,
+            stall_in: 0,
+            half_open_in: 0,
+            max_stall_ms: 200,
+        }
     }
 
     /// An aggressive sabotager: each fault kind at 1-in-8 per frame
-    /// (roughly two in five frames suffer *some* fault).
+    /// (over half the frames suffer *some* fault), stalls bounded at a
+    /// modest 200 ms so chaos suites stay fast.
     pub fn aggressive(plan: FaultPlan) -> WireFaults {
-        WireFaults { plan, disconnect_in: 8, truncate_in: 8, corrupt_len_in: 8, garbage_in: 8 }
+        WireFaults {
+            plan,
+            disconnect_in: 8,
+            truncate_in: 8,
+            corrupt_len_in: 8,
+            garbage_in: 8,
+            stall_in: 8,
+            half_open_in: 8,
+            max_stall_ms: 200,
+        }
     }
 
     /// The plan decisions replay from.
@@ -95,6 +149,10 @@ impl WireFaults {
             Some(WireFault::CorruptLength)
         } else if self.plan.fires("wire.garbage", key, 1, self.garbage_in) {
             Some(WireFault::GarbageBody)
+        } else if self.plan.fires("wire.stall", key, 1, self.stall_in) {
+            Some(WireFault::StallMidFrame)
+        } else if self.plan.fires("wire.half_open", key, 1, self.half_open_in) {
+            Some(WireFault::HalfOpen)
         } else {
             None
         }
@@ -135,6 +193,28 @@ impl WireFaults {
                     out[at] ^= 0x80 | (self.plan.draw("wire.garbage_val", key ^ i) as u8 & 0x7f);
                 }
                 Sabotage::Deliver(out)
+            }
+            Some(WireFault::StallMidFrame) => {
+                if frame.len() < 2 {
+                    return Sabotage::Deliver(frame.to_vec());
+                }
+                // Split anywhere in [1, len - 1]: both halves non-empty,
+                // so the peer is mid-frame for the whole pause.
+                let cut = (1 + self.plan.pick("wire.stall_at", key, frame.len() - 1))
+                    .min(frame.len() - 1);
+                let pause_ms = 1 + self.plan.draw("wire.stall_ms", key) % self.max_stall_ms.max(1);
+                Sabotage::Stall {
+                    first: frame[..cut].to_vec(),
+                    pause_ms,
+                    rest: frame[cut..].to_vec(),
+                }
+            }
+            Some(WireFault::HalfOpen) => {
+                if frame.len() < 2 {
+                    return Sabotage::Hold { after: 0 };
+                }
+                let cut = 1 + self.plan.pick("wire.half_open_at", key, frame.len() - 1);
+                Sabotage::Hold { after: cut.min(frame.len() - 1) }
             }
         }
     }
@@ -180,7 +260,7 @@ mod tests {
                 seen.insert(format!("{v:?}"));
             }
         }
-        assert_eq!(seen.len(), 4, "512 frames at 1-in-8 each must hit all kinds: {seen:?}");
+        assert_eq!(seen.len(), 6, "512 frames at 1-in-8 each must hit all kinds: {seen:?}");
     }
 
     #[test]
@@ -204,6 +284,16 @@ mod tests {
                     assert_eq!(out.len(), f.len());
                     assert_eq!(&out[..4], &f[..4], "prefix untouched");
                     assert_ne!(&out[4..], &f[4..], "body mangled");
+                }
+                (Some(WireFault::StallMidFrame), Sabotage::Stall { first, pause_ms, rest }) => {
+                    assert!(!first.is_empty() && !rest.is_empty(), "stall splits mid-frame");
+                    let mut whole = first.clone();
+                    whole.extend_from_slice(&rest);
+                    assert_eq!(whole, f, "a stall delays bytes, never changes them");
+                    assert!((1..=200).contains(&pause_ms), "pause bounded, got {pause_ms}");
+                }
+                (Some(WireFault::HalfOpen), Sabotage::Hold { after }) => {
+                    assert!(after >= 1 && after < f.len(), "partial then silence, got {after}");
                 }
                 (v, s) => panic!("inconsistent verdict {v:?} / sabotage {s:?}"),
             }

@@ -1,0 +1,259 @@
+//! Per-tenant circuit breaker for the dynamic (VM) stage.
+//!
+//! A tenant whose binaries keep crashing the VM stage burns executor
+//! time on doomed dynamic work and pollutes nothing but its own
+//! latency — until the executors are all busy re-profiling its crashing
+//! candidates and everyone else queues behind them. The breaker
+//! quarantines exactly that failure mode, per tenant:
+//!
+//! * **Closed** (normal): dynamic profiling runs. Each job whose dynamic
+//!   stage failed (every finding degraded to static-only evidence)
+//!   increments a consecutive-failure count; any dynamically clean job
+//!   resets it.
+//! * **Open** (tripped, after `threshold` consecutive failures): jobs run
+//!   *static-only* — the daemon substitutes a refusing
+//!   `DynProfileSource`, which the pipeline already degrades gracefully
+//!   to [`Confidence::Degraded`](patchecko_core::pipeline::Confidence)
+//!   verdicts. No VM time is spent, results still flow, and the
+//!   tenant's cached dynamic lane is bypassed rather than poisoned.
+//! * **Half-open** (after `cooldown_ms`): the next job is a *probe* that
+//!   runs real dynamics. Success closes the breaker; failure re-opens it
+//!   for another cooldown. While a probe is outstanding, other jobs of
+//!   the tenant keep running static-only, so a recovery test costs one
+//!   job, not a thundering herd of VM work.
+//!
+//! The state machine never touches other tenants: their breakers are
+//! independent entries in the ledger.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning. `threshold == 0` disables the breaker entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive dynamically-failed jobs before tripping (0 = off).
+    pub threshold: u32,
+    /// How long an open breaker sheds before probing, milliseconds.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig { threshold: 5, cooldown_ms: 2_000 }
+    }
+}
+
+/// What the executor should do with a tenant's dynamic stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynDecision {
+    /// Breaker closed: run real dynamics.
+    Attempt,
+    /// Breaker half-open and this job is the recovery probe: run real
+    /// dynamics and report the outcome.
+    Probe,
+    /// Breaker open (or a probe is already outstanding): run static-only.
+    Shed,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Lane {
+    Closed { fails: u32 },
+    Open { until: Instant },
+    HalfOpen { probing: bool },
+}
+
+struct TenantBreaker {
+    lane: Lane,
+    trips: u64,
+}
+
+/// The per-tenant breaker ledger.
+pub struct BreakerLedger {
+    cfg: BreakerConfig,
+    lanes: Mutex<HashMap<String, TenantBreaker>>,
+}
+
+impl BreakerLedger {
+    /// A ledger enforcing `cfg` for every tenant.
+    pub fn new(cfg: BreakerConfig) -> BreakerLedger {
+        BreakerLedger { cfg, lanes: Mutex::new(HashMap::new()) }
+    }
+
+    /// Decide the dynamic stage for `tenant`'s next job.
+    pub fn before_job(&self, tenant: &str) -> DynDecision {
+        self.before_job_at(tenant, Instant::now())
+    }
+
+    /// [`BreakerLedger::before_job`] at an explicit clock reading (test seam).
+    pub fn before_job_at(&self, tenant: &str, now: Instant) -> DynDecision {
+        if self.cfg.threshold == 0 {
+            return DynDecision::Attempt;
+        }
+        let mut lanes = self.lanes.lock().expect("breaker lock");
+        let b = lanes
+            .entry(tenant.to_string())
+            .or_insert(TenantBreaker { lane: Lane::Closed { fails: 0 }, trips: 0 });
+        match b.lane {
+            Lane::Closed { .. } => DynDecision::Attempt,
+            Lane::Open { until } if now < until => DynDecision::Shed,
+            Lane::Open { .. } => {
+                // Cooldown over: this job becomes the half-open probe.
+                b.lane = Lane::HalfOpen { probing: true };
+                DynDecision::Probe
+            }
+            Lane::HalfOpen { probing: false } => {
+                b.lane = Lane::HalfOpen { probing: true };
+                DynDecision::Probe
+            }
+            Lane::HalfOpen { probing: true } => DynDecision::Shed,
+        }
+    }
+
+    /// Record a job outcome. `decision` is what [`BreakerLedger::before_job`]
+    /// returned for it; `dyn_failed` is whether the job's dynamic stage
+    /// failed (shed jobs never report — they didn't attempt dynamics).
+    pub fn after_job(&self, tenant: &str, decision: DynDecision, dyn_failed: bool) {
+        self.after_job_at(tenant, decision, dyn_failed, Instant::now());
+    }
+
+    /// [`BreakerLedger::after_job`] at an explicit clock reading (test seam).
+    pub fn after_job_at(
+        &self,
+        tenant: &str,
+        decision: DynDecision,
+        dyn_failed: bool,
+        now: Instant,
+    ) {
+        if self.cfg.threshold == 0 || decision == DynDecision::Shed {
+            return;
+        }
+        let mut lanes = self.lanes.lock().expect("breaker lock");
+        let Some(b) = lanes.get_mut(tenant) else { return };
+        let cooldown = Duration::from_millis(self.cfg.cooldown_ms);
+        match (decision, dyn_failed) {
+            (DynDecision::Probe, false) => b.lane = Lane::Closed { fails: 0 },
+            (DynDecision::Probe, true) => {
+                b.trips += 1;
+                b.lane = Lane::Open { until: now + cooldown };
+            }
+            (DynDecision::Attempt, false) => {
+                if let Lane::Closed { fails } = &mut b.lane {
+                    *fails = 0;
+                }
+            }
+            (DynDecision::Attempt, true) => {
+                if let Lane::Closed { fails } = &mut b.lane {
+                    *fails += 1;
+                    if *fails >= self.cfg.threshold {
+                        b.trips += 1;
+                        b.lane = Lane::Open { until: now + cooldown };
+                    }
+                }
+            }
+            (DynDecision::Shed, _) => unreachable!("shed jobs returned early"),
+        }
+    }
+
+    /// `tenant`'s (state name, trip count) for the stats endpoint:
+    /// `"closed"`, `"open"`, or `"half-open"`. Tenants the breaker has
+    /// never seen read as closed with zero trips.
+    pub fn state(&self, tenant: &str) -> (String, u64) {
+        let lanes = self.lanes.lock().expect("breaker lock");
+        match lanes.get(tenant) {
+            None => ("closed".to_string(), 0),
+            Some(b) => {
+                let name = match b.lane {
+                    Lane::Closed { .. } => "closed",
+                    Lane::Open { .. } => "open",
+                    Lane::HalfOpen { .. } => "half-open",
+                };
+                (name.to_string(), b.trips)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(threshold: u32, cooldown_ms: u64) -> BreakerLedger {
+        BreakerLedger::new(BreakerConfig { threshold, cooldown_ms })
+    }
+
+    #[test]
+    fn trips_after_n_consecutive_failures_and_sheds() {
+        let b = ledger(3, 1_000);
+        let t0 = Instant::now();
+        for i in 0..3 {
+            assert_eq!(b.before_job_at("t", t0), DynDecision::Attempt, "attempt {i}");
+            b.after_job_at("t", DynDecision::Attempt, true, t0);
+        }
+        assert_eq!(b.state("t"), ("open".to_string(), 1));
+        assert_eq!(b.before_job_at("t", t0), DynDecision::Shed, "open breaker sheds");
+        // Shed outcomes never move the state machine.
+        b.after_job_at("t", DynDecision::Shed, true, t0);
+        assert_eq!(b.state("t"), ("open".to_string(), 1));
+    }
+
+    #[test]
+    fn a_clean_job_resets_the_consecutive_count() {
+        let b = ledger(3, 1_000);
+        let t0 = Instant::now();
+        for _ in 0..2 {
+            b.before_job_at("t", t0);
+            b.after_job_at("t", DynDecision::Attempt, true, t0);
+        }
+        b.before_job_at("t", t0);
+        b.after_job_at("t", DynDecision::Attempt, false, t0);
+        for _ in 0..2 {
+            b.before_job_at("t", t0);
+            b.after_job_at("t", DynDecision::Attempt, true, t0);
+        }
+        assert_eq!(b.state("t"), ("closed".to_string(), 0), "2 + reset + 2 never reaches 3");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let b = ledger(1, 100);
+        let t0 = Instant::now();
+        b.before_job_at("t", t0);
+        b.after_job_at("t", DynDecision::Attempt, true, t0);
+        assert_eq!(b.state("t").0, "open");
+        // During cooldown: shed. After: exactly one probe, others shed.
+        let mid = t0 + Duration::from_millis(50);
+        assert_eq!(b.before_job_at("t", mid), DynDecision::Shed);
+        let after = t0 + Duration::from_millis(150);
+        assert_eq!(b.before_job_at("t", after), DynDecision::Probe);
+        assert_eq!(b.state("t").0, "half-open");
+        assert_eq!(b.before_job_at("t", after), DynDecision::Shed, "one probe at a time");
+        // Probe fails: re-open for another cooldown, trip count grows.
+        b.after_job_at("t", DynDecision::Probe, true, after);
+        assert_eq!(b.state("t"), ("open".to_string(), 2));
+        // Next probe succeeds: closed, and dynamics resume.
+        let later = after + Duration::from_millis(150);
+        assert_eq!(b.before_job_at("t", later), DynDecision::Probe);
+        b.after_job_at("t", DynDecision::Probe, false, later);
+        assert_eq!(b.state("t"), ("closed".to_string(), 2));
+        assert_eq!(b.before_job_at("t", later), DynDecision::Attempt);
+    }
+
+    #[test]
+    fn breakers_are_per_tenant_and_zero_threshold_disables() {
+        let b = ledger(1, 1_000);
+        let t0 = Instant::now();
+        b.before_job_at("bad", t0);
+        b.after_job_at("bad", DynDecision::Attempt, true, t0);
+        assert_eq!(b.state("bad").0, "open");
+        assert_eq!(b.before_job_at("good", t0), DynDecision::Attempt, "other tenants unaffected");
+        assert_eq!(b.state("good").0, "closed");
+
+        let off = ledger(0, 1_000);
+        for _ in 0..10 {
+            assert_eq!(off.before_job_at("t", t0), DynDecision::Attempt);
+            off.after_job_at("t", DynDecision::Attempt, true, t0);
+        }
+        assert_eq!(off.state("t"), ("closed".to_string(), 0));
+    }
+}

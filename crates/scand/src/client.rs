@@ -5,8 +5,10 @@
 //! the server echoes it back — a misrouted response (wrong client, wrong
 //! request) surfaces as a typed [`ScanError::Protocol`] instead of
 //! silently-wrong scan results. Transient rejections keep their types:
-//! [`ScanError::Overloaded`] carries the server's retry-after hint, which
-//! [`ScanClient::audit_with_retry`] honours.
+//! [`ScanError::Overloaded`] and [`ScanError::QuotaExceeded`] carry the
+//! server's retry-after hint, which [`ScanClient::audit_with_retry`]
+//! honours with seeded ±50% jitter so a herd of rejected clients
+//! de-synchronizes instead of stampeding back in lockstep.
 
 use crate::proto::{self, DrainSummary, Op, Outcome, Request, Response, ScanSummary, ServiceStats};
 use patchecko_core::error::ScanError;
@@ -21,10 +23,27 @@ use std::time::Duration;
 /// harness can never mistake each other's responses for their own.
 static NEXT_TAG: AtomicU64 = AtomicU64::new(1);
 
+/// A retry sleep in `[0.5, 1.5) × hint_ms`, derived deterministically
+/// from `(seed, attempt)` with an splitmix64 step — the same seed always
+/// reproduces the same backoff schedule (the soak harness depends on
+/// this), while distinct seeds spread a rejected herd across the window.
+pub fn jittered_backoff(hint_ms: u64, seed: u64, attempt: u64) -> Duration {
+    let mut z = seed ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // Uniform in [0.5, 1.5): half the hint to one-and-a-half hints.
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    let ms = (hint_ms.max(1) as f64 * (0.5 + unit)).max(1.0);
+    Duration::from_millis(ms as u64)
+}
+
 /// A connection to a running scan daemon, bound to one tenant namespace.
 pub struct ScanClient {
     stream: UnixStream,
     tenant: String,
+    deadline_ms: Option<u64>,
+    backoff_seed: u64,
 }
 
 impl ScanClient {
@@ -37,7 +56,12 @@ impl ScanClient {
         let stream = UnixStream::connect(socket.as_ref()).map_err(|e| ScanError::Protocol {
             detail: format!("connect {}: {e}", socket.as_ref().display()),
         })?;
-        Ok(ScanClient { stream, tenant: tenant.to_string() })
+        Ok(ScanClient {
+            stream,
+            tenant: tenant.to_string(),
+            deadline_ms: None,
+            backoff_seed: NEXT_TAG.fetch_add(1, Ordering::Relaxed),
+        })
     }
 
     /// The tenant this connection operates as.
@@ -45,9 +69,27 @@ impl ScanClient {
         &self.tenant
     }
 
+    /// Set an end-to-end deadline stamped on every subsequent queued
+    /// request: the daemon counts queue time against it, discards the
+    /// job if it expires unstarted, and cancels between pipeline stages.
+    /// `None` (the default) restores unbounded requests.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) -> &mut ScanClient {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Seed the retry-jitter stream (defaults to a process-unique value);
+    /// the soak harness pins this for reproducible backoff schedules.
+    pub fn set_backoff_seed(&mut self, seed: u64) -> &mut ScanClient {
+        self.backoff_seed = seed;
+        self
+    }
+
     fn call(&mut self, op: Op) -> Result<Outcome, ScanError> {
         let tag = NEXT_TAG.fetch_add(1, Ordering::Relaxed);
-        proto::send(&mut self.stream, &Request { tenant: self.tenant.clone(), tag, op })?;
+        let request =
+            Request { tenant: self.tenant.clone(), tag, deadline_ms: self.deadline_ms, op };
+        proto::send(&mut self.stream, &request)?;
         let response: Response = proto::recv(&mut self.stream)?.ok_or(ScanError::Protocol {
             detail: "server closed the connection before responding".into(),
         })?;
@@ -96,22 +138,31 @@ impl ScanClient {
     }
 
     /// [`ScanClient::audit`], backing off and retrying (up to `attempts`
-    /// total) when the daemon sheds load — each retry sleeps for the
-    /// server's own `retry_after_ms` hint.
+    /// total) when the daemon sheds load or meters this tenant's quota —
+    /// each retry sleeps the server's own `retry_after_ms` hint scaled
+    /// by seeded ±50% jitter ([`jittered_backoff`]), so simultaneous
+    /// rejectees spread out instead of re-colliding.
     ///
     /// # Errors
     /// The final error once attempts are exhausted, or immediately for
-    /// anything other than [`ScanError::Overloaded`].
+    /// anything other than [`ScanError::Overloaded`] /
+    /// [`ScanError::QuotaExceeded`].
     pub fn audit_with_retry(&mut self, image: usize, attempts: usize) -> Result<AuditReport, ScanError> {
         let mut remaining = attempts.max(1);
+        let mut attempt = 0u64;
         loop {
-            match self.audit(image) {
+            let hint = match self.audit(image) {
                 Err(ScanError::Overloaded { retry_after_ms, .. }) if remaining > 1 => {
-                    remaining -= 1;
-                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                    retry_after_ms
+                }
+                Err(ScanError::QuotaExceeded { retry_after_ms, .. }) if remaining > 1 => {
+                    retry_after_ms
                 }
                 other => return other,
-            }
+            };
+            remaining -= 1;
+            attempt += 1;
+            std::thread::sleep(jittered_backoff(hint, self.backoff_seed, attempt));
         }
     }
 
@@ -151,4 +202,35 @@ fn unexpected(wanted: &str, got: &Outcome) -> ScanError {
         Outcome::Error(_) => "error",
     };
     ScanError::Protocol { detail: format!("expected a {wanted} outcome, received {kind}") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_in_the_half_to_one_and_a_half_window_and_is_reproducible() {
+        for attempt in 0..200 {
+            let d = jittered_backoff(100, 42, attempt);
+            assert!(
+                (50..150).contains(&(d.as_millis() as u64)),
+                "attempt {attempt}: {d:?} outside [0.5, 1.5) x 100ms"
+            );
+            assert_eq!(d, jittered_backoff(100, 42, attempt), "same seed, same schedule");
+        }
+        // Distinct seeds actually de-synchronize: not every attempt maps
+        // to the same sleep.
+        let spread = (0..20)
+            .filter(|&s| jittered_backoff(100, s, 1) != jittered_backoff(100, s + 1, 1))
+            .count();
+        assert!(spread > 10, "seeds barely move the jitter ({spread}/20 differ)");
+    }
+
+    #[test]
+    fn jitter_never_sleeps_zero() {
+        for seed in 0..50 {
+            assert!(jittered_backoff(0, seed, 0) >= Duration::from_millis(1));
+            assert!(jittered_backoff(1, seed, 7) >= Duration::from_millis(1));
+        }
+    }
 }

@@ -30,12 +30,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod client;
 pub mod proto;
 pub mod queue;
+pub mod quota;
 pub mod server;
 
+pub use breaker::{BreakerConfig, BreakerLedger, DynDecision};
 pub use client::ScanClient;
-pub use proto::{DrainSummary, Op, Outcome, Request, Response, ScanSummary, ServiceStats, TenantStats};
-pub use queue::{Admitted, FairQueue, State};
+pub use proto::{
+    BreakerStats, DrainSummary, Op, Outcome, Request, Response, ScanSummary, ServiceStats,
+    TenantStats,
+};
+pub use queue::{Admitted, FairQueue, State, Waiter};
+pub use quota::{QuotaLedger, TenantQuota};
 pub use server::{ScanServer, ServerConfig, ANONYMOUS_TENANT};

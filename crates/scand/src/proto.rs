@@ -65,7 +65,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ScanError> {
             Ok(0) => return Err(protocol(format!("stream ended inside length prefix ({got}/4 bytes)"))),
             Ok(n) => got += n,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(protocol(format!("frame read: {e}"))),
+            Err(e) => return Err(io_protocol("frame read", &e)),
         }
     }
     let len = u32::from_le_bytes(prefix);
@@ -75,9 +75,31 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ScanError> {
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body).map_err(|e| match e.kind() {
         ErrorKind::UnexpectedEof => protocol(format!("frame truncated: length prefix promised {len} bytes")),
-        _ => protocol(format!("frame read: {e}")),
+        _ => io_protocol("frame read", &e),
     })?;
     Ok(Some(body))
+}
+
+/// Marker embedded in the [`ScanError::Protocol`] detail when a frame
+/// read/write died on a socket timeout rather than malformed bytes — the
+/// server's idle-connection reaper keys on it via [`is_timeout`].
+pub const TIMEOUT_MARKER: &str = "socket timed out";
+
+fn io_protocol(what: &str, e: &std::io::Error) -> ScanError {
+    // A read/write timeout surfaces as WouldBlock or TimedOut depending
+    // on the platform; both mean "the peer stalled", not "the peer sent
+    // garbage", so tag them for the reaper.
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        protocol(format!("{what}: {TIMEOUT_MARKER} (stalled or idle peer)"))
+    } else {
+        protocol(format!("{what}: {e}"))
+    }
+}
+
+/// Whether `e` is a protocol error caused by a socket read/write timeout
+/// (a stalled or idle peer), as opposed to malformed bytes.
+pub fn is_timeout(e: &ScanError) -> bool {
+    matches!(e, ScanError::Protocol { detail } if detail.contains(TIMEOUT_MARKER))
 }
 
 /// Serialize `msg` and write it as one frame.
@@ -117,6 +139,14 @@ pub struct Request {
     /// Client-chosen token the server echoes on the response.
     #[serde(default)]
     pub tag: u64,
+    /// Optional end-to-end deadline, milliseconds from server receipt.
+    /// Queueing time counts against it: a request still queued (or a
+    /// deduped follower still waiting) when the budget elapses is
+    /// answered with a typed `DeadlineExceeded` instead of its result,
+    /// and executors abandon expired work at the next pipeline-stage
+    /// boundary. Absent = wait indefinitely.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
     /// The operation.
     pub op: Op,
 }
@@ -190,6 +220,11 @@ pub struct ScanSummary {
     pub candidates: usize,
     /// Candidates that survived dynamic validation, image-wide.
     pub validated: usize,
+    /// Per-library analyses that degraded to static-only evidence (the
+    /// dynamic stage failed or was circuit-broken). Zero on a fully
+    /// dynamic scan.
+    #[serde(default)]
+    pub degraded: usize,
     /// The image-wide best match, if any.
     pub best: Option<ImageMatch>,
 }
@@ -202,6 +237,7 @@ impl ScanSummary {
             basis: analysis.basis,
             candidates: analysis.analyses.iter().map(|a| a.scan.candidates.len()).sum(),
             validated: analysis.analyses.iter().map(|a| a.dynamic.validated.len()).sum(),
+            degraded: analysis.analyses.iter().filter(|a| a.is_degraded()).count(),
             best: analysis.best.clone(),
         }
     }
@@ -228,6 +264,18 @@ pub struct ServiceStats {
     pub in_flight: usize,
     /// Hosted images.
     pub images: usize,
+    /// Connections currently open (accepted, not yet closed).
+    #[serde(default)]
+    pub open_connections: u64,
+    /// Connections closed by the reaper after a socket timeout (stalled
+    /// or idle peers).
+    #[serde(default)]
+    pub reaped_connections: u64,
+    /// Jobs an executor observed as already expired at start — the
+    /// soak's "no executor ever runs an expired job" oracle; pop-time
+    /// discard keeps this at zero short of a sub-millisecond race.
+    #[serde(default)]
+    pub expired_at_executor: u64,
     /// Per-tenant counters and latency, keyed by tenant name.
     pub tenants: BTreeMap<String, TenantStats>,
     /// Shared artifact-store counters (both cache lanes).
@@ -254,8 +302,33 @@ pub struct TenantStats {
     pub completed: u64,
     /// Requests that finished with an error.
     pub failed: u64,
+    /// Requests whose end-to-end deadline passed before a result could
+    /// be delivered (discarded at the queue head, abandoned between
+    /// pipeline stages, or a deduped follower that timed out).
+    #[serde(default)]
+    pub expired: u64,
+    /// Requests refused by the tenant's token-bucket rate or in-flight
+    /// cap (a subset of `rejected`).
+    #[serde(default)]
+    pub quota_rejected: u64,
+    /// Jobs whose dynamic stage degraded to static-only evidence —
+    /// including jobs shed by an open circuit breaker.
+    #[serde(default)]
+    pub degraded_jobs: u64,
+    /// Dynamic-stage circuit breaker state, when the breaker is enabled.
+    #[serde(default)]
+    pub breaker: Option<BreakerStats>,
     /// Queue + execution latency histogram.
     pub latency: Option<DurationStats>,
+}
+
+/// One tenant's circuit-breaker state for the stats endpoint.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BreakerStats {
+    /// `closed`, `open`, or `half-open`.
+    pub state: String,
+    /// How many times the breaker has tripped open.
+    pub trips: u64,
 }
 
 #[cfg(test)]
@@ -324,6 +397,7 @@ mod tests {
         let req = Request {
             tenant: "acme".into(),
             tag: 0xfeed,
+            deadline_ms: Some(250),
             op: Op::Scan { image: 2, cve: "CVE-2018-9412".into(), basis: Basis::Vulnerable },
         };
         let mut buf = Vec::new();
@@ -349,6 +423,32 @@ mod tests {
             }
             other => panic!("expected error outcome, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_free_requests_from_older_clients_still_parse() {
+        // PR 6 clients never send `deadline_ms`; the field must default
+        // to "wait indefinitely" rather than break the wire.
+        let legacy = br#"{"tenant":"acme","tag":9,"op":{"Audit":{"image":0}}}"#;
+        let mut buf = Vec::new();
+        write_frame(&mut buf, legacy).unwrap();
+        let req: Request = recv(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(req.deadline_ms, None);
+        assert_eq!(req.op, Op::Audit { image: 0 });
+    }
+
+    #[test]
+    fn timeout_errors_are_distinguishable_from_garbage() {
+        struct Stalled;
+        impl std::io::Read for Stalled {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "resource unavailable"))
+            }
+        }
+        let err = read_frame(&mut Stalled).unwrap_err();
+        assert!(is_timeout(&err), "{err}");
+        let garbage = read_frame(&mut Cursor::new(vec![1, 2])).unwrap_err();
+        assert!(!is_timeout(&garbage), "{garbage}");
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Per-tenant token-bucket rate limiting.
+//!
+//! On top of the global admission bound and the per-tenant in-flight cap
+//! (enforced inside [`crate::queue::FairQueue`]), the daemon meters each
+//! tenant's *request rate* with a classic token bucket: a tenant owns a
+//! bucket of `burst` tokens refilled at `rate_per_sec`; every submission
+//! — dedup joins included, since a join still costs a connection thread
+//! and a response — spends one token. An empty bucket yields the typed
+//! `QuotaExceeded { tenant, retry_after_ms }` where the hint is the
+//! exact time until the bucket refills to one token, so a compliant
+//! client that sleeps the hint is admitted on its next try.
+//!
+//! The ledger is deliberately clock-parameterized ([`QuotaLedger::admit_at`])
+//! so the refill math is unit-testable without sleeping.
+
+use patchecko_core::error::ScanError;
+use std::collections::HashMap;
+use std::str::FromStr;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A per-tenant quota: token-bucket rate plus a distinct-job in-flight
+/// cap. Parsed from the CLI as `RATE:BURST[:INFLIGHT]` (e.g. `50:10:4` =
+/// 50 requests/second sustained, bursts of 10, at most 4 distinct jobs
+/// queued or executing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Sustained admissions per second per tenant.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: how far a tenant may burst above the rate.
+    pub burst: f64,
+    /// Max distinct jobs (queued + executing) per tenant; `None` leaves
+    /// only the global bound.
+    pub max_in_flight: Option<usize>,
+}
+
+impl FromStr for TenantQuota {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TenantQuota, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() < 2 || parts.len() > 3 {
+            return Err(format!("expected RATE:BURST[:INFLIGHT], got `{s}`"));
+        }
+        let rate_per_sec: f64 =
+            parts[0].parse().map_err(|_| format!("bad rate `{}`", parts[0]))?;
+        let burst: f64 = parts[1].parse().map_err(|_| format!("bad burst `{}`", parts[1]))?;
+        let sane =
+            rate_per_sec.is_finite() && rate_per_sec > 0.0 && burst.is_finite() && burst >= 1.0;
+        if !sane {
+            return Err(format!("rate must be > 0 and burst >= 1, got `{s}`"));
+        }
+        let max_in_flight = match parts.get(2) {
+            Some(p) => {
+                let n: usize = p.parse().map_err(|_| format!("bad in-flight cap `{p}`"))?;
+                if n == 0 {
+                    return Err("in-flight cap must be >= 1".to_string());
+                }
+                Some(n)
+            }
+            None => None,
+        };
+        Ok(TenantQuota { rate_per_sec, burst, max_in_flight })
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// The daemon-side token-bucket ledger, one bucket per tenant (created
+/// full on first sight).
+pub struct QuotaLedger {
+    quota: TenantQuota,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl QuotaLedger {
+    /// A ledger enforcing `quota` for every tenant.
+    pub fn new(quota: TenantQuota) -> QuotaLedger {
+        QuotaLedger { quota, buckets: Mutex::new(HashMap::new()) }
+    }
+
+    /// The quota being enforced.
+    pub fn quota(&self) -> TenantQuota {
+        self.quota
+    }
+
+    /// Spend one token from `tenant`'s bucket, refilling for elapsed time
+    /// first.
+    ///
+    /// # Errors
+    /// `QuotaExceeded` with the exact refill-to-one-token wait when the
+    /// bucket is empty.
+    pub fn admit(&self, tenant: &str) -> Result<(), ScanError> {
+        self.admit_at(tenant, Instant::now())
+    }
+
+    /// [`QuotaLedger::admit`] at an explicit clock reading (test seam).
+    ///
+    /// # Errors
+    /// As for [`QuotaLedger::admit`].
+    pub fn admit_at(&self, tenant: &str, now: Instant) -> Result<(), ScanError> {
+        let mut buckets = self.buckets.lock().expect("quota lock");
+        let bucket = buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| Bucket { tokens: self.quota.burst, refilled: now });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.quota.rate_per_sec).min(self.quota.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            return Ok(());
+        }
+        let deficit = 1.0 - bucket.tokens;
+        let retry_after_ms = ((deficit / self.quota.rate_per_sec) * 1000.0).ceil().max(1.0) as u64;
+        Err(ScanError::QuotaExceeded { tenant: tenant.to_string(), retry_after_ms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn quota_parses_and_rejects_malformed_specs() {
+        let q: TenantQuota = "50:10:4".parse().unwrap();
+        assert_eq!(q, TenantQuota { rate_per_sec: 50.0, burst: 10.0, max_in_flight: Some(4) });
+        let q: TenantQuota = "2.5:1".parse().unwrap();
+        assert_eq!(q, TenantQuota { rate_per_sec: 2.5, burst: 1.0, max_in_flight: None });
+        for bad in ["", "50", "0:5", "50:0", "a:b", "50:10:0", "1:2:3:4"] {
+            assert!(bad.parse::<TenantQuota>().is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn bucket_bursts_then_meters_at_the_rate() {
+        // 10/s, burst 3: three instant admissions, then typed rejections
+        // whose hint names the refill wait.
+        let ledger = QuotaLedger::new(TenantQuota {
+            rate_per_sec: 10.0,
+            burst: 3.0,
+            max_in_flight: None,
+        });
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            ledger.admit_at("t", t0).unwrap();
+        }
+        match ledger.admit_at("t", t0) {
+            Err(ScanError::QuotaExceeded { tenant, retry_after_ms }) => {
+                assert_eq!(tenant, "t");
+                assert_eq!(retry_after_ms, 100, "one token at 10/s is 100ms away");
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // Sleeping the hint admits exactly one more.
+        let t1 = t0 + Duration::from_millis(100);
+        ledger.admit_at("t", t1).unwrap();
+        assert!(ledger.admit_at("t", t1).is_err(), "the refill bought one token, not two");
+    }
+
+    #[test]
+    fn buckets_are_per_tenant_and_capped_at_burst() {
+        let ledger = QuotaLedger::new(TenantQuota {
+            rate_per_sec: 1.0,
+            burst: 2.0,
+            max_in_flight: None,
+        });
+        let t0 = Instant::now();
+        ledger.admit_at("a", t0).unwrap();
+        ledger.admit_at("a", t0).unwrap();
+        assert!(ledger.admit_at("a", t0).is_err(), "a's bucket is empty");
+        ledger.admit_at("b", t0).unwrap();
+        // An hour idle refills to burst (2), never beyond.
+        let t1 = t0 + Duration::from_secs(3600);
+        ledger.admit_at("a", t1).unwrap();
+        ledger.admit_at("a", t1).unwrap();
+        assert!(ledger.admit_at("a", t1).is_err(), "burst caps the refill");
+    }
+}

@@ -213,7 +213,13 @@ fn overload_sheds_typed_rejections_and_the_retry_hint_recovers() {
                 served += 1;
             }
             Err(ScanError::Overloaded { queue_limit, retry_after_ms, .. }) => {
-                assert_eq!((*queue_limit, *retry_after_ms), (1, 10), "the hint is the server's");
+                assert_eq!(*queue_limit, 1, "the hint names the server's limit");
+                // The hint scales with queue pressure: between the base
+                // (idle) and its 8x saturation cap.
+                assert!(
+                    (10..=80).contains(retry_after_ms),
+                    "hint {retry_after_ms} outside the scaled [base, 8x base] window"
+                );
                 shed.push(tenant.clone());
             }
             Err(other) => panic!("{tenant}: overload must be typed, got {other:?}"),

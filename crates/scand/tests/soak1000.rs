@@ -1,0 +1,307 @@
+//! The 1000-connection soak: a hostile tenant mix hammering one daemon.
+//!
+//! Five populations share the socket simultaneously:
+//!
+//! * **meek** — well-behaved clients that retry politely; their verdicts
+//!   must be bitwise-identical to an unloaded run and they must all be
+//!   served.
+//! * **flood** — one tenant opening hundreds of connections with the
+//!   identical request: in-flight dedup collapses the work, the token
+//!   bucket meters the rest with typed `QuotaExceeded`.
+//! * **tight** — requests carrying single-digit-millisecond deadlines:
+//!   each gets its result or a typed `DeadlineExceeded`, never a hang,
+//!   and no executor ever starts a job whose waiters all expired.
+//! * **slow** — half-open peers that write part of a frame and go
+//!   silent: the socket timeout reaps them.
+//! * **crash** — a tenant whose dynamic stage always fails (the chaos
+//!   seam): the breaker trips it to static-only degraded results.
+//!
+//! Every rejection must be typed (`Overloaded` / `QuotaExceeded` /
+//! `DeadlineExceeded`), and after the storm the connection gauge must
+//! drain to just the probe — no leaked handler threads.
+//!
+//! Ignored by default (it opens `SCAND_SOAK_CONNECTIONS` = 1000
+//! connections); CI's soak-smoke job runs it with `--ignored` in release
+//! mode. Scale down locally with e.g. `SCAND_SOAK_CONNECTIONS=100`.
+
+mod common;
+
+use common::{analyzer, shared_device, small_db, temp_path};
+use patchecko_core::error::ScanError;
+use patchecko_scand::{BreakerConfig, ScanClient, ScanServer, ServerConfig};
+use patchecko_scanhub::ScanHub;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const IO_TIMEOUT_MS: u64 = 1_500;
+
+fn soak_connections() -> usize {
+    std::env::var("SCAND_SOAK_CONNECTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+        .max(20)
+}
+
+/// Connect with retry: 1000 simultaneous connects overrun the listener
+/// backlog, and a refused connect is the OS's problem, not the daemon's.
+fn connect_retry(socket: &Path, tenant: &str) -> ScanClient {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match ScanClient::connect(socket, tenant) {
+            Ok(client) => return client,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "connect retry exhausted: {e:?}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn raw_connect_retry(socket: &Path) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(stream) => return stream,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "raw connect retry exhausted: {e}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Fate {
+    Served(String),
+    SheddedTyped,
+    Expired,
+    Reaped,
+}
+
+fn classify(tag: &str, outcome: Result<String, ScanError>) -> Fate {
+    match outcome {
+        Ok(json) => Fate::Served(json),
+        Err(ScanError::Overloaded { .. }) | Err(ScanError::QuotaExceeded { .. }) => {
+            Fate::SheddedTyped
+        }
+        Err(ScanError::DeadlineExceeded { .. }) => Fate::Expired,
+        Err(other) => panic!("{tag}: rejection must be typed, got {other:?}"),
+    }
+}
+
+#[test]
+#[ignore = "opens ~1000 connections; run explicitly or via CI soak-smoke"]
+fn thousand_connections_of_hostile_tenants_leave_meek_verdicts_untouched() {
+    let n = soak_connections();
+    // Population sizes scale with n; at the default 1000:
+    // 12 meek, ~64% flood, ~15% tight, ~8% slow, the rest crash.
+    let meek_n = 12usize.min(n / 10).max(2);
+    let flood_n = n * 64 / 100;
+    let tight_n = n * 15 / 100;
+    let slow_n = n * 8 / 100;
+    let crash_n = n - meek_n - flood_n - tight_n - slow_n;
+
+    let socket = temp_path("soak1000.sock");
+    let cfg = ServerConfig {
+        workers: 4,
+        io_timeout_ms: IO_TIMEOUT_MS,
+        tenant_quota: Some("20:10:6".parse().unwrap()),
+        breaker: BreakerConfig { threshold: 3, cooldown_ms: 1_000 },
+        fault_vm_tenants: vec!["crash".into()],
+        ..ServerConfig::new(&socket)
+    };
+    let server = ScanServer::start(
+        cfg,
+        ScanHub::new(analyzer()),
+        vec![shared_device().image.clone()],
+        small_db(),
+    )
+    .unwrap();
+
+    // ---- Unloaded reference + cache warm-up. --------------------------
+    // One quiet audit per working tenant: the meek report taken here is
+    // the bitwise reference the storm must reproduce, and warm caches
+    // keep the storm's wall-clock dominated by contention, not VM time.
+    let reference = {
+        let mut c = connect_retry(&socket, "meek");
+        serde_json::to_string(&c.audit(0).unwrap()).unwrap()
+    };
+    for tenant in ["flood", "tight", "crash"] {
+        let mut c = connect_retry(&socket, tenant);
+        c.audit(0).unwrap();
+    }
+    // The warm-up spent quota tokens; let every bucket refill to burst.
+    std::thread::sleep(Duration::from_millis(600));
+
+    // ---- The storm. ---------------------------------------------------
+    let barrier = Arc::new(Barrier::new(meek_n + flood_n + tight_n + slow_n + crash_n));
+    let fates: Vec<Fate> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..meek_n {
+            let (socket, barrier) = (&socket, Arc::clone(&barrier));
+            handles.push(s.spawn(move || {
+                barrier.wait();
+                let mut c = connect_retry(socket, "meek");
+                c.set_backoff_seed(0x5eed + i as u64);
+                let report = c.audit_with_retry(0, 200).expect("meek clients are always served");
+                Fate::Served(serde_json::to_string(&report).unwrap())
+            }));
+        }
+        for i in 0..flood_n {
+            let (socket, barrier) = (&socket, Arc::clone(&barrier));
+            handles.push(s.spawn(move || {
+                barrier.wait();
+                let mut c = connect_retry(socket, "flood");
+                let fate = classify(
+                    &format!("flood[{i}]"),
+                    c.audit(0).map(|r| serde_json::to_string(&r).unwrap()),
+                );
+                assert!(
+                    !matches!(fate, Fate::Expired),
+                    "flood[{i}] carried no deadline, expiry is impossible"
+                );
+                fate
+            }));
+        }
+        for i in 0..tight_n {
+            let (socket, barrier) = (&socket, Arc::clone(&barrier));
+            handles.push(s.spawn(move || {
+                barrier.wait();
+                let mut c = connect_retry(socket, "tight");
+                c.set_deadline_ms(Some(2 + (i % 4) as u64));
+                classify(
+                    &format!("tight[{i}]"),
+                    c.audit(0).map(|r| serde_json::to_string(&r).unwrap()),
+                )
+            }));
+        }
+        for i in 0..slow_n {
+            let (socket, barrier) = (&socket, Arc::clone(&barrier));
+            handles.push(s.spawn(move || {
+                barrier.wait();
+                // A half-open peer: a few bytes of a frame, then silence.
+                // The daemon's read timeout must reap it.
+                let mut stream = raw_connect_retry(socket);
+                let _ = stream.write_all(&[16 + (i % 8) as u8, 0, 0]);
+                std::thread::sleep(Duration::from_millis(IO_TIMEOUT_MS * 2));
+                Fate::Reaped
+            }));
+        }
+        // Varied audit shapes (plain and batch of 1..=4 copies) so the
+        // crash tenant's jobs don't all coalesce: the breaker needs
+        // *consecutive jobs*, and a single deduped job would never reach
+        // its threshold.
+        for i in 0..crash_n {
+            let (socket, barrier) = (&socket, Arc::clone(&barrier));
+            handles.push(s.spawn(move || {
+                barrier.wait();
+                let mut c = connect_retry(socket, "crash");
+                let outcome = if i % 5 == 0 {
+                    c.audit(0).map(|r| vec![r])
+                } else {
+                    c.batch_audit(&vec![0; 1 + (i % 4)])
+                };
+                match outcome {
+                    Ok(reports) => {
+                        assert!(
+                            reports
+                                .iter()
+                                .all(|r| r.findings.iter().all(|f| f.degraded)),
+                            "crash[{i}]: the chaos tenant only ever sees static-only results"
+                        );
+                        Fate::Served(String::new())
+                    }
+                    Err(e) => classify(&format!("crash[{i}]"), Err(e)),
+                }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // ---- Post-storm oracles. ------------------------------------------
+    let mut probe = connect_retry(&socket, "");
+    // The connection gauge drains to exactly the probe: every handler
+    // thread of the storm exited (clean close or reap) — none leaked.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let stats = loop {
+        let stats = probe.stats().unwrap();
+        if stats.open_connections == 1 && stats.queue_depth == 0 && stats.in_flight == 0 {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "storm never drained: {} connections, depth {}, in-flight {}",
+            stats.open_connections,
+            stats.queue_depth,
+            stats.in_flight
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // Persist the stats snapshot first: if an assertion below fails, CI
+    // uploads this file as the diagnostic artifact.
+    let stats_path = std::path::PathBuf::from(
+        std::env::var("SCAND_SOAK_STATS").unwrap_or_else(|_| "../../target/tmp/soak-stats.json".into()),
+    );
+    if let Some(dir) = stats_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&stats_path, serde_json::to_string(&stats).unwrap()).unwrap();
+
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    let mut expired = 0usize;
+    for fate in &fates {
+        match fate {
+            Fate::Served(json) => {
+                if !json.is_empty() {
+                    assert_eq!(
+                        json, &reference,
+                        "a served verdict diverged from the unloaded reference"
+                    );
+                }
+                served += 1;
+            }
+            Fate::SheddedTyped => shed += 1,
+            Fate::Expired => expired += 1,
+            Fate::Reaped => {}
+        }
+    }
+    assert!(served >= meek_n, "every meek client was served ({served} total served)");
+    assert!(shed > 0, "a {n}-connection storm against a 10-token burst must shed somebody");
+    println!(
+        "soak: {n} connections -> served {served}, typed-shed {shed}, expired {expired}, \
+         reaped {}",
+        stats.reaped_connections
+    );
+
+    assert_eq!(
+        stats.expired_at_executor, 0,
+        "no executor ever started a job whose waiters had all expired"
+    );
+    assert!(
+        stats.reaped_connections >= slow_n as u64,
+        "all {slow_n} half-open peers were reaped, saw {}",
+        stats.reaped_connections
+    );
+    let flood = &stats.tenants["flood"];
+    assert!(
+        flood.quota_rejected > 0,
+        "the flood tenant was metered: {flood:?}"
+    );
+    let crash = &stats.tenants["crash"];
+    let crash_breaker = crash.breaker.clone().expect("breaker enabled");
+    assert!(
+        crash_breaker.trips >= 1,
+        "the crash tenant tripped its breaker: {crash_breaker:?}"
+    );
+    let meek = &stats.tenants["meek"];
+    assert_eq!(meek.degraded_jobs, 0, "meek results never degraded: {meek:?}");
+
+    probe.drain().unwrap();
+    server.join();
+}

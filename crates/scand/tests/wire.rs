@@ -33,8 +33,14 @@ fn sabotaged_frames_get_typed_replies_and_never_wedge_the_daemon() {
             .unwrap();
 
     let faults = WireFaults::aggressive(FaultPlan::new(0x51de));
+    let mut held = Vec::new();
     for key in 0..64u64 {
-        let clean = encode_frame(&Request { tenant: "chaos".into(), tag: key, op: Op::Stats });
+        let clean = encode_frame(&Request {
+            tenant: "chaos".into(),
+            tag: key,
+            deadline_ms: None,
+            op: Op::Stats,
+        });
         let mut stream = UnixStream::connect(&socket).unwrap();
         stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
         match faults.apply(key, &clean) {
@@ -67,6 +73,25 @@ fn sabotaged_frames_get_typed_replies_and_never_wedge_the_daemon() {
                 stream.write_all(&clean[..after]).unwrap();
                 drop(stream);
             }
+            Sabotage::Stall { first, pause_ms, rest } => {
+                // A slow client pausing mid-frame, but inside the
+                // daemon's (default, generous) socket budget: the frame
+                // completes and is served like any clean one.
+                stream.write_all(&first).unwrap();
+                std::thread::sleep(Duration::from_millis(pause_ms));
+                stream.write_all(&rest).unwrap();
+                let response: Response = proto::recv(&mut stream)
+                    .unwrap_or_else(|e| panic!("key {key}: stalled-but-complete frame, got {e:?}"))
+                    .unwrap_or_else(|| panic!("key {key}: server closed on a stalled frame"));
+                assert_eq!(response.tag, key, "a stall delays bytes, never corrupts them");
+            }
+            Sabotage::Hold { after } => {
+                // A half-open peer: partial frame, then silence without
+                // EOF. Park the connection; the daemon's read timeout
+                // reaps it long after this test finished.
+                stream.write_all(&clean[..after]).unwrap();
+                held.push(stream);
+            }
         }
     }
 
@@ -81,6 +106,69 @@ fn sabotaged_frames_get_typed_replies_and_never_wedge_the_daemon() {
         other => panic!("queued work still flows after the storm, got {other:?}"),
     }
     client.drain().unwrap();
+    drop(held);
+    server.join();
+}
+
+#[test]
+fn socket_timeouts_reap_stalled_and_half_open_peers_without_collateral() {
+    let socket = temp_path("wire-stall.sock");
+    let cfg = ServerConfig { io_timeout_ms: 150, ..ServerConfig::new(&socket) };
+    let server =
+        ScanServer::start(cfg, ScanHub::new(tiny_analyzer()), Vec::new(), small_db()).unwrap();
+
+    let frame = encode_frame(&Request {
+        tenant: "stall".into(),
+        tag: 1,
+        deadline_ms: None,
+        op: Op::Stats,
+    });
+
+    // A peer stalling mid-frame for longer than the 150 ms socket
+    // budget: the injector picks the split point and pause; this harness
+    // only finds a seed-determined frame whose pause outlives the budget.
+    let mut stalls = WireFaults::none(FaultPlan::new(0xabad));
+    stalls.stall_in = 1;
+    stalls.max_stall_ms = 5_000;
+    let key = (0..10_000u64)
+        .find(|&k| {
+            matches!(stalls.apply(k, &frame), Sabotage::Stall { pause_ms, .. } if pause_ms > 2_000)
+        })
+        .expect("a 5s-bounded stall plan yields a >2s pause quickly");
+    let Sabotage::Stall { first, .. } = stalls.apply(key, &frame) else { unreachable!() };
+    let mut stalled = UnixStream::connect(&socket).unwrap();
+    stalled.write_all(&first).unwrap();
+
+    // A half-open peer: partial frame, then silence without EOF — the
+    // daemon never sees a hangup, only its read timeout can free the
+    // handler thread.
+    let mut half_open = WireFaults::none(FaultPlan::new(0xabad));
+    half_open.half_open_in = 1;
+    let Sabotage::Hold { after } = half_open.apply(7, &frame) else {
+        panic!("half-open must fire at 1-in-1")
+    };
+    let mut ghost = UnixStream::connect(&socket).unwrap();
+    ghost.write_all(&frame[..after]).unwrap();
+
+    // Both are reaped on the timeout, while a healthy client polling on
+    // its own connection is served throughout.
+    let mut healthy = ScanClient::connect(&socket, "healthy").unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = healthy.stats().unwrap();
+        if stats.reaped_connections >= 2 {
+            assert_eq!(stats.queue_depth, 0, "a reaped partial frame never became a job");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled/half-open peers were never reaped"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(stalled);
+    drop(ghost);
+    healthy.drain().unwrap();
     server.join();
 }
 
@@ -95,7 +183,12 @@ fn client_disconnect_mid_request_does_not_poison_the_job_or_the_daemon() {
     // the executor still runs the job, and broadcasting to the dead
     // waiter is a no-op.
     let mut stream = UnixStream::connect(&socket).unwrap();
-    let frame = encode_frame(&Request { tenant: "ghost".into(), tag: 9, op: Op::Audit { image: 0 } });
+    let frame = encode_frame(&Request {
+        tenant: "ghost".into(),
+        tag: 9,
+        deadline_ms: None,
+        op: Op::Audit { image: 0 },
+    });
     stream.write_all(&frame).unwrap();
     drop(stream);
 

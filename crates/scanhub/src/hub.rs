@@ -19,6 +19,7 @@ use crate::store::{ArtifactStore, CacheStats};
 use corpus::vulndb::{DbEntry, VulnDb};
 use fwbin::format::Binary;
 use fwbin::FirmwareImage;
+use patchecko_core::cancel::CancelToken;
 use patchecko_core::differential::DifferentialConfig;
 use patchecko_core::dynsource::DynProfileSource;
 use patchecko_core::error::ScanError;
@@ -235,9 +236,30 @@ impl ScanHub {
         basis: Basis,
         tenant: &str,
     ) -> Result<ImageAnalysis, ScanError> {
+        self.scan_image_tenant_ctl(image, entry, basis, tenant, None, &CancelToken::unbounded())
+    }
+
+    /// [`ScanHub::scan_image_tenant`] under service control: an optional
+    /// dynamic-profile source override (the scan daemon's circuit breaker
+    /// substitutes a refusing source to force static-only degradation)
+    /// and a cancellation token checked between pipeline stages.
+    ///
+    /// # Errors
+    /// [`ScanError::DeadlineExceeded`] on token expiry; otherwise as for
+    /// [`ScanHub::scan_image_tenant`].
+    pub fn scan_image_tenant_ctl(
+        &self,
+        image: &FirmwareImage,
+        entry: &DbEntry,
+        basis: Basis,
+        tenant: &str,
+        dynsrc_override: Option<Arc<dyn DynProfileSource>>,
+        cancel: &CancelToken,
+    ) -> Result<ImageAnalysis, ScanError> {
         let view = Arc::new(self.tenant_view(tenant));
-        let dynsrc = Arc::clone(&view) as Arc<dyn DynProfileSource>;
-        self.analyzer.analyze_image_with(image, entry, basis, &*view, &dynsrc)
+        let dynsrc =
+            dynsrc_override.unwrap_or_else(|| Arc::clone(&view) as Arc<dyn DynProfileSource>);
+        self.analyzer.analyze_image_ctl(image, entry, basis, &*view, &dynsrc, cancel)
     }
 
     /// [`ScanHub::audit`] through `tenant`'s cache namespace: the same
@@ -253,9 +275,41 @@ impl ScanHub {
         diff: &DifferentialConfig,
         tenant: &str,
     ) -> Result<AuditReport, ScanError> {
+        self.audit_tenant_ctl(db, image, diff, tenant, None, &CancelToken::unbounded())
+    }
+
+    /// [`ScanHub::audit_tenant`] under service control: an optional
+    /// dynamic-profile source override (circuit breaker → static-only
+    /// degraded findings) and a cancellation token checked per CVE and
+    /// between per-library stages. The tenant's *static* cache namespace
+    /// is served normally either way, so a breaker-tripped tenant still
+    /// gets warm static artifacts and its dynamic lane is left untouched
+    /// rather than poisoned.
+    ///
+    /// # Errors
+    /// [`ScanError::DeadlineExceeded`] on token expiry; otherwise as for
+    /// [`ScanHub::audit_tenant`].
+    pub fn audit_tenant_ctl(
+        &self,
+        db: &VulnDb,
+        image: &FirmwareImage,
+        diff: &DifferentialConfig,
+        tenant: &str,
+        dynsrc_override: Option<Arc<dyn DynProfileSource>>,
+        cancel: &CancelToken,
+    ) -> Result<AuditReport, ScanError> {
         let view = Arc::new(self.tenant_view(tenant));
-        let dynsrc = Arc::clone(&view) as Arc<dyn DynProfileSource>;
-        patchecko_core::eval::audit_image_with(&self.analyzer, db, image, diff, &*view, &dynsrc)
+        let dynsrc =
+            dynsrc_override.unwrap_or_else(|| Arc::clone(&view) as Arc<dyn DynProfileSource>);
+        patchecko_core::eval::audit_image_ctl(
+            &self.analyzer,
+            db,
+            image,
+            diff,
+            &*view,
+            &dynsrc,
+            cancel,
+        )
     }
 
     /// Whole-image audit against the vulnerability database through the

@@ -37,7 +37,7 @@ use patchecko::corpus::{self, dataset1::Dataset1Config};
 use patchecko::fwbin::{Binary, FirmwareImage};
 use patchecko::fwlang::pretty;
 use patchecko::neural::net::TrainConfig;
-use patchecko::scand::{ScanClient, ScanServer, ServerConfig};
+use patchecko::scand::{BreakerConfig, ScanClient, ScanServer, ServerConfig, TenantQuota};
 use patchecko::scanhub::{self, JobOutcome, JobSpec, ScanHub};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -92,8 +92,12 @@ USAGE:
                          [--basis vulnerable|patched|both] [--json FILE.json]
   patchecko serve        --model model.json --images DIR[,DIR...] --socket PATH
                          [--cache-dir DIR] [--workers N] [--queue-limit N]
-                         [--retry-after-ms N]
-  patchecko client       --socket PATH [--tenant NAME] <--stats | --drain |
+                         [--retry-after-ms N] [--io-timeout-ms N]
+                         [--tenant-quota RATE:BURST[:INFLIGHT]]
+                         [--breaker-threshold N] [--breaker-cooldown-ms N]
+                         [--checkpoint-every N]
+  patchecko client       --socket PATH [--tenant NAME] [--deadline-ms N]
+                         <--stats | --drain |
                          --audit IDX | --batch-audit IDX[,IDX...] |
                          --scan IDX --cve ID [--basis vulnerable|patched]>
 
@@ -129,7 +133,24 @@ SERVICE:
   and live per-tenant telemetry. `client` speaks its framed protocol:
   `--tenant` selects the cache namespace, `--stats` prints live service
   statistics as JSON, and `--drain` persists the caches and stops the
-  daemon gracefully."
+  daemon gracefully.
+
+  Hardening knobs (serve): `--io-timeout-ms` is the per-connection socket
+  read/write budget — stalled or half-open peers are reaped after it
+  (default 30000; 0 disables). `--tenant-quota RATE:BURST[:INFLIGHT]`
+  meters each tenant with a token bucket (RATE tokens/s, capacity BURST)
+  plus an optional in-flight job cap; rejections are typed QuotaExceeded
+  with a live retry hint. `--breaker-threshold` consecutive dynamic-stage
+  failures trip a per-tenant circuit breaker (0 disables): while open,
+  that tenant's jobs run static-only (degraded) without burning VM time,
+  and after `--breaker-cooldown-ms` one half-open probe retries real
+  dynamics. `--checkpoint-every N` persists the caches every N completed
+  jobs so a crash loses at most one checkpoint interval of warm state; a
+  restart takes over the dead daemon's stale socket automatically.
+
+  Client requests can carry `--deadline-ms`: past the deadline the daemon
+  answers with a typed DeadlineExceeded and discards the job if it has
+  not started — an executor never burns time on an expired request."
     );
 }
 
@@ -630,10 +651,30 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("--images: no image directories given".into());
     }
     let db = corpus::build_vulndb(0, 1);
+    let tenant_quota = match flags.get("tenant-quota") {
+        Some(spec) => Some(
+            spec.parse::<TenantQuota>()
+                .map_err(|e| format!("--tenant-quota: {e}"))?,
+        ),
+        None => None,
+    };
+    let defaults = BreakerConfig::default();
+    let checkpoint_every: u64 = flag_or(flags, "checkpoint-every", 0);
     let cfg = ServerConfig {
         queue_limit: flag_or(flags, "queue-limit", 64),
         workers: flag_or(flags, "workers", 4),
         retry_after_ms: flag_or(flags, "retry-after-ms", 25),
+        io_timeout_ms: flag_or(flags, "io-timeout-ms", 30_000),
+        tenant_quota,
+        breaker: BreakerConfig {
+            threshold: flag_or(flags, "breaker-threshold", defaults.threshold),
+            cooldown_ms: flag_or(flags, "breaker-cooldown-ms", defaults.cooldown_ms),
+        },
+        checkpoint_every: (checkpoint_every > 0).then_some(checkpoint_every),
+        fault_vm_tenants: flags
+            .get("fault-vm-tenants")
+            .map(|list| list.split(',').filter(|t| !t.is_empty()).map(String::from).collect())
+            .unwrap_or_default(),
         ..ServerConfig::new(flag(flags, "socket")?)
     };
     eprintln!(
@@ -663,6 +704,11 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
     let tenant = flags.get("tenant").map(String::as_str).unwrap_or("");
     let mut client = ScanClient::connect(socket, tenant)
         .map_err(|e| format!("connect {socket}: {e}"))?;
+    if let Some(ms) = flags.get("deadline-ms") {
+        let ms: u64 =
+            ms.parse().map_err(|_| format!("--deadline-ms: not a millisecond count: {ms}"))?;
+        client.set_deadline_ms(Some(ms));
+    }
     if flags.contains_key("stats") {
         let stats = client.stats().map_err(|e| e.to_string())?;
         println!("{}", serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?);
