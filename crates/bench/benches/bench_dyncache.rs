@@ -11,13 +11,16 @@
 
 use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use corpus::dataset1::Dataset1Config;
 use corpus::vulndb::VulnDb;
 use neural::net::TrainConfig;
 use patchecko_core::detector::{self, Detector, DetectorConfig};
 use patchecko_core::differential::DifferentialConfig;
-use patchecko_core::pipeline::{Patchecko, PipelineConfig};
+use patchecko_core::pipeline::{live_profiling, Patchecko, PipelineConfig, StaticScan};
 use patchecko_scanhub::ScanHub;
+use vm::loader::LoadedBinary;
+use vm::trace::DynFeatures;
 
 fn small_detector() -> Detector {
     let ds = corpus::build_dataset1(&Dataset1Config {
@@ -89,6 +92,73 @@ fn bench_dyncache(c: &mut Criterion) {
     // Warm: the steady state — cache lookups plus the NN forward pass.
     c.bench_function("dyncache/audit_warm", |b| {
         b.iter(|| black_box(warm_hub.audit(&db, image, &diff).unwrap()))
+    });
+
+    bench_dyn_stage(c, &detector, &device);
+}
+
+/// Dynamic-stage isolation: the engine-rework headline. Both engines run
+/// the identical cold dynamic stage — environment fuzzing, reference
+/// profiling, candidate validation + profiling — against the same target/
+/// reference pair and the production fuzz budget. Bitwise profile identity
+/// is asserted here, before any timing, so the recorded speedup is between
+/// two provably equivalent implementations.
+fn bench_dyn_stage(c: &mut Criterion, detector: &Detector, device: &corpus::device::DeviceBuild) {
+    let full_db = corpus::build_vulndb(0, 1);
+    let entry = full_db.get("CVE-2018-9412").unwrap();
+    let truth = device.truth_for("CVE-2018-9412").unwrap();
+    let bin = device.image.binary(&truth.library).unwrap();
+    let target = Arc::new(LoadedBinary::load(bin.clone()).unwrap());
+    let reference = Arc::new(LoadedBinary::load(entry.vulnerable_bin.clone()).unwrap());
+    let n = target.function_count();
+    let scan = StaticScan {
+        library: truth.library.clone(),
+        total: n,
+        probs: vec![0.5; n],
+        candidates: (0..n).collect(),
+        best_ref: vec![0; n],
+        seconds: 0.0,
+    };
+    let pipeline_for = |engine: vm::Engine| {
+        let cfg = PipelineConfig {
+            fuzz: vm::FuzzConfig { rounds: 1500, num_envs: 10, ..vm::FuzzConfig::default() },
+            vm: vm::VmConfig { engine, ..vm::VmConfig::default() },
+            ..PipelineConfig::default()
+        };
+        Patchecko::new(detector.clone(), cfg)
+    };
+    let fast = pipeline_for(vm::Engine::Fast);
+    let interp = pipeline_for(vm::Engine::Interp);
+    let dynsrc = live_profiling();
+
+    // Correctness gate before any timing: both engines must produce
+    // bitwise-identical dynamic analyses (floats compared by bit pattern).
+    let a = fast.dynamic_stage(&target, &scan, &reference, &dynsrc);
+    let b = interp.dynamic_stage(&target, &scan, &reference, &dynsrc);
+    let bits = |fs: &[DynFeatures]| -> Vec<Vec<u64>> {
+        fs.iter().map(|f| f.0.iter().map(|x| x.to_bits()).collect()).collect()
+    };
+    assert_eq!(a.envs, b.envs, "engines must fuzz identical environment sets");
+    assert_eq!(a.validated, b.validated, "engines must validate identical candidate sets");
+    assert_eq!(
+        bits(&a.reference_profile),
+        bits(&b.reference_profile),
+        "engines must produce bitwise-identical reference profiles"
+    );
+    for ((ca, fa), (cb, fb)) in a.profiles.iter().zip(&b.profiles) {
+        assert_eq!((ca, bits(fa)), (cb, bits(fb)), "engines must produce bitwise-identical profiles");
+    }
+    assert_eq!(
+        a.ranking.iter().map(|r| (r.function_index, r.distance.to_bits())).collect::<Vec<_>>(),
+        b.ranking.iter().map(|r| (r.function_index, r.distance.to_bits())).collect::<Vec<_>>(),
+        "engines must produce bitwise-identical rankings"
+    );
+
+    c.bench_function("dyncache/dyn_stage_cold_interp", |b| {
+        b.iter(|| black_box(interp.dynamic_stage(&target, &scan, &reference, &dynsrc)))
+    });
+    c.bench_function("dyncache/dyn_stage_cold_fast", |b| {
+        b.iter(|| black_box(fast.dynamic_stage(&target, &scan, &reference, &dynsrc)))
     });
 }
 

@@ -46,7 +46,10 @@ impl std::fmt::Display for Basis {
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
-    /// Interpreter limits.
+    /// VM limits and engine choice (`vm.engine`): the fast engine is the
+    /// default; `Engine::Interp` selects the reference interpreter for
+    /// differential testing. Both produce bitwise-identical profiles, so
+    /// the choice never perturbs cache keys or rankings.
     pub vm: VmConfig,
     /// Fuzzer settings (execution-environment generation).
     pub fuzz: FuzzConfig,
@@ -1018,6 +1021,46 @@ mod tests {
         for (t, run) in &runs[1..] {
             assert_dynamic_bitwise_eq(serial, run, &format!("threads 1 vs {t}"));
         }
+    }
+
+    /// The engine knob must be invisible in results: a full `dynamic_stage`
+    /// under the fast engine (env generation, survival filtering, candidate
+    /// profiling, ranking) is bitwise-identical to the same stage under the
+    /// reference interpreter.
+    #[test]
+    fn dynamic_stage_identical_across_engines() {
+        let db = corpus::build_vulndb(0, 1);
+        let entry = db.get("CVE-2018-9412").unwrap();
+        let cat = corpus::full_catalog();
+        let device = corpus::build_device(&corpus::android_things_spec(), &cat, 0.05);
+        let truth = device.truth_for("CVE-2018-9412").unwrap();
+        let bin = device.image.binary(&truth.library).unwrap();
+        let target = Arc::new(LoadedBinary::load(bin.clone()).unwrap());
+        let reference = Arc::new(LoadedBinary::load(entry.vulnerable_bin.clone()).unwrap());
+        let n = target.function_count();
+        let scan = StaticScan {
+            library: truth.library.clone(),
+            total: n,
+            probs: vec![0.5; n],
+            candidates: (0..n).collect(),
+            best_ref: vec![0; n],
+            seconds: 0.0,
+        };
+        let runs: Vec<(vm::Engine, DynamicAnalysis)> = [vm::Engine::Fast, vm::Engine::Interp]
+            .into_iter()
+            .map(|engine| {
+                let cfg = PipelineConfig {
+                    vm: VmConfig { engine, ..VmConfig::default() },
+                    ..PipelineConfig::default()
+                };
+                let patchecko = Patchecko::new(quick_detector(), cfg);
+                (engine, patchecko.dynamic_stage(&target, &scan, &reference, &live_profiling()))
+            })
+            .collect();
+        let (_, fast) = &runs[0];
+        assert_eq!(fast.confidence, Confidence::Full);
+        assert!(!fast.validated.is_empty(), "fixture must validate at least one candidate");
+        assert_dynamic_bitwise_eq(fast, &runs[1].1, "engine fast vs interp");
     }
 
     /// Same invariance on the degraded/fallback branch: an out-of-range

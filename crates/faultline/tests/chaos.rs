@@ -385,6 +385,42 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Engine chaos case through the VM seam: the dynamic lane is
+    /// populated under the fast engine, sabotaged on disk, and the
+    /// live-execution fallback re-runs under the reference *interpreter*.
+    /// Results must still match the fast cold pass bit for bit: cached
+    /// profiles are engine-invariant (the engine is deliberately not part
+    /// of any cache key), so a mixed pass — some entries served from the
+    /// surviving cache, some re-executed live by the other engine — is
+    /// indistinguishable from a homogeneous one.
+    #[test]
+    fn dyn_cache_fallback_is_engine_invariant(seed in seeds()) {
+        let plan = FaultPlan::new(seed);
+        let fault = DiskFault::chosen(&plan, seed ^ 0xE491);
+        log_case("dyn_cache_engine", &format!("seed {seed}: {fault:?} on dynamic lane"));
+        let dir = std::env::temp_dir()
+            .join(format!("faultline-dyneng-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let lb = vm::LoadedBinary::load(compile(seed)).unwrap();
+        let fuzz = small_fuzz();
+        let fast_cfg = vm::VmConfig { engine: vm::Engine::Fast, ..vm::VmConfig::default() };
+        let interp_cfg = vm::VmConfig { engine: vm::Engine::Interp, ..vm::VmConfig::default() };
+        let store = ArtifactStore::new();
+        let cold_fast = dyn_pass_bits(&store, &lb, &fuzz, &fast_cfg);
+        store.save(&dir).unwrap();
+
+        let what = disk::sabotage_lane(&dir, CacheLane::Dynamic, fault, &plan).unwrap();
+        let reloaded = ArtifactStore::load(&dir).unwrap();
+        prop_assert!(reloaded.stats().dyn_quarantined >= 1,
+            "dynamic-lane sabotage ({what}) must be noticed and quarantined");
+        let warm_interp = dyn_pass_bits(&reloaded, &lb, &fuzz, &interp_cfg);
+        prop_assert_eq!(&warm_interp, &cold_fast,
+            "interpreter fallback after sabotage ({what}) must match the fast-engine \
+             cold pass bit for bit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Invariant 4, second half: after the fallback pass repaired the lane
     /// in memory, the next save writes a clean document — a third process
     /// loads zero quarantines and serves everything from cache (no live

@@ -30,7 +30,16 @@ use vm::fuzz::FuzzConfig;
 /// environment sets and dynamic profiles, see `crate::dynstore`); v2
 /// static caches are discarded on load rather than mixed with
 /// dynamic-lane entries keyed under a different version.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: VM correctness fixes change cached dynamic profiles — `LoadStr`
+/// with an out-of-range string id and `FBin` with an integer-only
+/// operator now fault (`BadString`/`BadFloatOp`) instead of silently
+/// producing offset-0 / `0.0` — and env-set generation became
+/// edge-coverage-guided, so cached environment sets shrink. v3 dynamic
+/// entries would replay the old semantics; discard them. (The engine
+/// choice itself is deliberately NOT keyed: both engines produce
+/// bitwise-identical profiles.)
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// A 128-bit content hash naming one function's cached artifacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -7,15 +7,19 @@
 //! env) pair — re-materializes the argument values and re-resolves the
 //! global-override table on every call. [`EnvPool`] prepares each
 //! environment once ([`ExecEnv::arg_values`] + globals resolution), then
-//! every run clones the prepared snapshot into a fresh interpreter: the
-//! VM state (heap, trace, globals) is reset to the snapshot between runs,
-//! so executions stay bitwise-independent while the per-run setup cost is
-//! a pair of memcpys.
+//! under the fast engine keeps ONE reusable [`FastVm`] whose dirty-tracked
+//! reset restores only what the previous run touched — consecutive runs of
+//! the same environment skip even the snapshot install. Under
+//! [`Engine::Interp`] every run clones the prepared snapshot into a fresh
+//! interpreter. Either way executions stay bitwise-independent and
+//! bitwise-identical across engines.
 
+use crate::engine::FastVm;
 use crate::env::ExecEnv;
-use crate::exec::{resolve_globals, Vm, VmConfig};
+use crate::exec::{resolve_globals, Engine, Vm, VmConfig};
 use crate::loader::{LoadedBinary, RunResult};
 use crate::value::Value;
+use parking_lot::Mutex;
 
 /// One prepared environment: raw input bytes, materialized argument
 /// values, and the fully-resolved global table (initializers + overrides).
@@ -35,6 +39,10 @@ pub struct EnvPool<'a> {
     binary: &'a LoadedBinary,
     cfg: VmConfig,
     snapshots: Vec<EnvSnapshot>,
+    /// The pool's reusable fast VM (`None` under [`Engine::Interp`]).
+    /// A `Mutex` keeps `run(&self)` callable while the VM mutates; the
+    /// dynamic stage runs candidates sequentially, so it is uncontended.
+    fast: Option<Mutex<FastVm<'a>>>,
 }
 
 impl<'a> EnvPool<'a> {
@@ -49,7 +57,11 @@ impl<'a> EnvPool<'a> {
                 globals: resolve_globals(&image, &e.global_overrides),
             })
             .collect();
-        EnvPool { binary, cfg: cfg.clone(), snapshots }
+        let fast = match cfg.engine {
+            Engine::Fast => Some(Mutex::new(FastVm::new(binary, cfg))),
+            Engine::Interp => None,
+        };
+        EnvPool { binary, cfg: cfg.clone(), snapshots, fast }
     }
 
     /// Number of prepared environments.
@@ -74,8 +86,23 @@ impl<'a> EnvPool<'a> {
             "function index {func} out of range (table holds {})",
             self.binary.function_count()
         );
-        let image = self.binary.image();
+        assert!(
+            env_idx < self.snapshots.len(),
+            "environment index {env_idx} out of range (pool holds {})",
+            self.snapshots.len()
+        );
         let snap = &self.snapshots[env_idx];
+        if let Some(fast) = &self.fast {
+            let mut vm = fast.lock();
+            // Re-install only when switching environments; same-env runs
+            // rely purely on the dirty-tracked reset.
+            if vm.env_token != env_idx as u64 {
+                vm.set_env_prepared(&snap.input, &snap.args, &snap.globals);
+                vm.env_token = env_idx as u64;
+            }
+            return vm.run(func);
+        }
+        let image = self.binary.image();
         let mut vm = Vm::with_globals(&image, &self.cfg, snap.input.clone(), snap.globals.clone());
         let outcome = vm.run(func, snap.args.clone());
         let features = vm.trace().features();
@@ -151,5 +178,59 @@ mod tests {
         let loaded = loaded();
         let pool = EnvPool::new(&loaded, &[ExecEnv::for_buffer(vec![1], &[0])], &VmConfig::default());
         pool.run(loaded.function_count() + 3, 0);
+    }
+
+    /// Pins the exact panic messages of both `run` contracts: the `func`
+    /// message matches `LoadedBinary::run_any` verbatim, and `env_idx` gets
+    /// a typed message instead of a bare slice-index panic.
+    #[test]
+    fn out_of_range_panic_messages_are_pinned() {
+        let loaded = loaded();
+        let n = loaded.function_count();
+        let pool =
+            EnvPool::new(&loaded, &[ExecEnv::for_buffer(vec![1], &[0])], &VmConfig::default());
+        let func_msg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(n + 3, 0);
+        }))
+        .expect_err("bad func must panic");
+        let func_msg = func_msg.downcast_ref::<String>().expect("string panic payload");
+        assert_eq!(*func_msg, format!("function index {} out of range (table holds {n})", n + 3));
+        let env_msg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(0, 7);
+        }))
+        .expect_err("bad env_idx must panic");
+        let env_msg = env_msg.downcast_ref::<String>().expect("string panic payload");
+        assert_eq!(*env_msg, "environment index 7 out of range (pool holds 1)");
+    }
+
+    /// The fast path's env-token caching must not leak state between
+    /// environments or between candidates sharing an environment.
+    #[test]
+    fn interleaved_envs_and_funcs_stay_bitwise_stable() {
+        let loaded = loaded();
+        let cfg = VmConfig::default();
+        let envs = vec![
+            ExecEnv::for_buffer(vec![5; 10], &[0]),
+            ExecEnv::for_buffer(vec![250, 0, 3, 9], &[0]),
+        ];
+        let pool = EnvPool::new(&loaded, &envs, &cfg);
+        let baseline: Vec<Vec<RunResult>> =
+            (0..loaded.function_count()).map(|f| pool.run_all(f)).collect();
+        // Interleave (func, env) pairs in a scrambled order; every result
+        // must still match the baseline bit for bit.
+        for round in 0..3 {
+            for f in (0..loaded.function_count()).rev() {
+                for e in 0..envs.len() {
+                    let r = pool.run(f, (e + round) % envs.len());
+                    let b = &baseline[f][(e + round) % envs.len()];
+                    assert_eq!(r.outcome, b.outcome);
+                    assert_eq!(
+                        r.features.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        b.features.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                    );
+                    assert_eq!(r.coverage, b.coverage);
+                }
+            }
+        }
     }
 }

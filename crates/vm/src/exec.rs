@@ -14,6 +14,35 @@ use crate::value::{Addr, Region, Value};
 use fwbin::isa::{BinOp, Cond, Inst};
 use serde::{Deserialize, Serialize};
 
+/// Which engine executes runs.
+///
+/// Both engines produce bitwise-identical [`crate::loader::RunResult`]s
+/// (outcome, all 21 features, coverage) and edge sets; the fast engine is
+/// the default, the interpreter stays available for differential testing
+/// (see DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Engine {
+    /// Pre-lowered fast engine: indexed dispatch over unpacked operands,
+    /// dense PC-count tracing, dirty-tracked snapshot resets
+    /// ([`crate::engine::FastVm`]).
+    #[default]
+    Fast,
+    /// The reference decode-per-step interpreter ([`Vm`]).
+    Interp,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "fast" => Ok(Engine::Fast),
+            "interp" | "interpreter" => Ok(Engine::Interp),
+            other => Err(format!("unknown engine `{other}` (expected `fast` or `interp`)")),
+        }
+    }
+}
+
 /// Interpreter limits.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VmConfig {
@@ -23,11 +52,20 @@ pub struct VmConfig {
     pub max_depth: usize,
     /// Heap byte budget for `malloc`.
     pub heap_limit: usize,
+    /// Which execution engine runs functions. Not part of cache keys or
+    /// environment fingerprints: both engines produce identical profiles.
+    #[serde(default)]
+    pub engine: Engine,
 }
 
 impl Default for VmConfig {
     fn default() -> VmConfig {
-        VmConfig { max_instructions: 200_000, max_depth: 64, heap_limit: 1 << 20 }
+        VmConfig {
+            max_instructions: 200_000,
+            max_depth: 64,
+            heap_limit: 1 << 20,
+            engine: Engine::default(),
+        }
     }
 }
 
@@ -56,6 +94,11 @@ pub enum Fault {
     BadSlot,
     /// Jump outside the function body.
     BadJump,
+    /// `LoadStr` with a string id outside the binary's string table.
+    BadString,
+    /// `FBin` with an operator that has no float semantics (an
+    /// integer-only operator reaching the float unit).
+    BadFloatOp,
 }
 
 /// Result of running a function.
@@ -140,6 +183,9 @@ impl Heap {
 struct Frame {
     func: u32,
     pc: u32,
+    /// Previous executed pc within this frame (`u32::MAX` = none yet);
+    /// source end of the next recorded control-flow edge.
+    prev_pc: u32,
     regs: [Value; 64],
     slots: Vec<Value>,
     stack: Vec<Value>,
@@ -154,6 +200,7 @@ impl Frame {
         Frame {
             func,
             pc: 0,
+            prev_pc: u32::MAX,
             regs: [Value::Int(0); 64],
             slots: vec![Value::Int(0); slots as usize],
             stack: Vec::new(),
@@ -178,7 +225,7 @@ pub struct Vm<'a> {
     last_ret: Value,
 }
 
-fn eval_cond(cond: Cond, a: Value, b: Value) -> bool {
+pub(crate) fn eval_cond(cond: Cond, a: Value, b: Value) -> bool {
     let ord = if matches!(a, Value::Float(_)) || matches!(b, Value::Float(_)) {
         a.as_float().partial_cmp(&b.as_float())
     } else {
@@ -197,7 +244,7 @@ fn eval_cond(cond: Cond, a: Value, b: Value) -> bool {
     }
 }
 
-fn int_binop(op: BinOp, a: Value, b: Value) -> Result<Value, Fault> {
+pub(crate) fn int_binop(op: BinOp, a: Value, b: Value) -> Result<Value, Fault> {
     // Pointer arithmetic: ptr ± int stays a pointer; ptr - ptr is an int.
     if let (Value::Ptr(pa), Value::Ptr(pb)) = (a, b) {
         if op == BinOp::Sub {
@@ -229,7 +276,7 @@ fn int_binop(op: BinOp, a: Value, b: Value) -> Result<Value, Fault> {
 /// `run_any`/`run_export`, the fuzzer, and [`crate::envpool::EnvPool`] —
 /// so a warm cache-served audit can prove "zero VM executions" by reading
 /// `vm.executions` from the global scope registry.
-fn executions_counter() -> &'static scope::Counter {
+pub(crate) fn executions_counter() -> &'static scope::Counter {
     static COUNTER: std::sync::OnceLock<scope::Counter> = std::sync::OnceLock::new();
     COUNTER.get_or_init(|| scope::global().counter("vm.executions"))
 }
@@ -380,6 +427,13 @@ impl<'a> Vm<'a> {
     }
 
     fn write_bulk(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), Fault> {
+        // A zero-length write touches nothing: `check_range` skips bounds
+        // checks for len 0, so reaching the per-region arms with an
+        // arbitrary address could fault (or panic on a wild Anon offset)
+        // for a write that C semantics say is a no-op.
+        if bytes.is_empty() {
+            return Ok(());
+        }
         self.trace.record_accesses(addr.region, bytes.len() as u64);
         match addr.region {
             Region::Anon => {
@@ -534,6 +588,10 @@ impl<'a> Vm<'a> {
                 is_load,
                 is_store,
             );
+            if frame.prev_pc != u32::MAX {
+                self.trace.record_edge(frame.func, frame.prev_pc, frame.pc);
+            }
+            frame.prev_pc = frame.pc;
             let mut next_pc = frame.pc + 1;
             macro_rules! fault {
                 ($e:expr) => {
@@ -549,12 +607,13 @@ impl<'a> Vm<'a> {
                 Inst::FMovImm { rd, imm } => frame.regs[rd.0 as usize] = Value::Float(imm),
                 Inst::Mov { rd, rs } => frame.regs[rd.0 as usize] = frame.regs[rs.0 as usize],
                 Inst::LoadStr { rd, sid } => {
-                    let off = self
+                    // An out-of-range string id is container corruption: it
+                    // must fault, not silently alias string 0.
+                    let off = *fault!(self
                         .image
                         .string_offsets
                         .get(sid as usize)
-                        .copied()
-                        .unwrap_or(0);
+                        .ok_or(Fault::BadString));
                     frame.regs[rd.0 as usize] = Value::Ptr(Addr { region: Region::Lib, offset: off });
                 }
                 Inst::LoadGlobal { rd, gid } => {
@@ -585,7 +644,12 @@ impl<'a> Vm<'a> {
                 Inst::FBin { op, rd, rs1, rs2 } => {
                     let a = frame.regs[rs1.0 as usize].as_float();
                     let b = frame.regs[rs2.0 as usize].as_float();
-                    let v = fwbin::astopt::eval_float_binop(op, a, b).unwrap_or(0.0);
+                    // `eval_float_binop` is `None` only for integer-only
+                    // operators; that is a malformed instruction stream and
+                    // must fault instead of silently producing 0.0.
+                    // (Float div-by-zero keeps IEEE semantics: ±inf/NaN.)
+                    let v = fault!(fwbin::astopt::eval_float_binop(op, a, b)
+                        .ok_or(Fault::BadFloatOp));
                     frame.regs[rd.0 as usize] = Value::Float(v);
                 }
                 Inst::FMulAdd { rd, rs1, rs2, rs3 } => {

@@ -4,12 +4,18 @@
 //!
 //! The fuzzer mutates the input byte buffer of a `(buf, len, ...)`
 //! environment, keeps mutants that increase block coverage of the *target*
-//! (CVE) function, and finally emits K diverse execution environments that
-//! are then replayed against every candidate function.
+//! (CVE) function or execute control-flow edges no earlier input reached,
+//! and finally emits up to K execution environments selected greedily by
+//! edge coverage — an environment earns its slot only by adding edges the
+//! already-kept set misses, so redundant environments are dropped instead
+//! of padding the set. The emitted environments are then replayed against
+//! every candidate function.
 
+use crate::engine::Session;
 use crate::env::ExecEnv;
 use crate::exec::VmConfig;
 use crate::loader::LoadedBinary;
+use crate::trace::EDGE_MAP_SIZE;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,45 +96,83 @@ fn mutate(rng: &mut SmallRng, base: &[u8], max_len: usize) -> Vec<u8> {
     out
 }
 
-/// Fuzz `func` of `target`, returning `num_envs` coverage-diverse execution
-/// environments. The returned environments are deterministic in the seed.
+/// Fuzz `func` of `target`, returning up to `num_envs` coverage-diverse
+/// execution environments (fewer when additional environments would add no
+/// unexecuted control-flow edges). The returned environments are
+/// deterministic in the seed and identical across engines — both engines
+/// report the same coverage and edge sets.
+///
+/// # Panics
+/// Panics if `func` is out of range — same contract (and same message) as
+/// [`LoadedBinary::run_any`].
 pub fn fuzz_function(
     target: &LoadedBinary,
     func: usize,
     cfg: &FuzzConfig,
     vm_cfg: &VmConfig,
 ) -> Vec<ExecEnv> {
+    assert!(
+        func < target.function_count(),
+        "function index {func} out of range (table holds {})",
+        target.function_count()
+    );
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    // Corpus entries: (input, coverage achieved).
-    let mut corpus: Vec<(Vec<u8>, u64)> = Vec::new();
+    let mut session = Session::new(target, vm_cfg);
+    // Corpus entries: (input, coverage achieved, edges executed).
+    let mut corpus: Vec<(Vec<u8>, u64, Vec<u32>)> = Vec::new();
+    // Edge buckets any run has executed — direct-indexed, so the per-round
+    // novelty scan costs one load per edge instead of a hash lookup.
+    let mut seen_edges = vec![false; EDGE_MAP_SIZE].into_boxed_slice();
     for s in seed_inputs(cfg.max_len) {
         let env = ExecEnv::for_buffer(s.clone(), &cfg.extra_args);
-        let r = target.run_any(func, &env, vm_cfg);
-        corpus.push((s, r.coverage));
+        let (r, edges) = session.run_env(func, &env);
+        for &e in &edges {
+            seen_edges[e as usize] = true;
+        }
+        corpus.push((s, r.coverage, edges));
     }
-    let mut best = corpus.iter().map(|(_, c)| *c).max().unwrap_or(0);
+    let mut best = corpus.iter().map(|(_, c, _)| *c).max().unwrap_or(0);
     for _ in 0..cfg.rounds {
-        let base = &corpus[rng.gen_range(0..corpus.len())].0.clone();
-        let mutant = mutate(&mut rng, base, cfg.max_len);
+        let bi = rng.gen_range(0..corpus.len());
+        let mutant = mutate(&mut rng, &corpus[bi].0, cfg.max_len);
         let env = ExecEnv::for_buffer(mutant.clone(), &cfg.extra_args);
-        let r = target.run_any(func, &env, vm_cfg);
-        // Keep coverage-increasing inputs, plus occasionally any normal
-        // terminator to maintain diversity.
+        let (r, edges) = session.run_env(func, &env);
+        let novel = edges.iter().any(|&e| !seen_edges[e as usize]);
+        if novel {
+            for &e in &edges {
+                seen_edges[e as usize] = true;
+            }
+        }
+        // Keep coverage-increasing inputs, inputs reaching new edges, plus
+        // occasionally any normal terminator to maintain diversity.
         if r.coverage > best {
             best = r.coverage;
-            corpus.push((mutant, r.coverage));
-        } else if r.outcome.is_ok() && corpus.len() < 32 && r.coverage + 2 >= best {
-            corpus.push((mutant, r.coverage));
+            corpus.push((mutant, r.coverage, edges));
+        } else if (novel && corpus.len() < 64)
+            || (r.outcome.is_ok() && corpus.len() < 32 && r.coverage + 2 >= best)
+        {
+            corpus.push((mutant, r.coverage, edges));
         }
     }
-    // Emit the most-covering distinct inputs.
+    // Rank the most-covering distinct inputs, then keep only environments
+    // that execute edges the already-kept set misses: redundant runs add
+    // dynamic-stage cost without adding discrimination.
     corpus.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.len().cmp(&b.0.len())));
     corpus.dedup_by(|a, b| a.0 == b.0);
-    corpus
-        .into_iter()
-        .take(cfg.num_envs)
-        .map(|(input, _)| ExecEnv::for_buffer(input, &cfg.extra_args))
-        .collect()
+    let mut kept: Vec<ExecEnv> = Vec::new();
+    let mut covered = vec![false; EDGE_MAP_SIZE].into_boxed_slice();
+    for (input, _, edges) in corpus {
+        if kept.len() == cfg.num_envs {
+            break;
+        }
+        if kept.is_empty() || edges.iter().any(|&e| !covered[e as usize]) {
+            for &e in &edges {
+                covered[e as usize] = true;
+            }
+            kept.push(ExecEnv::for_buffer(input, &cfg.extra_args));
+        }
+    }
+    kept
 }
 
 #[cfg(test)]
@@ -187,7 +231,13 @@ mod tests {
         let bin = fwbin::compile_library(&branchy_library(), Arch::Arm64, OptLevel::O2).unwrap();
         let lb = crate::loader::LoadedBinary::load(bin).unwrap();
         let envs = fuzz_function(&lb, 0, &FuzzConfig::default(), &VmConfig::default());
-        assert_eq!(envs.len(), 5);
+        // Edge-guided selection may emit fewer than `num_envs` when extra
+        // environments would add no new edges — never more, never zero.
+        assert!(
+            !envs.is_empty() && envs.len() <= 5,
+            "expected 1..=5 environments, got {}",
+            envs.len()
+        );
         // All distinct inputs.
         for i in 0..envs.len() {
             for j in i + 1..envs.len() {

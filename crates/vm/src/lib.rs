@@ -6,8 +6,11 @@
 //!
 //! * [`loader`] — `dlopen`/`dlsym`/LIEF analogs: load a binary once, run
 //!   any single function without "spawning the entire binary";
-//! * [`exec`] — the interpreter with faults (crash pruning), instruction
-//!   budgets (infinite-loop guard), and full tracing;
+//! * [`exec`] — the reference interpreter with faults (crash pruning),
+//!   instruction budgets (infinite-loop guard), and full tracing;
+//! * [`engine`] — the fast engine: pre-lowered indexed dispatch, dense
+//!   tracing, dirty-tracked snapshot resets; bitwise-identical profiles
+//!   to the interpreter (DESIGN.md §15);
 //! * [`trace`] — the 21 Table II dynamic features;
 //! * [`env`] — fixed execution environments (input + args + globals);
 //! * [`fuzz`] — coverage-guided input generation (LibFuzzer analog);
@@ -37,17 +40,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod env;
 pub mod envpool;
 pub mod exec;
 pub mod fuzz;
 pub mod loader;
+pub(crate) mod lowered;
 pub mod trace;
 pub mod value;
 
+pub use engine::FastVm;
 pub use env::{ArgSpec, ExecEnv};
 pub use envpool::EnvPool;
-pub use exec::{Fault, Outcome, VmConfig};
+pub use exec::{Engine, Fault, Outcome, VmConfig};
 pub use fuzz::{fuzz_function, FuzzConfig};
 pub use loader::{LoadError, LoadedBinary, RunResult};
 pub use trace::{DynFeatures, Trace, DYN_FEATURE_NAMES, NUM_DYN_FEATURES};

@@ -11,8 +11,10 @@
 //! escape hatch that runs a function by table index regardless of export
 //! status.
 
+use crate::engine::FastVm;
 use crate::env::ExecEnv;
-use crate::exec::{ExecImage, Outcome, Vm, VmConfig};
+use crate::exec::{Engine, ExecImage, Outcome, Vm, VmConfig};
+use crate::lowered::{lower, LoweredBinary};
 use crate::trace::DynFeatures;
 use fwbin::encode::DecodeError;
 use fwbin::format::{Binary, FormatError};
@@ -86,6 +88,9 @@ pub struct LoadedBinary {
     frame_slots: Vec<u32>,
     strings_blob: Vec<u8>,
     string_offsets: Vec<i64>,
+    /// Pre-lowered indexed-dispatch form for the fast engine, computed
+    /// once here so every run skips decoding and classification.
+    lowered: LoweredBinary,
 }
 
 /// Result of a single function execution.
@@ -127,7 +132,8 @@ impl LoadedBinary {
             strings_blob.extend_from_slice(s.as_bytes());
             strings_blob.push(0);
         }
-        Ok(LoadedBinary { binary, code, frame_slots, strings_blob, string_offsets })
+        let lowered = lower(&code, &frame_slots, &binary.imports, &string_offsets);
+        Ok(LoadedBinary { binary, code, frame_slots, strings_blob, string_offsets, lowered })
     }
 
     /// Parse an FWB wire container and load it — the full `dlopen`-from-
@@ -169,6 +175,14 @@ impl LoadedBinary {
             .position(|f| f.exported && f.name.as_deref() == Some(name))
     }
 
+    pub(crate) fn lowered(&self) -> &LoweredBinary {
+        &self.lowered
+    }
+
+    pub(crate) fn strings_blob(&self) -> &[u8] {
+        &self.strings_blob
+    }
+
     pub(crate) fn image(&self) -> ExecImage<'_> {
         ExecImage {
             code: &self.code,
@@ -193,12 +207,21 @@ impl LoadedBinary {
             "function index {func} out of range (table holds {})",
             self.code.len()
         );
-        let image = self.image();
-        let mut vm = Vm::new(&image, cfg, env.input.clone(), &env.global_overrides);
-        let outcome = vm.run(func, env.arg_values());
-        let features = vm.trace().features();
-        let coverage = vm.trace().unique_count();
-        RunResult { outcome, features, coverage }
+        match cfg.engine {
+            Engine::Fast => {
+                let mut vm = FastVm::new(self, cfg);
+                vm.set_env(&env.input, &env.arg_values(), &env.global_overrides);
+                vm.run(func)
+            }
+            Engine::Interp => {
+                let image = self.image();
+                let mut vm = Vm::new(&image, cfg, env.input.clone(), &env.global_overrides);
+                let outcome = vm.run(func, env.arg_values());
+                let features = vm.trace().features();
+                let coverage = vm.trace().unique_count();
+                RunResult { outcome, features, coverage }
+            }
+        }
     }
 
     /// [`LoadedBinary::run_any`] for untrusted indices: a bad index comes

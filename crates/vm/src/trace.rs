@@ -7,7 +7,23 @@
 
 use crate::value::Region;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// Size of the AFL-style edge bucket space (2^16). Both engines hash edges
+/// into this same space, so their edge sets match — collisions and all.
+pub(crate) const EDGE_MAP_SIZE: usize = 1 << 16;
+
+/// Deterministic bucket index of the control-flow edge `(func, from, to)`
+/// — two consecutively executed pcs of one frame. Shared verbatim by the
+/// interpreter tracer and the fast engine so coverage signals agree. A
+/// single multiplicative mix (Fibonacci hashing on the packed fields)
+/// keeps this cheap enough for once-per-instruction use; the high bits of
+/// the product are well distributed for the 2^16-bucket space.
+pub(crate) fn edge_index(func: u32, from: u32, to: u32) -> u32 {
+    let x = ((func as u64) << 42) ^ ((from as u64) << 21) ^ to as u64;
+    let h = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (h >> 48) as u32 & (EDGE_MAP_SIZE as u32 - 1)
+}
 
 /// Number of dynamic features (Table II).
 pub const NUM_DYN_FEATURES: usize = 21;
@@ -78,6 +94,9 @@ pub struct Trace {
     arith_freq: HashMap<(u32, u32), u64>,
     /// F15–F19 region access counts.
     region_access: [u64; 5],
+    /// Distinct control-flow edges executed (fuzzer coverage signal; not
+    /// one of the 21 features).
+    edges: HashSet<u32>,
     /// F20.
     pub library_calls: u64,
     /// F21.
@@ -134,6 +153,25 @@ impl Trace {
         self.depth_sum += depth as f64;
         self.depth_sumsq += (depth * depth) as f64;
         self.depth_samples += 1;
+    }
+
+    /// Record the control-flow edge `(from, to)` within `func` — two
+    /// consecutively executed pcs of one frame.
+    pub fn record_edge(&mut self, func: u32, from: u32, to: u32) {
+        self.edges.insert(edge_index(func, from, to));
+    }
+
+    /// Sorted distinct edge ids executed (coverage-guided fuzzing signal).
+    pub fn edge_ids(&self) -> Vec<u32> {
+        let mut v = self.edge_ids_unordered();
+        v.sort_unstable();
+        v
+    }
+
+    /// Distinct edge ids in unspecified order — the fuzzer's per-round
+    /// novelty checks are set-based, so they skip the sort.
+    pub(crate) fn edge_ids_unordered(&self) -> Vec<u32> {
+        self.edges.iter().copied().collect()
     }
 
     /// Record a memory access in `region`.

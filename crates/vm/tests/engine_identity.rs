@@ -1,0 +1,119 @@
+//! Differential identity suite: the fast engine must be bitwise-identical
+//! to the reference interpreter — outcome (floats compared by bit
+//! pattern), all 21 `DynFeatures`, and coverage — across all 4 ISAs ×
+//! generated libraries × environments, including Timeout and Fault
+//! outcomes at tight instruction budgets. The pipeline wrappers
+//! (`EnvPool`, `fuzz_function`) must likewise be engine-invariant.
+
+use fwbin::isa::{Arch, OptLevel};
+use fwlang::gen::Generator;
+use proptest::prelude::*;
+use vm::env::ExecEnv;
+use vm::exec::{Engine, VmConfig};
+use vm::fuzz::{fuzz_function, FuzzConfig};
+use vm::loader::{LoadedBinary, RunResult};
+use vm::value::Value;
+use vm::{EnvPool, Outcome};
+
+fn assert_bitwise(fast: &RunResult, interp: &RunResult, ctx: &str) {
+    match (&fast.outcome, &interp.outcome) {
+        // `Outcome` equality uses f64 `==`, which would call NaN != NaN a
+        // mismatch; identity here means identical bit patterns.
+        (Outcome::Returned(Value::Float(a)), Outcome::Returned(Value::Float(b))) => {
+            assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: float return differs");
+        }
+        (a, b) => assert_eq!(a, b, "{ctx}: outcome differs"),
+    }
+    assert_eq!(
+        fast.features.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        interp.features.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+        "{ctx}: features differ"
+    );
+    assert_eq!(fast.coverage, interp.coverage, "{ctx}: coverage differs");
+}
+
+fn cfg_for(engine: Engine, max_instructions: u64) -> VmConfig {
+    VmConfig { engine, max_instructions, ..VmConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Random libraries, all 4 ISAs, random inputs, budgets from 1 (instant
+    /// timeout) through default: every (function, env) profile matches.
+    #[test]
+    fn engines_produce_bitwise_identical_profiles(
+        seed in 0u64..10_000,
+        size in 1usize..6,
+        opt_i in 0usize..OptLevel::ALL.len(),
+        input in proptest::collection::vec(any::<u8>(), 0..24),
+        budget_i in 0usize..5,
+    ) {
+        let budget = [1u64, 5, 17, 100, 200_000][budget_i];
+        let lib = Generator::new(seed).library_sized("libident", size);
+        for arch in Arch::ALL {
+            let bin = fwbin::compile_library(&lib, arch, OptLevel::ALL[opt_i]).expect("compile");
+            let loaded = LoadedBinary::load(bin).expect("load");
+            let env = ExecEnv::for_buffer(input.clone(), &[3, 1]);
+            for func in 0..loaded.function_count() {
+                let fast = loaded.run_any(func, &env, &cfg_for(Engine::Fast, budget));
+                let interp = loaded.run_any(func, &env, &cfg_for(Engine::Interp, budget));
+                assert_bitwise(
+                    &fast,
+                    &interp,
+                    &format!("seed {seed} {arch} func {func} budget {budget}"),
+                );
+            }
+        }
+    }
+
+    /// `EnvPool` — the dynamic stage's replay path, where the fast engine
+    /// reuses one VM across every (candidate, env) pair — is engine-
+    /// invariant even under interleaved environment switching.
+    #[test]
+    fn env_pool_is_engine_invariant(
+        seed in 0u64..10_000,
+        arch_i in 0usize..Arch::ALL.len(),
+        inputs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..16), 1..4),
+    ) {
+        let lib = Generator::new(seed).library_sized("libpool", 4);
+        let bin = fwbin::compile_library(&lib, Arch::ALL[arch_i], OptLevel::O2).expect("compile");
+        let loaded = LoadedBinary::load(bin).expect("load");
+        let envs: Vec<ExecEnv> =
+            inputs.into_iter().map(|i| ExecEnv::for_buffer(i, &[2, 0])).collect();
+        let fast_pool = EnvPool::new(&loaded, &envs, &cfg_for(Engine::Fast, 50_000));
+        let interp_pool = EnvPool::new(&loaded, &envs, &cfg_for(Engine::Interp, 50_000));
+        // Interleave envs and candidates to stress the dirty-tracked reset
+        // and env-token switching.
+        for round in 0..2 {
+            for func in 0..loaded.function_count() {
+                for e in 0..envs.len() {
+                    let idx = (e + round) % envs.len();
+                    assert_bitwise(
+                        &fast_pool.run(func, idx),
+                        &interp_pool.run(func, idx),
+                        &format!("seed {seed} func {func} env {idx} round {round}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Coverage-guided env generation consumes engine outputs (coverage,
+    /// outcomes, edge sets); identical engines ⇒ identical env sets.
+    #[test]
+    fn fuzzed_env_sets_are_engine_invariant(
+        seed in 0u64..10_000,
+        arch_i in 0usize..Arch::ALL.len(),
+        fuzz_seed in 0u64..1000,
+    ) {
+        let lib = Generator::new(seed).library_sized("libfuzz", 3);
+        let bin = fwbin::compile_library(&lib, Arch::ALL[arch_i], OptLevel::O1).expect("compile");
+        let loaded = LoadedBinary::load(bin).expect("load");
+        let fcfg = FuzzConfig { rounds: 40, seed: fuzz_seed, ..FuzzConfig::default() };
+        let fast = fuzz_function(&loaded, 0, &fcfg, &cfg_for(Engine::Fast, 50_000));
+        let interp = fuzz_function(&loaded, 0, &fcfg, &cfg_for(Engine::Interp, 50_000));
+        prop_assert_eq!(fast, interp, "env sets differ between engines");
+    }
+}

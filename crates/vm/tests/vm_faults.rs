@@ -1,0 +1,125 @@
+//! Regression tests for interpreter correctness bugs found during the
+//! fast-engine rework, asserted on BOTH engines:
+//!
+//! * `LoadStr` with an out-of-range string id used to silently alias
+//!   offset 0 (`unwrap_or(0)`), making corrupt binaries trace like valid
+//!   ones — it now faults `BadString`.
+//! * `FBin` used to collapse float-op errors to `0.0` (`unwrap_or(0.0)`),
+//!   masking malformed instruction streams — an integer-only operator
+//!   reaching the float unit now faults `BadFloatOp`, while genuinely
+//!   float-defined operations (including div-by-zero → IEEE ±inf) are
+//!   unchanged.
+
+use fwbin::encode::encode;
+use fwbin::format::{Binary, FuncRecord};
+use fwbin::isa::{Arch, BinOp, Inst, OptLevel, Reg};
+use vm::env::ExecEnv;
+use vm::exec::{Engine, Fault, Outcome, VmConfig};
+use vm::loader::LoadedBinary;
+use vm::value::{Region, Value};
+
+/// Hand-assemble a one-function binary around `code`.
+fn binary_with(code: &[Inst], strings: &[&str]) -> Binary {
+    Binary {
+        lib_name: "libfault".into(),
+        arch: Arch::Arm64,
+        opt: OptLevel::O0,
+        functions: vec![FuncRecord {
+            name: Some("f".into()),
+            exported: true,
+            code: encode(code, Arch::Arm64),
+            n_params: 0,
+            frame_slots: 0,
+        }],
+        strings: strings.iter().map(|s| s.to_string()).collect(),
+        globals: vec![],
+        imports: vec![],
+    }
+}
+
+/// Run function 0 under both engines and assert they agree on the outcome.
+fn run_both(bin: Binary) -> Outcome {
+    let loaded = LoadedBinary::load(bin).expect("hand-assembled binary loads");
+    let env = ExecEnv::for_buffer(vec![0; 4], &[]);
+    let fast = loaded.run_any(
+        0,
+        &env,
+        &VmConfig { engine: Engine::Fast, ..VmConfig::default() },
+    );
+    let interp = loaded.run_any(
+        0,
+        &env,
+        &VmConfig { engine: Engine::Interp, ..VmConfig::default() },
+    );
+    assert_eq!(fast.outcome, interp.outcome, "engines disagree");
+    fast.outcome
+}
+
+#[test]
+fn loadstr_out_of_range_sid_faults_bad_string() {
+    let bin = binary_with(
+        &[Inst::LoadStr { rd: Reg(0), sid: 999 }, Inst::Ret],
+        &["only-string"],
+    );
+    assert_eq!(run_both(bin), Outcome::Fault(Fault::BadString));
+}
+
+#[test]
+fn loadstr_valid_sid_resolves_its_own_offset() {
+    // Before the fix a corrupt sid aliased string 0; pin that a *valid*
+    // non-zero sid resolves past string 0's bytes ("alpha\0" = 6 bytes).
+    let bin = binary_with(
+        &[
+            Inst::LoadStr { rd: Reg(0), sid: 1 },
+            Inst::SetRet { rs: Reg(0) },
+            Inst::Ret,
+        ],
+        &["alpha", "beta"],
+    );
+    match run_both(bin) {
+        Outcome::Returned(Value::Ptr(p)) => {
+            assert_eq!(p.region, Region::Lib);
+            assert_eq!(p.offset, 6, "sid 1 starts after \"alpha\\0\"");
+        }
+        other => panic!("expected a Lib pointer, got {other:?}"),
+    }
+}
+
+#[test]
+fn fbin_integer_only_operator_faults_bad_float_op() {
+    // `Mod` has no float semantics; reaching the float unit with it is a
+    // malformed stream and must fault, not return 0.0.
+    let bin = binary_with(
+        &[
+            Inst::FMovImm { rd: Reg(0), imm: 1.5 },
+            Inst::FMovImm { rd: Reg(1), imm: 2.5 },
+            Inst::FBin { op: BinOp::Mod, rd: Reg(2), rs1: Reg(0), rs2: Reg(1) },
+            Inst::SetRet { rs: Reg(2) },
+            Inst::Ret,
+        ],
+        &[],
+    );
+    assert_eq!(run_both(bin), Outcome::Fault(Fault::BadFloatOp));
+}
+
+#[test]
+fn fbin_float_division_by_zero_keeps_ieee_semantics() {
+    // The fault path is only for operators with no float meaning; float
+    // div-by-zero stays IEEE (+inf), not a fault and not 0.0.
+    let bin = binary_with(
+        &[
+            Inst::FMovImm { rd: Reg(0), imm: 1.0 },
+            Inst::FMovImm { rd: Reg(1), imm: 0.0 },
+            Inst::FBin { op: BinOp::Div, rd: Reg(2), rs1: Reg(0), rs2: Reg(1) },
+            Inst::SetRet { rs: Reg(2) },
+            Inst::Ret,
+        ],
+        &[],
+    );
+    match run_both(bin) {
+        Outcome::Returned(Value::Float(v)) => {
+            assert!(v.is_infinite() && v > 0.0, "1.0/0.0 is +inf, got {v}");
+        }
+        other => panic!("expected +inf, got {other:?}"),
+    }
+}
