@@ -654,6 +654,7 @@ mod tests {
                 patched: entry.entry.vulnerable.clone(),
                 ..entry.entry.clone()
             },
+            meta: entry.meta.clone(),
             vulnerable_bin: entry.patched_bin.clone(),
             patched_bin: entry.vulnerable_bin.clone(),
         }

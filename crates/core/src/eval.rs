@@ -297,7 +297,9 @@ pub fn audit_image_ctl(
     use crate::report::{AuditFinding, AuditReport, AuditStatus};
     let _span = scope::SpanGuard::enter("audit").with_detail(image.device.clone());
     let mut findings = Vec::new();
-    for entry in db.featured() {
+    // The whole database, not just the featured Table VI slice: a
+    // production audit answers for every CVE the reference DB knows.
+    for entry in &db.entries {
         cancel.check()?;
         let (status, located, verdict, error) =
             match audit_one_cve(patchecko, entry, image, diff_cfg, source, dynsrc, cancel) {
@@ -310,6 +312,8 @@ pub fn audit_image_ctl(
             cve: entry.entry.cve.clone(),
             expected_library: entry.entry.library.clone(),
             severity: format!("{:?}", entry.entry.severity).to_lowercase(),
+            cwe: Some(entry.meta.cwe().to_string()),
+            cvss: Some(entry.meta.metrics.base_score),
             status,
             located,
             verdict,

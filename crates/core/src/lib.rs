@@ -52,6 +52,7 @@ pub mod pipeline;
 pub mod report;
 pub mod retrieval;
 pub mod similarity;
+pub mod stream;
 #[cfg(test)]
 mod testutil;
 
@@ -68,4 +69,5 @@ pub use pipeline::{
 };
 pub use report::{AuditFinding, AuditReport, AuditStatus};
 pub use retrieval::{FunctionSignature, Retrieval, SignatureSet, DEFAULT_TOP_K};
+pub use stream::{StreamMatch, StreamScanReport, WorkingSet, WorkingSetPermit};
 pub use similarity::{minkowski, rank, rank_of, sim_over_envs, RankedCandidate, PAPER_P};

@@ -33,6 +33,14 @@ pub struct AuditFinding {
     pub expected_library: String,
     /// Severity string.
     pub severity: String,
+    /// CWE weakness class of the matched reference (e.g. `CWE-787`),
+    /// from the database entry's NVD-style metadata envelope; `None` on
+    /// reports persisted before the corpus-metadata pass.
+    #[serde(default)]
+    pub cwe: Option<String>,
+    /// CVSS v3.1 base score from the metadata envelope.
+    #[serde(default)]
+    pub cvss: Option<f64>,
     /// Verdict.
     pub status: AuditStatus,
     /// Where the target was located (`library:function_index`).
@@ -97,7 +105,7 @@ impl AuditReport {
             "{} libraries, {} functions, patch level {}\n\n",
             self.libraries, self.functions, self.patch_level
         ));
-        out.push_str("| CVE | severity | located | verdict |\n|---|---|---|---|\n");
+        out.push_str("| CVE | CWE | severity | located | verdict |\n|---|---|---|---|---|\n");
         for f in &self.findings {
             let verdict = match f.status {
                 AuditStatus::Vulnerable => "**VULNERABLE**",
@@ -107,8 +115,9 @@ impl AuditReport {
             };
             let qualifier = if f.degraded { " (degraded)" } else { "" };
             out.push_str(&format!(
-                "| {} | {} | {} | {}{} |\n",
+                "| {} | {} | {} | {} | {}{} |\n",
                 f.cve,
+                f.cwe.as_deref().unwrap_or("—"),
                 f.severity,
                 f.located.as_deref().unwrap_or("—"),
                 verdict,
@@ -175,6 +184,8 @@ mod tests {
                     cve: "CVE-2018-9412".into(),
                     expected_library: "libstagefright".into(),
                     severity: "high".into(),
+                    cwe: Some("CWE-400".into()),
+                    cvss: Some(7.8),
                     status: AuditStatus::Vulnerable,
                     located: Some("libstagefright:46".into()),
                     verdict: None,
@@ -185,6 +196,8 @@ mod tests {
                     cve: "CVE-2017-13232".into(),
                     expected_library: "libaudioflinger".into(),
                     severity: "high".into(),
+                    cwe: Some("CWE-400".into()),
+                    cvss: Some(7.8),
                     status: AuditStatus::Patched,
                     located: Some("libaudioflinger:11".into()),
                     verdict: None,
@@ -195,6 +208,8 @@ mod tests {
                     cve: "CVE-0000-0000".into(),
                     expected_library: "libmissing".into(),
                     severity: "high".into(),
+                    cwe: None,
+                    cvss: None,
                     status: AuditStatus::NotFound,
                     located: None,
                     verdict: None,
@@ -205,6 +220,8 @@ mod tests {
                     cve: "CVE-2018-9999".into(),
                     expected_library: "libbroken".into(),
                     severity: "high".into(),
+                    cwe: None,
+                    cvss: None,
                     status: AuditStatus::Error,
                     located: None,
                     verdict: None,
@@ -237,6 +254,7 @@ mod tests {
         let md = sample().to_markdown();
         assert!(md.contains("# PATCHECKO audit — android_things_1.0"));
         assert!(md.contains("| CVE-2018-9412 |"));
+        assert!(md.contains("| CVE-2018-9412 | CWE-400 |"), "findings name their CWE class");
         assert!(md.contains("**VULNERABLE**"));
         assert!(md.contains("| CVE-2017-13232 |"));
         assert!(md.contains("not found"));
@@ -281,6 +299,9 @@ mod tests {
         let f: AuditFinding = serde_json::from_str(json).unwrap();
         assert!(!f.degraded);
         assert!(f.error.is_none());
+        // Likewise `cwe`/`cvss`, added by the corpus-metadata pass.
+        assert!(f.cwe.is_none());
+        assert!(f.cvss.is_none());
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! NVD-style CVE metadata envelopes (the Dataset II annotation layer).
+//!
+//! The paper reports audits as anonymous function pairs; production
+//! scanners report in CVE/CWE terms. This module attaches a National
+//! Vulnerability Database-shaped record to every database entry — id,
+//! CWE weakness classification, CVSS v3.1 scoring, and CPE-style
+//! affected-configuration rows — mirroring the NVD CVE API v2.0 nesting
+//! (`metrics → cvssData → baseScore`) flattened one level for the
+//! wire format this workspace serializes.
+//!
+//! Every envelope is a **pure function of the catalog entry**: the CWE is
+//! derived from the fix shape the entry models and the CVSS score from its
+//! bulletin severity class, so the same database always carries the same
+//! metadata and reports are reproducible bit for bit.
+
+use crate::catalog::{CveEntry, Severity};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Typed validation failures for CVE metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CveMetaError {
+    /// The id does not match the `CVE-YYYY-NNNN+` shape (4-digit year,
+    /// at least 4 digits of sequence number).
+    MalformedId(String),
+    /// The CVSS base score is outside the defined 0.0–10.0 range (or not
+    /// a finite number).
+    CvssOutOfRange(f64),
+    /// A weakness row does not name a `CWE-N+` identifier.
+    MalformedCwe(String),
+    /// The envelope carries no weakness classification at all.
+    EmptyWeaknesses,
+}
+
+impl fmt::Display for CveMetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CveMetaError::MalformedId(id) => {
+                write!(f, "malformed CVE id {id:?}: expected CVE-YYYY-NNNN+")
+            }
+            CveMetaError::CvssOutOfRange(s) => {
+                write!(f, "CVSS base score {s} outside the defined 0.0-10.0 range")
+            }
+            CveMetaError::MalformedCwe(c) => {
+                write!(f, "malformed CWE id {c:?}: expected CWE-N+")
+            }
+            CveMetaError::EmptyWeaknesses => write!(f, "envelope carries no weakness rows"),
+        }
+    }
+}
+
+impl std::error::Error for CveMetaError {}
+
+/// One CWE weakness classification row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weakness {
+    /// Assigning source, e.g. `security@android.com`.
+    pub source: String,
+    /// CWE identifier, e.g. `CWE-787`.
+    pub cwe_id: String,
+}
+
+/// CVSS v3.1 scoring data (the NVD `cvssData` object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvssData {
+    /// CVSS specification version.
+    pub version: String,
+    /// The full vector string.
+    pub vector_string: String,
+    /// Base score, 0.0–10.0.
+    pub base_score: f64,
+    /// Qualitative severity band, e.g. `HIGH` or `CRITICAL`.
+    pub base_severity: String,
+}
+
+/// One CPE-style affected-configuration row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffectedConfig {
+    /// CPE 2.3 identifier of the affected product.
+    pub cpe: String,
+    /// Whether this configuration is vulnerable (NVD carries both).
+    pub vulnerable: bool,
+    /// First fixed version boundary (security patch level).
+    pub version_end_excluding: String,
+}
+
+/// The NVD-shaped metadata envelope attached to a database entry.
+///
+/// Field order is the serialization order; the vendored JSON writer is
+/// deterministic, so `serialize → deserialize → serialize` is bitwise
+/// stable (gated by a property test). Unknown fields in incoming JSON are
+/// skipped, which is the forward-compatibility contract: a newer producer
+/// may add fields without breaking this reader.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CveMeta {
+    /// CVE identifier, `CVE-YYYY-NNNN+`.
+    pub id: String,
+    /// Assigning CNA, e.g. `security@android.com`.
+    pub source_identifier: String,
+    /// Publication timestamp (ISO-8601, derived from the CVE year).
+    pub published: String,
+    /// NVD analysis status.
+    pub vuln_status: String,
+    /// One-line English description.
+    pub description: String,
+    /// CWE weakness classifications (at least one).
+    pub weaknesses: Vec<Weakness>,
+    /// CVSS v3.1 metrics.
+    pub metrics: CvssData,
+    /// Affected-configuration rows.
+    pub configurations: Vec<AffectedConfig>,
+}
+
+/// `true` if `id` matches `CVE-YYYY-NNNN+` (4-digit year, ≥4-digit
+/// sequence number, nothing else).
+pub fn valid_cve_id(id: &str) -> bool {
+    let Some(rest) = id.strip_prefix("CVE-") else { return false };
+    let Some((year, seq)) = rest.split_once('-') else { return false };
+    year.len() == 4
+        && year.bytes().all(|b| b.is_ascii_digit())
+        && seq.len() >= 4
+        && seq.bytes().all(|b| b.is_ascii_digit())
+}
+
+impl CveMeta {
+    /// Validate the envelope, returning the first typed failure.
+    ///
+    /// # Errors
+    /// [`CveMetaError::MalformedId`] for an id that is not `CVE-YYYY-NNNN+`;
+    /// [`CveMetaError::CvssOutOfRange`] for a base score outside 0.0–10.0
+    /// (NaN and infinities included); [`CveMetaError::EmptyWeaknesses`] /
+    /// [`CveMetaError::MalformedCwe`] for missing or malformed CWE rows.
+    pub fn validate(&self) -> Result<(), CveMetaError> {
+        if !valid_cve_id(&self.id) {
+            return Err(CveMetaError::MalformedId(self.id.clone()));
+        }
+        let s = self.metrics.base_score;
+        if !s.is_finite() || !(0.0..=10.0).contains(&s) {
+            return Err(CveMetaError::CvssOutOfRange(s));
+        }
+        if self.weaknesses.is_empty() {
+            return Err(CveMetaError::EmptyWeaknesses);
+        }
+        for w in &self.weaknesses {
+            let ok = w
+                .cwe_id
+                .strip_prefix("CWE-")
+                .is_some_and(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()));
+            if !ok {
+                return Err(CveMetaError::MalformedCwe(w.cwe_id.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse an envelope from JSON and validate it.
+    ///
+    /// # Errors
+    /// `Err(None)` when the JSON itself does not parse into the envelope
+    /// shape; `Err(Some(e))` with the typed validation failure otherwise.
+    pub fn from_json(json: &str) -> Result<CveMeta, Option<CveMetaError>> {
+        let meta: CveMeta = serde_json::from_str(json).map_err(|_| None)?;
+        meta.validate().map_err(Some)?;
+        Ok(meta)
+    }
+
+    /// The primary CWE identifier (first weakness row).
+    pub fn cwe(&self) -> &str {
+        self.weaknesses.first().map(|w| w.cwe_id.as_str()).unwrap_or("")
+    }
+}
+
+/// The primary CWE class for a catalog entry, derived from the fix shape
+/// the entry models (the shape names its description prefix, which is the
+/// stable contract between the catalog and this mapping):
+///
+/// * buffer shift overflow → CWE-787 (out-of-bounds write);
+/// * unchecked header parse → CWE-125 (out-of-bounds read);
+/// * missing input limit → CWE-400 (uncontrolled resource consumption);
+/// * off-by-one bounds constant → CWE-193 (off-by-one error);
+/// * the flagship ID3 unsynchronization DoS → CWE-400;
+/// * bulk entries (bounds-guard patches) → CWE-787.
+pub fn cwe_for(entry: &CveEntry) -> &'static str {
+    let d = entry.description.as_str();
+    if d.starts_with("buffer shift overflow") {
+        "CWE-787"
+    } else if d.starts_with("unchecked header parse") {
+        "CWE-125"
+    } else if d.starts_with("missing input limit") {
+        "CWE-400"
+    } else if d.starts_with("off-by-one bounds constant") {
+        "CWE-193"
+    } else if d.starts_with("ID3 unsynchronization") {
+        "CWE-400"
+    } else {
+        // Bulk entries and anything unclassified: memory-safety bounds
+        // guard, the generic out-of-bounds write class.
+        "CWE-787"
+    }
+}
+
+/// CVSS v3.1 (base score, severity band, vector) for a bulletin severity
+/// class. High maps to the canonical local-media-parsing vector (7.8);
+/// Critical to the network-reachable variant (9.8).
+pub fn cvss_for(severity: Severity) -> (f64, &'static str, &'static str) {
+    match severity {
+        Severity::High => (7.8, "HIGH", "CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H"),
+        Severity::Critical => (9.8, "CRITICAL", "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"),
+    }
+}
+
+/// The NVD id for a catalog entry. Featured entries already carry real
+/// bulletin ids; synthetic bulk entries (`CVE-BULK-NNNN`) get a
+/// deterministic id in a reserved 2019 range so every envelope passes the
+/// `CVE-YYYY-NNNN+` validation.
+fn nvd_id(entry: &CveEntry) -> String {
+    if valid_cve_id(&entry.cve) {
+        return entry.cve.clone();
+    }
+    let seq: u64 = entry
+        .cve
+        .rsplit('-')
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            // Last resort: FNV-1a of the raw id keeps it deterministic.
+            entry.cve.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            }) % 10_000
+        });
+    format!("CVE-2019-{}", 20_000 + seq)
+}
+
+/// Build the metadata envelope for a catalog entry. Pure and
+/// deterministic: the same entry always yields the same envelope, and the
+/// result always passes [`CveMeta::validate`].
+pub fn annotate(entry: &CveEntry) -> CveMeta {
+    let id = nvd_id(entry);
+    let year = id[4..8].to_string();
+    let (base_score, base_severity, vector) = cvss_for(entry.severity);
+    CveMeta {
+        id,
+        source_identifier: "security@android.com".to_string(),
+        published: format!("{year}-01-01T00:00:00.000"),
+        vuln_status: "Analyzed".to_string(),
+        description: entry.description.clone(),
+        weaknesses: vec![Weakness {
+            source: "security@android.com".to_string(),
+            cwe_id: cwe_for(entry).to_string(),
+        }],
+        metrics: CvssData {
+            version: "3.1".to_string(),
+            vector_string: vector.to_string(),
+            base_score,
+            base_severity: base_severity.to_string(),
+        },
+        configurations: vec![AffectedConfig {
+            cpe: format!("cpe:2.3:a:android:{}:*:*:*:*:*:*:*:*", entry.library),
+            vulnerable: true,
+            version_end_excluding: format!("{year}-12-01"),
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::full_catalog;
+
+    #[test]
+    fn featured_envelopes_validate_and_keep_their_ids() {
+        for e in full_catalog() {
+            let m = annotate(&e);
+            m.validate().unwrap_or_else(|err| panic!("{}: {err}", e.cve));
+            assert_eq!(m.id, e.cve, "featured ids pass through unchanged");
+            assert!(m.cwe().starts_with("CWE-"));
+        }
+    }
+
+    #[test]
+    fn cwe_mapping_follows_fix_shape() {
+        let cat = full_catalog();
+        let by = |id: &str| cat.iter().find(|e| e.cve == id).unwrap();
+        assert_eq!(cwe_for(by("CVE-2018-9340")), "CWE-787"); // overflow copy
+        assert_eq!(cwe_for(by("CVE-2018-9451")), "CWE-125"); // unchecked parse
+        assert_eq!(cwe_for(by("CVE-2017-13232")), "CWE-400"); // missing limit
+        assert_eq!(cwe_for(by("CVE-2018-9470")), "CWE-193"); // wrong constant
+        assert_eq!(cwe_for(by("CVE-2018-9412")), "CWE-400"); // flagship DoS
+    }
+
+    #[test]
+    fn severity_maps_to_cvss_bands() {
+        let cat = full_catalog();
+        for e in &cat {
+            let m = annotate(e);
+            match e.severity {
+                Severity::High => {
+                    assert_eq!(m.metrics.base_score, 7.8);
+                    assert_eq!(m.metrics.base_severity, "HIGH");
+                }
+                Severity::Critical => {
+                    assert_eq!(m.metrics.base_score, 9.8);
+                    assert_eq!(m.metrics.base_severity, "CRITICAL");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_ids_are_rejected_with_typed_errors() {
+        let mut m = annotate(&full_catalog()[0]);
+        for bad in ["CVE-18-9412", "CVE-2018-123", "cve-2018-9412", "CVE-2018-", "CVE-20189412", "GHSA-xxxx-yyyy"] {
+            m.id = bad.to_string();
+            assert_eq!(
+                m.validate(),
+                Err(CveMetaError::MalformedId(bad.to_string())),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_cvss_is_rejected_with_typed_errors() {
+        let mut m = annotate(&full_catalog()[0]);
+        for bad in [10.1, -0.5, f64::NAN, f64::INFINITY] {
+            m.metrics.base_score = bad;
+            match m.validate() {
+                Err(CveMetaError::CvssOutOfRange(s)) => {
+                    assert!(s.is_nan() == bad.is_nan() && (s.is_nan() || s == bad));
+                }
+                other => panic!("score {bad} must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_or_malformed_weaknesses_are_rejected() {
+        let mut m = annotate(&full_catalog()[0]);
+        m.weaknesses.clear();
+        assert_eq!(m.validate(), Err(CveMetaError::EmptyWeaknesses));
+        m.weaknesses = vec![Weakness { source: "x".into(), cwe_id: "CWE-".into() }];
+        assert_eq!(m.validate(), Err(CveMetaError::MalformedCwe("CWE-".into())));
+    }
+
+    #[test]
+    fn bulk_style_ids_get_valid_synthetic_nvd_ids() {
+        let mut e = full_catalog().swap_remove(0);
+        e.cve = "CVE-BULK-0042".to_string();
+        let m = annotate(&e);
+        assert_eq!(m.id, "CVE-2019-20042");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_is_bitwise_stable() {
+        for e in full_catalog().iter().take(5) {
+            let m = annotate(e);
+            let once = serde_json::to_string(&m).unwrap();
+            let back: CveMeta = serde_json::from_str(&once).unwrap();
+            assert_eq!(back, m);
+            let twice = serde_json::to_string(&back).unwrap();
+            assert_eq!(once, twice, "serialize→deserialize→serialize must be bitwise stable");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped_for_forward_compat() {
+        let m = annotate(&full_catalog()[0]);
+        let json = serde_json::to_string(&m).unwrap();
+        // A newer producer adds fields this reader does not know about.
+        let extended = json.replacen('{', "{\"last_modified\":\"2026-01-01\",\"references\":[{\"url\":\"https://nvd.nist.gov\"}],", 1);
+        let back: CveMeta = serde_json::from_str(&extended).expect("unknown fields must be skipped");
+        assert_eq!(back, m);
+    }
+}

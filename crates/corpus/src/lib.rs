@@ -12,6 +12,12 @@
 //! * [`device`] — **Dataset III**, the Android Things 1.0 and Pixel 2 XL
 //!   firmware analogs with Table VIII's per-CVE patch ground truth.
 //!
+//! Two production-scale layers sit on top: [`cvemeta`] attaches NVD-style
+//! CVE metadata envelopes (id / CWE / CVSS / affected configs) to every
+//! database entry so audits report in CVE terms, and [`stream`] generates
+//! corpora of 10⁵+ functions across 4 ISAs × 6 opt levels as a lazy,
+//! per-index-deterministic stream that never materializes in memory.
+//!
 //! ## Example
 //!
 //! ```
@@ -30,11 +36,15 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod cvemeta;
 pub mod dataset1;
 pub mod device;
+pub mod stream;
 pub mod vulndb;
 
 pub use catalog::{full_catalog, CveEntry, PatchMagnitude, Severity};
+pub use cvemeta::{annotate, cvss_for, cwe_for, valid_cve_id, CveMeta, CveMetaError};
 pub use dataset1::{build as build_dataset1, Dataset1, Dataset1Config};
 pub use device::{android_things_spec, build_device, pixel2xl_spec, DeviceBuild, DeviceSpec};
+pub use stream::{build_unit, build_units_parallel, manifest, CorpusStream, PlantedCve, StreamConfig, StreamUnit};
 pub use vulndb::{build as build_vulndb, DbEntry, VulnDb};

@@ -1,0 +1,405 @@
+//! Streaming corpus generation at production scale.
+//!
+//! [`dataset1`](crate::dataset1) builds its whole corpus in memory, which
+//! caps evaluation around 10⁴ functions. This module generates corpora of
+//! 10⁵+ functions across all 4 ISAs × 6 optimization levels as a
+//! **stream**: each [`StreamUnit`] (one compiled library variant) is a
+//! pure function of `(config, index)`, produced on demand by an iterator
+//! and dropped by the consumer when scanned — the whole corpus never
+//! exists in memory at once.
+//!
+//! Per-index purity is also what makes generation embarrassingly parallel
+//! *and* bitwise deterministic: any partition of the index space across
+//! any number of threads reassembles into the identical corpus (gated by
+//! a test at thread counts 1/2/8).
+//!
+//! Known-vulnerable functions from the 25-CVE catalog are planted at
+//! deterministic unit intervals; [`manifest`] reproduces the ground truth
+//! (which unit/function carries which CVE) without generating or
+//! compiling anything, so recall gates can score a streaming scan exactly.
+
+use crate::catalog::{self, CveEntry};
+use fwbin::format::Binary;
+use fwbin::isa::{Arch, OptLevel};
+use fwlang::gen::{GenConfig, Generator};
+
+/// Configuration for a streamed corpus. The corpus a config describes is
+/// fully determined by its field values.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Master seed; disjoint seeds produce disjoint corpora.
+    pub seed: u64,
+    /// Minimum number of generated (distractor) functions the stream
+    /// emits; the unit count is rounded up to cover it.
+    pub target_functions: usize,
+    /// Generated functions per library unit.
+    pub functions_per_library: usize,
+    /// Architectures cycled across units.
+    pub archs: Vec<Arch>,
+    /// Optimization levels cycled across units.
+    pub opts: Vec<OptLevel>,
+    /// Plant one catalog CVE function every `plant_every` units
+    /// (unit indices 0, k, 2k, …); `0` disables planting.
+    pub plant_every: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            seed: 0xC0_0C05,
+            target_functions: 1_000,
+            functions_per_library: 16,
+            archs: Arch::ALL.to_vec(),
+            opts: OptLevel::ALL.to_vec(),
+            plant_every: 8,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// A config sized to emit at least `target_functions` generated
+    /// functions from `seed`, with the default ISA/opt coverage.
+    pub fn sized(target_functions: usize, seed: u64) -> StreamConfig {
+        StreamConfig { seed, target_functions, ..StreamConfig::default() }
+    }
+
+    /// Number of library units the stream emits.
+    pub fn units(&self) -> usize {
+        self.target_functions.div_ceil(self.functions_per_library.max(1))
+    }
+
+    /// Exact number of functions the stream emits (generated + planted).
+    pub fn total_functions(&self) -> usize {
+        self.units() * self.functions_per_library + self.planted_units()
+    }
+
+    /// Number of units that carry a planted CVE function.
+    pub fn planted_units(&self) -> usize {
+        if self.plant_every == 0 {
+            0
+        } else {
+            self.units().div_ceil(self.plant_every)
+        }
+    }
+
+    fn unit_seed(&self, index: usize) -> u64 {
+        // The same per-index derivation as `fwlang::gen::libraries`: each
+        // unit's generator is seeded independently, so units can be built
+        // in any order (or concurrently) with identical results.
+        self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(index as u64)
+    }
+
+    /// The (architecture, optimization) pair of unit `index`: the ISA
+    /// cycles fastest, the opt level per full ISA round, so any window of
+    /// `archs × opts` consecutive units covers the full matrix.
+    pub fn combo(&self, index: usize) -> (Arch, OptLevel) {
+        let arch = self.archs[index % self.archs.len()];
+        let opt = self.opts[(index / self.archs.len()) % self.opts.len()];
+        (arch, opt)
+    }
+
+    /// The catalog row planted in unit `index`, if any.
+    fn plant_slot(&self, index: usize, catalog_len: usize) -> Option<usize> {
+        if self.plant_every == 0 || catalog_len == 0 || !index.is_multiple_of(self.plant_every) {
+            return None;
+        }
+        Some((index / self.plant_every) % catalog_len)
+    }
+}
+
+/// Ground truth for one planted CVE function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedCve {
+    /// Unit (library variant) index in the stream.
+    pub unit: usize,
+    /// Library name of that unit.
+    pub library: String,
+    /// Function index of the planted function inside the unit.
+    pub function_index: usize,
+    /// The CVE identifier planted there.
+    pub cve: String,
+}
+
+/// One streamed corpus element: a compiled library variant.
+#[derive(Debug, Clone)]
+pub struct StreamUnit {
+    /// Index in the stream (the unit's identity).
+    pub index: usize,
+    /// Compiled binary (`functions_per_library` generated functions plus
+    /// an optional planted CVE function at the end).
+    pub binary: Binary,
+    /// Ground truth when this unit carries a planted CVE function.
+    pub planted: Option<PlantedCve>,
+}
+
+/// Build unit `index` of the corpus `cfg` describes. Pure: depends only
+/// on `(cfg, catalog, index)`, never on which units were built before —
+/// the property the determinism and parallelism gates rest on. Pass the
+/// prepared catalog (or `&[]` to disable planting) so per-unit cost stays
+/// generation + compilation only.
+pub fn build_unit(cfg: &StreamConfig, catalog: &[CveEntry], index: usize) -> StreamUnit {
+    let (arch, opt) = cfg.combo(index);
+    let gen_cfg = GenConfig {
+        min_functions: cfg.functions_per_library,
+        max_functions: cfg.functions_per_library,
+        ..GenConfig::default()
+    };
+    let mut g = Generator::with_config(cfg.unit_seed(index), gen_cfg);
+    let name = format!("libstream{index}");
+    let mut lib = g.library_sized(&name, cfg.functions_per_library);
+    let planted = cfg.plant_slot(index, catalog.len()).map(|slot| {
+        let entry = &catalog[slot];
+        let mut f = entry.vulnerable.clone();
+        f.name = format!("cve_fn_{}", entry.cve.replace('-', "_"));
+        f.exported = true;
+        let function_index = lib.functions.len();
+        lib.functions.push(f);
+        PlantedCve {
+            unit: index,
+            library: name.clone(),
+            function_index,
+            cve: entry.cve.clone(),
+        }
+    });
+    let binary = fwbin::compile_library(&lib, arch, opt)
+        .unwrap_or_else(|e| panic!("stream unit {index} ({arch:?} {opt:?}) failed to compile: {e}"));
+    StreamUnit { index, binary, planted }
+}
+
+/// The planted-CVE ground truth of the corpus `cfg` describes, computed
+/// without generating or compiling anything.
+pub fn manifest(cfg: &StreamConfig) -> Vec<PlantedCve> {
+    if cfg.plant_every == 0 {
+        return Vec::new();
+    }
+    let ids: Vec<String> = catalog::full_catalog().into_iter().map(|e| e.cve).collect();
+    (0..cfg.units())
+        .filter_map(|i| {
+            cfg.plant_slot(i, ids.len()).map(|slot| PlantedCve {
+                unit: i,
+                library: format!("libstream{i}"),
+                function_index: cfg.functions_per_library,
+                cve: ids[slot].clone(),
+            })
+        })
+        .collect()
+}
+
+/// Lazy iterator over the corpus `cfg` describes. Holds the prepared
+/// catalog and a cursor — never more than the unit being produced.
+pub struct CorpusStream {
+    cfg: StreamConfig,
+    catalog: Vec<CveEntry>,
+    next: usize,
+    units: usize,
+}
+
+impl CorpusStream {
+    /// Open a stream over the corpus `cfg` describes.
+    pub fn new(cfg: StreamConfig) -> CorpusStream {
+        let catalog = if cfg.plant_every == 0 { Vec::new() } else { catalog::full_catalog() };
+        let units = cfg.units();
+        CorpusStream { cfg, catalog, next: 0, units }
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Units remaining to be produced.
+    pub fn remaining(&self) -> usize {
+        self.units - self.next
+    }
+}
+
+impl Iterator for CorpusStream {
+    type Item = StreamUnit;
+
+    fn next(&mut self) -> Option<StreamUnit> {
+        if self.next >= self.units {
+            return None;
+        }
+        let unit = build_unit(&self.cfg, &self.catalog, self.next);
+        self.next += 1;
+        Some(unit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CorpusStream {}
+
+/// Build units `[start, end)` across `threads` worker threads, preserving
+/// index order in the result. Because [`build_unit`] is pure per index,
+/// the output is bitwise identical for any thread count — the parallel
+/// path exists for throughput only.
+pub fn build_units_parallel(
+    cfg: &StreamConfig,
+    start: usize,
+    end: usize,
+    threads: usize,
+) -> Vec<StreamUnit> {
+    let end = end.min(cfg.units());
+    if start >= end {
+        return Vec::new();
+    }
+    let catalog = if cfg.plant_every == 0 { Vec::new() } else { catalog::full_catalog() };
+    let threads = threads.max(1).min(end - start);
+    if threads == 1 {
+        return (start..end).map(|i| build_unit(cfg, &catalog, i)).collect();
+    }
+    let mut results: Vec<Option<StreamUnit>> = (start..end).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let catalog = &catalog;
+        let mut rest = results.as_mut_slice();
+        let mut offset = start;
+        let chunk = (end - start).div_ceil(threads);
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let base = offset;
+            scope.spawn(move || {
+                for (k, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(build_unit(cfg, catalog, base + k));
+                }
+            });
+            rest = tail;
+            offset += take;
+        }
+    });
+    results.into_iter().map(|u| u.expect("every unit built")).collect()
+}
+
+/// FNV-1a fingerprint of one compiled function's code bytes.
+pub fn function_fingerprint(code: &[u8]) -> u64 {
+    fnv(0xcbf2_9ce4_8422_2325, code)
+}
+
+fn fnv(init: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(init, |h, &b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
+}
+
+/// Per-sample fingerprints of every function in a binary. A corpus sample
+/// is identified the way Dataset I identifies ground truth — by its
+/// (unstripped) symbol *and* its compiled content — so the hash covers
+/// the name, the code bytes, and the unit's architecture/opt level.
+/// Trivially small generated functions can share code bytes by chance;
+/// they are still distinct samples.
+pub fn unit_fingerprints(bin: &Binary) -> Vec<u64> {
+    bin.functions
+        .iter()
+        .map(|f| {
+            let named = fnv(
+                function_fingerprint(&f.code),
+                f.name.as_deref().unwrap_or("").as_bytes(),
+            );
+            named ^ ((bin.arch as u64) << 56) ^ ((bin.opt as u64) << 48)
+        })
+        .collect()
+}
+
+/// Content-only fingerprint of a whole unit (every function's code bytes
+/// plus globals, no names). Two units colliding here means the generator
+/// reused an RNG stream — the failure mode the disjoint-seed gate exists
+/// to catch.
+pub fn unit_content_fingerprint(bin: &Binary) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for f in &bin.functions {
+        h = fnv(h, &f.code);
+        h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    for g in &bin.globals {
+        h = fnv(h, &g.to_le_bytes());
+    }
+    h ^ ((bin.arch as u64) << 56) ^ ((bin.opt as u64) << 48)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(plant_every: usize) -> StreamConfig {
+        StreamConfig {
+            seed: 7,
+            target_functions: 96,
+            functions_per_library: 8,
+            plant_every,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn stream_emits_exactly_the_declared_units_and_functions() {
+        let cfg = tiny(4);
+        let units: Vec<StreamUnit> = CorpusStream::new(cfg.clone()).collect();
+        assert_eq!(units.len(), cfg.units());
+        let functions: usize = units.iter().map(|u| u.binary.function_count()).sum();
+        assert_eq!(functions, cfg.total_functions());
+        assert!(functions >= cfg.target_functions);
+    }
+
+    #[test]
+    fn combos_cover_all_archs_and_opts() {
+        let cfg = StreamConfig::sized(4 * 6 * 16, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..cfg.units() {
+            let (arch, opt) = cfg.combo(i);
+            seen.insert((arch as u8, opt as u8));
+        }
+        assert_eq!(seen.len(), 24, "4 ISAs × 6 opt levels all appear");
+    }
+
+    #[test]
+    fn manifest_matches_streamed_ground_truth() {
+        let cfg = tiny(3);
+        let planted: Vec<PlantedCve> =
+            CorpusStream::new(cfg.clone()).filter_map(|u| u.planted).collect();
+        assert_eq!(planted, manifest(&cfg));
+        assert_eq!(planted.len(), cfg.planted_units());
+        // The planted function really is in the compiled unit, by name.
+        let unit = build_unit(&cfg, &catalog::full_catalog(), 0);
+        let p = unit.planted.as_ref().unwrap();
+        assert_eq!(unit.binary.find_symbol(&format!("cve_fn_{}", p.cve.replace('-', "_"))), Some(p.function_index));
+    }
+
+    #[test]
+    fn parallel_build_is_bitwise_identical_to_serial() {
+        let cfg = tiny(4);
+        let serial = build_units_parallel(&cfg, 0, cfg.units(), 1);
+        for threads in [2, 8] {
+            let par = build_units_parallel(&cfg, 0, cfg.units(), threads);
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.binary, b.binary, "unit {} differs at {threads} threads", a.index);
+                assert_eq!(a.planted, b.planted);
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_seeds_produce_disjoint_fingerprints() {
+        // Planting disabled: planted needles are intentional duplicates.
+        let mut samples = std::collections::HashSet::new();
+        let mut contents = std::collections::HashSet::new();
+        let mut total_fns = 0usize;
+        let mut total_units = 0usize;
+        for seed in [11, 12] {
+            let cfg = StreamConfig { seed, ..tiny(0) };
+            for unit in CorpusStream::new(cfg) {
+                for fp in unit_fingerprints(&unit.binary) {
+                    samples.insert(fp);
+                    total_fns += 1;
+                }
+                contents.insert(unit_content_fingerprint(&unit.binary));
+                total_units += 1;
+            }
+        }
+        assert_eq!(samples.len(), total_fns, "no duplicate function fingerprints across seeds");
+        assert_eq!(contents.len(), total_units, "no unit-content collision (RNG stream reuse)");
+    }
+}

@@ -9,6 +9,7 @@
 //! compiles its references with Clang `-O0`).
 
 use crate::catalog::{self, CveEntry};
+use crate::cvemeta::{self, CveMeta};
 use fwbin::format::Binary;
 use fwbin::isa::{Arch, OptLevel};
 use fwlang::gen::Generator;
@@ -19,6 +20,9 @@ use fwlang::Library;
 pub struct DbEntry {
     /// Catalog metadata and vulnerable/patched source.
     pub entry: CveEntry,
+    /// NVD-style metadata envelope (id / CWE / CVSS / affected configs);
+    /// always passes [`CveMeta::validate`] by construction.
+    pub meta: CveMeta,
     /// Compiled vulnerable reference (one-function library).
     pub vulnerable_bin: Binary,
     /// Compiled patched reference.
@@ -85,7 +89,8 @@ fn compile_entry(entry: CveEntry) -> DbEntry {
         .expect("reference libraries always compile");
     let patched_bin = fwbin::compile_library(&plib, REFERENCE_ARCH, REFERENCE_OPT)
         .expect("reference libraries always compile");
-    DbEntry { entry, vulnerable_bin, patched_bin }
+    let meta = cvemeta::annotate(&entry);
+    DbEntry { entry, meta, vulnerable_bin, patched_bin }
 }
 
 /// Build the database: the 25 featured CVEs plus `bulk` generated entries.
@@ -166,6 +171,21 @@ mod tests {
                 e.entry.cve
             );
         }
+    }
+
+    #[test]
+    fn every_entry_carries_a_valid_metadata_envelope() {
+        let db = build(3, 42);
+        for e in &db.entries {
+            e.meta.validate().unwrap_or_else(|err| panic!("{}: {err}", e.entry.cve));
+        }
+        // Featured envelopes keep the bulletin id; bulk envelopes get a
+        // valid synthetic NVD id while the db key stays CVE-BULK-NNNN.
+        for e in db.featured() {
+            assert_eq!(e.meta.id, e.entry.cve);
+        }
+        let bulk = db.get("CVE-BULK-0000").unwrap();
+        assert_eq!(bulk.meta.id, "CVE-2019-20000");
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Property gates for the NVD-style CVE metadata envelope
+//! ([`corpus::cvemeta`]):
+//!
+//! * **bitwise round-trip** — `serialize → deserialize → serialize` is
+//!   byte-identical for any valid envelope (the vendored JSON writer is
+//!   deterministic and field order is declaration order);
+//! * **typed rejection** — malformed CVE ids (anything off the
+//!   `CVE-YYYY-NNNN+` shape) and out-of-range CVSS base scores fail
+//!   validation with the matching [`CveMetaError`] variant, both on a
+//!   constructed envelope and through [`CveMeta::from_json`];
+//! * **forward compatibility** — unknown fields injected anywhere in the
+//!   JSON are skipped, leaving the decoded envelope unchanged.
+
+use corpus::cvemeta::{annotate, valid_cve_id, CveMeta, CveMetaError};
+use corpus::full_catalog;
+use proptest::prelude::*;
+
+/// A structurally valid envelope: a catalog-derived base with the
+/// validation-relevant fields (id, score) and free-text fields perturbed.
+fn arb_envelope() -> impl Strategy<Value = CveMeta> {
+    (
+        (0usize..25, 1999u32..=2035, 0u32..=999_999),
+        (0u32..=100, 0usize..=3),
+    )
+        .prop_map(|((slot, year, seq), (tenths, extra_cfgs))| {
+            let cat = full_catalog();
+            let mut m = annotate(&cat[slot % cat.len()]);
+            m.id = format!("CVE-{year}-{seq:04}");
+            m.published = format!("{year}-01-01T00:00:00.000");
+            m.metrics.base_score = f64::from(tenths) / 10.0;
+            for i in 0..extra_cfgs {
+                let mut cfg = m.configurations[0].clone();
+                cfg.cpe = format!("cpe:2.3:a:android:extra{i}:*:*:*:*:*:*:*:*");
+                m.configurations.push(cfg);
+            }
+            m
+        })
+}
+
+/// Ids that are close to — but off — the `CVE-YYYY-NNNN+` shape.
+fn arb_malformed_id() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Year not 4 digits.
+        (0u32..=999, 1000u32..=9999).prop_map(|(y, s)| format!("CVE-{y}-{s}")),
+        (10_000u32..=99_999, 1000u32..=9999).prop_map(|(y, s)| format!("CVE-{y}-{s}")),
+        // Sequence shorter than 4 digits.
+        (1999u32..=2035, 0u32..=999).prop_map(|(y, s)| format!("CVE-{y}-{s}")),
+        // Wrong prefix / casing / separator.
+        (1999u32..=2035, 1000u32..=9999).prop_map(|(y, s)| format!("cve-{y}-{s}")),
+        (1999u32..=2035, 1000u32..=9999).prop_map(|(y, s)| format!("CVE-{y}{s}")),
+        (1999u32..=2035, 1000u32..=9999).prop_map(|(y, s)| format!("GHSA-{y}-{s}")),
+        // Non-digit contamination.
+        (1999u32..=2035,).prop_map(|(y,)| format!("CVE-{y}-12x4")),
+        Just("CVE--".to_string()),
+        Just(String::new()),
+    ]
+}
+
+/// Finite base scores strictly outside the defined 0.0–10.0 range.
+fn arb_out_of_range_score() -> impl Strategy<Value = f64> {
+    prop_oneof![10.001f64..1e9, -1e9f64..-0.001]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn valid_envelopes_round_trip_json_bitwise(m in arb_envelope()) {
+        prop_assert!(m.validate().is_ok());
+        let once = serde_json::to_string(&m).unwrap();
+        let back: CveMeta = serde_json::from_str(&once).unwrap();
+        prop_assert_eq!(&back, &m, "decoded envelope must equal the original");
+        let twice = serde_json::to_string(&back).unwrap();
+        prop_assert_eq!(once, twice, "serialize→deserialize→serialize must be bitwise stable");
+    }
+
+    #[test]
+    fn malformed_ids_are_rejected_with_typed_errors(m in arb_envelope(), bad in arb_malformed_id()) {
+        prop_assert!(!valid_cve_id(&bad), "strategy must only emit malformed ids: {bad:?}");
+        let mut m = m;
+        m.id = bad.clone();
+        prop_assert_eq!(m.validate(), Err(CveMetaError::MalformedId(bad.clone())));
+        // The same typed error surfaces through the parse-and-validate path.
+        let json = serde_json::to_string(&m).unwrap();
+        prop_assert_eq!(
+            CveMeta::from_json(&json),
+            Err(Some(CveMetaError::MalformedId(bad)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_cvss_is_rejected_with_typed_errors(m in arb_envelope(), bad in arb_out_of_range_score()) {
+        let mut m = m;
+        m.metrics.base_score = bad;
+        prop_assert_eq!(m.validate(), Err(CveMetaError::CvssOutOfRange(bad)));
+        let json = serde_json::to_string(&m).unwrap();
+        match CveMeta::from_json(&json) {
+            Err(Some(CveMetaError::CvssOutOfRange(s))) => {
+                // The score may pick up float-text round-trip formatting but
+                // must decode back to the identical f64.
+                prop_assert_eq!(s.to_bits(), bad.to_bits());
+            }
+            other => panic!("score {bad} must be rejected through from_json, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_skipped_everywhere(m in arb_envelope(), which in 0usize..5) {
+        let keys = ["lastModified", "references", "cisaExploitAdd", "evaluatorComment", "x"];
+        let vals = ["\"2026-01-01\"", "[{\"url\":\"https://nvd.nist.gov\"}]", "null", "7.5", "true"];
+        let json = serde_json::to_string(&m).unwrap();
+        // A newer producer may add fields at the top level and inside every
+        // nested object; this reader must skip them all.
+        let extended = json
+            .replacen('{', &format!("{{\"{}\":{},", keys[which], vals[which]), 1)
+            .replace("\"source\":", &format!("\"{}\":{},\"source\":", keys[(which + 1) % 5], vals[(which + 1) % 5]))
+            .replace("\"version\":", &format!("\"{}\":{},\"version\":", keys[(which + 2) % 5], vals[(which + 2) % 5]));
+        let back: CveMeta = serde_json::from_str(&extended).expect("unknown fields must be skipped");
+        prop_assert_eq!(back, m);
+    }
+}
+
+#[test]
+fn from_json_distinguishes_parse_failures_from_validation_failures() {
+    assert_eq!(CveMeta::from_json("not json").err(), Some(None), "shape errors carry no typed error");
+    assert_eq!(CveMeta::from_json("{}").err(), Some(None), "missing fields are a shape error");
+    let mut m = annotate(&full_catalog()[0]);
+    m.weaknesses.clear();
+    let json = serde_json::to_string(&m).unwrap();
+    assert_eq!(CveMeta::from_json(&json).err(), Some(Some(CveMetaError::EmptyWeaknesses)));
+}

@@ -1,0 +1,111 @@
+//! Corpus-scale reference-database soak for the scan daemon: the hosted
+//! vulnerability database is bulk-expanded well past the 25 featured
+//! CVEs, concurrent tenants audit against it, and every finding must come
+//! back named in CVE/CWE terms — the daemon-facing face of the
+//! corpus-metadata tentpole.
+//!
+//! Gates:
+//! * the daemon completes a full audit against the corpus-scale DB (one
+//!   finding per database entry, none dropped);
+//! * every finding carries the CWE class and CVSS score of its database
+//!   entry's NVD-style envelope, bulk entries included;
+//! * concurrent clients see bitwise-identical verdicts (in-flight dedup
+//!   and the cache lanes hold up under the wider DB);
+//! * the daemon drains cleanly afterwards — no stuck executors.
+
+mod common;
+
+use common::{analyzer, shared_device, temp_path};
+use corpus::cvemeta::valid_cve_id;
+use corpus::vulndb::VulnDb;
+use patchecko_core::report::AuditReport;
+use patchecko_scand::{ScanClient, ScanServer, ServerConfig};
+use patchecko_scanhub::ScanHub;
+use std::sync::{Arc, Barrier};
+
+/// 25 featured entries plus enough bulk entries to triple the DB — small
+/// enough for a test binary, large enough that the daemon's per-entry
+/// loop, dedup, and cache lanes run at corpus width.
+const BULK: usize = 35;
+
+fn corpus_db() -> VulnDb {
+    corpus::build_vulndb(BULK, 1)
+}
+
+#[test]
+fn corpus_scale_db_audit_names_every_finding_in_cve_cwe_terms() {
+    let socket = temp_path("corpus-soak.sock");
+    let db = corpus_db();
+    let total = db.entries.len();
+    assert_eq!(total, 25 + BULK);
+
+    let hub = ScanHub::new(analyzer());
+    let cfg = ServerConfig { workers: 4, ..ServerConfig::new(&socket) };
+    let server = ScanServer::start(cfg, hub, vec![shared_device().image.clone()], db).unwrap();
+
+    // Four concurrent clients across two tenants, all auditing image 0
+    // against the corpus-scale DB.
+    let barrier = Arc::new(Barrier::new(4));
+    let reports: Vec<(String, Vec<AuditReport>)> = std::thread::scope(|s| {
+        (0..4)
+            .map(|i| {
+                let tenant = ["acme", "zenith"][i % 2];
+                let barrier = Arc::clone(&barrier);
+                let socket = socket.clone();
+                s.spawn(move || {
+                    let mut client = ScanClient::connect(&socket, tenant).unwrap();
+                    barrier.wait();
+                    (tenant.to_string(), client.batch_audit(&[0]).unwrap())
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    let reference = serde_json::to_string(&reports[0].1[0].findings).unwrap();
+    for (tenant, r) in &reports {
+        assert_eq!(r.len(), 1, "{tenant}: one report per requested image");
+        assert_eq!(
+            serde_json::to_string(&r[0].findings).unwrap(),
+            reference,
+            "{tenant}: identical verdicts under the corpus-scale DB"
+        );
+    }
+
+    let report = &reports[0].1[0];
+    assert_eq!(report.findings.len(), total, "one finding per database entry, none dropped");
+    let mut bulk_seen = 0usize;
+    for f in &report.findings {
+        let cwe = f.cwe.as_deref().unwrap_or_else(|| panic!("{}: finding must name its CWE", f.cve));
+        assert!(
+            cwe.strip_prefix("CWE-").is_some_and(|n| n.bytes().all(|b| b.is_ascii_digit())),
+            "{}: malformed CWE {cwe:?}",
+            f.cve
+        );
+        let cvss = f.cvss.unwrap_or_else(|| panic!("{}: finding must carry its CVSS score", f.cve));
+        assert!((0.0..=10.0).contains(&cvss), "{}: CVSS {cvss} out of range", f.cve);
+        if f.cve.starts_with("CVE-BULK-") {
+            bulk_seen += 1;
+        } else {
+            assert!(valid_cve_id(&f.cve), "{}: featured findings carry real bulletin ids", f.cve);
+        }
+    }
+    assert_eq!(bulk_seen, BULK, "every bulk entry surfaced as a finding");
+
+    // Daemon accounting: all requests served, dedup collapsed the
+    // identical concurrent audits, nothing failed or rejected.
+    let mut probe = ScanClient::connect(&socket, "").unwrap();
+    let stats = probe.stats().unwrap();
+    for tenant in ["acme", "zenith"] {
+        let t = &stats.tenants[tenant];
+        assert_eq!(t.accepted + t.deduped, 2, "{tenant}: both requests accounted for");
+        assert_eq!((t.failed, t.rejected), (0, 0), "{tenant}");
+    }
+
+    let drained = probe.drain().unwrap();
+    assert!(drained.persisted || stats.state == "running", "drain acknowledged");
+    server.join();
+    assert!(!socket.exists(), "the daemon removed its socket on exit");
+}

@@ -23,8 +23,10 @@ use patchecko_core::cancel::CancelToken;
 use patchecko_core::differential::DifferentialConfig;
 use patchecko_core::dynsource::DynProfileSource;
 use patchecko_core::error::ScanError;
+use patchecko_core::features::StaticFeatures;
 use patchecko_core::pipeline::{Basis, CveAnalysis, ImageAnalysis, Patchecko, StaticScan};
 use patchecko_core::report::AuditReport;
+use patchecko_core::stream::{StreamScanReport, WorkingSet};
 use scope::{MetricsRegistry, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -189,6 +191,72 @@ impl ScanHub {
     ) -> Result<StaticScan, ScanError> {
         let references = Patchecko::reference_feature_set_with(entry, basis, &*self.store)?;
         self.analyzer.scan_library_with(bin, &references, &*self.store)
+    }
+
+    /// Ingest a stream of compiled units into the cache lanes (features
+    /// plus retrieval signatures), holding at most `working_set` units in
+    /// memory at any point. Later scans of the same content are served
+    /// from the cache. Returns `(units, functions, peak_live)` — the peak
+    /// comes from the same live-entry accounting as
+    /// [`Patchecko::scan_stream`], so boundedness is provable, not
+    /// inferred from RSS.
+    ///
+    /// # Errors
+    /// Returns the first extraction failure; units already ingested stay
+    /// cached.
+    pub fn ingest_stream<I>(
+        &self,
+        units: I,
+        working_set: usize,
+    ) -> Result<(usize, usize, usize), ScanError>
+    where
+        I: IntoIterator<Item = Binary>,
+    {
+        use patchecko_core::pipeline::FeatureSource;
+        let _span = scope::SpanGuard::enter("stream_ingest");
+        let working_set = working_set.max(1);
+        let tracker = WorkingSet::new();
+        let mut iter = units.into_iter();
+        let mut n_units = 0usize;
+        let mut n_functions = 0usize;
+        loop {
+            let batch: Vec<_> = iter
+                .by_ref()
+                .take(working_set)
+                .map(|bin| (bin, tracker.acquire()))
+                .collect();
+            if batch.is_empty() {
+                break;
+            }
+            for (bin, permit) in batch {
+                let feats = self.store.features_all(&bin)?;
+                let _sigs = self.store.signatures_all(&bin, &feats);
+                n_units += 1;
+                n_functions += feats.len();
+                drop(bin);
+                drop(permit);
+            }
+        }
+        Ok((n_units, n_functions, tracker.peak()))
+    }
+
+    /// Streaming scan through the cache: scan every unit of a stream
+    /// against `references` with a bounded working set. Thin wrapper over
+    /// [`Patchecko::scan_stream_with`] with the hub's store as the
+    /// feature source, so previously ingested units skip extraction.
+    ///
+    /// # Errors
+    /// Propagates the first extraction failure.
+    pub fn scan_stream<I>(
+        &self,
+        units: I,
+        references: &[StaticFeatures],
+        working_set: usize,
+    ) -> Result<StreamScanReport, ScanError>
+    where
+        I: IntoIterator<Item = Binary>,
+    {
+        self.analyzer.scan_stream_with(units, references, working_set, &*self.store)
     }
 
     /// Full hybrid analysis of one library through the cache.

@@ -1,0 +1,154 @@
+//! Acceptance gates for the streaming corpus path (`scan_stream` /
+//! `ingest_stream`):
+//!
+//! * **bounded memory** — a streaming scan over a corpus 10× larger than
+//!   the configured working set never holds more than `working_set` units
+//!   live at once, proven by the live-entry counter in the streaming path
+//!   (not RSS sniffing), through both the bare pipeline and the hub's
+//!   cached lanes;
+//! * **recall** — on a generated corpus with planted CVE functions and
+//!   distractor references wide enough that top-K really prunes, the
+//!   indexed streaming scan retains ≥ 99% of the exact scan's detections
+//!   (the scaled-down `cargo test` face of the gate `bench_corpus`
+//!   re-asserts at full scale before timing).
+
+use corpus::dataset1::Dataset1Config;
+use corpus::{CorpusStream, StreamConfig};
+use neural::net::TrainConfig;
+use patchecko_core::detector::{self, Detector, DetectorConfig};
+use patchecko_core::features::StaticFeatures;
+use patchecko_core::pipeline::{Basis, Patchecko, PipelineConfig};
+use patchecko_core::retrieval::{Retrieval, DEFAULT_TOP_K};
+use patchecko_scanhub::ScanHub;
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+fn shared_detector() -> &'static Detector {
+    static DET: OnceLock<Detector> = OnceLock::new();
+    DET.get_or_init(|| {
+        let ds = corpus::build_dataset1(&Dataset1Config {
+            num_libraries: 10,
+            min_functions: 8,
+            max_functions: 12,
+            seed: 1,
+            include_catalog: true,
+        });
+        let cfg = DetectorConfig {
+            pairs_per_function: 6,
+            train: TrainConfig { epochs: 10, batch: 256, lr: 1e-3, seed: 7, ..Default::default() },
+            ..DetectorConfig::default()
+        };
+        detector::train(&ds, &cfg).0
+    })
+}
+
+fn analyzer(retrieval: Retrieval) -> Patchecko {
+    let cfg = PipelineConfig { retrieval, ..PipelineConfig::default() };
+    Patchecko::new(shared_detector().clone(), cfg)
+}
+
+/// The featured entries' vulnerable reference variants, flattened into one
+/// pool (25 CVEs × 4 platform variants = 100 rows — wide enough that the
+/// default top-16 index really prunes).
+fn reference_pool() -> Vec<StaticFeatures> {
+    let db = corpus::build_vulndb(0, 1);
+    let mut pool = Vec::new();
+    for entry in db.featured() {
+        pool.extend(Patchecko::reference_feature_set(entry, Basis::Vulnerable).unwrap());
+    }
+    assert!(pool.len() > DEFAULT_TOP_K, "pool must be wide enough to prune");
+    pool
+}
+
+/// The streaming scan holds at most `working_set` units live at any
+/// moment, even when the corpus is 10× larger — the whole corpus is never
+/// materialized. Checked through the bare pipeline and through the hub
+/// (whose artifact lanes must not secretly retain the units either).
+#[test]
+fn streaming_scan_is_bounded_by_the_working_set() {
+    const WORKING_SET: usize = 4;
+    let mut cfg = StreamConfig::sized(0, 0xFEED);
+    cfg.functions_per_library = 8;
+    cfg.target_functions = WORKING_SET * 10 * cfg.functions_per_library;
+    cfg.plant_every = 16;
+    assert_eq!(cfg.units(), WORKING_SET * 10, "corpus must be 10× the working set");
+
+    let refs = reference_pool();
+    let exact = analyzer(Retrieval::Exact);
+    let report = exact
+        .scan_stream(CorpusStream::new(cfg.clone()).map(|u| u.binary), &refs, WORKING_SET)
+        .unwrap();
+    assert_eq!(report.units, cfg.units());
+    assert_eq!(report.functions, cfg.total_functions());
+    assert_eq!(report.working_set, WORKING_SET);
+    assert!(
+        report.peak_live <= WORKING_SET,
+        "peak live units {} exceeded the configured working set {WORKING_SET}",
+        report.peak_live
+    );
+    assert!(report.peak_live >= 1, "the counter must actually move");
+
+    let hub = ScanHub::new(analyzer(Retrieval::TopK { k: DEFAULT_TOP_K }));
+    let hub_report = hub
+        .scan_stream(CorpusStream::new(cfg.clone()).map(|u| u.binary), &refs, WORKING_SET)
+        .unwrap();
+    assert_eq!(hub_report.units, cfg.units());
+    assert!(hub_report.peak_live <= WORKING_SET);
+
+    let (units, functions, peak) = hub
+        .ingest_stream(CorpusStream::new(cfg.clone()).map(|u| u.binary), WORKING_SET)
+        .unwrap();
+    assert_eq!((units, functions), (cfg.units(), cfg.total_functions()));
+    assert!(peak <= WORKING_SET, "ingestion peak {peak} exceeded the working set");
+}
+
+/// Recall gate, scaled down from the bench's 10⁴ functions: against the
+/// 100-row reference pool, the top-K streaming scan must retain ≥ 99% of
+/// the exact scan's *true* detections — the planted CVE functions the
+/// exact scan flags. The distractor functions supply pruning pressure
+/// (their occasional threshold-borderline flags are exact-scan false
+/// positives the index may legitimately drop, so they are excluded from
+/// the recall denominator).
+#[test]
+fn topk_streaming_detection_recall_is_at_least_99_percent() {
+    let mut cfg = StreamConfig::sized(1_000, 0xC0FFEE);
+    cfg.plant_every = 2;
+    let refs = reference_pool();
+
+    let flagged = |retrieval: Retrieval| -> HashSet<(usize, usize)> {
+        analyzer(retrieval)
+            .scan_stream(CorpusStream::new(cfg.clone()).map(|u| u.binary), &refs, 8)
+            .unwrap()
+            .matches
+            .iter()
+            .map(|m| (m.unit, m.function))
+            .collect()
+    };
+    let exact = flagged(Retrieval::Exact);
+    let topk = flagged(Retrieval::TopK { k: DEFAULT_TOP_K });
+
+    // The ground truth: planted functions the exact scan detects. The
+    // exact scan must find nearly all of them, or the gate gates nothing.
+    let planted = corpus::manifest(&cfg);
+    assert!(!planted.is_empty());
+    let exact_true: Vec<(usize, usize)> = planted
+        .iter()
+        .map(|p| (p.unit, p.function_index))
+        .filter(|d| exact.contains(d))
+        .collect();
+    assert!(
+        exact_true.len() * 10 >= planted.len() * 9,
+        "exact scan must find ≥90% of planted CVEs ({}/{})",
+        exact_true.len(),
+        planted.len()
+    );
+
+    let retained = exact_true.iter().filter(|d| topk.contains(*d)).count();
+    let recall = retained as f64 / exact_true.len() as f64;
+    assert!(
+        recall >= 0.99,
+        "streaming detection recall {recall:.4} below the 99% gate \
+         ({retained}/{} true exact detections retained at K={DEFAULT_TOP_K})",
+        exact_true.len()
+    );
+}

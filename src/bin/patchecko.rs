@@ -9,6 +9,7 @@
 //! patchecko patch-check  --model model.json --image DIR --cve CVE-2018-9412
 //! patchecko audit        --model model.json --image DIR [--report report.md]
 //! patchecko batch-audit  --model model.json --images DIR[,DIR...] [--cache-dir DIR]
+//! patchecko corpus       --functions N [--model model.json] [--working-set N]
 //! patchecko serve        --model model.json --images DIR[,DIR...] --socket PATH
 //! patchecko client       --socket PATH [--tenant NAME] --stats|--drain|--audit IDX|...
 //! ```
@@ -61,6 +62,7 @@ fn main() -> ExitCode {
         "patch-check" => cmd_patch_check(&flags),
         "audit" => cmd_audit(&flags),
         "batch-audit" => cmd_batch_audit(&flags),
+        "corpus" => cmd_corpus(&flags),
         "serve" => cmd_serve(&flags),
         "client" => cmd_client(&flags),
         "--help" | "-h" | "help" => {
@@ -92,6 +94,11 @@ USAGE:
   patchecko audit        --model model.json --image DIR [--report FILE.md] [--json FILE.json]
   patchecko batch-audit  --model model.json --images DIR[,DIR...] [--cves ID[,ID...]]
                          [--basis vulnerable|patched|both] [--json FILE.json]
+  patchecko corpus       --functions N [--seed N] [--plant-every N] [--working-set N]
+                         [--model model.json] [--json FILE.json]
+                         (stream-generate a corpus across 4 ISAs x 6 opt levels;
+                         with --model, streaming-scan it against the CVE database
+                         under the bounded working set and report CVE/CWE matches)
   patchecko serve        --model model.json --images DIR[,DIR...] --socket PATH
                          [--cache-dir DIR] [--workers N] [--queue-limit N]
                          [--retry-after-ms N] [--io-timeout-ms N]
@@ -303,12 +310,18 @@ fn load_image(dir: &str) -> Result<FirmwareImage, String> {
 }
 
 fn cmd_list_cves() -> Result<(), String> {
-    println!("{:<16} {:<20} {:<10} {:<9} description", "CVE", "library", "severity", "patch");
+    println!(
+        "{:<16} {:<20} {:<8} {:<5} {:<10} {:<9} description",
+        "CVE", "library", "CWE", "CVSS", "severity", "patch"
+    );
     for e in corpus::full_catalog() {
+        let meta = corpus::annotate(&e);
         println!(
-            "{:<16} {:<20} {:<10} {:<9} {}",
+            "{:<16} {:<20} {:<8} {:<5} {:<10} {:<9} {}",
             e.cve,
             e.library,
+            meta.cwe(),
+            format!("{:.1}", meta.metrics.base_score),
             format!("{:?}", e.severity).to_lowercase(),
             format!("{:?}", e.magnitude).to_lowercase(),
             e.description
@@ -516,8 +529,9 @@ fn cmd_audit(flags: &HashMap<String, String>) -> Result<(), String> {
             patchecko::core::AuditStatus::Error => "ERROR",
         };
         println!(
-            "{:<16} {:<28} {}{}",
+            "{:<16} {:<8} {:<28} {}{}",
             f.cve,
+            f.cwe.as_deref().unwrap_or("—"),
             f.located.as_deref().unwrap_or("—"),
             verdict,
             if f.degraded { " (degraded)" } else { "" }
@@ -603,9 +617,10 @@ fn cmd_batch_audit(flags: &HashMap<String, String>) -> Result<(), String> {
                     Some(m) => format!("{}:{} (distance {:.1})", m.library, m.function_index, m.distance),
                     None => "no match".into(),
                 };
+                let cwe = db.get(&r.spec.cve).map(|e| e.meta.cwe().to_string()).unwrap_or_default();
                 println!(
-                    "{:<14} {:<16} {:<10?} {:>3} candidates {:>3} validated  {}  [{:.2}s]",
-                    image.device, r.spec.cve, r.spec.basis, candidates, validated, located, r.seconds
+                    "{:<14} {:<16} {:<8} {:<10?} {:>3} candidates {:>3} validated  {}  [{:.2}s]",
+                    image.device, r.spec.cve, cwe, r.spec.basis, candidates, validated, located, r.seconds
                 );
             }
             JobOutcome::Failed { error, attempts } => {
@@ -645,6 +660,119 @@ fn cmd_batch_audit(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("{} of {} jobs failed permanently", report.failed(), report.records.len()));
     }
     Ok(())
+}
+
+/// Stream-generate a production-scale corpus and (with `--model`) run the
+/// bounded-working-set streaming scan against the CVE reference database,
+/// reporting matched CVE/CWE identities and planted-CVE recall.
+fn cmd_corpus(flags: &HashMap<String, String>) -> Result<(), String> {
+    let functions: usize = flag_or(flags, "functions", 1_000);
+    let seed: u64 = flag_or(flags, "seed", 0xC0_0C05);
+    let working_set: usize = flag_or::<usize>(flags, "working-set", 64).max(1);
+    let mut cfg = corpus::StreamConfig::sized(functions, seed);
+    cfg.plant_every = flag_or(flags, "plant-every", cfg.plant_every);
+
+    eprintln!(
+        "corpus: {} units / {} functions ({} planted CVEs), {} ISAs × {} opt levels, seed {seed}",
+        cfg.units(),
+        cfg.total_functions(),
+        cfg.planted_units(),
+        cfg.archs.len(),
+        cfg.opts.len()
+    );
+
+    let Some(_) = flags.get("model") else {
+        // Generate-only: drain the stream, keeping nothing.
+        let start = std::time::Instant::now();
+        let (mut units, mut fns) = (0usize, 0usize);
+        for u in corpus::CorpusStream::new(cfg.clone()) {
+            units += 1;
+            fns += u.binary.functions.len();
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        println!(
+            "generated {units} units / {fns} functions in {seconds:.2}s ({:.0} functions/s)",
+            fns as f64 / seconds.max(1e-9)
+        );
+        return Ok(());
+    };
+
+    let hub = build_hub(flags, build_analyzer(flags)?)?;
+    let db = corpus::build_vulndb(0, 1);
+    // Flatten every featured entry's vulnerable reference variants into one
+    // reference set, remembering which database entry each row came from so
+    // matches can be named by CVE and CWE.
+    let mut references = Vec::new();
+    let mut ref_entry = Vec::new();
+    for (i, entry) in db.featured().iter().enumerate() {
+        let feats = Patchecko::reference_feature_set(entry, Basis::Vulnerable)
+            .map_err(|e| format!("reference features for {}: {e}", entry.entry.cve))?;
+        for f in feats {
+            references.push(f);
+            ref_entry.push(i);
+        }
+    }
+    eprintln!(
+        "scanning stream against {} reference variants ({} CVEs), working set {working_set}...",
+        references.len(),
+        db.featured().len()
+    );
+    let stream = corpus::CorpusStream::new(cfg.clone()).map(|u| u.binary);
+    let report = hub
+        .scan_stream(stream, &references, working_set)
+        .map_err(|e| e.to_string())?;
+
+    const SHOWN: usize = 20;
+    for m in report.matches.iter().take(SHOWN) {
+        let entry = &db.featured()[ref_entry[m.reference]];
+        println!(
+            "unit {:<6} {:<14} fn {:<3} {:<16} {:<8} p={:.3}",
+            m.unit,
+            m.library,
+            m.function,
+            entry.entry.cve,
+            entry.meta.cwe(),
+            m.probability
+        );
+    }
+    if report.matches.len() > SHOWN {
+        println!("... and {} more matches", report.matches.len() - SHOWN);
+    }
+
+    let planted = corpus::manifest(&cfg);
+    if !planted.is_empty() {
+        let matched: std::collections::HashSet<usize> = report.matched_units().into_iter().collect();
+        let recalled = planted.iter().filter(|p| matched.contains(&p.unit)).count();
+        println!(
+            "planted-CVE recall: {recalled}/{} ({:.1}%)",
+            planted.len(),
+            100.0 * recalled as f64 / planted.len() as f64
+        );
+    }
+    println!(
+        "{} units / {} functions in {:.2}s ({:.0} functions/s), peak working set {} of {} units",
+        report.units,
+        report.functions,
+        report.seconds,
+        report.functions_per_second(),
+        report.peak_live,
+        working_set
+    );
+    if let Some(path) = flags.get("json") {
+        let json = serde_json::json!({
+            "units": report.units,
+            "functions": report.functions,
+            "seconds": report.seconds,
+            "functions_per_second": report.functions_per_second(),
+            "matches": report.matches.len(),
+            "peak_live": report.peak_live,
+            "working_set": working_set,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&json).map_err(|e| e.to_string())?)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    finish_hub(flags, &hub)
 }
 
 // ---------------------------------------------------------------------------
